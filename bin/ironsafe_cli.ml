@@ -1,0 +1,163 @@
+(* ironsafe-cli: run policy-checked SQL against a simulated IronSafe
+   deployment from the command line.
+
+     ironsafe-cli query --sql "select ..." [--config scs] [--scale 0.005]
+     ironsafe-cli tpch --id 6 [--config all]
+     ironsafe-cli shell            (interactive; \policy and \config)
+
+   The deployment is built fresh per invocation (TPC-H data at the
+   requested scale factor), attested, and queries flow through the
+   trusted monitor with the given access policy. *)
+
+open Cmdliner
+open Ironsafe
+module Sql = Ironsafe_sql
+module Tpch = Ironsafe_tpch
+
+let build_deployment scale =
+  let deploy =
+    Deployment.create ~seed:"ironsafe-cli"
+      ~populate:(fun db -> ignore (Tpch.Dbgen.populate db ~scale))
+      ()
+  in
+  (match Deployment.attest deploy with
+  | Ok () -> ()
+  | Error e -> failwith ("attestation failed: " ^ e));
+  deploy
+
+let setup_engine deploy policy =
+  let engine = Engine.create deploy in
+  ignore (Engine.register_client engine ~label:"cli" ~reuse_bit:0 ());
+  Engine.set_access_policy engine policy;
+  engine
+
+let config_conv =
+  let parse s =
+    match Config.of_string s with
+    | Some c -> Ok c
+    | None -> Error (`Msg (Printf.sprintf "unknown config %s (hons/hos/vcs/scs/sos)" s))
+  in
+  Arg.conv (parse, Config.pp)
+
+let scale_arg =
+  Arg.(value & opt float 0.005 & info [ "scale" ] ~docv:"SF" ~doc:"TPC-H scale factor.")
+
+let config_arg =
+  Arg.(
+    value
+    & opt config_conv Config.Scs
+    & info [ "config" ] ~docv:"CONF" ~doc:"Execution configuration (Table 2).")
+
+let policy_arg =
+  Arg.(
+    value
+    & opt string "read ::= sessionKeyIs(cli)\nwrite ::= sessionKeyIs(cli)"
+    & info [ "policy" ] ~docv:"POLICY" ~doc:"Access policy source.")
+
+let print_metrics (m : Runner.metrics) =
+  Fmt.pr "-- %s: %.2f ms simulated, %d bytes shipped, %d pages scanned@."
+    (Config.abbrev m.Runner.config)
+    (m.Runner.end_to_end_ns /. 1e6)
+    m.Runner.bytes_shipped m.Runner.pages_scanned
+
+let run_query scale config policy sql =
+  let deploy = build_deployment scale in
+  let engine = setup_engine deploy policy in
+  match Engine.submit engine ~client:"cli" ~config ~sql () with
+  | Error e ->
+      Fmt.epr "error: %s@." e;
+      1
+  | Ok resp ->
+      Fmt.pr "%a" Sql.Exec.pp_result resp.Engine.resp_result;
+      print_metrics resp.Engine.resp_metrics;
+      Fmt.pr "-- proof of compliance: %s@."
+        (if Engine.verify_response engine resp ~sql then "verified" else "INVALID");
+      0
+
+let query_cmd =
+  let sql =
+    Arg.(required & opt (some string) None & info [ "sql" ] ~docv:"SQL" ~doc:"Statement to run.")
+  in
+  let explain =
+    Arg.(value & flag & info [ "explain" ] ~doc:"Print the host/storage split instead of running.")
+  in
+  let run scale config policy explain sql =
+    if explain then begin
+      let deploy = build_deployment scale in
+      let plan =
+        Partitioner.split
+          (Sql.Database.catalog deploy.Deployment.plain_db)
+          (Sql.Parser.parse sql)
+      in
+      print_string (Partitioner.describe plan);
+      0
+    end
+    else run_query scale config policy sql
+  in
+  Cmd.v
+    (Cmd.info "query" ~doc:"Run one policy-checked SQL statement")
+    Term.(const run $ scale_arg $ config_arg $ policy_arg $ explain $ sql)
+
+let tpch_cmd =
+  let id =
+    Arg.(required & opt (some int) None & info [ "id" ] ~docv:"N" ~doc:"TPC-H query number.")
+  in
+  let all =
+    Arg.(value & flag & info [ "all-configs" ] ~doc:"Run under all five configurations.")
+  in
+  let run scale config all id =
+    let q = Tpch.Queries.by_id_complete id in
+    let deploy = build_deployment scale in
+    let configs = if all then Config.all else [ config ] in
+    List.iter
+      (fun cfg ->
+        let m = Runner.run_query deploy cfg q.Tpch.Queries.sql in
+        if List.length configs = 1 then Fmt.pr "%a" Sql.Exec.pp_result m.Runner.result;
+        print_metrics m)
+      configs;
+    0
+  in
+  Cmd.v
+    (Cmd.info "tpch" ~doc:"Run a TPC-H query under one or all configurations")
+    Term.(const run $ scale_arg $ config_arg $ all $ id)
+
+let shell_cmd =
+  let run scale policy =
+    let deploy = build_deployment scale in
+    let engine = setup_engine deploy policy in
+    let config = ref Config.Scs in
+    Fmt.pr "IronSafe shell (scale %g). \\config <c> to switch, \\quit to exit.@." scale;
+    let rec loop () =
+      Fmt.pr "ironsafe[%s]> %!" (Config.abbrev !config);
+      match input_line stdin with
+      | exception End_of_file -> 0
+      | "\\quit" | "\\q" -> 0
+      | "" -> loop ()
+      | line when String.length line > 8 && String.sub line 0 8 = "\\config " -> (
+          match Config.of_string (String.trim (String.sub line 8 (String.length line - 8))) with
+          | Some c ->
+              config := c;
+              loop ()
+          | None ->
+              Fmt.pr "unknown config@.";
+              loop ())
+      | line ->
+          (match Engine.submit engine ~client:"cli" ~config:!config ~sql:line () with
+          | Ok resp ->
+              Fmt.pr "%a" Sql.Exec.pp_result resp.Engine.resp_result;
+              print_metrics resp.Engine.resp_metrics
+          | Error e -> Fmt.pr "error: %s@." e);
+          loop ()
+    in
+    loop ()
+  in
+  Cmd.v
+    (Cmd.info "shell" ~doc:"Interactive policy-checked SQL shell")
+    Term.(const run $ scale_arg $ policy_arg)
+
+let () =
+  let info =
+    Cmd.info "ironsafe-cli" ~version:"1.0.0"
+      ~doc:"Secure policy-compliant query processing on computational storage"
+  in
+  exit (Cmd.eval' (Cmd.group info [ query_cmd; tpch_cmd; shell_cmd ]))

@@ -1,0 +1,41 @@
+(* The five system configurations of Table 2. *)
+
+type t =
+  | Hons  (** host-only, non-secure (NFS to storage server) *)
+  | Hos  (** host-only, secure: SGX enclave + secure storage *)
+  | Vcs  (** vanilla computational storage: split, non-secure *)
+  | Scs  (** IronSafe: split execution, secure (the paper's system) *)
+  | Sos  (** storage-only, secure: whole query on the ARM node *)
+
+let all = [ Hons; Hos; Vcs; Scs; Sos ]
+
+let abbrev = function
+  | Hons -> "hons"
+  | Hos -> "hos"
+  | Vcs -> "vcs"
+  | Scs -> "scs"
+  | Sos -> "sos"
+
+let description = function
+  | Hons -> "Host-only non-secure"
+  | Hos -> "Host-only secure"
+  | Vcs -> "Vanilla-CS (non-secure split)"
+  | Scs -> "IronSafe (secure split)"
+  | Sos -> "Storage-only secure"
+
+let split_execution = function
+  | Vcs | Scs -> true
+  | Hons | Hos | Sos -> false
+
+let secure = function Hos | Scs | Sos -> true | Hons | Vcs -> false
+
+let of_string s =
+  match String.lowercase_ascii s with
+  | "hons" -> Some Hons
+  | "hos" -> Some Hos
+  | "vcs" -> Some Vcs
+  | "scs" -> Some Scs
+  | "sos" -> Some Sos
+  | _ -> None
+
+let pp ppf c = Fmt.string ppf (abbrev c)

@@ -1,0 +1,16 @@
+(** The five system configurations of the paper's Table 2. *)
+
+type t =
+  | Hons  (** host-only, non-secure (NFS to the storage server) *)
+  | Hos  (** host-only, secure: SGX enclave + secure storage *)
+  | Vcs  (** vanilla computational storage: split, non-secure *)
+  | Scs  (** IronSafe: split execution, secure *)
+  | Sos  (** storage-only, secure: whole query on the ARM node *)
+
+val all : t list
+val abbrev : t -> string
+val description : t -> string
+val split_execution : t -> bool
+val secure : t -> bool
+val of_string : string -> t option
+val pp : Format.formatter -> t -> unit

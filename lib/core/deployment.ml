@@ -1,0 +1,209 @@
+(* A full IronSafe deployment: the simulated host (x86 + SGX) and
+   storage server (ARM + TrustZone), the storage media (plain and
+   secure variants of the same database, so all five Table-2
+   configurations run over identical data), the trusted monitor, and
+   the attestation wiring.
+
+   The testbed defaults mirror §6.1: 10 host cores, 16 storage cores,
+   96 MiB usable EPC. *)
+
+module C = Ironsafe_crypto
+module Sim = Ironsafe_sim
+module Storage = Ironsafe_storage
+module Sec = Ironsafe_securestore
+module Tee = Ironsafe_tee
+module Sql = Ironsafe_sql
+module Monitor = Ironsafe_monitor
+
+type t = {
+  params : Sim.Params.t;
+  host : Sim.Node.t;
+  storage : Sim.Node.t;
+  drbg : C.Drbg.t;
+  (* storage media *)
+  device_plain : Storage.Block_device.t;
+  device_secure : Storage.Block_device.t;
+  rpmb : Storage.Rpmb.t;
+  secure_store : Sec.Secure_store.t;
+  plain_db : Sql.Database.t;
+  secure_db : Sql.Database.t;
+  (* TEEs *)
+  ias : Tee.Sgx.ias;
+  sgx : Tee.Sgx.platform;
+  host_enclave : Tee.Sgx.enclave;
+  tz_device : Tee.Trustzone.device;
+  tz_booted : Tee.Trustzone.booted;
+  host_image : Tee.Image.t;
+  storage_nw_image : Tee.Image.t;
+  (* the host engine's session keypair; the public half is embedded in
+     its attestation quote and certified by the monitor (Fig. 4a) *)
+  host_sk : C.Signature.secret_key;
+  host_pk : C.Signature.public_key;
+  (* control plane *)
+  monitor : Monitor.Trusted_monitor.t;
+}
+
+let host_engine_image ~version =
+  Tee.Image.create ~name:"ironsafe-host-engine" ~version
+    ~code:(Printf.sprintf "host-engine-binary-v%d" version)
+
+let storage_engine_image ~version =
+  Tee.Image.create ~name:"ironsafe-storage-engine" ~version
+    ~code:(Printf.sprintf "storage-engine-binary-v%d" version)
+
+let atf_image = Tee.Image.create ~name:"arm-trusted-firmware" ~version:1 ~code:"atf"
+
+let optee_image =
+  Tee.Image.create ~name:"optee-3.4+ironsafe-tas" ~version:1
+    ~code:"optee secure world with attestation + secure storage TAs"
+
+(* Copy every table of [src] into [dst] (identical rows, possibly
+   different page packing). *)
+let copy_database src dst =
+  List.iter
+    (fun name ->
+      let hf = Sql.Catalog.find (Sql.Database.catalog src) name in
+      let schema = Sql.Heap_file.schema hf in
+      Sql.Database.create_table dst schema;
+      let out = Sql.Catalog.find (Sql.Database.catalog dst) name in
+      Sql.Heap_file.iter hf ~f:(fun row -> Sql.Heap_file.append out row);
+      Sql.Heap_file.flush out)
+    (Sql.Catalog.table_names (Sql.Database.catalog src))
+
+let create ?(params = Sim.Params.default) ?(host_cores = 10)
+    ?(storage_cores = 16) ?storage_mem_limit ?(host_version = 1)
+    ?(storage_version = 1) ?(storage_location = "eu-west")
+    ?(host_location = "eu-west") ~seed ~populate () =
+  let drbg = C.Drbg.create ~seed in
+  let host =
+    Sim.Node.create ~cores:host_cores ~params ~name:"host" Sim.Cpu.Host_x86
+  in
+  let storage =
+    Sim.Node.create ~cores:storage_cores ?mem_limit:storage_mem_limit ~params
+      ~name:"storage" Sim.Cpu.Storage_arm
+  in
+  (* 1. plain database on its own medium *)
+  let plain_pager = Sql.Pager.in_memory () in
+  let plain_db = Sql.Database.create ~pager:plain_pager in
+  populate plain_db;
+  let plain_pages = Sql.Catalog.total_pages (Sql.Database.catalog plain_db) in
+  (* the plain DB also lives on a raw device for hons (NFS) accounting;
+     an in-memory pager suffices since we only count logical pages *)
+  let device_plain = Storage.Block_device.create ~pages:(max 8 plain_pages) in
+  (* 2. secure database: TrustZone device, RPMB, secure store *)
+  let tz_device =
+    Tee.Trustzone.manufacture ~location:storage_location
+      ~device_id:"clearfog-cx-lx2k-0001" drbg
+  in
+  let storage_nw_image = storage_engine_image ~version:storage_version in
+  Tee.Trustzone.provision tz_device [ atf_image; optee_image ];
+  let tz_booted =
+    match
+      Tee.Trustzone.secure_boot tz_device
+        ~secure_stages:[ atf_image; optee_image ]
+        ~normal_world:storage_nw_image
+    with
+    | Ok b -> b
+    | Error e -> invalid_arg ("Deployment.create: secure boot failed: " ^ e)
+  in
+  let data_pages = plain_pages + (plain_pages / 4) + 64 in
+  let device_secure =
+    Storage.Block_device.create
+      ~pages:(Sec.Secure_store.device_pages_for ~data_pages)
+  in
+  let rpmb = Storage.Rpmb.create () in
+  let secure_store =
+    match
+      Sec.Secure_store.initialize ~device:device_secure ~rpmb
+        ~hardware_key:(Tee.Trustzone.hardware_key tz_device)
+        ~data_pages ~drbg ()
+    with
+    | Ok s -> s
+    | Error e ->
+        invalid_arg
+          (Fmt.str "Deployment.create: secure store init failed: %a"
+             Sec.Secure_store.pp_error e)
+  in
+  let secure_db = Sql.Database.create ~pager:(Sql.Pager.secure secure_store) in
+  copy_database plain_db secure_db;
+  Sec.Secure_store.reset_stats secure_store;
+  Storage.Block_device.reset_counters device_secure;
+  (* 3. SGX host *)
+  let ias = Tee.Sgx.create_ias () in
+  let sgx =
+    Tee.Sgx.create_platform ~epc_limit:params.Sim.Params.epc_limit_bytes ~ias
+      drbg
+  in
+  let host_image = host_engine_image ~version:host_version in
+  let host_enclave = Tee.Sgx.launch sgx host_image in
+  let host_sk, host_pk = C.Signature.generate drbg in
+  (* 4. monitor: trust the deployed software, nothing else *)
+  let monitor = Monitor.Trusted_monitor.create ~ias ~seed:(seed ^ "|monitor") in
+  Monitor.Trusted_monitor.trust_host_image monitor host_image;
+  Monitor.Trusted_monitor.trust_storage_device monitor
+    ~device_id:(Tee.Trustzone.device_id tz_device)
+    ~rotpk:(Tee.Trustzone.rotpk tz_device)
+    ~normal_world:storage_nw_image ~version:storage_version;
+  ignore host_location;
+  {
+    params;
+    host;
+    storage;
+    drbg;
+    device_plain;
+    device_secure;
+    rpmb;
+    secure_store;
+    plain_db;
+    secure_db;
+    ias;
+    sgx;
+    host_enclave;
+    tz_device;
+    tz_booted;
+    host_image;
+    storage_nw_image;
+    host_sk;
+    host_pk;
+    monitor;
+  }
+
+(* Run both attestation protocols (Fig. 4a, 4b); returns an error if
+   either node fails verification. *)
+let attest ?(host_location = "eu-west") ?(storage_location = "eu-west") t =
+  (* the quote binds the host engine's session public key (Fig. 4a) *)
+  let report = C.Signature.public_key_bytes t.host_pk in
+  let quote = Tee.Sgx.generate_quote t.host_enclave ~report_data:report in
+  match Monitor.Trusted_monitor.attest_host t.monitor ~quote ~location:host_location with
+  | Error e -> Error e
+  | Ok _ -> (
+      let challenge = Monitor.Trusted_monitor.fresh_challenge t.monitor in
+      let response = Tee.Trustzone.attest t.tz_booted ~challenge in
+      match
+        Monitor.Trusted_monitor.attest_storage t.monitor ~challenge ~response
+          ~location:storage_location
+      with
+      | Error e -> Error e
+      | Ok _ -> Ok ())
+
+let reset_counters t =
+  Sim.Node.reset t.host;
+  Sim.Node.reset t.storage;
+  Sec.Secure_store.reset_stats t.secure_store;
+  Storage.Block_device.reset_counters t.device_secure;
+  Storage.Block_device.reset_counters t.device_plain;
+  Tee.Sgx.reset_counters t.host_enclave;
+  Tee.Trustzone.reset_counters t.tz_device
+
+(* Functional copy with different node shapes (core-count and
+   memory-limit sweeps reuse the loaded databases). *)
+let with_nodes ?(host_cores = 10) ?(storage_cores = 16) ?storage_mem_limit t =
+  {
+    t with
+    host =
+      Sim.Node.create ~cores:host_cores ~params:t.params ~name:"host"
+        Sim.Cpu.Host_x86;
+    storage =
+      Sim.Node.create ~cores:storage_cores ?mem_limit:storage_mem_limit
+        ~params:t.params ~name:"storage" Sim.Cpu.Storage_arm;
+  }

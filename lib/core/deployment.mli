@@ -1,0 +1,68 @@
+(** A full IronSafe deployment: simulated host (x86 + SGX) and storage
+    server (ARM + TrustZone), plain and secure replicas of the same
+    database (so the five Table-2 configurations run over identical
+    data), the trusted monitor, and the attestation wiring. *)
+
+type t = {
+  params : Ironsafe_sim.Params.t;
+  host : Ironsafe_sim.Node.t;
+  storage : Ironsafe_sim.Node.t;
+  drbg : Ironsafe_crypto.Drbg.t;
+  device_plain : Ironsafe_storage.Block_device.t;
+  device_secure : Ironsafe_storage.Block_device.t;
+  rpmb : Ironsafe_storage.Rpmb.t;
+  secure_store : Ironsafe_securestore.Secure_store.t;
+  plain_db : Ironsafe_sql.Database.t;
+  secure_db : Ironsafe_sql.Database.t;
+  ias : Ironsafe_tee.Sgx.ias;
+  sgx : Ironsafe_tee.Sgx.platform;
+  host_enclave : Ironsafe_tee.Sgx.enclave;
+  tz_device : Ironsafe_tee.Trustzone.device;
+  tz_booted : Ironsafe_tee.Trustzone.booted;
+  host_image : Ironsafe_tee.Image.t;
+  storage_nw_image : Ironsafe_tee.Image.t;
+  host_sk : Ironsafe_crypto.Signature.secret_key;
+      (** host engine session key; public half certified at attestation *)
+  host_pk : Ironsafe_crypto.Signature.public_key;
+  monitor : Ironsafe_monitor.Trusted_monitor.t;
+}
+
+val create :
+  ?params:Ironsafe_sim.Params.t ->
+  ?host_cores:int ->
+  ?storage_cores:int ->
+  ?storage_mem_limit:int ->
+  ?host_version:int ->
+  ?storage_version:int ->
+  ?storage_location:string ->
+  ?host_location:string ->
+  seed:string ->
+  populate:(Ironsafe_sql.Database.t -> unit) ->
+  unit ->
+  t
+(** Build and load a deployment. [populate] fills the plain database;
+    its contents are then copied into the freshly initialized secure
+    store. Defaults mirror the paper's testbed (§6.1): 10 host cores,
+    16 storage cores, 96 MiB usable EPC. *)
+
+val attest :
+  ?host_location:string -> ?storage_location:string -> t -> (unit, string) result
+(** Run both attestation protocols (Fig. 4a and 4b) against the
+    monitor's registries. *)
+
+val reset_counters : t -> unit
+(** Zero all clocks, traces, crypto statistics and TEE counters. *)
+
+val with_nodes :
+  ?host_cores:int -> ?storage_cores:int -> ?storage_mem_limit:int -> t -> t
+(** Functional copy with different node shapes; the loaded databases
+    are shared (used by the core-count and memory sweeps). *)
+
+(** {2 Reference software images} *)
+
+val host_engine_image : version:int -> Ironsafe_tee.Image.t
+val storage_engine_image : version:int -> Ironsafe_tee.Image.t
+val atf_image : Ironsafe_tee.Image.t
+val optee_image : Ironsafe_tee.Image.t
+
+val copy_database : Ironsafe_sql.Database.t -> Ironsafe_sql.Database.t -> unit

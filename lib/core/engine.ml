@@ -1,0 +1,194 @@
+(* End-to-end IronSafe engine: the §3.1 workflow.
+
+   1. the client submits a query plus execution policy over TLS;
+   2. the host consults the trusted monitor, which checks the client's
+      permissions against the data producer's access policy, checks the
+      execution policy against the attested nodes, rewrites the query
+      to be policy compliant, and issues a session key;
+   3. the query is partitioned and executed (split across host and
+      storage when offloading is allowed and compliant, host-only
+      otherwise);
+   4. the client receives the results and a signed proof of
+      compliance; the monitor then runs session cleanup. *)
+
+module C = Ironsafe_crypto
+module Monitor = Ironsafe_monitor
+module Sql = Ironsafe_sql
+module Net = Ironsafe_net
+
+type t = {
+  deploy : Deployment.t;
+  database : string;
+  mutable attested : bool;
+}
+
+type response = {
+  resp_result : Sql.Exec.result;
+  resp_proof : Monitor.Trusted_monitor.proof;
+  resp_result_signature : string;
+      (** host-engine signature over the result (data-path integrity);
+          the host's public key is certified by the monitor (Fig. 4a) *)
+  resp_metrics : Runner.metrics;
+  resp_rewritten_sql : string option;
+      (** set when the monitor changed the query *)
+}
+
+let create ?(database = "ironsafe") deploy = { deploy; database; attested = false }
+
+let monitor t = t.deploy.Deployment.monitor
+let deployment t = t.deploy
+
+let ensure_attested t =
+  if t.attested then Ok ()
+  else begin
+    match Deployment.attest t.deploy with
+    | Ok () ->
+        t.attested <- true;
+        Ok ()
+    | Error _ as e -> e
+  end
+
+(* Register a client identity with the monitor; returns its keypair
+   (the secret stays with the caller, modelling the client's TLS
+   client-certificate key). *)
+let register_client t ~label ?reuse_bit () =
+  let sk, pk = C.Signature.generate t.deploy.Deployment.drbg in
+  Monitor.Trusted_monitor.register_client (monitor t) ~label ~pk ~reuse_bit;
+  (sk, pk)
+
+let set_access_policy t policy_src =
+  let policy = Ironsafe_policy.Policy_parser.parse policy_src in
+  Monitor.Trusted_monitor.set_access_policy (monitor t) ~database:t.database
+    ~policy
+
+let result_digest (r : Sql.Exec.result) =
+  C.Sha256.digest
+    (String.concat "|" r.Sql.Exec.columns
+    ^ "\x00"
+    ^ String.concat "\x00" (List.map Sql.Row.encode r.Sql.Exec.rows))
+
+let sign_result t proof result =
+  C.Signature.sign t.deploy.Deployment.host_sk
+    ("host-result" ^ result_digest result
+    ^ proof.Monitor.Trusted_monitor.proof_query_digest)
+
+let render_stmt stmt =
+  (* only SELECTs are rewritten by the monitor; rendering is for
+     user-facing display of what actually ran *)
+  match stmt with
+  | Sql.Ast.Select _ -> None
+  | _ -> None
+
+let submit ?(exec_policy = "") ?(config = Config.Scs) t ~client ~sql () =
+  match ensure_attested t with
+  | Error e -> Error ("attestation failed: " ^ e)
+  | Ok () -> (
+      let exec_policy_rules =
+        if String.trim exec_policy = "" then []
+        else Ironsafe_policy.Policy_parser.parse exec_policy
+      in
+      let catalog =
+        Sql.Database.catalog t.deploy.Deployment.secure_db
+      in
+      match
+        Monitor.Trusted_monitor.authorize (monitor t) ~catalog
+          ~client_label:client ~database:t.database
+          ~exec_policy:exec_policy_rules ~sql
+      with
+      | Error e -> Error e
+      | Ok auth -> (
+          (* charge the control path: client TLS session to the host,
+             host <-> monitor round, policy interpretation, session-key
+             issuance and proof signing (§4.2 / Table 3) *)
+          let params = t.deploy.Deployment.params in
+          Deployment.reset_counters t.deploy;
+          let host_node = t.deploy.Deployment.host in
+          Ironsafe_sim.Node.charge host_node ~category:"policy"
+            (params.Ironsafe_sim.Params.tls_handshake_ns
+            +. (6.0 *. params.Ironsafe_sim.Params.net_latency_ns)
+            +. params.Ironsafe_sim.Params.monitor_policy_ns
+            +. params.Ironsafe_sim.Params.monitor_session_ns);
+          (* the monitor may have downgraded offloading *)
+          let config =
+            if
+              Config.split_execution config
+              && not auth.Monitor.Trusted_monitor.auth_offload_allowed
+            then if Config.secure config then Config.Hos else Config.Hons
+            else config
+          in
+          let stmt = auth.Monitor.Trusted_monitor.auth_stmt in
+          match stmt with
+          | Sql.Ast.Select _ ->
+              let metrics = Runner.run_stmt ~reset:false t.deploy config stmt in
+              Monitor.Trusted_monitor.session_cleanup (monitor t)
+                auth.Monitor.Trusted_monitor.auth_session_key;
+              Ok
+                {
+                  resp_result = metrics.Runner.result;
+                  resp_proof = auth.Monitor.Trusted_monitor.auth_proof;
+                  resp_result_signature =
+                    sign_result t auth.Monitor.Trusted_monitor.auth_proof
+                      metrics.Runner.result;
+                  resp_metrics = metrics;
+                  resp_rewritten_sql = render_stmt stmt;
+                }
+          | other ->
+              (* DML runs on the secure (authoritative) database *)
+              let outcome =
+                Sql.Database.exec_ast t.deploy.Deployment.secure_db other
+              in
+              (* mirror writes to the plain replica so all Table-2
+                 configurations keep seeing identical data *)
+              ignore (Sql.Database.exec_ast t.deploy.Deployment.plain_db other);
+              let rows =
+                match outcome with
+                | Sql.Database.Affected n -> n
+                | _ -> 0
+              in
+              Monitor.Trusted_monitor.session_cleanup (monitor t)
+                auth.Monitor.Trusted_monitor.auth_session_key;
+              let resp_result =
+                {
+                  Sql.Exec.columns = [ "affected" ];
+                  rows = [ [| Sql.Value.Int rows |] ];
+                }
+              in
+              Ok
+                {
+                  resp_result;
+                  resp_proof = auth.Monitor.Trusted_monitor.auth_proof;
+                  resp_result_signature =
+                    sign_result t auth.Monitor.Trusted_monitor.auth_proof
+                      resp_result;
+                  resp_metrics =
+                    {
+                      Runner.config;
+                      end_to_end_ns = 0.0;
+                      host_breakdown = [];
+                      storage_breakdown = [];
+                      bytes_shipped = 0;
+                      pages_scanned = 0;
+                      host_rows = rows;
+                      storage_rows = 0;
+                      result = { Sql.Exec.columns = []; rows = [] };
+                    };
+                  resp_rewritten_sql = None;
+                }))
+
+(* Client-side verification (the client trusts only the monitor's
+   public key): 1. the compliance proof is monitor-signed; 2. the host
+   engine's session key is monitor-certified (attestation, Fig. 4a);
+   3. the result is signed under that certified key. *)
+let verify_response t resp ~sql:_ =
+  let monitor_pk = Monitor.Trusted_monitor.public_key (monitor t) in
+  Monitor.Trusted_monitor.verify_proof ~monitor_pk resp.resp_proof
+  && (match Monitor.Trusted_monitor.attested_host (monitor t) with
+     | None -> false
+     | Some h ->
+         Monitor.Trusted_monitor.verify_host_certificate ~monitor_pk
+           ~host_pk:t.deploy.Deployment.host_pk
+           ~certificate:h.Monitor.Trusted_monitor.host_certificate)
+  && C.Signature.verify t.deploy.Deployment.host_pk
+       ("host-result" ^ result_digest resp.resp_result
+       ^ resp.resp_proof.Monitor.Trusted_monitor.proof_query_digest)
+       resp.resp_result_signature

@@ -1,0 +1,13 @@
+(** The host engine (Fig. 3): materializes the shipped rows and runs
+    the host portion of the query (joins, aggregation, ordering). *)
+
+type phase = {
+  result : Ironsafe_sql.Exec.result;
+  counters : Ironsafe_sql.Observer.counters;
+}
+
+val run_host :
+  storage_catalog:Ironsafe_sql.Catalog.t ->
+  Partitioner.plan ->
+  Storage_engine.phase ->
+  phase

@@ -1,0 +1,411 @@
+(* Query partitioning for computational storage (§5, "CSA database
+   engine"): the storage side runs per-table scan+filter+project
+   queries near the data; the host side runs the rest of the query
+   (joins, group-bys, aggregations) over the shipped, already-filtered
+   rows.
+
+   The split is computed from the AST:
+   - every base-table occurrence anywhere in the statement (including
+     subqueries and derived tables) contributes the columns it
+     references to that table's shipped projection;
+   - a WHERE conjunct whose columns all belong to one occurrence and
+     that contains no subquery is offloadable; a table referenced by
+     several occurrences ships rows satisfying the OR of the
+     occurrences' filters (or everything, if any occurrence is
+     unfiltered) so each occurrence still sees all the rows it needs;
+   - the host statement is the original query, re-run over the shipped
+     tables (re-evaluating pushed-down filters on the host is sound:
+     they are true on every shipped row).
+
+   The paper notes its partitioning is deliberately simple (adapted
+   MySQL partitioner with heuristics, §8 Limitations); this module
+   mirrors that scope. *)
+
+module Sql = Ironsafe_sql
+open Sql.Ast
+
+module StringSet = Set.Make (String)
+
+type shipped_table = {
+  table : string;
+  columns : string list;  (** subset of the schema, in schema order *)
+  predicate : expr option;  (** offloaded filter, if every use has one *)
+}
+
+type plan = {
+  shipped : shipped_table list;
+  host_stmt : stmt;
+  offload_sql : (string * string) list;  (** table -> storage-side SQL *)
+}
+
+(* scope: bindings visible at one query level *)
+type binding = { b_name : string; b_table : string; b_schema : Sql.Schema.t }
+
+type collector = {
+  catalog : Sql.Catalog.t;
+  needed : (string, StringSet.t ref) Hashtbl.t; (* table -> columns *)
+  (* per-table list of per-occurrence filters; None = unfiltered use *)
+  filters : (string, expr option list ref) Hashtbl.t;
+}
+
+let needed_set c table =
+  match Hashtbl.find_opt c.needed table with
+  | Some s -> s
+  | None ->
+      let s = ref StringSet.empty in
+      Hashtbl.replace c.needed table s;
+      s
+
+let filters_list c table =
+  match Hashtbl.find_opt c.filters table with
+  | Some l -> l
+  | None ->
+      let l = ref [] in
+      Hashtbl.replace c.filters table l;
+      l
+
+let need_column c binding col =
+  let s = needed_set c binding.b_table in
+  s := StringSet.add col !s
+
+let need_all_columns c binding =
+  let s = needed_set c binding.b_table in
+  List.iter (fun col -> s := StringSet.add col !s)
+    (Sql.Schema.column_names binding.b_schema)
+
+(* resolve a column against a scope stack (innermost first); returns
+   the binding it belongs to *)
+let resolve_col scopes qualifier name =
+  let name = String.lowercase_ascii name in
+  let qualifier = Option.map String.lowercase_ascii qualifier in
+  let in_scope bindings =
+    List.find_opt
+      (fun b ->
+        (match qualifier with None -> true | Some q -> q = b.b_name)
+        && Option.is_some (Sql.Schema.column_index b.b_schema name))
+      bindings
+  in
+  let rec go = function
+    | [] -> None
+    | scope :: rest -> ( match in_scope scope with Some b -> Some b | None -> go rest)
+  in
+  go scopes
+
+(* bindings of the base tables in one FROM clause (derived tables are
+   walked separately and contribute no binding here — their output
+   columns are not base-table columns) *)
+let rec bindings_of_from_item c acc = function
+  | Table { table; alias } -> (
+      match Sql.Catalog.find_opt c.catalog table with
+      | None -> acc (* unknown table: host-side temp, nothing to ship *)
+      | Some hf ->
+          {
+            b_name = String.lowercase_ascii (Option.value ~default:table alias);
+            b_table = String.lowercase_ascii table;
+            b_schema = Sql.Heap_file.schema hf;
+          }
+          :: acc)
+  | Derived _ -> acc
+  | Join { left; right; _ } ->
+      bindings_of_from_item c (bindings_of_from_item c acc left) right
+
+(* Record column usage of an expression; [exists_context] relaxes Star. *)
+let rec walk_expr c scopes e =
+  match e with
+  | Lit _ | Interval _ -> ()
+  | Col { qualifier; name } -> (
+      match resolve_col scopes qualifier name with
+      | Some b -> need_column c b (String.lowercase_ascii name)
+      | None -> ())
+  | Unary (_, x) | Extract { arg = x; _ } | Is_null { subject = x; _ } ->
+      walk_expr c scopes x
+  | Binop (_, a, b) ->
+      walk_expr c scopes a;
+      walk_expr c scopes b
+  | Like { subject; _ } -> walk_expr c scopes subject
+  | Between { subject; low; high; _ } ->
+      walk_expr c scopes subject;
+      walk_expr c scopes low;
+      walk_expr c scopes high
+  | In_list { subject; items; _ } ->
+      walk_expr c scopes subject;
+      List.iter (walk_expr c scopes) items
+  | In_select { subject; select; _ } ->
+      walk_expr c scopes subject;
+      walk_select c scopes ~exists_context:false select
+  | Exists { select; _ } -> walk_select c scopes ~exists_context:true select
+  | Scalar_select select -> walk_select c scopes ~exists_context:false select
+  | Case { branches; else_ } ->
+      List.iter
+        (fun (cond, v) ->
+          walk_expr c scopes cond;
+          walk_expr c scopes v)
+        branches;
+      Option.iter (walk_expr c scopes) else_
+  | Substring { subject; start; len } ->
+      walk_expr c scopes subject;
+      walk_expr c scopes start;
+      Option.iter (walk_expr c scopes) len
+  | Agg { arg; _ } -> Option.iter (walk_expr c scopes) arg
+
+and walk_select c outer_scopes ~exists_context (q : select) =
+  let local = List.fold_left (bindings_of_from_item c) [] q.from in
+  (* every referenced table must ship, even when no column of it is
+     projected (count-star-only queries) *)
+  List.iter (fun b -> ignore (needed_set c b.b_table)) local;
+  let scopes = local :: outer_scopes in
+  (* derived tables and JOIN trees recurse *)
+  let rec walk_from = function
+    | Table _ -> ()
+    | Derived { select; _ } ->
+        walk_select c outer_scopes ~exists_context:false select
+    | Join { left; right; on; _ } ->
+        walk_from left;
+        walk_from right;
+        walk_expr c scopes on
+  in
+  List.iter walk_from q.from;
+  (* projection: Star under EXISTS needs no columns *)
+  List.iter
+    (function
+      | Star -> if not exists_context then List.iter (need_all_columns c) local
+      | Item (e, _) -> walk_expr c scopes e)
+    q.items;
+  Option.iter (walk_expr c scopes) q.where;
+  List.iter (walk_expr c scopes) q.group_by;
+  Option.iter (walk_expr c scopes) q.having;
+  List.iter (fun (e, _) -> walk_expr c scopes e) q.order_by;
+  (* classify WHERE conjuncts per binding *)
+  let conjs = Option.fold ~none:[] ~some:conjuncts q.where in
+  let single_of conj =
+    if contains_subquery conj then None
+    else begin
+      let cols = columns_of_expr [] conj in
+      if cols = [] then None
+      else begin
+        let owners =
+          List.map (fun (q, n) -> resolve_col scopes q n) cols
+        in
+        if List.exists Option.is_none owners then None
+        else begin
+          match List.sort_uniq compare (List.filter_map Fun.id owners) with
+          | [ b ]
+            when List.exists
+                   (fun x -> x.b_name = b.b_name && x.b_table = b.b_table)
+                   local ->
+              Some b
+          | _ -> None
+        end
+      end
+    end
+  in
+  (* group per local binding *)
+  let per_binding = Hashtbl.create 8 in
+  List.iter
+    (fun conj ->
+      match single_of conj with
+      | Some b ->
+          let l =
+            Option.value ~default:[] (Hashtbl.find_opt per_binding b.b_name)
+          in
+          Hashtbl.replace per_binding b.b_name (conj :: l)
+      | None -> ())
+    conjs;
+  (* every local base-table binding registers a filter entry (None when
+     it has no offloadable conjunct) *)
+  List.iter
+    (fun b ->
+      let fl = filters_list c b.b_table in
+      match Hashtbl.find_opt per_binding b.b_name with
+      | Some (_ :: _ as cs) -> fl := conjoin cs :: !fl
+      | Some [] | None -> fl := None :: !fl)
+    local
+
+(* strip alias qualifiers: the offloaded per-table query scans a single
+   table, where qualified references (l1.l_quantity) are meaningless *)
+let rec strip_qualifiers e =
+  match e with
+  | Col { name; _ } -> Col { qualifier = None; name }
+  | Lit _ | Interval _ -> e
+  | Unary (op, x) -> Unary (op, strip_qualifiers x)
+  | Binop (op, a, b) -> Binop (op, strip_qualifiers a, strip_qualifiers b)
+  | Like l -> Like { l with subject = strip_qualifiers l.subject }
+  | Between b ->
+      Between
+        {
+          b with
+          subject = strip_qualifiers b.subject;
+          low = strip_qualifiers b.low;
+          high = strip_qualifiers b.high;
+        }
+  | In_list i ->
+      In_list
+        {
+          i with
+          subject = strip_qualifiers i.subject;
+          items = List.map strip_qualifiers i.items;
+        }
+  | Case { branches; else_ } ->
+      Case
+        {
+          branches =
+            List.map (fun (c, v) -> (strip_qualifiers c, strip_qualifiers v)) branches;
+          else_ = Option.map strip_qualifiers else_;
+        }
+  | Extract x -> Extract { x with arg = strip_qualifiers x.arg }
+  | Is_null i -> Is_null { i with subject = strip_qualifiers i.subject }
+  | Substring x ->
+      Substring
+        {
+          subject = strip_qualifiers x.subject;
+          start = strip_qualifiers x.start;
+          len = Option.map strip_qualifiers x.len;
+        }
+  | In_select _ | Exists _ | Scalar_select _ | Agg _ -> e
+
+(* render an expression back to storage-side SQL *)
+let rec sql_of_expr e =
+  let bin op a b = Printf.sprintf "(%s %s %s)" (sql_of_expr a) op (sql_of_expr b) in
+  match e with
+  | Lit (Sql.Value.Str s) ->
+      "'" ^ String.concat "''" (String.split_on_char '\'' s) ^ "'"
+  | Lit (Sql.Value.Date d) -> Printf.sprintf "date '%s'" (Sql.Date.to_string d)
+  | Lit (Sql.Value.Int i) -> string_of_int i
+  | Lit (Sql.Value.Float f) -> Printf.sprintf "%.17g" f
+  | Lit (Sql.Value.Bool b) -> string_of_bool b
+  | Lit Sql.Value.Null -> "null"
+  | Col { qualifier; name } ->
+      (match qualifier with Some q -> q ^ "." | None -> "") ^ name
+  | Unary (`Not, x) -> Printf.sprintf "(not %s)" (sql_of_expr x)
+  | Unary (`Neg, x) -> Printf.sprintf "(- %s)" (sql_of_expr x)
+  | Binop (Add, a, b) -> bin "+" a b
+  | Binop (Sub, a, b) -> bin "-" a b
+  | Binop (Mul, a, b) -> bin "*" a b
+  | Binop (Div, a, b) -> bin "/" a b
+  | Binop (Eq, a, b) -> bin "=" a b
+  | Binop (Neq, a, b) -> bin "<>" a b
+  | Binop (Lt, a, b) -> bin "<" a b
+  | Binop (Le, a, b) -> bin "<=" a b
+  | Binop (Gt, a, b) -> bin ">" a b
+  | Binop (Ge, a, b) -> bin ">=" a b
+  | Binop (And, a, b) -> bin "and" a b
+  | Binop (Or, a, b) -> bin "or" a b
+  | Like { negated; subject; pattern } ->
+      Printf.sprintf "(%s %slike '%s')" (sql_of_expr subject)
+        (if negated then "not " else "")
+        pattern
+  | Between { negated; subject; low; high } ->
+      Printf.sprintf "(%s %sbetween %s and %s)" (sql_of_expr subject)
+        (if negated then "not " else "")
+        (sql_of_expr low) (sql_of_expr high)
+  | In_list { negated; subject; items } ->
+      Printf.sprintf "(%s %sin (%s))" (sql_of_expr subject)
+        (if negated then "not " else "")
+        (String.concat ", " (List.map sql_of_expr items))
+  | Case { branches; else_ } ->
+      Printf.sprintf "case %s%s end"
+        (String.concat " "
+           (List.map
+              (fun (c, v) ->
+                Printf.sprintf "when %s then %s" (sql_of_expr c) (sql_of_expr v))
+              branches))
+        (match else_ with
+        | Some e -> " else " ^ sql_of_expr e
+        | None -> "")
+  | Extract { field; arg } ->
+      Printf.sprintf "extract(%s from %s)"
+        (match field with Year -> "year" | Month -> "month" | Day -> "day")
+        (sql_of_expr arg)
+  | Interval { n; unit_ } ->
+      Printf.sprintf "interval '%d' %s" n
+        (match unit_ with Day -> "day" | Month -> "month" | Year -> "year")
+  | Is_null { negated; subject } ->
+      Printf.sprintf "(%s is %snull)" (sql_of_expr subject)
+        (if negated then "not " else "")
+  | Substring { subject; start; len } ->
+      Printf.sprintf "substring(%s from %s%s)" (sql_of_expr subject)
+        (sql_of_expr start)
+        (match len with
+        | Some l -> " for " ^ sql_of_expr l
+        | None -> "")
+  | In_select _ | Exists _ | Scalar_select _ | Agg _ ->
+      invalid_arg "Partitioner.sql_of_expr: not offloadable"
+
+let split ?(project = true) catalog stmt : plan =
+  let c = { catalog; needed = Hashtbl.create 8; filters = Hashtbl.create 8 } in
+  (match stmt with
+  | Select q -> walk_select c [] ~exists_context:false q
+  | Insert _ | Update _ | Delete _ | Create_table _ | Drop_table _
+  | Create_index _ | Drop_index _ ->
+      ());
+  let shipped =
+    Hashtbl.fold
+      (fun table cols acc ->
+        match Sql.Catalog.find_opt catalog table with
+        | None -> acc
+        | Some hf ->
+            let schema = Sql.Heap_file.schema hf in
+            let columns =
+              if project then
+                List.filter
+                  (fun n -> StringSet.mem n !cols)
+                  (Sql.Schema.column_names schema)
+              else Sql.Schema.column_names schema
+            in
+            let occurrence_filters =
+              Option.fold ~none:[] ~some:( ! ) (Hashtbl.find_opt c.filters table)
+            in
+            let predicate =
+              (* OR of the per-occurrence filters; any unfiltered
+                 occurrence means the whole table must ship *)
+              if
+                occurrence_filters = []
+                || List.exists Option.is_none occurrence_filters
+              then None
+              else begin
+                match
+                  List.map strip_qualifiers
+                    (List.filter_map Fun.id occurrence_filters)
+                with
+                | [] -> None
+                | f :: rest ->
+                    Some (List.fold_left (fun acc x -> Binop (Or, acc, x)) f rest)
+              end
+            in
+            { table; columns; predicate } :: acc)
+      c.needed []
+    |> List.sort (fun a b -> compare a.table b.table)
+  in
+  let offload_sql =
+    List.map
+      (fun st ->
+        let proj =
+          match st.columns with [] -> "1" | cols -> String.concat ", " cols
+        in
+        let where =
+          match st.predicate with
+          | None -> ""
+          | Some p -> " where " ^ sql_of_expr p
+        in
+        (st.table, Printf.sprintf "select %s from %s%s" proj st.table where))
+      shipped
+  in
+  { shipped; host_stmt = stmt; offload_sql }
+
+(* Human-readable description of a split plan (EXPLAIN). *)
+let describe plan =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "split plan:\n";
+  List.iter
+    (fun st ->
+      Buffer.add_string buf
+        (Printf.sprintf "  storage: %s  [%d column%s%s]\n"
+           (List.assoc st.table plan.offload_sql)
+           (List.length st.columns)
+           (if List.length st.columns = 1 then "" else "s")
+           (match st.predicate with
+           | Some _ -> ", filtered near data"
+           | None -> ", full table ships")))
+    plan.shipped;
+  Buffer.add_string buf "  host: original statement over the shipped tables\n";
+  Buffer.contents buf

@@ -1,0 +1,32 @@
+(** Query partitioning for computational storage: per-table
+    scan+filter+project queries run near the data; the host re-runs the
+    original statement over the shipped projections.
+
+    Tables referenced anywhere in the statement (including subqueries
+    and derived tables) ship the union of the columns their occurrences
+    reference; a table ships filtered rows only when every occurrence
+    carries an offloadable single-table filter (their OR is offloaded). *)
+
+type shipped_table = {
+  table : string;
+  columns : string list;  (** projected subset, in schema order *)
+  predicate : Ironsafe_sql.Ast.expr option;  (** offloaded filter *)
+}
+
+type plan = {
+  shipped : shipped_table list;
+  host_stmt : Ironsafe_sql.Ast.stmt;  (** runs on the host, unchanged *)
+  offload_sql : (string * string) list;  (** table, storage-side SQL *)
+}
+
+val split :
+  ?project:bool -> Ironsafe_sql.Catalog.t -> Ironsafe_sql.Ast.stmt -> plan
+(** [project] (default true) ships only referenced columns; [false]
+    ships whole rows (the projection-pushdown ablation). *)
+
+val sql_of_expr : Ironsafe_sql.Ast.expr -> string
+(** Render an offloadable expression back to SQL.
+    @raise Invalid_argument on subqueries/aggregates. *)
+
+val describe : plan -> string
+(** Human-readable EXPLAIN rendering of the split. *)

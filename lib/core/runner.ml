@@ -1,0 +1,283 @@
+(* Executes a query under one of the five Table-2 configurations,
+   really running it on the real engine over the real (plain or
+   secure) storage backend, and charging the simulated clocks from the
+   measured operation counts: rows processed, pages touched, crypto
+   operations, bytes shipped, enclave transitions, EPC pressure.
+
+   Cost categories (these are the Fig. 8 / Fig. 9c series):
+     ndp         query compute (row-operator work)
+     io          storage-medium page reads
+     network     serialization + transfer (+ TLS record crypto)
+     decryption  per-page AES
+     freshness   per-page HMAC + Merkle path + RPMB anchoring
+     enclave     SGX transition costs
+     epc         SGX EPC paging
+     spill       memory-limit thrashing on the storage node *)
+
+module C = Ironsafe_crypto
+module Sim = Ironsafe_sim
+module Sec = Ironsafe_securestore
+module Tee = Ironsafe_tee
+module Sql = Ironsafe_sql
+
+type metrics = {
+  config : Config.t;
+  end_to_end_ns : float;
+  host_breakdown : (string * float) list;
+  storage_breakdown : (string * float) list;
+  bytes_shipped : int;
+  pages_scanned : int;
+  host_rows : int;
+  storage_rows : int;
+  result : Sql.Exec.result;
+}
+
+let total breakdown = List.fold_left (fun acc (_, v) -> acc +. v) 0.0 breakdown
+
+(* -- helpers ---------------------------------------------------------- *)
+
+let with_counters db f =
+  let obs, c = Sql.Observer.counting () in
+  Sql.Database.set_observer db obs;
+  Fun.protect
+    ~finally:(fun () -> Sql.Database.set_observer db Sql.Observer.null)
+    (fun () ->
+      let r = f () in
+      (r, c))
+
+let snapshot_secure_stats store =
+  let s = Sec.Secure_store.stats store in
+  ( s.Sec.Secure_store.page_decrypts,
+    s.Sec.Secure_store.page_mac_checks,
+    s.Sec.Secure_store.merkle_hashes,
+    s.Sec.Secure_store.rpmb_accesses )
+
+(* Charge decryption/freshness for secure-store operations to [node].
+   [parallel] models the secure-storage layer verifying pages on a
+   thread pool (split configs); a single engine instance (sos) does
+   its page crypto inline on one core. *)
+let charge_crypto ?(parallel = true) node (params : Sim.Params.t) ~decrypts
+    ~macs ~merkle ~rpmb =
+  let dec = float_of_int decrypts *. params.decrypt_page_ns in
+  let fresh =
+    (float_of_int macs *. params.hmac_page_ns)
+    +. (float_of_int merkle *. params.merkle_node_ns)
+    +. (float_of_int rpmb *. params.rpmb_access_ns)
+  in
+  if parallel then begin
+    Sim.Node.fixed_parallel node ~category:"decryption" dec;
+    Sim.Node.fixed_parallel node ~category:"freshness" fresh
+  end
+  else begin
+    Sim.Node.fixed node ~category:"decryption" dec;
+    Sim.Node.fixed node ~category:"freshness" fresh
+  end
+
+(* Charge a bulk transfer between the two nodes and synchronize their
+   clocks (blocking request/response round). *)
+let charge_transfer (params : Sim.Params.t) a b ~secure ~bytes ~messages =
+  let fbytes = float_of_int bytes in
+  let per_end =
+    if secure then fbytes *. params.tls_record_ns_per_byte
+    else fbytes *. 0.05 (* plain serialization cost *)
+  in
+  Sim.Node.charge a ~category:"network" per_end;
+  Sim.Node.charge b ~category:"network" per_end;
+  Sim.Clock.sync (Sim.Node.clock a) (Sim.Node.clock b)
+    ((float_of_int messages *. params.net_latency_ns)
+    +. (fbytes /. params.net_bandwidth_bytes_per_ns));
+  ()
+
+let charge_io node (params : Sim.Params.t) pages =
+  Sim.Node.charge node ~category:"io" (float_of_int pages *. params.nvme_page_ns)
+
+let charge_compute node ~rows =
+  Sim.Node.compute node ~category:"ndp" ~row_ops:rows
+
+let charge_memory node ~category bytes =
+  Sim.Node.allocate node ~category bytes;
+  Sim.Node.release node bytes
+
+let charge_enclave_transitions node (params : Sim.Params.t) n =
+  Sim.Node.charge node ~category:"enclave"
+    (float_of_int n *. params.enclave_transition_ns)
+
+(* EPC pressure: once the enclave working set exceeds the usable EPC,
+   a fraction of every further page access refaults (the resident set
+   is capped, so accesses to the overflow fraction page in and out).
+   [accesses] is the number of enclave page touches the workload makes
+   (page fetches plus Merkle-tree node visits). *)
+let charge_epc node enclave (params : Sim.Params.t) ~working_set ~accesses =
+  ignore (Tee.Sgx.touch enclave working_set);
+  let limit = float_of_int params.epc_limit_bytes in
+  let ws = float_of_int working_set in
+  if ws > limit then begin
+    let fault_rate = (ws -. limit) /. ws in
+    Sim.Node.charge node ~category:"epc"
+      (fault_rate *. float_of_int accesses *. params.epc_fault_ns)
+  end
+
+(* Merkle tree footprint the host must keep in enclave memory when it
+   verifies freshness itself (hos): two 32-byte tags per leaf. *)
+let merkle_bytes store = 64 * Sec.Secure_store.data_page_count store
+
+let message_count (params : Sim.Params.t) bytes =
+  max 1 ((bytes + params.net_batch_bytes - 1) / params.net_batch_bytes)
+
+(* -- split execution -------------------------------------------------- *)
+
+(* Partition the statement, run the offloaded portion on the storage
+   engine over [src_db], ship the results, and run the host portion.
+   Returns everything needed for charging. *)
+let run_split ?project deploy ~src_db ~stmt =
+  ignore deploy;
+  let catalog = Sql.Database.catalog src_db in
+  let plan = Partitioner.split ?project catalog stmt in
+  let offload = Storage_engine.run_offload src_db plan in
+  let host = Host_engine.run_host ~storage_catalog:catalog plan offload in
+  ( plan,
+    offload.Storage_engine.counters,
+    host.Host_engine.counters,
+    host.Host_engine.result,
+    offload.Storage_engine.bytes_shipped )
+
+(* -- per-configuration runners ---------------------------------------- *)
+
+let run_stmt ?(reset = true) ?project deploy config stmt =
+  let d = deploy in
+  let params = d.Deployment.params in
+  if reset then Deployment.reset_counters d;
+  let host = d.Deployment.host and storage = d.Deployment.storage in
+  let finish ~result ~bytes_shipped ~pages ~host_rows ~storage_rows =
+    (* result shipping back to the client is charged to the host side *)
+    Sim.Clock.sync (Sim.Node.clock host) (Sim.Node.clock storage) 0.0;
+    {
+      config;
+      end_to_end_ns = Sim.Node.now host;
+      host_breakdown = Sim.Trace.breakdown (Sim.Node.trace host);
+      storage_breakdown = Sim.Trace.breakdown (Sim.Node.trace storage);
+      bytes_shipped;
+      pages_scanned = pages;
+      host_rows;
+      storage_rows;
+      result;
+    }
+  in
+  match config with
+  | Config.Hons ->
+      (* everything on the host over NFS: all pages cross the network *)
+      let result, c =
+        with_counters d.Deployment.plain_db (fun () ->
+            match Sql.Database.exec_ast d.Deployment.plain_db stmt with
+            | Sql.Database.Result r -> r
+            | _ -> { Sql.Exec.columns = []; rows = [] })
+      in
+      let pages = c.Sql.Observer.page_reads in
+      charge_io storage params pages;
+      let bytes = pages * params.Sim.Params.page_size in
+      charge_transfer params storage host ~secure:false ~bytes
+        ~messages:(message_count params bytes);
+      charge_compute host ~rows:c.Sql.Observer.rows;
+      finish ~result ~bytes_shipped:bytes ~pages ~host_rows:c.Sql.Observer.rows
+        ~storage_rows:0
+  | Config.Hos ->
+      (* host-only secure: encrypted pages cross the network; the host
+         enclave decrypts and verifies freshness, keeping the Merkle
+         tree in EPC *)
+      let result, c =
+        with_counters d.Deployment.secure_db (fun () ->
+            match Sql.Database.exec_ast d.Deployment.secure_db stmt with
+            | Sql.Database.Result r -> r
+            | _ -> { Sql.Exec.columns = []; rows = [] })
+      in
+      let decrypts, macs, merkle, rpmb =
+        snapshot_secure_stats d.Deployment.secure_store
+      in
+      let pages = c.Sql.Observer.page_reads in
+      charge_io storage params pages;
+      let bytes = pages * params.Sim.Params.page_size in
+      charge_transfer params storage host ~secure:true ~bytes
+        ~messages:(message_count params bytes);
+      (* crypto happens inside the host enclave *)
+      charge_crypto host params ~decrypts ~macs ~merkle ~rpmb;
+      charge_compute host ~rows:c.Sql.Observer.rows;
+      (* one ocall/ecall pair per page fetch *)
+      charge_enclave_transitions host params (2 * pages);
+      charge_epc host d.Deployment.host_enclave params
+        ~working_set:
+          (c.Sql.Observer.bytes_allocated
+          + merkle_bytes d.Deployment.secure_store)
+        ~accesses:(3 * pages);
+      finish ~result ~bytes_shipped:bytes ~pages ~host_rows:c.Sql.Observer.rows
+        ~storage_rows:0
+  | Config.Vcs ->
+      let plan, sc, hc, result, bytes =
+        run_split ?project d ~src_db:d.Deployment.plain_db ~stmt
+      in
+      let pages = sc.Sql.Observer.page_reads in
+      charge_io storage params pages;
+      Sim.Node.charge storage ~category:"other"
+        (float_of_int (List.length plan.Partitioner.offload_sql)
+        *. params.Sim.Params.offload_session_ns);
+      charge_compute storage ~rows:sc.Sql.Observer.rows;
+      charge_memory storage ~category:"spill" sc.Sql.Observer.bytes_allocated;
+      charge_transfer params storage host ~secure:false ~bytes
+        ~messages:(message_count params bytes);
+      charge_compute host ~rows:hc.Sql.Observer.rows;
+      finish ~result ~bytes_shipped:bytes ~pages ~host_rows:hc.Sql.Observer.rows
+        ~storage_rows:sc.Sql.Observer.rows
+  | Config.Scs ->
+      let plan, sc, hc, result, bytes =
+        run_split ?project d ~src_db:d.Deployment.secure_db ~stmt
+      in
+      Sim.Node.charge storage ~category:"other"
+        (float_of_int (List.length plan.Partitioner.offload_sql)
+        *. params.Sim.Params.offload_session_ns);
+      let decrypts, macs, merkle, rpmb =
+        snapshot_secure_stats d.Deployment.secure_store
+      in
+      let pages = sc.Sql.Observer.page_reads in
+      charge_io storage params pages;
+      (* storage-side decryption + freshness (near the data) *)
+      charge_crypto storage params ~decrypts ~macs ~merkle ~rpmb;
+      charge_compute storage ~rows:sc.Sql.Observer.rows;
+      charge_memory storage ~category:"spill" sc.Sql.Observer.bytes_allocated;
+      charge_transfer params storage host ~secure:true ~bytes
+        ~messages:(message_count params bytes);
+      charge_compute host ~rows:hc.Sql.Observer.rows;
+      (* enclave entered once per arriving message batch *)
+      charge_enclave_transitions host params (2 * message_count params bytes);
+      charge_epc host d.Deployment.host_enclave params
+        ~working_set:hc.Sql.Observer.bytes_allocated
+        ~accesses:(message_count params bytes);
+      finish ~result ~bytes_shipped:bytes ~pages ~host_rows:hc.Sql.Observer.rows
+        ~storage_rows:sc.Sql.Observer.rows
+  | Config.Sos ->
+      (* whole query on the storage node *)
+      let result, c =
+        with_counters d.Deployment.secure_db (fun () ->
+            match Sql.Database.exec_ast d.Deployment.secure_db stmt with
+            | Sql.Database.Result r -> r
+            | _ -> { Sql.Exec.columns = []; rows = [] })
+      in
+      let decrypts, macs, merkle, rpmb =
+        snapshot_secure_stats d.Deployment.secure_store
+      in
+      let pages = c.Sql.Observer.page_reads in
+      charge_io storage params pages;
+      (* one engine instance: inline crypto and compute on one core *)
+      charge_crypto ~parallel:false storage params ~decrypts ~macs ~merkle ~rpmb;
+      Sim.Node.compute_serial storage ~category:"ndp"
+        ~row_ops:c.Sql.Observer.rows;
+      charge_memory storage ~category:"spill" c.Sql.Observer.bytes_allocated;
+      (* only the final result crosses the network *)
+      let bytes =
+        List.fold_left
+          (fun acc row -> acc + Sql.Row.encoded_size row)
+          0 result.Sql.Exec.rows
+      in
+      charge_transfer params storage host ~secure:true ~bytes ~messages:1;
+      finish ~result ~bytes_shipped:bytes ~pages ~host_rows:0
+        ~storage_rows:c.Sql.Observer.rows
+
+let run_query deploy config sql = run_stmt deploy config (Sql.Parser.parse sql)

@@ -1,0 +1,33 @@
+(** Executes statements under a Table-2 configuration: the query really
+    runs on the real engine over the real (plain or secure) backend,
+    and the simulated clocks are charged from measured operation counts
+    (rows, pages, crypto ops, bytes shipped, enclave transitions, EPC
+    pressure, memory spills). *)
+
+type metrics = {
+  config : Config.t;
+  end_to_end_ns : float;  (** simulated end-to-end latency *)
+  host_breakdown : (string * float) list;  (** per-category ns *)
+  storage_breakdown : (string * float) list;
+  bytes_shipped : int;  (** host<->storage data-path bytes *)
+  pages_scanned : int;  (** storage-medium data pages read *)
+  host_rows : int;  (** row-operator steps on the host *)
+  storage_rows : int;
+  result : Ironsafe_sql.Exec.result;  (** identical across configs *)
+}
+
+val run_stmt :
+  ?reset:bool ->
+  ?project:bool ->
+  Deployment.t ->
+  Config.t ->
+  Ironsafe_sql.Ast.stmt ->
+  metrics
+(** [reset] (default true) zeroes all node clocks/counters first (the
+    engine passes [false] after charging control-path costs);
+    [project] is forwarded to the partitioner (projection ablation). *)
+
+val run_query : Deployment.t -> Config.t -> string -> metrics
+
+val total : (string * float) list -> float
+(** Sum of a breakdown. *)

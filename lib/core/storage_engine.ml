@@ -1,0 +1,44 @@
+(* The storage engine (Fig. 3, normal world): executes offloaded
+   per-table scan+filter+project queries near the data and serializes
+   the filtered rows for shipping to the host. *)
+
+module Sql = Ironsafe_sql
+
+type offload_result = {
+  off_table : string;
+  off_rows : Sql.Row.t list;
+  off_bytes : int;  (** serialized size of the shipped rows *)
+}
+
+type phase = {
+  results : offload_result list;
+  counters : Sql.Observer.counters;
+  bytes_shipped : int;
+}
+
+(* Run every offloaded query of [plan] against [db] (the
+   storage-resident database, plain or secure), collecting the engine's
+   operation counters for cost charging. *)
+let run_offload db (plan : Partitioner.plan) : phase =
+  let obs, counters = Sql.Observer.counting () in
+  Sql.Database.set_observer db obs;
+  Fun.protect
+    ~finally:(fun () -> Sql.Database.set_observer db Sql.Observer.null)
+    (fun () ->
+      let results =
+        List.map
+          (fun (table, sql) ->
+            let r = Sql.Database.query db sql in
+            let bytes =
+              List.fold_left
+                (fun acc row -> acc + Sql.Row.encoded_size row)
+                0 r.Sql.Exec.rows
+            in
+            { off_table = table; off_rows = r.Sql.Exec.rows; off_bytes = bytes })
+          plan.Partitioner.offload_sql
+      in
+      {
+        results;
+        counters;
+        bytes_shipped = List.fold_left (fun a r -> a + r.off_bytes) 0 results;
+      })

@@ -1,0 +1,16 @@
+(** The storage engine (Fig. 3): runs offloaded scan+filter+project
+    queries near the data. *)
+
+type offload_result = {
+  off_table : string;
+  off_rows : Ironsafe_sql.Row.t list;
+  off_bytes : int;
+}
+
+type phase = {
+  results : offload_result list;
+  counters : Ironsafe_sql.Observer.counters;
+  bytes_shipped : int;
+}
+
+val run_offload : Ironsafe_sql.Database.t -> Partitioner.plan -> phase

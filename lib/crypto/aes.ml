@@ -1,0 +1,267 @@
+(* AES-128/AES-256 (FIPS 197), from scratch.
+
+   The S-box is computed at module initialization from the GF(2^8)
+   multiplicative inverse (via log/antilog tables over generator 0x03)
+   followed by the standard affine transform, rather than transcribed
+   as a 256-entry literal — less room for typos, and the tests pin the
+   FIPS-197 known-answer vectors anyway. *)
+
+let xtime b =
+  let b = b lsl 1 in
+  if b land 0x100 <> 0 then (b lxor 0x1b) land 0xff else b
+
+(* log/antilog tables for GF(2^8) with generator 3 *)
+let alog = Array.make 256 0
+let log_ = Array.make 256 0
+
+let () =
+  let x = ref 1 in
+  for i = 0 to 254 do
+    alog.(i) <- !x;
+    log_.(!x) <- i;
+    (* multiply by generator 3 = x * 2 + x *)
+    x := xtime !x lxor !x
+  done;
+  alog.(255) <- alog.(0)
+
+let gmul a b =
+  if a = 0 || b = 0 then 0 else alog.((log_.(a) + log_.(b)) mod 255)
+
+let ginv a = if a = 0 then 0 else alog.(255 - log_.(a))
+let rotl8 b n = ((b lsl n) lor (b lsr (8 - n))) land 0xff
+
+let sbox = Array.make 256 0
+let inv_sbox = Array.make 256 0
+
+let () =
+  for i = 0 to 255 do
+    let b = ginv i in
+    let s = b lxor rotl8 b 1 lxor rotl8 b 2 lxor rotl8 b 3 lxor rotl8 b 4 in
+    sbox.(i) <- s lxor 0x63
+  done;
+  Array.iteri (fun i s -> inv_sbox.(s) <- i) sbox
+
+let block_size = 16
+
+(* T-tables for the table-driven implementation (one 32-bit word per
+   byte value per table). te/td follow the standard formulation:
+     te0[x] = (2s, s, s, 3s)        with s = sbox[x]
+     td0[x] = (14i, 9i, 13i, 11i)   with i = inv_sbox applied upstream
+   Built at init from the computed S-box — again no literal tables. *)
+
+let pack a b c d = (a lsl 24) lor (b lsl 16) lor (c lsl 8) lor d
+let rot32 x n = ((x lsr n) lor (x lsl (32 - n))) land 0xffffffff
+
+let te0 = Array.make 256 0
+let te1 = Array.make 256 0
+let te2 = Array.make 256 0
+let te3 = Array.make 256 0
+let td0 = Array.make 256 0
+let td1 = Array.make 256 0
+let td2 = Array.make 256 0
+let td3 = Array.make 256 0
+
+let () =
+  for x = 0 to 255 do
+    let s = sbox.(x) in
+    let e = pack (gmul s 2) s s (gmul s 3) in
+    te0.(x) <- e;
+    te1.(x) <- rot32 e 8;
+    te2.(x) <- rot32 e 16;
+    te3.(x) <- rot32 e 24;
+    let i = inv_sbox.(x) in
+    let d = pack (gmul i 14) (gmul i 9) (gmul i 13) (gmul i 11) in
+    td0.(x) <- d;
+    td1.(x) <- rot32 d 8;
+    td2.(x) <- rot32 d 16;
+    td3.(x) <- rot32 d 24
+  done
+
+(* Expanded key: forward schedule for encryption plus the equivalent
+   inverse cipher schedule (round keys reversed, InvMixColumns applied
+   to the middle rounds) for decryption. 10 rounds for 128-bit keys,
+   14 for 256-bit. *)
+type key = { enc : int array; dec : int array; rounds : int }
+
+let inv_mix_word w =
+  let a = (w lsr 24) land 0xff
+  and b = (w lsr 16) land 0xff
+  and c = (w lsr 8) land 0xff
+  and d = w land 0xff in
+  pack
+    (gmul a 14 lxor gmul b 11 lxor gmul c 13 lxor gmul d 9)
+    (gmul a 9 lxor gmul b 14 lxor gmul c 11 lxor gmul d 13)
+    (gmul a 13 lxor gmul b 9 lxor gmul c 14 lxor gmul d 11)
+    (gmul a 11 lxor gmul b 13 lxor gmul c 9 lxor gmul d 14)
+
+let sub_word v =
+  (sbox.((v lsr 24) land 0xff) lsl 24)
+  lor (sbox.((v lsr 16) land 0xff) lsl 16)
+  lor (sbox.((v lsr 8) land 0xff) lsl 8)
+  lor sbox.(v land 0xff)
+
+let expand_key key_str =
+  let nk =
+    match String.length key_str with
+    | 16 -> 4
+    | 32 -> 8
+    | _ -> invalid_arg "Aes.expand_key: need 16 or 32 bytes"
+  in
+  let rounds = nk + 6 in
+  let words = 4 * (rounds + 1) in
+  let w = Array.make words 0 in
+  for i = 0 to nk - 1 do
+    w.(i) <-
+      (Char.code key_str.[4 * i] lsl 24)
+      lor (Char.code key_str.[(4 * i) + 1] lsl 16)
+      lor (Char.code key_str.[(4 * i) + 2] lsl 8)
+      lor Char.code key_str.[(4 * i) + 3]
+  done;
+  let rcon = ref 1 in
+  for i = nk to words - 1 do
+    let temp = w.(i - 1) in
+    let temp =
+      if i mod nk = 0 then begin
+        let rotated = ((temp lsl 8) lor (temp lsr 24)) land 0xffffffff in
+        let v = sub_word rotated lxor (!rcon lsl 24) in
+        rcon := xtime !rcon;
+        v
+      end
+      else if nk > 6 && i mod nk = 4 then sub_word temp
+      else temp
+    in
+    w.(i) <- w.(i - nk) lxor temp
+  done;
+  let dec = Array.make words 0 in
+  for r = 0 to rounds do
+    for c = 0 to 3 do
+      let src = w.(((rounds - r) * 4) + c) in
+      dec.((r * 4) + c) <-
+        (if r = 0 || r = rounds then src else inv_mix_word src)
+    done
+  done;
+  { enc = w; dec; rounds }
+
+let get_word src off =
+  (Char.code (Bytes.get src off) lsl 24)
+  lor (Char.code (Bytes.get src (off + 1)) lsl 16)
+  lor (Char.code (Bytes.get src (off + 2)) lsl 8)
+  lor Char.code (Bytes.get src (off + 3))
+
+let put_word dst off v =
+  Bytes.set dst off (Char.chr ((v lsr 24) land 0xff));
+  Bytes.set dst (off + 1) (Char.chr ((v lsr 16) land 0xff));
+  Bytes.set dst (off + 2) (Char.chr ((v lsr 8) land 0xff));
+  Bytes.set dst (off + 3) (Char.chr (v land 0xff))
+
+let encrypt_block_into key src soff dst doff =
+  let w = key.enc in
+  let rounds = key.rounds in
+  let s0 = ref (get_word src soff lxor w.(0))
+  and s1 = ref (get_word src (soff + 4) lxor w.(1))
+  and s2 = ref (get_word src (soff + 8) lxor w.(2))
+  and s3 = ref (get_word src (soff + 12) lxor w.(3)) in
+  for r = 1 to rounds - 1 do
+    let t0 =
+      te0.(!s0 lsr 24)
+      lxor te1.((!s1 lsr 16) land 0xff)
+      lxor te2.((!s2 lsr 8) land 0xff)
+      lxor te3.(!s3 land 0xff)
+      lxor w.(4 * r)
+    and t1 =
+      te0.(!s1 lsr 24)
+      lxor te1.((!s2 lsr 16) land 0xff)
+      lxor te2.((!s3 lsr 8) land 0xff)
+      lxor te3.(!s0 land 0xff)
+      lxor w.((4 * r) + 1)
+    and t2 =
+      te0.(!s2 lsr 24)
+      lxor te1.((!s3 lsr 16) land 0xff)
+      lxor te2.((!s0 lsr 8) land 0xff)
+      lxor te3.(!s1 land 0xff)
+      lxor w.((4 * r) + 2)
+    and t3 =
+      te0.(!s3 lsr 24)
+      lxor te1.((!s0 lsr 16) land 0xff)
+      lxor te2.((!s1 lsr 8) land 0xff)
+      lxor te3.(!s2 land 0xff)
+      lxor w.((4 * r) + 3)
+    in
+    s0 := t0;
+    s1 := t1;
+    s2 := t2;
+    s3 := t3
+  done;
+  let final a b c d k =
+    (sbox.(!a lsr 24) lsl 24)
+    lor (sbox.((!b lsr 16) land 0xff) lsl 16)
+    lor (sbox.((!c lsr 8) land 0xff) lsl 8)
+    lor sbox.(!d land 0xff)
+    lxor k
+  in
+  put_word dst doff (final s0 s1 s2 s3 w.(4 * rounds));
+  put_word dst (doff + 4) (final s1 s2 s3 s0 w.((4 * rounds) + 1));
+  put_word dst (doff + 8) (final s2 s3 s0 s1 w.((4 * rounds) + 2));
+  put_word dst (doff + 12) (final s3 s0 s1 s2 w.((4 * rounds) + 3))
+
+let decrypt_block_into key src soff dst doff =
+  let w = key.dec in
+  let rounds = key.rounds in
+  let s0 = ref (get_word src soff lxor w.(0))
+  and s1 = ref (get_word src (soff + 4) lxor w.(1))
+  and s2 = ref (get_word src (soff + 8) lxor w.(2))
+  and s3 = ref (get_word src (soff + 12) lxor w.(3)) in
+  for r = 1 to rounds - 1 do
+    let t0 =
+      td0.(!s0 lsr 24)
+      lxor td1.((!s3 lsr 16) land 0xff)
+      lxor td2.((!s2 lsr 8) land 0xff)
+      lxor td3.(!s1 land 0xff)
+      lxor w.(4 * r)
+    and t1 =
+      td0.(!s1 lsr 24)
+      lxor td1.((!s0 lsr 16) land 0xff)
+      lxor td2.((!s3 lsr 8) land 0xff)
+      lxor td3.(!s2 land 0xff)
+      lxor w.((4 * r) + 1)
+    and t2 =
+      td0.(!s2 lsr 24)
+      lxor td1.((!s1 lsr 16) land 0xff)
+      lxor td2.((!s0 lsr 8) land 0xff)
+      lxor td3.(!s3 land 0xff)
+      lxor w.((4 * r) + 2)
+    and t3 =
+      td0.(!s3 lsr 24)
+      lxor td1.((!s2 lsr 16) land 0xff)
+      lxor td2.((!s1 lsr 8) land 0xff)
+      lxor td3.(!s0 land 0xff)
+      lxor w.((4 * r) + 3)
+    in
+    s0 := t0;
+    s1 := t1;
+    s2 := t2;
+    s3 := t3
+  done;
+  let final a b c d k =
+    (inv_sbox.(!a lsr 24) lsl 24)
+    lor (inv_sbox.((!b lsr 16) land 0xff) lsl 16)
+    lor (inv_sbox.((!c lsr 8) land 0xff) lsl 8)
+    lor inv_sbox.(!d land 0xff)
+    lxor k
+  in
+  put_word dst doff (final s0 s3 s2 s1 w.(4 * rounds));
+  put_word dst (doff + 4) (final s1 s0 s3 s2 w.((4 * rounds) + 1));
+  put_word dst (doff + 8) (final s2 s1 s0 s3 w.((4 * rounds) + 2));
+  put_word dst (doff + 12) (final s3 s2 s1 s0 w.((4 * rounds) + 3))
+
+let encrypt_block key plain =
+  if String.length plain <> 16 then invalid_arg "Aes.encrypt_block: need 16 bytes";
+  let dst = Bytes.create 16 in
+  encrypt_block_into key (Bytes.of_string plain) 0 dst 0;
+  Bytes.to_string dst
+
+let decrypt_block key cipher =
+  if String.length cipher <> 16 then invalid_arg "Aes.decrypt_block: need 16 bytes";
+  let dst = Bytes.create 16 in
+  decrypt_block_into key (Bytes.of_string cipher) 0 dst 0;
+  Bytes.to_string dst

@@ -1,0 +1,23 @@
+(** AES block cipher (FIPS 197), 128- and 256-bit keys. See {!Modes}
+    for CBC/CTR. *)
+
+val block_size : int
+(** 16 bytes. *)
+
+type key
+(** Expanded round-key schedule. *)
+
+val expand_key : string -> key
+(** Expand a 16-byte (AES-128) or 32-byte (AES-256) key.
+    @raise Invalid_argument on any other length. *)
+
+val encrypt_block : key -> string -> string
+(** Encrypt one 16-byte block. *)
+
+val decrypt_block : key -> string -> string
+(** Decrypt one 16-byte block. *)
+
+(**/**)
+
+val encrypt_block_into : key -> Bytes.t -> int -> Bytes.t -> int -> unit
+val decrypt_block_into : key -> Bytes.t -> int -> Bytes.t -> int -> unit

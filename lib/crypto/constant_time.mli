@@ -1,0 +1,6 @@
+(** Timing-safe operations on secrets. *)
+
+val equal : string -> string -> bool
+(** [equal a b] compares without early exit; time depends only on the
+    lengths. Returns [false] immediately when lengths differ (lengths
+    of MACs and digests are public). *)

@@ -1,0 +1,48 @@
+(* HMAC-DRBG (NIST SP 800-90A, SHA-256 instantiation), without
+   prediction-resistance reseeding. The simulator needs deterministic
+   randomness so experiments and attack demos are reproducible: every
+   generator is seeded explicitly. *)
+
+type t = { mutable key : string; mutable value : string }
+
+let update t provided =
+  t.key <- Hmac.mac ~key:t.key (t.value ^ "\x00" ^ provided);
+  t.value <- Hmac.mac ~key:t.key t.value;
+  if provided <> "" then begin
+    t.key <- Hmac.mac ~key:t.key (t.value ^ "\x01" ^ provided);
+    t.value <- Hmac.mac ~key:t.key t.value
+  end
+
+let create ~seed =
+  let t = { key = String.make 32 '\000'; value = String.make 32 '\001' } in
+  update t seed;
+  t
+
+let generate t len =
+  let buf = Buffer.create len in
+  while Buffer.length buf < len do
+    t.value <- Hmac.mac ~key:t.key t.value;
+    Buffer.add_string buf t.value
+  done;
+  update t "";
+  String.sub (Buffer.contents buf) 0 len
+
+let reseed t seed = update t seed
+
+(* Uniform int in [0, bound) by rejection sampling over 30-bit chunks. *)
+let uniform t bound =
+  if bound <= 0 then invalid_arg "Drbg.uniform: bound must be positive";
+  let limit = 1 lsl 30 in
+  if bound > limit then invalid_arg "Drbg.uniform: bound too large";
+  let cap = limit - (limit mod bound) in
+  let rec draw () =
+    let b = generate t 4 in
+    let v =
+      (Char.code b.[0] lsl 22)
+      lor (Char.code b.[1] lsl 14)
+      lor (Char.code b.[2] lsl 6)
+      lor (Char.code b.[3] lsr 2)
+    in
+    if v < cap then v mod bound else draw ()
+  in
+  draw ()

@@ -1,0 +1,19 @@
+(** Deterministic random bit generator (HMAC-DRBG, SP 800-90A).
+
+    Deterministic seeding keeps the whole simulator reproducible: the
+    same seed yields the same keys, IVs and workload data. *)
+
+type t
+
+val create : seed:string -> t
+(** Instantiate from seed material (any length). *)
+
+val generate : t -> int -> string
+(** [generate t n] returns [n] fresh pseudorandom bytes. *)
+
+val reseed : t -> string -> unit
+(** Mix additional entropy into the state. *)
+
+val uniform : t -> int -> int
+(** [uniform t bound] draws uniformly from [0, bound) without modulo
+    bias. @raise Invalid_argument if [bound <= 0] or [bound > 2^30]. *)

@@ -1,0 +1,20 @@
+(* Hexadecimal encoding helpers used throughout the crypto test vectors
+   and for printing digests in logs and audit records. *)
+
+let of_string s =
+  let b = Buffer.create (String.length s * 2) in
+  String.iter (fun c -> Buffer.add_string b (Printf.sprintf "%02x" (Char.code c))) s;
+  Buffer.contents b
+
+let digit c =
+  match c with
+  | '0' .. '9' -> Char.code c - Char.code '0'
+  | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+  | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+  | _ -> invalid_arg "Hex.to_string: not a hex digit"
+
+let to_string h =
+  let n = String.length h in
+  if n mod 2 <> 0 then invalid_arg "Hex.to_string: odd length";
+  String.init (n / 2) (fun i ->
+      Char.chr ((digit h.[2 * i] lsl 4) lor digit h.[(2 * i) + 1]))

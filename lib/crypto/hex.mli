@@ -1,0 +1,8 @@
+(** Hexadecimal encoding of binary strings. *)
+
+val of_string : string -> string
+(** [of_string s] is the lowercase hex rendering of the raw bytes [s]. *)
+
+val to_string : string -> string
+(** [to_string h] decodes hex [h] back to raw bytes.
+    @raise Invalid_argument on odd length or non-hex characters. *)

@@ -1,0 +1,22 @@
+(* HKDF (RFC 5869) over HMAC-SHA256. Used to derive page-encryption,
+   Merkle-root, RPMB and session keys from device/hardware secrets. *)
+
+let extract ?(salt = "") ikm =
+  let salt = if salt = "" then String.make Hmac.digest_size '\000' else salt in
+  Hmac.mac ~key:salt ikm
+
+let expand ~prk ?(info = "") len =
+  if len > 255 * Hmac.digest_size then invalid_arg "Hkdf.expand: len too large";
+  let buf = Buffer.create len in
+  let rec go t i =
+    if Buffer.length buf >= len then ()
+    else begin
+      let t = Hmac.mac ~key:prk (t ^ info ^ String.make 1 (Char.chr i)) in
+      Buffer.add_string buf t;
+      go t (i + 1)
+    end
+  in
+  go "" 1;
+  String.sub (Buffer.contents buf) 0 len
+
+let derive ?salt ~ikm ?info len = expand ~prk:(extract ?salt ikm) ?info len

@@ -1,0 +1,12 @@
+(** HKDF key derivation (RFC 5869) over HMAC-SHA256. *)
+
+val extract : ?salt:string -> string -> string
+(** [extract ?salt ikm] is the 32-byte pseudorandom key. An empty or
+    missing salt defaults to a zero-filled hash-length salt per the RFC. *)
+
+val expand : prk:string -> ?info:string -> int -> string
+(** [expand ~prk ?info len] expands [prk] to [len] bytes of output
+    keying material. @raise Invalid_argument if [len > 255 * 32]. *)
+
+val derive : ?salt:string -> ikm:string -> ?info:string -> int -> string
+(** Extract-then-expand convenience. *)

@@ -1,0 +1,19 @@
+(* HMAC-SHA256 (RFC 2104 / FIPS 198-1). *)
+
+let block_size = 64
+let digest_size = 32
+
+let normalize_key key =
+  let key = if String.length key > block_size then Sha256.digest key else key in
+  if String.length key = block_size then key
+  else key ^ String.make (block_size - String.length key) '\000'
+
+let xor_pad key byte = String.map (fun c -> Char.chr (Char.code c lxor byte)) key
+
+let mac ~key msg =
+  let key = normalize_key key in
+  let inner = Sha256.digest_list [ xor_pad key 0x36; msg ] in
+  Sha256.digest_list [ xor_pad key 0x5c; inner ]
+
+let verify ~key ~mac:expected msg =
+  Constant_time.equal (mac ~key msg) expected

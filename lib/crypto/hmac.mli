@@ -1,0 +1,14 @@
+(** HMAC-SHA256 (RFC 2104). *)
+
+val digest_size : int
+(** Output length in bytes (32). *)
+
+val block_size : int
+(** Underlying hash block size in bytes (64). *)
+
+val mac : key:string -> string -> string
+(** [mac ~key msg] is the 32-byte HMAC-SHA256 tag of [msg] under [key].
+    Keys of any length are accepted per the RFC. *)
+
+val verify : key:string -> mac:string -> string -> bool
+(** Constant-time tag check. *)

@@ -1,0 +1,41 @@
+(* Lamport one-time signatures over SHA-256 — genuinely asymmetric and
+   implementable without bignum arithmetic, used for the secure-boot
+   certificate chain (each boot-stage image is signed once, matching the
+   one-time constraint). Keys: 2x256 random 32-byte preimages; public
+   key is their hashes; a signature reveals one preimage per digest bit. *)
+
+let preimages = 256 (* one pair per digest bit *)
+
+type secret_key = { sk0 : string array; sk1 : string array }
+type public_key = { pk0 : string array; pk1 : string array }
+
+let generate drbg =
+  let fresh () = Array.init preimages (fun _ -> Drbg.generate drbg 32) in
+  let sk0 = fresh () and sk1 = fresh () in
+  let sk = { sk0; sk1 } in
+  let pk = { pk0 = Array.map Sha256.digest sk0; pk1 = Array.map Sha256.digest sk1 } in
+  (sk, pk)
+
+let bit digest i = (Char.code digest.[i / 8] lsr (7 - (i mod 8))) land 1
+
+let sign sk msg =
+  let d = Sha256.digest msg in
+  Array.init preimages (fun i -> if bit d i = 0 then sk.sk0.(i) else sk.sk1.(i))
+
+let verify pk msg signature =
+  Array.length signature = preimages
+  && begin
+       let d = Sha256.digest msg in
+       let ok = ref true in
+       for i = 0 to preimages - 1 do
+         let expected = if bit d i = 0 then pk.pk0.(i) else pk.pk1.(i) in
+         if not (Constant_time.equal (Sha256.digest signature.(i)) expected) then
+           ok := false
+       done;
+       !ok
+     end
+
+let public_key_fingerprint pk =
+  Sha256.digest
+    (String.concat "" (Array.to_list pk.pk0)
+    ^ String.concat "" (Array.to_list pk.pk1))

@@ -1,0 +1,18 @@
+(** Lamport one-time signatures (hash-based, truly asymmetric).
+
+    Used for the secure-boot certificate chain of the storage node:
+    each key signs exactly one firmware measurement. Signing the same
+    key twice halves its security, so callers must enforce one-time use. *)
+
+type secret_key
+type public_key
+
+val generate : Drbg.t -> secret_key * public_key
+
+val sign : secret_key -> string -> string array
+(** Signature: 256 revealed 32-byte preimages (8 KiB). *)
+
+val verify : public_key -> string -> string array -> bool
+
+val public_key_fingerprint : public_key -> string
+(** 32-byte digest identifying the public key (used in certificates). *)

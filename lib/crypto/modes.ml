@@ -1,0 +1,93 @@
+(* Block cipher modes over AES-128: CBC with PKCS#7 padding (the
+   paper's SQLCipher setup uses AES-CBC per database page) and CTR for
+   stream-style channel encryption. *)
+
+let xor_into dst doff src soff len =
+  for i = 0 to len - 1 do
+    Bytes.set dst (doff + i)
+      (Char.chr
+         (Char.code (Bytes.get dst (doff + i))
+         lxor Char.code (Bytes.get src (soff + i))))
+  done
+
+(* -- CBC ----------------------------------------------------------- *)
+
+let pkcs7_pad s =
+  let pad = 16 - (String.length s mod 16) in
+  s ^ String.make pad (Char.chr pad)
+
+let pkcs7_unpad s =
+  let n = String.length s in
+  if n = 0 || n mod 16 <> 0 then Error "cbc: ciphertext not block aligned"
+  else begin
+    let pad = Char.code s.[n - 1] in
+    if pad = 0 || pad > 16 || pad > n then Error "cbc: bad padding"
+    else begin
+      let ok = ref true in
+      for i = n - pad to n - 1 do
+        if Char.code s.[i] <> pad then ok := false
+      done;
+      if !ok then Ok (String.sub s 0 (n - pad)) else Error "cbc: bad padding"
+    end
+  end
+
+let cbc_encrypt ~key ~iv plain =
+  if String.length iv <> 16 then invalid_arg "Modes.cbc_encrypt: iv must be 16 bytes";
+  let padded = Bytes.of_string (pkcs7_pad plain) in
+  let n = Bytes.length padded in
+  let out = Bytes.create n in
+  let prev = Bytes.of_string iv in
+  let block = Bytes.create 16 in
+  for i = 0 to (n / 16) - 1 do
+    Bytes.blit padded (i * 16) block 0 16;
+    xor_into block 0 prev 0 16;
+    Aes.encrypt_block_into key block 0 out (i * 16);
+    Bytes.blit out (i * 16) prev 0 16
+  done;
+  Bytes.to_string out
+
+let cbc_decrypt ~key ~iv cipher =
+  if String.length iv <> 16 then invalid_arg "Modes.cbc_decrypt: iv must be 16 bytes";
+  let n = String.length cipher in
+  if n = 0 || n mod 16 <> 0 then Error "cbc: ciphertext not block aligned"
+  else begin
+    let src = Bytes.of_string cipher in
+    let out = Bytes.create n in
+    let prev = Bytes.of_string iv in
+    for i = 0 to (n / 16) - 1 do
+      Aes.decrypt_block_into key src (i * 16) out (i * 16);
+      xor_into out (i * 16) prev 0 16;
+      Bytes.blit src (i * 16) prev 0 16
+    done;
+    pkcs7_unpad (Bytes.to_string out)
+  end
+
+(* -- CTR ----------------------------------------------------------- *)
+
+let incr_counter ctr =
+  let rec bump i =
+    if i < 0 then ()
+    else begin
+      let v = (Char.code (Bytes.get ctr i) + 1) land 0xff in
+      Bytes.set ctr i (Char.chr v);
+      if v = 0 then bump (i - 1)
+    end
+  in
+  bump 15
+
+let ctr_transform ~key ~nonce data =
+  if String.length nonce <> 16 then
+    invalid_arg "Modes.ctr_transform: nonce must be 16 bytes";
+  let n = String.length data in
+  let out = Bytes.of_string data in
+  let ctr = Bytes.of_string nonce in
+  let keystream = Bytes.create 16 in
+  let off = ref 0 in
+  while !off < n do
+    Aes.encrypt_block_into key ctr 0 keystream 0;
+    let len = min 16 (n - !off) in
+    xor_into out !off keystream 0 len;
+    incr_counter ctr;
+    off := !off + 16
+  done;
+  Bytes.to_string out

@@ -1,0 +1,17 @@
+(** AES-128 modes of operation. *)
+
+val cbc_encrypt : key:Aes.key -> iv:string -> string -> string
+(** CBC encryption with PKCS#7 padding; output length is the input
+    rounded up to the next multiple of 16. IV must be 16 bytes. *)
+
+val cbc_decrypt : key:Aes.key -> iv:string -> string -> (string, string) result
+(** CBC decryption; fails on non-aligned input or invalid padding. *)
+
+val ctr_transform : key:Aes.key -> nonce:string -> string -> string
+(** CTR keystream XOR; encryption and decryption are the same
+    operation. Nonce must be 16 bytes and never reused per key. *)
+
+(**/**)
+
+val pkcs7_pad : string -> string
+val pkcs7_unpad : string -> (string, string) result

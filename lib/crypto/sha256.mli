@@ -1,0 +1,27 @@
+(** SHA-256 (FIPS 180-4), from scratch.
+
+    Digests are raw 32-byte strings; use {!Hex.of_string} to render.
+    The streaming interface is not thread-safe (shared schedule
+    scratch), which is fine for the single-domain simulator. *)
+
+type ctx
+(** Streaming hash context. *)
+
+val init : unit -> ctx
+(** Fresh context. *)
+
+val update : ctx -> string -> unit
+(** Absorb more message bytes. *)
+
+val finalize : ctx -> string
+(** Pad, finish, and return the 32-byte digest. The context must not be
+    reused afterwards. *)
+
+val digest : string -> string
+(** One-shot digest of a full message. *)
+
+val digest_list : string list -> string
+(** Digest of the concatenation of [parts], without building it. *)
+
+val hex : string -> string
+(** [hex s] is [Hex.of_string (digest s)]. *)

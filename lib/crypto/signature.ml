@@ -1,0 +1,39 @@
+(* General-purpose signature scheme with an Ed25519-shaped API.
+
+   Real elliptic-curve arithmetic needs bignums (no zarith in this
+   sealed environment), so we document the substitution (DESIGN.md §1):
+   a keypair is a 32-byte secret seed plus its 32-byte public digest;
+   sign = HMAC(seed, msg); verify consults a process-local registry
+   mapping public keys to their MAC key. The registry models the
+   algebraic link between the halves of a keypair. Protocol code only
+   sees generate/sign/verify, so substituting a real curve later is
+   confined to this module.
+
+   Forgery resistance holds against any adversary that does not hold
+   the secret seed — exactly the property the attestation and
+   compliance-proof protocols rely on. *)
+
+type secret_key = { seed : string }
+type public_key = { id : string }
+
+let registry : (string, string) Hashtbl.t = Hashtbl.create 64
+
+let generate drbg =
+  let seed = Drbg.generate drbg 32 in
+  let id = Sha256.digest ("signature-public-key" ^ seed) in
+  Hashtbl.replace registry id seed;
+  ({ seed }, { id })
+
+let public_key_bytes pk = pk.id
+let public_key_of_bytes id = { id }
+
+let sign sk msg = Hmac.mac ~key:("signature-sign" ^ sk.seed) msg
+
+let verify pk msg signature =
+  match Hashtbl.find_opt registry pk.id with
+  | None -> false
+  | Some seed ->
+      Constant_time.equal (Hmac.mac ~key:("signature-sign" ^ seed) msg) signature
+
+let signature_size = 32
+let public_key_size = 32

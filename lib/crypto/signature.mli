@@ -1,0 +1,20 @@
+(** Signature scheme with an Ed25519-shaped API (see DESIGN.md §1 for
+    the bignum-free substitution). Keys are 32 bytes, signatures 32
+    bytes; verification requires only the public key and is
+    unforgeable without the secret seed. *)
+
+type secret_key
+type public_key
+
+val generate : Drbg.t -> secret_key * public_key
+
+val sign : secret_key -> string -> string
+val verify : public_key -> string -> string -> bool
+
+val public_key_bytes : public_key -> string
+(** Serialize for embedding in certificates and wire messages. *)
+
+val public_key_of_bytes : string -> public_key
+
+val signature_size : int
+val public_key_size : int

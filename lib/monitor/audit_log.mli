@@ -1,0 +1,38 @@
+(** Tamper-evident audit log: an HMAC hash chain over access records.
+    Any modification, deletion or reordering of entries breaks
+    verification from that point (§3.3, §4.3 anti-patterns #3/#5). *)
+
+type t
+
+type entry = {
+  seq : int;
+  date : Ironsafe_sql.Date.t;
+  actor : string;
+  action : string;
+  detail : string;
+  prev : string;
+  digest : string;
+}
+
+val create : name:string -> key:string -> t
+val name : t -> string
+
+val append :
+  t -> date:Ironsafe_sql.Date.t -> actor:string -> action:string ->
+  detail:string -> entry
+
+val entries : t -> entry list
+(** Oldest first. *)
+
+val length : t -> int
+
+val head : t -> string
+(** Current chain head digest. *)
+
+val verify : t -> (unit, int) result
+(** Recompute the whole chain; [Error seq] is the first bad entry. *)
+
+val filter : t -> actor:string -> entry list
+
+val tamper_entry : t -> seq:int -> detail:string -> unit
+(** Adversarial in-place edit, for tests and demos. *)

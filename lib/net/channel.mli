@@ -1,0 +1,42 @@
+(** Simulated TLS channel between two nodes: real record crypto for the
+    control plane, size-accounted transfers for bulk data, and full
+    time-model charging (handshake, per-byte record cost, latency and
+    bandwidth with clock synchronization). *)
+
+type t
+
+type stats = {
+  mutable messages : int;
+  mutable bytes : int;
+  mutable handshakes : int;
+}
+
+type record
+
+val establish :
+  a:Ironsafe_sim.Node.t ->
+  b:Ironsafe_sim.Node.t ->
+  session_key:string ->
+  drbg:Ironsafe_crypto.Drbg.t ->
+  t
+(** Performs (and charges) the TLS handshake; per-direction keys are
+    derived from [session_key] via HKDF. *)
+
+val send : t -> from:Ironsafe_sim.Node.t -> string -> record
+(** Encrypt-and-MAC a payload and charge its transfer. *)
+
+val recv : t -> record -> (string, string) result
+(** Verify and decrypt; fails on any in-flight modification and on
+    replayed or out-of-order records (monotonic sequence check). *)
+
+val roundtrip : t -> from:Ironsafe_sim.Node.t -> string -> (string, string) result
+
+val transfer_accounted : t -> from:Ironsafe_sim.Node.t -> bytes:int -> unit
+(** Bulk path: charge crypto + transfer time for [bytes] without
+    running byte-level crypto. *)
+
+val stats : t -> stats
+val close : t -> unit
+
+val tamper_record : record -> record
+(** Adversarial in-flight modification (for tests). *)

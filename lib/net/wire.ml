@@ -1,0 +1,44 @@
+(* Length-prefixed binary framing for records and protocol messages.
+   The sender serializes rows, the receiver deserializes them into its
+   in-memory table (§5, networking layer). *)
+
+let put_u32 buf v =
+  if v < 0 || v > 0xffffffff then invalid_arg "Wire.put_u32: out of range";
+  Buffer.add_char buf (Char.chr ((v lsr 24) land 0xff));
+  Buffer.add_char buf (Char.chr ((v lsr 16) land 0xff));
+  Buffer.add_char buf (Char.chr ((v lsr 8) land 0xff));
+  Buffer.add_char buf (Char.chr (v land 0xff))
+
+let get_u32 s off =
+  if off + 4 > String.length s then failwith "Wire.get_u32: truncated";
+  ( (Char.code s.[off] lsl 24)
+    lor (Char.code s.[off + 1] lsl 16)
+    lor (Char.code s.[off + 2] lsl 8)
+    lor Char.code s.[off + 3],
+    off + 4 )
+
+let put_string buf s =
+  put_u32 buf (String.length s);
+  Buffer.add_string buf s
+
+let get_string s off =
+  let len, off = get_u32 s off in
+  if off + len > String.length s then failwith "Wire.get_string: truncated";
+  (String.sub s off len, off + len)
+
+let encode_strings items =
+  let buf = Buffer.create 256 in
+  put_u32 buf (List.length items);
+  List.iter (put_string buf) items;
+  Buffer.contents buf
+
+let decode_strings s =
+  let count, off = get_u32 s 0 in
+  let rec go acc off n =
+    if n = 0 then List.rev acc
+    else begin
+      let item, off = get_string s off in
+      go (item :: acc) off (n - 1)
+    end
+  in
+  go [] off count

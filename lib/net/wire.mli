@@ -1,0 +1,9 @@
+(** Length-prefixed binary framing. *)
+
+val put_u32 : Buffer.t -> int -> unit
+val get_u32 : string -> int -> int * int
+val put_string : Buffer.t -> string -> unit
+val get_string : string -> int -> string * int
+
+val encode_strings : string list -> string
+val decode_strings : string -> string list

@@ -1,0 +1,68 @@
+(* The five GDPR anti-patterns of the paper's Table 3, as policy
+   templates plus the schema conventions they rely on.
+
+   #1 Timely deletion      — records carry [_expiry]; reads filter
+                             expired rows; a retention sweep deletes.
+   #2 Indiscriminate use   — records carry a [_reuse] opt-in bitmap;
+                             reads filter rows whose bit for the
+                             querying service is unset.
+   #3 Transparent sharing  — every consumer read is logged (identity,
+                             query) to a tamper-evident audit log.
+   #4 Risk-agnostic setup  — execution policies pin firmware versions
+                             and locations (attested, not asserted).
+   #5 Undetected breaches  — all access attempts, including denied
+                             ones, land in the audit log for breach
+                             analysis. *)
+
+module Sql = Ironsafe_sql
+
+let expiry_column = Policy_eval.expiry_column
+let reuse_column = Policy_eval.reuse_column
+
+(* Schema helper: the governed variant of a table schema. *)
+let governed_columns ~expiry ~reuse =
+  (if expiry then [ (expiry_column, Sql.Value.TDate) ] else [])
+  @ if reuse then [ (reuse_column, Sql.Value.TStr) ] else []
+
+let governed_schema ?(expiry = false) ?(reuse = false) ~name ~columns () =
+  Sql.Schema.create ~name ~columns:(columns @ governed_columns ~expiry ~reuse)
+
+(* Policy templates (clients fill in their key labels). *)
+
+let timely_deletion ~owner_key ~consumer_key =
+  Printf.sprintf
+    "read ::= sessionKeyIs(%s) | sessionKeyIs(%s) & le(T, TIMESTAMP)\n\
+     write ::= sessionKeyIs(%s)"
+    owner_key consumer_key owner_key
+
+let prevent_indiscriminate_use ~owner_key =
+  Printf.sprintf "read ::= reuseMap(m)\nwrite ::= sessionKeyIs(%s)" owner_key
+
+let transparent_sharing ~owner_key ~log_name =
+  Printf.sprintf
+    "read ::= logUpdate(%s, K, Q)\nwrite ::= sessionKeyIs(%s)" log_name
+    owner_key
+
+let risk_aware_execution ~host_version ~storage_version =
+  Printf.sprintf "exec ::= fwVersionHost(%s) & fwVersionStorage(%s)"
+    host_version storage_version
+
+let breach_detection ~log_name =
+  Printf.sprintf "read ::= logUpdate(%s, K, Q, T)\nwrite ::= logUpdate(%s, K, Q, T)"
+    log_name log_name
+
+(* A reuse bitmap literal with the given bits set, e.g. [bitmap ~width:8
+   [1; 3]] = "01010000". *)
+let bitmap ~width bits =
+  String.init width (fun i -> if List.mem i bits then '1' else '0')
+
+(* Retention sweep (anti-pattern #1's deletion side): remove expired
+   rows from a governed table. Returns rows deleted. *)
+let retention_sweep db ~table ~today =
+  match
+    Sql.Database.exec db
+      (Printf.sprintf "delete from %s where %s < date '%s'" table expiry_column
+         (Sql.Date.to_string today))
+  with
+  | Sql.Database.Affected n -> n
+  | _ -> 0

@@ -1,0 +1,71 @@
+(* Abstract syntax of IronSafe's declarative policy language (§4.3,
+   Table 1).
+
+   A policy is a set of rules "perm ::= condition". Conditions combine
+   predicates with '&' (and) and '|' (or); a policy rule authorizes a
+   request if its condition evaluates to true. Three predicate classes:
+
+   - static:     decided once per request against the attested node
+                 configurations and the client identity
+                 (sessionKeyIs, hostLocIs, storageLocIs, fwVersion...);
+   - row-level:  compiled into a SQL residual the trusted monitor
+                 injects into the query (le(T, TIMESTAMP), reuseMap);
+   - obligation: side effects the monitor must perform (logUpdate). *)
+
+type version_req = Latest | At_least of int
+
+type operand =
+  | Access_time  (** the variable T: time the query is evaluated *)
+  | Expiry_column  (** the variable TIMESTAMP: the record's expiry *)
+  | Date_lit of Ironsafe_sql.Date.t
+
+type pred =
+  | Session_key_is of string  (** client identity key (label or hex) *)
+  | Host_loc_is of string list
+  | Storage_loc_is of string list
+  | Fw_version_host of version_req
+  | Fw_version_storage of version_req
+  | Le of operand * operand
+  | Reuse_map  (** record's opt-in bitmap must cover the client *)
+  | Log_update of string list  (** log name followed by field names *)
+
+type cond = Pred of pred | And of cond * cond | Or of cond * cond
+
+type perm = Read | Write | Exec
+
+type rule = { perm : perm; cond : cond }
+
+type t = rule list
+
+let perm_name = function Read -> "read" | Write -> "write" | Exec -> "exec"
+
+let pp_version ppf = function
+  | Latest -> Fmt.string ppf "latest"
+  | At_least v -> Fmt.int ppf v
+
+let pp_operand ppf = function
+  | Access_time -> Fmt.string ppf "T"
+  | Expiry_column -> Fmt.string ppf "TIMESTAMP"
+  | Date_lit d -> Fmt.string ppf (Ironsafe_sql.Date.to_string d)
+
+let pp_pred ppf = function
+  | Session_key_is k -> Fmt.pf ppf "sessionKeyIs(%s)" k
+  | Host_loc_is ls -> Fmt.pf ppf "hostLocIs(%s)" (String.concat ", " ls)
+  | Storage_loc_is ls -> Fmt.pf ppf "storageLocIs(%s)" (String.concat ", " ls)
+  | Fw_version_host v -> Fmt.pf ppf "fwVersionHost(%a)" pp_version v
+  | Fw_version_storage v -> Fmt.pf ppf "fwVersionStorage(%a)" pp_version v
+  | Le (a, b) -> Fmt.pf ppf "le(%a, %a)" pp_operand a pp_operand b
+  | Reuse_map -> Fmt.string ppf "reuseMap(m)"
+  | Log_update fields -> Fmt.pf ppf "logUpdate(%s)" (String.concat ", " fields)
+
+let rec pp_cond ppf = function
+  | Pred p -> pp_pred ppf p
+  | And (a, b) -> Fmt.pf ppf "%a & %a" pp_cond_atom a pp_cond_atom b
+  | Or (a, b) -> Fmt.pf ppf "%a | %a" pp_cond_atom a pp_cond_atom b
+
+and pp_cond_atom ppf = function
+  | Pred p -> pp_pred ppf p
+  | c -> Fmt.pf ppf "(%a)" pp_cond c
+
+let pp_rule ppf r = Fmt.pf ppf "%s ::= %a" (perm_name r.perm) pp_cond r.cond
+let pp ppf t = Fmt.(list ~sep:(any "@.") pp_rule) ppf t

@@ -1,0 +1,182 @@
+(* Policy evaluation: partial evaluation of a rule's condition against
+   a request context. Static predicates collapse to booleans; row-level
+   predicates remain as SQL residuals (to be injected into the query by
+   the trusted monitor); logUpdate predicates surface as obligations.
+
+   The result of evaluating "read ::= sessionKeyIs(Ka) |
+   sessionKeyIs(Kb) & le(T, TIMESTAMP)" for client Kb is
+   [Allowed { residual = Some (_expiry >= <today>); ... }]: Kb may
+   read, but only records that have not expired — exactly the paper's
+   GDPR anti-pattern #1 enforcement. *)
+
+open Policy_ast
+module Sql = Ironsafe_sql
+
+(* Reserved column names the monitor's rewrites rely on. *)
+let expiry_column = "_expiry"
+let reuse_column = "_reuse"
+
+type node_config = { location : string; fw_version : int }
+
+type request = {
+  client_key : string;
+  access_date : Sql.Date.t;
+  host : node_config option;
+  storage : node_config option;
+  latest_fw_host : int;
+  latest_fw_storage : int;
+  reuse_bit : int option;  (** client's position in the reuse bitmap *)
+}
+
+type obligation = { log_name : string; fields : string list }
+
+type decision =
+  | Denied of string
+  | Allowed of {
+      residual : Sql.Ast.expr option;
+      obligations : obligation list;
+      storage_required : bool;
+          (** true when a storage-side predicate constrained the
+              deployment: offloading needs a compliant storage node *)
+    }
+
+(* partial value: known boolean or residual SQL predicate *)
+type pv = Known of bool | Residual of Sql.Ast.expr
+
+let col name = Sql.Ast.Col { qualifier = None; name }
+
+let operand_expr req = function
+  | Access_time -> Sql.Ast.Lit (Sql.Value.Date req.access_date)
+  | Expiry_column -> col expiry_column
+  | Date_lit d -> Sql.Ast.Lit (Sql.Value.Date d)
+
+let version_ok ~latest ~node = function
+  | Latest -> node = latest
+  | At_least v -> node >= v
+
+let eval_pred req ~obligations ~storage_touched pred : pv =
+  match pred with
+  | Session_key_is k -> Known (String.equal k req.client_key)
+  | Host_loc_is locs ->
+      Known
+        (match req.host with
+        | None -> false
+        | Some h -> List.mem h.location locs)
+  | Storage_loc_is locs ->
+      storage_touched := true;
+      Known
+        (match req.storage with
+        | None -> false
+        | Some s -> List.mem s.location locs)
+  | Fw_version_host v ->
+      Known
+        (match req.host with
+        | None -> false
+        | Some h -> version_ok ~latest:req.latest_fw_host ~node:h.fw_version v)
+  | Fw_version_storage v ->
+      storage_touched := true;
+      Known
+        (match req.storage with
+        | None -> false
+        | Some s ->
+            version_ok ~latest:req.latest_fw_storage ~node:s.fw_version v)
+  | Le (a, b) ->
+      Residual (Sql.Ast.Binop (Sql.Ast.Le, operand_expr req a, operand_expr req b))
+  | Reuse_map -> (
+      match req.reuse_bit with
+      | None -> Known false (* unknown client: no opt-in recorded *)
+      | Some bit ->
+          (* the reuse column stores a '0'/'1' bitmap string; bit k is
+             tested with LIKE '<k underscores>1%' *)
+          let pattern = String.make bit '_' ^ "1%" in
+          Residual
+            (Sql.Ast.Like { negated = false; subject = col reuse_column; pattern }))
+  | Log_update (log_name :: fields) ->
+      obligations := { log_name; fields } :: !obligations;
+      Known true
+  | Log_update [] -> Known true
+
+let pv_and a b =
+  match (a, b) with
+  | Known false, _ | _, Known false -> Known false
+  | Known true, x | x, Known true -> x
+  | Residual ra, Residual rb -> Residual (Sql.Ast.Binop (Sql.Ast.And, ra, rb))
+
+let pv_or a b =
+  match (a, b) with
+  | Known true, _ | _, Known true -> Known true
+  | Known false, x | x, Known false -> x
+  | Residual ra, Residual rb -> Residual (Sql.Ast.Binop (Sql.Ast.Or, ra, rb))
+
+let rec eval_cond req ~obligations ~storage_touched = function
+  | Pred p -> eval_pred req ~obligations ~storage_touched p
+  | And (a, b) ->
+      pv_and
+        (eval_cond req ~obligations ~storage_touched a)
+        (eval_cond req ~obligations ~storage_touched b)
+  | Or (a, b) ->
+      pv_or
+        (eval_cond req ~obligations ~storage_touched a)
+        (eval_cond req ~obligations ~storage_touched b)
+
+let evaluate_rule req rule =
+  let obligations = ref [] in
+  let storage_touched = ref false in
+  match eval_cond req ~obligations ~storage_touched rule.cond with
+  | Known true ->
+      Allowed
+        {
+          residual = None;
+          obligations = List.rev !obligations;
+          storage_required = !storage_touched;
+        }
+  | Known false ->
+      Denied
+        (Fmt.str "policy rule '%a' not satisfied for client %s" pp_rule rule
+           req.client_key)
+  | Residual e ->
+      Allowed
+        {
+          residual = Some e;
+          obligations = List.rev !obligations;
+          storage_required = !storage_touched;
+        }
+
+(* Evaluate the policy for a permission; a policy with no rule for the
+   permission denies by default. *)
+let evaluate policy ~perm req =
+  match List.find_opt (fun r -> r.perm = perm) policy with
+  | None ->
+      Denied (Fmt.str "no %s rule in policy (default deny)" (perm_name perm))
+  | Some rule -> evaluate_rule req rule
+
+(* Execution-policy evaluation (§4.2, policy-compliant query
+   partitioning): the monitor decides per node which parts of the
+   deployment comply. [offload_allowed] requires the storage node to
+   satisfy the storage predicates; [host_ok] evaluates the condition
+   with storage predicates vacuously true — if even that fails (host
+   location/firmware is non-compliant) the query cannot run at all. A
+   policy without an exec rule allows everything. *)
+
+type exec_verdict = { host_ok : bool; offload_allowed : bool }
+
+let rec eval_static ?(assume_storage = false) req = function
+  | Pred (Storage_loc_is _ | Fw_version_storage _) when assume_storage -> true
+  | Pred p -> (
+      let obligations = ref [] and storage_touched = ref false in
+      match eval_pred req ~obligations ~storage_touched p with
+      | Known b -> b
+      | Residual _ -> true (* row-level predicates do not gate placement *))
+  | And (a, b) ->
+      eval_static ~assume_storage req a && eval_static ~assume_storage req b
+  | Or (a, b) ->
+      eval_static ~assume_storage req a || eval_static ~assume_storage req b
+
+let evaluate_exec policy req =
+  match List.find_opt (fun r -> r.perm = Exec) policy with
+  | None -> { host_ok = true; offload_allowed = true }
+  | Some rule ->
+      {
+        host_ok = eval_static ~assume_storage:true req rule.cond;
+        offload_allowed = eval_static req rule.cond;
+      }

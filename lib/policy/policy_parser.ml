@@ -1,0 +1,177 @@
+(* Parser for the policy language. Grammar:
+
+     policy  := rule (newline/; rule)*
+     rule    := perm "::=" cond          (":-" also accepted, as in the
+                                          paper's examples)
+     perm    := "read" | "write" | "exec"
+     cond    := term ("|" term)*
+     term    := atom ("&" atom)*
+     atom    := predicate "(" args ")" | "(" cond ")"
+
+   '&' binds tighter than '|'. Predicate names are case-insensitive. *)
+
+open Policy_ast
+
+exception Policy_error of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Policy_error s)) fmt
+
+type token = ID of string | LP | RP | COMMA | AMP | BAR | DEFINES | EOF
+
+let tokenize src =
+  let n = String.length src in
+  let toks = ref [] in
+  let i = ref 0 in
+  let is_ident c =
+    (c >= 'a' && c <= 'z')
+    || (c >= 'A' && c <= 'Z')
+    || (c >= '0' && c <= '9')
+    || c = '_' || c = '-' || c = '#'
+  in
+  while !i < n do
+    let c = src.[!i] in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' || c = ';' then incr i
+    else if c = '(' then (toks := LP :: !toks; incr i)
+    else if c = ')' then (toks := RP :: !toks; incr i)
+    else if c = ',' then (toks := COMMA :: !toks; incr i)
+    else if c = '&' then (toks := AMP :: !toks; incr i)
+    else if c = '|' then (toks := BAR :: !toks; incr i)
+    else if c = ':' && !i + 2 < n && src.[!i + 1] = ':' && src.[!i + 2] = '=' then begin
+      toks := DEFINES :: !toks;
+      i := !i + 3
+    end
+    else if c = ':' && !i + 1 < n && src.[!i + 1] = '-' then begin
+      toks := DEFINES :: !toks;
+      i := !i + 2
+    end
+    else if is_ident c then begin
+      let start = !i in
+      while !i < n && is_ident src.[!i] do
+        incr i
+      done;
+      toks := ID (String.sub src start (!i - start)) :: !toks
+    end
+    else fail "unexpected character %C in policy" c
+  done;
+  List.rev (EOF :: !toks)
+
+type st = { mutable toks : token list }
+
+let peek st = match st.toks with [] -> EOF | t :: _ -> t
+let advance st = match st.toks with [] -> () | _ :: r -> st.toks <- r
+
+let expect st tok what =
+  if peek st = tok then advance st else fail "expected %s in policy" what
+
+let parse_args st =
+  expect st LP "'('";
+  let rec go acc =
+    match peek st with
+    | ID s ->
+        advance st;
+        if peek st = COMMA then begin
+          advance st;
+          go (s :: acc)
+        end
+        else List.rev (s :: acc)
+    | RP -> List.rev acc
+    | _ -> fail "expected argument in policy predicate"
+  in
+  let args = go [] in
+  expect st RP "')'";
+  args
+
+let operand_of_string s =
+  match String.uppercase_ascii s with
+  | "T" -> Access_time
+  | "TIMESTAMP" -> Expiry_column
+  | _ -> (
+      try Date_lit (Ironsafe_sql.Date.of_string s)
+      with Invalid_argument _ ->
+        fail "le() operand must be T, TIMESTAMP or a date, got %s" s)
+
+let version_of_string s =
+  match String.lowercase_ascii s with
+  | "latest" -> Latest
+  | v -> (
+      match int_of_string_opt v with
+      | Some n -> At_least n
+      | None -> fail "firmware version must be 'latest' or an integer, got %s" s)
+
+let pred_of st name =
+  let args = parse_args st in
+  let one () =
+    match args with
+    | [ a ] -> a
+    | _ -> fail "%s expects exactly one argument" name
+  in
+  match String.lowercase_ascii name with
+  | "sessionkeyis" -> Session_key_is (one ())
+  | "hostlocis" | "hostlocs" ->
+      if args = [] then fail "hostLocIs expects locations";
+      Host_loc_is args
+  | "storagelocis" | "storagelocs" ->
+      if args = [] then fail "storageLocIs expects locations";
+      Storage_loc_is args
+  | "fwversionhost" -> Fw_version_host (version_of_string (one ()))
+  | "fwversionstorage" -> Fw_version_storage (version_of_string (one ()))
+  | "le" -> (
+      match args with
+      | [ a; b ] -> Le (operand_of_string a, operand_of_string b)
+      | _ -> fail "le expects two arguments")
+  | "reusemap" -> Reuse_map
+  | "logupdate" ->
+      if args = [] then fail "logUpdate expects a log name";
+      Log_update args
+  | other -> fail "unknown predicate %s" other
+
+let rec parse_cond st = parse_or st
+
+and parse_or st =
+  let left = parse_and st in
+  if peek st = BAR then begin
+    advance st;
+    Or (left, parse_or st)
+  end
+  else left
+
+and parse_and st =
+  let left = parse_atom st in
+  if peek st = AMP then begin
+    advance st;
+    And (left, parse_and st)
+  end
+  else left
+
+and parse_atom st =
+  match peek st with
+  | LP ->
+      advance st;
+      let c = parse_cond st in
+      expect st RP "')'";
+      c
+  | ID name ->
+      advance st;
+      Pred (pred_of st name)
+  | _ -> fail "expected predicate or '(' in policy condition"
+
+let parse src =
+  let st = { toks = tokenize src } in
+  let rec rules acc =
+    match peek st with
+    | EOF -> List.rev acc
+    | ID p ->
+        advance st;
+        let perm =
+          match String.lowercase_ascii p with
+          | "read" -> Read
+          | "write" -> Write
+          | "exec" -> Exec
+          | other -> fail "unknown permission %s (read/write/exec)" other
+        in
+        expect st DEFINES "'::='";
+        let cond = parse_cond st in
+        rules ({ perm; cond } :: acc)
+    | _ -> fail "expected a policy rule"
+  in
+  rules []

@@ -1,0 +1,153 @@
+(* Query rewriting performed by the trusted monitor (§4.3):
+
+   - SELECT: the policy residual is conjoined to the WHERE clause, but
+     only against tables that actually carry the governed columns
+     (residuals referencing [_expiry] or [_reuse] are attached per
+     table; residuals with no column references apply globally);
+   - INSERT: the monitor appends the [_expiry] / [_reuse] columns with
+     values it controls (anti-patterns #1 and #2: the client cannot
+     choose its own retention or reuse scope). *)
+
+module Sql = Ironsafe_sql
+open Sql.Ast
+
+let residual_columns residual =
+  columns_of_expr [] residual |> List.map snd |> List.sort_uniq compare
+
+(* Does [table]'s schema carry all columns the residual mentions that
+   are governed (start with '_')? *)
+let table_covers catalog table cols =
+  match Sql.Catalog.find_opt catalog table with
+  | None -> false
+  | Some hf ->
+      let schema = Sql.Heap_file.schema hf in
+      List.for_all
+        (fun c ->
+          (not (String.length c > 0 && c.[0] = '_'))
+          || Option.is_some (Sql.Schema.column_index schema c))
+        cols
+
+let qualify_residual binding residual =
+  let rec go = function
+    | Col { qualifier = None; name } when String.length name > 0 && name.[0] = '_'
+      ->
+        Col { qualifier = Some binding; name }
+    | Col _ as e -> e
+    | Lit _ as e -> e
+    | Interval _ as e -> e
+    | Unary (op, e) -> Unary (op, go e)
+    | Binop (op, a, b) -> Binop (op, go a, go b)
+    | Like l -> Like { l with subject = go l.subject }
+    | Between b -> Between { b with subject = go b.subject; low = go b.low; high = go b.high }
+    | In_list i -> In_list { i with subject = go i.subject; items = List.map go i.items }
+    | In_select i -> In_select { i with subject = go i.subject }
+    | Exists _ as e -> e
+    | Scalar_select _ as e -> e
+    | Case { branches; else_ } ->
+        Case
+          {
+            branches = List.map (fun (c, v) -> (go c, go v)) branches;
+            else_ = Option.map go else_;
+          }
+    | Extract e -> Extract { e with arg = go e.arg }
+    | Is_null i -> Is_null { i with subject = go i.subject }
+    | Substring x ->
+        Substring
+          {
+            subject = go x.subject;
+            start = go x.start;
+            len = Option.map go x.len;
+          }
+    | Agg _ as e -> e
+  in
+  go residual
+
+(* Conjoin [residual] into every (sub)select whose FROM references a
+   governed table. *)
+(* Base tables bound directly in this FROM clause; tables inside
+   derived tables are handled by the recursive rewrite of the derived
+   select itself, not by conjuncts at this level (their bindings are
+   not in scope here). *)
+let rec direct_tables acc = function
+  | Table { table; alias } -> (table, Option.value ~default:table alias) :: acc
+  | Derived _ -> acc
+  | Join { left; right; _ } -> direct_tables (direct_tables acc left) right
+
+let rec rewrite_select catalog residual (q : select) : select =
+  let cols = residual_columns residual in
+  let governed = List.exists (fun c -> String.length c > 0 && c.[0] = '_') cols in
+  let from = List.map (rewrite_from_item catalog residual) q.from in
+  let add_for_binding acc (table, binding) =
+    if table_covers catalog table cols then
+      qualify_residual binding residual :: acc
+    else acc
+  in
+  let extra =
+    if governed then
+      List.fold_left add_for_binding []
+        (List.concat_map (direct_tables []) q.from)
+    else [ residual ] (* purely temporal residual: applies once *)
+  in
+  let where =
+    match (q.where, conjoin extra) with
+    | w, None -> w
+    | None, Some e -> Some e
+    | Some w, Some e -> Some (Binop (And, w, e))
+  in
+  { q with from; where }
+
+and rewrite_from_item catalog residual = function
+  | Table _ as t -> t
+  | Derived { select; alias } ->
+      Derived { select = rewrite_select catalog residual select; alias }
+  | Join { kind; left; right; on } ->
+      Join
+        {
+          kind;
+          left = rewrite_from_item catalog residual left;
+          right = rewrite_from_item catalog residual right;
+          on;
+        }
+
+let rewrite_stmt catalog residual = function
+  | Select q -> Select (rewrite_select catalog residual q)
+  | other -> other
+
+(* INSERT rewriting: append governed column values chosen by the
+   monitor. [extra] maps column name to the value expression. *)
+let extend_insert catalog stmt ~extra =
+  match stmt with
+  | Insert { table; columns; values } -> (
+      match Sql.Catalog.find_opt catalog table with
+      | None -> stmt
+      | Some hf ->
+          let schema = Sql.Heap_file.schema hf in
+          let applicable =
+            List.filter
+              (fun (c, _) -> Option.is_some (Sql.Schema.column_index schema c))
+              extra
+          in
+          if applicable = [] then stmt
+          else begin
+            let columns =
+              match columns with
+              | Some cs -> Some (cs @ List.map fst applicable)
+              | None ->
+                  (* positional insert: the governed columns must be the
+                     trailing schema columns *)
+                  let names = Sql.Schema.column_names schema in
+                  let base =
+                    List.filteri
+                      (fun i _ ->
+                        i
+                        < Sql.Schema.arity schema - List.length applicable)
+                      names
+                  in
+                  Some (base @ List.map fst applicable)
+            in
+            let values =
+              List.map (fun vs -> vs @ List.map snd applicable) values
+            in
+            Insert { table; columns; values }
+          end)
+  | other -> other

@@ -1,0 +1,44 @@
+(* Key hierarchy of the secure storage system (§4.1 / §5):
+
+     hardware unique key (HUK, fused into the SoC)
+       |- RPMB authentication key      (programs the RPMB)
+       |- TASK: TA storage key         (HMACs the Merkle root in RPMB)
+     data encryption key (generated at init, persisted in RPMB slot 0)
+       |- page encryption key (AES)
+       |- page/Merkle MAC key
+
+   Deriving both page keys from the stored data key keeps RPMB usage to
+   one slot while separating encryption from authentication keys. *)
+
+type t = {
+  rpmb_auth_key : string;
+  task_key : string;
+  data_key : string;
+  page_enc_key : string;
+  page_mac_key : string;
+}
+
+let derive_rpmb_auth_key ~hardware_key =
+  Ironsafe_crypto.Hkdf.derive ~ikm:hardware_key ~info:"ironsafe-rpmb-auth" 32
+
+let derive_task_key ~hardware_key =
+  Ironsafe_crypto.Hkdf.derive ~ikm:hardware_key ~info:"ironsafe-task" 16
+
+let of_data_key ~hardware_key ~data_key =
+  {
+    rpmb_auth_key = derive_rpmb_auth_key ~hardware_key;
+    task_key = derive_task_key ~hardware_key;
+    data_key;
+    (* 256-bit AES, matching the paper's SQLCipher configuration *)
+    page_enc_key = Ironsafe_crypto.Hkdf.derive ~ikm:data_key ~info:"page-enc" 32;
+    page_mac_key = Ironsafe_crypto.Hkdf.derive ~ikm:data_key ~info:"page-mac" 32;
+  }
+
+let generate ~hardware_key drbg =
+  of_data_key ~hardware_key ~data_key:(Ironsafe_crypto.Drbg.generate drbg 32)
+
+let rpmb_auth_key t = t.rpmb_auth_key
+let task_key t = t.task_key
+let data_key t = t.data_key
+let page_enc_key t = t.page_enc_key
+let page_mac_key t = t.page_mac_key

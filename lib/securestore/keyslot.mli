@@ -1,0 +1,18 @@
+(** Key hierarchy rooted in the device's hardware unique key. *)
+
+type t
+
+val generate : hardware_key:string -> Ironsafe_crypto.Drbg.t -> t
+(** Fresh data key (first boot / database initialization). *)
+
+val of_data_key : hardware_key:string -> data_key:string -> t
+(** Rebuild the hierarchy from a data key recovered from RPMB. *)
+
+val derive_rpmb_auth_key : hardware_key:string -> string
+val derive_task_key : hardware_key:string -> string
+
+val rpmb_auth_key : t -> string
+val task_key : t -> string
+val data_key : t -> string
+val page_enc_key : t -> string
+val page_mac_key : t -> string

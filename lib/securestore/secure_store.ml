@@ -1,0 +1,325 @@
+(* Encrypted, integrity- and freshness-protected page store (§4.1).
+
+   On-device layout:
+     pages [0, data_pages)                   data region
+     pages [data_pages, data_pages + meta)   Merkle leaf-tag region
+
+   Each data page holds:  IV(16) | MAC(32) | len(2) | ciphertext | fill
+   MAC = HMAC(page_mac_key, index | IV | ciphertext): binds the
+   ciphertext to its slot. Leaf tags feed a keyed Merkle tree whose
+   root, HMACed under TASK (a key derived from the hardware unique
+   key), lives in RPMB — so rollback of either data or metadata region
+   is caught against the replay-protected counter'd slot.
+
+   [stats] counts every crypto operation so the simulator can charge
+   freshness/decryption time exactly as incurred. *)
+
+module C = Ironsafe_crypto
+module S = Ironsafe_storage
+
+let header_len = 16 + 32 + 2
+
+(* Plaintext capacity: page minus header minus up-to-one-block CBC
+   padding expansion. *)
+let capacity = S.Block_device.page_size - header_len - 16
+
+type stats = {
+  mutable page_decrypts : int;
+  mutable page_encrypts : int;
+  mutable page_mac_checks : int;
+  mutable merkle_hashes : int;
+  mutable rpmb_accesses : int;
+  mutable device_reads : int;
+  mutable device_writes : int;
+}
+
+let fresh_stats () =
+  {
+    page_decrypts = 0;
+    page_encrypts = 0;
+    page_mac_checks = 0;
+    merkle_hashes = 0;
+    rpmb_accesses = 0;
+    device_reads = 0;
+    device_writes = 0;
+  }
+
+type error =
+  | Tampered_page of int
+  | Stale_root
+  | Rpmb_error of S.Rpmb.error
+  | Corrupt_page of int * string
+
+let pp_error ppf = function
+  | Tampered_page i -> Fmt.pf ppf "page %d failed integrity/freshness check" i
+  | Stale_root -> Fmt.string ppf "Merkle root does not match RPMB anchor (rollback?)"
+  | Rpmb_error e -> Fmt.pf ppf "RPMB: %a" S.Rpmb.pp_error e
+  | Corrupt_page (i, msg) -> Fmt.pf ppf "page %d corrupt: %s" i msg
+
+(* Key management scheme (§4.1: "IronSafe uses a single secret
+   (symmetric) key to encrypt all the data units, but other management
+   schemes can be adopted (e.g., one key per unit)"). [Per_page]
+   derives each page's AES key from the data key and the page index,
+   bounding the blast radius of a single page-key compromise. *)
+type key_mode = Single_key | Per_page_keys
+
+type t = {
+  device : S.Block_device.t;
+  rpmb : S.Rpmb.t;
+  keys : Keyslot.t;
+  key_mode : key_mode;
+  enc_key : C.Aes.key; (* Single_key mode *)
+  mutable page_keys : C.Aes.key option array; (* Per_page_keys cache *)
+  merkle : C.Merkle.t;
+  drbg : C.Drbg.t;
+  data_pages : int;
+  stats : stats;
+  mutable anchored_root : string; (* last root HMAC written to RPMB *)
+}
+
+let page_key t index =
+  match t.key_mode with
+  | Single_key -> t.enc_key
+  | Per_page_keys -> (
+      match t.page_keys.(index) with
+      | Some k -> k
+      | None ->
+          let k =
+            C.Aes.expand_key
+              (C.Hkdf.derive
+                 ~ikm:(Keyslot.data_key t.keys)
+                 ~info:(Printf.sprintf "page-enc-%d" index)
+                 32)
+          in
+          t.page_keys.(index) <- Some k;
+          k)
+
+let data_key_slot = 0
+let root_slot = 1
+let tags_per_page = S.Block_device.page_size / 32
+
+let meta_pages_for data_pages = (data_pages + tags_per_page - 1) / tags_per_page
+let device_pages_for ~data_pages = data_pages + meta_pages_for data_pages
+let data_page_count t = t.data_pages
+let stats t = t.stats
+
+let reset_stats t =
+  let s = t.stats in
+  s.page_decrypts <- 0;
+  s.page_encrypts <- 0;
+  s.page_mac_checks <- 0;
+  s.merkle_hashes <- 0;
+  s.rpmb_accesses <- 0;
+  s.device_reads <- 0;
+  s.device_writes <- 0
+
+let root_mac keys root = C.Hmac.mac ~key:(Keyslot.task_key keys) root
+
+let anchor_root t =
+  let mac = root_mac t.keys (C.Merkle.root t.merkle) in
+  let frame =
+    S.Rpmb.make_write_frame
+      ~key:(Keyslot.rpmb_auth_key t.keys)
+      ~slot:root_slot ~payload:mac
+      ~write_counter:(S.Rpmb.read_counter t.rpmb)
+  in
+  t.stats.rpmb_accesses <- t.stats.rpmb_accesses + 1;
+  match S.Rpmb.write t.rpmb frame with
+  | Ok _ ->
+      t.anchored_root <- mac;
+      Ok ()
+  | Error e -> Error (Rpmb_error e)
+
+let persist_leaf_tag t index =
+  let tag = C.Merkle.leaf t.merkle index in
+  let meta_page = t.data_pages + (index / tags_per_page) in
+  let page = Bytes.of_string (S.Block_device.read_page t.device meta_page) in
+  t.stats.device_reads <- t.stats.device_reads + 1;
+  Bytes.blit_string tag 0 page (index mod tags_per_page * 32) 32;
+  S.Block_device.write_page t.device meta_page (Bytes.to_string page);
+  t.stats.device_writes <- t.stats.device_writes + 1
+
+let mac_payload index iv ciphertext =
+  Printf.sprintf "%08d" index ^ iv ^ ciphertext
+
+(* Encrypt and store [plain] (<= capacity bytes) at data page [index]. *)
+let write_page t index plain =
+  if index < 0 || index >= t.data_pages then
+    invalid_arg "Secure_store.write_page: index out of range";
+  if String.length plain > capacity then
+    invalid_arg "Secure_store.write_page: payload exceeds page capacity";
+  let iv = C.Drbg.generate t.drbg 16 in
+  let ciphertext = C.Modes.cbc_encrypt ~key:(page_key t index) ~iv plain in
+  t.stats.page_encrypts <- t.stats.page_encrypts + 1;
+  let mac =
+    C.Hmac.mac ~key:(Keyslot.page_mac_key t.keys) (mac_payload index iv ciphertext)
+  in
+  t.stats.page_mac_checks <- t.stats.page_mac_checks + 1;
+  let clen = String.length ciphertext in
+  let page = Bytes.make S.Block_device.page_size '\000' in
+  Bytes.blit_string iv 0 page 0 16;
+  Bytes.blit_string mac 0 page 16 32;
+  Bytes.set page 48 (Char.chr (clen lsr 8));
+  Bytes.set page 49 (Char.chr (clen land 0xff));
+  Bytes.blit_string ciphertext 0 page header_len clen;
+  S.Block_device.write_page t.device index (Bytes.to_string page);
+  t.stats.device_writes <- t.stats.device_writes + 1;
+  C.Merkle.reset_hash_ops t.merkle;
+  C.Merkle.set_leaf t.merkle index mac;
+  t.stats.merkle_hashes <- t.stats.merkle_hashes + C.Merkle.hash_ops t.merkle;
+  persist_leaf_tag t index;
+  anchor_root t
+
+(* Read, decrypt, and freshness-check data page [index]. *)
+let read_page t index =
+  if index < 0 || index >= t.data_pages then
+    invalid_arg "Secure_store.read_page: index out of range";
+  let raw = S.Block_device.read_page t.device index in
+  t.stats.device_reads <- t.stats.device_reads + 1;
+  let iv = String.sub raw 0 16 in
+  let mac = String.sub raw 16 32 in
+  let clen = (Char.code raw.[48] lsl 8) lor Char.code raw.[49] in
+  if clen > S.Block_device.page_size - header_len then
+    Error (Corrupt_page (index, "ciphertext length field out of range"))
+  else begin
+    let ciphertext = String.sub raw header_len clen in
+    (* 1. page integrity: MAC over index|IV|ciphertext *)
+    t.stats.page_mac_checks <- t.stats.page_mac_checks + 1;
+    if
+      not
+        (C.Hmac.verify
+           ~key:(Keyslot.page_mac_key t.keys)
+           ~mac
+           (mac_payload index iv ciphertext))
+    then Error (Tampered_page index)
+    else begin
+      (* 2. freshness: Merkle path from this leaf must reach the
+         anchored root *)
+      let proof = C.Merkle.prove t.merkle index in
+      let ok, hashes =
+        C.Merkle.verify
+          ~key:(Keyslot.page_mac_key t.keys)
+          ~root:(C.Merkle.root t.merkle) ~leaf_tag:mac proof
+      in
+      t.stats.merkle_hashes <- t.stats.merkle_hashes + hashes;
+      if not ok then Error (Tampered_page index)
+      else if
+        not
+          (C.Constant_time.equal (root_mac t.keys (C.Merkle.root t.merkle)) t.anchored_root)
+      then Error Stale_root
+      else begin
+        (* 3. decrypt *)
+        t.stats.page_decrypts <- t.stats.page_decrypts + 1;
+        match C.Modes.cbc_decrypt ~key:(page_key t index) ~iv ciphertext with
+        | Ok plain -> Ok plain
+        | Error msg -> Error (Corrupt_page (index, msg))
+      end
+    end
+  end
+
+(* First-time initialization: generate data key, persist it to RPMB,
+   build an empty Merkle tree over zeroed leaf tags. *)
+let initialize ?(key_mode = Single_key) ~device ~rpmb ~hardware_key ~data_pages
+    ~drbg () =
+  if device_pages_for ~data_pages > S.Block_device.page_count device then
+    invalid_arg "Secure_store.initialize: device too small for data + metadata";
+  let keys = Keyslot.generate ~hardware_key drbg in
+  (match S.Rpmb.program_key rpmb (Keyslot.rpmb_auth_key keys) with
+  | Ok () | Error S.Rpmb.Key_already_programmed -> ()
+  | Error e -> invalid_arg (Fmt.str "Secure_store.initialize: %a" S.Rpmb.pp_error e));
+  let key_frame =
+    S.Rpmb.make_write_frame
+      ~key:(Keyslot.rpmb_auth_key keys)
+      ~slot:data_key_slot
+      ~payload:(Keyslot.data_key keys)
+      ~write_counter:(S.Rpmb.read_counter rpmb)
+  in
+  match S.Rpmb.write rpmb key_frame with
+  | Error e -> Error (Rpmb_error e)
+  | Ok _ ->
+      let merkle =
+        C.Merkle.create ~key:(Keyslot.page_mac_key keys) ~leaves:data_pages
+      in
+      let t =
+        {
+          device;
+          rpmb;
+          keys;
+          key_mode;
+          enc_key = C.Aes.expand_key (Keyslot.page_enc_key keys);
+          page_keys = Array.make data_pages None;
+          merkle;
+          drbg;
+          data_pages;
+          stats = fresh_stats ();
+          anchored_root = "";
+        }
+      in
+      (* persist initial (empty) leaf tags *)
+      for i = 0 to data_pages - 1 do
+        persist_leaf_tag t i
+      done;
+      (match anchor_root t with Ok () -> () | Error _ -> assert false);
+      reset_stats t;
+      Ok t
+
+(* Re-open after reboot: recover the data key from RPMB, rebuild the
+   Merkle tree from the on-device leaf tags, and require the resulting
+   root to match the RPMB anchor. A rolled-back or forked medium fails
+   here with [Stale_root]. *)
+let open_existing ?(key_mode = Single_key) ~device ~rpmb ~hardware_key
+    ~data_pages ~drbg () =
+  let rpmb_key = Keyslot.derive_rpmb_auth_key ~hardware_key in
+  let nonce = C.Drbg.generate drbg 16 in
+  match S.Rpmb.read rpmb ~nonce data_key_slot with
+  | Error e -> Error (Rpmb_error e)
+  | Ok key_frame ->
+      if not (S.Rpmb.verify_read_response ~key:rpmb_key ~nonce key_frame) then
+        Error (Rpmb_error S.Rpmb.Bad_mac)
+      else begin
+        let data_key = String.sub key_frame.S.Rpmb.payload 0 32 in
+        let keys = Keyslot.of_data_key ~hardware_key ~data_key in
+        let merkle =
+          C.Merkle.create ~key:(Keyslot.page_mac_key keys) ~leaves:data_pages
+        in
+        let t =
+          {
+            device;
+            rpmb;
+            keys;
+            key_mode;
+            enc_key = C.Aes.expand_key (Keyslot.page_enc_key keys);
+            page_keys = Array.make data_pages None;
+            merkle;
+            drbg;
+            data_pages;
+            stats = fresh_stats ();
+            anchored_root = "";
+          }
+        in
+        for i = 0 to data_pages - 1 do
+          let meta_page = data_pages + (i / tags_per_page) in
+          let raw = S.Block_device.read_page device meta_page in
+          C.Merkle.set_leaf merkle i (String.sub raw (i mod tags_per_page * 32) 32)
+        done;
+        let nonce = C.Drbg.generate drbg 16 in
+        match S.Rpmb.read rpmb ~nonce root_slot with
+        | Error e -> Error (Rpmb_error e)
+        | Ok root_frame ->
+            if not (S.Rpmb.verify_read_response ~key:rpmb_key ~nonce root_frame)
+            then Error (Rpmb_error S.Rpmb.Bad_mac)
+            else begin
+              let anchored = String.sub root_frame.S.Rpmb.payload 0 32 in
+              if
+                not
+                  (C.Constant_time.equal
+                     (root_mac keys (C.Merkle.root merkle))
+                     anchored)
+              then Error Stale_root
+              else begin
+                t.anchored_root <- anchored;
+                reset_stats t;
+                Ok t
+              end
+            end
+      end

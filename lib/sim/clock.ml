@@ -1,0 +1,22 @@
+(* Simulated monotonic clock, in nanoseconds of virtual time.
+
+   Every node of the deployment owns a clock; operations advance it by
+   model costs. End-to-end latency of a distributed exchange is taken
+   with [sync], which models a blocking round: both clocks jump to the
+   max plus the transfer time. *)
+
+type t = { mutable now_ns : float }
+
+let create () = { now_ns = 0.0 }
+let now t = t.now_ns
+
+let advance t ns =
+  if ns < 0.0 then invalid_arg "Clock.advance: negative duration";
+  t.now_ns <- t.now_ns +. ns
+
+let reset t = t.now_ns <- 0.0
+
+let sync a b transfer_ns =
+  let m = Float.max a.now_ns b.now_ns +. transfer_ns in
+  a.now_ns <- m;
+  b.now_ns <- m

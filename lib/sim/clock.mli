@@ -1,0 +1,12 @@
+(** Simulated per-node monotonic clock (virtual nanoseconds). *)
+
+type t
+
+val create : unit -> t
+val now : t -> float
+val advance : t -> float -> unit
+val reset : t -> unit
+
+val sync : t -> t -> float -> unit
+(** [sync a b transfer_ns] models a blocking message exchange: both
+    clocks move to [max now_a now_b + transfer_ns]. *)

@@ -1,0 +1,43 @@
+(* CPU speed model.
+
+   A node's query work is expressed in abstract row-operator steps; a
+   host (x86) core retires one step per [host_row_ns]. ARM storage
+   cores are [arm_slowdown] slower per core. Multi-core scaling follows
+   Amdahl's law with the parallelizable fraction from {!Params}. *)
+
+type kind = Host_x86 | Storage_arm
+
+let pp_kind ppf = function
+  | Host_x86 -> Fmt.string ppf "host(x86)"
+  | Storage_arm -> Fmt.string ppf "storage(arm)"
+
+type t = { kind : kind; cores : int; params : Params.t }
+
+let create ?(cores = 1) ~params kind =
+  if cores < 1 then invalid_arg "Cpu.create: cores must be >= 1";
+  { kind; cores; params }
+
+let kind t = t.kind
+let cores t = t.cores
+
+let row_ns t =
+  match t.kind with
+  | Host_x86 -> t.params.Params.host_row_ns
+  | Storage_arm -> t.params.Params.host_row_ns *. t.params.Params.arm_slowdown
+
+(* Amdahl: time(n) = t1 * ((1-p) + p/n) *)
+let amdahl t single_thread_ns =
+  let p = t.params.Params.parallel_fraction in
+  single_thread_ns *. (1.0 -. p +. (p /. float_of_int t.cores))
+
+let work_ns t ~row_ops = amdahl t (float_of_int row_ops *. row_ns t)
+
+let scalar_ns t ns =
+  (* non-parallelizable fixed work (e.g. crypto on one page) scaled by
+     the per-core speed ratio *)
+  match t.kind with
+  | Host_x86 -> ns
+  | Storage_arm -> ns *. 1.0
+(* crypto constants in Params are already calibrated per platform where
+   they matter (decrypt_page_ns etc. measured on ARM); generic scalar
+   work passes through unchanged *)

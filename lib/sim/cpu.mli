@@ -1,0 +1,24 @@
+(** Per-node CPU speed model (x86 host vs ARM storage cores, Amdahl
+    multi-core scaling). *)
+
+type kind = Host_x86 | Storage_arm
+
+val pp_kind : Format.formatter -> kind -> unit
+
+type t
+
+val create : ?cores:int -> params:Params.t -> kind -> t
+val kind : t -> kind
+val cores : t -> int
+
+val row_ns : t -> float
+(** Nanoseconds to retire one row-operator step on one core. *)
+
+val work_ns : t -> row_ops:int -> float
+(** Wall time for [row_ops] steps across all cores (Amdahl). *)
+
+val amdahl : t -> float -> float
+(** Scale a single-threaded duration across this CPU's cores. *)
+
+val scalar_ns : t -> float -> float
+(** Fixed-cost work that does not parallelize. *)

@@ -1,0 +1,66 @@
+(* A simulated machine: CPU + clock + cost trace + memory meter.
+
+   All model charging funnels through [charge] so that every
+   nanosecond of virtual time is attributed to a category. *)
+
+type t = {
+  name : string;
+  cpu : Cpu.t;
+  clock : Clock.t;
+  trace : Trace.t;
+  memory : Resource.t;
+  params : Params.t;
+}
+
+let create ?(cores = 1) ?mem_limit ~params ~name kind =
+  {
+    name;
+    cpu = Cpu.create ~cores ~params kind;
+    clock = Clock.create ();
+    trace = Trace.create ();
+    memory = Resource.create ?limit_bytes:mem_limit ();
+    params;
+  }
+
+let name t = t.name
+let cpu t = t.cpu
+let clock t = t.clock
+let trace t = t.trace
+let memory t = t.memory
+let params t = t.params
+let now t = Clock.now t.clock
+
+let charge t ~category ns =
+  Clock.advance t.clock ns;
+  Trace.charge t.trace category ns
+
+(* Query compute: row-operator steps, Amdahl-scaled over the cores. *)
+let compute t ~category ~row_ops =
+  charge t ~category (Cpu.work_ns t.cpu ~row_ops)
+
+(* Fixed-cost work (crypto, transitions) that does not parallelize. *)
+let fixed t ~category ns = charge t ~category (Cpu.scalar_ns t.cpu ns)
+
+(* Memory accounting: spills charge thrash time proportional to the
+   overflow (two extra NVMe round-trips per spilled page). *)
+let allocate t ~category bytes =
+  match Resource.allocate t.memory bytes with
+  | `Fits -> ()
+  | `Spill over ->
+      let pages = float_of_int over /. float_of_int t.params.Params.page_size in
+      charge t ~category (pages *. 2.0 *. t.params.Params.nvme_page_ns)
+
+let release t bytes = Resource.release t.memory bytes
+
+let reset t =
+  Clock.reset t.clock;
+  Trace.reset t.trace;
+  Resource.reset t.memory
+
+(* Fixed-cost work spread over a thread pool on this node (Amdahl). *)
+let fixed_parallel t ~category ns =
+  charge t ~category (Cpu.amdahl t.cpu (Cpu.scalar_ns t.cpu ns))
+
+(* Strictly single-threaded row work (one engine instance). *)
+let compute_serial t ~category ~row_ops =
+  charge t ~category (float_of_int row_ops *. Cpu.row_ns t.cpu)

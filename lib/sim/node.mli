@@ -1,0 +1,43 @@
+(** A simulated machine (CPU, clock, trace, memory) — the unit on which
+    query work, crypto and I/O costs are charged. *)
+
+type t
+
+val create :
+  ?cores:int ->
+  ?mem_limit:int ->
+  params:Params.t ->
+  name:string ->
+  Cpu.kind ->
+  t
+
+val name : t -> string
+val cpu : t -> Cpu.t
+val clock : t -> Clock.t
+val trace : t -> Trace.t
+val memory : t -> Resource.t
+val params : t -> Params.t
+
+val now : t -> float
+(** Current virtual time (ns). *)
+
+val charge : t -> category:string -> float -> unit
+(** Advance the clock and attribute the time. *)
+
+val compute : t -> category:string -> row_ops:int -> unit
+(** Charge row-operator work, Amdahl-scaled over the node's cores. *)
+
+val fixed : t -> category:string -> float -> unit
+(** Charge non-parallelizable fixed-cost work. *)
+
+val allocate : t -> category:string -> int -> unit
+(** Track memory; beyond the node's limit, charges spill/thrash time. *)
+
+val release : t -> int -> unit
+val reset : t -> unit
+
+val fixed_parallel : t -> category:string -> float -> unit
+(** Fixed-cost work parallelized over the node's cores (Amdahl). *)
+
+val compute_serial : t -> category:string -> row_ops:int -> unit
+(** Row work on exactly one core (a single engine instance). *)

@@ -1,0 +1,42 @@
+(* Memory meter with an optional capacity limit.
+
+   The storage-side memory sweep (Fig. 11) needs queries to slow down
+   when their working set exceeds the configured limit: every byte
+   touched beyond capacity pays a spill penalty (modelling hash-join
+   partitioning to disk / page-cache thrashing). *)
+
+type t = {
+  limit_bytes : int option;
+  mutable used : int;
+  mutable high_water : int;
+  mutable spilled : int;
+}
+
+let create ?limit_bytes () =
+  (match limit_bytes with
+  | Some l when l <= 0 -> invalid_arg "Resource.create: non-positive limit"
+  | _ -> ());
+  { limit_bytes; used = 0; high_water = 0; spilled = 0 }
+
+let allocate t bytes =
+  if bytes < 0 then invalid_arg "Resource.allocate: negative size";
+  t.used <- t.used + bytes;
+  if t.used > t.high_water then t.high_water <- t.used;
+  match t.limit_bytes with
+  | Some limit when t.used > limit ->
+      let over = min bytes (t.used - limit) in
+      t.spilled <- t.spilled + over;
+      `Spill over
+  | _ -> `Fits
+
+let release t bytes = t.used <- max 0 (t.used - bytes)
+
+let reset t =
+  t.used <- 0;
+  t.high_water <- 0;
+  t.spilled <- 0
+
+let used t = t.used
+let high_water t = t.high_water
+let spilled_bytes t = t.spilled
+let limit t = t.limit_bytes

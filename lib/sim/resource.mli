@@ -1,0 +1,17 @@
+(** Memory meter with optional capacity, for constrained-resource
+    experiments (Fig. 11). *)
+
+type t
+
+val create : ?limit_bytes:int -> unit -> t
+
+val allocate : t -> int -> [ `Fits | `Spill of int ]
+(** Track an allocation; [`Spill n] reports how many of the new bytes
+    exceed the configured limit (caller charges spill cost). *)
+
+val release : t -> int -> unit
+val reset : t -> unit
+val used : t -> int
+val high_water : t -> int
+val spilled_bytes : t -> int
+val limit : t -> int option

@@ -1,0 +1,36 @@
+(* Named cost attribution: each advance of a node's clock is also
+   charged to a category (ndp compute, freshness, decryption, network,
+   other, ...), which is exactly the data Figures 8 and 9c plot. *)
+
+type t = { table : (string, float) Hashtbl.t; mutable events : int }
+
+let create () = { table = Hashtbl.create 16; events = 0 }
+
+let charge t category ns =
+  t.events <- t.events + 1;
+  let cur = Option.value ~default:0.0 (Hashtbl.find_opt t.table category) in
+  Hashtbl.replace t.table category (cur +. ns)
+
+let total t = Hashtbl.fold (fun _ v acc -> acc +. v) t.table 0.0
+let get t category = Option.value ~default:0.0 (Hashtbl.find_opt t.table category)
+
+let categories t =
+  Hashtbl.fold (fun k _ acc -> k :: acc) t.table [] |> List.sort compare
+
+let breakdown t =
+  List.map (fun c -> (c, get t c)) (categories t)
+
+let reset t =
+  Hashtbl.reset t.table;
+  t.events <- 0
+
+let merge ~into src =
+  Hashtbl.iter (fun k v -> charge into k v) src.table
+
+let pp ppf t =
+  let tot = total t in
+  List.iter
+    (fun (c, v) ->
+      Fmt.pf ppf "%-12s %12.3f ms (%5.1f%%)@." c (v /. 1e6)
+        (if tot > 0.0 then 100.0 *. v /. tot else 0.0))
+    (breakdown t)

@@ -1,0 +1,16 @@
+(** Cost attribution by category, backing the breakdown figures. *)
+
+type t
+
+val create : unit -> t
+
+val charge : t -> string -> float -> unit
+(** [charge t category ns] adds [ns] to [category]. *)
+
+val total : t -> float
+val get : t -> string -> float
+val categories : t -> string list
+val breakdown : t -> (string * float) list
+val reset : t -> unit
+val merge : into:t -> t -> unit
+val pp : Format.formatter -> t -> unit

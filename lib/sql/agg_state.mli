@@ -1,0 +1,7 @@
+(** Incremental aggregate accumulators with SQL NULL semantics. *)
+
+type t
+
+val create : Ast.agg_func -> distinct:bool -> t
+val update : t -> [ `Star | `Value of Value.t ] -> unit
+val finish : t -> Value.t

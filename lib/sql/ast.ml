@@ -1,0 +1,167 @@
+(* Abstract syntax of the supported SQL dialect — the subset needed to
+   express the 17 evaluated TPC-H queries plus the DML used by the
+   GDPR policy rewrites (CREATE/INSERT/UPDATE/DELETE). *)
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Eq
+  | Neq
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | And
+  | Or
+
+type agg_func = Sum | Avg | Min | Max | Count
+
+type interval_unit = Day | Month | Year
+
+type expr =
+  | Lit of Value.t
+  | Col of { qualifier : string option; name : string }
+  | Unary of [ `Not | `Neg ] * expr
+  | Binop of binop * expr * expr
+  | Like of { negated : bool; subject : expr; pattern : string }
+  | Between of { negated : bool; subject : expr; low : expr; high : expr }
+  | In_list of { negated : bool; subject : expr; items : expr list }
+  | In_select of { negated : bool; subject : expr; select : select }
+  | Exists of { negated : bool; select : select }
+  | Scalar_select of select
+  | Case of { branches : (expr * expr) list; else_ : expr option }
+  | Agg of { func : agg_func; distinct : bool; arg : expr option }
+      (** [arg = None] means count-star. *)
+  | Extract of { field : interval_unit; arg : expr }
+  | Interval of { n : int; unit_ : interval_unit }
+  | Is_null of { negated : bool; subject : expr }
+  | Substring of { subject : expr; start : expr; len : expr option }
+      (** SQL SUBSTRING (1-based, clamped) *)
+
+and select_item = Star | Item of expr * string option
+
+and from_item =
+  | Table of { table : string; alias : string option }
+  | Derived of { select : select; alias : string }
+  | Join of {
+      kind : [ `Inner | `Left ];
+      left : from_item;
+      right : from_item;
+      on : expr;
+    }
+
+and select = {
+  items : select_item list;
+  from : from_item list;
+  where : expr option;
+  group_by : expr list;
+  having : expr option;
+  order_by : (expr * [ `Asc | `Desc ]) list;
+  limit : int option;
+}
+
+type stmt =
+  | Select of select
+  | Create_table of { name : string; cols : (string * Value.ty) list }
+  | Insert of {
+      table : string;
+      columns : string list option;
+      values : expr list list;
+    }
+  | Update of { table : string; sets : (string * expr) list; where : expr option }
+  | Delete of { table : string; where : expr option }
+  | Drop_table of string
+  | Create_index of { index_name : string; table : string; column : string }
+  | Drop_index of string
+
+(* -- Structural helpers used by the planner and the partitioner ----- *)
+
+(* All conjuncts of an expression (flattening nested ANDs). *)
+let rec conjuncts = function
+  | Binop (And, a, b) -> conjuncts a @ conjuncts b
+  | e -> [ e ]
+
+let conjoin = function
+  | [] -> None
+  | e :: rest -> Some (List.fold_left (fun acc x -> Binop (And, acc, x)) e rest)
+
+(* Column references appearing in an expression, excluding those inside
+   subqueries (a subquery's own references are not the outer query's;
+   correlated references are accounted by the evaluator's scoping). *)
+let rec columns_of_expr acc = function
+  | Lit _ | Interval _ -> acc
+  | Col { qualifier; name } -> (qualifier, name) :: acc
+  | Unary (_, e) | Extract { arg = e; _ } | Is_null { subject = e; _ } ->
+      columns_of_expr acc e
+  | Substring { subject; start; len } ->
+      let acc = columns_of_expr (columns_of_expr acc subject) start in
+      Option.fold ~none:acc ~some:(columns_of_expr acc) len
+  | Binop (_, a, b) -> columns_of_expr (columns_of_expr acc a) b
+  | Like { subject; _ } -> columns_of_expr acc subject
+  | Between { subject; low; high; _ } ->
+      columns_of_expr (columns_of_expr (columns_of_expr acc subject) low) high
+  | In_list { subject; items; _ } ->
+      List.fold_left columns_of_expr (columns_of_expr acc subject) items
+  | In_select { subject; _ } -> columns_of_expr acc subject
+  | Exists _ -> acc
+  | Scalar_select _ -> acc
+  | Case { branches; else_ } ->
+      let acc =
+        List.fold_left
+          (fun acc (c, v) -> columns_of_expr (columns_of_expr acc c) v)
+          acc branches
+      in
+      Option.fold ~none:acc ~some:(columns_of_expr acc) else_
+  | Agg { arg; _ } -> Option.fold ~none:acc ~some:(columns_of_expr acc) arg
+
+let rec contains_subquery = function
+  | In_select _ | Exists _ | Scalar_select _ -> true
+  | Lit _ | Col _ | Interval _ -> false
+  | Unary (_, e) | Extract { arg = e; _ } | Is_null { subject = e; _ } ->
+      contains_subquery e
+  | Substring { subject; start; len } ->
+      contains_subquery subject || contains_subquery start
+      || Option.fold ~none:false ~some:contains_subquery len
+  | Binop (_, a, b) -> contains_subquery a || contains_subquery b
+  | Like { subject; _ } -> contains_subquery subject
+  | Between { subject; low; high; _ } ->
+      contains_subquery subject || contains_subquery low || contains_subquery high
+  | In_list { subject; items; _ } ->
+      contains_subquery subject || List.exists contains_subquery items
+  | Case { branches; else_ } ->
+      List.exists (fun (c, v) -> contains_subquery c || contains_subquery v) branches
+      || Option.fold ~none:false ~some:contains_subquery else_
+  | Agg { arg; _ } -> Option.fold ~none:false ~some:contains_subquery arg
+
+let rec contains_agg = function
+  | Agg _ -> true
+  | Lit _ | Col _ | Interval _ | Exists _ | In_select _ | Scalar_select _ ->
+      false
+  | Unary (_, e) | Extract { arg = e; _ } | Is_null { subject = e; _ } ->
+      contains_agg e
+  | Substring { subject; start; len } ->
+      contains_agg subject || contains_agg start
+      || Option.fold ~none:false ~some:contains_agg len
+  | Binop (_, a, b) -> contains_agg a || contains_agg b
+  | Like { subject; _ } -> contains_agg subject
+  | Between { subject; low; high; _ } ->
+      contains_agg subject || contains_agg low || contains_agg high
+  | In_list { subject; items; _ } ->
+      contains_agg subject || List.exists contains_agg items
+  | Case { branches; else_ } ->
+      List.exists (fun (c, v) -> contains_agg c || contains_agg v) branches
+      || Option.fold ~none:false ~some:contains_agg else_
+
+(* Base tables of a FROM clause with their effective binding name. *)
+let rec tables_of_from_item acc = function
+  | Table { table; alias } ->
+      (table, Option.value ~default:table alias) :: acc
+  | Derived { select; _ } ->
+      (* a derived table's base tables are its own FROM's base tables *)
+      List.fold_left tables_of_from_item acc select.from
+  | Join { left; right; _ } ->
+      tables_of_from_item (tables_of_from_item acc left) right
+
+let tables_of_select s = List.fold_left tables_of_from_item [] s.from |> List.rev

@@ -1,0 +1,32 @@
+(** Engine facade: parse, plan and execute SQL statements against a
+    catalog over a pluggable pager. *)
+
+type t
+
+type outcome =
+  | Result of Exec.result
+  | Affected of int
+  | Created of string
+  | Dropped of string
+
+val create : pager:Pager.t -> t
+val catalog : t -> Catalog.t
+
+val set_observer : t -> Observer.t -> unit
+(** Install the execution observer (also wired into the pager). *)
+
+val create_table : t -> Schema.t -> unit
+
+val insert_rows : t -> string -> Row.t list -> unit
+(** Bulk load pre-built rows (bypasses the SQL layer). *)
+
+val exec_ast : t -> Ast.stmt -> outcome
+val exec : t -> string -> outcome
+
+val query : t -> string -> Exec.result
+(** Like {!exec} but expects a row-producing statement.
+    @raise Exec.Sql_error otherwise. *)
+
+(**/**)
+
+val state : t -> Exec.state

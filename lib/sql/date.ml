@@ -1,0 +1,74 @@
+(* Civil-calendar dates stored as days since 1970-01-01 (can be
+   negative). Conversion uses the standard days-from-civil algorithm
+   (Howard Hinnant's formulation), exact over the proleptic Gregorian
+   calendar, so TPC-H interval arithmetic ('3' month etc.) is correct
+   rather than 30-day approximated. *)
+
+type t = int
+
+let days_from_civil ~y ~m ~d =
+  let y = if m <= 2 then y - 1 else y in
+  let era = (if y >= 0 then y else y - 399) / 400 in
+  let yoe = y - (era * 400) in
+  let mp = (m + 9) mod 12 in
+  let doy = (((153 * mp) + 2) / 5) + d - 1 in
+  let doe = (yoe * 365) + (yoe / 4) - (yoe / 100) + doy in
+  (era * 146097) + doe - 719468
+
+let civil_from_days z =
+  let z = z + 719468 in
+  let era = (if z >= 0 then z else z - 146096) / 146097 in
+  let doe = z - (era * 146097) in
+  let yoe = (doe - (doe / 1460) + (doe / 36524) - (doe / 146096)) / 365 in
+  let y = yoe + (era * 400) in
+  let doy = doe - ((365 * yoe) + (yoe / 4) - (yoe / 100)) in
+  let mp = ((5 * doy) + 2) / 153 in
+  let d = doy - (((153 * mp) + 2) / 5) + 1 in
+  let m = if mp < 10 then mp + 3 else mp - 9 in
+  ((if m <= 2 then y + 1 else y), m, d)
+
+let is_leap y = (y mod 4 = 0 && y mod 100 <> 0) || y mod 400 = 0
+
+let days_in_month y m =
+  match m with
+  | 1 | 3 | 5 | 7 | 8 | 10 | 12 -> 31
+  | 4 | 6 | 9 | 11 -> 30
+  | 2 -> if is_leap y then 29 else 28
+  | _ -> invalid_arg "Date.days_in_month"
+
+let of_ymd ~y ~m ~d =
+  if m < 1 || m > 12 then invalid_arg "Date.of_ymd: month out of range";
+  if d < 1 || d > days_in_month y m then
+    invalid_arg "Date.of_ymd: day out of range";
+  days_from_civil ~y ~m ~d
+
+let to_ymd t = civil_from_days t
+
+let of_string s =
+  match String.split_on_char '-' s with
+  | [ ys; ms; ds ] -> (
+      match (int_of_string_opt ys, int_of_string_opt ms, int_of_string_opt ds) with
+      | Some y, Some m, Some d -> of_ymd ~y ~m ~d
+      | _ -> invalid_arg (Printf.sprintf "Date.of_string: %S" s))
+  | _ -> invalid_arg (Printf.sprintf "Date.of_string: %S" s)
+
+let to_string t =
+  let y, m, d = to_ymd t in
+  Printf.sprintf "%04d-%02d-%02d" y m d
+
+let year t =
+  let y, _, _ = to_ymd t in
+  y
+
+let add_days t n = t + n
+
+let add_months t n =
+  let y, m, d = to_ymd t in
+  let total = ((y * 12) + (m - 1)) + n in
+  let y' = if total >= 0 then total / 12 else (total - 11) / 12 in
+  let m' = total - (y' * 12) + 1 in
+  let d' = min d (days_in_month y' m') in
+  of_ymd ~y:y' ~m:m' ~d:d'
+
+let add_years t n = add_months t (12 * n)
+let compare = Int.compare

@@ -1,0 +1,22 @@
+(** Civil dates as days since 1970-01-01, with exact Gregorian
+    month/year interval arithmetic. *)
+
+type t = int
+
+val of_ymd : y:int -> m:int -> d:int -> t
+val to_ymd : t -> int * int * int
+
+val of_string : string -> t
+(** Parses ["YYYY-MM-DD"]. @raise Invalid_argument on malformed input. *)
+
+val to_string : t -> string
+val year : t -> int
+val add_days : t -> int -> t
+
+val add_months : t -> int -> t
+(** Clamps the day-of-month (Jan 31 + 1 month = Feb 28/29). *)
+
+val add_years : t -> int -> t
+val compare : t -> t -> int
+val is_leap : int -> bool
+val days_in_month : int -> int -> int

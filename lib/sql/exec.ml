@@ -1,0 +1,1303 @@
+(* Query planning and execution.
+
+   The executor is materializing (each stage produces row lists),
+   which suits analytic scans; plans are compiled closures with all
+   column references resolved to array indices up front.
+
+   Join strategy: left-deep over the FROM list with a greedy reorder —
+   at each step prefer a table connected to the accumulated result by
+   an equi-predicate (hash join); otherwise fall back to a filtered
+   nested loop. Explicit JOIN ... ON (including LEFT OUTER) is planned
+   structurally.
+
+   Subqueries (EXISTS / IN / scalar) are planned in two stages:
+   stage A — everything independent of the outer row — runs and is
+   memoized once; correlated equi-predicates become a hash semi-join
+   index over stage-A rows, so correlated evaluation is a bucket probe
+   plus residual filters instead of a rescan per outer row. *)
+
+open Ast
+
+exception Sql_error of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Sql_error s)) fmt
+
+type state = { catalog : Catalog.t; obs : Observer.t }
+
+(* -- Environments --------------------------------------------------- *)
+
+type env = { row : Row.t; aggs : Value.t array; up : env option }
+
+let no_aggs : Value.t array = [||]
+let mk_env ?(aggs = no_aggs) ?up row = { row; aggs; up }
+
+let rec climb env depth =
+  if depth = 0 then env
+  else
+    match env.up with
+    | Some up -> climb up (depth - 1)
+    | None -> fail "internal: missing outer environment"
+
+type comp_ctx = {
+  cols : (string option * string) array;
+  agg_slots : (Ast.expr * int) list;
+  parent : comp_ctx option;
+  uses_outer : bool ref;
+  state : state;
+}
+
+let mk_ctx ?(agg_slots = []) ?parent ~state cols =
+  { cols; agg_slots; parent; uses_outer = ref false; state }
+
+let resolve_local cols qualifier name =
+  let name = String.lowercase_ascii name in
+  let qualifier = Option.map String.lowercase_ascii qualifier in
+  let hits = ref [] in
+  Array.iteri
+    (fun i (q, n) ->
+      let qual_ok =
+        match qualifier with None -> true | Some want -> q = Some want
+      in
+      if qual_ok && n = name then hits := i :: !hits)
+    cols;
+  !hits
+
+let rec resolve ctx qualifier name depth =
+  match resolve_local ctx.cols qualifier name with
+  | [ i ] -> Some (depth, i)
+  | [] -> (
+      match ctx.parent with
+      | Some p -> resolve p qualifier name (depth + 1)
+      | None -> None)
+  | _ :: _ :: _ ->
+      fail "ambiguous column reference %s%s"
+        (match qualifier with Some q -> q ^ "." | None -> "")
+        name
+
+(* -- Expression compilation ----------------------------------------- *)
+
+type compiled = env -> Value.t
+
+let bool_binop op =
+  match op with
+  | Eq -> Some (fun c -> c = 0)
+  | Neq -> Some (fun c -> c <> 0)
+  | Lt -> Some (fun c -> c < 0)
+  | Le -> Some (fun c -> c <= 0)
+  | Gt -> Some (fun c -> c > 0)
+  | Ge -> Some (fun c -> c >= 0)
+  | _ -> None
+
+let arith_binop = function
+  | Add -> Some `Add
+  | Sub -> Some `Sub
+  | Mul -> Some `Mul
+  | Div -> Some `Div
+  | _ -> None
+
+(* Set of values for IN-subquery probing. *)
+type value_set = { mutable has_null : bool; table : (string, unit) Hashtbl.t }
+
+let encode_value v =
+  let buf = Buffer.create 16 in
+  Value.encode buf v;
+  Buffer.contents buf
+
+let encode_values vs =
+  let buf = Buffer.create 32 in
+  List.iter (Value.encode buf) vs;
+  Buffer.contents buf
+
+(* Subquery runtime: a function from the (optional) outer env to the
+   result rows of the subquery. *)
+type subplan = {
+  sub_cols : string list;
+  sub_correlated : bool;
+  sub_run : env option -> Row.t list;
+}
+
+let rec compile ctx expr : compiled =
+  match expr with
+  | Lit v -> fun _ -> v
+  | Col { qualifier; name } -> (
+      (* aggregate slot references take priority in post-agg contexts *)
+      match resolve ctx qualifier name 0 with
+      | Some (0, i) -> fun env -> env.row.(i)
+      | Some (depth, i) ->
+          ctx.uses_outer := true;
+          fun env -> (climb env depth).row.(i)
+      | None ->
+          fail "unknown column %s%s"
+            (match qualifier with Some q -> q ^ "." | None -> "")
+            name)
+  | Agg _ -> (
+      match List.find_opt (fun (e, _) -> e = expr) ctx.agg_slots with
+      | Some (_, slot) -> fun env -> env.aggs.(slot)
+      | None -> fail "aggregate used outside of an aggregation context")
+  | Unary (`Not, e) ->
+      let ce = compile ctx e in
+      fun env -> Value.Bool (not (Value.as_bool (ce env)))
+  | Unary (`Neg, e) -> (
+      let ce = compile ctx e in
+      fun env ->
+        match ce env with
+        | Value.Int i -> Value.Int (-i)
+        | Value.Float f -> Value.Float (-.f)
+        | Value.Null -> Value.Null
+        | v -> fail "cannot negate %s" (Value.to_string v))
+  | Binop (And, a, b) ->
+      let ca = compile ctx a and cb = compile ctx b in
+      fun env -> Value.Bool (Value.as_bool (ca env) && Value.as_bool (cb env))
+  | Binop (Or, a, b) ->
+      let ca = compile ctx a and cb = compile ctx b in
+      fun env -> Value.Bool (Value.as_bool (ca env) || Value.as_bool (cb env))
+  | Binop (op, a, Interval { n; unit_ }) -> (
+      let ca = compile ctx a in
+      let shift =
+        match op with
+        | Add -> n
+        | Sub -> -n
+        | _ -> fail "intervals only support + and -"
+      in
+      fun env ->
+        match ca env with
+        | Value.Date d ->
+            Value.Date
+              (match unit_ with
+              | Day -> Date.add_days d shift
+              | Month -> Date.add_months d shift
+              | Year -> Date.add_years d shift)
+        | Value.Null -> Value.Null
+        | v -> fail "interval arithmetic on non-date %s" (Value.to_string v))
+  | Binop (op, a, b) -> (
+      let ca = compile ctx a and cb = compile ctx b in
+      match bool_binop op with
+      | Some test -> (
+          fun env ->
+            match Value.compare_opt (ca env) (cb env) with
+            | None -> Value.Null
+            | Some c -> Value.Bool (test c))
+      | None -> (
+          match arith_binop op with
+          | Some aop -> fun env -> Value.arith aop (ca env) (cb env)
+          | None -> assert false))
+  | Like { negated; subject; pattern } -> (
+      let cs = compile ctx subject in
+      fun env ->
+        match cs env with
+        | Value.Str s ->
+            let m = Value.like ~pattern s in
+            Value.Bool (if negated then not m else m)
+        | Value.Null -> Value.Null
+        | v -> fail "LIKE on non-string %s" (Value.to_string v))
+  | Between { negated; subject; low; high } -> (
+      let cs = compile ctx subject
+      and cl = compile ctx low
+      and ch = compile ctx high in
+      fun env ->
+        let v = cs env in
+        match (Value.compare_opt v (cl env), Value.compare_opt v (ch env)) with
+        | Some a, Some b ->
+            let inside = a >= 0 && b <= 0 in
+            Value.Bool (if negated then not inside else inside)
+        | _ -> Value.Null)
+  | In_list { negated; subject; items } ->
+      let cs = compile ctx subject in
+      let citems = List.map (compile ctx) items in
+      fun env ->
+        let v = cs env in
+        let mem =
+          List.exists (fun ci -> Value.equal v (ci env)) citems
+        in
+        Value.Bool (if negated then not mem else mem)
+  | In_select { negated; subject; select } ->
+      let cs = compile ctx subject in
+      let sub = plan_select ctx.state ~outer:(Some ctx) select in
+      let memo : (string, value_set) Hashtbl.t = Hashtbl.create 4 in
+      let correlated = sub.sub_correlated in
+      fun env ->
+        let key = if correlated then corr_key env else "" in
+        let set =
+          match Hashtbl.find_opt memo key with
+          | Some s -> s
+          | None ->
+              let rows = sub.sub_run (Some env) in
+              let s = { has_null = false; table = Hashtbl.create 64 } in
+              List.iter
+                (fun (r : Row.t) ->
+                  match r.(0) with
+                  | Value.Null -> s.has_null <- true
+                  | v -> Hashtbl.replace s.table (encode_value v) ())
+                rows;
+              if not correlated then Hashtbl.reset memo;
+              Hashtbl.replace memo key s;
+              s
+        in
+        let v = cs env in
+        let mem = v <> Value.Null && Hashtbl.mem set.table (encode_value v) in
+        if mem then Value.Bool (not negated)
+        else if set.has_null || v = Value.Null then Value.Null
+        else Value.Bool negated
+  | Exists { negated; select } ->
+      let sub = plan_select ctx.state ~outer:(Some ctx) select in
+      fun env ->
+        let rows = sub.sub_run (Some env) in
+        let e = rows <> [] in
+        Value.Bool (if negated then not e else e)
+  | Scalar_select select -> (
+      let sub = plan_select ctx.state ~outer:(Some ctx) select in
+      fun env ->
+        match sub.sub_run (Some env) with
+        | [] -> Value.Null
+        | [ r ] -> r.(0)
+        | _ :: _ :: _ -> fail "scalar subquery returned more than one row")
+  | Case { branches; else_ } ->
+      let cbranches =
+        List.map (fun (c, v) -> (compile ctx c, compile ctx v)) branches
+      in
+      let celse = Option.map (compile ctx) else_ in
+      fun env ->
+        let rec go = function
+          | [] -> ( match celse with Some c -> c env | None -> Value.Null)
+          | (cc, cv) :: rest -> if Value.as_bool (cc env) then cv env else go rest
+        in
+        go cbranches
+  | Extract { field; arg } -> (
+      let ca = compile ctx arg in
+      fun env ->
+        match ca env with
+        | Value.Date d ->
+            let y, m, dd = Date.to_ymd d in
+            Value.Int (match field with Year -> y | Month -> m | Day -> dd)
+        | Value.Null -> Value.Null
+        | v -> fail "EXTRACT from non-date %s" (Value.to_string v))
+  | Substring { subject; start; len } -> (
+      let cs = compile ctx subject in
+      let cstart = compile ctx start in
+      let clen = Option.map (compile ctx) len in
+      fun env ->
+        match cs env with
+        | Value.Null -> Value.Null
+        | Value.Str s ->
+            let n = String.length s in
+            (* SQL semantics: 1-based start, clamped to the string *)
+            let start = Value.as_int (cstart env) in
+            let from = max 0 (start - 1) in
+            let upto =
+              match clen with
+              | None -> n
+              | Some c -> min n (max 0 (start - 1 + Value.as_int (c env)))
+            in
+            if from >= upto then Value.Str ""
+            else Value.Str (String.sub s from (upto - from))
+        | v -> fail "SUBSTRING on non-string %s" (Value.to_string v))
+  | Interval _ -> fail "interval literal outside of date arithmetic"
+  | Is_null { negated; subject } ->
+      let cs = compile ctx subject in
+      fun env ->
+        let isn = cs env = Value.Null in
+        Value.Bool (if negated then not isn else isn)
+
+(* Correlation memo key: the outer row contents along the whole scope
+   chain — equal outer rows produce equal subquery inputs. *)
+and corr_key env =
+  let buf = Buffer.create 32 in
+  let rec add env =
+    Array.iter (Value.encode buf) env.row;
+    match env.up with Some u -> add u | None -> ()
+  in
+  add env;
+  Buffer.contents buf
+
+(* -- FROM planning --------------------------------------------------- *)
+
+and binding_of_from = function
+  | Table { table; alias } -> Option.value ~default:table alias
+  | Derived { alias; _ } -> alias
+  | Join _ -> fail "internal: binding_of_from on join"
+
+(* Bindings referenced by an expression, resolved against [ctx];
+   returns [None] if the expression references the outer scope or
+   contains a subquery (not safely classifiable). *)
+and local_bindings ctx e =
+  if contains_subquery e then None
+  else begin
+    let cols = columns_of_expr [] e in
+    let rec collect acc = function
+      | [] -> Some acc
+      | (q, n) :: rest -> (
+          match resolve ctx q n 0 with
+          | Some (0, i) -> (
+              match fst ctx.cols.(i) with
+              | Some b -> collect (if List.mem b acc then acc else b :: acc) rest
+              | None -> None)
+          | Some (_, _) -> None (* outer reference *)
+          | None -> None)
+    in
+    collect [] cols
+  end
+
+(* Can one of the pushdown [filters] be answered from an index on
+   [table]? Returns the page set to scan if so. Matching pages are
+   still fully re-filtered, so using an index is always sound. *)
+and index_access state table filters =
+  let index_for name = Catalog.index_on state.catalog ~table ~column:name in
+  let probe = function
+    | Binop (Eq, Col { name; _ }, Lit v) | Binop (Eq, Lit v, Col { name; _ })
+      ->
+        Option.map (fun idx -> Index.pages_equal idx v) (index_for name)
+    | Binop (Lt, Col { name; _ }, Lit v) | Binop (Gt, Lit v, Col { name; _ })
+      ->
+        Option.map (fun idx -> Index.pages_range idx ~hi:(v, false) ()) (index_for name)
+    | Binop (Le, Col { name; _ }, Lit v) | Binop (Ge, Lit v, Col { name; _ })
+      ->
+        Option.map (fun idx -> Index.pages_range idx ~hi:(v, true) ()) (index_for name)
+    | Binop (Gt, Col { name; _ }, Lit v) | Binop (Lt, Lit v, Col { name; _ })
+      ->
+        Option.map (fun idx -> Index.pages_range idx ~lo:(v, false) ()) (index_for name)
+    | Binop (Ge, Col { name; _ }, Lit v) | Binop (Le, Lit v, Col { name; _ })
+      ->
+        Option.map (fun idx -> Index.pages_range idx ~lo:(v, true) ()) (index_for name)
+    | Between { negated = false; subject = Col { name; _ }; low = Lit lo; high = Lit hi }
+      ->
+        Option.map
+          (fun idx -> Index.pages_range idx ~lo:(lo, true) ~hi:(hi, true) ())
+          (index_for name)
+    | _ -> None
+  in
+  (* intersect the page sets of every indexable conjunct *)
+  List.fold_left
+    (fun acc f ->
+      match (acc, probe f) with
+      | None, p -> p
+      | Some a, Some b -> Some (Index.IntSet.inter a b)
+      | Some a, None -> Some a)
+    None filters
+
+and scan_table state ~binding table ~filters ~ctx_parent =
+  let hf =
+    try Catalog.find state.catalog table
+    with Catalog.Unknown_table t -> fail "unknown table %s" t
+  in
+  let schema = Heap_file.schema hf in
+  let cols =
+    Array.map
+      (fun c -> (Some (String.lowercase_ascii binding), c.Schema.col_name))
+      (Schema.columns schema)
+  in
+  let ctx =
+    {
+      cols;
+      agg_slots = [];
+      parent = ctx_parent;
+      uses_outer = ref false;
+      state;
+    }
+  in
+  let cfilters = List.map (compile ctx) filters in
+  let index_pages = index_access state table filters in
+  let run _outer_env =
+    let acc = ref [] in
+    let consume row =
+      state.obs.Observer.on_rows 1;
+      let env = mk_env row in
+      if List.for_all (fun f -> Value.as_bool (f env)) cfilters then begin
+        state.obs.Observer.on_alloc (Row.heap_size row);
+        acc := row :: !acc
+      end
+    in
+    (match index_pages with
+    | Some pages ->
+        Heap_file.iter_pages hf
+          (List.sort compare (Index.IntSet.elements pages))
+          ~f:(fun ~page:_ row -> consume row)
+    | None -> Heap_file.iter hf ~f:consume);
+    List.rev !acc
+  in
+  (cols, run)
+
+(* Hash join: build on the right input, probe with the left. *)
+and hash_join state ~left_rows ~right_rows ~lkeys ~rkeys ~out_arity:_
+    ~residual ~combined_width =
+  let index : (string, Row.t list) Hashtbl.t =
+    Hashtbl.create (max 16 (List.length right_rows))
+  in
+  List.iter
+    (fun (r : Row.t) ->
+      state.obs.Observer.on_rows 1;
+      let env = mk_env r in
+      let key = encode_values (List.map (fun k -> k env) rkeys) in
+      let bucket = Option.value ~default:[] (Hashtbl.find_opt index key) in
+      Hashtbl.replace index key (r :: bucket))
+    right_rows;
+  let out = ref [] in
+  List.iter
+    (fun (l : Row.t) ->
+      state.obs.Observer.on_rows 1;
+      let lenv = mk_env l in
+      let key = encode_values (List.map (fun k -> k lenv) lkeys) in
+      match Hashtbl.find_opt index key with
+      | None -> ()
+      | Some bucket ->
+          List.iter
+            (fun (r : Row.t) ->
+              state.obs.Observer.on_rows 1;
+              let joined = Array.make combined_width Value.Null in
+              Array.blit l 0 joined 0 (Array.length l);
+              Array.blit r 0 joined (Array.length l) (Array.length r);
+              let env = mk_env joined in
+              if List.for_all (fun f -> Value.as_bool (f env)) residual then begin
+                state.obs.Observer.on_alloc (Row.heap_size joined);
+                out := joined :: !out
+              end)
+            bucket)
+    left_rows;
+  List.rev !out
+
+and nested_loop_join state ~left_rows ~right_rows ~residual ~combined_width =
+  let out = ref [] in
+  List.iter
+    (fun (l : Row.t) ->
+      List.iter
+        (fun (r : Row.t) ->
+          state.obs.Observer.on_rows 1;
+          let joined = Array.make combined_width Value.Null in
+          Array.blit l 0 joined 0 (Array.length l);
+          Array.blit r 0 joined (Array.length l) (Array.length r);
+          let env = mk_env joined in
+          if List.for_all (fun f -> Value.as_bool (f env)) residual then begin
+            state.obs.Observer.on_alloc (Row.heap_size joined);
+            out := joined :: !out
+          end)
+        right_rows)
+    left_rows;
+  List.rev !out
+
+and left_outer_join state ~left_rows ~right_rows ~lkeys ~rkeys ~residual
+    ~left_width ~right_width =
+  let combined_width = left_width + right_width in
+  let index : (string, Row.t list) Hashtbl.t =
+    Hashtbl.create (max 16 (List.length right_rows))
+  in
+  List.iter
+    (fun (r : Row.t) ->
+      state.obs.Observer.on_rows 1;
+      let env = mk_env r in
+      let key = encode_values (List.map (fun k -> k env) rkeys) in
+      let bucket = Option.value ~default:[] (Hashtbl.find_opt index key) in
+      Hashtbl.replace index key (r :: bucket))
+    right_rows;
+  let out = ref [] in
+  List.iter
+    (fun (l : Row.t) ->
+      state.obs.Observer.on_rows 1;
+      let lenv = mk_env l in
+      let matches = ref false in
+      (if lkeys <> [] || Hashtbl.length index > 0 then
+         let key = encode_values (List.map (fun k -> k lenv) lkeys) in
+         let bucket =
+           if lkeys = [] then List.concat_map snd (Hashtbl.fold (fun k v a -> (k, v) :: a) index [])
+           else Option.value ~default:[] (Hashtbl.find_opt index key)
+         in
+         List.iter
+           (fun (r : Row.t) ->
+             state.obs.Observer.on_rows 1;
+             let joined = Array.make combined_width Value.Null in
+             Array.blit l 0 joined 0 left_width;
+             Array.blit r 0 joined left_width right_width;
+             let env = mk_env joined in
+             if List.for_all (fun f -> Value.as_bool (f env)) residual then begin
+               matches := true;
+               state.obs.Observer.on_alloc (Row.heap_size joined);
+               out := joined :: !out
+             end)
+           bucket);
+      if not !matches then begin
+        let joined = Array.make combined_width Value.Null in
+        Array.blit l 0 joined 0 left_width;
+        out := joined :: !out
+      end)
+    left_rows;
+  List.rev !out
+
+(* -- SELECT planning -------------------------------------------------- *)
+
+and output_name i = function
+  | Item (_, Some alias) -> String.lowercase_ascii alias
+  | Item (Col { name; _ }, None) -> String.lowercase_ascii name
+  | Item (Agg { func; _ }, None) ->
+      (match func with
+      | Sum -> "sum"
+      | Avg -> "avg"
+      | Min -> "min"
+      | Max -> "max"
+      | Count -> "count")
+  | Item (_, None) -> Printf.sprintf "col%d" (i + 1)
+  | Star -> fail "internal: Star in output_name"
+
+and substitute_aliases items e =
+  (* ORDER BY / HAVING may reference projection aliases *)
+  match e with
+  | Col { qualifier = None; name } -> (
+      let name = String.lowercase_ascii name in
+      let found =
+        List.find_opt
+          (function
+            | Item (_, Some a) -> String.lowercase_ascii a = name
+            | _ -> false)
+          items
+      in
+      match found with Some (Item (inner, _)) -> inner | _ -> e)
+  | e -> e
+
+and collect_aggs acc e =
+  match e with
+  | Agg _ -> if List.mem e acc then acc else acc @ [ e ]
+  | Lit _ | Col _ | Interval _ -> acc
+  | Unary (_, x) | Extract { arg = x; _ } | Is_null { subject = x; _ } ->
+      collect_aggs acc x
+  | Substring { subject; start; len } ->
+      let acc = collect_aggs (collect_aggs acc subject) start in
+      Option.fold ~none:acc ~some:(collect_aggs acc) len
+  | Binop (_, a, b) -> collect_aggs (collect_aggs acc a) b
+  | Like { subject; _ } -> collect_aggs acc subject
+  | Between { subject; low; high; _ } ->
+      collect_aggs (collect_aggs (collect_aggs acc subject) low) high
+  | In_list { subject; items; _ } ->
+      List.fold_left collect_aggs (collect_aggs acc subject) items
+  | In_select { subject; _ } -> collect_aggs acc subject
+  | Exists _ | Scalar_select _ -> acc
+  | Case { branches; else_ } ->
+      let acc =
+        List.fold_left
+          (fun acc (c, v) -> collect_aggs (collect_aggs acc c) v)
+          acc branches
+      in
+      Option.fold ~none:acc ~some:(collect_aggs acc) else_
+
+and plan_select state ~outer (q : select) : subplan =
+  (* 1. classify WHERE conjuncts *)
+  let where_conjuncts = Option.fold ~none:[] ~some:conjuncts q.where in
+  (* 2. plan the FROM clause, threading a growing context *)
+  let parent_ctx = outer in
+  (* First build contexts for every base relation to know bindings. *)
+  let uses_outer = ref false in
+  (* per-binding pushdown filters; assembled below *)
+  let plan = plan_from state ~parent_ctx ~uses_outer q where_conjuncts in
+  plan
+
+(* The full pipeline: FROM+WHERE -> joined rows -> correlated residuals
+   -> grouping -> having -> projection -> sort -> limit. *)
+and plan_from state ~parent_ctx ~uses_outer (q : select) where_conjuncts :
+    subplan =
+  (* -- set up base relations ---------------------------------------- *)
+  let rec flatten_from acc = function
+    | [] -> List.rev acc
+    | fi :: rest -> flatten_from (fi :: acc) rest
+  in
+  let from_items = flatten_from [] q.from in
+  if from_items = [] then fail "FROM clause is required";
+  (* Plan each from_item into (cols, runner) where runner is outer-env
+     dependent only via correlated pushdowns (which we disallow at scan
+     level: correlated preds never push down). *)
+  (* Build the combined context first to classify predicates. *)
+  let item_cols =
+    List.map
+      (fun fi ->
+        match fi with
+        | Table { table; alias } ->
+            let binding = Option.value ~default:table alias in
+            let hf =
+              try Catalog.find state.catalog table
+              with Catalog.Unknown_table t -> fail "unknown table %s" t
+            in
+            `Base
+              ( String.lowercase_ascii binding,
+                table,
+                Array.map
+                  (fun c ->
+                    ( Some (String.lowercase_ascii binding),
+                      c.Schema.col_name ))
+                  (Schema.columns (Heap_file.schema hf)) )
+        | Derived _ | Join _ -> `Join fi)
+      from_items
+  in
+  (* Expand joins and derived tables: plan them as units with their own
+     combined columns. *)
+  let units =
+    List.map
+      (function
+        | `Base (binding, table, cols) -> (cols, `Scan (binding, table))
+        | `Join fi ->
+            let cols, runner = plan_join_tree state ~parent_ctx ~uses_outer fi in
+            (cols, `Planned runner))
+      item_cols
+  in
+  let combined_cols = Array.concat (List.map fst units) in
+  let full_ctx =
+    {
+      cols = combined_cols;
+      agg_slots = [];
+      parent = parent_ctx;
+      uses_outer;
+      state;
+    }
+  in
+  (* -- classify WHERE conjuncts -------------------------------------- *)
+  let single_table = Hashtbl.create 8 in
+  (* binding -> expr list *)
+  let join_preds = ref [] in
+  let post_preds = ref [] in
+  let correlated = ref [] in
+  List.iter
+    (fun conj ->
+      match local_bindings full_ctx conj with
+      | Some [ b ] ->
+          Hashtbl.replace single_table b
+            (conj :: Option.value ~default:[] (Hashtbl.find_opt single_table b))
+      | Some (_ :: _ :: _) -> join_preds := conj :: !join_preds
+      | Some [] -> post_preds := conj :: !post_preds (* constant predicate *)
+      | None ->
+          if contains_subquery conj then post_preds := conj :: !post_preds
+          else correlated := conj :: !correlated)
+    where_conjuncts;
+  let join_preds = List.rev !join_preds in
+  let post_preds = List.rev !post_preds in
+  let correlated_preds = List.rev !correlated in
+  if correlated_preds <> [] then uses_outer := true;
+  (* -- build runners for each unit with pushdown filters -------------- *)
+  let bindings_of_cols cols =
+    Array.to_list cols |> List.filter_map fst |> List.sort_uniq compare
+  in
+  let unit_runners =
+    List.map
+      (fun (cols, kind) ->
+        match kind with
+        | `Scan (binding, table) ->
+            let filters =
+              Option.value ~default:[] (Hashtbl.find_opt single_table binding)
+            in
+            let _, run =
+              scan_table state ~binding table ~filters ~ctx_parent:parent_ctx
+            in
+            (cols, run)
+        | `Planned run ->
+            (* single-binding WHERE conjuncts on a derived table or a
+               JOIN tree apply as a filter over the unit's output *)
+            let filters =
+              List.concat_map
+                (fun b ->
+                  Option.value ~default:[]
+                    (Hashtbl.find_opt single_table b))
+                (bindings_of_cols cols)
+            in
+            if filters = [] then (cols, run)
+            else begin
+              let uctx =
+                {
+                  cols;
+                  agg_slots = [];
+                  parent = parent_ctx;
+                  uses_outer;
+                  state;
+                }
+              in
+              let cfilters = List.map (compile uctx) filters in
+              let run outer_env =
+                List.filter
+                  (fun (r : Row.t) ->
+                    state.obs.Observer.on_rows 1;
+                    let env = mk_env ?up:outer_env r in
+                    List.for_all (fun f -> Value.as_bool (f env)) cfilters)
+                  (run outer_env)
+              in
+              (cols, run)
+            end)
+      units
+  in
+  (* -- join order: greedy, preferring equi-connected units ------------ *)
+  let expr_bindings e =
+    match local_bindings full_ctx e with Some bs -> bs | None -> []
+  in
+  (* Precompile nothing yet; we order units then emit a runner. *)
+  let order_units () =
+    match unit_runners with
+    | [] -> fail "FROM clause is required"
+    | first :: rest ->
+        let acc_units = ref [ first ] in
+        let acc_bindings = ref (bindings_of_cols (fst first)) in
+        let remaining = ref rest in
+        let connected (cols, _) =
+          let bs = bindings_of_cols cols in
+          List.exists
+            (fun pred ->
+              match pred with
+              | Binop (Eq, a, b) ->
+                  let ba = expr_bindings a and bb = expr_bindings b in
+                  (ba <> [] && bb <> [])
+                  && ((List.for_all (fun x -> List.mem x !acc_bindings) ba
+                       && List.for_all (fun x -> List.mem x bs) bb)
+                     || (List.for_all (fun x -> List.mem x bs) ba
+                        && List.for_all (fun x -> List.mem x !acc_bindings) bb))
+              | _ -> false)
+            join_preds
+        in
+        let ordered = ref [ first ] in
+        while !remaining <> [] do
+          let next, rest =
+            match List.partition connected !remaining with
+            | cand :: others, rest -> (cand, others @ rest)
+            | [], x :: rest -> (x, rest)
+            | [], [] -> assert false
+          in
+          ordered := next :: !ordered;
+          acc_bindings := !acc_bindings @ bindings_of_cols (fst next);
+          acc_units := next :: !acc_units;
+          remaining := rest
+        done;
+        List.rev !ordered
+  in
+  let ordered_units = order_units () in
+  (* -- emit the join pipeline ---------------------------------------- *)
+  (* We process units left to right, tracking the accumulated column
+     array, consuming join predicates as soon as they become fully
+     resolvable. *)
+  let consumed = Array.make (List.length join_preds) false in
+  let join_pred_arr = Array.of_list join_preds in
+  let steps = ref [] in
+  (* (cols_so_far, step) *)
+  let acc_cols = ref [||] in
+  List.iteri
+    (fun ui (cols, run) ->
+      if ui = 0 then begin
+        acc_cols := cols;
+        steps := `First run :: !steps
+      end
+      else begin
+        let left_cols = !acc_cols in
+        let combined = Array.append left_cols cols in
+        let left_bindings = bindings_of_cols left_cols in
+        let right_bindings = bindings_of_cols cols in
+        let usable = ref [] in
+        Array.iteri
+          (fun pi pred ->
+            if not consumed.(pi) then begin
+              let bs = expr_bindings pred in
+              let all_in =
+                bs <> []
+                && List.for_all
+                     (fun b ->
+                       List.mem b left_bindings || List.mem b right_bindings)
+                     bs
+              in
+              if all_in then begin
+                consumed.(pi) <- true;
+                usable := pred :: !usable
+              end
+            end)
+          join_pred_arr;
+        let usable = List.rev !usable in
+        (* split into equi keys vs residual *)
+        let lkeys = ref [] and rkeys = ref [] and residual = ref [] in
+        List.iter
+          (fun pred ->
+            match pred with
+            | Binop (Eq, a, b) -> (
+                let ba = expr_bindings a and bb = expr_bindings b in
+                let a_left = List.for_all (fun x -> List.mem x left_bindings) ba
+                and a_right =
+                  List.for_all (fun x -> List.mem x right_bindings) ba
+                and b_left = List.for_all (fun x -> List.mem x left_bindings) bb
+                and b_right =
+                  List.for_all (fun x -> List.mem x right_bindings) bb
+                in
+                match () with
+                | _ when ba <> [] && bb <> [] && a_left && b_right ->
+                    lkeys := a :: !lkeys;
+                    rkeys := b :: !rkeys
+                | _ when ba <> [] && bb <> [] && a_right && b_left ->
+                    lkeys := b :: !lkeys;
+                    rkeys := a :: !rkeys
+                | _ -> residual := pred :: !residual)
+            | _ -> residual := pred :: !residual)
+          usable;
+        let left_ctx_cols = left_cols and right_ctx_cols = cols in
+        let lctx =
+          {
+            cols = left_ctx_cols;
+            agg_slots = [];
+            parent = parent_ctx;
+            uses_outer;
+            state;
+          }
+        and rctx =
+          {
+            cols = right_ctx_cols;
+            agg_slots = [];
+            parent = parent_ctx;
+            uses_outer;
+            state;
+          }
+        and cctx =
+          {
+            cols = combined;
+            agg_slots = [];
+            parent = parent_ctx;
+            uses_outer;
+            state;
+          }
+        in
+        let clkeys = List.map (compile lctx) (List.rev !lkeys) in
+        let crkeys = List.map (compile rctx) (List.rev !rkeys) in
+        let cresidual = List.map (compile cctx) (List.rev !residual) in
+        let combined_width = Array.length combined in
+        let step =
+          if clkeys <> [] then
+            `Hash (run, clkeys, crkeys, cresidual, combined_width)
+          else `Nested (run, cresidual, combined_width)
+        in
+        steps := step :: !steps;
+        acc_cols := combined
+      end)
+    ordered_units;
+  let steps = List.rev !steps in
+  let joined_cols = !acc_cols in
+  (* join predicates never consumed become post-join filters *)
+  let unconsumed = ref [] in
+  Array.iteri
+    (fun pi c -> if not c then unconsumed := join_pred_arr.(pi) :: !unconsumed)
+    consumed;
+  let final_post_preds = post_preds @ List.rev !unconsumed in
+  (* -- correlated predicate handling: semijoin keys vs residual ------- *)
+  let joined_ctx =
+    {
+      cols = joined_cols;
+      agg_slots = [];
+      parent = parent_ctx;
+      uses_outer;
+      state;
+    }
+  in
+  let semi_inner = ref [] and semi_outer = ref [] and corr_residual = ref [] in
+  (* an expression is outer-only when every column it mentions resolves
+     strictly above this select's scope *)
+  let outer_only e =
+    let cols = columns_of_expr [] e in
+    (not (contains_subquery e))
+    && cols <> []
+    && List.for_all
+         (fun (qual, n) ->
+           match resolve joined_ctx qual n 0 with
+           | Some (d, _) -> d > 0
+           | None -> false)
+         cols
+  in
+  List.iter
+    (fun pred ->
+      match pred with
+      | Binop (Eq, a, b) -> (
+          let side e =
+            match local_bindings joined_ctx e with
+            | Some (_ :: _) -> `Inner
+            | Some [] -> `Constant
+            | None -> if outer_only e then `Outer else `Mixed
+          in
+          match (side a, side b) with
+          | `Inner, `Outer ->
+              semi_inner := a :: !semi_inner;
+              semi_outer := b :: !semi_outer
+          | `Outer, `Inner ->
+              semi_inner := b :: !semi_inner;
+              semi_outer := a :: !semi_outer
+          | _ -> corr_residual := pred :: !corr_residual)
+      | _ -> corr_residual := pred :: !corr_residual)
+    correlated_preds;
+  let semi_inner = List.rev !semi_inner and semi_outer = List.rev !semi_outer in
+  let corr_residual = List.rev !corr_residual in
+  (* compile stage-B predicates *)
+  let cpost = List.map (compile joined_ctx) final_post_preds in
+  let csemi_inner = List.map (compile joined_ctx) semi_inner in
+  let csemi_outer =
+    (* outer key exprs compiled against a ctx whose local frame is the
+       joined ctx but resolution will land in the parent; evaluated
+       with env whose row is a dummy and up = outer env *)
+    List.map (compile joined_ctx) semi_outer
+  in
+  let ccorr_residual = List.map (compile joined_ctx) corr_residual in
+  (* -- aggregation & projection --------------------------------------- *)
+  let items =
+    List.concat_map
+      (function
+        | Star ->
+            Array.to_list joined_cols
+            |> List.map (fun (q, n) ->
+                   Item (Col { qualifier = q; name = n }, Some n))
+        | Item _ as it -> [ it ])
+      q.items
+  in
+  let out_cols = List.mapi output_name items in
+  let item_exprs =
+    List.map (function Item (e, _) -> e | Star -> assert false) items
+  in
+  let having_expr = Option.map (substitute_aliases items) q.having in
+  let order_exprs = List.map (fun (e, d) -> (substitute_aliases items e, d)) q.order_by in
+  let is_agg_query =
+    q.group_by <> []
+    || List.exists contains_agg item_exprs
+    || Option.fold ~none:false ~some:contains_agg having_expr
+  in
+  if not is_agg_query then begin
+    (* compile projection/sort directly over joined ctx *)
+    let citems = List.map (compile joined_ctx) item_exprs in
+    let corder =
+      List.map (fun (e, d) -> (compile joined_ctx e, d)) order_exprs
+    in
+    let cwhere_having =
+      match having_expr with
+      | None -> []
+      | Some h -> [ compile joined_ctx h ]
+    in
+    let run_stage_a = make_stage_a state steps in
+    let memo = ref None in
+    let semijoin = make_semijoin state ~csemi_inner in
+    fun_of_stages state ~out_cols ~run_stage_a ~memo ~uses_outer ~cpost
+      ~semijoin ~csemi_outer ~ccorr_residual
+      ~finish:(fun rows outer_env ->
+        let with_env (r : Row.t) = mk_env ?up:outer_env r in
+        let rows =
+          if cwhere_having = [] then rows
+          else
+            List.filter
+              (fun r ->
+                List.for_all
+                  (fun f -> Value.as_bool (f (with_env r)))
+                  cwhere_having)
+              rows
+        in
+        let projected =
+          List.map
+            (fun r ->
+              state.obs.Observer.on_rows 1;
+              let env = with_env r in
+              let keys = List.map (fun (c, d) -> (c env, d)) corder in
+              (Array.of_list (List.map (fun c -> c env) citems), keys))
+            rows
+        in
+        sort_and_limit state projected q.limit)
+  end
+  else begin
+    (* aggregate pipeline *)
+    let agg_nodes =
+      let acc = List.fold_left collect_aggs [] item_exprs in
+      let acc =
+        Option.fold ~none:acc ~some:(collect_aggs acc) having_expr
+      in
+      List.fold_left (fun acc (e, _) -> collect_aggs acc e) acc order_exprs
+    in
+    let agg_slots = List.mapi (fun i e -> (e, i)) agg_nodes in
+    let agg_ctx = { joined_ctx with agg_slots } in
+    let group_exprs = List.map (substitute_aliases items) q.group_by in
+    let cgroup = List.map (compile joined_ctx) group_exprs in
+    let cagg_args =
+      List.map
+        (function
+          | Agg { arg = Some e; _ } -> Some (compile joined_ctx e)
+          | Agg { arg = None; _ } -> None
+          | _ -> assert false)
+        agg_nodes
+    in
+    let agg_specs =
+      List.map
+        (function
+          | Agg { func; distinct; _ } -> (func, distinct)
+          | _ -> assert false)
+        agg_nodes
+    in
+    let citems = List.map (compile agg_ctx) item_exprs in
+    let chaving = Option.map (compile agg_ctx) having_expr in
+    let corder = List.map (fun (e, d) -> (compile agg_ctx e, d)) order_exprs in
+    let run_stage_a = make_stage_a state steps in
+    let memo = ref None in
+    let semijoin = make_semijoin state ~csemi_inner in
+    fun_of_stages state ~out_cols ~run_stage_a ~memo ~uses_outer ~cpost
+      ~semijoin ~csemi_outer ~ccorr_residual
+      ~finish:(fun rows outer_env ->
+        let groups : (string, Row.t * Agg_state.t array) Hashtbl.t =
+          Hashtbl.create 64
+        in
+        let order = ref [] in
+        let agg_cost = 1 + List.length cagg_args in
+        List.iter
+          (fun (r : Row.t) ->
+            state.obs.Observer.on_rows agg_cost;
+            let env = mk_env ?up:outer_env r in
+            let key = encode_values (List.map (fun c -> c env) cgroup) in
+            let _, states =
+              match Hashtbl.find_opt groups key with
+              | Some entry -> entry
+              | None ->
+                  let entry =
+                    ( r,
+                      Array.of_list
+                        (List.map
+                           (fun (f, d) -> Agg_state.create f ~distinct:d)
+                           agg_specs) )
+                  in
+                  Hashtbl.replace groups key entry;
+                  order := key :: !order;
+                  state.obs.Observer.on_alloc 64;
+                  entry
+            in
+            List.iteri
+              (fun i arg ->
+                match arg with
+                | None -> Agg_state.update states.(i) `Star
+                | Some c -> Agg_state.update states.(i) (`Value (c env)))
+              cagg_args)
+          rows;
+        let keys_in_order = List.rev !order in
+        let group_list =
+          if cgroup = [] && keys_in_order = [] then begin
+            (* aggregate over empty input: one group of empties *)
+            [ ( [||],
+                Array.of_list
+                  (List.map
+                     (fun (f, d) -> Agg_state.create f ~distinct:d)
+                     agg_specs) ) ]
+          end
+          else
+            List.map (fun k -> Hashtbl.find groups k) keys_in_order
+        in
+        let finished =
+          List.filter_map
+            (fun (rep, states) ->
+              let aggs = Array.map Agg_state.finish states in
+              let env = { row = rep; aggs; up = outer_env } in
+              match chaving with
+              | Some h when not (Value.as_bool (h env)) -> None
+              | _ ->
+                  state.obs.Observer.on_rows 1;
+                  let keys = List.map (fun (c, d) -> (c env, d)) corder in
+                  Some (Array.of_list (List.map (fun c -> c env) citems), keys))
+            group_list
+        in
+        sort_and_limit state finished q.limit)
+  end
+
+and make_stage_a state steps =
+  fun outer_env ->
+  List.fold_left
+    (fun acc step ->
+      match step with
+      | `First run -> run outer_env
+      | `Hash (run, lkeys, rkeys, residual, w) ->
+          let right = run outer_env in
+          hash_join state ~left_rows:acc ~right_rows:right ~lkeys ~rkeys
+            ~out_arity:w ~residual ~combined_width:w
+      | `Nested (run, residual, w) ->
+          let right = run outer_env in
+          nested_loop_join state ~left_rows:acc ~right_rows:right ~residual
+            ~combined_width:w)
+    [] steps
+
+and make_semijoin state ~csemi_inner =
+  if csemi_inner = [] then None
+  else begin
+    let index : (string, Row.t list) Hashtbl.t option ref = ref None in
+    Some
+      (fun rows ->
+        match !index with
+        | Some idx -> idx
+        | None ->
+            let idx = Hashtbl.create (max 16 (List.length rows)) in
+            List.iter
+              (fun (r : Row.t) ->
+                state.obs.Observer.on_rows 1;
+                let env = mk_env r in
+                let key =
+                  encode_values (List.map (fun c -> c env) csemi_inner)
+                in
+                let b = Option.value ~default:[] (Hashtbl.find_opt idx key) in
+                Hashtbl.replace idx key (r :: b))
+              rows;
+            index := Some idx;
+            idx)
+  end
+
+and fun_of_stages state ~out_cols ~run_stage_a ~memo ~uses_outer ~cpost
+    ~semijoin ~csemi_outer ~ccorr_residual ~finish =
+  let stage_a outer_env =
+    match !memo with
+    | Some rows -> rows
+    | None ->
+        let rows = run_stage_a outer_env in
+        let rows =
+          if cpost = [] then rows
+          else
+            List.filter
+              (fun (r : Row.t) ->
+                state.obs.Observer.on_rows 1;
+                let env = mk_env ?up:outer_env r in
+                List.for_all (fun f -> Value.as_bool (f env)) cpost)
+              rows
+        in
+        memo := Some rows;
+        rows
+  in
+  let plan =
+    {
+      sub_cols = out_cols;
+      sub_correlated = !uses_outer;
+      sub_run =
+        (fun outer_env ->
+          let rows = stage_a outer_env in
+          (* correlated narrowing *)
+          let rows =
+            match semijoin with
+            | None -> rows
+            | Some get_index -> (
+                let idx = get_index rows in
+                match outer_env with
+                | None -> fail "correlated subquery evaluated without outer row"
+                | Some oenv ->
+                    let probe_env = mk_env ~up:oenv [||] in
+                    let key =
+                      encode_values
+                        (List.map (fun c -> c probe_env) csemi_outer)
+                    in
+                    state.obs.Observer.on_rows 1;
+                    Option.value ~default:[] (Hashtbl.find_opt idx key)
+                    |> List.rev)
+          in
+          let rows =
+            if ccorr_residual = [] then rows
+            else
+              List.filter
+                (fun (r : Row.t) ->
+                  state.obs.Observer.on_rows 1;
+                  let env = mk_env ?up:outer_env r in
+                  List.for_all
+                    (fun f -> Value.as_bool (f env))
+                    ccorr_residual)
+                rows
+          in
+          finish rows outer_env);
+    }
+  in
+  plan
+
+and sort_and_limit state projected limit =
+  let sorted =
+    match projected with
+    | [] -> []
+    | (_, []) :: _ -> List.map fst projected
+    | _ ->
+        state.obs.Observer.on_rows (List.length projected);
+        List.stable_sort
+          (fun (_, ka) (_, kb) ->
+            let rec cmp a b =
+              match (a, b) with
+              | [], [] -> 0
+              | (va, d) :: ra, (vb, _) :: rb ->
+                  let c = Value.compare_total va vb in
+                  let c = match d with `Asc -> c | `Desc -> -c in
+                  if c <> 0 then c else cmp ra rb
+              | _ -> 0
+            in
+            cmp ka kb)
+          projected
+        |> List.map fst
+  in
+  match limit with
+  | None -> sorted
+  | Some n -> List.filteri (fun i _ -> i < n) sorted
+
+(* Explicit JOIN ... ON trees (inner and left outer). *)
+and plan_join_tree state ~parent_ctx ~uses_outer fi :
+    (string option * string) array * (env option -> Row.t list) =
+  match fi with
+  | Table { table; alias } ->
+      let binding = Option.value ~default:table alias in
+      let cols, run =
+        scan_table state ~binding table ~filters:[] ~ctx_parent:parent_ctx
+      in
+      (cols, run)
+  | Derived { select; alias } ->
+      let sub = plan_select state ~outer:parent_ctx select in
+      if sub.sub_correlated then uses_outer := true;
+      let alias = String.lowercase_ascii alias in
+      let cols =
+        Array.of_list (List.map (fun n -> (Some alias, n)) sub.sub_cols)
+      in
+      (cols, sub.sub_run)
+  | Join { kind; left; right; on } ->
+      let lcols, lrun = plan_join_tree state ~parent_ctx ~uses_outer left in
+      let rcols, rrun = plan_join_tree state ~parent_ctx ~uses_outer right in
+      let combined = Array.append lcols rcols in
+      let lctx = mk_ctx ~state lcols
+      and rctx = mk_ctx ~state rcols
+      and cctx = mk_ctx ~state combined in
+      let on_conjuncts = conjuncts on in
+      let lkeys = ref []
+      and rkeys = ref []
+      and right_only = ref []
+      and residual = ref [] in
+      List.iter
+        (fun pred ->
+          let resolves ctx e =
+            match local_bindings ctx e with
+            | Some (_ :: _) -> true
+            | _ -> false
+          in
+          match pred with
+          | Binop (Eq, a, b) when resolves lctx a && resolves rctx b ->
+              lkeys := a :: !lkeys;
+              rkeys := b :: !rkeys
+          | Binop (Eq, a, b) when resolves rctx a && resolves lctx b ->
+              lkeys := b :: !lkeys;
+              rkeys := a :: !rkeys
+          | pred when resolves rctx pred && not (resolves lctx pred) ->
+              right_only := pred :: !right_only
+          | pred -> residual := pred :: !residual)
+        on_conjuncts;
+      let clkeys = List.map (compile lctx) (List.rev !lkeys) in
+      let crkeys = List.map (compile rctx) (List.rev !rkeys) in
+      let cright_only = List.map (compile rctx) (List.rev !right_only) in
+      let cresidual = List.map (compile cctx) (List.rev !residual) in
+      let run outer_env =
+        let lrows = lrun outer_env in
+        let rrows =
+          rrun outer_env
+          |> List.filter (fun (r : Row.t) ->
+                 state.obs.Observer.on_rows 1;
+                 let env = mk_env r in
+                 List.for_all (fun f -> Value.as_bool (f env)) cright_only)
+        in
+        match kind with
+        | `Inner ->
+            if clkeys <> [] then
+              hash_join state ~left_rows:lrows ~right_rows:rrows ~lkeys:clkeys
+                ~rkeys:crkeys ~out_arity:(Array.length combined)
+                ~residual:cresidual ~combined_width:(Array.length combined)
+            else
+              nested_loop_join state ~left_rows:lrows ~right_rows:rrows
+                ~residual:cresidual ~combined_width:(Array.length combined)
+        | `Left ->
+            left_outer_join state ~left_rows:lrows ~right_rows:rrows
+              ~lkeys:clkeys ~rkeys:crkeys ~residual:cresidual
+              ~left_width:(Array.length lcols)
+              ~right_width:(Array.length rcols)
+      in
+      (combined, run)
+
+(* -- Public entry points --------------------------------------------- *)
+
+type result = { columns : string list; rows : Row.t list }
+
+let run_select state (q : select) : result =
+  let plan = plan_select state ~outer:None q in
+  { columns = plan.sub_cols; rows = plan.sub_run None }
+
+let pp_result ppf { columns; rows } =
+  Fmt.pf ppf "%s@." (String.concat " | " columns);
+  List.iter (fun r -> Fmt.pf ppf "%a@." Row.pp r) rows

@@ -1,0 +1,32 @@
+(** Heap files: rows packed into pager pages in insertion order. *)
+
+type t
+
+val create : pager:Pager.t -> schema:Schema.t -> t
+val schema : t -> Schema.t
+val row_count : t -> int
+val page_count : t -> int
+
+val append : t -> Row.t -> unit
+
+val append_page : t -> Row.t -> int
+(** Append and return the page the row landed on (index maintenance). *)
+
+val append_all : t -> Row.t list -> unit
+
+val flush : t -> unit
+(** Persist any buffered rows. *)
+
+val iter : t -> f:(Row.t -> unit) -> unit
+(** Full scan in storage order (flushes first). *)
+
+val iter_pages : t -> int list -> f:(page:int -> Row.t -> unit) -> unit
+(** Scan only the given pages (index-driven access path). *)
+
+val to_list : t -> Row.t list
+
+val rewrite : t -> f:(Row.t -> [ `Keep | `Replace of Row.t | `Delete ]) -> int
+(** In-place rewrite for UPDATE/DELETE; returns affected row count. *)
+
+val stored_pages : t -> int list
+(** Page ids backing this file, in scan order. *)

@@ -1,0 +1,77 @@
+(* Secondary indexes: an ordered map from column values to the set of
+   heap pages containing rows with that value. Page-granular (the scan
+   re-applies its filters to every decoded row), which fits the
+   page-oriented secure store: the point of an index here is to avoid
+   reading — and decrypting, and freshness-checking — pages that cannot
+   contain matching rows. *)
+
+module IntSet = Set.Make (Int)
+
+module ValueMap = Map.Make (struct
+  type t = Value.t
+
+  let compare = Value.compare_total
+end)
+
+type t = {
+  index_name : string;
+  table : string;
+  column : string;
+  col_idx : int;
+  mutable entries : IntSet.t ValueMap.t;
+}
+
+let create ~index_name ~table ~column ~col_idx =
+  {
+    index_name = String.lowercase_ascii index_name;
+    table = String.lowercase_ascii table;
+    column = String.lowercase_ascii column;
+    col_idx;
+    entries = ValueMap.empty;
+  }
+
+let name t = t.index_name
+let column t = t.column
+let table t = t.table
+
+(* NULLs are not indexed: no supported predicate selects them via the
+   index (equality/range with NULL is never true). *)
+let add t value ~page =
+  match value with
+  | Value.Null -> ()
+  | v ->
+      let cur =
+        Option.value ~default:IntSet.empty (ValueMap.find_opt v t.entries)
+      in
+      t.entries <- ValueMap.add v (IntSet.add page cur) t.entries
+
+let clear t = t.entries <- ValueMap.empty
+
+let pages_equal t v =
+  Option.value ~default:IntSet.empty (ValueMap.find_opt v t.entries)
+
+(* Pages whose key lies in [lo, hi] (either bound optional, with an
+   inclusive flag). *)
+let pages_range t ?lo ?hi () =
+  ValueMap.fold
+    (fun k pages acc ->
+      let above_lo =
+        match lo with
+        | None -> true
+        | Some (v, inclusive) -> (
+            match Value.compare_opt k v with
+            | Some c -> if inclusive then c >= 0 else c > 0
+            | None -> false)
+      in
+      let below_hi =
+        match hi with
+        | None -> true
+        | Some (v, inclusive) -> (
+            match Value.compare_opt k v with
+            | Some c -> if inclusive then c <= 0 else c < 0
+            | None -> false)
+      in
+      if above_lo && below_hi then IntSet.union pages acc else acc)
+    t.entries IntSet.empty
+
+let entry_count t = ValueMap.cardinal t.entries

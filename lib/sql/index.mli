@@ -1,0 +1,25 @@
+(** Page-granular secondary indexes: column value -> set of heap pages.
+    Scans use them to skip pages (and, over the secure store, their
+    decryption and freshness checks); matching pages are still decoded
+    and re-filtered, so indexes are purely an access-path optimization. *)
+
+module IntSet : Set.S with type elt = int
+
+type t
+
+val create : index_name:string -> table:string -> column:string -> col_idx:int -> t
+val name : t -> string
+val column : t -> string
+val table : t -> string
+
+val add : t -> Value.t -> page:int -> unit
+(** Record that a row with this column value lives on [page]. NULLs are
+    not indexed. *)
+
+val clear : t -> unit
+val pages_equal : t -> Value.t -> IntSet.t
+
+val pages_range : t -> ?lo:Value.t * bool -> ?hi:Value.t * bool -> unit -> IntSet.t
+(** Pages with keys within the bounds ([bool] = inclusive). *)
+
+val entry_count : t -> int

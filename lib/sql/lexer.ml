@@ -1,0 +1,144 @@
+(* Hand-written SQL lexer. Keywords are not distinguished from
+   identifiers here; the parser matches identifier spellings
+   case-insensitively, which keeps the token type small. *)
+
+type token =
+  | IDENT of string (* lowercased *)
+  | INT of int
+  | FLOAT of float
+  | STRING of string
+  | LPAREN
+  | RPAREN
+  | COMMA
+  | SEMI
+  | STAR
+  | PLUS
+  | MINUS
+  | SLASH
+  | EQ
+  | NEQ
+  | LT
+  | LE
+  | GT
+  | GE
+  | DOT
+  | EOF
+
+let pp_token ppf = function
+  | IDENT s -> Fmt.pf ppf "identifier %S" s
+  | INT i -> Fmt.pf ppf "integer %d" i
+  | FLOAT f -> Fmt.pf ppf "number %g" f
+  | STRING s -> Fmt.pf ppf "string %S" s
+  | LPAREN -> Fmt.string ppf "'('"
+  | RPAREN -> Fmt.string ppf "')'"
+  | COMMA -> Fmt.string ppf "','"
+  | SEMI -> Fmt.string ppf "';'"
+  | STAR -> Fmt.string ppf "'*'"
+  | PLUS -> Fmt.string ppf "'+'"
+  | MINUS -> Fmt.string ppf "'-'"
+  | SLASH -> Fmt.string ppf "'/'"
+  | EQ -> Fmt.string ppf "'='"
+  | NEQ -> Fmt.string ppf "'<>'"
+  | LT -> Fmt.string ppf "'<'"
+  | LE -> Fmt.string ppf "'<='"
+  | GT -> Fmt.string ppf "'>'"
+  | GE -> Fmt.string ppf "'>='"
+  | DOT -> Fmt.string ppf "'.'"
+  | EOF -> Fmt.string ppf "end of input"
+
+exception Lex_error of string
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize src =
+  let n = String.length src in
+  let tokens = ref [] in
+  let emit t = tokens := t :: !tokens in
+  let i = ref 0 in
+  while !i < n do
+    let c = src.[!i] in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr i
+    else if c = '-' && !i + 1 < n && src.[!i + 1] = '-' then begin
+      (* line comment *)
+      while !i < n && src.[!i] <> '\n' do
+        incr i
+      done
+    end
+    else if is_ident_start c then begin
+      let start = !i in
+      while !i < n && is_ident_char src.[!i] do
+        incr i
+      done;
+      emit (IDENT (String.lowercase_ascii (String.sub src start (!i - start))))
+    end
+    else if is_digit c then begin
+      let start = !i in
+      while !i < n && is_digit src.[!i] do
+        incr i
+      done;
+      if !i < n && src.[!i] = '.' && !i + 1 < n && is_digit src.[!i + 1] then begin
+        incr i;
+        while !i < n && is_digit src.[!i] do
+          incr i
+        done;
+        emit (FLOAT (float_of_string (String.sub src start (!i - start))))
+      end
+      else emit (INT (int_of_string (String.sub src start (!i - start))))
+    end
+    else if c = '\'' then begin
+      (* string literal with '' escaping *)
+      let buf = Buffer.create 16 in
+      incr i;
+      let closed = ref false in
+      while not !closed do
+        if !i >= n then raise (Lex_error "unterminated string literal");
+        if src.[!i] = '\'' then
+          if !i + 1 < n && src.[!i + 1] = '\'' then begin
+            Buffer.add_char buf '\'';
+            i := !i + 2
+          end
+          else begin
+            closed := true;
+            incr i
+          end
+        else begin
+          Buffer.add_char buf src.[!i];
+          incr i
+        end
+      done;
+      emit (STRING (Buffer.contents buf))
+    end
+    else begin
+      let two = if !i + 1 < n then String.sub src !i 2 else "" in
+      (match two with
+      | "<>" | "!=" ->
+          emit NEQ;
+          incr i
+      | "<=" ->
+          emit LE;
+          incr i
+      | ">=" ->
+          emit GE;
+          incr i
+      | _ -> (
+          match c with
+          | '(' -> emit LPAREN
+          | ')' -> emit RPAREN
+          | ',' -> emit COMMA
+          | ';' -> emit SEMI
+          | '*' -> emit STAR
+          | '+' -> emit PLUS
+          | '-' -> emit MINUS
+          | '/' -> emit SLASH
+          | '=' -> emit EQ
+          | '<' -> emit LT
+          | '>' -> emit GT
+          | '.' -> emit DOT
+          | _ -> raise (Lex_error (Printf.sprintf "unexpected character %C" c))));
+      incr i
+    end
+  done;
+  emit EOF;
+  List.rev !tokens

@@ -1,0 +1,103 @@
+(* Page access abstraction over the storage backends:
+   - [in_memory]: host-side temporary tables;
+   - [plain]: cleartext pages on a block device (non-secure configs);
+   - [secure]: the encrypted/Merkle-verified store of IronSafe.
+
+   Each pager exposes the payload capacity per page and a page
+   allocator; the observer hook fires on every physical page access so
+   the runner can charge I/O, decryption and freshness costs where the
+   page was actually processed. *)
+
+type t = {
+  capacity : int;
+  read : int -> string;
+  write : int -> string -> unit;
+  allocate : unit -> int;
+  page_count : unit -> int;
+  mutable observer : Observer.t;
+}
+
+let read t i =
+  t.observer.Observer.on_page_read ~cached:false;
+  t.read i
+
+let write t i data =
+  t.observer.Observer.on_page_write ();
+  t.write i data
+
+let in_memory () =
+  let pages : (int, string) Hashtbl.t = Hashtbl.create 64 in
+  let next = ref 0 in
+  {
+    capacity = 4096;
+    read =
+      (fun i ->
+        match Hashtbl.find_opt pages i with
+        | Some p -> p
+        | None -> String.make 4096 '\000');
+    write = (fun i data -> Hashtbl.replace pages i data);
+    allocate =
+      (fun () ->
+        let i = !next in
+        incr next;
+        i);
+    page_count = (fun () -> !next);
+    observer = Observer.null;
+  }
+
+let plain device =
+  let next = ref 0 in
+  {
+    capacity = Ironsafe_storage.Block_device.page_size;
+    read = (fun i -> Ironsafe_storage.Block_device.read_page device i);
+    write =
+      (fun i data ->
+        let ps = Ironsafe_storage.Block_device.page_size in
+        let padded =
+          if String.length data = ps then data
+          else data ^ String.make (ps - String.length data) '\000'
+        in
+        Ironsafe_storage.Block_device.write_page device i padded);
+    allocate =
+      (fun () ->
+        let i = !next in
+        incr next;
+        i);
+    page_count = (fun () -> !next);
+    observer = Observer.null;
+  }
+
+exception Integrity_failure of string
+
+let secure store =
+  let next = ref 0 in
+  {
+    capacity = Ironsafe_securestore.Secure_store.capacity;
+    read =
+      (fun i ->
+        match Ironsafe_securestore.Secure_store.read_page store i with
+        | Ok data -> data
+        | Error e ->
+            raise
+              (Integrity_failure
+                 (Fmt.str "%a" Ironsafe_securestore.Secure_store.pp_error e)));
+    write =
+      (fun i data ->
+        match Ironsafe_securestore.Secure_store.write_page store i data with
+        | Ok () -> ()
+        | Error e ->
+            raise
+              (Integrity_failure
+                 (Fmt.str "%a" Ironsafe_securestore.Secure_store.pp_error e)));
+    allocate =
+      (fun () ->
+        let i = !next in
+        incr next;
+        i);
+    page_count = (fun () -> !next);
+    observer = Observer.null;
+  }
+
+let set_observer t obs = t.observer <- obs
+let capacity t = t.capacity
+let allocate t = t.allocate ()

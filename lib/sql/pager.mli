@@ -1,0 +1,25 @@
+(** Page access abstraction over storage backends: in-memory (host
+    temporary tables), plain block device (non-secure configurations)
+    and the encrypted/Merkle-verified secure store. *)
+
+type t
+
+exception Integrity_failure of string
+(** Raised when the secure backend detects tampering or staleness. *)
+
+val in_memory : unit -> t
+val plain : Ironsafe_storage.Block_device.t -> t
+val secure : Ironsafe_securestore.Secure_store.t -> t
+
+val read : t -> int -> string
+(** Fires the observer, then reads (decrypting/verifying if secure). *)
+
+val write : t -> int -> string -> unit
+
+val allocate : t -> int
+(** Next free page index. *)
+
+val capacity : t -> int
+(** Payload bytes per page for this backend. *)
+
+val set_observer : t -> Observer.t -> unit

@@ -1,0 +1,632 @@
+(* Recursive-descent SQL parser for the dialect in {!Ast}. *)
+
+open Ast
+
+exception Parse_error of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Parse_error s)) fmt
+
+type state = { mutable toks : Lexer.token list }
+
+let peek st = match st.toks with [] -> Lexer.EOF | t :: _ -> t
+
+let peek2 st =
+  match st.toks with _ :: t :: _ -> t | _ -> Lexer.EOF
+
+let advance st =
+  match st.toks with [] -> () | _ :: rest -> st.toks <- rest
+
+let expect st tok =
+  if peek st = tok then advance st
+  else fail "expected %a but found %a" Lexer.pp_token tok Lexer.pp_token (peek st)
+
+(* keyword = a specific identifier spelling *)
+let is_kw st kw = match peek st with Lexer.IDENT s -> s = kw | _ -> false
+
+let eat_kw st kw =
+  if is_kw st kw then begin
+    advance st;
+    true
+  end
+  else false
+
+let expect_kw st kw =
+  if not (eat_kw st kw) then
+    fail "expected keyword %s but found %a" (String.uppercase_ascii kw)
+      Lexer.pp_token (peek st)
+
+let expect_ident st =
+  match peek st with
+  | Lexer.IDENT s ->
+      advance st;
+      s
+  | t -> fail "expected identifier, found %a" Lexer.pp_token t
+
+let expect_string st =
+  match peek st with
+  | Lexer.STRING s ->
+      advance st;
+      s
+  | t -> fail "expected string literal, found %a" Lexer.pp_token t
+
+let expect_int st =
+  match peek st with
+  | Lexer.INT i ->
+      advance st;
+      i
+  | t -> fail "expected integer, found %a" Lexer.pp_token t
+
+let reserved =
+  [
+    "select"; "from"; "where"; "group"; "order"; "by"; "having"; "limit";
+    "and"; "or"; "not"; "in"; "like"; "between"; "exists"; "case"; "when";
+    "then"; "else"; "end"; "as"; "join"; "left"; "right"; "outer"; "inner";
+    "on"; "asc"; "desc"; "is"; "null"; "union"; "values"; "insert"; "update";
+    "delete"; "create"; "drop"; "table"; "into"; "set"; "interval"; "extract";
+    "distinct";
+  ]
+
+let is_reserved s = List.mem s reserved
+
+let interval_unit_of_string = function
+  | "day" | "days" -> Day
+  | "month" | "months" -> Month
+  | "year" | "years" -> Year
+  | s -> fail "unknown interval unit %s" s
+
+let agg_of_string = function
+  | "sum" -> Some Sum
+  | "avg" -> Some Avg
+  | "min" -> Some Min
+  | "max" -> Some Max
+  | "count" -> Some Count
+  | _ -> None
+
+let rec parse_expr st = parse_or st
+
+and parse_or st =
+  let left = parse_and st in
+  if eat_kw st "or" then Binop (Or, left, parse_or st) else left
+
+and parse_and st =
+  let left = parse_not st in
+  if eat_kw st "and" then Binop (And, left, parse_and st) else left
+
+and parse_not st =
+  if eat_kw st "not" then Unary (`Not, parse_not st) else parse_predicate st
+
+(* comparison / LIKE / IN / BETWEEN / IS NULL level *)
+and parse_predicate st =
+  let subject = parse_additive st in
+  let negated = eat_kw st "not" in
+  match peek st with
+  | Lexer.EQ ->
+      advance st;
+      check_not_negated negated "=";
+      Binop (Eq, subject, parse_additive st)
+  | Lexer.NEQ ->
+      advance st;
+      check_not_negated negated "<>";
+      Binop (Neq, subject, parse_additive st)
+  | Lexer.LT ->
+      advance st;
+      check_not_negated negated "<";
+      Binop (Lt, subject, parse_additive st)
+  | Lexer.LE ->
+      advance st;
+      check_not_negated negated "<=";
+      Binop (Le, subject, parse_additive st)
+  | Lexer.GT ->
+      advance st;
+      check_not_negated negated ">";
+      Binop (Gt, subject, parse_additive st)
+  | Lexer.GE ->
+      advance st;
+      check_not_negated negated ">=";
+      Binop (Ge, subject, parse_additive st)
+  | Lexer.IDENT "like" ->
+      advance st;
+      Like { negated; subject; pattern = expect_string st }
+  | Lexer.IDENT "between" ->
+      advance st;
+      let low = parse_additive st in
+      expect_kw st "and";
+      let high = parse_additive st in
+      Between { negated; subject; low; high }
+  | Lexer.IDENT "in" ->
+      advance st;
+      expect st Lexer.LPAREN;
+      let result =
+        if is_kw st "select" then begin
+          let select = parse_select st in
+          In_select { negated; subject; select }
+        end
+        else begin
+          let rec items acc =
+            let item = parse_expr st in
+            if peek st = Lexer.COMMA then begin
+              advance st;
+              items (item :: acc)
+            end
+            else List.rev (item :: acc)
+          in
+          In_list { negated; subject; items = items [] }
+        end
+      in
+      expect st Lexer.RPAREN;
+      result
+  | Lexer.IDENT "is" ->
+      advance st;
+      let negated = eat_kw st "not" in
+      expect_kw st "null";
+      Is_null { negated; subject }
+  | _ ->
+      if negated then fail "dangling NOT before %a" Lexer.pp_token (peek st)
+      else subject
+
+and check_not_negated negated op =
+  if negated then fail "NOT cannot precede %s" op
+
+and parse_additive st =
+  let rec loop left =
+    match peek st with
+    | Lexer.PLUS ->
+        advance st;
+        loop (Binop (Add, left, parse_multiplicative st))
+    | Lexer.MINUS ->
+        advance st;
+        loop (Binop (Sub, left, parse_multiplicative st))
+    | _ -> left
+  in
+  loop (parse_multiplicative st)
+
+and parse_multiplicative st =
+  let rec loop left =
+    match peek st with
+    | Lexer.STAR ->
+        advance st;
+        loop (Binop (Mul, left, parse_unary st))
+    | Lexer.SLASH ->
+        advance st;
+        loop (Binop (Div, left, parse_unary st))
+    | _ -> left
+  in
+  loop (parse_unary st)
+
+and parse_unary st =
+  match peek st with
+  | Lexer.MINUS ->
+      advance st;
+      Unary (`Neg, parse_unary st)
+  | Lexer.PLUS ->
+      advance st;
+      parse_unary st
+  | _ -> parse_primary st
+
+and parse_primary st =
+  match peek st with
+  | Lexer.INT i ->
+      advance st;
+      Lit (Value.Int i)
+  | Lexer.FLOAT f ->
+      advance st;
+      Lit (Value.Float f)
+  | Lexer.STRING s ->
+      advance st;
+      Lit (Value.Str s)
+  | Lexer.LPAREN ->
+      advance st;
+      let e =
+        if is_kw st "select" then Scalar_select (parse_select st)
+        else parse_expr st
+      in
+      expect st Lexer.RPAREN;
+      e
+  | Lexer.IDENT "date" when (match peek2 st with Lexer.STRING _ -> true | _ -> false) ->
+      advance st;
+      let s = expect_string st in
+      Lit (Value.Date (Date.of_string s))
+  | Lexer.IDENT "interval" ->
+      advance st;
+      let n =
+        match peek st with
+        | Lexer.STRING s -> (
+            advance st;
+            match int_of_string_opt (String.trim s) with
+            | Some n -> n
+            | None -> fail "interval quantity must be an integer, got %S" s)
+        | Lexer.INT i ->
+            advance st;
+            i
+        | t -> fail "expected interval quantity, found %a" Lexer.pp_token t
+      in
+      let unit_ = interval_unit_of_string (expect_ident st) in
+      Interval { n; unit_ }
+  | Lexer.IDENT "case" ->
+      advance st;
+      let rec branches acc =
+        if eat_kw st "when" then begin
+          let cond = parse_expr st in
+          expect_kw st "then";
+          let v = parse_expr st in
+          branches ((cond, v) :: acc)
+        end
+        else List.rev acc
+      in
+      let branches = branches [] in
+      if branches = [] then fail "CASE requires at least one WHEN";
+      let else_ = if eat_kw st "else" then Some (parse_expr st) else None in
+      expect_kw st "end";
+      Case { branches; else_ }
+  | Lexer.IDENT "exists" ->
+      advance st;
+      expect st Lexer.LPAREN;
+      let select = parse_select st in
+      expect st Lexer.RPAREN;
+      Exists { negated = false; select }
+  | Lexer.IDENT "substring" ->
+      advance st;
+      expect st Lexer.LPAREN;
+      let subject = parse_expr st in
+      let start, len =
+        if eat_kw st "from" then begin
+          let start = parse_expr st in
+          let len = if eat_kw st "for" then Some (parse_expr st) else None in
+          (start, len)
+        end
+        else begin
+          expect st Lexer.COMMA;
+          let start = parse_expr st in
+          let len =
+            if peek st = Lexer.COMMA then begin
+              advance st;
+              Some (parse_expr st)
+            end
+            else None
+          in
+          (start, len)
+        end
+      in
+      expect st Lexer.RPAREN;
+      Substring { subject; start; len }
+  | Lexer.IDENT "extract" ->
+      advance st;
+      expect st Lexer.LPAREN;
+      let field = interval_unit_of_string (expect_ident st) in
+      expect_kw st "from";
+      let arg = parse_expr st in
+      expect st Lexer.RPAREN;
+      Extract { field; arg }
+  | Lexer.IDENT "null" ->
+      advance st;
+      Lit Value.Null
+  | Lexer.IDENT "true" ->
+      advance st;
+      Lit (Value.Bool true)
+  | Lexer.IDENT "false" ->
+      advance st;
+      Lit (Value.Bool false)
+  | Lexer.IDENT name when not (is_reserved name) -> (
+      advance st;
+      match peek st with
+      | Lexer.LPAREN -> (
+          (* function call: aggregates only in this dialect *)
+          match agg_of_string name with
+          | Some func ->
+              advance st;
+              let distinct = eat_kw st "distinct" in
+              if peek st = Lexer.STAR then begin
+                advance st;
+                expect st Lexer.RPAREN;
+                if func <> Count then fail "%s(*) is not valid" name;
+                Agg { func; distinct; arg = None }
+              end
+              else begin
+                let arg = parse_expr st in
+                expect st Lexer.RPAREN;
+                Agg { func; distinct; arg = Some arg }
+              end
+          | None -> fail "unknown function %s" name)
+      | Lexer.DOT ->
+          advance st;
+          let col = expect_ident st in
+          Col { qualifier = Some name; name = col }
+      | _ -> Col { qualifier = None; name })
+  | t -> fail "unexpected %a in expression" Lexer.pp_token t
+
+(* -- SELECT --------------------------------------------------------- *)
+
+and parse_select st =
+  expect_kw st "select";
+  let _all_dup = eat_kw st "distinct" in
+  (* DISTINCT projection is rewritten as GROUP BY over all items below *)
+  let distinct = _all_dup in
+  let rec items acc =
+    let item =
+      if peek st = Lexer.STAR then begin
+        advance st;
+        Star
+      end
+      else begin
+        let e = parse_expr st in
+        let alias =
+          if eat_kw st "as" then Some (expect_ident st)
+          else
+            match peek st with
+            | Lexer.IDENT a when not (is_reserved a) ->
+                advance st;
+                Some a
+            | _ -> None
+        in
+        Item (e, alias)
+      end
+    in
+    if peek st = Lexer.COMMA then begin
+      advance st;
+      items (item :: acc)
+    end
+    else List.rev (item :: acc)
+  in
+  let items = items [] in
+  expect_kw st "from";
+  let rec from_items acc =
+    let fi = parse_from_item st in
+    if peek st = Lexer.COMMA then begin
+      advance st;
+      from_items (fi :: acc)
+    end
+    else List.rev (fi :: acc)
+  in
+  let from = from_items [] in
+  let where = if eat_kw st "where" then Some (parse_expr st) else None in
+  let group_by =
+    if eat_kw st "group" then begin
+      expect_kw st "by";
+      let rec exprs acc =
+        let e = parse_expr st in
+        if peek st = Lexer.COMMA then begin
+          advance st;
+          exprs (e :: acc)
+        end
+        else List.rev (e :: acc)
+      in
+      exprs []
+    end
+    else []
+  in
+  let having = if eat_kw st "having" then Some (parse_expr st) else None in
+  let order_by =
+    if eat_kw st "order" then begin
+      expect_kw st "by";
+      let rec keys acc =
+        let e = parse_expr st in
+        let dir =
+          if eat_kw st "desc" then `Desc
+          else begin
+            ignore (eat_kw st "asc");
+            `Asc
+          end
+        in
+        if peek st = Lexer.COMMA then begin
+          advance st;
+          keys ((e, dir) :: acc)
+        end
+        else List.rev ((e, dir) :: acc)
+      in
+      keys []
+    end
+    else []
+  in
+  let limit = if eat_kw st "limit" then Some (expect_int st) else None in
+  let select = { items; from; where; group_by; having; order_by; limit } in
+  if distinct && group_by = [] then begin
+    (* SELECT DISTINCT e1, ..., en == GROUP BY e1, ..., en *)
+    let exprs =
+      List.map
+        (function
+          | Item (e, _) -> e
+          | Star -> fail "SELECT DISTINCT * is not supported")
+        items
+    in
+    { select with group_by = exprs }
+  end
+  else select
+
+and parse_from_item st =
+  let base =
+    if peek st = Lexer.LPAREN then begin
+      advance st;
+      let select = parse_select st in
+      expect st Lexer.RPAREN;
+      ignore (eat_kw st "as");
+      let alias = expect_ident st in
+      Derived { select; alias }
+    end
+    else begin
+      let table = expect_ident st in
+      let alias =
+        if eat_kw st "as" then Some (expect_ident st)
+        else
+          match peek st with
+          | Lexer.IDENT a when not (is_reserved a) ->
+              advance st;
+              Some a
+          | _ -> None
+      in
+      Table { table; alias }
+    end
+  in
+  let rec joins left =
+    if is_kw st "join" || is_kw st "left" || is_kw st "inner" then begin
+      let kind =
+        if eat_kw st "left" then begin
+          ignore (eat_kw st "outer");
+          `Left
+        end
+        else begin
+          ignore (eat_kw st "inner");
+          `Inner
+        end
+      in
+      expect_kw st "join";
+      let right =
+        let table = expect_ident st in
+        let alias =
+          if eat_kw st "as" then Some (expect_ident st)
+          else
+            match peek st with
+            | Lexer.IDENT a when not (is_reserved a) ->
+                advance st;
+                Some a
+            | _ -> None
+        in
+        Table { table; alias }
+      in
+      expect_kw st "on";
+      let on = parse_expr st in
+      joins (Join { kind; left; right; on })
+    end
+    else left
+  in
+  joins base
+
+(* -- Statements ----------------------------------------------------- *)
+
+let parse_create_table st =
+  let name = expect_ident st in
+  expect st Lexer.LPAREN;
+  let rec cols acc =
+    let cname = expect_ident st in
+    let tyname = expect_ident st in
+    (* swallow optional length like varchar(25) and decimal(15, 2) *)
+    if peek st = Lexer.LPAREN then begin
+      advance st;
+      let _ = expect_int st in
+      if peek st = Lexer.COMMA then begin
+        advance st;
+        let _ = expect_int st in
+        ()
+      end;
+      expect st Lexer.RPAREN
+    end;
+    let ty =
+      match Value.ty_of_string tyname with
+      | Some ty -> ty
+      | None -> fail "unknown type %s" tyname
+    in
+    if peek st = Lexer.COMMA then begin
+      advance st;
+      cols ((cname, ty) :: acc)
+    end
+    else List.rev ((cname, ty) :: acc)
+  in
+  let cols = cols [] in
+  expect st Lexer.RPAREN;
+  Create_table { name; cols }
+
+let parse_insert st =
+  expect_kw st "into";
+  let table = expect_ident st in
+  let columns =
+    if peek st = Lexer.LPAREN then begin
+      advance st;
+      let rec names acc =
+        let n = expect_ident st in
+        if peek st = Lexer.COMMA then begin
+          advance st;
+          names (n :: acc)
+        end
+        else List.rev (n :: acc)
+      in
+      let names = names [] in
+      expect st Lexer.RPAREN;
+      Some names
+    end
+    else None
+  in
+  expect_kw st "values";
+  let rec tuples acc =
+    expect st Lexer.LPAREN;
+    let rec exprs acc =
+      let e = parse_expr st in
+      if peek st = Lexer.COMMA then begin
+        advance st;
+        exprs (e :: acc)
+      end
+      else List.rev (e :: acc)
+    in
+    let tuple = exprs [] in
+    expect st Lexer.RPAREN;
+    if peek st = Lexer.COMMA then begin
+      advance st;
+      tuples (tuple :: acc)
+    end
+    else List.rev (tuple :: acc)
+  in
+  Insert { table; columns; values = tuples [] }
+
+let parse_update st =
+  let table = expect_ident st in
+  expect_kw st "set";
+  let rec sets acc =
+    let col = expect_ident st in
+    expect st Lexer.EQ;
+    let e = parse_expr st in
+    if peek st = Lexer.COMMA then begin
+      advance st;
+      sets ((col, e) :: acc)
+    end
+    else List.rev ((col, e) :: acc)
+  in
+  let sets = sets [] in
+  let where = if eat_kw st "where" then Some (parse_expr st) else None in
+  Update { table; sets; where }
+
+let parse_delete st =
+  expect_kw st "from";
+  let table = expect_ident st in
+  let where = if eat_kw st "where" then Some (parse_expr st) else None in
+  Delete { table; where }
+
+let parse_create_index st =
+  let index_name = expect_ident st in
+  expect_kw st "on";
+  let table = expect_ident st in
+  expect st Lexer.LPAREN;
+  let column = expect_ident st in
+  expect st Lexer.RPAREN;
+  Create_index { index_name; table; column }
+
+let parse_stmt st =
+  let stmt =
+    if is_kw st "select" then Select (parse_select st)
+    else if eat_kw st "create" then begin
+      if eat_kw st "table" then parse_create_table st
+      else if eat_kw st "index" then parse_create_index st
+      else fail "expected TABLE or INDEX after CREATE"
+    end
+    else if eat_kw st "insert" then parse_insert st
+    else if eat_kw st "update" then parse_update st
+    else if eat_kw st "delete" then parse_delete st
+    else if eat_kw st "drop" then begin
+      if eat_kw st "table" then Drop_table (expect_ident st)
+      else if eat_kw st "index" then Drop_index (expect_ident st)
+      else fail "expected TABLE or INDEX after DROP"
+    end
+    else fail "expected a statement, found %a" Lexer.pp_token (peek st)
+  in
+  ignore (peek st = Lexer.SEMI && (advance st; true));
+  if peek st <> Lexer.EOF then
+    fail "trailing input after statement: %a" Lexer.pp_token (peek st);
+  stmt
+
+let parse sql =
+  let st = { toks = Lexer.tokenize sql } in
+  parse_stmt st
+
+let parse_expression sql =
+  let st = { toks = Lexer.tokenize sql } in
+  let e = parse_expr st in
+  if peek st <> Lexer.EOF then
+    fail "trailing input after expression: %a" Lexer.pp_token (peek st);
+  e

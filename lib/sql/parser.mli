@@ -1,0 +1,11 @@
+(** Recursive-descent parser for the SQL dialect of {!Ast}. *)
+
+exception Parse_error of string
+
+val parse : string -> Ast.stmt
+(** Parse one statement (an optional trailing [;] is allowed).
+    @raise Parse_error on syntax errors,
+    @raise Lexer.Lex_error on lexical errors. *)
+
+val parse_expression : string -> Ast.expr
+(** Parse a standalone expression (used by tests and tooling). *)

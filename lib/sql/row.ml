@@ -1,0 +1,38 @@
+(* Rows: value arrays plus (de)serialization against a page layout.
+   Each encoded row is u16 length + concatenated encoded values. *)
+
+type t = Value.t array
+
+let encode row =
+  let buf = Buffer.create 64 in
+  Array.iter (Value.encode buf) row;
+  let body = Buffer.contents buf in
+  let n = String.length body in
+  if n > 0xffff then invalid_arg "Row.encode: row too large";
+  let out = Bytes.create (n + 2) in
+  Bytes.set out 0 (Char.chr (n lsr 8));
+  Bytes.set out 1 (Char.chr (n land 0xff));
+  Bytes.blit_string body 0 out 2 n;
+  Bytes.to_string out
+
+let encoded_size row = String.length (encode row)
+
+(* Decode one row of [arity] values at [off]; returns row and next offset. *)
+let decode ~arity s off =
+  let len = (Char.code s.[off] lsl 8) lor Char.code s.[off + 1] in
+  let row = Array.make arity Value.Null in
+  let pos = ref (off + 2) in
+  for i = 0 to arity - 1 do
+    let v, next = Value.decode s !pos in
+    row.(i) <- v;
+    pos := next
+  done;
+  if !pos <> off + 2 + len then failwith "Row.decode: length mismatch";
+  (row, !pos)
+
+let heap_size row =
+  Array.fold_left (fun acc v -> acc + Value.heap_size v) 16 row
+
+let pp ppf row =
+  Fmt.pf ppf "(%s)"
+    (String.concat ", " (Array.to_list (Array.map Value.to_string row)))

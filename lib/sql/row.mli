@@ -1,0 +1,11 @@
+(** Rows and their binary encoding. *)
+
+type t = Value.t array
+
+val encode : t -> string
+(** u16 body length + encoded values. *)
+
+val encoded_size : t -> int
+val decode : arity:int -> string -> int -> t * int
+val heap_size : t -> int
+val pp : Format.formatter -> t -> unit

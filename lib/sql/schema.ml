@@ -1,0 +1,47 @@
+(* Table schemas and execution-context column descriptors. *)
+
+type column = { col_name : string; col_ty : Value.ty }
+
+type t = { table_name : string; columns : column array }
+
+let create ~name ~columns =
+  if columns = [] then invalid_arg "Schema.create: empty column list";
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun (n, _) ->
+      let n = String.lowercase_ascii n in
+      if Hashtbl.mem seen n then
+        invalid_arg (Printf.sprintf "Schema.create: duplicate column %s" n);
+      Hashtbl.add seen n ())
+    columns;
+  {
+    table_name = String.lowercase_ascii name;
+    columns =
+      Array.of_list
+        (List.map
+           (fun (n, ty) -> { col_name = String.lowercase_ascii n; col_ty = ty })
+           columns);
+  }
+
+let name t = t.table_name
+let columns t = t.columns
+let arity t = Array.length t.columns
+
+let column_index t cname =
+  let cname = String.lowercase_ascii cname in
+  let rec find i =
+    if i >= Array.length t.columns then None
+    else if t.columns.(i).col_name = cname then Some i
+    else find (i + 1)
+  in
+  find 0
+
+let column_names t = Array.to_list (Array.map (fun c -> c.col_name) t.columns)
+
+let pp ppf t =
+  Fmt.pf ppf "%s(%s)" t.table_name
+    (String.concat ", "
+       (Array.to_list
+          (Array.map
+             (fun c -> c.col_name ^ " " ^ Value.ty_name c.col_ty)
+             t.columns)))

@@ -1,0 +1,14 @@
+(** Table schemas. Names are case-insensitive (stored lowercase). *)
+
+type column = { col_name : string; col_ty : Value.ty }
+type t
+
+val create : name:string -> columns:(string * Value.ty) list -> t
+(** @raise Invalid_argument on duplicate or empty columns. *)
+
+val name : t -> string
+val columns : t -> column array
+val arity : t -> int
+val column_index : t -> string -> int option
+val column_names : t -> string list
+val pp : Format.formatter -> t -> unit

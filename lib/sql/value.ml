@@ -1,0 +1,216 @@
+(* Runtime values of the query engine. SQL three-valued logic is
+   represented by [Null] flowing through comparisons and arithmetic;
+   boolean contexts treat Null as false (sufficient for the supported
+   dialect, which has no IS NULL-sensitive aggregates beyond count). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | Date of Date.t
+
+type ty = TBool | TInt | TFloat | TStr | TDate
+
+let ty_name = function
+  | TBool -> "boolean"
+  | TInt -> "integer"
+  | TFloat -> "double"
+  | TStr -> "varchar"
+  | TDate -> "date"
+
+let ty_of_string s =
+  match String.lowercase_ascii s with
+  | "boolean" | "bool" -> Some TBool
+  | "integer" | "int" | "bigint" -> Some TInt
+  | "double" | "float" | "real" | "decimal" | "numeric" -> Some TFloat
+  | "varchar" | "char" | "text" | "string" -> Some TStr
+  | "date" -> Some TDate
+  | _ -> None
+
+let type_of = function
+  | Null -> None
+  | Bool _ -> Some TBool
+  | Int _ -> Some TInt
+  | Float _ -> Some TFloat
+  | Str _ -> Some TStr
+  | Date _ -> Some TDate
+
+exception Type_error of string
+
+let type_error fmt = Format.kasprintf (fun s -> raise (Type_error s)) fmt
+
+let to_string = function
+  | Null -> "NULL"
+  | Bool b -> string_of_bool b
+  | Int i -> string_of_int i
+  | Float f -> Printf.sprintf "%.2f" f
+  | Str s -> s
+  | Date d -> Date.to_string d
+
+let pp ppf v = Fmt.string ppf (to_string v)
+
+let as_float = function
+  | Int i -> float_of_int i
+  | Float f -> f
+  | v -> type_error "expected numeric, got %s" (to_string v)
+
+let as_int = function
+  | Int i -> i
+  | Float f -> int_of_float f
+  | v -> type_error "expected integer, got %s" (to_string v)
+
+let as_bool = function
+  | Bool b -> b
+  | Null -> false
+  | v -> type_error "expected boolean, got %s" (to_string v)
+
+(* SQL comparison; Null compares as unknown -> None. *)
+let compare_opt a b =
+  match (a, b) with
+  | Null, _ | _, Null -> None
+  | Bool x, Bool y -> Some (Bool.compare x y)
+  | Int x, Int y -> Some (Int.compare x y)
+  | Float x, Float y -> Some (Float.compare x y)
+  | Int x, Float y -> Some (Float.compare (float_of_int x) y)
+  | Float x, Int y -> Some (Float.compare x (float_of_int y))
+  | Str x, Str y -> Some (String.compare x y)
+  | Date x, Date y -> Some (Date.compare x y)
+  (* dates and their day-number representation interoperate *)
+  | Date x, Int y -> Some (Int.compare x y)
+  | Int x, Date y -> Some (Int.compare x y)
+  | x, y ->
+      type_error "cannot compare %s with %s" (to_string x) (to_string y)
+
+(* Total order for sorting and group keys: Null sorts first. *)
+let compare_total a b =
+  match (a, b) with
+  | Null, Null -> 0
+  | Null, _ -> -1
+  | _, Null -> 1
+  | _ -> ( match compare_opt a b with Some c -> c | None -> assert false)
+
+let equal a b = match compare_opt a b with Some 0 -> true | _ -> false
+
+let arith op a b =
+  match (a, b) with
+  | Null, _ | _, Null -> Null
+  | Int x, Int y -> (
+      match op with
+      | `Add -> Int (x + y)
+      | `Sub -> Int (x - y)
+      | `Mul -> Int (x * y)
+      | `Div -> if y = 0 then Null else Float (float_of_int x /. float_of_int y))
+  | (Int _ | Float _), (Int _ | Float _) -> (
+      let x = as_float a and y = as_float b in
+      match op with
+      | `Add -> Float (x +. y)
+      | `Sub -> Float (x -. y)
+      | `Mul -> Float (x *. y)
+      | `Div -> if y = 0.0 then Null else Float (x /. y))
+  | Date d, Int n -> (
+      match op with
+      | `Add -> Date (Date.add_days d n)
+      | `Sub -> Date (Date.add_days d (-n))
+      | `Mul | `Div -> type_error "invalid date arithmetic")
+  | Date x, Date y -> (
+      match op with
+      | `Sub -> Int (x - y)
+      | `Add | `Mul | `Div -> type_error "invalid date arithmetic")
+  | x, y ->
+      type_error "invalid arithmetic on %s and %s" (to_string x) (to_string y)
+
+(* SQL LIKE with % and _ wildcards. *)
+let like ~pattern s =
+  let n = String.length s and m = String.length pattern in
+  (* dp over pattern positions; classic two-pointer with backtracking *)
+  let rec go si pi star_si star_pi =
+    if si = n then begin
+      (* consume trailing %s *)
+      let rec only_pct pi = pi = m || (pattern.[pi] = '%' && only_pct (pi + 1)) in
+      if only_pct pi then true
+      else if star_pi >= 0 && star_si < n then
+        go (star_si + 1) (star_pi + 1) (star_si + 1) star_pi
+      else false
+    end
+    else if pi < m && (pattern.[pi] = '_' || pattern.[pi] = s.[si]) then
+      go (si + 1) (pi + 1) star_si star_pi
+    else if pi < m && pattern.[pi] = '%' then go si (pi + 1) si pi
+    else if star_pi >= 0 then go (star_si + 1) (star_pi + 1) (star_si + 1) star_pi
+    else false
+  in
+  go 0 0 (-1) (-1)
+
+(* -- Serialization (page storage and wire format) ------------------- *)
+
+let encode buf v =
+  let add_u16 n =
+    Buffer.add_char buf (Char.chr ((n lsr 8) land 0xff));
+    Buffer.add_char buf (Char.chr (n land 0xff))
+  in
+  let add_i64 n =
+    for i = 7 downto 0 do
+      Buffer.add_char buf (Char.chr ((n asr (8 * i)) land 0xff))
+    done
+  in
+  match v with
+  | Null -> Buffer.add_char buf 'N'
+  | Bool b -> Buffer.add_char buf (if b then 'T' else 'F')
+  | Int i ->
+      Buffer.add_char buf 'I';
+      add_i64 i
+  | Float f ->
+      Buffer.add_char buf 'D';
+      let bits = Int64.bits_of_float f in
+      for i = 7 downto 0 do
+        Buffer.add_char buf
+          (Char.chr
+             (Int64.to_int (Int64.shift_right_logical bits (8 * i)) land 0xff))
+      done
+  | Str s ->
+      Buffer.add_char buf 'S';
+      add_u16 (String.length s);
+      Buffer.add_string buf s
+  | Date d ->
+      Buffer.add_char buf 'A';
+      add_i64 d
+
+let decode s off =
+  let get_i64 off =
+    (* sign-extend from the top byte; values fit OCaml's 63-bit int *)
+    let b0 = Char.code s.[off] in
+    let v = ref (if b0 >= 128 then b0 - 256 else b0) in
+    for i = 1 to 7 do
+      v := (!v lsl 8) lor Char.code s.[off + i]
+    done;
+    (!v, off + 8)
+  in
+  match s.[off] with
+  | 'N' -> (Null, off + 1)
+  | 'T' -> (Bool true, off + 1)
+  | 'F' -> (Bool false, off + 1)
+  | 'I' ->
+      let v, off = get_i64 (off + 1) in
+      (Int v, off)
+  | 'D' ->
+      let bits = ref 0L in
+      for i = 0 to 7 do
+        bits :=
+          Int64.logor (Int64.shift_left !bits 8)
+            (Int64.of_int (Char.code s.[off + 1 + i]))
+      done;
+      (Float (Int64.float_of_bits !bits), off + 9)
+  | 'S' ->
+      let len = (Char.code s.[off + 1] lsl 8) lor Char.code s.[off + 2] in
+      (Str (String.sub s (off + 3) len), off + 3 + len)
+  | 'A' ->
+      let v, off = get_i64 (off + 1) in
+      (Date v, off)
+  | c -> type_error "corrupt value tag %C" c
+
+(* Approximate in-memory footprint, for the memory meter. *)
+let heap_size = function
+  | Null | Bool _ -> 8
+  | Int _ | Float _ | Date _ -> 16
+  | Str s -> 24 + String.length s

@@ -1,0 +1,47 @@
+(** Runtime values with SQL semantics (three-valued comparisons, LIKE,
+    date arithmetic) and a compact binary serialization used for both
+    page storage and the wire format. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | Date of Date.t
+
+type ty = TBool | TInt | TFloat | TStr | TDate
+
+exception Type_error of string
+
+val ty_name : ty -> string
+val ty_of_string : string -> ty option
+val type_of : t -> ty option
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+
+val as_float : t -> float
+val as_int : t -> int
+val as_bool : t -> bool
+
+val compare_opt : t -> t -> int option
+(** SQL comparison; [None] when either side is NULL. *)
+
+val compare_total : t -> t -> int
+(** Total order (NULL first) for sorting and keying. *)
+
+val equal : t -> t -> bool
+
+val arith : [ `Add | `Sub | `Mul | `Div ] -> t -> t -> t
+(** Numeric and date arithmetic; NULL-propagating; division by zero
+    yields NULL. *)
+
+val like : pattern:string -> string -> bool
+(** SQL LIKE with [%] and [_]. *)
+
+val encode : Buffer.t -> t -> unit
+val decode : string -> int -> t * int
+
+val heap_size : t -> int
+(** Approximate in-memory footprint in bytes (for the memory meter). *)

@@ -1,0 +1,91 @@
+(* Untrusted storage medium: a flat array of 4 KiB pages.
+
+   This is the component the adversary of §3.3 fully controls, so the
+   API deliberately includes attack entry points (tamper, rollback,
+   fork) used by the security tests and the attack-demo example. The
+   device also counts reads/writes — those counters are the ground
+   truth for the data-movement figures. *)
+
+let page_size = 4096
+
+type t = {
+  pages : Bytes.t array;
+  mutable reads : int;
+  mutable writes : int;
+  mutable snapshots : (string * Bytes.t array) list;
+}
+
+let create ~pages:n =
+  if n <= 0 then invalid_arg "Block_device.create: page count must be positive";
+  {
+    pages = Array.init n (fun _ -> Bytes.make page_size '\000');
+    reads = 0;
+    writes = 0;
+    snapshots = [];
+  }
+
+let page_count t = Array.length t.pages
+
+let check t i =
+  if i < 0 || i >= Array.length t.pages then
+    invalid_arg (Printf.sprintf "Block_device: page %d out of range" i)
+
+let read_page t i =
+  check t i;
+  t.reads <- t.reads + 1;
+  Bytes.to_string t.pages.(i)
+
+let write_page t i data =
+  check t i;
+  if String.length data <> page_size then
+    invalid_arg "Block_device.write_page: data must be exactly one page";
+  t.writes <- t.writes + 1;
+  Bytes.blit_string data 0 t.pages.(i) 0 page_size
+
+let reads t = t.reads
+let writes t = t.writes
+
+let reset_counters t =
+  t.reads <- 0;
+  t.writes <- 0
+
+(* -- Adversarial interface (threat model §3.3) --------------------- *)
+
+(* Flip one byte of a page without going through the storage engine. *)
+let tamper t ~page ~offset =
+  check t page;
+  if offset < 0 || offset >= page_size then
+    invalid_arg "Block_device.tamper: offset out of range";
+  let b = Bytes.get t.pages.(page) offset in
+  Bytes.set t.pages.(page) offset (Char.chr (Char.code b lxor 0xff))
+
+(* Swap two pages in place (displacement attack). *)
+let swap_pages t i j =
+  check t i;
+  check t j;
+  let tmp = t.pages.(i) in
+  t.pages.(i) <- Bytes.copy t.pages.(j);
+  Bytes.blit tmp 0 t.pages.(j) 0 page_size
+
+let snapshot t ~name =
+  t.snapshots <-
+    (name, Array.map Bytes.copy t.pages)
+    :: List.remove_assoc name t.snapshots
+
+(* Rollback attack: silently revert the medium to an earlier state. *)
+let rollback t ~name =
+  match List.assoc_opt name t.snapshots with
+  | None -> Error (Printf.sprintf "no snapshot %S" name)
+  | Some saved ->
+      Array.iteri (fun i p -> Bytes.blit p 0 t.pages.(i) 0 page_size) saved;
+      Ok ()
+
+(* Forking attack: a full replica of the medium the adversary can run
+   a second storage-system instance against. *)
+let fork t =
+  {
+    pages = Array.map Bytes.copy t.pages;
+    reads = 0;
+    writes = 0;
+    snapshots = [];
+  }

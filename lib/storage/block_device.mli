@@ -1,0 +1,33 @@
+(** Untrusted storage medium (4 KiB pages) with an explicit adversarial
+    interface for the attacks of the paper's threat model (§3.3). *)
+
+val page_size : int
+
+type t
+
+val create : pages:int -> t
+val page_count : t -> int
+
+val read_page : t -> int -> string
+val write_page : t -> int -> string -> unit
+
+val reads : t -> int
+(** Pages read since the last counter reset. *)
+
+val writes : t -> int
+val reset_counters : t -> unit
+
+(** {2 Adversarial operations} *)
+
+val tamper : t -> page:int -> offset:int -> unit
+(** Flip a byte behind the storage engine's back. *)
+
+val swap_pages : t -> int -> int -> unit
+(** Displace pages (must be detected by the Merkle tree). *)
+
+val snapshot : t -> name:string -> unit
+val rollback : t -> name:string -> (unit, string) result
+(** Revert the medium to a snapshot (rollback attack). *)
+
+val fork : t -> t
+(** Clone the medium (forking attack). *)

@@ -1,0 +1,113 @@
+(* Replay-Protected Memory Block, following the eMMC RPMB protocol
+   shape: a small number of 256-byte slots, an authentication key
+   programmed once, a monotonic write counter, and HMAC-authenticated
+   request/response frames. Only an agent holding the key (the secure
+   world's storage TA) can write; replayed or unauthenticated frames
+   are rejected. This is the rollback-protection anchor of §4.1. *)
+
+let slot_size = 256
+
+type frame = {
+  slot : int;
+  payload : string;
+  write_counter : int;
+  mac : string; (* HMAC over slot | payload | counter *)
+}
+
+type t = {
+  slots : Bytes.t array;
+  mutable auth_key : string option; (* programmable exactly once *)
+  mutable write_counter : int;
+}
+
+type error =
+  | Key_not_programmed
+  | Key_already_programmed
+  | Bad_mac
+  | Counter_mismatch of { expected : int; got : int }
+  | Bad_slot of int
+
+let pp_error ppf = function
+  | Key_not_programmed -> Fmt.string ppf "authentication key not programmed"
+  | Key_already_programmed -> Fmt.string ppf "authentication key already programmed"
+  | Bad_mac -> Fmt.string ppf "frame MAC verification failed"
+  | Counter_mismatch { expected; got } ->
+      Fmt.pf ppf "write counter mismatch (expected %d, got %d)" expected got
+  | Bad_slot i -> Fmt.pf ppf "slot %d out of range" i
+
+let create ?(slots = 16) () =
+  if slots <= 0 then invalid_arg "Rpmb.create: slots must be positive";
+  {
+    slots = Array.init slots (fun _ -> Bytes.make slot_size '\000');
+    auth_key = None;
+    write_counter = 0;
+  }
+
+let slot_count t = Array.length t.slots
+
+let program_key t key =
+  match t.auth_key with
+  | Some _ -> Error Key_already_programmed
+  | None ->
+      t.auth_key <- Some key;
+      Ok ()
+
+let frame_bytes ~slot ~payload ~write_counter =
+  Printf.sprintf "%04d|%08d|" slot write_counter ^ payload
+
+let mac_frame ~key ~slot ~payload ~write_counter =
+  Ironsafe_crypto.Hmac.mac ~key (frame_bytes ~slot ~payload ~write_counter)
+
+let make_write_frame ~key ~slot ~payload ~write_counter =
+  let payload =
+    if String.length payload > slot_size then
+      invalid_arg "Rpmb: payload exceeds slot size"
+    else payload ^ String.make (slot_size - String.length payload) '\000'
+  in
+  { slot; payload; write_counter; mac = mac_frame ~key ~slot ~payload ~write_counter }
+
+let read_counter t = t.write_counter
+
+let write t frame =
+  match t.auth_key with
+  | None -> Error Key_not_programmed
+  | Some key ->
+      if frame.slot < 0 || frame.slot >= Array.length t.slots then
+        Error (Bad_slot frame.slot)
+      else if
+        not
+          (Ironsafe_crypto.Constant_time.equal frame.mac
+             (mac_frame ~key ~slot:frame.slot ~payload:frame.payload
+                ~write_counter:frame.write_counter))
+      then Error Bad_mac
+      else if frame.write_counter <> t.write_counter then
+        (* replayed (stale counter) or skipped frame *)
+        Error (Counter_mismatch { expected = t.write_counter; got = frame.write_counter })
+      else begin
+        Bytes.blit_string frame.payload 0 t.slots.(frame.slot) 0 slot_size;
+        t.write_counter <- t.write_counter + 1;
+        Ok t.write_counter
+      end
+
+(* Authenticated read: device returns data + counter, MACed with a
+   caller-supplied nonce so responses cannot be replayed either. *)
+let read t ~nonce slot =
+  match t.auth_key with
+  | None -> Error Key_not_programmed
+  | Some key ->
+      if slot < 0 || slot >= Array.length t.slots then Error (Bad_slot slot)
+      else begin
+        let payload = Bytes.to_string t.slots.(slot) in
+        let mac =
+          Ironsafe_crypto.Hmac.mac ~key
+            (nonce ^ frame_bytes ~slot ~payload ~write_counter:t.write_counter)
+        in
+        Ok { slot; payload; write_counter = t.write_counter; mac }
+      end
+
+let verify_read_response ~key ~nonce frame =
+  Ironsafe_crypto.Constant_time.equal frame.mac
+    (Ironsafe_crypto.Hmac.mac ~key
+       (nonce
+       ^ frame_bytes ~slot:frame.slot ~payload:frame.payload
+           ~write_counter:frame.write_counter))

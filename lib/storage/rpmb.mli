@@ -1,0 +1,45 @@
+(** Replay-Protected Memory Block (eMMC RPMB protocol shape):
+    HMAC-authenticated frames, a monotonic write counter, a key
+    programmable exactly once. Rollback-protection anchor of §4.1. *)
+
+val slot_size : int
+
+type t
+
+type frame = {
+  slot : int;
+  payload : string;
+  write_counter : int;
+  mac : string;
+}
+
+type error =
+  | Key_not_programmed
+  | Key_already_programmed
+  | Bad_mac
+  | Counter_mismatch of { expected : int; got : int }
+  | Bad_slot of int
+
+val pp_error : Format.formatter -> error -> unit
+
+val create : ?slots:int -> unit -> t
+val slot_count : t -> int
+
+val program_key : t -> string -> (unit, error) result
+(** One-time key programming (done by the secure-world storage TA). *)
+
+val read_counter : t -> int
+
+val make_write_frame :
+  key:string -> slot:int -> payload:string -> write_counter:int -> frame
+(** Build an authenticated write frame; payload is zero-padded to the
+    slot size. @raise Invalid_argument if the payload is too large. *)
+
+val write : t -> frame -> (int, error) result
+(** Returns the new write counter. Rejects bad MACs and stale/replayed
+    counters. *)
+
+val read : t -> nonce:string -> int -> (frame, error) result
+(** Authenticated read: the response MAC covers the caller's nonce. *)
+
+val verify_read_response : key:string -> nonce:string -> frame -> bool

@@ -1,0 +1,22 @@
+(* A software image: named, versioned code blob. Measurements (SHA-256
+   of the code) are what both TEE attestation flows report; versions
+   feed the fwVersion* policy predicates. *)
+
+type t = { name : string; version : int; code : string }
+
+let create ~name ~version ~code =
+  if version < 0 then invalid_arg "Image.create: negative version";
+  { name; version; code }
+
+let name t = t.name
+let version t = t.version
+let code t = t.code
+let measurement t = Ironsafe_crypto.Sha256.digest (t.name ^ "\x00" ^ t.code)
+
+(* An attacker-modified build of the same image: same name/version
+   claim, different code, hence a different measurement. *)
+let backdoored t = { t with code = t.code ^ "\n(* backdoor *)" }
+
+let pp ppf t =
+  Fmt.pf ppf "%s v%d (%s)" t.name t.version
+    (String.sub (Ironsafe_crypto.Hex.of_string (measurement t)) 0 12)

@@ -1,0 +1,16 @@
+(** Named, versioned software images and their measurements. *)
+
+type t
+
+val create : name:string -> version:int -> code:string -> t
+val name : t -> string
+val version : t -> int
+val code : t -> string
+
+val measurement : t -> string
+(** SHA-256 over name and code — the value attestation reports. *)
+
+val backdoored : t -> t
+(** Same claims, modified code: measurement changes. For attack tests. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,110 @@
+(* Intel SGX model (§3.2): user-level enclaves with CPU-computed code
+   measurement (MRENCLAVE), a per-platform attestation key certified by
+   a simulated Intel root, and quote generation/verification — the
+   functional contract remote attestation relies on. Performance
+   effects (EPC limit, paging, transition cost) are charged by the
+   runner from the transition/working-set counters kept here. *)
+
+module C = Ironsafe_crypto
+
+type platform = {
+  platform_id : string;
+  qe_secret : C.Signature.secret_key; (* quoting-enclave attestation key *)
+  qe_public : C.Signature.public_key;
+  epc_limit : int;
+}
+
+(* The "Intel Attestation Service": a registry of genuine platforms.
+   Quotes verify only if the platform key was provisioned here —
+   modelling Intel's certification of on-chip keys. *)
+type ias = { mutable genuine : (string * C.Signature.public_key) list }
+
+let create_ias () = { genuine = [] }
+
+let create_platform ?(epc_limit = 96 * 1024 * 1024) ~ias drbg =
+  let qe_secret, qe_public = C.Signature.generate drbg in
+  let platform_id = C.Hex.of_string (C.Drbg.generate drbg 8) in
+  ias.genuine <- (platform_id, qe_public) :: ias.genuine;
+  { platform_id; qe_secret; qe_public; epc_limit }
+
+let platform_id p = p.platform_id
+let epc_limit p = p.epc_limit
+
+type enclave = {
+  platform : platform;
+  image : Image.t;
+  mrenclave : string;
+  mutable ecalls : int;
+  mutable ocalls : int;
+  mutable heap_used : int;
+  mutable epc_faults : int;
+}
+
+let launch platform image =
+  {
+    platform;
+    image;
+    mrenclave = Image.measurement image;
+    ecalls = 0;
+    ocalls = 0;
+    heap_used = 0;
+    epc_faults = 0;
+  }
+
+let mrenclave e = e.mrenclave
+let image e = e.image
+
+(* Transition accounting: the runner converts these to time. *)
+let ecall e = e.ecalls <- e.ecalls + 1
+let ocall e = e.ocalls <- e.ocalls + 1
+let transitions e = e.ecalls + e.ocalls
+
+(* Working-set accounting: touching memory beyond the EPC limit incurs
+   paging faults, one per 4 KiB page beyond capacity. *)
+let touch e bytes =
+  e.heap_used <- max e.heap_used bytes;
+  if bytes > e.platform.epc_limit then begin
+    let over_pages = (bytes - e.platform.epc_limit + 4095) / 4096 in
+    e.epc_faults <- e.epc_faults + over_pages;
+    over_pages
+  end
+  else 0
+
+let epc_faults e = e.epc_faults
+let heap_used e = e.heap_used
+
+let reset_counters e =
+  e.ecalls <- 0;
+  e.ocalls <- 0;
+  e.heap_used <- 0;
+  e.epc_faults <- 0
+
+type quote = {
+  quoted_mrenclave : string;
+  report_data : string;
+  quoted_platform : string;
+  signature : string;
+}
+
+let quote_payload q =
+  q.quoted_mrenclave ^ "\x00" ^ q.report_data ^ "\x00" ^ q.quoted_platform
+
+let generate_quote e ~report_data =
+  let q =
+    {
+      quoted_mrenclave = e.mrenclave;
+      report_data;
+      quoted_platform = e.platform.platform_id;
+      signature = "";
+    }
+  in
+  { q with signature = C.Signature.sign e.platform.qe_secret (quote_payload q) }
+
+(* IAS-style verification: platform must be genuine and the signature
+   must verify under its certified key. *)
+let verify_quote ~ias q =
+  match List.assoc_opt q.quoted_platform ias.genuine with
+  | None -> Error "unknown platform (not certified by IAS)"
+  | Some pk ->
+      if C.Signature.verify pk (quote_payload q) q.signature then Ok ()
+      else Error "quote signature invalid"

@@ -1,0 +1,47 @@
+(** Intel SGX model: enclaves, MRENCLAVE measurement, EPC/transition
+    accounting, and IAS-rooted quote verification. *)
+
+type platform
+type ias
+
+val create_ias : unit -> ias
+(** The simulated Intel Attestation Service (registry of genuine
+    platform attestation keys). *)
+
+val create_platform :
+  ?epc_limit:int -> ias:ias -> Ironsafe_crypto.Drbg.t -> platform
+(** A genuine SGX CPU, provisioned with an IAS-certified quoting key.
+    Default EPC limit: 96 MiB (the testbed's usable EPC). *)
+
+val platform_id : platform -> string
+val epc_limit : platform -> int
+
+type enclave
+
+val launch : platform -> Image.t -> enclave
+(** Load and measure an image; MRENCLAVE is fixed at launch. *)
+
+val mrenclave : enclave -> string
+val image : enclave -> Image.t
+
+val ecall : enclave -> unit
+val ocall : enclave -> unit
+val transitions : enclave -> int
+
+val touch : enclave -> int -> int
+(** [touch e bytes] records the enclave working set; returns the number
+    of EPC paging faults this touch incurs (0 when within the limit). *)
+
+val epc_faults : enclave -> int
+val heap_used : enclave -> int
+val reset_counters : enclave -> unit
+
+type quote = {
+  quoted_mrenclave : string;
+  report_data : string;
+  quoted_platform : string;
+  signature : string;
+}
+
+val generate_quote : enclave -> report_data:string -> quote
+val verify_quote : ias:ias -> quote -> (unit, string) result

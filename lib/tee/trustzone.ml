@@ -1,0 +1,190 @@
+(* ARM TrustZone model (§3.2, §4.2):
+
+   - a device is manufactured with a hardware unique key (HUK) and a
+     root-of-trust public key (ROTPK) whose private half signs the
+     vendor's firmware certificates — ROTPK uses Lamport one-time
+     signatures, which are genuinely hash-based asymmetric;
+   - secure boot validates each stage image against its certificate
+     before handing over, producing a measurement chain; the trusted OS
+     then measures the normal-world software (the storage engine) and
+     records its hash;
+   - the attestation TA answers challenges by signing
+     (challenge | normal-world hash | boot chain digest) with a
+     device attestation key derived from the HUK, whose public half is
+     certified (at the factory) under the ROTPK.
+
+   Boot stages mirror the paper's stack: ATF -> OP-TEE (trusted OS +
+   TAs) -> normal world (Linux + storage engine). *)
+
+module C = Ironsafe_crypto
+
+type cert = {
+  cert_image_name : string;
+  cert_image_version : int;
+  cert_measurement : string;
+  cert_signature : string; (* by the device attestation key *)
+}
+
+type rom_cert = {
+  attest_pk : C.Signature.public_key;
+  device_id : string;
+  rom_signature : string array; (* Lamport, under the ROTPK *)
+}
+
+type device = {
+  device_id : string;
+  huk : string;
+  rotpk_public : C.Lamport.public_key;
+  attest_secret : C.Signature.secret_key;
+  rom_cert : rom_cert;
+  mutable provisioned : cert list;
+  mutable world_switches : int;
+  location : string;
+}
+
+let rom_cert_payload ~device_id ~attest_pk =
+  "tz-rom-cert" ^ device_id ^ C.Signature.public_key_bytes attest_pk
+
+(* Factory: fuse HUK, generate ROTPK, derive + certify the attestation
+   key. The ROTPK secret is used exactly once (Lamport) and destroyed. *)
+let manufacture ?(location = "eu-west") ~device_id drbg =
+  let huk = C.Drbg.generate drbg 32 in
+  let rotpk_secret, rotpk_public = C.Lamport.generate drbg in
+  let attest_secret, attest_pk = C.Signature.generate drbg in
+  let rom_signature =
+    C.Lamport.sign rotpk_secret (rom_cert_payload ~device_id ~attest_pk)
+  in
+  {
+    device_id;
+    huk;
+    rotpk_public;
+    attest_secret;
+    rom_cert = { attest_pk; device_id; rom_signature };
+    provisioned = [];
+    world_switches = 0;
+    location;
+  }
+
+let device_id d = d.device_id
+let hardware_key d = d.huk
+let location d = d.location
+let rotpk d = d.rotpk_public
+
+let world_switch d = d.world_switches <- d.world_switches + 1
+let world_switches d = d.world_switches
+let reset_counters d = d.world_switches <- 0
+
+(* Vendor provisioning: sign the expected firmware images. *)
+let provision d images =
+  d.provisioned <-
+    List.map
+      (fun img ->
+        {
+          cert_image_name = Image.name img;
+          cert_image_version = Image.version img;
+          cert_measurement = Image.measurement img;
+          cert_signature =
+            C.Signature.sign d.attest_secret
+              ("tz-fw-cert" ^ Image.name img ^ Image.measurement img);
+        })
+      images
+
+type booted = {
+  booted_device : device;
+  boot_chain : (string * string) list; (* stage name, measurement *)
+  normal_world : Image.t;
+  normal_world_hash : string;
+}
+
+(* Trusted boot: every stage image must match a provisioned
+   certificate; the last stage is the normal world, whose hash is
+   recorded (not enforced at boot — the monitor decides whether the
+   measured normal world is acceptable, §4.1). *)
+let secure_boot d ~secure_stages ~normal_world =
+  let verify img =
+    match
+      List.find_opt (fun c -> c.cert_image_name = Image.name img) d.provisioned
+    with
+    | None -> Error (Printf.sprintf "no certificate for stage %s" (Image.name img))
+    | Some c ->
+        if
+          C.Constant_time.equal c.cert_measurement (Image.measurement img)
+          && C.Signature.verify d.rom_cert.attest_pk
+               ("tz-fw-cert" ^ Image.name img ^ c.cert_measurement)
+               c.cert_signature
+        then Ok (Image.name img, Image.measurement img)
+        else Error (Printf.sprintf "stage %s failed verification" (Image.name img))
+  in
+  let rec boot acc = function
+    | [] -> Ok (List.rev acc)
+    | img :: rest -> (
+        match verify img with
+        | Ok entry -> boot (entry :: acc) rest
+        | Error _ as e -> e)
+  in
+  match boot [] secure_stages with
+  | Error e -> Error e
+  | Ok chain ->
+      Ok
+        {
+          booted_device = d;
+          boot_chain = chain;
+          normal_world;
+          normal_world_hash = Image.measurement normal_world;
+        }
+
+let normal_world_hash b = b.normal_world_hash
+let normal_world_image b = b.normal_world
+let boot_chain b = b.boot_chain
+let booted_device b = b.booted_device
+
+type attestation_response = {
+  resp_device_id : string;
+  resp_challenge : string;
+  resp_normal_world_hash : string;
+  resp_boot_chain : (string * string) list;
+  resp_rom_cert : rom_cert;
+  resp_signature : string;
+}
+
+let chain_digest chain =
+  C.Sha256.digest (String.concat ";" (List.map (fun (n, m) -> n ^ "=" ^ m) chain))
+
+let response_payload ~challenge ~nw_hash ~chain =
+  "tz-attest" ^ challenge ^ nw_hash ^ chain_digest chain
+
+(* The attestation TA (secure world): one world switch per quote. *)
+let attest b ~challenge =
+  world_switch b.booted_device;
+  {
+    resp_device_id = b.booted_device.device_id;
+    resp_challenge = challenge;
+    resp_normal_world_hash = b.normal_world_hash;
+    resp_boot_chain = b.boot_chain;
+    resp_rom_cert = b.booted_device.rom_cert;
+    resp_signature =
+      C.Signature.sign b.booted_device.attest_secret
+        (response_payload ~challenge ~nw_hash:b.normal_world_hash
+           ~chain:b.boot_chain);
+  }
+
+(* Verifier side (the trusted monitor): needs only the manufacturer's
+   ROTPK public key for this device id. *)
+let verify_attestation ~rotpk ~challenge resp =
+  let cert = resp.resp_rom_cert in
+  if cert.device_id <> resp.resp_device_id then Error "device id mismatch"
+  else if
+    not
+      (C.Lamport.verify rotpk
+         (rom_cert_payload ~device_id:cert.device_id ~attest_pk:cert.attest_pk)
+         cert.rom_signature)
+  then Error "ROM certificate invalid (not rooted in ROTPK)"
+  else if resp.resp_challenge <> challenge then Error "challenge mismatch (replay?)"
+  else if
+    not
+      (C.Signature.verify cert.attest_pk
+         (response_payload ~challenge ~nw_hash:resp.resp_normal_world_hash
+            ~chain:resp.resp_boot_chain)
+         resp.resp_signature)
+  then Error "attestation signature invalid"
+  else Ok ()

@@ -1,0 +1,67 @@
+(** ARM TrustZone device model: HUK, ROTPK-rooted secure boot with a
+    Lamport-signed certificate chain, normal-world measurement, and the
+    attestation TA protocol of Fig. 4b. *)
+
+type device
+type booted
+
+type rom_cert = {
+  attest_pk : Ironsafe_crypto.Signature.public_key;
+  device_id : string;
+  rom_signature : string array;
+}
+
+type attestation_response = {
+  resp_device_id : string;
+  resp_challenge : string;
+  resp_normal_world_hash : string;
+  resp_boot_chain : (string * string) list;
+  resp_rom_cert : rom_cert;
+  resp_signature : string;
+}
+
+val manufacture :
+  ?location:string -> device_id:string -> Ironsafe_crypto.Drbg.t -> device
+(** Factory step: fuse the HUK, generate the ROTPK, certify the device
+    attestation key. *)
+
+val device_id : device -> string
+
+val hardware_key : device -> string
+(** The HUK — available only to secure-world code (the secure storage
+    TA derives its keys from it). *)
+
+val location : device -> string
+
+val rotpk : device -> Ironsafe_crypto.Lamport.public_key
+(** Manufacturer-published root-of-trust verification key. *)
+
+val provision : device -> Image.t list -> unit
+(** Vendor signs the expected firmware images. *)
+
+val secure_boot :
+  device ->
+  secure_stages:Image.t list ->
+  normal_world:Image.t ->
+  (booted, string) result
+(** Verify each secure-world stage against its certificate, then
+    measure (but not judge) the normal world. *)
+
+val normal_world_hash : booted -> string
+val normal_world_image : booted -> Image.t
+val boot_chain : booted -> (string * string) list
+val booted_device : booted -> device
+
+val attest : booted -> challenge:string -> attestation_response
+(** The attestation TA: signs challenge, normal-world hash and boot
+    chain with the ROTPK-certified device key (one world switch). *)
+
+val verify_attestation :
+  rotpk:Ironsafe_crypto.Lamport.public_key ->
+  challenge:string ->
+  attestation_response ->
+  (unit, string) result
+
+val world_switch : device -> unit
+val world_switches : device -> int
+val reset_counters : device -> unit

@@ -1,0 +1,284 @@
+(* Deterministic TPC-H data generator (dbgen equivalent).
+
+   Row counts, key structure, value domains and date relationships
+   follow the TPC-H specification; text columns use {!Text} pools. Two
+   deliberate small-scale adjustments, documented in DESIGN.md: the
+   "Customer Complaints" (Q16) and "special ... requests" (Q13) comment
+   phrases are planted at 1% instead of the spec's rarer rates so the
+   anti-join code paths are exercised at the sub-1 scale factors this
+   repository benchmarks with. *)
+
+open Ironsafe_sql
+module C = Ironsafe_crypto
+
+type counts = {
+  suppliers : int;
+  customers : int;
+  parts : int;
+  orders : int;
+}
+
+let counts_of_scale sf =
+  let scale n = max 1 (int_of_float (float_of_int n *. sf)) in
+  {
+    suppliers = scale 10_000;
+    customers = scale 150_000;
+    parts = scale 200_000;
+    orders = scale 1_500_000;
+  }
+
+type stats = { rows : (string * int) list; lineitems : int }
+
+let start_date = Date.of_ymd ~y:1992 ~m:1 ~d:1
+let end_order_date = Date.of_ymd ~y:1998 ~m:8 ~d:2
+let current_date = Date.of_ymd ~y:1995 ~m:6 ~d:17
+
+(* splitmix64: fast deterministic PRNG, seeded from the HMAC-DRBG so
+   generation stays reproducible from the string seed but doesn't pay
+   two SHA-256 compressions per random draw. *)
+type gen = { mutable s : int64 }
+
+let next g =
+  g.s <- Int64.add g.s 0x9E3779B97F4A7C15L;
+  let z = g.s in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let rand_int g bound =
+  if bound <= 0 then invalid_arg "Dbgen.rand_int";
+  Int64.to_int (Int64.rem (Int64.shift_right_logical (next g) 1) (Int64.of_int bound))
+
+let uniform g lo hi = lo + rand_int g (hi - lo + 1)
+let choice g arr = arr.(rand_int g (Array.length arr))
+let money g lo hi = float_of_int (uniform g (lo * 100) (hi * 100)) /. 100.0
+let chance g ~percent = rand_int g 100 < percent
+
+let words g n pool =
+  let rec go acc n = if n = 0 then acc else go (choice g pool :: acc) (n - 1) in
+  String.concat " " (go [] n)
+
+(* Comment text: adverb adjective nouns verb ... with optional planted
+   phrase for the Q13/Q16 predicates. *)
+let comment ?(plant = None) g =
+  let base =
+    String.concat " "
+      [
+        choice g Text.adverbs;
+        choice g Text.adjectives;
+        choice g Text.nouns;
+        choice g Text.verbs;
+        words g (uniform g 1 3) Text.nouns;
+      ]
+  in
+  match plant with
+  | Some phrase when chance g ~percent:1 ->
+      let mid = choice g Text.adjectives in
+      (match phrase with
+      | `Complaints -> base ^ " Customer " ^ mid ^ " Complaints"
+      | `Special_requests -> base ^ " special " ^ mid ^ " requests")
+  | _ -> base
+
+let phone g nationkey =
+  Printf.sprintf "%d-%d-%d-%d" (10 + nationkey) (uniform g 100 999)
+    (uniform g 100 999) (uniform g 1000 9999)
+
+let retail_price partkey =
+  float_of_int (90_000 + (((partkey / 10) mod 20_001) + (100 * (partkey mod 1_000))))
+  /. 100.0
+
+let populate ?(seed = "tpch-dbgen") db ~scale =
+  let drbg = C.Drbg.create ~seed:(seed ^ Printf.sprintf "|%f" scale) in
+  let seed_bytes = C.Drbg.generate drbg 8 in
+  let s0 =
+    let v = ref 0L in
+    String.iter
+      (fun c -> v := Int64.add (Int64.mul !v 256L) (Int64.of_int (Char.code c)))
+      seed_bytes;
+    !v
+  in
+  let g = { s = s0 } in
+  let counts = counts_of_scale scale in
+  List.iter (Database.create_table db) Tpch_schema.all;
+  (* region *)
+  let region_rows =
+    List.init (Array.length Text.regions) (fun i ->
+        [|
+          Value.Int i;
+          Value.Str Text.regions.(i);
+          Value.Str (comment g);
+        |])
+  in
+  Database.insert_rows db "region" region_rows;
+  (* nation *)
+  let nation_rows =
+    List.init (Array.length Text.nations) (fun i ->
+        let name, region = Text.nations.(i) in
+        [| Value.Int i; Value.Str name; Value.Int region; Value.Str (comment g) |])
+  in
+  Database.insert_rows db "nation" nation_rows;
+  let nations = Array.length Text.nations in
+  (* supplier *)
+  let supplier_rows =
+    List.init counts.suppliers (fun i ->
+        let k = i + 1 in
+        let nationkey = rand_int g nations in
+        [|
+          Value.Int k;
+          Value.Str (Printf.sprintf "Supplier#%09d" k);
+          Value.Str (words g 3 Text.nouns);
+          Value.Int nationkey;
+          Value.Str (phone g nationkey);
+          Value.Float (money g (-999) 9999);
+          Value.Str (comment ~plant:(Some `Complaints) g);
+        |])
+  in
+  Database.insert_rows db "supplier" supplier_rows;
+  (* customer *)
+  let customer_rows =
+    List.init counts.customers (fun i ->
+        let k = i + 1 in
+        let nationkey = rand_int g nations in
+        [|
+          Value.Int k;
+          Value.Str (Printf.sprintf "Customer#%09d" k);
+          Value.Str (words g 3 Text.nouns);
+          Value.Int nationkey;
+          Value.Str (phone g nationkey);
+          Value.Float (money g (-999) 9999);
+          Value.Str (choice g Text.segments);
+          Value.Str (comment g);
+        |])
+  in
+  Database.insert_rows db "customer" customer_rows;
+  (* part *)
+  let part_rows =
+    List.init counts.parts (fun i ->
+        let k = i + 1 in
+        let m = uniform g 1 5 in
+        [|
+          Value.Int k;
+          Value.Str (words g 5 Text.colors);
+          Value.Str (Printf.sprintf "Manufacturer#%d" m);
+          Value.Str (Printf.sprintf "Brand#%d%d" m (uniform g 1 5));
+          Value.Str
+            (String.concat " "
+               [
+                 choice g Text.type_syllable_1;
+                 choice g Text.type_syllable_2;
+                 choice g Text.type_syllable_3;
+               ]);
+          Value.Int (uniform g 1 50);
+          Value.Str
+            (choice g Text.container_syllable_1
+            ^ " "
+            ^ choice g Text.container_syllable_2);
+          Value.Float (retail_price k);
+          Value.Str (comment g);
+        |])
+  in
+  Database.insert_rows db "part" part_rows;
+  (* partsupp: 4 suppliers per part, spec key-spreading formula *)
+  let s = counts.suppliers in
+  let partsupp_rows =
+    List.concat
+      (List.init counts.parts (fun i ->
+           let partkey = i + 1 in
+           List.init 4 (fun j ->
+               let suppkey =
+                 ((partkey + (j * ((s / 4) + ((partkey - 1) / s)))) mod s) + 1
+               in
+               [|
+                 Value.Int partkey;
+                 Value.Int suppkey;
+                 Value.Int (uniform g 1 9999);
+                 Value.Float (money g 1 1000);
+                 Value.Str (comment g);
+               |])))
+  in
+  Database.insert_rows db "partsupp" partsupp_rows;
+  (* orders + lineitem *)
+  let order_span = end_order_date - start_date in
+  let lineitem_count = ref 0 in
+  let orders_buf = ref [] in
+  let lineitem_buf = ref [] in
+  for i = 0 to counts.orders - 1 do
+    let orderkey = i + 1 in
+    let custkey = uniform g 1 counts.customers in
+    let orderdate = Date.add_days start_date (rand_int g (order_span - 151)) in
+    let nlines = uniform g 1 7 in
+    let total = ref 0.0 in
+    let all_fulfilled = ref true in
+    for line = 1 to nlines do
+      incr lineitem_count;
+      let partkey = uniform g 1 counts.parts in
+      let supp_offset = uniform g 0 3 in
+      let suppkey =
+        ((partkey + (supp_offset * ((s / 4) + ((partkey - 1) / s)))) mod s) + 1
+      in
+      let quantity = float_of_int (uniform g 1 50) in
+      let extendedprice = quantity *. retail_price partkey in
+      let discount = float_of_int (uniform g 0 10) /. 100.0 in
+      let tax = float_of_int (uniform g 0 8) /. 100.0 in
+      let shipdate = Date.add_days orderdate (uniform g 1 121) in
+      let commitdate = Date.add_days orderdate (uniform g 30 90) in
+      let receiptdate = Date.add_days shipdate (uniform g 1 30) in
+      let returnflag =
+        if receiptdate <= current_date then (if chance g ~percent:50 then "R" else "A")
+        else "N"
+      in
+      let linestatus = if shipdate > current_date then "O" else "F" in
+      if linestatus = "O" then all_fulfilled := false;
+      total := !total +. (extendedprice *. (1.0 -. discount) *. (1.0 +. tax));
+      lineitem_buf :=
+        [|
+          Value.Int orderkey;
+          Value.Int partkey;
+          Value.Int suppkey;
+          Value.Int line;
+          Value.Float quantity;
+          Value.Float extendedprice;
+          Value.Float discount;
+          Value.Float tax;
+          Value.Str returnflag;
+          Value.Str linestatus;
+          Value.Date shipdate;
+          Value.Date commitdate;
+          Value.Date receiptdate;
+          Value.Str (choice g Text.ship_instructs);
+          Value.Str (choice g Text.ship_modes);
+          Value.Str (comment g);
+        |]
+        :: !lineitem_buf
+    done;
+    let status = if !all_fulfilled then "F" else if chance g ~percent:50 then "O" else "P" in
+    orders_buf :=
+      [|
+        Value.Int orderkey;
+        Value.Int custkey;
+        Value.Str status;
+        Value.Float !total;
+        Value.Date orderdate;
+        Value.Str (choice g Text.priorities);
+        Value.Str (Printf.sprintf "Clerk#%09d" (uniform g 1 1000));
+        Value.Int 0;
+        Value.Str (comment ~plant:(Some `Special_requests) g);
+      |]
+      :: !orders_buf
+  done;
+  Database.insert_rows db "orders" (List.rev !orders_buf);
+  Database.insert_rows db "lineitem" (List.rev !lineitem_buf);
+  {
+    rows =
+      [
+        ("region", Array.length Text.regions);
+        ("nation", nations);
+        ("supplier", counts.suppliers);
+        ("customer", counts.customers);
+        ("part", counts.parts);
+        ("partsupp", 4 * counts.parts);
+        ("orders", counts.orders);
+        ("lineitem", !lineitem_count);
+      ];
+    lineitems = !lineitem_count;
+  }

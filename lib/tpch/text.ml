@@ -1,0 +1,97 @@
+(* Word pools for dbgen-style text columns (TPC-H spec §4.2.2.10ff).
+   Lists match the spec's enumerations where queries depend on them
+   (segments, priorities, modes, types, containers, nation/region
+   names); comment text is drawn from a small grammar-free lexicon with
+   the spec's "special request" / "complaint" phrases planted at the
+   documented low frequency so Q13 and Q16 behave as in real dbgen. *)
+
+let regions =
+  [| "AFRICA"; "AMERICA"; "ASIA"; "EUROPE"; "MIDDLE EAST" |]
+
+(* nation name, region index — the spec's 25 nations *)
+let nations =
+  [|
+    ("ALGERIA", 0); ("ARGENTINA", 1); ("BRAZIL", 1); ("CANADA", 1);
+    ("EGYPT", 4); ("ETHIOPIA", 0); ("FRANCE", 3); ("GERMANY", 3);
+    ("INDIA", 2); ("INDONESIA", 2); ("IRAN", 4); ("IRAQ", 4);
+    ("JAPAN", 2); ("JORDAN", 4); ("KENYA", 0); ("MOROCCO", 0);
+    ("MOZAMBIQUE", 0); ("PERU", 1); ("CHINA", 2); ("ROMANIA", 3);
+    ("SAUDI ARABIA", 4); ("VIETNAM", 2); ("RUSSIA", 3);
+    ("UNITED KINGDOM", 3); ("UNITED STATES", 1);
+  |]
+
+let segments =
+  [| "AUTOMOBILE"; "BUILDING"; "FURNITURE"; "MACHINERY"; "HOUSEHOLD" |]
+
+let priorities =
+  [| "1-URGENT"; "2-HIGH"; "3-MEDIUM"; "4-NOT SPECIFIED"; "5-LOW" |]
+
+let ship_modes = [| "REG AIR"; "AIR"; "RAIL"; "SHIP"; "TRUCK"; "MAIL"; "FOB" |]
+
+let ship_instructs =
+  [| "DELIVER IN PERSON"; "COLLECT COD"; "NONE"; "TAKE BACK RETURN" |]
+
+let type_syllable_1 =
+  [| "STANDARD"; "SMALL"; "MEDIUM"; "LARGE"; "ECONOMY"; "PROMO" |]
+
+let type_syllable_2 =
+  [| "ANODIZED"; "BURNISHED"; "PLATED"; "POLISHED"; "BRUSHED" |]
+
+let type_syllable_3 = [| "TIN"; "NICKEL"; "BRASS"; "STEEL"; "COPPER" |]
+
+let container_syllable_1 =
+  [| "SM"; "LG"; "MED"; "JUMBO"; "WRAP" |]
+
+let container_syllable_2 =
+  [| "CASE"; "BOX"; "BAG"; "JAR"; "PKG"; "PACK"; "CAN"; "DRUM" |]
+
+let colors =
+  [|
+    "almond"; "antique"; "aquamarine"; "azure"; "beige"; "bisque"; "black";
+    "blanched"; "blue"; "blush"; "brown"; "burlywood"; "burnished"; "chartreuse";
+    "chiffon"; "chocolate"; "coral"; "cornflower"; "cornsilk"; "cream"; "cyan";
+    "dark"; "deep"; "dim"; "dodger"; "drab"; "firebrick"; "floral"; "forest";
+    "frosted"; "gainsboro"; "ghost"; "goldenrod"; "green"; "grey"; "honeydew";
+    "hot"; "indian"; "ivory"; "khaki"; "lace"; "lavender"; "lawn"; "lemon";
+    "light"; "lime"; "linen"; "magenta"; "maroon"; "medium"; "metallic";
+    "midnight"; "mint"; "misty"; "moccasin"; "navajo"; "navy"; "olive";
+    "orange"; "orchid"; "pale"; "papaya"; "peach"; "peru"; "pink"; "plum";
+    "powder"; "puff"; "purple"; "red"; "rose"; "rosy"; "royal"; "saddle";
+    "salmon"; "sandy"; "seashell"; "sienna"; "sky"; "slate"; "smoke"; "snow";
+    "spring"; "steel"; "tan"; "thistle"; "tomato"; "turquoise"; "violet";
+    "wheat"; "white"; "yellow";
+  |]
+
+let nouns =
+  [|
+    "packages"; "requests"; "accounts"; "deposits"; "foxes"; "ideas";
+    "theodolites"; "pinto beans"; "instructions"; "dependencies"; "excuses";
+    "platelets"; "asymptotes"; "courts"; "dolphins"; "multipliers"; "sauternes";
+    "warthogs"; "frets"; "dinos"; "attainments"; "somas"; "braids"; "hockey";
+    "sheaves"; "decoys"; "realms"; "pains"; "grouches"; "escapades";
+  |]
+
+let verbs =
+  [|
+    "sleep"; "wake"; "are"; "cajole"; "haggle"; "nag"; "use"; "boost";
+    "affix"; "detect"; "integrate"; "maintain"; "nod"; "was"; "lose"; "sublate";
+    "solve"; "thrash"; "promise"; "engage"; "embark"; "hinder"; "print"; "x-ray";
+    "breach"; "eat"; "grow"; "impress"; "mold"; "poach";
+  |]
+
+let adjectives =
+  [|
+    "furious"; "sly"; "careful"; "blithe"; "quick"; "fluffy"; "slow"; "quiet";
+    "ruthless"; "thin"; "close"; "dogged"; "daring"; "brave"; "stealthy";
+    "permanent"; "enticing"; "idle"; "busy"; "regular"; "final"; "ironic";
+    "even"; "bold"; "silent";
+  |]
+
+let adverbs =
+  [|
+    "sometimes"; "always"; "never"; "furiously"; "slyly"; "carefully";
+    "blithely"; "quickly"; "fluffily"; "slowly"; "quietly"; "ruthlessly";
+    "thinly"; "closely"; "doggedly"; "daringly"; "bravely"; "stealthily";
+    "permanently"; "enticingly"; "idly"; "busily"; "regularly"; "finally";
+    "ironically"; "evenly"; "boldly"; "silently";
+  |]

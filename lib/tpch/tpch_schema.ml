@@ -1,0 +1,115 @@
+(* The eight TPC-H tables (spec §1.4), in the engine's schema types. *)
+
+open Ironsafe_sql
+
+let region =
+  Schema.create ~name:"region"
+    ~columns:
+      [
+        ("r_regionkey", Value.TInt);
+        ("r_name", Value.TStr);
+        ("r_comment", Value.TStr);
+      ]
+
+let nation =
+  Schema.create ~name:"nation"
+    ~columns:
+      [
+        ("n_nationkey", Value.TInt);
+        ("n_name", Value.TStr);
+        ("n_regionkey", Value.TInt);
+        ("n_comment", Value.TStr);
+      ]
+
+let supplier =
+  Schema.create ~name:"supplier"
+    ~columns:
+      [
+        ("s_suppkey", Value.TInt);
+        ("s_name", Value.TStr);
+        ("s_address", Value.TStr);
+        ("s_nationkey", Value.TInt);
+        ("s_phone", Value.TStr);
+        ("s_acctbal", Value.TFloat);
+        ("s_comment", Value.TStr);
+      ]
+
+let customer =
+  Schema.create ~name:"customer"
+    ~columns:
+      [
+        ("c_custkey", Value.TInt);
+        ("c_name", Value.TStr);
+        ("c_address", Value.TStr);
+        ("c_nationkey", Value.TInt);
+        ("c_phone", Value.TStr);
+        ("c_acctbal", Value.TFloat);
+        ("c_mktsegment", Value.TStr);
+        ("c_comment", Value.TStr);
+      ]
+
+let part =
+  Schema.create ~name:"part"
+    ~columns:
+      [
+        ("p_partkey", Value.TInt);
+        ("p_name", Value.TStr);
+        ("p_mfgr", Value.TStr);
+        ("p_brand", Value.TStr);
+        ("p_type", Value.TStr);
+        ("p_size", Value.TInt);
+        ("p_container", Value.TStr);
+        ("p_retailprice", Value.TFloat);
+        ("p_comment", Value.TStr);
+      ]
+
+let partsupp =
+  Schema.create ~name:"partsupp"
+    ~columns:
+      [
+        ("ps_partkey", Value.TInt);
+        ("ps_suppkey", Value.TInt);
+        ("ps_availqty", Value.TInt);
+        ("ps_supplycost", Value.TFloat);
+        ("ps_comment", Value.TStr);
+      ]
+
+let orders =
+  Schema.create ~name:"orders"
+    ~columns:
+      [
+        ("o_orderkey", Value.TInt);
+        ("o_custkey", Value.TInt);
+        ("o_orderstatus", Value.TStr);
+        ("o_totalprice", Value.TFloat);
+        ("o_orderdate", Value.TDate);
+        ("o_orderpriority", Value.TStr);
+        ("o_clerk", Value.TStr);
+        ("o_shippriority", Value.TInt);
+        ("o_comment", Value.TStr);
+      ]
+
+let lineitem =
+  Schema.create ~name:"lineitem"
+    ~columns:
+      [
+        ("l_orderkey", Value.TInt);
+        ("l_partkey", Value.TInt);
+        ("l_suppkey", Value.TInt);
+        ("l_linenumber", Value.TInt);
+        ("l_quantity", Value.TFloat);
+        ("l_extendedprice", Value.TFloat);
+        ("l_discount", Value.TFloat);
+        ("l_tax", Value.TFloat);
+        ("l_returnflag", Value.TStr);
+        ("l_linestatus", Value.TStr);
+        ("l_shipdate", Value.TDate);
+        ("l_commitdate", Value.TDate);
+        ("l_receiptdate", Value.TDate);
+        ("l_shipinstruct", Value.TStr);
+        ("l_shipmode", Value.TStr);
+        ("l_comment", Value.TStr);
+      ]
+
+let all = [ region; nation; supplier; customer; part; partsupp; orders; lineitem ]
+let table_names = List.map Schema.name all

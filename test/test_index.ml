@@ -1,0 +1,187 @@
+(* Secondary-index tests: correctness (identical results with and
+   without the index), access-path savings (fewer pages read, fewer
+   secure-store decryptions), and maintenance across DML. *)
+
+open Ironsafe_sql
+
+(* many pages: wide rows so ~8 rows fit per page *)
+let filler = String.make 400 'f'
+
+let build db n =
+  ignore (Database.exec db "create table events (id int, day date, kind varchar, pad varchar)");
+  Database.insert_rows db "events"
+    (List.init n (fun i ->
+         [|
+           Value.Int i;
+           Value.Date (Date.of_ymd ~y:1995 ~m:1 ~d:1 + (i mod 300));
+           Value.Str (if i mod 3 = 0 then "alpha" else "beta");
+           Value.Str filler;
+         |]))
+
+let fresh ?(n = 400) () =
+  let db = Database.create ~pager:(Pager.in_memory ()) in
+  build db n;
+  db
+
+let rows db sql =
+  (Database.query db sql).Exec.rows
+  |> List.map (fun r -> Array.to_list r |> List.map Value.to_string)
+
+let measured db sql =
+  let obs, c = Observer.counting () in
+  Database.set_observer db obs;
+  let r = rows db sql in
+  Database.set_observer db Observer.null;
+  (r, c.Observer.page_reads)
+
+let test_point_query_uses_index () =
+  let db = fresh () in
+  let sql = "select id from events where id = 123" in
+  let before, full_pages = measured db sql in
+  ignore (Database.exec db "create index ev_id on events (id)");
+  let after, idx_pages = measured db sql in
+  Alcotest.(check (list (list string))) "same result" before after;
+  Alcotest.(check bool)
+    (Printf.sprintf "fewer pages (%d < %d)" idx_pages full_pages)
+    true
+    (idx_pages < full_pages / 10);
+  Alcotest.(check (list (list string))) "exact row" [ [ "123" ] ] after
+
+let test_range_query_uses_index () =
+  let db = fresh () in
+  ignore (Database.exec db "create index ev_id on events (id)");
+  let sql = "select count(*) from events where id < 40" in
+  let result, pages = measured db sql in
+  Alcotest.(check (list (list string))) "range count" [ [ "40" ] ] result;
+  let _, full_pages = measured db "select count(*) from events where id + 0 < 40" in
+  Alcotest.(check bool) "range scanned fewer pages" true (pages < full_pages)
+
+let test_between_and_date_index () =
+  let db = fresh () in
+  ignore (Database.exec db "create index ev_day on events (day)");
+  let sql =
+    "select count(*) from events where day between date '1995-01-01' and date '1995-01-10'"
+  in
+  let result, pages = measured db sql in
+  (* ids with (i mod 300) in [0,9]: 400 rows cover 0..299, 100..399 -> 10 + 4... *)
+  (match result with
+  | [ [ n ] ] -> Alcotest.(check bool) "nonzero matches" true (int_of_string n > 0)
+  | _ -> Alcotest.fail "count shape");
+  let _, full_pages = measured db "select count(*) from events where kind like '%alpha%'" in
+  Alcotest.(check bool) "between via index cheaper than full scan" true (pages < full_pages)
+
+let test_index_result_equivalence () =
+  let with_idx = fresh () in
+  let without = fresh () in
+  ignore (Database.exec with_idx "create index ev_id on events (id)");
+  ignore (Database.exec with_idx "create index ev_day on events (day)");
+  List.iter
+    (fun sql ->
+      Alcotest.(check (list (list string))) sql (rows without sql) (rows with_idx sql))
+    [
+      "select id from events where id = 17";
+      "select id from events where id = -5";
+      "select count(*) from events where id >= 390";
+      "select count(*) from events where id > 390 and id <= 395";
+      "select count(*) from events where day = date '1995-01-05' and kind = 'alpha'";
+      "select kind, count(*) from events where id < 30 group by kind order by kind";
+    ]
+
+let test_index_maintained_on_insert () =
+  let db = fresh ~n:50 () in
+  ignore (Database.exec db "create index ev_id on events (id)");
+  ignore
+    (Database.exec db
+       "insert into events values (9999, date '1999-01-01', 'gamma', 'x')");
+  Alcotest.(check (list (list string))) "new row findable via index"
+    [ [ "gamma" ] ]
+    (rows db "select kind from events where id = 9999")
+
+let test_index_rebuilt_on_update_delete () =
+  let db = fresh ~n:50 () in
+  ignore (Database.exec db "create index ev_id on events (id)");
+  ignore (Database.exec db "update events set id = id + 1000 where id < 10");
+  Alcotest.(check (list (list string))) "old key gone" []
+    (rows db "select id from events where id = 5");
+  Alcotest.(check (list (list string))) "new key present" [ [ "1005" ] ]
+    (rows db "select id from events where id = 1005");
+  ignore (Database.exec db "delete from events where id = 1005");
+  Alcotest.(check (list (list string))) "deleted key gone" []
+    (rows db "select id from events where id = 1005")
+
+let test_drop_index () =
+  let db = fresh ~n:50 () in
+  ignore (Database.exec db "create index ev_id on events (id)");
+  ignore (Database.exec db "drop index ev_id");
+  (* still correct, back to full scans *)
+  Alcotest.(check (list (list string))) "post-drop correctness" [ [ "17" ] ]
+    (rows db "select id from events where id = 17");
+  match Database.exec db "drop index ev_id" with
+  | exception Catalog.Unknown_index _ -> ()
+  | _ -> Alcotest.fail "double drop accepted"
+
+let test_index_errors () =
+  let db = fresh ~n:10 () in
+  ignore (Database.exec db "create index ev_id on events (id)");
+  (match Database.exec db "create index ev_id on events (day)" with
+  | exception Catalog.Duplicate_index _ -> ()
+  | _ -> Alcotest.fail "duplicate index name accepted");
+  match Database.exec db "create index ev_bad on events (nope)" with
+  | exception Catalog.Unknown_table _ -> ()
+  | _ -> Alcotest.fail "index on unknown column accepted"
+
+let test_conjunct_intersection () =
+  let db = fresh () in
+  ignore (Database.exec db "create index ev_id on events (id)");
+  ignore (Database.exec db "create index ev_day on events (day)");
+  (* both conjuncts indexable: the scanned pages are the intersection *)
+  let result, pages = measured db
+    "select id from events where id = 42 and day = date '1995-02-12'"
+  in
+  Alcotest.(check (list (list string))) "intersected result" [ [ "42" ] ] result;
+  Alcotest.(check bool) "tiny page set" true (pages <= 2)
+
+let test_index_over_secure_store () =
+  (* over the secure store, skipped pages are skipped decryptions *)
+  let module S = Ironsafe_storage in
+  let module Sec = Ironsafe_securestore in
+  let module C = Ironsafe_crypto in
+  let data_pages = 128 in
+  let device =
+    S.Block_device.create ~pages:(Sec.Secure_store.device_pages_for ~data_pages)
+  in
+  let rpmb = S.Rpmb.create () in
+  let drbg = C.Drbg.create ~seed:"index-secure" in
+  let store =
+    match
+      Sec.Secure_store.initialize ~device ~rpmb
+        ~hardware_key:(String.make 32 'h') ~data_pages ~drbg ()
+    with
+    | Ok s -> s
+    | Error e -> Alcotest.failf "init: %a" Sec.Secure_store.pp_error e
+  in
+  let db = Database.create ~pager:(Pager.secure store) in
+  build db 400;
+  ignore (Database.exec db "create index ev_id on events (id)");
+  Sec.Secure_store.reset_stats store;
+  Alcotest.(check (list (list string))) "secure point lookup" [ [ "77" ] ]
+    (rows db "select id from events where id = 77");
+  let stats = Sec.Secure_store.stats store in
+  Alcotest.(check bool)
+    (Printf.sprintf "few decrypts (%d)" stats.Sec.Secure_store.page_decrypts)
+    true
+    (stats.Sec.Secure_store.page_decrypts <= 2)
+
+let suite =
+  [
+    ("point query uses index", `Quick, test_point_query_uses_index);
+    ("range query uses index", `Quick, test_range_query_uses_index);
+    ("between/date index", `Quick, test_between_and_date_index);
+    ("result equivalence", `Quick, test_index_result_equivalence);
+    ("maintained on insert", `Quick, test_index_maintained_on_insert);
+    ("rebuilt on update/delete", `Quick, test_index_rebuilt_on_update_delete);
+    ("drop index", `Quick, test_drop_index);
+    ("index errors", `Quick, test_index_errors);
+    ("conjunct intersection", `Quick, test_conjunct_intersection);
+    ("index over secure store", `Quick, test_index_over_secure_store);
+  ]

@@ -1,0 +1,17 @@
+let () =
+  Alcotest.run "ironsafe"
+    [
+      ("crypto", Test_crypto.suite);
+      ("sim", Test_sim.suite);
+      ("storage", Test_storage.suite);
+      ("securestore", Test_securestore.suite);
+      ("tee", Test_tee.suite);
+      ("net", Test_net.suite);
+      ("sql", Test_sql.suite);
+      ("sql-advanced", Test_sql_advanced.suite);
+      ("index", Test_index.suite);
+      ("tpch", Test_tpch.suite);
+      ("policy", Test_policy.suite);
+      ("monitor", Test_monitor.suite);
+      ("core", Test_core.suite);
+    ]

@@ -1,0 +1,118 @@
+(* Network substrate tests: wire framing and the secure channel. *)
+
+module Net = Ironsafe_net
+module Sim = Ironsafe_sim
+module C = Ironsafe_crypto
+
+let test_wire_u32 () =
+  let buf = Buffer.create 8 in
+  Net.Wire.put_u32 buf 0;
+  Net.Wire.put_u32 buf 0xdeadbeef;
+  let s = Buffer.contents buf in
+  let v0, off = Net.Wire.get_u32 s 0 in
+  let v1, _ = Net.Wire.get_u32 s off in
+  Alcotest.(check int) "zero" 0 v0;
+  Alcotest.(check int) "value" 0xdeadbeef v1;
+  Alcotest.check_raises "negative" (Invalid_argument "Wire.put_u32: out of range")
+    (fun () -> Net.Wire.put_u32 buf (-1));
+  match Net.Wire.get_u32 "ab" 0 with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "truncated read accepted"
+
+let test_wire_strings () =
+  let items = [ ""; "a"; String.make 1000 'x'; "unicode \xc3\xa9" ] in
+  Alcotest.(check (list string)) "roundtrip" items
+    (Net.Wire.decode_strings (Net.Wire.encode_strings items))
+
+let nodes () =
+  let params = Sim.Params.default in
+  ( Sim.Node.create ~params ~name:"a" Sim.Cpu.Host_x86,
+    Sim.Node.create ~params ~name:"b" Sim.Cpu.Storage_arm )
+
+let channel () =
+  let a, b = nodes () in
+  let drbg = C.Drbg.create ~seed:"chan" in
+  let ch = Net.Channel.establish ~a ~b ~session_key:(C.Drbg.generate drbg 32) ~drbg in
+  (a, b, ch)
+
+let test_channel_roundtrip () =
+  let a, _, ch = channel () in
+  (match Net.Channel.roundtrip ch ~from:a "hello over TLS" with
+  | Ok msg -> Alcotest.(check string) "payload preserved" "hello over TLS" msg
+  | Error e -> Alcotest.fail e);
+  let stats = Net.Channel.stats ch in
+  Alcotest.(check int) "one handshake" 1 stats.Net.Channel.handshakes;
+  Alcotest.(check bool) "bytes accounted" true (stats.Net.Channel.bytes > 0)
+
+let test_channel_tamper_detected () =
+  let a, _, ch = channel () in
+  let record = Net.Channel.send ch ~from:a "sensitive" in
+  let tampered = Net.Channel.tamper_record record in
+  match Net.Channel.recv ch tampered with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "tampered record accepted"
+
+let test_channel_charges_time () =
+  let a, b, ch = channel () in
+  let t0 = Sim.Node.now a in
+  Alcotest.(check bool) "handshake charged" true (t0 > 0.0);
+  Net.Channel.transfer_accounted ch ~from:a ~bytes:1_000_000;
+  Alcotest.(check bool) "transfer advances time" true (Sim.Node.now a > t0);
+  Alcotest.(check bool) "clocks synchronized" true
+    (Float.abs (Sim.Node.now a -. Sim.Node.now b) < 1e-6)
+
+let test_channel_close () =
+  let a, _, ch = channel () in
+  Net.Channel.close ch;
+  Alcotest.check_raises "send after close" (Invalid_argument "Channel: closed")
+    (fun () -> ignore (Net.Channel.send ch ~from:a "x"))
+
+let test_channel_replay_rejected () =
+  let a, _, ch = channel () in
+  let r1 = Net.Channel.send ch ~from:a "first" in
+  let r2 = Net.Channel.send ch ~from:a "second" in
+  (match Net.Channel.recv ch r1 with Ok _ -> () | Error e -> Alcotest.fail e);
+  (* replaying an already-delivered record must fail *)
+  (match Net.Channel.recv ch r1 with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "replayed record accepted");
+  (* fresh later record still delivers *)
+  match Net.Channel.recv ch r2 with
+  | Ok msg -> Alcotest.(check string) "in-order delivery" "second" msg
+  | Error e -> Alcotest.fail e
+
+let test_channel_ciphertext_differs () =
+  let a, _, ch = channel () in
+  let r1 = Net.Channel.send ch ~from:a "same payload" in
+  let r2 = Net.Channel.send ch ~from:a "same payload" in
+  (* fresh nonce per record: identical plaintexts encrypt differently *)
+  match (Net.Channel.recv ch r1, Net.Channel.recv ch r2) with
+  | Ok a', Ok b' ->
+      Alcotest.(check string) "both decrypt" a' b';
+      Alcotest.(check string) "to the payload" "same payload" a'
+  | _ -> Alcotest.fail "decryption failed"
+
+let qcheck_tests =
+  let open QCheck in
+  [
+    Test.make ~name:"wire strings roundtrip" ~count:100
+      (list_of_size Gen.(0 -- 10) (string_of_size Gen.(0 -- 50)))
+      (fun items -> Net.Wire.decode_strings (Net.Wire.encode_strings items) = items);
+    Test.make ~name:"channel roundtrips arbitrary payloads" ~count:50
+      (string_of_size Gen.(0 -- 500)) (fun payload ->
+        let a, _, ch = channel () in
+        Net.Channel.roundtrip ch ~from:a payload = Ok payload);
+  ]
+
+let suite =
+  [
+    ("wire u32", `Quick, test_wire_u32);
+    ("wire strings", `Quick, test_wire_strings);
+    ("channel roundtrip", `Quick, test_channel_roundtrip);
+    ("channel tamper detected", `Quick, test_channel_tamper_detected);
+    ("channel charges time", `Quick, test_channel_charges_time);
+    ("channel close", `Quick, test_channel_close);
+    ("channel fresh nonces", `Quick, test_channel_ciphertext_differs);
+    ("channel replay rejected", `Quick, test_channel_replay_rejected);
+  ]
+  @ List.map (QCheck_alcotest.to_alcotest ~long:false) qcheck_tests

@@ -1,0 +1,374 @@
+(* Policy language tests: parsing, partial evaluation (static,
+   row-level residuals, obligations), execution-policy verdicts, and
+   the monitor's query rewriting. *)
+
+module P = Ironsafe_policy
+module Sql = Ironsafe_sql
+open P.Policy_ast
+
+let parse = P.Policy_parser.parse
+
+(* -- Parser ------------------------------------------------------------- *)
+
+let test_parse_predicates () =
+  match parse "read ::= sessionKeyIs(Ka)" with
+  | [ { perm = Read; cond = Pred (Session_key_is "Ka") } ] -> ()
+  | _ -> Alcotest.fail "sessionKeyIs parse"
+
+let test_parse_precedence () =
+  (* & binds tighter than | *)
+  match parse "read ::= sessionKeyIs(Ka) | sessionKeyIs(Kb) & le(T, TIMESTAMP)" with
+  | [ { cond = Or (Pred (Session_key_is "Ka"), And (Pred (Session_key_is "Kb"), Pred (Le (Access_time, Expiry_column)))); _ } ] ->
+      ()
+  | _ -> Alcotest.fail "precedence"
+
+let test_parse_parens () =
+  match parse "read ::= (sessionKeyIs(Ka) | sessionKeyIs(Kb)) & reuseMap(m)" with
+  | [ { cond = And (Or _, Pred Reuse_map); _ } ] -> ()
+  | _ -> Alcotest.fail "parens"
+
+let test_parse_multiple_rules () =
+  let rules =
+    parse "read ::= sessionKeyIs(Ka)\nwrite ::= sessionKeyIs(Kb)\nexec ::= fwVersionHost(latest)"
+  in
+  Alcotest.(check int) "three rules" 3 (List.length rules);
+  match rules with
+  | [ { perm = Read; _ }; { perm = Write; _ }; { perm = Exec; cond = Pred (Fw_version_host Latest) } ] ->
+      ()
+  | _ -> Alcotest.fail "rule shapes"
+
+let test_parse_variants () =
+  (* the paper's examples use ':-' in places *)
+  (match parse "read :- reuseMap(m)" with
+  | [ { perm = Read; cond = Pred Reuse_map } ] -> ()
+  | _ -> Alcotest.fail ":- accepted");
+  (match parse "exec ::= storageLocIs(eu-west, eu-north) & fwVersionStorage(3)" with
+  | [ { cond = And (Pred (Storage_loc_is [ "eu-west"; "eu-north" ]), Pred (Fw_version_storage (At_least 3))); _ } ] ->
+      ()
+  | _ -> Alcotest.fail "locations");
+  match parse "read ::= logUpdate(l, K, Q)" with
+  | [ { cond = Pred (Log_update [ "l"; "K"; "Q" ]); _ } ] -> ()
+  | _ -> Alcotest.fail "logUpdate"
+
+let test_parse_errors () =
+  let rejects src =
+    match parse src with
+    | exception P.Policy_parser.Policy_error _ -> ()
+    | _ -> Alcotest.failf "accepted: %s" src
+  in
+  rejects "read ::= unknownPred(x)";
+  rejects "grant ::= sessionKeyIs(K)";
+  rejects "read ::= sessionKeyIs()";
+  rejects "read ::= le(T)";
+  rejects "read sessionKeyIs(K)";
+  rejects "read ::= fwVersionHost(newest)"
+
+(* -- Evaluation ----------------------------------------------------------- *)
+
+let base_request =
+  {
+    P.Policy_eval.client_key = "Ka";
+    access_date = Sql.Date.of_ymd ~y:1998 ~m:6 ~d:1;
+    host = Some { P.Policy_eval.location = "eu-west"; fw_version = 2 };
+    storage = Some { P.Policy_eval.location = "eu-west"; fw_version = 3 };
+    latest_fw_host = 2;
+    latest_fw_storage = 3;
+    reuse_bit = Some 1;
+  }
+
+let eval ?(req = base_request) ~perm src =
+  P.Policy_eval.evaluate (parse src) ~perm req
+
+let test_eval_session_key () =
+  (match eval ~perm:Read "read ::= sessionKeyIs(Ka)" with
+  | P.Policy_eval.Allowed { residual = None; _ } -> ()
+  | _ -> Alcotest.fail "owner allowed");
+  match eval ~req:{ base_request with P.Policy_eval.client_key = "Kz" } ~perm:Read
+          "read ::= sessionKeyIs(Ka)"
+  with
+  | P.Policy_eval.Denied _ -> ()
+  | _ -> Alcotest.fail "stranger denied"
+
+let test_eval_default_deny () =
+  match eval ~perm:Write "read ::= sessionKeyIs(Ka)" with
+  | P.Policy_eval.Denied _ -> ()
+  | _ -> Alcotest.fail "missing write rule must deny"
+
+let test_eval_residual () =
+  match
+    eval ~req:{ base_request with P.Policy_eval.client_key = "Kb" } ~perm:Read
+      "read ::= sessionKeyIs(Ka) | sessionKeyIs(Kb) & le(T, TIMESTAMP)"
+  with
+  | P.Policy_eval.Allowed { residual = Some (Sql.Ast.Binop (Sql.Ast.Le, _, _)); _ } -> ()
+  | _ -> Alcotest.fail "consumer gets expiry residual"
+
+let test_eval_owner_no_residual () =
+  match eval ~perm:Read "read ::= sessionKeyIs(Ka) | sessionKeyIs(Kb) & le(T, TIMESTAMP)" with
+  | P.Policy_eval.Allowed { residual = None; _ } -> ()
+  | _ -> Alcotest.fail "owner reads unrestricted"
+
+let test_eval_reuse_map () =
+  (match eval ~perm:Read "read ::= reuseMap(m)" with
+  | P.Policy_eval.Allowed { residual = Some (Sql.Ast.Like { pattern; _ }); _ } ->
+      Alcotest.(check string) "bit-1 pattern" "_1%" pattern
+  | _ -> Alcotest.fail "reuseMap residual");
+  (* clients with no registered bit are denied *)
+  match
+    eval ~req:{ base_request with P.Policy_eval.reuse_bit = None } ~perm:Read
+      "read ::= reuseMap(m)"
+  with
+  | P.Policy_eval.Denied _ -> ()
+  | _ -> Alcotest.fail "unregistered reuse bit denied"
+
+let test_eval_obligations () =
+  match eval ~perm:Read "read ::= logUpdate(share-log, K, Q)" with
+  | P.Policy_eval.Allowed { obligations = [ o ]; _ } ->
+      Alcotest.(check string) "log name" "share-log" o.P.Policy_eval.log_name;
+      Alcotest.(check (list string)) "fields" [ "K"; "Q" ] o.P.Policy_eval.fields
+  | _ -> Alcotest.fail "logUpdate obligation"
+
+let test_eval_locations_and_firmware () =
+  (match eval ~perm:Read "read ::= hostLocIs(eu-west)" with
+  | P.Policy_eval.Allowed _ -> ()
+  | _ -> Alcotest.fail "matching location");
+  (match eval ~perm:Read "read ::= hostLocIs(us-east)" with
+  | P.Policy_eval.Denied _ -> ()
+  | _ -> Alcotest.fail "wrong location denied");
+  (match eval ~perm:Read "read ::= fwVersionHost(latest) & fwVersionStorage(latest)" with
+  | P.Policy_eval.Allowed _ -> ()
+  | _ -> Alcotest.fail "latest firmware ok");
+  match
+    eval
+      ~req:{ base_request with P.Policy_eval.host = Some { P.Policy_eval.location = "eu-west"; fw_version = 1 } }
+      ~perm:Read "read ::= fwVersionHost(latest)"
+  with
+  | P.Policy_eval.Denied _ -> ()
+  | _ -> Alcotest.fail "stale host firmware denied"
+
+let test_exec_verdict () =
+  let v =
+    P.Policy_eval.evaluate_exec
+      (parse "exec ::= fwVersionHost(latest) & fwVersionStorage(latest)")
+      base_request
+  in
+  Alcotest.(check bool) "host ok" true v.P.Policy_eval.host_ok;
+  Alcotest.(check bool) "offload ok" true v.P.Policy_eval.offload_allowed;
+  (* stale storage firmware: host may still run the query, offload not *)
+  let stale =
+    { base_request with
+      P.Policy_eval.storage = Some { P.Policy_eval.location = "eu-west"; fw_version = 1 } }
+  in
+  let v =
+    P.Policy_eval.evaluate_exec
+      (parse "exec ::= fwVersionHost(latest) & fwVersionStorage(latest)")
+      stale
+  in
+  Alcotest.(check bool) "host still ok" true v.P.Policy_eval.host_ok;
+  Alcotest.(check bool) "offload blocked" false v.P.Policy_eval.offload_allowed;
+  (* no exec rule allows everything *)
+  let v = P.Policy_eval.evaluate_exec (parse "read ::= sessionKeyIs(Ka)") base_request in
+  Alcotest.(check bool) "no rule host ok" true v.P.Policy_eval.host_ok;
+  Alcotest.(check bool) "no rule offload ok" true v.P.Policy_eval.offload_allowed
+
+(* -- Rewriting -------------------------------------------------------------- *)
+
+let governed_db () =
+  let db = Sql.Database.create ~pager:(Sql.Pager.in_memory ()) in
+  Sql.Database.create_table db
+    (P.Gdpr.governed_schema ~expiry:true ~reuse:true ~name:"records"
+       ~columns:[ ("id", Sql.Value.TInt); ("payload", Sql.Value.TStr) ]
+       ());
+  ignore (Sql.Database.exec db "create table plain (id int)");
+  db
+
+let today = Sql.Date.of_ymd ~y:1998 ~m:6 ~d:1
+
+let expiry_residual =
+  Sql.Ast.Binop
+    ( Sql.Ast.Le,
+      Sql.Ast.Lit (Sql.Value.Date today),
+      Sql.Ast.Col { qualifier = None; name = P.Gdpr.expiry_column } )
+
+let test_rewrite_adds_filter () =
+  let db = governed_db () in
+  Sql.Database.insert_rows db "records"
+    [
+      [| Sql.Value.Int 1; Sql.Value.Str "fresh"; Sql.Value.Date (today + 100); Sql.Value.Str "11" |];
+      [| Sql.Value.Int 2; Sql.Value.Str "expired"; Sql.Value.Date (today - 1); Sql.Value.Str "11" |];
+    ];
+  let stmt = Sql.Parser.parse "select payload from records order by id" in
+  let rewritten =
+    P.Rewrite.rewrite_stmt (Sql.Database.catalog db) expiry_residual stmt
+  in
+  match Sql.Database.exec_ast db rewritten with
+  | Sql.Database.Result r ->
+      Alcotest.(check int) "expired row filtered" 1 (List.length r.Sql.Exec.rows)
+  | _ -> Alcotest.fail "rewrite result"
+
+let test_rewrite_skips_ungoverned_tables () =
+  let db = governed_db () in
+  ignore (Sql.Database.exec db "insert into plain values (1), (2)");
+  let stmt = Sql.Parser.parse "select id from plain" in
+  let rewritten =
+    P.Rewrite.rewrite_stmt (Sql.Database.catalog db) expiry_residual stmt
+  in
+  match Sql.Database.exec_ast db rewritten with
+  | Sql.Database.Result r ->
+      Alcotest.(check int) "ungoverned table untouched" 2 (List.length r.Sql.Exec.rows)
+  | _ -> Alcotest.fail "rewrite result"
+
+let test_rewrite_reuse_map () =
+  let db = governed_db () in
+  Sql.Database.insert_rows db "records"
+    [
+      [| Sql.Value.Int 1; Sql.Value.Str "optin"; Sql.Value.Date (today + 1); Sql.Value.Str "01" |];
+      [| Sql.Value.Int 2; Sql.Value.Str "optout"; Sql.Value.Date (today + 1); Sql.Value.Str "00" |];
+    ];
+  let residual =
+    Sql.Ast.Like
+      {
+        negated = false;
+        subject = Sql.Ast.Col { qualifier = None; name = P.Gdpr.reuse_column };
+        pattern = "_1%";
+      }
+  in
+  let stmt = Sql.Parser.parse "select payload from records" in
+  match
+    Sql.Database.exec_ast db
+      (P.Rewrite.rewrite_stmt (Sql.Database.catalog db) residual stmt)
+  with
+  | Sql.Database.Result { rows = [ [| Sql.Value.Str "optin" |] ]; _ } -> ()
+  | _ -> Alcotest.fail "reuse-map filtering"
+
+
+let test_rewrite_through_derived_table () =
+  let db = governed_db () in
+  Sql.Database.insert_rows db "records"
+    [
+      [| Sql.Value.Int 1; Sql.Value.Str "fresh"; Sql.Value.Date (today + 5); Sql.Value.Str "1" |];
+      [| Sql.Value.Int 2; Sql.Value.Str "stale"; Sql.Value.Date (today - 5); Sql.Value.Str "1" |];
+      [| Sql.Value.Int 3; Sql.Value.Str "fresh2"; Sql.Value.Date (today + 5); Sql.Value.Str "1" |];
+    ];
+  (* the governed table is hidden inside a derived table: the monitor's
+     residual must still reach it *)
+  let stmt =
+    Sql.Parser.parse
+      "select n from (select count(*) as n from records) x"
+  in
+  match
+    Sql.Database.exec_ast db
+      (P.Rewrite.rewrite_stmt (Sql.Database.catalog db) expiry_residual stmt)
+  with
+  | Sql.Database.Result { rows = [ [| Sql.Value.Int n |] ]; _ } ->
+      Alcotest.(check int) "expired row invisible inside derived" 2 n
+  | _ -> Alcotest.fail "rewrite through derived failed"
+
+let test_rewrite_multi_table_join () =
+  let db = governed_db () in
+  Sql.Database.insert_rows db "records"
+    [
+      [| Sql.Value.Int 1; Sql.Value.Str "a"; Sql.Value.Date (today + 5); Sql.Value.Str "1" |];
+      [| Sql.Value.Int 2; Sql.Value.Str "b"; Sql.Value.Date (today - 5); Sql.Value.Str "1" |];
+    ];
+  ignore (Sql.Database.exec db "insert into plain values (1), (2)");
+  let stmt =
+    Sql.Parser.parse
+      "select payload from records r, plain p where r.id = p.id order by payload"
+  in
+  match
+    Sql.Database.exec_ast db
+      (P.Rewrite.rewrite_stmt (Sql.Database.catalog db) expiry_residual stmt)
+  with
+  | Sql.Database.Result { rows = [ [| Sql.Value.Str "a" |] ]; _ } -> ()
+  | Sql.Database.Result r ->
+      Alcotest.failf "unexpected rows: %d" (List.length r.Sql.Exec.rows)
+  | _ -> Alcotest.fail "rewrite over join failed"
+
+let test_extend_insert () =
+  let db = governed_db () in
+  let stmt = Sql.Parser.parse "insert into records (id, payload) values (7, 'x')" in
+  let extra =
+    [
+      (P.Gdpr.expiry_column, Sql.Ast.Lit (Sql.Value.Date (today + 30)));
+      (P.Gdpr.reuse_column, Sql.Ast.Lit (Sql.Value.Str "10"));
+    ]
+  in
+  (match Sql.Database.exec_ast db (P.Rewrite.extend_insert (Sql.Database.catalog db) stmt ~extra) with
+  | Sql.Database.Affected 1 -> ()
+  | _ -> Alcotest.fail "insert failed");
+  match
+    (Sql.Database.query db "select _expiry, _reuse from records where id = 7").Sql.Exec.rows
+  with
+  | [ [| Sql.Value.Date d; Sql.Value.Str m |] ] ->
+      Alcotest.(check int) "expiry set by monitor" (today + 30) d;
+      Alcotest.(check string) "bitmap set by monitor" "10" m
+  | _ -> Alcotest.fail "governed columns missing"
+
+let test_gdpr_helpers () =
+  (* all five templates parse *)
+  List.iter
+    (fun src -> ignore (parse src))
+    [
+      P.Gdpr.timely_deletion ~owner_key:"Ka" ~consumer_key:"Kb";
+      P.Gdpr.prevent_indiscriminate_use ~owner_key:"Ka";
+      P.Gdpr.transparent_sharing ~owner_key:"Ka" ~log_name:"log1";
+      P.Gdpr.risk_aware_execution ~host_version:"latest" ~storage_version:"2";
+      P.Gdpr.breach_detection ~log_name:"log2";
+    ];
+  Alcotest.(check string) "bitmap helper" "01010000" (P.Gdpr.bitmap ~width:8 [ 1; 3 ])
+
+let test_retention_sweep () =
+  let db = governed_db () in
+  Sql.Database.insert_rows db "records"
+    [
+      [| Sql.Value.Int 1; Sql.Value.Str "old"; Sql.Value.Date (today - 10); Sql.Value.Str "1" |];
+      [| Sql.Value.Int 2; Sql.Value.Str "new"; Sql.Value.Date (today + 10); Sql.Value.Str "1" |];
+    ];
+  Alcotest.(check int) "one expired row deleted" 1
+    (P.Gdpr.retention_sweep db ~table:"records" ~today);
+  match (Sql.Database.query db "select count(*) as c from records").Sql.Exec.rows with
+  | [ [| Sql.Value.Int 1 |] ] -> ()
+  | _ -> Alcotest.fail "sweep left wrong rows"
+
+let test_pretty_printing_roundtrip () =
+  let srcs =
+    [
+      "read ::= sessionKeyIs(Ka) | sessionKeyIs(Kb) & le(T, TIMESTAMP)";
+      "exec ::= fwVersionHost(latest) & storageLocIs(eu-west)";
+      "write ::= logUpdate(log, K, Q, T)";
+    ]
+  in
+  List.iter
+    (fun src ->
+      let p = parse src in
+      let printed = Fmt.str "%a" P.Policy_ast.pp p in
+      (* re-parsing the printed policy yields the same AST *)
+      Alcotest.(check bool) src true (parse printed = p))
+    srcs
+
+let suite =
+  [
+    ("parse predicates", `Quick, test_parse_predicates);
+    ("parse precedence", `Quick, test_parse_precedence);
+    ("parse parens", `Quick, test_parse_parens);
+    ("parse multiple rules", `Quick, test_parse_multiple_rules);
+    ("parse variants", `Quick, test_parse_variants);
+    ("parse errors", `Quick, test_parse_errors);
+    ("eval session key", `Quick, test_eval_session_key);
+    ("eval default deny", `Quick, test_eval_default_deny);
+    ("eval residual", `Quick, test_eval_residual);
+    ("eval owner no residual", `Quick, test_eval_owner_no_residual);
+    ("eval reuse map", `Quick, test_eval_reuse_map);
+    ("eval obligations", `Quick, test_eval_obligations);
+    ("eval locations/firmware", `Quick, test_eval_locations_and_firmware);
+    ("exec verdict", `Quick, test_exec_verdict);
+    ("rewrite adds filter", `Quick, test_rewrite_adds_filter);
+    ("rewrite skips ungoverned", `Quick, test_rewrite_skips_ungoverned_tables);
+    ("rewrite reuse map", `Quick, test_rewrite_reuse_map);
+    ("rewrite through derived table", `Quick, test_rewrite_through_derived_table);
+    ("rewrite multi-table join", `Quick, test_rewrite_multi_table_join);
+    ("extend insert", `Quick, test_extend_insert);
+    ("gdpr helpers", `Quick, test_gdpr_helpers);
+    ("retention sweep", `Quick, test_retention_sweep);
+    ("pretty printing roundtrip", `Quick, test_pretty_printing_roundtrip);
+  ]

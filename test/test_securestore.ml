@@ -1,0 +1,241 @@
+(* Secure page store tests: confidentiality, integrity, freshness,
+   reboot recovery, and detection of every attack in the threat model
+   (§3.3): tampering, displacement, rollback, forking. *)
+
+module S = Ironsafe_storage
+module Sec = Ironsafe_securestore
+module C = Ironsafe_crypto
+
+let hardware_key = String.make 32 'H'
+
+let setup ?(data_pages = 8) () =
+  let device =
+    S.Block_device.create ~pages:(Sec.Secure_store.device_pages_for ~data_pages)
+  in
+  let rpmb = S.Rpmb.create () in
+  let drbg = C.Drbg.create ~seed:"securestore-test" in
+  match
+    Sec.Secure_store.initialize ~device ~rpmb ~hardware_key ~data_pages ~drbg ()
+  with
+  | Ok store -> (device, rpmb, store, drbg)
+  | Error e -> Alcotest.failf "init failed: %a" Sec.Secure_store.pp_error e
+
+let write_ok store i data =
+  match Sec.Secure_store.write_page store i data with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "write %d failed: %a" i Sec.Secure_store.pp_error e
+
+let read_ok store i =
+  match Sec.Secure_store.read_page store i with
+  | Ok data -> data
+  | Error e -> Alcotest.failf "read %d failed: %a" i Sec.Secure_store.pp_error e
+
+let test_roundtrip () =
+  let _, _, store, _ = setup () in
+  write_ok store 0 "hello secure world";
+  write_ok store 7 (String.make Sec.Secure_store.capacity 'z');
+  Alcotest.(check string) "page 0" "hello secure world" (read_ok store 0);
+  Alcotest.(check string) "page 7 full" (String.make Sec.Secure_store.capacity 'z')
+    (read_ok store 7);
+  write_ok store 0 "overwritten";
+  Alcotest.(check string) "overwrite" "overwritten" (read_ok store 0)
+
+let test_bounds_and_capacity () =
+  let _, _, store, _ = setup () in
+  Alcotest.check_raises "index oob"
+    (Invalid_argument "Secure_store.read_page: index out of range") (fun () ->
+      ignore (Sec.Secure_store.read_page store 8));
+  Alcotest.check_raises "payload too large"
+    (Invalid_argument "Secure_store.write_page: payload exceeds page capacity")
+    (fun () ->
+      ignore
+        (Sec.Secure_store.write_page store 0
+           (String.make (Sec.Secure_store.capacity + 1) 'x')))
+
+let test_confidentiality () =
+  let device, _, store, _ = setup () in
+  let secret = "very-secret-customer-record" in
+  write_ok store 3 secret;
+  (* the raw medium must not contain the plaintext *)
+  let raw = S.Block_device.read_page device 3 in
+  let contains hay needle =
+    let n = String.length needle in
+    let rec go i =
+      i + n <= String.length hay && (String.sub hay i n = needle || go (i + 1))
+    in
+    go 0
+  in
+  Alcotest.(check bool) "plaintext not on medium" false (contains raw secret)
+
+let test_tamper_detected () =
+  let device, _, store, _ = setup () in
+  write_ok store 2 "integrity protected";
+  (* flip a ciphertext byte (the page layout is IV | MAC | len | ct) *)
+  S.Block_device.tamper device ~page:2 ~offset:55;
+  match Sec.Secure_store.read_page store 2 with
+  | Error (Sec.Secure_store.Tampered_page 2) -> ()
+  | Ok _ -> Alcotest.fail "tampered page read back successfully"
+  | Error e -> Alcotest.failf "unexpected error: %a" Sec.Secure_store.pp_error e
+
+let test_displacement_detected () =
+  let device, _, store, _ = setup () in
+  write_ok store 0 "page zero";
+  write_ok store 1 "page one";
+  S.Block_device.swap_pages device 0 1;
+  (match Sec.Secure_store.read_page store 0 with
+  | Error (Sec.Secure_store.Tampered_page 0) -> ()
+  | Ok _ -> Alcotest.fail "displaced page accepted"
+  | Error e -> Alcotest.failf "unexpected error: %a" Sec.Secure_store.pp_error e);
+  match Sec.Secure_store.read_page store 1 with
+  | Error (Sec.Secure_store.Tampered_page 1) -> ()
+  | Ok _ -> Alcotest.fail "displaced page accepted"
+  | Error e -> Alcotest.failf "unexpected error: %a" Sec.Secure_store.pp_error e
+
+let test_reopen () =
+  let device, rpmb, store, _ = setup () in
+  write_ok store 4 "survives reboot";
+  let drbg2 = C.Drbg.create ~seed:"reboot" in
+  match
+    Sec.Secure_store.open_existing ~device ~rpmb ~hardware_key ~data_pages:8
+      ~drbg:drbg2 ()
+  with
+  | Error e -> Alcotest.failf "reopen failed: %a" Sec.Secure_store.pp_error e
+  | Ok store2 ->
+      Alcotest.(check string) "data recovered" "survives reboot" (read_ok store2 4)
+
+let test_rollback_detected () =
+  let device, rpmb, store, _ = setup () in
+  write_ok store 0 "version 1";
+  S.Block_device.snapshot device ~name:"old";
+  write_ok store 0 "version 2";
+  (* adversary reverts the whole medium (data + Merkle metadata) *)
+  (match S.Block_device.rollback device ~name:"old" with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  let drbg2 = C.Drbg.create ~seed:"after-rollback" in
+  match
+    Sec.Secure_store.open_existing ~device ~rpmb ~hardware_key ~data_pages:8
+      ~drbg:drbg2 ()
+  with
+  | Error Sec.Secure_store.Stale_root -> ()
+  | Ok _ -> Alcotest.fail "rollback went undetected"
+  | Error e -> Alcotest.failf "unexpected error: %a" Sec.Secure_store.pp_error e
+
+let test_fork_detected () =
+  let device, rpmb, store, _ = setup () in
+  write_ok store 0 "pre-fork";
+  let replica = S.Block_device.fork device in
+  (* the real store moves on; the RPMB (inside the SoC) moves with it *)
+  write_ok store 0 "post-fork";
+  let drbg2 = C.Drbg.create ~seed:"fork" in
+  match
+    Sec.Secure_store.open_existing ~device:replica ~rpmb ~hardware_key
+      ~data_pages:8 ~drbg:drbg2 ()
+  with
+  | Error Sec.Secure_store.Stale_root -> ()
+  | Ok _ -> Alcotest.fail "forked replica accepted"
+  | Error e -> Alcotest.failf "unexpected error: %a" Sec.Secure_store.pp_error e
+
+let test_wrong_hardware_key () =
+  let device, rpmb, store, _ = setup () in
+  write_ok store 0 "locked to SoC";
+  let drbg2 = C.Drbg.create ~seed:"wrong-huk" in
+  match
+    Sec.Secure_store.open_existing ~device ~rpmb
+      ~hardware_key:(String.make 32 'X') ~data_pages:8 ~drbg:drbg2 ()
+  with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "opened with wrong hardware key"
+
+let test_stats_counting () =
+  let _, _, store, _ = setup () in
+  Sec.Secure_store.reset_stats store;
+  write_ok store 0 "counted";
+  let s = Sec.Secure_store.stats store in
+  Alcotest.(check int) "one encrypt" 1 s.Sec.Secure_store.page_encrypts;
+  Alcotest.(check bool) "merkle work done" true (s.Sec.Secure_store.merkle_hashes > 0);
+  Alcotest.(check bool) "rpmb anchored" true (s.Sec.Secure_store.rpmb_accesses > 0);
+  Sec.Secure_store.reset_stats store;
+  ignore (read_ok store 0);
+  let s = Sec.Secure_store.stats store in
+  Alcotest.(check int) "one decrypt" 1 s.Sec.Secure_store.page_decrypts;
+  Alcotest.(check int) "no encrypts on read" 0 s.Sec.Secure_store.page_encrypts;
+  Alcotest.(check bool) "freshness verified" true (s.Sec.Secure_store.merkle_hashes > 0)
+
+let test_iv_uniqueness () =
+  let device, _, store, _ = setup () in
+  write_ok store 0 "same plaintext";
+  let raw1 = S.Block_device.read_page device 0 in
+  write_ok store 0 "same plaintext";
+  let raw2 = S.Block_device.read_page device 0 in
+  Alcotest.(check bool) "fresh IV per write" true (raw1 <> raw2)
+
+let test_per_page_keys () =
+  let data_pages = 8 in
+  let device =
+    S.Block_device.create ~pages:(Sec.Secure_store.device_pages_for ~data_pages)
+  in
+  let rpmb = S.Rpmb.create () in
+  let drbg = C.Drbg.create ~seed:"per-page" in
+  let store =
+    match
+      Sec.Secure_store.initialize ~key_mode:Sec.Secure_store.Per_page_keys
+        ~device ~rpmb ~hardware_key ~data_pages ~drbg ()
+    with
+    | Ok s -> s
+    | Error e -> Alcotest.failf "init: %a" Sec.Secure_store.pp_error e
+  in
+  write_ok store 0 "page zero secret";
+  write_ok store 5 "page five secret";
+  Alcotest.(check string) "roundtrip p0" "page zero secret" (read_ok store 0);
+  Alcotest.(check string) "roundtrip p5" "page five secret" (read_ok store 5);
+  (* reopening in the same mode recovers the data *)
+  (match
+     Sec.Secure_store.open_existing ~key_mode:Sec.Secure_store.Per_page_keys
+       ~device ~rpmb ~hardware_key ~data_pages
+       ~drbg:(C.Drbg.create ~seed:"pp-reopen") ()
+   with
+  | Ok store2 ->
+      Alcotest.(check string) "recovered" "page zero secret" (read_ok store2 0)
+  | Error e -> Alcotest.failf "reopen: %a" Sec.Secure_store.pp_error e);
+  (* opening in single-key mode cannot decrypt the pages *)
+  match
+    Sec.Secure_store.open_existing ~device ~rpmb ~hardware_key ~data_pages
+      ~drbg:(C.Drbg.create ~seed:"pp-wrong") ()
+  with
+  | Error _ -> ()
+  | Ok store3 -> (
+      match Sec.Secure_store.read_page store3 0 with
+      | Ok plain ->
+          Alcotest.(check bool) "wrong mode decrypts garbage" true
+            (plain <> "page zero secret")
+      | Error _ -> ())
+
+let qcheck_tests =
+  let open QCheck in
+  [
+    Test.make ~name:"secure store roundtrips arbitrary payloads" ~count:40
+      (pair (int_bound 7) (string_of_size Gen.(0 -- Sec.Secure_store.capacity)))
+      (fun (i, data) ->
+        let _, _, store, _ = setup () in
+        match Sec.Secure_store.write_page store i data with
+        | Error _ -> false
+        | Ok () -> Sec.Secure_store.read_page store i = Ok data);
+  ]
+
+let suite =
+  [
+    ("roundtrip", `Quick, test_roundtrip);
+    ("bounds and capacity", `Quick, test_bounds_and_capacity);
+    ("confidentiality", `Quick, test_confidentiality);
+    ("tamper detected", `Quick, test_tamper_detected);
+    ("displacement detected", `Quick, test_displacement_detected);
+    ("reopen after reboot", `Quick, test_reopen);
+    ("rollback detected", `Quick, test_rollback_detected);
+    ("fork detected", `Quick, test_fork_detected);
+    ("wrong hardware key", `Quick, test_wrong_hardware_key);
+    ("stats counting", `Quick, test_stats_counting);
+    ("iv uniqueness", `Quick, test_iv_uniqueness);
+    ("per-page key mode", `Quick, test_per_page_keys);
+  ]
+  @ List.map (QCheck_alcotest.to_alcotest ~long:false) qcheck_tests

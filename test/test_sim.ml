@@ -1,0 +1,133 @@
+(* Simulation kernel tests: clock, trace, CPU model, memory meter. *)
+
+open Ironsafe_sim
+
+let feq = Alcotest.float 1e-6
+
+let test_clock () =
+  let c = Clock.create () in
+  Alcotest.check feq "starts at zero" 0.0 (Clock.now c);
+  Clock.advance c 100.0;
+  Clock.advance c 50.0;
+  Alcotest.check feq "accumulates" 150.0 (Clock.now c);
+  Clock.reset c;
+  Alcotest.check feq "reset" 0.0 (Clock.now c);
+  Alcotest.check_raises "negative advance"
+    (Invalid_argument "Clock.advance: negative duration") (fun () ->
+      Clock.advance c (-1.0))
+
+let test_clock_sync () =
+  let a = Clock.create () and b = Clock.create () in
+  Clock.advance a 100.0;
+  Clock.advance b 30.0;
+  Clock.sync a b 20.0;
+  Alcotest.check feq "a at max+transfer" 120.0 (Clock.now a);
+  Alcotest.check feq "b equals a" 120.0 (Clock.now b)
+
+let test_trace () =
+  let t = Trace.create () in
+  Trace.charge t "io" 10.0;
+  Trace.charge t "io" 5.0;
+  Trace.charge t "ndp" 20.0;
+  Alcotest.check feq "category accumulates" 15.0 (Trace.get t "io");
+  Alcotest.check feq "total" 35.0 (Trace.total t);
+  Alcotest.check feq "missing is zero" 0.0 (Trace.get t "nope");
+  Alcotest.(check (list string)) "categories sorted" [ "io"; "ndp" ] (Trace.categories t);
+  let t2 = Trace.create () in
+  Trace.charge t2 "io" 1.0;
+  Trace.merge ~into:t2 t;
+  Alcotest.check feq "merged" 16.0 (Trace.get t2 "io");
+  Trace.reset t;
+  Alcotest.check feq "reset" 0.0 (Trace.total t)
+
+let test_cpu_model () =
+  let p = Params.default in
+  let host1 = Cpu.create ~cores:1 ~params:p Cpu.Host_x86 in
+  let arm1 = Cpu.create ~cores:1 ~params:p Cpu.Storage_arm in
+  Alcotest.(check bool) "arm slower per core" true (Cpu.row_ns arm1 > Cpu.row_ns host1);
+  Alcotest.check feq "slowdown factor" p.Params.arm_slowdown
+    (Cpu.row_ns arm1 /. Cpu.row_ns host1);
+  let arm16 = Cpu.create ~cores:16 ~params:p Cpu.Storage_arm in
+  let w1 = Cpu.work_ns arm1 ~row_ops:10_000 in
+  let w16 = Cpu.work_ns arm16 ~row_ops:10_000 in
+  Alcotest.(check bool) "more cores faster" true (w16 < w1);
+  (* Amdahl bound: speedup cannot exceed 1/(1-p) *)
+  Alcotest.(check bool) "amdahl bound" true
+    (w1 /. w16 <= 1.0 /. (1.0 -. p.Params.parallel_fraction) +. 1e-9);
+  Alcotest.check_raises "zero cores" (Invalid_argument "Cpu.create: cores must be >= 1")
+    (fun () -> ignore (Cpu.create ~cores:0 ~params:p Cpu.Host_x86))
+
+let test_resource () =
+  let r = Resource.create ~limit_bytes:100 () in
+  (match Resource.allocate r 60 with
+  | `Fits -> ()
+  | `Spill _ -> Alcotest.fail "should fit");
+  (match Resource.allocate r 60 with
+  | `Spill n -> Alcotest.(check int) "spill amount" 20 n
+  | `Fits -> Alcotest.fail "should spill");
+  Alcotest.(check int) "high water" 120 (Resource.high_water r);
+  Resource.release r 60;
+  Alcotest.(check int) "used after release" 60 (Resource.used r);
+  Resource.release r 1000;
+  Alcotest.(check int) "release clamps at zero" 0 (Resource.used r);
+  let unlimited = Resource.create () in
+  (match Resource.allocate unlimited 1_000_000_000 with
+  | `Fits -> ()
+  | `Spill _ -> Alcotest.fail "unlimited never spills");
+  Alcotest.check_raises "bad limit" (Invalid_argument "Resource.create: non-positive limit")
+    (fun () -> ignore (Resource.create ~limit_bytes:0 ()))
+
+let test_node () =
+  let n = Node.create ~cores:4 ~params:Params.default ~name:"n" Cpu.Host_x86 in
+  Node.charge n ~category:"x" 42.0;
+  Alcotest.check feq "clock = trace" (Clock.now (Node.clock n)) (Trace.total (Node.trace n));
+  Node.compute n ~category:"ndp" ~row_ops:1000;
+  Alcotest.(check bool) "compute advances" true (Node.now n > 42.0);
+  let before = Node.now n in
+  Node.compute_serial n ~category:"ndp" ~row_ops:1000;
+  let serial = Node.now n -. before in
+  Alcotest.(check bool) "serial slower than 4-core amdahl" true
+    (serial > (before -. 42.0));
+  Node.reset n;
+  Alcotest.check feq "reset" 0.0 (Node.now n)
+
+let test_node_memory_spill () =
+  let n =
+    Node.create ~cores:1 ~mem_limit:10_000 ~params:Params.default ~name:"m"
+      Cpu.Storage_arm
+  in
+  Node.allocate n ~category:"spill" 5_000;
+  Alcotest.check feq "within limit free" 0.0 (Trace.get (Node.trace n) "spill");
+  Node.allocate n ~category:"spill" 20_000;
+  Alcotest.(check bool) "overflow charges" true (Trace.get (Node.trace n) "spill" > 0.0)
+
+let qcheck_tests =
+  let open QCheck in
+  [
+    Test.make ~name:"amdahl is monotone in cores" ~count:100
+      (pair (int_range 1 64) (int_range 1 64)) (fun (a, b) ->
+        let p = Params.default in
+        let t c =
+          Cpu.work_ns (Cpu.create ~cores:c ~params:p Cpu.Host_x86) ~row_ops:100_000
+        in
+        if a <= b then t a >= t b else t a <= t b);
+    Test.make ~name:"trace total = sum of categories" ~count:100
+      (list_of_size Gen.(1 -- 20) (pair (string_of_size Gen.(1 -- 3)) (float_range 0.0 100.0)))
+      (fun charges ->
+        let t = Trace.create () in
+        List.iter (fun (c, v) -> Trace.charge t c v) charges;
+        let sum = List.fold_left (fun a (_, v) -> a +. v) 0.0 charges in
+        Float.abs (Trace.total t -. sum) < 1e-6);
+  ]
+
+let suite =
+  [
+    ("clock", `Quick, test_clock);
+    ("clock sync", `Quick, test_clock_sync);
+    ("trace", `Quick, test_trace);
+    ("cpu model", `Quick, test_cpu_model);
+    ("resource", `Quick, test_resource);
+    ("node", `Quick, test_node);
+    ("node memory spill", `Quick, test_node_memory_spill);
+  ]
+  @ List.map (QCheck_alcotest.to_alcotest ~long:false) qcheck_tests

@@ -1,0 +1,539 @@
+(* SQL engine tests: dates, values, rows, lexer/parser, heap files, and
+   a broad sweep of query semantics on a fixture database. *)
+
+open Ironsafe_sql
+
+(* -- Date ------------------------------------------------------------- *)
+
+let test_date_epoch () =
+  Alcotest.(check int) "epoch day 0" 0 (Date.of_ymd ~y:1970 ~m:1 ~d:1);
+  Alcotest.(check int) "next day" 1 (Date.of_ymd ~y:1970 ~m:1 ~d:2);
+  Alcotest.(check int) "before epoch" (-1) (Date.of_ymd ~y:1969 ~m:12 ~d:31)
+
+let test_date_roundtrip () =
+  List.iter
+    (fun (y, m, d) ->
+      let t = Date.of_ymd ~y ~m ~d in
+      Alcotest.(check (triple int int int))
+        (Printf.sprintf "%04d-%02d-%02d" y m d)
+        (y, m, d) (Date.to_ymd t))
+    [
+      (1970, 1, 1); (2000, 2, 29); (1900, 3, 1); (1992, 1, 2); (1998, 12, 1);
+      (2400, 2, 29); (1600, 12, 31); (1, 1, 1);
+    ]
+
+let test_date_strings () =
+  let t = Date.of_string "1994-07-15" in
+  Alcotest.(check string) "roundtrip" "1994-07-15" (Date.to_string t);
+  Alcotest.(check int) "year" 1994 (Date.year t);
+  Alcotest.check_raises "bad string" (Invalid_argument "Date.of_string: \"nope\"")
+    (fun () -> ignore (Date.of_string "nope"))
+
+let test_date_leap () =
+  Alcotest.(check bool) "2000 leap" true (Date.is_leap 2000);
+  Alcotest.(check bool) "1900 not leap" false (Date.is_leap 1900);
+  Alcotest.(check bool) "1996 leap" true (Date.is_leap 1996);
+  Alcotest.(check int) "feb 1996" 29 (Date.days_in_month 1996 2);
+  Alcotest.(check int) "feb 1997" 28 (Date.days_in_month 1997 2)
+
+let test_date_arithmetic () =
+  let d = Date.of_ymd ~y:1998 ~m:12 ~d:1 in
+  Alcotest.(check string) "minus 90 days" "1998-09-02" (Date.to_string (Date.add_days d (-90)));
+  let jan31 = Date.of_ymd ~y:1999 ~m:1 ~d:31 in
+  Alcotest.(check string) "month clamp" "1999-02-28"
+    (Date.to_string (Date.add_months jan31 1));
+  Alcotest.(check string) "leap clamp" "2000-02-29"
+    (Date.to_string (Date.add_months (Date.of_ymd ~y:2000 ~m:1 ~d:31) 1));
+  Alcotest.(check string) "plus year" "1995-01-01"
+    (Date.to_string (Date.add_years (Date.of_ymd ~y:1994 ~m:1 ~d:1) 1));
+  Alcotest.(check string) "negative months" "1993-11-15"
+    (Date.to_string (Date.add_months (Date.of_ymd ~y:1994 ~m:2 ~d:15) (-3)))
+
+(* -- Values ------------------------------------------------------------ *)
+
+let test_value_compare () =
+  Alcotest.(check (option int)) "int lt" (Some (-1)) (Value.compare_opt (Value.Int 1) (Value.Int 2));
+  Alcotest.(check (option int)) "mixed num" (Some 0)
+    (Value.compare_opt (Value.Int 2) (Value.Float 2.0));
+  Alcotest.(check (option int)) "null unknown" None
+    (Value.compare_opt Value.Null (Value.Int 1));
+  Alcotest.(check int) "total null first" (-1)
+    (Value.compare_total Value.Null (Value.Int 0));
+  Alcotest.check_raises "incomparable" (Value.Type_error "cannot compare 1 with x")
+    (fun () -> ignore (Value.compare_opt (Value.Int 1) (Value.Str "x")))
+
+let test_value_arith () =
+  Alcotest.(check bool) "int add" true (Value.arith `Add (Value.Int 2) (Value.Int 3) = Value.Int 5);
+  Alcotest.(check bool) "int div promotes" true
+    (Value.arith `Div (Value.Int 7) (Value.Int 2) = Value.Float 3.5);
+  Alcotest.(check bool) "div by zero is null" true
+    (Value.arith `Div (Value.Int 1) (Value.Int 0) = Value.Null);
+  Alcotest.(check bool) "null propagates" true
+    (Value.arith `Add Value.Null (Value.Int 1) = Value.Null);
+  Alcotest.(check bool) "date minus date" true
+    (Value.arith `Sub (Value.Date 10) (Value.Date 4) = Value.Int 6);
+  Alcotest.(check bool) "date plus days" true
+    (Value.arith `Add (Value.Date 10) (Value.Int 5) = Value.Date 15)
+
+let test_value_like () =
+  let like p s = Value.like ~pattern:p s in
+  Alcotest.(check bool) "exact" true (like "abc" "abc");
+  Alcotest.(check bool) "pct suffix" true (like "ab%" "abcdef");
+  Alcotest.(check bool) "pct prefix" true (like "%def" "abcdef");
+  Alcotest.(check bool) "pct both" true (like "%cd%" "abcdef");
+  Alcotest.(check bool) "underscore" true (like "a_c" "abc");
+  Alcotest.(check bool) "no match" false (like "a_c" "abbc");
+  Alcotest.(check bool) "multi pct" true (like "%special%requests%" "x special y requests z");
+  Alcotest.(check bool) "multi pct order" false (like "%special%requests%" "requests then special");
+  Alcotest.(check bool) "empty pattern" false (like "" "x");
+  Alcotest.(check bool) "pct only" true (like "%" "");
+  Alcotest.(check bool) "trailing pct empty" true (like "abc%" "abc")
+
+let test_value_encoding () =
+  let values =
+    [
+      Value.Null; Value.Bool true; Value.Bool false; Value.Int 0;
+      Value.Int max_int; Value.Int (-42); Value.Float 3.14159;
+      Value.Float (-0.0); Value.Str ""; Value.Str "hello";
+      Value.Date (Date.of_ymd ~y:1995 ~m:6 ~d:17);
+      Value.Date (Date.of_ymd ~y:1960 ~m:1 ~d:1);
+    ]
+  in
+  List.iter
+    (fun v ->
+      let buf = Buffer.create 16 in
+      Value.encode buf v;
+      let v', _ = Value.decode (Buffer.contents buf) 0 in
+      Alcotest.(check bool) (Value.to_string v) true (v = v'))
+    values
+
+(* -- Rows ---------------------------------------------------------------- *)
+
+let test_row_roundtrip () =
+  let row = [| Value.Int 1; Value.Str "x"; Value.Null; Value.Float 2.5 |] in
+  let encoded = Row.encode row in
+  let row', next = Row.decode ~arity:4 encoded 0 in
+  Alcotest.(check bool) "row equal" true (row = row');
+  Alcotest.(check int) "consumed all" (String.length encoded) next
+
+(* -- Lexer / Parser --------------------------------------------------------- *)
+
+let test_lexer () =
+  let toks = Lexer.tokenize "SELECT a, 'it''s' <> 1.5 -- comment\n <= >=" in
+  Alcotest.(check int) "token count" 9 (List.length toks);
+  (match toks with
+  | Lexer.IDENT "select" :: Lexer.IDENT "a" :: Lexer.COMMA :: Lexer.STRING s :: _ ->
+      Alcotest.(check string) "escaped quote" "it's" s
+  | _ -> Alcotest.fail "unexpected tokens");
+  Alcotest.check_raises "unterminated string" (Lexer.Lex_error "unterminated string literal")
+    (fun () -> ignore (Lexer.tokenize "'oops"))
+
+let parses sql =
+  match Parser.parse sql with
+  | _ -> ()
+  | exception Parser.Parse_error e -> Alcotest.failf "%s: %s" sql e
+
+let rejects sql =
+  match Parser.parse sql with
+  | exception Parser.Parse_error _ -> ()
+  | _ -> Alcotest.failf "accepted invalid SQL: %s" sql
+
+let test_parser_accepts () =
+  List.iter parses
+    [
+      "select 1 + 2 * 3 from t";
+      "select a from t where a between 1 and 2 and b not like 'x%'";
+      "select a from t1, t2 where t1.a = t2.b order by a desc limit 3";
+      "select count(*), count(distinct a) from t group by b having count(*) > 1";
+      "select a from t where exists (select * from u where u.k = t.k)";
+      "select a from t where a in (1, 2, 3) and b not in (select c from u)";
+      "select case when a = 1 then 'one' else 'other' end from t";
+      "select extract(year from d) from t where d >= date '1994-01-01' + interval '3' month";
+      "select x.n from (select count(*) as n from t group by k) x";
+      "select a from t left outer join u on t.k = u.k and u.v > 0";
+      "create table t (a int, b varchar(25), c decimal(15, 2), d date)";
+      "insert into t (a, b) values (1, 'x'), (2, 'y')";
+      "update t set a = a + 1 where b = 'x'";
+      "delete from t where a < 0";
+      "drop table t";
+      "select distinct a, b from t";
+      "select a from t where x is not null and y is null";
+    ]
+
+let test_parser_rejects () =
+  List.iter rejects
+    [
+      "select"; "select a"; "select a from"; "select a from t where";
+      "select a from t group by"; "frobnicate t"; "select a from t limit x";
+      "select sum() from t"; "select a from t order";
+      "select a from t; extra tokens";
+    ]
+
+(* -- Heap file ----------------------------------------------------------------- *)
+
+let fixture_schema =
+  Schema.create ~name:"t" ~columns:[ ("a", Value.TInt); ("b", Value.TStr) ]
+
+let test_heap_file () =
+  let pager = Pager.in_memory () in
+  let hf = Heap_file.create ~pager ~schema:fixture_schema in
+  for i = 1 to 500 do
+    Heap_file.append hf [| Value.Int i; Value.Str (String.make (i mod 50) 'x') |]
+  done;
+  Heap_file.flush hf;
+  Alcotest.(check int) "row count" 500 (Heap_file.row_count hf);
+  Alcotest.(check bool) "multiple pages" true (Heap_file.page_count hf > 1);
+  let sum = ref 0 in
+  Heap_file.iter hf ~f:(fun r -> sum := !sum + Value.as_int r.(0));
+  Alcotest.(check int) "scan order and completeness" (500 * 501 / 2) !sum
+
+let test_heap_rewrite () =
+  let pager = Pager.in_memory () in
+  let hf = Heap_file.create ~pager ~schema:fixture_schema in
+  for i = 1 to 100 do
+    Heap_file.append hf [| Value.Int i; Value.Str "r" |]
+  done;
+  let affected =
+    Heap_file.rewrite hf ~f:(fun r ->
+        match r.(0) with
+        | Value.Int i when i mod 2 = 0 -> `Delete
+        | Value.Int i when i < 10 -> `Replace [| Value.Int (i * 100); Value.Str "r" |]
+        | _ -> `Keep)
+  in
+  Alcotest.(check int) "affected" 55 affected;
+  Alcotest.(check int) "rows left" 50 (Heap_file.row_count hf);
+  let max_val = ref 0 in
+  Heap_file.iter hf ~f:(fun r -> max_val := max !max_val (Value.as_int r.(0)));
+  Alcotest.(check int) "replacement applied" 900 !max_val
+
+(* -- Query semantics on a fixture --------------------------------------------- *)
+
+let fixture () =
+  let db = Database.create ~pager:(Pager.in_memory ()) in
+  ignore (Database.exec db "create table dept (dkey int, dname varchar, budget double)");
+  ignore
+    (Database.exec db
+       "create table emp (ekey int, ename varchar, dkey int, salary double, hired date, boss int)");
+  ignore
+    (Database.exec db
+       "insert into dept values (1, 'eng', 1000.0), (2, 'sales', 500.0), (3, 'hr', 200.0), (4, 'empty', 0.0)");
+  ignore
+    (Database.exec db
+       "insert into emp values \
+        (1, 'ann', 1, 100.0, date '2020-01-15', null), \
+        (2, 'bob', 1, 90.0, date '2021-06-01', 1), \
+        (3, 'cat', 2, 80.0, date '2019-03-10', null), \
+        (4, 'dan', 2, 70.5, date '2022-11-30', 3), \
+        (5, 'eve', 3, 60.0, date '2018-07-04', null), \
+        (6, 'fox', 1, 100.0, date '2023-02-01', 1)");
+  db
+
+let rows db sql =
+  (Database.query db sql).Exec.rows |> List.map (fun r -> Array.to_list r |> List.map Value.to_string)
+
+let check_rows msg expected actual =
+  Alcotest.(check (list (list string))) msg expected actual
+
+let test_q_filter_order_limit () =
+  let db = fixture () in
+  check_rows "filter + order + limit"
+    [ [ "ann" ]; [ "fox" ]; [ "bob" ] ]
+    (rows db "select ename from emp where salary >= 90 order by salary desc, ename limit 3")
+
+let test_q_projection_expr () =
+  let db = fixture () in
+  check_rows "arith and alias"
+    [ [ "ann"; "110.00" ] ]
+    (rows db "select ename, salary * 1.1 as bumped from emp where ekey = 1")
+
+let test_q_join_implicit () =
+  let db = fixture () in
+  check_rows "implicit join"
+    [ [ "ann"; "eng" ]; [ "bob"; "eng" ]; [ "fox"; "eng" ] ]
+    (rows db
+       "select ename, dname from emp, dept where emp.dkey = dept.dkey and dname = 'eng' order by ename")
+
+let test_q_join_self () =
+  let db = fixture () in
+  check_rows "self join with aliases"
+    [ [ "bob"; "ann" ]; [ "dan"; "cat" ]; [ "fox"; "ann" ] ]
+    (rows db
+       "select e.ename, b.ename from emp e, emp b where e.boss = b.ekey order by e.ename")
+
+let test_q_left_join () =
+  let db = fixture () in
+  check_rows "left join keeps unmatched"
+    [ [ "empty"; "0" ]; [ "eng"; "3" ]; [ "hr"; "1" ]; [ "sales"; "2" ] ]
+    (rows db
+       "select d.dname, count(e.ekey) as n from dept d left join emp e on e.dkey = d.dkey \
+        group by d.dname order by d.dname")
+
+let test_q_left_join_on_filter () =
+  let db = fixture () in
+  (* ON-clause filter applies before null-extension *)
+  check_rows "left join with on filter"
+    [ [ "empty"; "0" ]; [ "eng"; "1" ]; [ "hr"; "1" ]; [ "sales"; "2" ] ]
+    (rows db
+       "select d.dname, count(e.ekey) as n from dept d left join emp e on e.dkey = d.dkey \
+        and e.salary < 95 group by d.dname order by d.dname")
+
+let test_q_aggregates () =
+  let db = fixture () in
+  check_rows "aggregate family"
+    [ [ "6"; "500.50"; "83.42"; "60.00"; "100.00" ] ]
+    (rows db "select count(*), sum(salary), avg(salary), min(salary), max(salary) from emp");
+  check_rows "count distinct"
+    [ [ "3" ] ]
+    (rows db "select count(distinct salary) from emp where salary >= 80");
+  check_rows "count skips nulls" [ [ "3" ] ] (rows db "select count(boss) from emp")
+
+let test_q_group_having () =
+  let db = fixture () in
+  check_rows "group by + having"
+    [ [ "1"; "3" ]; [ "2"; "2" ] ]
+    (rows db "select dkey, count(*) as n from emp group by dkey having count(*) > 1 order by dkey")
+
+let test_q_agg_empty_input () =
+  let db = fixture () in
+  check_rows "aggregates over empty set"
+    [ [ "0"; "NULL"; "NULL" ] ]
+    (rows db "select count(*), sum(salary), max(salary) from emp where salary > 1000")
+
+let test_q_group_empty_input () =
+  let db = fixture () in
+  check_rows "group by over empty set yields no rows" []
+    (rows db "select dkey, count(*) from emp where salary > 1000 group by dkey")
+
+let test_q_in_subquery () =
+  let db = fixture () in
+  check_rows "in subquery"
+    [ [ "ann" ]; [ "bob" ]; [ "cat" ]; [ "dan" ]; [ "fox" ] ]
+    (rows db
+       "select ename from emp where dkey in (select dkey from dept where budget >= 500) order by ename");
+  check_rows "not in subquery" [ [ "eve" ] ]
+    (rows db
+       "select ename from emp where dkey not in (select dkey from dept where budget >= 500) order by ename")
+
+let test_q_exists_correlated () =
+  let db = fixture () in
+  check_rows "correlated exists"
+    [ [ "bob" ]; [ "dan" ] ]
+    (rows db
+       "select ename from emp e where exists (select * from emp e2 where e2.dkey = e.dkey \
+        and e2.salary > e.salary) order by ename");
+  check_rows "correlated not exists"
+    [ [ "ann" ]; [ "cat" ]; [ "eve" ]; [ "fox" ] ]
+    (rows db
+       "select ename from emp e where not exists (select * from emp e2 where e2.dkey = e.dkey \
+        and e2.salary > e.salary) order by ename")
+
+let test_q_scalar_subquery () =
+  let db = fixture () in
+  check_rows "correlated scalar subquery"
+    [ [ "eng"; "100.00" ]; [ "hr"; "60.00" ]; [ "sales"; "80.00" ] ]
+    (rows db
+       "select d.dname, (select max(salary) from emp where emp.dkey = d.dkey) as top \
+        from dept d where d.dname <> 'empty' order by d.dname");
+  (* scalar subquery over empty set is NULL *)
+  check_rows "empty scalar is null"
+    [ [ "empty"; "NULL" ] ]
+    (rows db
+       "select d.dname, (select max(salary) from emp where emp.dkey = d.dkey) as top \
+        from dept d where d.dname = 'empty'")
+
+let test_q_derived_table () =
+  let db = fixture () in
+  check_rows "derived table with two-level aggregation"
+    [ [ "1"; "1" ]; [ "2"; "1" ]; [ "3"; "1" ] ]
+    (rows db
+       "select n, count(*) as c from (select dkey, count(*) as n from emp group by dkey) x \
+        group by n order by n")
+
+let test_q_case_extract () =
+  let db = fixture () in
+  check_rows "case + extract"
+    [ [ "2018"; "lo" ]; [ "2019"; "lo" ]; [ "2020"; "hi" ]; [ "2021"; "hi" ];
+      [ "2022"; "lo" ]; [ "2023"; "hi" ] ]
+    (rows db
+       "select extract(year from hired) as y, case when salary >= 90 then 'hi' else 'lo' end as band \
+        from emp order by y")
+
+let test_q_between_in_like () =
+  let db = fixture () in
+  check_rows "between" [ [ "cat" ]; [ "dan" ] ]
+    (rows db "select ename from emp where salary between 70 and 85 order by ename");
+  check_rows "not between" [ [ "ann" ]; [ "bob" ]; [ "eve" ]; [ "fox" ] ]
+    (rows db "select ename from emp where salary not between 70 and 85 order by ename");
+  check_rows "in list" [ [ "ann" ]; [ "cat" ] ]
+    (rows db "select ename from emp where ekey in (1, 3) order by ename");
+  check_rows "like" [ [ "bob" ] ] (rows db "select ename from emp where ename like 'b%'")
+
+let test_q_date_predicates () =
+  let db = fixture () in
+  check_rows "date + interval"
+    [ [ "ann" ]; [ "bob" ]; [ "dan" ]; [ "fox" ] ]
+    (rows db
+       "select ename from emp where hired >= date '2019-01-15' + interval '1' year order by ename")
+
+let test_q_is_null () =
+  let db = fixture () in
+  check_rows "is null" [ [ "ann" ]; [ "cat" ]; [ "eve" ] ]
+    (rows db "select ename from emp where boss is null order by ename");
+  check_rows "is not null" [ [ "bob" ]; [ "dan" ]; [ "fox" ] ]
+    (rows db "select ename from emp where boss is not null order by ename")
+
+let test_q_or_of_ands () =
+  let db = fixture () in
+  check_rows "disjunctive filter"
+    [ [ "ann" ]; [ "eve" ]; [ "fox" ] ]
+    (rows db
+       "select ename from emp where (dkey = 1 and salary >= 100) or (dkey = 3 and salary <= 60) \
+        order by ename")
+
+let test_q_order_by_alias_and_expr () =
+  let db = fixture () in
+  check_rows "order by alias"
+    [ [ "eve"; "60.00" ]; [ "dan"; "70.50" ]; [ "cat"; "80.00" ] ]
+    (rows db "select ename, salary as pay from emp order by pay limit 3");
+  check_rows "order by expression not in projection"
+    [ [ "eve" ]; [ "dan" ] ]
+    (rows db "select ename from emp order by salary * 2 limit 2")
+
+let test_q_distinct () =
+  let db = fixture () in
+  check_rows "select distinct" [ [ "1" ]; [ "2" ]; [ "3" ] ]
+    (rows db "select distinct dkey from emp order by dkey")
+
+let test_q_update_delete () =
+  let db = fixture () in
+  (match Database.exec db "update emp set salary = salary + 10 where dkey = 3" with
+  | Database.Affected 1 -> ()
+  | _ -> Alcotest.fail "update count");
+  check_rows "update applied" [ [ "70.00" ] ]
+    (rows db "select salary from emp where ename = 'eve'");
+  (match Database.exec db "delete from emp where dkey = 1" with
+  | Database.Affected 3 -> ()
+  | _ -> Alcotest.fail "delete count");
+  check_rows "delete applied" [ [ "3" ] ] (rows db "select count(*) from emp")
+
+let test_q_insert_partial_columns () =
+  let db = fixture () in
+  ignore (Database.exec db "insert into emp (ekey, ename, dkey, salary, hired) values (7, 'gus', 3, 55.0, date '2024-01-01')");
+  check_rows "missing column is null" [ [ "NULL" ] ]
+    (rows db "select boss from emp where ename = 'gus'")
+
+let test_q_errors () =
+  let db = fixture () in
+  let fails sql =
+    match Database.exec db sql with
+    | exception Exec.Sql_error _ -> ()
+    | exception Catalog.Unknown_table _ -> ()
+    | _ -> Alcotest.failf "no error for: %s" sql
+  in
+  fails "select nope from emp";
+  fails "select ename from nonexistent";
+  fails "select e.nope from emp e";
+  fails "insert into emp (nope) values (1)";
+  fails "select ekey from emp, dept where dkey = 1" (* ambiguous dkey *)
+
+let test_q_null_not_in_semantics () =
+  let db = fixture () in
+  (* NOT IN against a set containing NULL selects nothing *)
+  check_rows "not in with null set" []
+    (rows db "select ename from emp where ekey not in (select boss from emp)")
+
+(* -- Property tests ------------------------------------------------------------ *)
+
+let qcheck_tests =
+  let open QCheck in
+  let value_gen =
+    Gen.oneof
+      [
+        Gen.return Value.Null;
+        Gen.map (fun b -> Value.Bool b) Gen.bool;
+        Gen.map (fun i -> Value.Int i) Gen.int;
+        Gen.map (fun f -> Value.Float f) (Gen.float_bound_inclusive 1e9);
+        Gen.map (fun s -> Value.Str s) Gen.(string_size (0 -- 40));
+        Gen.map (fun d -> Value.Date d) Gen.(-100_000 -- 100_000);
+      ]
+  in
+  [
+    Test.make ~name:"row encode/decode roundtrip" ~count:200
+      (make Gen.(list_size (1 -- 10) value_gen))
+      (fun vs ->
+        let row = Array.of_list vs in
+        let row', _ = Row.decode ~arity:(Array.length row) (Row.encode row) 0 in
+        row = row');
+    Test.make ~name:"date ymd roundtrip" ~count:500
+      (make Gen.(pair (1 -- 3000) (pair (1 -- 12) (1 -- 28))))
+      (fun (y, (m, d)) -> Date.to_ymd (Date.of_ymd ~y ~m ~d) = (y, m, d));
+    Test.make ~name:"add_months composes" ~count:200
+      (make Gen.(pair (0 -- 20000) (pair (0 -- 24) (0 -- 24))))
+      (fun (t, (a, b)) ->
+        (* composing month shifts in either order lands in the same month *)
+        let m1 = Date.add_months (Date.add_months t a) b in
+        let m2 = Date.add_months t (a + b) in
+        let y1, mo1, _ = Date.to_ymd m1 and y2, mo2, _ = Date.to_ymd m2 in
+        (y1, mo1) = (y2, mo2));
+    Test.make ~name:"filter equals manual filter" ~count:30
+      (make Gen.(list_size (0 -- 30) (pair (0 -- 100) (0 -- 100))))
+      (fun pairs ->
+        let db = Database.create ~pager:(Pager.in_memory ()) in
+        ignore (Database.exec db "create table p (a int, b int)");
+        if pairs <> [] then
+          Database.insert_rows db "p"
+            (List.map (fun (a, b) -> [| Value.Int a; Value.Int b |]) pairs);
+        let got =
+          (Database.query db "select a from p where a < b order by a").Exec.rows
+          |> List.map (fun r -> Value.as_int r.(0))
+        in
+        let expected =
+          List.filter (fun (a, b) -> a < b) pairs |> List.map fst |> List.sort compare
+        in
+        got = expected);
+  ]
+
+let suite =
+  [
+    ("date epoch", `Quick, test_date_epoch);
+    ("date ymd roundtrip", `Quick, test_date_roundtrip);
+    ("date strings", `Quick, test_date_strings);
+    ("date leap", `Quick, test_date_leap);
+    ("date arithmetic", `Quick, test_date_arithmetic);
+    ("value compare", `Quick, test_value_compare);
+    ("value arith", `Quick, test_value_arith);
+    ("value like", `Quick, test_value_like);
+    ("value encoding", `Quick, test_value_encoding);
+    ("row roundtrip", `Quick, test_row_roundtrip);
+    ("lexer", `Quick, test_lexer);
+    ("parser accepts", `Quick, test_parser_accepts);
+    ("parser rejects", `Quick, test_parser_rejects);
+    ("heap file", `Quick, test_heap_file);
+    ("heap rewrite", `Quick, test_heap_rewrite);
+    ("q: filter/order/limit", `Quick, test_q_filter_order_limit);
+    ("q: projection expr", `Quick, test_q_projection_expr);
+    ("q: implicit join", `Quick, test_q_join_implicit);
+    ("q: self join", `Quick, test_q_join_self);
+    ("q: left join", `Quick, test_q_left_join);
+    ("q: left join on filter", `Quick, test_q_left_join_on_filter);
+    ("q: aggregates", `Quick, test_q_aggregates);
+    ("q: group having", `Quick, test_q_group_having);
+    ("q: agg empty input", `Quick, test_q_agg_empty_input);
+    ("q: group empty input", `Quick, test_q_group_empty_input);
+    ("q: in subquery", `Quick, test_q_in_subquery);
+    ("q: exists correlated", `Quick, test_q_exists_correlated);
+    ("q: scalar subquery", `Quick, test_q_scalar_subquery);
+    ("q: derived table", `Quick, test_q_derived_table);
+    ("q: case/extract", `Quick, test_q_case_extract);
+    ("q: between/in/like", `Quick, test_q_between_in_like);
+    ("q: date predicates", `Quick, test_q_date_predicates);
+    ("q: is null", `Quick, test_q_is_null);
+    ("q: or of ands", `Quick, test_q_or_of_ands);
+    ("q: order by alias/expr", `Quick, test_q_order_by_alias_and_expr);
+    ("q: distinct", `Quick, test_q_distinct);
+    ("q: update/delete", `Quick, test_q_update_delete);
+    ("q: insert partial columns", `Quick, test_q_insert_partial_columns);
+    ("q: errors", `Quick, test_q_errors);
+    ("q: not in with null", `Quick, test_q_null_not_in_semantics);
+  ]
+  @ List.map (QCheck_alcotest.to_alcotest ~long:false) qcheck_tests

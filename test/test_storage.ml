@@ -1,0 +1,176 @@
+(* Storage substrate tests: block device (including the adversarial
+   interface) and the RPMB protocol invariants. *)
+
+module S = Ironsafe_storage
+module C = Ironsafe_crypto
+
+let page c = String.make S.Block_device.page_size c
+
+(* -- Block device ------------------------------------------------------ *)
+
+let test_device_rw () =
+  let d = S.Block_device.create ~pages:4 in
+  Alcotest.(check int) "page count" 4 (S.Block_device.page_count d);
+  Alcotest.(check string) "fresh page zeroed" (page '\000') (S.Block_device.read_page d 0);
+  S.Block_device.write_page d 2 (page 'x');
+  Alcotest.(check string) "written" (page 'x') (S.Block_device.read_page d 2);
+  Alcotest.(check int) "reads counted" 2 (S.Block_device.reads d);
+  Alcotest.(check int) "writes counted" 1 (S.Block_device.writes d);
+  S.Block_device.reset_counters d;
+  Alcotest.(check int) "counters reset" 0 (S.Block_device.reads d)
+
+let test_device_bounds () =
+  let d = S.Block_device.create ~pages:2 in
+  Alcotest.check_raises "read oob" (Invalid_argument "Block_device: page 2 out of range")
+    (fun () -> ignore (S.Block_device.read_page d 2));
+  Alcotest.check_raises "short write"
+    (Invalid_argument "Block_device.write_page: data must be exactly one page")
+    (fun () -> S.Block_device.write_page d 0 "short")
+
+let test_device_tamper () =
+  let d = S.Block_device.create ~pages:1 in
+  S.Block_device.write_page d 0 (page 'a');
+  S.Block_device.tamper d ~page:0 ~offset:10;
+  let p = S.Block_device.read_page d 0 in
+  Alcotest.(check bool) "byte flipped" true (p.[10] <> 'a');
+  Alcotest.(check char) "others intact" 'a' p.[11]
+
+let test_device_swap () =
+  let d = S.Block_device.create ~pages:2 in
+  S.Block_device.write_page d 0 (page 'a');
+  S.Block_device.write_page d 1 (page 'b');
+  S.Block_device.swap_pages d 0 1;
+  Alcotest.(check string) "page 0 now b" (page 'b') (S.Block_device.read_page d 0);
+  Alcotest.(check string) "page 1 now a" (page 'a') (S.Block_device.read_page d 1)
+
+let test_device_rollback () =
+  let d = S.Block_device.create ~pages:1 in
+  S.Block_device.write_page d 0 (page 'v');
+  S.Block_device.snapshot d ~name:"v1";
+  S.Block_device.write_page d 0 (page 'w');
+  (match S.Block_device.rollback d ~name:"v1" with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  Alcotest.(check string) "reverted" (page 'v') (S.Block_device.read_page d 0);
+  match S.Block_device.rollback d ~name:"nope" with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "rolled back to missing snapshot"
+
+let test_device_fork () =
+  let d = S.Block_device.create ~pages:1 in
+  S.Block_device.write_page d 0 (page 'o');
+  let replica = S.Block_device.fork d in
+  S.Block_device.write_page d 0 (page 'n');
+  Alcotest.(check string) "replica keeps old state" (page 'o')
+    (S.Block_device.read_page replica 0)
+
+(* -- RPMB --------------------------------------------------------------- *)
+
+let key = "rpmb-authentication-key"
+
+let programmed () =
+  let r = S.Rpmb.create ~slots:4 () in
+  (match S.Rpmb.program_key r key with Ok () -> () | Error _ -> assert false);
+  r
+
+let test_rpmb_program_once () =
+  let r = S.Rpmb.create () in
+  (match S.Rpmb.program_key r key with Ok () -> () | Error _ -> Alcotest.fail "first program");
+  match S.Rpmb.program_key r "another" with
+  | Error S.Rpmb.Key_already_programmed -> ()
+  | _ -> Alcotest.fail "key reprogramming must be rejected"
+
+let test_rpmb_requires_key () =
+  let r = S.Rpmb.create () in
+  let frame = S.Rpmb.make_write_frame ~key ~slot:0 ~payload:"x" ~write_counter:0 in
+  match S.Rpmb.write r frame with
+  | Error S.Rpmb.Key_not_programmed -> ()
+  | _ -> Alcotest.fail "write before key programming must fail"
+
+let test_rpmb_write_read () =
+  let r = programmed () in
+  let frame = S.Rpmb.make_write_frame ~key ~slot:1 ~payload:"secret" ~write_counter:0 in
+  (match S.Rpmb.write r frame with
+  | Ok 1 -> ()
+  | Ok n -> Alcotest.failf "unexpected counter %d" n
+  | Error e -> Alcotest.failf "write failed: %a" S.Rpmb.pp_error e);
+  let nonce = "nonce-123" in
+  match S.Rpmb.read r ~nonce 1 with
+  | Error e -> Alcotest.failf "read failed: %a" S.Rpmb.pp_error e
+  | Ok resp ->
+      Alcotest.(check bool) "response authentic" true
+        (S.Rpmb.verify_read_response ~key ~nonce resp);
+      Alcotest.(check string) "payload" "secret" (String.sub resp.S.Rpmb.payload 0 6);
+      Alcotest.(check bool) "other nonce rejected" false
+        (S.Rpmb.verify_read_response ~key ~nonce:"other" resp)
+
+let test_rpmb_replay_rejected () =
+  let r = programmed () in
+  let frame = S.Rpmb.make_write_frame ~key ~slot:0 ~payload:"v1" ~write_counter:0 in
+  (match S.Rpmb.write r frame with Ok _ -> () | Error _ -> assert false);
+  (* replaying the same frame (stale counter) must fail *)
+  match S.Rpmb.write r frame with
+  | Error (S.Rpmb.Counter_mismatch { expected = 1; got = 0 }) -> ()
+  | _ -> Alcotest.fail "replayed frame accepted"
+
+let test_rpmb_bad_mac () =
+  let r = programmed () in
+  let frame = S.Rpmb.make_write_frame ~key:"wrong-key" ~slot:0 ~payload:"x" ~write_counter:0 in
+  match S.Rpmb.write r frame with
+  | Error S.Rpmb.Bad_mac -> ()
+  | _ -> Alcotest.fail "frame with wrong key accepted"
+
+let test_rpmb_bad_slot () =
+  let r = programmed () in
+  let frame = S.Rpmb.make_write_frame ~key ~slot:99 ~payload:"x" ~write_counter:0 in
+  (match S.Rpmb.write r frame with
+  | Error (S.Rpmb.Bad_slot 99) -> ()
+  | _ -> Alcotest.fail "oob slot accepted");
+  Alcotest.check_raises "oversized payload" (Invalid_argument "Rpmb: payload exceeds slot size")
+    (fun () ->
+      ignore
+        (S.Rpmb.make_write_frame ~key ~slot:0
+           ~payload:(String.make (S.Rpmb.slot_size + 1) 'x')
+           ~write_counter:0))
+
+let test_rpmb_counter_monotonic () =
+  let r = programmed () in
+  for i = 0 to 4 do
+    let frame =
+      S.Rpmb.make_write_frame ~key ~slot:0
+        ~payload:(Printf.sprintf "v%d" i)
+        ~write_counter:(S.Rpmb.read_counter r)
+    in
+    match S.Rpmb.write r frame with
+    | Ok n -> Alcotest.(check int) "counter increments" (i + 1) n
+    | Error e -> Alcotest.failf "write %d failed: %a" i S.Rpmb.pp_error e
+  done
+
+let qcheck_tests =
+  let open QCheck in
+  [
+    Test.make ~name:"device write/read roundtrip" ~count:100
+      (pair (int_bound 7) (string_of_size (Gen.return S.Block_device.page_size)))
+      (fun (i, data) ->
+        let d = S.Block_device.create ~pages:8 in
+        S.Block_device.write_page d i data;
+        S.Block_device.read_page d i = data);
+  ]
+
+let suite =
+  [
+    ("device read/write", `Quick, test_device_rw);
+    ("device bounds", `Quick, test_device_bounds);
+    ("device tamper", `Quick, test_device_tamper);
+    ("device swap", `Quick, test_device_swap);
+    ("device rollback", `Quick, test_device_rollback);
+    ("device fork", `Quick, test_device_fork);
+    ("rpmb program once", `Quick, test_rpmb_program_once);
+    ("rpmb requires key", `Quick, test_rpmb_requires_key);
+    ("rpmb write/read", `Quick, test_rpmb_write_read);
+    ("rpmb replay rejected", `Quick, test_rpmb_replay_rejected);
+    ("rpmb bad mac", `Quick, test_rpmb_bad_mac);
+    ("rpmb bad slot", `Quick, test_rpmb_bad_slot);
+    ("rpmb counter monotonic", `Quick, test_rpmb_counter_monotonic);
+  ]
+  @ List.map (QCheck_alcotest.to_alcotest ~long:false) qcheck_tests

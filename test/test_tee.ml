@@ -1,0 +1,178 @@
+(* TEE substrate tests: SGX enclave measurement/quotes/EPC accounting
+   and TrustZone secure boot + attestation. *)
+
+module Tee = Ironsafe_tee
+module C = Ironsafe_crypto
+
+let drbg ?(seed = "tee-test") () = C.Drbg.create ~seed
+
+(* -- Images -------------------------------------------------------------- *)
+
+let test_image_measurement () =
+  let a = Tee.Image.create ~name:"engine" ~version:1 ~code:"code-v1" in
+  let a' = Tee.Image.create ~name:"engine" ~version:1 ~code:"code-v1" in
+  Alcotest.(check string) "deterministic" (Tee.Image.measurement a)
+    (Tee.Image.measurement a');
+  let b = Tee.Image.backdoored a in
+  Alcotest.(check bool) "backdoor changes measurement" true
+    (Tee.Image.measurement a <> Tee.Image.measurement b);
+  Alcotest.(check string) "backdoor keeps name" (Tee.Image.name a) (Tee.Image.name b);
+  Alcotest.check_raises "negative version"
+    (Invalid_argument "Image.create: negative version") (fun () ->
+      ignore (Tee.Image.create ~name:"x" ~version:(-1) ~code:""))
+
+(* -- SGX ------------------------------------------------------------------ *)
+
+let sgx_setup () =
+  let d = drbg () in
+  let ias = Tee.Sgx.create_ias () in
+  let platform = Tee.Sgx.create_platform ~ias d in
+  let image = Tee.Image.create ~name:"host-engine" ~version:1 ~code:"binary" in
+  (d, ias, platform, image)
+
+let test_sgx_quote_verifies () =
+  let _, ias, platform, image = sgx_setup () in
+  let enclave = Tee.Sgx.launch platform image in
+  Alcotest.(check string) "mrenclave is measurement" (Tee.Image.measurement image)
+    (Tee.Sgx.mrenclave enclave);
+  let quote = Tee.Sgx.generate_quote enclave ~report_data:"report" in
+  (match Tee.Sgx.verify_quote ~ias quote with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  (* a quote over different report data has a different signature *)
+  let quote2 = Tee.Sgx.generate_quote enclave ~report_data:"other" in
+  Alcotest.(check bool) "signatures differ" true
+    (quote.Tee.Sgx.signature <> quote2.Tee.Sgx.signature)
+
+let test_sgx_forged_quote_rejected () =
+  let _, ias, platform, image = sgx_setup () in
+  let enclave = Tee.Sgx.launch platform image in
+  let quote = Tee.Sgx.generate_quote enclave ~report_data:"r" in
+  (* tampering with the claimed measurement breaks the signature *)
+  let forged = { quote with Tee.Sgx.quoted_mrenclave = String.make 32 'f' } in
+  (match Tee.Sgx.verify_quote ~ias forged with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "forged measurement accepted");
+  (* a platform never provisioned with the IAS is rejected *)
+  let rogue_ias = Tee.Sgx.create_ias () in
+  let rogue = Tee.Sgx.create_platform ~ias:rogue_ias (drbg ~seed:"rogue" ()) in
+  let rogue_quote = Tee.Sgx.generate_quote (Tee.Sgx.launch rogue image) ~report_data:"r" in
+  match Tee.Sgx.verify_quote ~ias rogue_quote with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "unprovisioned platform accepted"
+
+let test_sgx_counters () =
+  let _, _, platform, image = sgx_setup () in
+  let e = Tee.Sgx.launch platform image in
+  Tee.Sgx.ecall e;
+  Tee.Sgx.ocall e;
+  Tee.Sgx.ocall e;
+  Alcotest.(check int) "transitions" 3 (Tee.Sgx.transitions e);
+  Tee.Sgx.reset_counters e;
+  Alcotest.(check int) "reset" 0 (Tee.Sgx.transitions e)
+
+let test_sgx_epc () =
+  let d = drbg () in
+  let ias = Tee.Sgx.create_ias () in
+  let platform = Tee.Sgx.create_platform ~epc_limit:(1 lsl 20) ~ias d in
+  let e = Tee.Sgx.launch platform (Tee.Image.create ~name:"x" ~version:1 ~code:"c") in
+  Alcotest.(check int) "within epc no faults" 0 (Tee.Sgx.touch e (1 lsl 19));
+  Alcotest.(check bool) "beyond epc faults" true (Tee.Sgx.touch e (1 lsl 21) > 0);
+  Alcotest.(check int) "working set tracked" (1 lsl 21) (Tee.Sgx.heap_used e)
+
+(* -- TrustZone -------------------------------------------------------------- *)
+
+let tz_setup () =
+  let d = drbg () in
+  let device = Tee.Trustzone.manufacture ~device_id:"dev-1" d in
+  let atf = Tee.Image.create ~name:"atf" ~version:1 ~code:"atf-code" in
+  let optee = Tee.Image.create ~name:"optee" ~version:1 ~code:"optee-code" in
+  let nw = Tee.Image.create ~name:"storage-engine" ~version:2 ~code:"engine" in
+  Tee.Trustzone.provision device [ atf; optee ];
+  (d, device, atf, optee, nw)
+
+let test_tz_secure_boot () =
+  let _, device, atf, optee, nw = tz_setup () in
+  match Tee.Trustzone.secure_boot device ~secure_stages:[ atf; optee ] ~normal_world:nw with
+  | Error e -> Alcotest.fail e
+  | Ok booted ->
+      Alcotest.(check int) "boot chain length" 2
+        (List.length (Tee.Trustzone.boot_chain booted));
+      Alcotest.(check string) "normal world measured" (Tee.Image.measurement nw)
+        (Tee.Trustzone.normal_world_hash booted)
+
+let test_tz_boot_rejects_tampered_stage () =
+  let _, device, atf, optee, nw = tz_setup () in
+  let evil_optee = Tee.Image.backdoored optee in
+  (match
+     Tee.Trustzone.secure_boot device ~secure_stages:[ atf; evil_optee ]
+       ~normal_world:nw
+   with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "tampered secure-world stage booted");
+  (* unprovisioned stage also fails *)
+  let unknown = Tee.Image.create ~name:"rootkit" ~version:9 ~code:"evil" in
+  match
+    Tee.Trustzone.secure_boot device ~secure_stages:[ atf; unknown ] ~normal_world:nw
+  with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unprovisioned stage booted"
+
+let test_tz_attestation () =
+  let _, device, atf, optee, nw = tz_setup () in
+  let booted =
+    match Tee.Trustzone.secure_boot device ~secure_stages:[ atf; optee ] ~normal_world:nw with
+    | Ok b -> b
+    | Error e -> Alcotest.fail e
+  in
+  let challenge = "fresh-challenge-123" in
+  let resp = Tee.Trustzone.attest booted ~challenge in
+  (match Tee.Trustzone.verify_attestation ~rotpk:(Tee.Trustzone.rotpk device) ~challenge resp with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  Alcotest.(check int) "attestation used one world switch" 1
+    (Tee.Trustzone.world_switches device);
+  (* replayed response (old challenge) rejected *)
+  (match
+     Tee.Trustzone.verify_attestation ~rotpk:(Tee.Trustzone.rotpk device)
+       ~challenge:"another-challenge" resp
+   with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "replayed attestation accepted");
+  (* verification against another device's ROTPK fails *)
+  let other = Tee.Trustzone.manufacture ~device_id:"dev-2" (drbg ~seed:"other-device" ()) in
+  match
+    Tee.Trustzone.verify_attestation ~rotpk:(Tee.Trustzone.rotpk other) ~challenge resp
+  with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "attestation verified under wrong ROTPK"
+
+let test_tz_attestation_reports_modified_normal_world () =
+  let _, device, atf, optee, nw = tz_setup () in
+  let evil_nw = Tee.Image.backdoored nw in
+  (* trusted boot does not halt on normal-world changes (the monitor
+     decides) but the attested hash must reflect the change *)
+  let booted =
+    match
+      Tee.Trustzone.secure_boot device ~secure_stages:[ atf; optee ]
+        ~normal_world:evil_nw
+    with
+    | Ok b -> b
+    | Error e -> Alcotest.fail e
+  in
+  let resp = Tee.Trustzone.attest booted ~challenge:"c" in
+  Alcotest.(check bool) "modified normal world visible in quote" true
+    (resp.Tee.Trustzone.resp_normal_world_hash <> Tee.Image.measurement nw)
+
+let suite =
+  [
+    ("image measurement", `Quick, test_image_measurement);
+    ("sgx quote verifies", `Quick, test_sgx_quote_verifies);
+    ("sgx forged quote rejected", `Quick, test_sgx_forged_quote_rejected);
+    ("sgx counters", `Quick, test_sgx_counters);
+    ("sgx epc", `Quick, test_sgx_epc);
+    ("tz secure boot", `Quick, test_tz_secure_boot);
+    ("tz rejects tampered stage", `Quick, test_tz_boot_rejects_tampered_stage);
+    ("tz attestation", `Quick, test_tz_attestation);
+    ("tz reports modified normal world", `Quick, test_tz_attestation_reports_modified_normal_world);
+  ]
