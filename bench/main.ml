@@ -17,6 +17,11 @@
      micro     bechamel microbenchmarks of the real primitives
 
    Usage: main.exe [--experiment <id>] [--scale <sf>] [--no-micro]
+          [--trace-out FILE]
+
+   With --trace-out, observability collection is enabled for the whole
+   run and a Chrome trace_event JSON (virtual-time timestamps; open in
+   Perfetto / chrome://tracing) is written to FILE on exit.
 
    Queries really execute on the real engine over the real storage
    backends; reported times are simulated (virtual) time from the
@@ -641,10 +646,27 @@ let experiments =
     ("ablations", ablations);
   ]
 
+let write_trace file =
+  let json = Ironsafe_obs.Obs.to_chrome_json () in
+  if not (Ironsafe_obs.Chrome_trace.is_valid_json json) then begin
+    Fmt.epr "internal error: emitted trace is not valid JSON@.";
+    exit 1
+  end;
+  match open_out file with
+  | exception Sys_error e ->
+      Fmt.epr "cannot write trace: %s@." e;
+      exit 1
+  | oc ->
+      output_string oc json;
+      close_out oc;
+      Fmt.pr "trace written to %s (%d bytes; open in Perfetto)@." file
+        (String.length json)
+
 let () =
   let experiment = ref "all" in
   let scale = ref default_scale in
   let run_micro = ref true in
+  let trace_out = ref None in
   let rec parse = function
     | [] -> ()
     | "--experiment" :: v :: rest ->
@@ -656,11 +678,15 @@ let () =
     | "--no-micro" :: rest ->
         run_micro := false;
         parse rest
+    | "--trace-out" :: v :: rest ->
+        trace_out := Some v;
+        parse rest
     | other :: _ ->
         Fmt.epr "unknown argument %s@." other;
         exit 2
   in
   parse (List.tl (Array.to_list Sys.argv));
+  if !trace_out <> None then Ironsafe_obs.Obs.enable ();
   Fmt.pr "IronSafe benchmark harness (scale factor %g)@." !scale;
   let t0 = Unix.gettimeofday () in
   (match !experiment with
@@ -675,4 +701,5 @@ let () =
           Fmt.epr "unknown experiment %s (available: %s, micro)@." name
             (String.concat ", " (List.map fst experiments));
           exit 2));
+  Option.iter write_trace !trace_out;
   Fmt.pr "@.total wall time: %.1fs@." (Unix.gettimeofday () -. t0)

@@ -2,6 +2,7 @@
    deployment from the command line.
 
      ironsafe-cli query --sql "select ..." [--config scs] [--scale 0.005]
+                        [--profile]
      ironsafe-cli tpch --id 6 [--config all]
      ironsafe-cli shell            (interactive; \policy and \config)
 
@@ -60,7 +61,8 @@ let print_metrics (m : Runner.metrics) =
     (m.Runner.end_to_end_ns /. 1e6)
     m.Runner.bytes_shipped m.Runner.pages_scanned
 
-let run_query scale config policy sql =
+let run_query ?(profile = false) scale config policy sql =
+  if profile then Ironsafe_obs.Obs.enable ();
   let deploy = build_deployment scale in
   let engine = setup_engine deploy policy in
   match Engine.submit engine ~client:"cli" ~config ~sql () with
@@ -70,6 +72,10 @@ let run_query scale config policy sql =
   | Ok resp ->
       Fmt.pr "%a" Sql.Exec.pp_result resp.Engine.resp_result;
       print_metrics resp.Engine.resp_metrics;
+      (match resp.Engine.resp_metrics.Runner.profile with
+      | Some p when profile ->
+          Fmt.pr "-- profile (virtual time):@.%a@." Ironsafe_obs.Obs.pp_profile p
+      | _ -> ());
       Fmt.pr "-- proof of compliance: %s@."
         (if Engine.verify_response engine resp ~sql then "verified" else "INVALID");
       0
@@ -81,7 +87,13 @@ let query_cmd =
   let explain =
     Arg.(value & flag & info [ "explain" ] ~doc:"Print the host/storage split instead of running.")
   in
-  let run scale config policy explain sql =
+  let profile =
+    Arg.(
+      value & flag
+      & info [ "profile" ]
+          ~doc:"Print the span tree and metrics of the run (virtual time).")
+  in
+  let run scale config policy explain profile sql =
     if explain then begin
       let deploy = build_deployment scale in
       let plan =
@@ -92,11 +104,12 @@ let query_cmd =
       print_string (Partitioner.describe plan);
       0
     end
-    else run_query scale config policy sql
+    else run_query ~profile scale config policy sql
   in
   Cmd.v
     (Cmd.info "query" ~doc:"Run one policy-checked SQL statement")
-    Term.(const run $ scale_arg $ config_arg $ policy_arg $ explain $ sql)
+    Term.(
+      const run $ scale_arg $ config_arg $ policy_arg $ explain $ profile $ sql)
 
 let tpch_cmd =
   let id =

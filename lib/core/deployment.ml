@@ -172,21 +172,28 @@ let create ?(params = Sim.Params.default) ?(host_cores = 10)
    either node fails verification. *)
 let attest ?(host_location = "eu-west") ?(storage_location = "eu-west") t =
   (* the quote binds the host engine's session public key (Fig. 4a) *)
-  let report = C.Signature.public_key_bytes t.host_pk in
-  let quote = Tee.Sgx.generate_quote t.host_enclave ~report_data:report in
-  match Monitor.Trusted_monitor.attest_host t.monitor ~quote ~location:host_location with
+  match
+    Sim.Node.with_span t.host ~name:"attest.host" (fun () ->
+        let report = C.Signature.public_key_bytes t.host_pk in
+        let quote = Tee.Sgx.generate_quote t.host_enclave ~report_data:report in
+        Monitor.Trusted_monitor.attest_host t.monitor ~quote
+          ~location:host_location)
+  with
   | Error e -> Error e
   | Ok _ -> (
-      let challenge = Monitor.Trusted_monitor.fresh_challenge t.monitor in
-      let response = Tee.Trustzone.attest t.tz_booted ~challenge in
       match
-        Monitor.Trusted_monitor.attest_storage t.monitor ~challenge ~response
-          ~location:storage_location
+        Sim.Node.with_span t.storage ~name:"attest.storage" (fun () ->
+            let challenge = Monitor.Trusted_monitor.fresh_challenge t.monitor in
+            let response = Tee.Trustzone.attest t.tz_booted ~challenge in
+            Monitor.Trusted_monitor.attest_storage t.monitor ~challenge
+              ~response ~location:storage_location)
       with
       | Error e -> Error e
       | Ok _ -> Ok ())
 
 let reset_counters t =
+  (* keep the observability timeline monotonic across the clock reset *)
+  Ironsafe_obs.Obs.new_epoch ();
   Sim.Node.reset t.host;
   Sim.Node.reset t.storage;
   Sec.Secure_store.reset_stats t.secure_store;

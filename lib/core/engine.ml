@@ -171,6 +171,7 @@ let submit ?(exec_policy = "") ?(config = Config.Scs) t ~client ~sql () =
                       host_rows = rows;
                       storage_rows = 0;
                       result = { Sql.Exec.columns = []; rows = [] };
+                      profile = None;
                     };
                   resp_rewritten_sql = None;
                 }))

@@ -390,6 +390,13 @@ let split ?(project = true) catalog stmt : plan =
         (st.table, Printf.sprintf "select %s from %s%s" proj st.table where))
       shipped
   in
+  Ironsafe_obs.Obs.count ~scope:"partitioner" "plans";
+  Ironsafe_obs.Obs.count ~scope:"partitioner"
+    ~n:(List.length offload_sql)
+    "offloaded_subqueries";
+  Ironsafe_obs.Obs.count ~scope:"partitioner"
+    ~n:(List.length (List.filter (fun s -> s.predicate <> None) shipped))
+    "pushed_down_filters";
   { shipped; host_stmt = stmt; offload_sql }
 
 (* Human-readable description of a split plan (EXPLAIN). *)

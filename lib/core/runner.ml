@@ -19,6 +19,7 @@ module Sim = Ironsafe_sim
 module Sec = Ironsafe_securestore
 module Tee = Ironsafe_tee
 module Sql = Ironsafe_sql
+module Obs = Ironsafe_obs.Obs
 
 type metrics = {
   config : Config.t;
@@ -30,6 +31,8 @@ type metrics = {
   host_rows : int;
   storage_rows : int;
   result : Sql.Exec.result;
+  profile : Obs.profile option;
+      (** span tree + metrics snapshot, when tracing was enabled *)
 }
 
 let total breakdown = List.fold_left (fun acc (_, v) -> acc +. v) 0.0 breakdown
@@ -58,49 +61,66 @@ let snapshot_secure_stats store =
    its page crypto inline on one core. *)
 let charge_crypto ?(parallel = true) node (params : Sim.Params.t) ~decrypts
     ~macs ~merkle ~rpmb =
-  let dec = float_of_int decrypts *. params.decrypt_page_ns in
-  let fresh =
-    (float_of_int macs *. params.hmac_page_ns)
-    +. (float_of_int merkle *. params.merkle_node_ns)
-    +. (float_of_int rpmb *. params.rpmb_access_ns)
-  in
-  if parallel then begin
-    Sim.Node.fixed_parallel node ~category:"decryption" dec;
-    Sim.Node.fixed_parallel node ~category:"freshness" fresh
-  end
-  else begin
-    Sim.Node.fixed node ~category:"decryption" dec;
-    Sim.Node.fixed node ~category:"freshness" fresh
-  end
+  Sim.Node.with_span node ~name:"crypto"
+    ~attrs:[ ("decrypts", string_of_int decrypts) ]
+    (fun () ->
+      let dec = float_of_int decrypts *. params.decrypt_page_ns in
+      let fresh =
+        (float_of_int macs *. params.hmac_page_ns)
+        +. (float_of_int merkle *. params.merkle_node_ns)
+        +. (float_of_int rpmb *. params.rpmb_access_ns)
+      in
+      if parallel then begin
+        Sim.Node.fixed_parallel node ~category:"decryption" dec;
+        Sim.Node.fixed_parallel node ~category:"freshness" fresh
+      end
+      else begin
+        Sim.Node.fixed node ~category:"decryption" dec;
+        Sim.Node.fixed node ~category:"freshness" fresh
+      end)
 
 (* Charge a bulk transfer between the two nodes and synchronize their
    clocks (blocking request/response round). *)
 let charge_transfer (params : Sim.Params.t) a b ~secure ~bytes ~messages =
-  let fbytes = float_of_int bytes in
-  let per_end =
-    if secure then fbytes *. params.tls_record_ns_per_byte
-    else fbytes *. 0.05 (* plain serialization cost *)
-  in
-  Sim.Node.charge a ~category:"network" per_end;
-  Sim.Node.charge b ~category:"network" per_end;
-  Sim.Clock.sync (Sim.Node.clock a) (Sim.Node.clock b)
-    ((float_of_int messages *. params.net_latency_ns)
-    +. (fbytes /. params.net_bandwidth_bytes_per_ns));
-  ()
+  Obs.count ~scope:"net" ~n:messages "messages";
+  Obs.count ~scope:"net" ~n:bytes "bytes_shipped";
+  Sim.Node.with_span a ~name:"net.transfer"
+    ~attrs:[ ("bytes", string_of_int bytes) ]
+    (fun () ->
+      let fbytes = float_of_int bytes in
+      let per_end =
+        if secure then fbytes *. params.tls_record_ns_per_byte
+        else fbytes *. 0.05 (* plain serialization cost *)
+      in
+      Sim.Node.charge a ~category:"network" per_end;
+      Sim.Node.charge b ~category:"network" per_end;
+      Sim.Clock.sync (Sim.Node.clock a) (Sim.Node.clock b)
+        ((float_of_int messages *. params.net_latency_ns)
+        +. (fbytes /. params.net_bandwidth_bytes_per_ns)))
 
 let charge_io node (params : Sim.Params.t) pages =
-  Sim.Node.charge node ~category:"io" (float_of_int pages *. params.nvme_page_ns)
+  Sim.Node.with_span node ~name:"storage.io"
+    ~attrs:[ ("pages", string_of_int pages) ]
+    (fun () ->
+      Sim.Node.charge node ~category:"io"
+        (float_of_int pages *. params.nvme_page_ns))
 
 let charge_compute node ~rows =
-  Sim.Node.compute node ~category:"ndp" ~row_ops:rows
+  Sim.Node.with_span node ~name:"compute"
+    ~attrs:[ ("rows", string_of_int rows) ]
+    (fun () -> Sim.Node.compute node ~category:"ndp" ~row_ops:rows)
 
 let charge_memory node ~category bytes =
   Sim.Node.allocate node ~category bytes;
   Sim.Node.release node bytes
 
 let charge_enclave_transitions node (params : Sim.Params.t) n =
-  Sim.Node.charge node ~category:"enclave"
-    (float_of_int n *. params.enclave_transition_ns)
+  Obs.count ~scope:"sgx" ~n "transitions";
+  Sim.Node.with_span node ~name:"enclave.transitions"
+    ~attrs:[ ("count", string_of_int n) ]
+    (fun () ->
+      Sim.Node.charge node ~category:"enclave"
+        (float_of_int n *. params.enclave_transition_ns))
 
 (* EPC pressure: once the enclave working set exceeds the usable EPC,
    a fraction of every further page access refaults (the resident set
@@ -113,8 +133,11 @@ let charge_epc node enclave (params : Sim.Params.t) ~working_set ~accesses =
   let ws = float_of_int working_set in
   if ws > limit then begin
     let fault_rate = (ws -. limit) /. ws in
-    Sim.Node.charge node ~category:"epc"
-      (fault_rate *. float_of_int accesses *. params.epc_fault_ns)
+    Sim.Node.with_span node ~name:"epc.paging"
+      ~attrs:[ ("working_set", string_of_int working_set) ]
+      (fun () ->
+        Sim.Node.charge node ~category:"epc"
+          (fault_rate *. float_of_int accesses *. params.epc_fault_ns))
   end
 
 (* Merkle tree footprint the host must keep in enclave memory when it
@@ -161,9 +184,11 @@ let run_stmt ?(reset = true) ?project deploy config stmt =
       host_rows;
       storage_rows;
       result;
+      profile = None;
     }
   in
-  match config with
+  let exec () =
+    match config with
   | Config.Hons ->
       (* everything on the host over NFS: all pages cross the network *)
       let result, c =
@@ -279,5 +304,17 @@ let run_stmt ?(reset = true) ?project deploy config stmt =
       charge_transfer params storage host ~secure:true ~bytes ~messages:1;
       finish ~result ~bytes_shipped:bytes ~pages ~host_rows:0
         ~storage_rows:c.Sql.Observer.rows
+  in
+  (* the root span's virtual duration is exactly [end_to_end_ns]: it
+     opens at (reset) time zero on the host clock and closes after the
+     final clock sync in [finish] *)
+  let m =
+    Sim.Node.with_span host ~name:"query"
+      ~attrs:[ ("config", Config.abbrev config) ]
+      exec
+  in
+  match Obs.capture_last () with
+  | Some p -> { m with profile = Some p }
+  | None -> m
 
 let run_query deploy config sql = run_stmt deploy config (Sql.Parser.parse sql)

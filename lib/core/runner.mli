@@ -14,6 +14,8 @@ type metrics = {
   host_rows : int;  (** row-operator steps on the host *)
   storage_rows : int;
   result : Ironsafe_sql.Exec.result;  (** identical across configs *)
+  profile : Ironsafe_obs.Obs.profile option;
+      (** span tree + metrics snapshot, when tracing was enabled *)
 }
 
 val run_stmt :

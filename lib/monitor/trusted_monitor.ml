@@ -21,6 +21,9 @@ module C = Ironsafe_crypto
 module Tee = Ironsafe_tee
 module P = Ironsafe_policy
 module Sql = Ironsafe_sql
+module Obs = Ironsafe_obs.Obs
+
+let obs_scope = "monitor"
 
 type host_info = {
   host_measurement : string;
@@ -135,6 +138,7 @@ let find_client t label =
 (* -- Attestation (Fig. 4a / 4b) -------------------------------------- *)
 
 let attest_host t ~quote ~location =
+  Obs.count ~scope:obs_scope "attest_host";
   match Tee.Sgx.verify_quote ~ias:t.ias quote with
   | Error e -> Error (Printf.sprintf "host quote rejected: %s" e)
   | Ok () -> (
@@ -156,11 +160,15 @@ let attest_host t ~quote ~location =
             }
           in
           t.attested_host <- Some info;
+          Ironsafe_obs.Span.instant ~name:"attest.host.ok" ~scope:obs_scope
+            ~attrs:[ ("location", location) ]
+            ();
           Ok info)
 
 let fresh_challenge t = C.Drbg.generate t.drbg 32
 
 let attest_storage t ~challenge ~response ~location =
+  Obs.count ~scope:obs_scope "attest_storage";
   let device_id = response.Tee.Trustzone.resp_device_id in
   match List.assoc_opt device_id t.trusted_storage with
   | None -> Error (Printf.sprintf "unknown storage device %s" device_id)
@@ -190,6 +198,10 @@ let attest_storage t ~challenge ~response ~location =
               :: List.filter
                    (fun s -> s.storage_device_id <> device_id)
                    t.attested_storage;
+            Ironsafe_obs.Span.instant ~name:"attest.storage.ok"
+              ~scope:obs_scope
+              ~attrs:[ ("device", device_id); ("location", location) ]
+              ();
             Ok info
           end)
 
@@ -288,11 +300,16 @@ let verify_proof ~monitor_pk p =
   C.Signature.verify monitor_pk ("compliance-proof" ^ payload) p.proof_signature
 
 let log_denied t ~client ~sql reason =
+  Obs.count ~scope:obs_scope "queries_denied";
+  Ironsafe_obs.Span.instant ~name:"policy.denied" ~scope:obs_scope
+    ~attrs:[ ("client", client); ("reason", reason) ]
+    ();
   ignore
     (Audit_log.append t.audit ~date:t.today ~actor:client ~action:"denied"
        ~detail:(sql ^ " -- " ^ reason))
 
 let authorize t ~catalog ~client_label ~database ~exec_policy ~sql =
+  Obs.count ~scope:obs_scope "policy_checks";
   match find_client t client_label with
   | None ->
       log_denied t ~client:client_label ~sql "unknown client";
@@ -356,6 +373,7 @@ let authorize t ~catalog ~client_label ~database ~exec_policy ~sql =
                       ignore o.P.Policy_eval.log_name)
                     obligations;
                   (* session key issuance *)
+                  Obs.count ~scope:obs_scope "sessions_issued";
                   let key = C.Drbg.generate t.drbg 32 in
                   t.sessions <-
                     { session_key = key; session_client = client_label; revoked = false }

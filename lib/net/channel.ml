@@ -17,6 +17,7 @@
 
 module C = Ironsafe_crypto
 module Sim = Ironsafe_sim
+module Obs = Ironsafe_obs.Obs
 
 type stats = {
   mutable messages : int;
@@ -41,11 +42,13 @@ let category = "network"
 
 let establish ~a ~b ~session_key ~drbg =
   let params = Sim.Node.params a in
+  Obs.count ~scope:"net" "handshakes";
   (* handshake: one round trip plus asymmetric work on both ends *)
-  Sim.Node.fixed a ~category params.Sim.Params.tls_handshake_ns;
-  Sim.Node.fixed b ~category params.Sim.Params.tls_handshake_ns;
-  Sim.Clock.sync (Sim.Node.clock a) (Sim.Node.clock b)
-    (2.0 *. params.Sim.Params.net_latency_ns);
+  Sim.Node.with_span a ~name:"net.handshake" (fun () ->
+      Sim.Node.fixed a ~category params.Sim.Params.tls_handshake_ns;
+      Sim.Node.fixed b ~category params.Sim.Params.tls_handshake_ns;
+      Sim.Clock.sync (Sim.Node.clock a) (Sim.Node.clock b)
+        (2.0 *. params.Sim.Params.net_latency_ns));
   {
     key_enc =
       C.Aes.expand_key (C.Hkdf.derive ~ikm:session_key ~info:"tls-enc" 16);
@@ -81,7 +84,9 @@ let charge_transfer t ~src ~bytes =
   in
   Sim.Clock.sync (Sim.Node.clock src) (Sim.Node.clock dst) transfer_ns;
   t.stats.messages <- t.stats.messages + 1;
-  t.stats.bytes <- t.stats.bytes + bytes
+  t.stats.bytes <- t.stats.bytes + bytes;
+  Obs.count ~scope:"net" "messages";
+  Obs.count ~scope:"net" ~n:bytes "bytes_shipped"
 
 type record = { seq : int; nonce : string; body : string; tag : string }
 

@@ -1,0 +1,284 @@
+(* Chrome trace_event exporter: turns collected spans and metrics into
+   the JSON Array Format understood by chrome://tracing and Perfetto.
+
+   Spans become balanced "B"/"E" duration events (timestamps are the
+   virtual-clock nanoseconds converted to microseconds, the unit the
+   format specifies); instants become "i" events; counters become one
+   trailing "C" event per scope. The span's scope doubles as the
+   pid/tid so host and storage render as separate tracks. *)
+
+type event = {
+  ph : char;  (** 'B' begin, 'E' end, 'i' instant, 'C' counter, 'M' meta *)
+  ev_name : string;
+  ts_us : float;
+  pid : string;
+  tid : string;
+  args : (string * string) list;
+}
+
+let us_of_ns ns = ns /. 1e3
+
+(* Depth-first emission: every span contributes B, its children's
+   events (already in start order), then E — valid nesting per track
+   by construction. *)
+let rec events_of_span acc (s : Span.t) =
+  match s.Span.kind with
+  | Span.Instant ->
+      {
+        ph = 'i';
+        ev_name = s.Span.name;
+        ts_us = us_of_ns s.Span.begin_ns;
+        pid = s.Span.scope;
+        tid = s.Span.scope;
+        args = s.Span.attrs;
+      }
+      :: acc
+  | Span.Complete ->
+      let b =
+        {
+          ph = 'B';
+          ev_name = s.Span.name;
+          ts_us = us_of_ns s.Span.begin_ns;
+          pid = s.Span.scope;
+          tid = s.Span.scope;
+          args = List.rev s.Span.attrs;
+        }
+      in
+      let acc = List.fold_left events_of_span (b :: acc) (Span.children s) in
+      let charges =
+        List.map
+          (fun (c, ns) -> ("charge_ns." ^ c, Printf.sprintf "%.1f" ns))
+          (List.sort compare s.Span.charges)
+      in
+      {
+        ph = 'E';
+        ev_name = s.Span.name;
+        ts_us = us_of_ns s.Span.end_ns;
+        pid = s.Span.scope;
+        tid = s.Span.scope;
+        args = charges;
+      }
+      :: acc
+
+(* All events, stably sorted by timestamp: events of one track keep
+   their DFS (correctly nested) order; ties across tracks are free. *)
+let events_of_spans (spans : Span.t list) : event list =
+  let dfs = List.rev (List.fold_left events_of_span [] spans) in
+  List.stable_sort (fun a b -> compare a.ts_us b.ts_us) dfs
+
+let counter_events ~ts_us (snap : Metrics.snapshot) : event list =
+  List.filter_map
+    (fun ((scope, name), v) ->
+      match v with
+      | Metrics.VCounter n ->
+          Some
+            {
+              ph = 'C';
+              ev_name = name;
+              ts_us;
+              pid = scope;
+              tid = scope;
+              args = [ (name, string_of_int n) ];
+            }
+      | Metrics.VGauge _ | Metrics.VHist _ -> None)
+    snap
+
+(* -- JSON serialization ----------------------------------------------- *)
+
+let escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_of_event buf e =
+  Buffer.add_string buf
+    (Printf.sprintf
+       "{\"name\":\"%s\",\"ph\":\"%c\",\"ts\":%.3f,\"pid\":\"%s\",\"tid\":\"%s\""
+       (escape e.ev_name) e.ph e.ts_us (escape e.pid) (escape e.tid));
+  (match e.args with
+  | [] -> ()
+  | args ->
+      Buffer.add_string buf ",\"args\":{";
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char buf ',';
+          (* counter events want numeric args so the track plots *)
+          match (e.ph, float_of_string_opt v) with
+          | 'C', Some _ ->
+              Buffer.add_string buf (Printf.sprintf "\"%s\":%s" (escape k) v)
+          | _ ->
+              Buffer.add_string buf
+                (Printf.sprintf "\"%s\":\"%s\"" (escape k) (escape v)))
+        args;
+      Buffer.add_char buf '}');
+  Buffer.add_char buf '}'
+
+let json_of_events (events : event list) : string =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  List.iteri
+    (fun i e ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_char buf '\n';
+      json_of_event buf e)
+    events;
+  Buffer.add_string buf "\n]}\n";
+  Buffer.contents buf
+
+(* Spans (plus an optional final counter snapshot) to a JSON string. *)
+let to_json ?metrics (spans : Span.t list) : string =
+  let events = events_of_spans spans in
+  let last_ts =
+    List.fold_left (fun acc e -> Float.max acc e.ts_us) 0.0 events
+  in
+  let counters =
+    match metrics with
+    | None -> []
+    | Some snap -> counter_events ~ts_us:last_ts snap
+  in
+  json_of_events (events @ counters)
+
+(* -- minimal JSON well-formedness check ------------------------------- *)
+
+(* A tiny recursive-descent validator (values, objects, arrays,
+   strings with escapes, numbers, literals). Used by tests and the
+   bench smoke run to prove the emitted trace parses. *)
+let is_valid_json (s : string) : bool =
+  let n = String.length s in
+  let pos = ref 0 in
+  let exception Bad in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+        advance ();
+        skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    if peek () = Some c then advance () else raise Bad
+  in
+  let literal lit =
+    let l = String.length lit in
+    if !pos + l <= n && String.sub s !pos l = lit then pos := !pos + l
+    else raise Bad
+  in
+  let string_lit () =
+    expect '"';
+    let rec go () =
+      match peek () with
+      | None -> raise Bad
+      | Some '"' -> advance ()
+      | Some '\\' ->
+          advance ();
+          (match peek () with
+          | Some ('"' | '\\' | '/' | 'b' | 'f' | 'n' | 'r' | 't') -> advance ()
+          | Some 'u' ->
+              advance ();
+              for _ = 1 to 4 do
+                match peek () with
+                | Some ('0' .. '9' | 'a' .. 'f' | 'A' .. 'F') -> advance ()
+                | _ -> raise Bad
+              done
+          | _ -> raise Bad);
+          go ()
+      | Some c when Char.code c < 0x20 -> raise Bad
+      | Some _ ->
+          advance ();
+          go ()
+    in
+    go ()
+  in
+  let number () =
+    let digits () =
+      let any = ref false in
+      let rec go () =
+        match peek () with
+        | Some '0' .. '9' ->
+            any := true;
+            advance ();
+            go ()
+        | _ -> ()
+      in
+      go ();
+      if not !any then raise Bad
+    in
+    if peek () = Some '-' then advance ();
+    digits ();
+    if peek () = Some '.' then begin
+      advance ();
+      digits ()
+    end;
+    (match peek () with
+    | Some ('e' | 'E') ->
+        advance ();
+        (match peek () with Some ('+' | '-') -> advance () | _ -> ());
+        digits ()
+    | _ -> ())
+  in
+  let rec value () =
+    skip_ws ();
+    match peek () with
+    | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then advance ()
+        else begin
+          let rec members () =
+            skip_ws ();
+            string_lit ();
+            skip_ws ();
+            expect ':';
+            value ();
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                members ()
+            | Some '}' -> advance ()
+            | _ -> raise Bad
+          in
+          members ()
+        end
+    | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then advance ()
+        else begin
+          let rec elements () =
+            value ();
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                elements ()
+            | Some ']' -> advance ()
+            | _ -> raise Bad
+          in
+          elements ()
+        end
+    | Some '"' -> string_lit ()
+    | Some 't' -> literal "true"
+    | Some 'f' -> literal "false"
+    | Some 'n' -> literal "null"
+    | Some ('-' | '0' .. '9') -> number ()
+    | _ -> raise Bad
+  in
+  match
+    value ();
+    skip_ws ()
+  with
+  | () -> !pos = n
+  | exception Bad -> false

@@ -1,0 +1,5 @@
+(* Global observability switch. Collection is off by default so the
+   instrumentation hooks sprinkled through the hot layers cost one
+   boolean load when tracing is not requested. *)
+
+let enabled = ref false

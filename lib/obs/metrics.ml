@@ -1,0 +1,147 @@
+(* Metrics registry: counters, gauges and histograms, each scoped to a
+   component ("host", "storage", "securestore", "net", ...) so the same
+   metric name can be tracked per node.
+
+   A [snapshot] is an immutable, sorted view of the registry; [diff]
+   subtracts one snapshot from a later one, which is how callers meter
+   a single operation against the process-lifetime registry. *)
+
+type hist = {
+  mutable h_count : int;
+  mutable h_sum : float;
+  mutable h_min : float;
+  mutable h_max : float;
+}
+
+type cell = Counter of int ref | Gauge of float ref | Hist of hist
+
+type value =
+  | VCounter of int
+  | VGauge of float
+  | VHist of { count : int; sum : float; min_v : float; max_v : float }
+
+type t = { cells : (string * string, cell) Hashtbl.t }
+
+let create () = { cells = Hashtbl.create 64 }
+
+(* The process-wide registry every instrumentation hook reports to. *)
+let default = create ()
+
+let reset t = Hashtbl.reset t.cells
+
+let kind_name = function
+  | Counter _ -> "counter"
+  | Gauge _ -> "gauge"
+  | Hist _ -> "histogram"
+
+let cell t ~scope name make expect =
+  let key = (scope, name) in
+  match Hashtbl.find_opt t.cells key with
+  | Some c ->
+      if kind_name c <> expect then
+        invalid_arg
+          (Printf.sprintf "Metrics: %s/%s is a %s, not a %s" scope name
+             (kind_name c) expect);
+      c
+  | None ->
+      let c = make () in
+      Hashtbl.replace t.cells key c;
+      c
+
+let incr ?(by = 1) t ~scope name =
+  match cell t ~scope name (fun () -> Counter (ref 0)) "counter" with
+  | Counter r -> r := !r + by
+  | Gauge _ | Hist _ -> assert false
+
+let set t ~scope name v =
+  match cell t ~scope name (fun () -> Gauge (ref 0.0)) "gauge" with
+  | Gauge r -> r := v
+  | Counter _ | Hist _ -> assert false
+
+let observe t ~scope name v =
+  match
+    cell t ~scope name
+      (fun () ->
+        Hist { h_count = 0; h_sum = 0.0; h_min = infinity; h_max = neg_infinity })
+      "histogram"
+  with
+  | Hist h ->
+      h.h_count <- h.h_count + 1;
+      h.h_sum <- h.h_sum +. v;
+      if v < h.h_min then h.h_min <- v;
+      if v > h.h_max then h.h_max <- v
+  | Counter _ | Gauge _ -> assert false
+
+(* -- snapshots -------------------------------------------------------- *)
+
+type snapshot = ((string * string) * value) list
+
+let snapshot t : snapshot =
+  Hashtbl.fold
+    (fun key c acc ->
+      let v =
+        match c with
+        | Counter r -> VCounter !r
+        | Gauge r -> VGauge !r
+        | Hist h ->
+            VHist
+              { count = h.h_count; sum = h.h_sum; min_v = h.h_min; max_v = h.h_max }
+      in
+      (key, v) :: acc)
+    t.cells []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let value (snap : snapshot) ~scope name = List.assoc_opt (scope, name) snap
+
+let counter_value snap ~scope name =
+  match value snap ~scope name with Some (VCounter n) -> n | _ -> 0
+
+let hist_count snap ~scope name =
+  match value snap ~scope name with Some (VHist h) -> h.count | _ -> 0
+
+let hist_sum snap ~scope name =
+  match value snap ~scope name with Some (VHist h) -> h.sum | _ -> 0.0
+
+(* [diff ~before ~after]: the activity between the two snapshots.
+   Counters and histograms subtract; gauges keep the later reading.
+   Entries absent from [before] are taken as zero. *)
+let diff ~(before : snapshot) ~(after : snapshot) : snapshot =
+  List.filter_map
+    (fun (key, v_after) ->
+      match (v_after, List.assoc_opt key before) with
+      | VCounter a, Some (VCounter b) ->
+          if a = b then None else Some (key, VCounter (a - b))
+      | VGauge g, _ -> Some (key, VGauge g)
+      | VHist a, Some (VHist b) ->
+          if a.count = b.count then None
+          else
+            Some
+              ( key,
+                VHist
+                  {
+                    count = a.count - b.count;
+                    sum = a.sum -. b.sum;
+                    min_v = a.min_v;
+                    max_v = a.max_v;
+                  } )
+      | v, None -> Some (key, v)
+      | VCounter _, Some _ | VHist _, Some _ ->
+          (* kind changed between snapshots: report the later value *)
+          Some (key, v_after))
+    after
+
+let pp_value ppf = function
+  | VCounter n -> Fmt.pf ppf "%d" n
+  | VGauge g -> Fmt.pf ppf "%g" g
+  | VHist h ->
+      if h.count = 0 then Fmt.pf ppf "count=0"
+      else
+        Fmt.pf ppf "count=%d sum=%.3f avg=%.3f min=%.3f max=%.3f" h.count h.sum
+          (h.sum /. float_of_int h.count)
+          h.min_v h.max_v
+
+let pp ppf (snap : snapshot) =
+  List.iter
+    (fun ((scope, name), v) ->
+      Fmt.pf ppf "%-12s %-28s %a@." scope name pp_value v)
+    snap

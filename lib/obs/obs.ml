@@ -1,0 +1,66 @@
+(* Facade over the observability substrate: the on/off switch, the
+   cheap hooks the instrumented layers call (no-ops while disabled),
+   and profile capture for the runner/CLI.
+
+   Usage pattern:
+
+     Obs.enable ();
+     ... run queries (spans + metrics accumulate) ...
+     let json = Chrome_trace.to_json ~metrics:(Obs.metrics ()) (Obs.spans ()) in
+
+   Every instrumentation hook checks one ref before doing work, so the
+   hot paths pay nothing when tracing is off. *)
+
+let enable () = Control.enabled := true
+let disable () = Control.enabled := false
+let enabled () = !Control.enabled
+
+let reset () =
+  Metrics.reset Metrics.default;
+  Span.reset_collector ()
+
+(* Called when a deployment resets its virtual clocks: later spans are
+   shifted past everything already recorded so the collected timeline
+   stays monotonic. *)
+let new_epoch () = if !Control.enabled then Span.new_epoch ()
+
+(* -- hooks for instrumented layers ------------------------------------ *)
+
+let count ?(n = 1) ~scope name =
+  if !Control.enabled then Metrics.incr ~by:n Metrics.default ~scope name
+
+let gauge ~scope name v =
+  if !Control.enabled then Metrics.set Metrics.default ~scope name v
+
+let observe ~scope name v =
+  if !Control.enabled then Metrics.observe Metrics.default ~scope name v
+
+(* Every virtual-time charge of a simulated node flows through here:
+   recorded as a per-node histogram and attributed to the innermost
+   open span. *)
+let on_charge ~node ~category ns =
+  if !Control.enabled then begin
+    Metrics.observe Metrics.default ~scope:node ("charge_ns." ^ category) ns;
+    Span.add_charge ~category ns
+  end
+
+(* -- capture ---------------------------------------------------------- *)
+
+let spans () = Span.roots ()
+let metrics () = Metrics.snapshot Metrics.default
+
+type profile = { p_span : Span.t; p_metrics : Metrics.snapshot }
+
+(* The most recently finished root span plus the current metrics
+   snapshot (cumulative since [enable]/[reset]). *)
+let capture_last () =
+  if not !Control.enabled then None
+  else
+    Option.map
+      (fun s -> { p_span = s; p_metrics = metrics () })
+      (Span.last_root ())
+
+let pp_profile ppf p =
+  Fmt.pf ppf "%a@.metrics:@.%a" Span.pp_tree p.p_span Metrics.pp p.p_metrics
+
+let to_chrome_json () = Chrome_trace.to_json ~metrics:(metrics ()) (spans ())

@@ -16,6 +16,10 @@
 
 module C = Ironsafe_crypto
 module S = Ironsafe_storage
+module Obs = Ironsafe_obs.Obs
+
+(* metrics scope for the observability registry *)
+let obs_scope = "securestore"
 
 let header_len = 16 + 32 + 2
 
@@ -124,6 +128,7 @@ let anchor_root t =
       ~write_counter:(S.Rpmb.read_counter t.rpmb)
   in
   t.stats.rpmb_accesses <- t.stats.rpmb_accesses + 1;
+  Obs.count ~scope:obs_scope "rpmb_accesses";
   match S.Rpmb.write t.rpmb frame with
   | Ok _ ->
       t.anchored_root <- mac;
@@ -148,13 +153,16 @@ let write_page t index plain =
     invalid_arg "Secure_store.write_page: index out of range";
   if String.length plain > capacity then
     invalid_arg "Secure_store.write_page: payload exceeds page capacity";
+  Obs.count ~scope:obs_scope "pages_written";
   let iv = C.Drbg.generate t.drbg 16 in
   let ciphertext = C.Modes.cbc_encrypt ~key:(page_key t index) ~iv plain in
   t.stats.page_encrypts <- t.stats.page_encrypts + 1;
+  Obs.count ~scope:obs_scope "page_encrypts";
   let mac =
     C.Hmac.mac ~key:(Keyslot.page_mac_key t.keys) (mac_payload index iv ciphertext)
   in
   t.stats.page_mac_checks <- t.stats.page_mac_checks + 1;
+  Obs.count ~scope:obs_scope "hmac_checks";
   let clen = String.length ciphertext in
   let page = Bytes.make S.Block_device.page_size '\000' in
   Bytes.blit_string iv 0 page 0 16;
@@ -174,6 +182,7 @@ let write_page t index plain =
 let read_page t index =
   if index < 0 || index >= t.data_pages then
     invalid_arg "Secure_store.read_page: index out of range";
+  Obs.count ~scope:obs_scope "pages_read";
   let raw = S.Block_device.read_page t.device index in
   t.stats.device_reads <- t.stats.device_reads + 1;
   let iv = String.sub raw 0 16 in
@@ -185,6 +194,7 @@ let read_page t index =
     let ciphertext = String.sub raw header_len clen in
     (* 1. page integrity: MAC over index|IV|ciphertext *)
     t.stats.page_mac_checks <- t.stats.page_mac_checks + 1;
+    Obs.count ~scope:obs_scope "hmac_checks";
     if
       not
         (C.Hmac.verify
@@ -202,6 +212,7 @@ let read_page t index =
           ~root:(C.Merkle.root t.merkle) ~leaf_tag:mac proof
       in
       t.stats.merkle_hashes <- t.stats.merkle_hashes + hashes;
+      Obs.count ~scope:obs_scope "merkle_verifies";
       if not ok then Error (Tampered_page index)
       else if
         not
@@ -210,6 +221,7 @@ let read_page t index =
       else begin
         (* 3. decrypt *)
         t.stats.page_decrypts <- t.stats.page_decrypts + 1;
+        Obs.count ~scope:obs_scope "page_decrypts";
         match C.Modes.cbc_decrypt ~key:(page_key t index) ~iv ciphertext with
         | Ok plain -> Ok plain
         | Error msg -> Error (Corrupt_page (index, msg))

@@ -32,7 +32,15 @@ let now t = Clock.now t.clock
 
 let charge t ~category ns =
   Clock.advance t.clock ns;
-  Trace.charge t.trace category ns
+  Trace.charge t.trace category ns;
+  Ironsafe_obs.Obs.on_charge ~node:t.name ~category ns
+
+(* Observability span scoped to this node, timestamped with its
+   virtual clock. *)
+let with_span ?attrs t ~name f =
+  Ironsafe_obs.Span.with_ ?attrs ~name ~scope:t.name
+    ~clock:(fun () -> Clock.now t.clock)
+    f
 
 (* Query compute: row-operator steps, Amdahl-scaled over the cores. *)
 let compute t ~category ~row_ops =

@@ -24,6 +24,11 @@ val now : t -> float
 val charge : t -> category:string -> float -> unit
 (** Advance the clock and attribute the time. *)
 
+val with_span :
+  ?attrs:(string * string) list -> t -> name:string -> (unit -> 'a) -> 'a
+(** Run [f] inside an observability span scoped to this node and
+    timestamped with its virtual clock (no-op while tracing is off). *)
+
 val compute : t -> category:string -> row_ops:int -> unit
 (** Charge row-operator work, Amdahl-scaled over the node's cores. *)
 

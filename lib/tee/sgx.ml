@@ -6,6 +6,7 @@
    runner from the transition/working-set counters kept here. *)
 
 module C = Ironsafe_crypto
+module Obs = Ironsafe_obs.Obs
 
 type platform = {
   platform_id : string;
@@ -55,8 +56,13 @@ let mrenclave e = e.mrenclave
 let image e = e.image
 
 (* Transition accounting: the runner converts these to time. *)
-let ecall e = e.ecalls <- e.ecalls + 1
-let ocall e = e.ocalls <- e.ocalls + 1
+let ecall e =
+  e.ecalls <- e.ecalls + 1;
+  Obs.count ~scope:"sgx" "ecall_count"
+
+let ocall e =
+  e.ocalls <- e.ocalls + 1;
+  Obs.count ~scope:"sgx" "ocall_count"
 let transitions e = e.ecalls + e.ocalls
 
 (* Working-set accounting: touching memory beyond the EPC limit incurs
@@ -66,6 +72,7 @@ let touch e bytes =
   if bytes > e.platform.epc_limit then begin
     let over_pages = (bytes - e.platform.epc_limit + 4095) / 4096 in
     e.epc_faults <- e.epc_faults + over_pages;
+    Obs.count ~scope:"sgx" ~n:over_pages "epc_faults";
     over_pages
   end
   else 0

@@ -70,7 +70,9 @@ let hardware_key d = d.huk
 let location d = d.location
 let rotpk d = d.rotpk_public
 
-let world_switch d = d.world_switches <- d.world_switches + 1
+let world_switch d =
+  d.world_switches <- d.world_switches + 1;
+  Ironsafe_obs.Obs.count ~scope:"trustzone" "world_switches"
 let world_switches d = d.world_switches
 let reset_counters d = d.world_switches <- 0
 

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Fail the build if a test_*.ml suite exists but is not registered in
+# test_main.ml's Alcotest.run list. Keeps "I wrote tests" honest: a
+# forgotten registration line is a build error, not silently-skipped
+# coverage.
+set -eu
+
+main=test_main.ml
+status=0
+for f in test_*.ml; do
+  [ "$f" = "$main" ] && continue
+  base=${f%.ml}
+  first=$(printf '%s' "${base:0:1}" | tr '[:lower:]' '[:upper:]')
+  module="${first}${base:1}"
+  if ! grep -q "${module}\.suite" "$main"; then
+    echo "error: $f defines a suite but ${module}.suite is not registered in $main" >&2
+    status=1
+  fi
+done
+exit $status

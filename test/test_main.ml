@@ -14,4 +14,6 @@ let () =
       ("policy", Test_policy.suite);
       ("monitor", Test_monitor.suite);
       ("core", Test_core.suite);
+      ("obs", Test_obs.suite);
+      ("differential", Test_differential.suite);
     ]

@@ -1,0 +1,344 @@
+(* Observability layer tests: span nesting and timestamp monotonicity
+   on a fake virtual clock, metrics arithmetic and snapshot diffs, the
+   epoch offset across clock resets, and well-formedness of the Chrome
+   trace_event export (balanced B/E per track, sorted timestamps,
+   parseable JSON) — the last also as a qcheck property over random
+   span trees. *)
+
+module Obs = Ironsafe_obs.Obs
+module Span = Ironsafe_obs.Span
+module Metrics = Ironsafe_obs.Metrics
+module Chrome = Ironsafe_obs.Chrome_trace
+
+(* The collector is global: every test runs against a clean, enabled
+   collector and restores the disabled default afterwards, so the
+   other suites in this binary are unaffected. *)
+let with_obs f =
+  Obs.reset ();
+  Obs.enable ();
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.disable ();
+      Obs.reset ())
+    f
+
+let fake_clock () =
+  let t = ref 0.0 in
+  ((fun () -> !t), fun ns -> t := !t +. ns)
+
+(* -- spans ------------------------------------------------------------- *)
+
+let test_span_nesting () =
+  with_obs (fun () ->
+      let clock, tick = fake_clock () in
+      Span.with_ ~name:"root" ~scope:"host" ~clock (fun () ->
+          tick 10.0;
+          Span.with_ ~name:"child1" ~scope:"host" ~clock (fun () -> tick 5.0);
+          Span.with_ ~name:"child2" ~scope:"storage" ~clock (fun () ->
+              tick 7.0;
+              Span.with_ ~name:"grandchild" ~scope:"storage" ~clock (fun () ->
+                  tick 1.0)));
+      match Obs.spans () with
+      | [ root ] ->
+          Alcotest.(check string) "root name" "root" root.Span.name;
+          Alcotest.(check (float 1e-9)) "root begin" 0.0 root.Span.begin_ns;
+          Alcotest.(check (float 1e-9)) "root end" 23.0 root.Span.end_ns;
+          let kids = Span.children root in
+          Alcotest.(check (list string))
+            "children in order" [ "child1"; "child2" ]
+            (List.map (fun s -> s.Span.name) kids);
+          let c2 = List.nth kids 1 in
+          Alcotest.(check (float 1e-9)) "child2 begin" 15.0 c2.Span.begin_ns;
+          Alcotest.(check int) "grandchild nested" 1
+            (List.length (Span.children c2));
+          (* parent covers each child *)
+          List.iter
+            (fun c ->
+              Alcotest.(check bool) "child within parent" true
+                (c.Span.begin_ns >= root.Span.begin_ns
+                && c.Span.end_ns <= root.Span.end_ns))
+            kids
+      | l -> Alcotest.failf "expected one root, got %d" (List.length l))
+
+let test_span_monotonic_timestamps () =
+  with_obs (fun () ->
+      let clock, tick = fake_clock () in
+      for _ = 1 to 5 do
+        Span.with_ ~name:"op" ~scope:"host" ~clock (fun () -> tick 3.0)
+      done;
+      let roots = Obs.spans () in
+      Alcotest.(check int) "five roots" 5 (List.length roots);
+      let rec monotonic = function
+        | a :: (b :: _ as rest) ->
+            a.Span.end_ns <= b.Span.begin_ns && monotonic rest
+        | _ -> true
+      in
+      Alcotest.(check bool) "siblings ordered" true (monotonic roots);
+      List.iter
+        (fun s ->
+          Alcotest.(check bool) "end >= begin" true
+            (s.Span.end_ns >= s.Span.begin_ns))
+        roots)
+
+let test_span_exception_recovery () =
+  with_obs (fun () ->
+      let clock, tick = fake_clock () in
+      (try
+         Span.with_ ~name:"outer" ~scope:"host" ~clock (fun () ->
+             tick 1.0;
+             Span.with_ ~name:"failing" ~scope:"host" ~clock (fun () ->
+                 tick 1.0;
+                 failwith "boom"))
+       with Failure _ -> ());
+      Alcotest.(check int) "stack unwound" 0 (Span.open_depth ());
+      match Obs.spans () with
+      | [ outer ] ->
+          Alcotest.(check string) "outer recorded" "outer" outer.Span.name;
+          Alcotest.(check (list string))
+            "failing child recorded" [ "failing" ]
+            (List.map (fun s -> s.Span.name) (Span.children outer))
+      | l -> Alcotest.failf "expected one root, got %d" (List.length l))
+
+let test_span_charges_attributed () =
+  with_obs (fun () ->
+      let clock, tick = fake_clock () in
+      Span.with_ ~name:"root" ~scope:"host" ~clock (fun () ->
+          Span.add_charge ~category:"io" 100.0;
+          Span.with_ ~name:"inner" ~scope:"host" ~clock (fun () ->
+              tick 1.0;
+              Span.add_charge ~category:"io" 40.0;
+              Span.add_charge ~category:"ndp" 2.0));
+      match Obs.spans () with
+      | [ root ] ->
+          Alcotest.(check (float 1e-9)) "outer io charge" 100.0
+            (List.assoc "io" root.Span.charges);
+          let inner = List.hd (Span.children root) in
+          Alcotest.(check (float 1e-9)) "inner io charge" 40.0
+            (List.assoc "io" inner.Span.charges);
+          Alcotest.(check (float 1e-9)) "subtree total" 142.0
+            (Span.total_charged root)
+      | _ -> Alcotest.fail "expected one root")
+
+let test_epoch_keeps_timeline_monotonic () =
+  with_obs (fun () ->
+      let clock, tick = fake_clock () in
+      Span.with_ ~name:"q1" ~scope:"host" ~clock (fun () -> tick 100.0);
+      (* the virtual clock resets to zero between queries *)
+      Obs.new_epoch ();
+      let clock2, tick2 = fake_clock () in
+      Span.with_ ~name:"q2" ~scope:"host" ~clock:clock2 (fun () -> tick2 50.0);
+      match Obs.spans () with
+      | [ q1; q2 ] ->
+          Alcotest.(check (float 1e-9)) "q1 spans [0,100]" 100.0 q1.Span.end_ns;
+          Alcotest.(check bool) "q2 shifted past q1" true
+            (q2.Span.begin_ns >= q1.Span.end_ns);
+          Alcotest.(check (float 1e-9)) "q2 duration preserved" 50.0
+            (Span.duration_ns q2)
+      | l -> Alcotest.failf "expected two roots, got %d" (List.length l))
+
+let test_disabled_is_noop () =
+  Obs.reset ();
+  Obs.disable ();
+  let clock, tick = fake_clock () in
+  Span.with_ ~name:"ghost" ~scope:"host" ~clock (fun () -> tick 1.0);
+  Obs.count ~scope:"host" "ghost_counter";
+  Alcotest.(check int) "no spans collected" 0 (List.length (Obs.spans ()));
+  Alcotest.(check int) "no metrics collected" 0 (List.length (Obs.metrics ()))
+
+(* -- metrics ----------------------------------------------------------- *)
+
+let test_counter_arithmetic () =
+  let m = Metrics.create () in
+  Metrics.incr m ~scope:"host" "pages_read";
+  Metrics.incr ~by:4 m ~scope:"host" "pages_read";
+  Metrics.incr m ~scope:"storage" "pages_read";
+  let snap = Metrics.snapshot m in
+  Alcotest.(check int) "scoped counter" 5
+    (Metrics.counter_value snap ~scope:"host" "pages_read");
+  Alcotest.(check int) "other scope independent" 1
+    (Metrics.counter_value snap ~scope:"storage" "pages_read");
+  Alcotest.(check int) "missing counter is zero" 0
+    (Metrics.counter_value snap ~scope:"net" "pages_read")
+
+let test_histogram_arithmetic () =
+  let m = Metrics.create () in
+  List.iter (Metrics.observe m ~scope:"host" "charge_ns.io") [ 3.0; 5.0; 2.0 ];
+  let snap = Metrics.snapshot m in
+  Alcotest.(check int) "count" 3 (Metrics.hist_count snap ~scope:"host" "charge_ns.io");
+  Alcotest.(check (float 1e-9)) "sum" 10.0
+    (Metrics.hist_sum snap ~scope:"host" "charge_ns.io");
+  match Metrics.value snap ~scope:"host" "charge_ns.io" with
+  | Some (Metrics.VHist { min_v; max_v; _ }) ->
+      Alcotest.(check (float 1e-9)) "min" 2.0 min_v;
+      Alcotest.(check (float 1e-9)) "max" 5.0 max_v
+  | _ -> Alcotest.fail "expected histogram"
+
+let test_kind_mismatch_rejected () =
+  let m = Metrics.create () in
+  Metrics.incr m ~scope:"host" "x";
+  match Metrics.observe m ~scope:"host" "x" 1.0 with
+  | () -> Alcotest.fail "observe on a counter should be rejected"
+  | exception Invalid_argument _ -> ()
+
+let test_snapshot_diff () =
+  let m = Metrics.create () in
+  Metrics.incr ~by:10 m ~scope:"store" "pages_read";
+  Metrics.observe m ~scope:"host" "charge_ns.io" 5.0;
+  Metrics.set m ~scope:"host" "epc_used" 100.0;
+  let before = Metrics.snapshot m in
+  Metrics.incr ~by:7 m ~scope:"store" "pages_read";
+  Metrics.incr ~by:2 m ~scope:"store" "merkle_verifies";
+  Metrics.observe m ~scope:"host" "charge_ns.io" 3.0;
+  Metrics.set m ~scope:"host" "epc_used" 50.0;
+  let after = Metrics.snapshot m in
+  let d = Metrics.diff ~before ~after in
+  Alcotest.(check int) "counter delta" 7
+    (Metrics.counter_value d ~scope:"store" "pages_read");
+  Alcotest.(check int) "new counter appears" 2
+    (Metrics.counter_value d ~scope:"store" "merkle_verifies");
+  Alcotest.(check int) "hist delta count" 1
+    (Metrics.hist_count d ~scope:"host" "charge_ns.io");
+  Alcotest.(check (float 1e-9)) "hist delta sum" 3.0
+    (Metrics.hist_sum d ~scope:"host" "charge_ns.io");
+  (match Metrics.value d ~scope:"host" "epc_used" with
+  | Some (Metrics.VGauge g) -> Alcotest.(check (float 1e-9)) "gauge keeps later" 50.0 g
+  | _ -> Alcotest.fail "gauge missing from diff");
+  (* diff of a snapshot with itself is empty apart from gauges *)
+  let self = Metrics.diff ~before:after ~after in
+  Alcotest.(check bool) "self diff has no counters/hists" true
+    (List.for_all
+       (fun (_, v) -> match v with Metrics.VGauge _ -> true | _ -> false)
+       self)
+
+(* -- Chrome trace export ----------------------------------------------- *)
+
+let check_events_well_formed events =
+  (* timestamps sorted *)
+  let ts = List.map (fun e -> e.Chrome.ts_us) events in
+  let rec sorted = function
+    | a :: (b :: _ as rest) -> a <= b && sorted rest
+    | _ -> true
+  in
+  (* B/E balanced (never negative, zero at the end) per pid/tid track *)
+  let depths = Hashtbl.create 8 in
+  let balanced =
+    List.for_all
+      (fun e ->
+        let key = (e.Chrome.pid, e.Chrome.tid) in
+        let d = Option.value ~default:0 (Hashtbl.find_opt depths key) in
+        match e.Chrome.ph with
+        | 'B' ->
+            Hashtbl.replace depths key (d + 1);
+            true
+        | 'E' ->
+            Hashtbl.replace depths key (d - 1);
+            d - 1 >= 0
+        | _ -> true)
+      events
+    && Hashtbl.fold (fun _ d acc -> acc && d = 0) depths true
+  in
+  (sorted ts, balanced)
+
+let test_chrome_export_deterministic () =
+  with_obs (fun () ->
+      let clock, tick = fake_clock () in
+      Span.with_ ~name:"query" ~scope:"host"
+        ~attrs:[ ("config", "scs"); ("sql", "select \"x\"\n") ]
+        ~clock
+        (fun () ->
+          tick 10.0;
+          Span.add_charge ~category:"io" 10.0;
+          Span.with_ ~name:"crypto" ~scope:"storage" ~clock (fun () -> tick 4.0);
+          Span.instant ~name:"policy.ok" ~scope:"monitor" ~clock ());
+      Obs.count ~scope:"securestore" ~n:42 "pages_read";
+      let events = Chrome.events_of_spans (Obs.spans ()) in
+      let sorted, balanced = check_events_well_formed events in
+      Alcotest.(check bool) "timestamps sorted" true sorted;
+      Alcotest.(check bool) "B/E balanced per track" true balanced;
+      Alcotest.(check int) "B count" 2
+        (List.length (List.filter (fun e -> e.Chrome.ph = 'B') events));
+      Alcotest.(check int) "instants" 1
+        (List.length (List.filter (fun e -> e.Chrome.ph = 'i') events));
+      let json = Obs.to_chrome_json () in
+      Alcotest.(check bool) "json parses (incl. escapes + counters)" true
+        (Chrome.is_valid_json json))
+
+let test_json_validator_rejects_garbage () =
+  List.iter
+    (fun bad ->
+      Alcotest.(check bool) (Printf.sprintf "rejects %S" bad) false
+        (Chrome.is_valid_json bad))
+    [ ""; "{"; "[1,]"; "{\"a\":}"; "{\"a\" 1}"; "[1 2]"; "\"unterminated"; "nul" ];
+  List.iter
+    (fun good ->
+      Alcotest.(check bool) (Printf.sprintf "accepts %S" good) true
+        (Chrome.is_valid_json good))
+    [ "{}"; "[]"; "[1,2.5,-3e2]"; "{\"a\":[true,false,null],\"b\":\"c\\\"d\"}" ]
+
+(* qcheck: random span trees export to balanced, sorted, parseable
+   Chrome traces. *)
+type tree = Node of int * tree list (* per-step virtual-ns advance *)
+
+let tree_gen =
+  let open QCheck.Gen in
+  sized_size (int_bound 3)
+    (fix (fun self n ->
+         if n = 0 then map (fun t -> Node (t, [])) (1 -- 9)
+         else
+           map2
+             (fun t kids -> Node (t, kids))
+             (1 -- 9)
+             (list_size (1 -- 3) (self (n - 1)))))
+
+let forest_gen = QCheck.Gen.(list_size (1 -- 3) tree_gen)
+
+let replay forest =
+  let clock, tick = fake_clock () in
+  let scope_of depth = if depth mod 2 = 0 then "host" else "storage" in
+  let rec walk depth i (Node (dt, kids)) =
+    Span.with_
+      ~name:(Printf.sprintf "s%d_%d" depth i)
+      ~scope:(scope_of depth) ~clock
+      (fun () ->
+        tick (float_of_int dt);
+        List.iteri (walk (depth + 1)) kids;
+        tick 1.0)
+  in
+  List.iteri (walk 0) forest
+
+let qcheck_chrome_trace_well_formed =
+  QCheck.Test.make ~name:"random span forests export well-formed traces"
+    ~count:60
+    (QCheck.make ~print:(fun f ->
+         Printf.sprintf "%d roots" (List.length f))
+       forest_gen)
+    (fun forest ->
+      with_obs (fun () ->
+          replay forest;
+          let events = Chrome.events_of_spans (Obs.spans ()) in
+          let sorted, balanced = check_events_well_formed events in
+          let rec count_nodes (Node (_, kids)) =
+            1 + List.fold_left (fun a k -> a + count_nodes k) 0 kids
+          in
+          let n = List.fold_left (fun a t -> a + count_nodes t) 0 forest in
+          sorted && balanced
+          && List.length (List.filter (fun e -> e.Chrome.ph = 'B') events) = n
+          && Chrome.is_valid_json (Chrome.to_json (Obs.spans ()))))
+
+let suite =
+  [
+    ("span nesting", `Quick, test_span_nesting);
+    ("span monotonic timestamps", `Quick, test_span_monotonic_timestamps);
+    ("span exception recovery", `Quick, test_span_exception_recovery);
+    ("span charge attribution", `Quick, test_span_charges_attributed);
+    ("epoch keeps timeline monotonic", `Quick, test_epoch_keeps_timeline_monotonic);
+    ("disabled collection is a no-op", `Quick, test_disabled_is_noop);
+    ("counter arithmetic", `Quick, test_counter_arithmetic);
+    ("histogram arithmetic", `Quick, test_histogram_arithmetic);
+    ("metric kind mismatch rejected", `Quick, test_kind_mismatch_rejected);
+    ("snapshot diff", `Quick, test_snapshot_diff);
+    ("chrome export deterministic", `Quick, test_chrome_export_deterministic);
+    ("json validator", `Quick, test_json_validator_rejects_garbage);
+  ]
+  @ List.map (QCheck_alcotest.to_alcotest ~long:false)
+      [ qcheck_chrome_trace_well_formed ]

@@ -5,6 +5,8 @@
 module S = Ironsafe_storage
 module Sec = Ironsafe_securestore
 module C = Ironsafe_crypto
+module Obs = Ironsafe_obs.Obs
+module Metrics = Ironsafe_obs.Metrics
 
 let hardware_key = String.make 32 'H'
 
@@ -211,6 +213,81 @@ let test_per_page_keys () =
             (plain <> "page zero secret")
       | Error _ -> ())
 
+(* -- observability instrumentation ------------------------------------- *)
+
+let with_obs f =
+  Obs.reset ();
+  Obs.enable ();
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.disable ();
+      Obs.reset ())
+    f
+
+(* The securestore-scope metrics must match the analytically known
+   counts: reading back an N-page store is exactly N page reads, N MAC
+   checks, N Merkle path verifications and N decryptions. *)
+let test_obs_counters_match_analytic () =
+  with_obs (fun () ->
+      let n = 16 in
+      let _, _, store, _ = setup ~data_pages:n () in
+      for i = 0 to n - 1 do
+        write_ok store i (Printf.sprintf "page %d" i)
+      done;
+      let before = Obs.metrics () in
+      Alcotest.(check int) "writes counted" n
+        (Metrics.counter_value before ~scope:"securestore" "pages_written");
+      Sec.Secure_store.reset_stats store;
+      for i = 0 to n - 1 do
+        ignore (read_ok store i)
+      done;
+      let d = Metrics.diff ~before ~after:(Obs.metrics ()) in
+      let count name = Metrics.counter_value d ~scope:"securestore" name in
+      Alcotest.(check int) "pages_read = N" n (count "pages_read");
+      Alcotest.(check int) "merkle_verifies = N" n (count "merkle_verifies");
+      Alcotest.(check int) "page_decrypts = N" n (count "page_decrypts");
+      Alcotest.(check int) "hmac_checks = N" n (count "hmac_checks");
+      Alcotest.(check int) "no writes during scan" 0 (count "pages_written");
+      (* and the registry agrees with the store's own stats *)
+      let s = Sec.Secure_store.stats store in
+      Alcotest.(check int) "metrics agree with stats"
+        s.Sec.Secure_store.page_decrypts (count "page_decrypts"))
+
+(* A secondary index over the encrypted store must cut the number of
+   page decryptions a point query pays, not just the page reads. *)
+let test_index_reduces_decrypts () =
+  with_obs (fun () ->
+      let data_pages = 128 in
+      let _, _, store, _ = setup ~data_pages () in
+      let db =
+        Ironsafe_sql.Database.create ~pager:(Ironsafe_sql.Pager.secure store)
+      in
+      ignore
+        (Ironsafe_sql.Database.exec db "create table t (k int, pad varchar)");
+      (* wide rows so the table spans many encrypted pages *)
+      let pad = String.make 400 'p' in
+      Ironsafe_sql.Database.insert_rows db "t"
+        (List.init 400 (fun i ->
+             [| Ironsafe_sql.Value.Int i; Ironsafe_sql.Value.Str pad |]));
+      let decrypts_of_query () =
+        let before = Obs.metrics () in
+        (match Ironsafe_sql.Database.exec db "select k from t where k = 123" with
+        | Ironsafe_sql.Database.Result r ->
+            Alcotest.(check int) "one matching row" 1
+              (List.length r.Ironsafe_sql.Exec.rows)
+        | _ -> Alcotest.fail "query failed");
+        Metrics.counter_value
+          (Metrics.diff ~before ~after:(Obs.metrics ()))
+          ~scope:"securestore" "page_decrypts"
+      in
+      let full_scan = decrypts_of_query () in
+      ignore (Ironsafe_sql.Database.exec db "create index t_k on t (k)");
+      let indexed = decrypts_of_query () in
+      Alcotest.(check bool)
+        (Printf.sprintf "indexed (%d) < full scan (%d)" indexed full_scan)
+        true
+        (indexed < full_scan && full_scan > 1 && indexed >= 1))
+
 let qcheck_tests =
   let open QCheck in
   [
@@ -237,5 +314,7 @@ let suite =
     ("stats counting", `Quick, test_stats_counting);
     ("iv uniqueness", `Quick, test_iv_uniqueness);
     ("per-page key mode", `Quick, test_per_page_keys);
+    ("obs counters match analytic counts", `Quick, test_obs_counters_match_analytic);
+    ("index reduces decrypts", `Quick, test_index_reduces_decrypts);
   ]
   @ List.map (QCheck_alcotest.to_alcotest ~long:false) qcheck_tests
