@@ -35,8 +35,15 @@ module Sql = Ironsafe_sql
 module Sim = Ironsafe_sim
 module Tpch = Ironsafe_tpch
 module C = Ironsafe_crypto
+module Fault = Ironsafe_fault.Fault
 
 let default_scale = 0.01
+
+(* Fault injection: a single plan (from --fault-seed/--fault-profile)
+   shared by every deployment the harness builds. *)
+let fault_plan = ref Fault.none
+let fault_profile = ref Fault.Profile_none
+let fault_seed = ref 42
 
 (* ------------------------------------------------------------------ *)
 (* Deployment cache: most experiments share one loaded deployment.    *)
@@ -51,11 +58,11 @@ let deployment ?(params = Sim.Params.default) ~scale () =
   | Some d -> d
   | None ->
       let d =
-        Deployment.create ~params ~seed:"ironsafe-bench"
+        Deployment.create ~params ~seed:"ironsafe-bench" ~faults:!fault_plan
           ~populate:(fun db -> ignore (Tpch.Dbgen.populate db ~scale))
           ()
       in
-      (match Deployment.attest d with
+      (match Deployment.attest_reliable d with
       | Ok () -> ()
       | Error e -> failwith ("attestation failed: " ^ e));
       Hashtbl.replace deployments key d;
@@ -65,7 +72,16 @@ let ms ns = ns /. 1e6
 
 let header title = Fmt.pr "@.=== %s ===@." title
 
-let run d config sql = Runner.run_query d config sql
+(* Under a fault plan a query may be rejected rather than answered
+   (e.g. persistent bit rot that survives the re-read budget); the
+   harness degrades by abandoning the experiment, not the run. *)
+exception Rejected_under_faults of string
+
+let run d config sql =
+  match Runner.run_query_outcome d config sql with
+  | Runner.Ok m | Runner.Degraded (m, _) -> m
+  | Runner.Rejected v ->
+      raise (Rejected_under_faults (Fmt.str "%a" Runner.pp_violation v))
 
 let breakdown_total m =
   Runner.total m.Runner.host_breakdown
@@ -646,8 +662,27 @@ let experiments =
     ("ablations", ablations);
   ]
 
+(* The bench's "faults" JSON section: injection/recovery/rejection
+   counts for this run, spliced into the trace file and printed when a
+   fault profile is active. *)
+let faults_json () =
+  let s = Fault.stats !fault_plan in
+  Printf.sprintf
+    "{\"profile\":%S,\"seed\":%d,\"injected\":%d,\"recovered\":%d,\"rejected\":%d,\"retries\":%d,\"reattestations\":%d}"
+    (Fault.profile_name !fault_profile)
+    !fault_seed s.Fault.injected s.Fault.recovered s.Fault.rejected
+    s.Fault.retries s.Fault.reattestations
+
 let write_trace file =
   let json = Ironsafe_obs.Obs.to_chrome_json () in
+  (* the chrome trace is a JSON object; prepend the faults section *)
+  let json =
+    if Fault.enabled !fault_plan && String.length json > 0 && json.[0] = '{'
+    then
+      Printf.sprintf "{\"faults\":%s,%s" (faults_json ())
+        (String.sub json 1 (String.length json - 1))
+    else json
+  in
   if not (Ironsafe_obs.Chrome_trace.is_valid_json json) then begin
     Fmt.epr "internal error: emitted trace is not valid JSON@.";
     exit 1
@@ -681,25 +716,48 @@ let () =
     | "--trace-out" :: v :: rest ->
         trace_out := Some v;
         parse rest
+    | "--fault-seed" :: v :: rest ->
+        fault_seed := int_of_string v;
+        parse rest
+    | "--fault-profile" :: v :: rest ->
+        (match Fault.profile_of_string v with
+        | Some p -> fault_profile := p
+        | None ->
+            Fmt.epr "unknown fault profile %s (none/flaky-net/bit-rot/hostile)@." v;
+            exit 2);
+        parse rest
     | other :: _ ->
         Fmt.epr "unknown argument %s@." other;
         exit 2
   in
   parse (List.tl (Array.to_list Sys.argv));
+  fault_plan := Fault.of_profile ~seed:!fault_seed !fault_profile;
   if !trace_out <> None then Ironsafe_obs.Obs.enable ();
   Fmt.pr "IronSafe benchmark harness (scale factor %g)@." !scale;
   let t0 = Unix.gettimeofday () in
+  (* graceful degradation: under a fault profile an experiment may be
+     cut short by a typed rejection (e.g. unrecoverable bit rot); the
+     remaining experiments still run and the faults section reports it *)
+  let guarded name f scale =
+    try f scale with
+    | Rejected_under_faults v when Fault.enabled !fault_plan ->
+        Fmt.pr "@.%s aborted: query rejected under faults (%s)@." name v
+    | Sql.Pager.Integrity_failure detail when Fault.enabled !fault_plan ->
+        Fault.note_rejected !fault_plan;
+        Fmt.pr "@.%s aborted: storage integrity failure (%s)@." name detail
+  in
   (match !experiment with
   | "all" ->
-      List.iter (fun (_, f) -> f !scale) experiments;
+      List.iter (fun (name, f) -> guarded name f !scale) experiments;
       if !run_micro then micro ()
   | "micro" -> micro ()
   | name -> (
       match List.assoc_opt name experiments with
-      | Some f -> f !scale
+      | Some f -> guarded name f !scale
       | None ->
           Fmt.epr "unknown experiment %s (available: %s, micro)@." name
             (String.concat ", " (List.map fst experiments));
           exit 2));
+  if Fault.enabled !fault_plan then Fmt.pr "@.faults: %s@." (faults_json ());
   Option.iter write_trace !trace_out;
   Fmt.pr "@.total wall time: %.1fs@." (Unix.gettimeofday () -. t0)

@@ -14,14 +14,15 @@ open Cmdliner
 open Ironsafe
 module Sql = Ironsafe_sql
 module Tpch = Ironsafe_tpch
+module Fault = Ironsafe_fault.Fault
 
-let build_deployment scale =
+let build_deployment ?(faults = Fault.none) scale =
   let deploy =
-    Deployment.create ~seed:"ironsafe-cli"
+    Deployment.create ~seed:"ironsafe-cli" ~faults
       ~populate:(fun db -> ignore (Tpch.Dbgen.populate db ~scale))
       ()
   in
-  (match Deployment.attest deploy with
+  (match Deployment.attest_reliable deploy with
   | Ok () -> ()
   | Error e -> failwith ("attestation failed: " ^ e));
   deploy
@@ -55,19 +56,55 @@ let policy_arg =
     & opt string "read ::= sessionKeyIs(cli)\nwrite ::= sessionKeyIs(cli)"
     & info [ "policy" ] ~docv:"POLICY" ~doc:"Access policy source.")
 
+let fault_profile_conv =
+  let parse s =
+    match Fault.profile_of_string s with
+    | Some p -> Ok p
+    | None ->
+        Error
+          (`Msg
+            (Printf.sprintf "unknown fault profile %s (none/flaky-net/bit-rot/hostile)" s))
+  in
+  Arg.conv (parse, fun ppf p -> Fmt.string ppf (Fault.profile_name p))
+
+let fault_profile_arg =
+  Arg.(
+    value
+    & opt fault_profile_conv Fault.Profile_none
+    & info [ "fault-profile" ] ~docv:"PROFILE"
+        ~doc:"Fault-injection profile: $(b,none), $(b,flaky-net), $(b,bit-rot) or $(b,hostile).")
+
+let fault_seed_arg =
+  Arg.(
+    value & opt int 42
+    & info [ "fault-seed" ] ~docv:"N"
+        ~doc:"Seed for the deterministic fault schedule (same seed, same incidents).")
+
+let fault_plan seed profile = Fault.of_profile ~seed profile
+
+let print_faults faults =
+  if Fault.enabled faults then begin
+    Fmt.pr "-- faults: %a@." Fault.pp_stats (Fault.stats faults);
+    List.iter
+      (fun inc -> Fmt.pr "--   %a@." Fault.pp_incident inc)
+      (Fault.incidents_since faults 0)
+  end
+
 let print_metrics (m : Runner.metrics) =
   Fmt.pr "-- %s: %.2f ms simulated, %d bytes shipped, %d pages scanned@."
     (Config.abbrev m.Runner.config)
     (m.Runner.end_to_end_ns /. 1e6)
     m.Runner.bytes_shipped m.Runner.pages_scanned
 
-let run_query ?(profile = false) scale config policy sql =
+let run_query ?(profile = false) ?(faults = Fault.none) scale config policy sql
+    =
   if profile then Ironsafe_obs.Obs.enable ();
-  let deploy = build_deployment scale in
+  let deploy = build_deployment ~faults scale in
   let engine = setup_engine deploy policy in
   match Engine.submit engine ~client:"cli" ~config ~sql () with
   | Error e ->
       Fmt.epr "error: %s@." e;
+      print_faults faults;
       1
   | Ok resp ->
       Fmt.pr "%a" Sql.Exec.pp_result resp.Engine.resp_result;
@@ -76,6 +113,7 @@ let run_query ?(profile = false) scale config policy sql =
       | Some p when profile ->
           Fmt.pr "-- profile (virtual time):@.%a@." Ironsafe_obs.Obs.pp_profile p
       | _ -> ());
+      print_faults faults;
       Fmt.pr "-- proof of compliance: %s@."
         (if Engine.verify_response engine resp ~sql then "verified" else "INVALID");
       0
@@ -93,7 +131,7 @@ let query_cmd =
       & info [ "profile" ]
           ~doc:"Print the span tree and metrics of the run (virtual time).")
   in
-  let run scale config policy explain profile sql =
+  let run scale config policy explain profile fault_seed fault_profile sql =
     if explain then begin
       let deploy = build_deployment scale in
       let plan =
@@ -104,12 +142,16 @@ let query_cmd =
       print_string (Partitioner.describe plan);
       0
     end
-    else run_query ~profile scale config policy sql
+    else
+      run_query ~profile
+        ~faults:(fault_plan fault_seed fault_profile)
+        scale config policy sql
   in
   Cmd.v
     (Cmd.info "query" ~doc:"Run one policy-checked SQL statement")
     Term.(
-      const run $ scale_arg $ config_arg $ policy_arg $ explain $ profile $ sql)
+      const run $ scale_arg $ config_arg $ policy_arg $ explain $ profile
+      $ fault_seed_arg $ fault_profile_arg $ sql)
 
 let tpch_cmd =
   let id =
@@ -118,21 +160,32 @@ let tpch_cmd =
   let all =
     Arg.(value & flag & info [ "all-configs" ] ~doc:"Run under all five configurations.")
   in
-  let run scale config all id =
+  let run scale config all fault_seed fault_profile id =
     let q = Tpch.Queries.by_id_complete id in
-    let deploy = build_deployment scale in
+    let faults = fault_plan fault_seed fault_profile in
+    let deploy = build_deployment ~faults scale in
     let configs = if all then Config.all else [ config ] in
+    let code = ref 0 in
     List.iter
       (fun cfg ->
-        let m = Runner.run_query deploy cfg q.Tpch.Queries.sql in
-        if List.length configs = 1 then Fmt.pr "%a" Sql.Exec.pp_result m.Runner.result;
-        print_metrics m)
+        match Runner.run_query_outcome deploy cfg q.Tpch.Queries.sql with
+        | Runner.Ok m | Runner.Degraded (m, _) ->
+            if List.length configs = 1 then
+              Fmt.pr "%a" Sql.Exec.pp_result m.Runner.result;
+            print_metrics m
+        | Runner.Rejected v ->
+            Fmt.pr "-- %s: rejected (%a)@." (Config.abbrev cfg)
+              Runner.pp_violation v;
+            code := 1)
       configs;
-    0
+    print_faults faults;
+    !code
   in
   Cmd.v
     (Cmd.info "tpch" ~doc:"Run a TPC-H query under one or all configurations")
-    Term.(const run $ scale_arg $ config_arg $ all $ id)
+    Term.(
+      const run $ scale_arg $ config_arg $ all $ fault_seed_arg
+      $ fault_profile_arg $ id)
 
 let shell_cmd =
   let run scale policy =

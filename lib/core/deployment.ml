@@ -14,6 +14,7 @@ module Sec = Ironsafe_securestore
 module Tee = Ironsafe_tee
 module Sql = Ironsafe_sql
 module Monitor = Ironsafe_monitor
+module Fault = Ironsafe_fault.Fault
 
 type t = {
   params : Sim.Params.t;
@@ -41,6 +42,8 @@ type t = {
   host_pk : C.Signature.public_key;
   (* control plane *)
   monitor : Monitor.Trusted_monitor.t;
+  (* fault plan shared by every injection site (Fault.none when off) *)
+  faults : Fault.t;
 }
 
 let host_engine_image ~version =
@@ -73,7 +76,7 @@ let copy_database src dst =
 let create ?(params = Sim.Params.default) ?(host_cores = 10)
     ?(storage_cores = 16) ?storage_mem_limit ?(host_version = 1)
     ?(storage_version = 1) ?(storage_location = "eu-west")
-    ?(host_location = "eu-west") ~seed ~populate () =
+    ?(host_location = "eu-west") ?(faults = Fault.none) ~seed ~populate () =
   let drbg = C.Drbg.create ~seed in
   let host =
     Sim.Node.create ~cores:host_cores ~params ~name:"host" Sim.Cpu.Host_x86
@@ -145,6 +148,17 @@ let create ?(params = Sim.Params.default) ?(host_cores = 10)
     ~rotpk:(Tee.Trustzone.rotpk tz_device)
     ~normal_world:storage_nw_image ~version:storage_version;
   ignore host_location;
+  (* Wire the fault plan only after population: setup writes are always
+     clean, faults hit the workload. Only the secure medium is faulted;
+     the plain replica stays pristine so hons doubles as a fault-free
+     oracle for the same deployment. *)
+  if Fault.enabled faults then begin
+    Fault.set_clock faults (fun () ->
+        Float.max (Sim.Node.now host) (Sim.Node.now storage));
+    Storage.Block_device.set_faults device_secure faults;
+    Storage.Rpmb.set_faults rpmb faults;
+    Sec.Secure_store.set_faults secure_store faults
+  end;
   {
     params;
     host;
@@ -166,7 +180,18 @@ let create ?(params = Sim.Params.default) ?(host_cores = 10)
     host_sk;
     host_pk;
     monitor;
+    faults;
   }
+
+let faults t = t.faults
+
+(* Fault injection on the host quote: a fired [Sgx_quote_reject] flips
+   a bit of the quote signature so IAS verification fails once. *)
+let corrupt_quote faults (q : Tee.Sgx.quote) =
+  let sg = Bytes.of_string q.Tee.Sgx.signature in
+  let off = Fault.rand_int faults (Bytes.length sg) in
+  Bytes.set sg off (Char.chr (Char.code (Bytes.get sg off) lxor 0x01));
+  { q with Tee.Sgx.signature = Bytes.to_string sg }
 
 (* Run both attestation protocols (Fig. 4a, 4b); returns an error if
    either node fails verification. *)
@@ -176,20 +201,62 @@ let attest ?(host_location = "eu-west") ?(storage_location = "eu-west") t =
     Sim.Node.with_span t.host ~name:"attest.host" (fun () ->
         let report = C.Signature.public_key_bytes t.host_pk in
         let quote = Tee.Sgx.generate_quote t.host_enclave ~report_data:report in
+        let quote =
+          if
+            Fault.enabled t.faults
+            && Fault.fire t.faults Fault.Sgx_quote_reject
+          then corrupt_quote t.faults quote
+          else quote
+        in
         Monitor.Trusted_monitor.attest_host t.monitor ~quote
           ~location:host_location)
   with
   | Error e -> Error e
-  | Ok _ -> (
-      match
-        Sim.Node.with_span t.storage ~name:"attest.storage" (fun () ->
-            let challenge = Monitor.Trusted_monitor.fresh_challenge t.monitor in
-            let response = Tee.Trustzone.attest t.tz_booted ~challenge in
-            Monitor.Trusted_monitor.attest_storage t.monitor ~challenge
-              ~response ~location:storage_location)
-      with
-      | Error e -> Error e
-      | Ok _ -> Ok ())
+  | Ok _ ->
+      if Fault.enabled t.faults && Fault.fire t.faults Fault.Tz_world_switch
+      then Error "storage: secure world switch failed"
+      else (
+        match
+          Sim.Node.with_span t.storage ~name:"attest.storage" (fun () ->
+              let challenge =
+                Monitor.Trusted_monitor.fresh_challenge t.monitor
+              in
+              let response =
+                Tee.Trustzone.attest ~faults:t.faults t.tz_booted ~challenge
+              in
+              Monitor.Trusted_monitor.attest_storage t.monitor ~challenge
+                ~response ~location:storage_location)
+        with
+        | Error e -> Error e
+        | Ok _ -> Ok ())
+
+(* Recovery: re-run the attestation protocols with bounded exponential
+   backoff. Each retry is a full re-attestation (fresh challenge, fresh
+   quote), so a transiently-faulted TEE re-joins the trusted set; a
+   persistently failing one exhausts the budget and stays rejected. *)
+let attest_reliable ?host_location ?storage_location ?(max_attempts = 5) t =
+  let mark = Fault.incident_count t.faults in
+  let rec attempt n =
+    match attest ?host_location ?storage_location t with
+    | Ok () ->
+        if n > 0 then Fault.note_recovered_since t.faults mark;
+        Ok ()
+    | Error e when Fault.enabled t.faults && n + 1 < max_attempts ->
+        ignore e;
+        Fault.note_retry t.faults ~action:"attest";
+        Fault.note_reattestation t.faults;
+        let wait =
+          Fault.backoff_ns ~base_ns:t.params.Sim.Params.net_latency_ns
+            ~attempt:n
+        in
+        Sim.Node.fixed t.host ~category:"recovery" wait;
+        Sim.Node.fixed t.storage ~category:"recovery" wait;
+        attempt (n + 1)
+    | Error e ->
+        Fault.note_rejected t.faults;
+        Error e
+  in
+  attempt 0
 
 let reset_counters t =
   (* keep the observability timeline monotonic across the clock reset *)

@@ -25,6 +25,8 @@ type t = {
       (** host engine session key; public half certified at attestation *)
   host_pk : Ironsafe_crypto.Signature.public_key;
   monitor : Ironsafe_monitor.Trusted_monitor.t;
+  faults : Ironsafe_fault.Fault.t;
+      (** shared fault plan ([Fault.none] when injection is off) *)
 }
 
 val create :
@@ -36,6 +38,7 @@ val create :
   ?storage_version:int ->
   ?storage_location:string ->
   ?host_location:string ->
+  ?faults:Ironsafe_fault.Fault.t ->
   seed:string ->
   populate:(Ironsafe_sql.Database.t -> unit) ->
   unit ->
@@ -43,12 +46,33 @@ val create :
 (** Build and load a deployment. [populate] fills the plain database;
     its contents are then copied into the freshly initialized secure
     store. Defaults mirror the paper's testbed (§6.1): 10 host cores,
-    16 storage cores, 96 MiB usable EPC. *)
+    16 storage cores, 96 MiB usable EPC.
+
+    A [faults] plan is wired into the secure medium (block device,
+    RPMB, secure store) only {e after} population, so setup writes are
+    always clean; the plain replica is never faulted and doubles as a
+    fault-free oracle over the same deployment. *)
+
+val faults : t -> Ironsafe_fault.Fault.t
 
 val attest :
   ?host_location:string -> ?storage_location:string -> t -> (unit, string) result
 (** Run both attestation protocols (Fig. 4a and 4b) against the
-    monitor's registries. *)
+    monitor's registries. Under a fault plan, [Sgx_quote_reject] and
+    [Tz_ta_crash] garble the respective evidence and [Tz_world_switch]
+    aborts the storage protocol. *)
+
+val attest_reliable :
+  ?host_location:string ->
+  ?storage_location:string ->
+  ?max_attempts:int ->
+  t ->
+  (unit, string) result
+(** {!attest} with bounded re-attestation: up to [max_attempts]
+    (default 5) full protocol reruns with exponential backoff charged
+    to both nodes. Retries happen only under an enabled fault plan —
+    a genuine attestation failure (wrong software) is never retried
+    away. *)
 
 val reset_counters : t -> unit
 (** Zero all clocks, traces, crypto statistics and TEE counters. *)

@@ -15,6 +15,7 @@ module C = Ironsafe_crypto
 module Monitor = Ironsafe_monitor
 module Sql = Ironsafe_sql
 module Net = Ironsafe_net
+module Fault = Ironsafe_fault.Fault
 
 type t = {
   deploy : Deployment.t;
@@ -41,7 +42,9 @@ let deployment t = t.deploy
 let ensure_attested t =
   if t.attested then Ok ()
   else begin
-    match Deployment.attest t.deploy with
+    (* [attest_reliable] retries only under an enabled fault plan, so
+       this is exactly [Deployment.attest] when faults are off *)
+    match Deployment.attest_reliable t.deploy with
     | Ok () ->
         t.attested <- true;
         Ok ()
@@ -117,22 +120,61 @@ let submit ?(exec_policy = "") ?(config = Config.Scs) t ~client ~sql () =
             else config
           in
           let stmt = auth.Monitor.Trusted_monitor.auth_stmt in
-          match stmt with
-          | Sql.Ast.Select _ ->
-              let metrics = Runner.run_stmt ~reset:false t.deploy config stmt in
+          (* under a fault plan the session-key delivery to the storage
+             node runs over a real (lossy) channel with reliable
+             delivery; with faults off it stays a charged abstraction,
+             preserving the exact fault-free timing *)
+          let faults = Deployment.faults t.deploy in
+          let control_plane_ok =
+            if not (Fault.enabled faults) then Ok ()
+            else begin
+              match
+                Net.Channel.connect ~faults ~a:host_node
+                  ~b:t.deploy.Deployment.storage
+                  ~session_key:auth.Monitor.Trusted_monitor.auth_session_key
+                  ~drbg:t.deploy.Deployment.drbg ()
+              with
+              | Error e ->
+                  Error ("control channel: " ^ Net.Channel.error_message e)
+              | Ok ch ->
+                  let r =
+                    match
+                      Net.Channel.roundtrip_reliable ch ~from:host_node sql
+                    with
+                    | Ok _ -> Ok ()
+                    | Error e ->
+                        Error
+                          ("control channel: " ^ Net.Channel.error_message e)
+                  in
+                  Net.Channel.close ch;
+                  r
+            end
+          in
+          match (control_plane_ok, stmt) with
+          | Error e, _ ->
               Monitor.Trusted_monitor.session_cleanup (monitor t)
                 auth.Monitor.Trusted_monitor.auth_session_key;
-              Ok
-                {
-                  resp_result = metrics.Runner.result;
-                  resp_proof = auth.Monitor.Trusted_monitor.auth_proof;
-                  resp_result_signature =
-                    sign_result t auth.Monitor.Trusted_monitor.auth_proof
-                      metrics.Runner.result;
-                  resp_metrics = metrics;
-                  resp_rewritten_sql = render_stmt stmt;
-                }
-          | other ->
+              Error e
+          | Ok (), Sql.Ast.Select _ -> (
+              match Runner.run_stmt_outcome ~reset:false t.deploy config stmt with
+              | Runner.Rejected v ->
+                  Monitor.Trusted_monitor.session_cleanup (monitor t)
+                    auth.Monitor.Trusted_monitor.auth_session_key;
+                  Error (Fmt.str "query rejected: %a" Runner.pp_violation v)
+              | Runner.Ok metrics | Runner.Degraded (metrics, _) ->
+                  Monitor.Trusted_monitor.session_cleanup (monitor t)
+                    auth.Monitor.Trusted_monitor.auth_session_key;
+                  Ok
+                    {
+                      resp_result = metrics.Runner.result;
+                      resp_proof = auth.Monitor.Trusted_monitor.auth_proof;
+                      resp_result_signature =
+                        sign_result t auth.Monitor.Trusted_monitor.auth_proof
+                          metrics.Runner.result;
+                      resp_metrics = metrics;
+                      resp_rewritten_sql = render_stmt stmt;
+                    })
+          | Ok (), other ->
               (* DML runs on the secure (authoritative) database *)
               let outcome =
                 Sql.Database.exec_ast t.deploy.Deployment.secure_db other

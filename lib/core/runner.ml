@@ -20,6 +20,7 @@ module Sec = Ironsafe_securestore
 module Tee = Ironsafe_tee
 module Sql = Ironsafe_sql
 module Obs = Ironsafe_obs.Obs
+module Fault = Ironsafe_fault.Fault
 
 type metrics = {
   config : Config.t;
@@ -318,3 +319,120 @@ let run_stmt ?(reset = true) ?project deploy config stmt =
   | None -> m
 
 let run_query deploy config sql = run_stmt deploy config (Sql.Parser.parse sql)
+
+(* -- fault-aware execution -------------------------------------------- *)
+
+type violation = { v_site : string; v_detail : string }
+
+let pp_violation ppf v =
+  Format.fprintf ppf "%s: %s" v.v_site v.v_detail
+
+type outcome =
+  | Ok of metrics
+  | Degraded of metrics * Fault.incident list
+  | Rejected of violation
+
+(* Which configs involve which TEEs: SGX faults only matter where the
+   host enclave is on the query path, TrustZone ones where the secure
+   world (secure store TA) is. *)
+let uses_host_enclave = function
+  | Config.Hos | Config.Scs -> true
+  | Config.Hons | Config.Vcs | Config.Sos -> false
+
+let uses_secure_world = function
+  | Config.Hos | Config.Scs | Config.Sos -> true
+  | Config.Hons | Config.Vcs -> false
+
+let violation_of_faults faults ~default ~detail =
+  let v_site =
+    match Fault.last_unrecovered faults with
+    | Some inc -> Fault.site_name inc.Fault.inc_site
+    | None -> default
+  in
+  { v_site; v_detail = detail }
+
+(* Pre-flight TEE fault injection + recovery. The enclave/secure-world
+   failures the plan schedules strike between queries (an AEX, a failed
+   world switch); the recovery layer restarts, re-attests and charges
+   the recovery time before the query proper runs. Returns a rejection
+   when re-attestation cannot restore trust. *)
+let preflight d config =
+  let faults = Deployment.faults d in
+  let mark = Fault.incident_count faults in
+  let params = d.Deployment.params in
+  let reject site detail =
+    Fault.note_rejected faults;
+    Some { v_site = site; v_detail = detail }
+  in
+  let aborted_enclave () =
+    Tee.Sgx.inject_abort d.Deployment.host_enclave;
+    Tee.Sgx.restart d.Deployment.host_enclave;
+    (* restart loses all session state: the monitor must re-attest *)
+    Sim.Node.fixed d.Deployment.host ~category:"recovery"
+      (100.0 *. params.Sim.Params.enclave_transition_ns);
+    Fault.note_retry faults ~action:"enclave.restart";
+    Fault.note_reattestation faults;
+    match Deployment.attest_reliable d with
+    | Stdlib.Ok () ->
+        Fault.note_recovered_since faults mark;
+        None
+    | Stdlib.Error e -> reject "sgx.abort" ("re-attestation failed: " ^ e)
+  in
+  if not (Fault.enabled faults) then None
+  else begin
+    let rejection =
+      if uses_host_enclave config && Fault.fire faults Fault.Sgx_abort then
+        aborted_enclave ()
+      else None
+    in
+    match rejection with
+    | Some _ -> rejection
+    | None ->
+        if uses_host_enclave config && Fault.fire faults Fault.Sgx_epc_storm
+        then begin
+          (* paging storm: a burst of refaults slows the query but needs
+             no retry — absorbed as degradation *)
+          Sim.Node.fixed d.Deployment.host ~category:"epc"
+            (4096.0 *. params.Sim.Params.epc_fault_ns);
+          Fault.note_recovered_since faults mark
+        end;
+        if uses_secure_world config && Fault.fire faults Fault.Tz_world_switch
+        then begin
+          (* the failed switch is retried by the normal world driver *)
+          Sim.Node.fixed d.Deployment.storage ~category:"recovery"
+            (2.0 *. params.Sim.Params.rpmb_access_ns);
+          Fault.note_retry faults ~action:"world_switch";
+          Fault.note_recovered_since faults mark
+        end;
+        None
+  end
+
+let run_stmt_outcome ?reset ?project deploy config stmt =
+  let faults = Deployment.faults deploy in
+  let mark = Fault.incident_count faults in
+  match preflight deploy config with
+  | Some v -> Rejected v
+  | None -> (
+      match run_stmt ?reset ?project deploy config stmt with
+      | m -> (
+          match Fault.incidents_since faults mark with
+          | [] -> Ok m
+          | incidents ->
+              (* the query completed and verified despite these faults:
+                 whatever fired was survived, including faults absorbed
+                 with no repair work (e.g. rot in an unused region) *)
+              Fault.note_recovered_since faults mark;
+              Degraded (m, incidents))
+      | exception Sql.Pager.Integrity_failure detail ->
+          Fault.note_rejected faults;
+          Obs.count ~scope:"fault" "rejected";
+          Rejected (violation_of_faults faults ~default:"securestore" ~detail)
+      | exception Tee.Sgx.Enclave_aborted ->
+          Fault.note_rejected faults;
+          Obs.count ~scope:"fault" "rejected";
+          Rejected
+            (violation_of_faults faults ~default:"sgx.abort"
+               ~detail:"enclave died mid-query"))
+
+let run_query_outcome deploy config sql =
+  run_stmt_outcome deploy config (Sql.Parser.parse sql)

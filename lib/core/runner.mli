@@ -31,5 +31,40 @@ val run_stmt :
 
 val run_query : Deployment.t -> Config.t -> string -> metrics
 
+(** {2 Fault-aware execution}
+
+    {!run_stmt_outcome} wraps {!run_stmt} with the recovery layer: TEE
+    faults scheduled by the deployment's plan are injected before the
+    query (enclave abort → restart + re-attestation; EPC storm and
+    world-switch failures → charged degradation), and integrity
+    failures that survive the secure store's own re-read budget surface
+    as a typed rejection naming the faulted site. With faults disabled
+    it is exactly [Ok (run_stmt ...)]. *)
+
+type violation = {
+  v_site : string;  (** dotted fault-site name, e.g. ["device.bit_rot"] *)
+  v_detail : string;
+}
+
+val pp_violation : Format.formatter -> violation -> unit
+
+type outcome =
+  | Ok of metrics  (** fault-free execution *)
+  | Degraded of metrics * Ironsafe_fault.Fault.incident list
+      (** correct result, but faults were injected (and recovered from)
+          during this query *)
+  | Rejected of violation
+      (** the query was refused rather than answered wrongly *)
+
+val run_stmt_outcome :
+  ?reset:bool ->
+  ?project:bool ->
+  Deployment.t ->
+  Config.t ->
+  Ironsafe_sql.Ast.stmt ->
+  outcome
+
+val run_query_outcome : Deployment.t -> Config.t -> string -> outcome
+
 val total : (string * float) list -> float
 (** Sum of a breakdown. *)

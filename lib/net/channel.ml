@@ -13,17 +13,45 @@
    Both paths charge: record crypto on each end ("network" category),
    serialization latency, and the bandwidth/latency transfer with the
    two clocks synchronized, which models the blocking request/response
-   rounds of the host<->storage protocol. *)
+   rounds of the host<->storage protocol.
+
+   Anti-replay: a sliding window of the last [window] accepted
+   sequence numbers. A record whose sequence was already delivered is a
+   replay; one that fell behind the window is stale; anything else —
+   including legitimate in-window reordering — is accepted. Replay and
+   reorder are distinct conditions and get distinct errors. *)
 
 module C = Ironsafe_crypto
 module Sim = Ironsafe_sim
 module Obs = Ironsafe_obs.Obs
+module Fault = Ironsafe_fault.Fault
 
 type stats = {
   mutable messages : int;
   mutable bytes : int;
   mutable handshakes : int;
 }
+
+type error =
+  | Closed
+  | Auth_failed
+  | Replayed of int
+  | Stale of int
+  | Dropped
+  | Handshake_failed
+
+let error_message = function
+  | Closed -> "channel: closed"
+  | Auth_failed -> "channel: record authentication failed"
+  | Replayed seq -> Printf.sprintf "channel: replayed record (seq %d)" seq
+  | Stale seq ->
+      Printf.sprintf "channel: record fell behind replay window (seq %d)" seq
+  | Dropped -> "channel: record lost in flight"
+  | Handshake_failed -> "channel: session establishment failed"
+
+let pp_error ppf e = Format.pp_print_string ppf (error_message e)
+
+let window = 64
 
 type t = {
   key_enc : C.Aes.key;
@@ -34,21 +62,26 @@ type t = {
   drbg : C.Drbg.t;
   stats : stats;
   mutable seq : int;
-  mutable next_recv : int; (* anti-replay: lowest acceptable sequence *)
+  mutable highest : int; (* highest delivered sequence, -1 before any *)
+  seen : (int, unit) Hashtbl.t; (* delivered seqs within the window *)
+  mutable faults : Fault.t;
   mutable closed : bool;
 }
 
 let category = "network"
 
-let establish ~a ~b ~session_key ~drbg =
-  let params = Sim.Node.params a in
+let charge_handshake ~a ~b params =
   Obs.count ~scope:"net" "handshakes";
   (* handshake: one round trip plus asymmetric work on both ends *)
   Sim.Node.with_span a ~name:"net.handshake" (fun () ->
       Sim.Node.fixed a ~category params.Sim.Params.tls_handshake_ns;
       Sim.Node.fixed b ~category params.Sim.Params.tls_handshake_ns;
       Sim.Clock.sync (Sim.Node.clock a) (Sim.Node.clock b)
-        (2.0 *. params.Sim.Params.net_latency_ns));
+        (2.0 *. params.Sim.Params.net_latency_ns))
+
+let establish ?(faults = Fault.none) ~a ~b ~session_key ~drbg () =
+  let params = Sim.Node.params a in
+  charge_handshake ~a ~b params;
   {
     key_enc =
       C.Aes.expand_key (C.Hkdf.derive ~ikm:session_key ~info:"tls-enc" 16);
@@ -59,18 +92,54 @@ let establish ~a ~b ~session_key ~drbg =
     drbg;
     stats = { messages = 0; bytes = 0; handshakes = 1 };
     seq = 0;
-    next_recv = 0;
+    highest = -1;
+    seen = Hashtbl.create 64;
+    faults;
     closed = false;
   }
 
+(* Fault-aware establishment: a fired [Channel_handshake] aborts the
+   attempt; re-establishment retries with exponential backoff charged
+   to both nodes before giving up. *)
+let connect ?(faults = Fault.none) ?(max_attempts = 5) ~a ~b ~session_key ~drbg
+    () =
+  let params = Sim.Node.params a in
+  let mark = Fault.incident_count faults in
+  let rec attempt n =
+    if Fault.enabled faults && Fault.fire faults Fault.Channel_handshake then begin
+      (* the failed handshake still burned a round trip *)
+      charge_handshake ~a ~b params;
+      if n + 1 >= max_attempts then begin
+        Fault.note_rejected faults;
+        Error Handshake_failed
+      end
+      else begin
+        Fault.note_retry faults ~action:"channel.handshake";
+        let wait =
+          Fault.backoff_ns ~base_ns:params.Sim.Params.net_latency_ns
+            ~attempt:n
+        in
+        Sim.Node.fixed a ~category:"recovery" wait;
+        Sim.Node.fixed b ~category:"recovery" wait;
+        attempt (n + 1)
+      end
+    end
+    else begin
+      let ch = establish ~faults ~a ~b ~session_key ~drbg () in
+      ch.stats.handshakes <- n + 1;
+      if n > 0 then Fault.note_recovered_since faults mark;
+      Ok ch
+    end
+  in
+  attempt 0
+
 let stats t = t.stats
+let set_faults t faults = t.faults <- faults
 
 let peer t node =
   if node == t.a then t.b
   else if node == t.b then t.a
   else invalid_arg "Channel: node is not an endpoint"
-
-let check_open t = if t.closed then invalid_arg "Channel: closed"
 
 let charge_transfer t ~src ~bytes =
   let dst = peer t src in
@@ -90,43 +159,7 @@ let charge_transfer t ~src ~bytes =
 
 type record = { seq : int; nonce : string; body : string; tag : string }
 
-(* Real record protection: AES-CTR + HMAC over seq|nonce|ciphertext. *)
-let send t ~from payload =
-  check_open t;
-  let nonce = C.Drbg.generate t.drbg 16 in
-  let body = C.Modes.ctr_transform ~key:t.key_enc ~nonce payload in
-  let seq = t.seq in
-  t.seq <- t.seq + 1;
-  let tag =
-    C.Hmac.mac ~key:t.key_mac (string_of_int seq ^ nonce ^ body)
-  in
-  charge_transfer t ~src:from ~bytes:(String.length body + 16 + 32 + 4);
-  { seq; nonce; body; tag }
-
-let recv t record =
-  check_open t;
-  if
-    not
-      (C.Hmac.verify ~key:t.key_mac ~mac:record.tag
-         (string_of_int record.seq ^ record.nonce ^ record.body))
-  then Error "channel: record authentication failed"
-  else if record.seq < t.next_recv then
-    Error "channel: replayed or reordered record rejected"
-  else begin
-    t.next_recv <- record.seq + 1;
-    Ok (C.Modes.ctr_transform ~key:t.key_enc ~nonce:record.nonce record.body)
-  end
-
-let roundtrip t ~from payload =
-  let r = send t ~from payload in
-  recv t r
-
-(* Bulk path: account sizes and time without byte-level crypto. *)
-let transfer_accounted t ~from ~bytes =
-  check_open t;
-  charge_transfer t ~src:from ~bytes
-
-let close t = t.closed <- true
+let record_seq r = r.seq
 
 (* Adversarial helper: flip a byte of a record in flight. *)
 let tamper_record record =
@@ -136,3 +169,97 @@ let tamper_record record =
     Bytes.set body 0 (Char.chr (Char.code (Bytes.get body 0) lxor 0x01));
     { record with body = Bytes.to_string body }
   end
+
+(* Real record protection: AES-CTR + HMAC over seq|nonce|ciphertext. *)
+let send t ~from payload =
+  if t.closed then Error Closed
+  else begin
+    let nonce = C.Drbg.generate t.drbg 16 in
+    let body = C.Modes.ctr_transform ~key:t.key_enc ~nonce payload in
+    let seq = t.seq in
+    t.seq <- t.seq + 1;
+    let tag = C.Hmac.mac ~key:t.key_mac (string_of_int seq ^ nonce ^ body) in
+    charge_transfer t ~src:from ~bytes:(String.length body + 16 + 32 + 4);
+    let record = { seq; nonce; body; tag } in
+    (* in-flight bit-flip: the record arrives but fails authentication *)
+    if Fault.enabled t.faults && Fault.fire t.faults Fault.Channel_corrupt
+    then Ok (tamper_record record)
+    else Ok record
+  end
+
+(* Sliding-window anti-replay: [Replayed] for a seq already delivered,
+   [Stale] for one behind the window, acceptance (with window update)
+   otherwise — so in-window reordering is NOT an error. *)
+let check_seq t seq =
+  if seq <= t.highest - window then Error (Stale seq)
+  else if Hashtbl.mem t.seen seq then Error (Replayed seq)
+  else begin
+    Hashtbl.replace t.seen seq ();
+    if seq > t.highest then begin
+      t.highest <- seq;
+      (* prune entries that just fell behind the window *)
+      Hashtbl.iter
+        (fun s () -> if s <= t.highest - window then Hashtbl.remove t.seen s)
+        (Hashtbl.copy t.seen)
+    end;
+    Ok ()
+  end
+
+let recv t record =
+  if t.closed then Error Closed
+  else if Fault.enabled t.faults && Fault.fire t.faults Fault.Channel_drop
+  then Error Dropped
+  else if
+    not
+      (C.Hmac.verify ~key:t.key_mac ~mac:record.tag
+         (string_of_int record.seq ^ record.nonce ^ record.body))
+  then Error Auth_failed
+  else
+    match check_seq t record.seq with
+    | Error _ as e -> e
+    | Ok () ->
+        Ok (C.Modes.ctr_transform ~key:t.key_enc ~nonce:record.nonce record.body)
+
+let roundtrip t ~from payload =
+  match send t ~from payload with
+  | Error _ as e -> e
+  | Ok r -> recv t r
+
+(* Reliable delivery on a lossy channel: resend on drop or in-flight
+   corruption, with exponential backoff charged to both endpoints.
+   Replay/stale rejections are NOT retried — resending would only
+   reproduce them, and they signal an active adversary, not loss. *)
+let roundtrip_reliable ?(max_attempts = 5) t ~from payload =
+  let mark = Fault.incident_count t.faults in
+  let rec attempt n =
+    match roundtrip t ~from payload with
+    | Ok plain ->
+        if n > 0 then Fault.note_recovered_since t.faults mark;
+        Ok plain
+    | Error (Dropped | Auth_failed) when n + 1 < max_attempts ->
+        Fault.note_retry t.faults ~action:"channel.resend";
+        Obs.count ~scope:"net" "resends";
+        let wait =
+          Fault.backoff_ns ~base_ns:t.params.Sim.Params.net_latency_ns
+            ~attempt:n
+        in
+        Sim.Node.fixed t.a ~category:"recovery" wait;
+        Sim.Node.fixed t.b ~category:"recovery" wait;
+        attempt (n + 1)
+    | Error _ as e ->
+        Fault.note_rejected t.faults;
+        e
+  in
+  attempt 0
+
+(* Bulk path: account sizes and time without byte-level crypto. *)
+let transfer_accounted t ~from ~bytes =
+  if t.closed then Error Closed
+  else begin
+    charge_transfer t ~src:from ~bytes;
+    Ok ()
+  end
+
+(* Idempotent: closing a closed channel is a no-op. *)
+let close t = t.closed <- true
+let is_closed t = t.closed

@@ -1,7 +1,13 @@
 (** Simulated TLS channel between two nodes: real record crypto for the
     control plane, size-accounted transfers for bulk data, and full
     time-model charging (handshake, per-byte record cost, latency and
-    bandwidth with clock synchronization). *)
+    bandwidth with clock synchronization).
+
+    All data-path operations return a {!result}: a closed channel
+    yields [Error Closed] rather than an exception, and anti-replay
+    distinguishes a genuine replay ([Replayed]) from a record that fell
+    behind the sliding window ([Stale]) — legitimate reordering within
+    the window is accepted. *)
 
 type t
 
@@ -11,32 +17,89 @@ type stats = {
   mutable handshakes : int;
 }
 
+type error =
+  | Closed  (** operation on a closed channel *)
+  | Auth_failed  (** record MAC verification failed *)
+  | Replayed of int  (** sequence number already delivered *)
+  | Stale of int  (** sequence number behind the replay window *)
+  | Dropped  (** record lost in flight (fault injection) *)
+  | Handshake_failed  (** session establishment exhausted its retries *)
+
+val error_message : error -> string
+val pp_error : Format.formatter -> error -> unit
+
+val window : int
+(** Width of the anti-replay sliding window (accepted-seq history). *)
+
 type record
 
+val record_seq : record -> int
+
 val establish :
+  ?faults:Ironsafe_fault.Fault.t ->
   a:Ironsafe_sim.Node.t ->
   b:Ironsafe_sim.Node.t ->
   session_key:string ->
   drbg:Ironsafe_crypto.Drbg.t ->
+  unit ->
   t
 (** Performs (and charges) the TLS handshake; per-direction keys are
-    derived from [session_key] via HKDF. *)
+    derived from [session_key] via HKDF. Never fails — use {!connect}
+    for fault-aware establishment. *)
 
-val send : t -> from:Ironsafe_sim.Node.t -> string -> record
-(** Encrypt-and-MAC a payload and charge its transfer. *)
+val connect :
+  ?faults:Ironsafe_fault.Fault.t ->
+  ?max_attempts:int ->
+  a:Ironsafe_sim.Node.t ->
+  b:Ironsafe_sim.Node.t ->
+  session_key:string ->
+  drbg:Ironsafe_crypto.Drbg.t ->
+  unit ->
+  (t, error) result
+(** Fault-aware establishment: retries a failed handshake up to
+    [max_attempts] times (default 5) with exponential backoff charged
+    to both nodes' virtual clocks, then gives up with
+    [Error Handshake_failed]. *)
 
-val recv : t -> record -> (string, string) result
-(** Verify and decrypt; fails on any in-flight modification and on
-    replayed or out-of-order records (monotonic sequence check). *)
+val send :
+  t -> from:Ironsafe_sim.Node.t -> string -> (record, error) result
+(** Encrypt-and-MAC a payload and charge its transfer. Under a fault
+    plan the returned record may have been corrupted in flight (the
+    receiver detects this as [Auth_failed]). *)
 
-val roundtrip : t -> from:Ironsafe_sim.Node.t -> string -> (string, string) result
+val recv : t -> record -> (string, error) result
+(** Verify and decrypt. Fails with [Auth_failed] on any in-flight
+    modification, [Replayed] on a re-delivered sequence number, [Stale]
+    on one behind the window, and [Dropped] when a fault plan loses the
+    record; in-window reordering succeeds. *)
 
-val transfer_accounted : t -> from:Ironsafe_sim.Node.t -> bytes:int -> unit
+val roundtrip :
+  t -> from:Ironsafe_sim.Node.t -> string -> (string, error) result
+
+val roundtrip_reliable :
+  ?max_attempts:int ->
+  t ->
+  from:Ironsafe_sim.Node.t ->
+  string ->
+  (string, error) result
+(** [roundtrip] that resends on [Dropped]/[Auth_failed] with bounded
+    exponential backoff (charged to both clocks). Replay and staleness
+    are never retried — they indicate an active adversary. *)
+
+val transfer_accounted :
+  t -> from:Ironsafe_sim.Node.t -> bytes:int -> (unit, error) result
 (** Bulk path: charge crypto + transfer time for [bytes] without
     running byte-level crypto. *)
 
 val stats : t -> stats
+
+val set_faults : t -> Ironsafe_fault.Fault.t -> unit
+(** Attach (or detach, with [Fault.none]) a fault plan. *)
+
 val close : t -> unit
+(** Idempotent; subsequent operations return [Error Closed]. *)
+
+val is_closed : t -> bool
 
 val tamper_record : record -> record
 (** Adversarial in-flight modification (for tests). *)

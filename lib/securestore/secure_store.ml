@@ -17,6 +17,7 @@
 module C = Ironsafe_crypto
 module S = Ironsafe_storage
 module Obs = Ironsafe_obs.Obs
+module Fault = Ironsafe_fault.Fault
 
 (* metrics scope for the observability registry *)
 let obs_scope = "securestore"
@@ -79,7 +80,19 @@ type t = {
   data_pages : int;
   stats : stats;
   mutable anchored_root : string; (* last root HMAC written to RPMB *)
+  mutable faults : Fault.t;
+      (* fault plan shared with the device/RPMB; gates the recovery
+         paths (re-read, counter re-sync) so they stay inert — and
+         genuine attacks stay hard failures — without a plan *)
 }
+
+let set_faults t plan = t.faults <- plan
+
+(* Bounded retry budgets of the recovery layer (§ robustness): how many
+   times a failed page read is re-attempted and a desynced RPMB write
+   is re-synced before the error is surfaced as a typed violation. *)
+let read_retry_budget = 3
+let rpmb_retry_budget = 3
 
 let page_key t index =
   match t.key_mode with
@@ -121,19 +134,30 @@ let root_mac keys root = C.Hmac.mac ~key:(Keyslot.task_key keys) root
 
 let anchor_root t =
   let mac = root_mac t.keys (C.Merkle.root t.merkle) in
-  let frame =
-    S.Rpmb.make_write_frame
-      ~key:(Keyslot.rpmb_auth_key t.keys)
-      ~slot:root_slot ~payload:mac
-      ~write_counter:(S.Rpmb.read_counter t.rpmb)
+  let mark = Fault.incident_count t.faults in
+  let rec attempt n =
+    let frame =
+      S.Rpmb.make_write_frame
+        ~key:(Keyslot.rpmb_auth_key t.keys)
+        ~slot:root_slot ~payload:mac
+        ~write_counter:(S.Rpmb.read_counter t.rpmb)
+    in
+    t.stats.rpmb_accesses <- t.stats.rpmb_accesses + 1;
+    Obs.count ~scope:obs_scope "rpmb_accesses";
+    match S.Rpmb.write t.rpmb frame with
+    | Ok _ ->
+        if n > 0 then Fault.note_recovered_since t.faults mark;
+        t.anchored_root <- mac;
+        Ok ()
+    | Error (S.Rpmb.Counter_mismatch _)
+      when Fault.enabled t.faults && n < rpmb_retry_budget ->
+        (* counter desync: re-read the device counter and rebuild the
+           frame (the frame above always refetches [read_counter]) *)
+        Fault.note_retry t.faults ~action:"rpmb.resync";
+        attempt (n + 1)
+    | Error e -> Error (Rpmb_error e)
   in
-  t.stats.rpmb_accesses <- t.stats.rpmb_accesses + 1;
-  Obs.count ~scope:obs_scope "rpmb_accesses";
-  match S.Rpmb.write t.rpmb frame with
-  | Ok _ ->
-      t.anchored_root <- mac;
-      Ok ()
-  | Error e -> Error (Rpmb_error e)
+  attempt 0
 
 let persist_leaf_tag t index =
   let tag = C.Merkle.leaf t.merkle index in
@@ -178,10 +202,8 @@ let write_page t index plain =
   persist_leaf_tag t index;
   anchor_root t
 
-(* Read, decrypt, and freshness-check data page [index]. *)
-let read_page t index =
-  if index < 0 || index >= t.data_pages then
-    invalid_arg "Secure_store.read_page: index out of range";
+(* One read-decrypt-verify attempt on data page [index]. *)
+let read_page_once t index =
   Obs.count ~scope:obs_scope "pages_read";
   let raw = S.Block_device.read_page t.device index in
   t.stats.device_reads <- t.stats.device_reads + 1;
@@ -229,6 +251,29 @@ let read_page t index =
     end
   end
 
+(* Read with recovery: a MAC/Merkle mismatch or corrupt page is
+   re-read and re-verified up to [read_retry_budget] times (transient
+   media faults heal; genuine tampering and bit rot keep failing and
+   surface as the typed error). Only active under a fault plan, so
+   attack-path semantics without one are exactly one attempt. *)
+let read_page t index =
+  if index < 0 || index >= t.data_pages then
+    invalid_arg "Secure_store.read_page: index out of range";
+  let mark = Fault.incident_count t.faults in
+  let rec attempt n =
+    match read_page_once t index with
+    | Ok plain ->
+        if n > 0 then Fault.note_recovered_since t.faults mark;
+        Ok plain
+    | Error (Tampered_page _ | Corrupt_page _)
+      when Fault.enabled t.faults && n < read_retry_budget ->
+        Fault.note_retry t.faults ~action:"securestore.reread";
+        Obs.count ~scope:obs_scope "page_rereads";
+        attempt (n + 1)
+    | Error e -> Error e
+  in
+  attempt 0
+
 (* First-time initialization: generate data key, persist it to RPMB,
    build an empty Merkle tree over zeroed leaf tags. *)
 let initialize ?(key_mode = Single_key) ~device ~rpmb ~hardware_key ~data_pages
@@ -265,6 +310,7 @@ let initialize ?(key_mode = Single_key) ~device ~rpmb ~hardware_key ~data_pages
           data_pages;
           stats = fresh_stats ();
           anchored_root = "";
+          faults = Fault.none;
         }
       in
       (* persist initial (empty) leaf tags *)
@@ -307,6 +353,7 @@ let open_existing ?(key_mode = Single_key) ~device ~rpmb ~hardware_key
             data_pages;
             stats = fresh_stats ();
             anchored_root = "";
+            faults = Fault.none;
           }
         in
         for i = 0 to data_pages - 1 do

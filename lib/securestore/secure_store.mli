@@ -62,6 +62,14 @@ val open_existing :
     on-device tags, and detects rollback/fork via the anchored root.
     [key_mode] must match the mode used at initialization. *)
 
+val set_faults : t -> Ironsafe_fault.Fault.t -> unit
+(** Attach the deployment's fault plan. Under a plan, the recovery
+    layer activates: failed page verifications are re-read up to a
+    bounded budget before surfacing the typed error, and RPMB counter
+    desyncs are re-synced by refetching the device counter. Without a
+    plan (the default) every failure surfaces on the first attempt —
+    genuine attacks are never retried away. *)
+
 val write_page : t -> int -> string -> (unit, error) result
 val read_page : t -> int -> (string, error) result
 

@@ -6,6 +6,8 @@
    device also counts reads/writes — those counters are the ground
    truth for the data-movement figures. *)
 
+module Fault = Ironsafe_fault.Fault
+
 let page_size = 4096
 
 type t = {
@@ -13,6 +15,7 @@ type t = {
   mutable reads : int;
   mutable writes : int;
   mutable snapshots : (string * Bytes.t array) list;
+  mutable faults : Fault.t;
 }
 
 let create ~pages:n =
@@ -22,7 +25,10 @@ let create ~pages:n =
     reads = 0;
     writes = 0;
     snapshots = [];
+    faults = Fault.none;
   }
+
+let set_faults t plan = t.faults <- plan
 
 let page_count t = Array.length t.pages
 
@@ -30,17 +36,45 @@ let check t i =
   if i < 0 || i >= Array.length t.pages then
     invalid_arg (Printf.sprintf "Block_device: page %d out of range" i)
 
+(* Injected media faults decay a whole 16-byte ECC block: real devices
+   fail at block granularity, and a burst reliably overlaps live bytes
+   on a well-filled page (a single-bit model can land in unused
+   padding and go unobserved). *)
+let ecc_block = 16
+
+let corrupt_block b off =
+  let off = min off (page_size - ecc_block) in
+  for k = off to off + ecc_block - 1 do
+    Bytes.set b k (Char.chr (Char.code (Bytes.get b k) lxor 0x40))
+  done
+
 let read_page t i =
   check t i;
   t.reads <- t.reads + 1;
-  Bytes.to_string t.pages.(i)
+  (* injected media faults (plan-driven, deterministic): bit rot decays
+     the stored page; a transient error corrupts only this read *)
+  if Fault.enabled t.faults && Fault.fire t.faults Fault.Device_bit_rot then
+    corrupt_block t.pages.(i) (Fault.rand_int t.faults page_size);
+  if Fault.enabled t.faults && Fault.fire t.faults Fault.Device_read_transient
+  then begin
+    let copy = Bytes.of_string (Bytes.to_string t.pages.(i)) in
+    corrupt_block copy (Fault.rand_int t.faults page_size);
+    Bytes.to_string copy
+  end
+  else Bytes.to_string t.pages.(i)
 
 let write_page t i data =
   check t i;
   if String.length data <> page_size then
     invalid_arg "Block_device.write_page: data must be exactly one page";
   t.writes <- t.writes + 1;
-  Bytes.blit_string data 0 t.pages.(i) 0 page_size
+  if Fault.enabled t.faults && Fault.fire t.faults Fault.Device_torn_write
+  then begin
+    (* torn write: only the first half of the page reaches the medium *)
+    Bytes.blit_string data 0 t.pages.(i) 0 (page_size / 2);
+    Bytes.fill t.pages.(i) (page_size / 2) (page_size / 2) '\000'
+  end
+  else Bytes.blit_string data 0 t.pages.(i) 0 page_size
 
 let reads t = t.reads
 let writes t = t.writes
@@ -88,4 +122,5 @@ let fork t =
     reads = 0;
     writes = 0;
     snapshots = [];
+    faults = Fault.none;
   }

@@ -8,6 +8,11 @@ type t
 val create : pages:int -> t
 val page_count : t -> int
 
+val set_faults : t -> Ironsafe_fault.Fault.t -> unit
+(** Attach a fault plan: subsequent page I/O may suffer injected bit
+    rot, torn writes or transient read errors ({!Ironsafe_fault.Fault}).
+    Devices start with the no-op plan. *)
+
 val read_page : t -> int -> string
 val write_page : t -> int -> string -> unit
 

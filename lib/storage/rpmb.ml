@@ -5,6 +5,8 @@
    world's storage TA) can write; replayed or unauthenticated frames
    are rejected. This is the rollback-protection anchor of §4.1. *)
 
+module Fault = Ironsafe_fault.Fault
+
 let slot_size = 256
 
 type frame = {
@@ -18,6 +20,7 @@ type t = {
   slots : Bytes.t array;
   mutable auth_key : string option; (* programmable exactly once *)
   mutable write_counter : int;
+  mutable faults : Fault.t;
 }
 
 type error =
@@ -41,7 +44,10 @@ let create ?(slots = 16) () =
     slots = Array.init slots (fun _ -> Bytes.make slot_size '\000');
     auth_key = None;
     write_counter = 0;
+    faults = Fault.none;
   }
+
+let set_faults t plan = t.faults <- plan
 
 let slot_count t = Array.length t.slots
 
@@ -69,6 +75,12 @@ let make_write_frame ~key ~slot ~payload ~write_counter =
 let read_counter t = t.write_counter
 
 let write t frame =
+  (* injected counter desync: the device counter advances spuriously
+     (e.g. a lost response), so the caller's cached counter goes stale
+     and the frame below is rejected with [Counter_mismatch]; recovery
+     re-reads the counter and rebuilds the frame (Secure_store). *)
+  if Fault.enabled t.faults && Fault.fire t.faults Fault.Rpmb_desync then
+    t.write_counter <- t.write_counter + 1;
   match t.auth_key with
   | None -> Error Key_not_programmed
   | Some key ->

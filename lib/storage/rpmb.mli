@@ -25,6 +25,11 @@ val pp_error : Format.formatter -> error -> unit
 val create : ?slots:int -> unit -> t
 val slot_count : t -> int
 
+val set_faults : t -> Ironsafe_fault.Fault.t -> unit
+(** Attach a fault plan; a fired [Rpmb_desync] spuriously advances the
+    device write counter before processing a write frame, forcing a
+    [Counter_mismatch] the caller must re-sync from. *)
+
 val program_key : t -> string -> (unit, error) result
 (** One-time key programming (done by the secure-world storage TA). *)
 

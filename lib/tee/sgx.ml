@@ -39,7 +39,13 @@ type enclave = {
   mutable ocalls : int;
   mutable heap_used : int;
   mutable epc_faults : int;
+  mutable aborted : bool;
+      (* an asynchronous enclave exit (AEX) killed the enclave; all
+         entries fail until [restart] rebuilds it *)
+  mutable restarts : int;
 }
+
+exception Enclave_aborted
 
 let launch platform image =
   {
@@ -50,17 +56,40 @@ let launch platform image =
     ocalls = 0;
     heap_used = 0;
     epc_faults = 0;
+    aborted = false;
+    restarts = 0;
   }
 
 let mrenclave e = e.mrenclave
 let image e = e.image
 
+(* Fault model: an injected abort (enclave dies mid-ECALL) makes every
+   transition fail until the host restarts the enclave. A restarted
+   enclave has the same measurement (same image) but lost all session
+   state, so the monitor must re-attest it. *)
+let inject_abort e =
+  e.aborted <- true;
+  Obs.count ~scope:"sgx" "aborts"
+
+let aborted e = e.aborted
+
+let restart e =
+  e.aborted <- false;
+  e.restarts <- e.restarts + 1;
+  e.heap_used <- 0;
+  Obs.count ~scope:"sgx" "restarts"
+
+let restarts e = e.restarts
+let check_alive e = if e.aborted then raise Enclave_aborted
+
 (* Transition accounting: the runner converts these to time. *)
 let ecall e =
+  check_alive e;
   e.ecalls <- e.ecalls + 1;
   Obs.count ~scope:"sgx" "ecall_count"
 
 let ocall e =
+  check_alive e;
   e.ocalls <- e.ocalls + 1;
   Obs.count ~scope:"sgx" "ocall_count"
 let transitions e = e.ecalls + e.ocalls
@@ -97,6 +126,7 @@ let quote_payload q =
   q.quoted_mrenclave ^ "\x00" ^ q.report_data ^ "\x00" ^ q.quoted_platform
 
 let generate_quote e ~report_data =
+  check_alive e;
   let q =
     {
       quoted_mrenclave = e.mrenclave;

@@ -24,6 +24,24 @@ val launch : platform -> Image.t -> enclave
 val mrenclave : enclave -> string
 val image : enclave -> Image.t
 
+exception Enclave_aborted
+(** Raised by transitions ([ecall]/[ocall]) and quote generation on an
+    enclave that died (asynchronous enclave exit) until {!restart}. *)
+
+val inject_abort : enclave -> unit
+(** Fault injection: the enclave dies mid-ECALL (EPC eviction storm,
+    AEX during a transition, ...). *)
+
+val aborted : enclave -> bool
+
+val restart : enclave -> unit
+(** Host-side recovery: rebuild the enclave from its image. The
+    measurement is unchanged but all session state is lost, so the
+    trusted monitor must re-attest before trusting it again. *)
+
+val restarts : enclave -> int
+(** Restarts since launch (recovery telemetry). *)
+
 val ecall : enclave -> unit
 val ocall : enclave -> unit
 val transitions : enclave -> int

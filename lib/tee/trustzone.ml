@@ -17,6 +17,7 @@
    TAs) -> normal world (Linux + storage engine). *)
 
 module C = Ironsafe_crypto
+module Fault = Ironsafe_fault.Fault
 
 type cert = {
   cert_image_name : string;
@@ -155,19 +156,35 @@ let chain_digest chain =
 let response_payload ~challenge ~nw_hash ~chain =
   "tz-attest" ^ challenge ^ nw_hash ^ chain_digest chain
 
-(* The attestation TA (secure world): one world switch per quote. *)
-let attest b ~challenge =
+(* The attestation TA (secure world): one world switch per quote.
+
+   Fault injection (plan-driven): a crashed TA emits a garbled
+   signature — structurally a response, cryptographically garbage — so
+   the verifier rejects it; the monitor's recovery path retries with a
+   fresh challenge. *)
+let attest ?(faults = Fault.none) b ~challenge =
   world_switch b.booted_device;
+  let signature =
+    C.Signature.sign b.booted_device.attest_secret
+      (response_payload ~challenge ~nw_hash:b.normal_world_hash
+         ~chain:b.boot_chain)
+  in
+  let signature =
+    if Fault.enabled faults && Fault.fire faults Fault.Tz_ta_crash then begin
+      let b = Bytes.of_string signature in
+      let off = Fault.rand_int faults (Bytes.length b) in
+      Bytes.set b off (Char.chr (Char.code (Bytes.get b off) lxor 0x01));
+      Bytes.to_string b
+    end
+    else signature
+  in
   {
     resp_device_id = b.booted_device.device_id;
     resp_challenge = challenge;
     resp_normal_world_hash = b.normal_world_hash;
     resp_boot_chain = b.boot_chain;
     resp_rom_cert = b.booted_device.rom_cert;
-    resp_signature =
-      C.Signature.sign b.booted_device.attest_secret
-        (response_payload ~challenge ~nw_hash:b.normal_world_hash
-           ~chain:b.boot_chain);
+    resp_signature = signature;
   }
 
 (* Verifier side (the trusted monitor): needs only the manufacturer's

@@ -52,9 +52,15 @@ val normal_world_image : booted -> Image.t
 val boot_chain : booted -> (string * string) list
 val booted_device : booted -> device
 
-val attest : booted -> challenge:string -> attestation_response
+val attest :
+  ?faults:Ironsafe_fault.Fault.t ->
+  booted ->
+  challenge:string ->
+  attestation_response
 (** The attestation TA: signs challenge, normal-world hash and boot
-    chain with the ROTPK-certified device key (one world switch). *)
+    chain with the ROTPK-certified device key (one world switch).
+    Under a fault plan, a fired [Tz_ta_crash] garbles the response
+    signature so verification fails and the monitor must retry. *)
 
 val verify_attestation :
   rotpk:Ironsafe_crypto.Lamport.public_key ->

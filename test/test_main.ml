@@ -16,4 +16,5 @@ let () =
       ("core", Test_core.suite);
       ("obs", Test_obs.suite);
       ("differential", Test_differential.suite);
+      ("faults", Test_fault.suite);
     ]

@@ -32,59 +32,115 @@ let nodes () =
 let channel () =
   let a, b = nodes () in
   let drbg = C.Drbg.create ~seed:"chan" in
-  let ch = Net.Channel.establish ~a ~b ~session_key:(C.Drbg.generate drbg 32) ~drbg in
+  let ch =
+    Net.Channel.establish ~a ~b ~session_key:(C.Drbg.generate drbg 32) ~drbg ()
+  in
   (a, b, ch)
+
+let send_exn ch ~from payload =
+  match Net.Channel.send ch ~from payload with
+  | Ok r -> r
+  | Error e -> Alcotest.fail (Net.Channel.error_message e)
+
+let recv_exn ch record =
+  match Net.Channel.recv ch record with
+  | Ok msg -> msg
+  | Error e -> Alcotest.fail (Net.Channel.error_message e)
 
 let test_channel_roundtrip () =
   let a, _, ch = channel () in
   (match Net.Channel.roundtrip ch ~from:a "hello over TLS" with
   | Ok msg -> Alcotest.(check string) "payload preserved" "hello over TLS" msg
-  | Error e -> Alcotest.fail e);
+  | Error e -> Alcotest.fail (Net.Channel.error_message e));
   let stats = Net.Channel.stats ch in
   Alcotest.(check int) "one handshake" 1 stats.Net.Channel.handshakes;
   Alcotest.(check bool) "bytes accounted" true (stats.Net.Channel.bytes > 0)
 
 let test_channel_tamper_detected () =
   let a, _, ch = channel () in
-  let record = Net.Channel.send ch ~from:a "sensitive" in
+  let record = send_exn ch ~from:a "sensitive" in
   let tampered = Net.Channel.tamper_record record in
   match Net.Channel.recv ch tampered with
-  | Error _ -> ()
+  | Error Net.Channel.Auth_failed -> ()
+  | Error e ->
+      Alcotest.fail ("wrong error: " ^ Net.Channel.error_message e)
   | Ok _ -> Alcotest.fail "tampered record accepted"
 
 let test_channel_charges_time () =
   let a, b, ch = channel () in
   let t0 = Sim.Node.now a in
   Alcotest.(check bool) "handshake charged" true (t0 > 0.0);
-  Net.Channel.transfer_accounted ch ~from:a ~bytes:1_000_000;
+  (match Net.Channel.transfer_accounted ch ~from:a ~bytes:1_000_000 with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail (Net.Channel.error_message e));
   Alcotest.(check bool) "transfer advances time" true (Sim.Node.now a > t0);
   Alcotest.(check bool) "clocks synchronized" true
     (Float.abs (Sim.Node.now a -. Sim.Node.now b) < 1e-6)
 
+(* Closed channels answer with [Error Closed] on every path, and close
+   itself is idempotent — no exceptions anywhere. *)
 let test_channel_close () =
   let a, _, ch = channel () in
   Net.Channel.close ch;
-  Alcotest.check_raises "send after close" (Invalid_argument "Channel: closed")
-    (fun () -> ignore (Net.Channel.send ch ~from:a "x"))
+  Net.Channel.close ch;
+  Alcotest.(check bool) "is_closed" true (Net.Channel.is_closed ch);
+  (match Net.Channel.send ch ~from:a "x" with
+  | Error Net.Channel.Closed -> ()
+  | Ok _ | Error _ -> Alcotest.fail "send on closed channel not Closed");
+  (match Net.Channel.transfer_accounted ch ~from:a ~bytes:10 with
+  | Error Net.Channel.Closed -> ()
+  | Ok _ | Error _ -> Alcotest.fail "transfer on closed channel not Closed");
+  match Net.Channel.roundtrip ch ~from:a "y" with
+  | Error Net.Channel.Closed -> ()
+  | Ok _ | Error _ -> Alcotest.fail "roundtrip on closed channel not Closed"
 
+(* Replay vs reorder: a re-delivered record is rejected as [Replayed],
+   but a record arriving after a later one — in-window reordering — is
+   delivered. *)
 let test_channel_replay_rejected () =
   let a, _, ch = channel () in
-  let r1 = Net.Channel.send ch ~from:a "first" in
-  let r2 = Net.Channel.send ch ~from:a "second" in
-  (match Net.Channel.recv ch r1 with Ok _ -> () | Error e -> Alcotest.fail e);
-  (* replaying an already-delivered record must fail *)
+  let r1 = send_exn ch ~from:a "first" in
+  let r2 = send_exn ch ~from:a "second" in
+  Alcotest.(check string) "first delivers" "first" (recv_exn ch r1);
   (match Net.Channel.recv ch r1 with
-  | Error _ -> ()
+  | Error (Net.Channel.Replayed 0) -> ()
+  | Error e -> Alcotest.fail ("wrong error: " ^ Net.Channel.error_message e)
   | Ok _ -> Alcotest.fail "replayed record accepted");
-  (* fresh later record still delivers *)
+  Alcotest.(check string) "in-order delivery" "second" (recv_exn ch r2)
+
+let test_channel_reorder_accepted () =
+  let a, _, ch = channel () in
+  let r1 = send_exn ch ~from:a "one" in
+  let r2 = send_exn ch ~from:a "two" in
+  let r3 = send_exn ch ~from:a "three" in
+  (* deliver out of order: 3, 1, 2 — all within the window *)
+  Alcotest.(check string) "newest first" "three" (recv_exn ch r3);
+  Alcotest.(check string) "reordered old record accepted" "one"
+    (recv_exn ch r1);
+  Alcotest.(check string) "middle record accepted" "two" (recv_exn ch r2);
+  (* ...but a second delivery of any of them is still a replay *)
   match Net.Channel.recv ch r2 with
-  | Ok msg -> Alcotest.(check string) "in-order delivery" "second" msg
-  | Error e -> Alcotest.fail e
+  | Error (Net.Channel.Replayed 1) -> ()
+  | Error e -> Alcotest.fail ("wrong error: " ^ Net.Channel.error_message e)
+  | Ok _ -> Alcotest.fail "replay after reorder accepted"
+
+let test_channel_stale_rejected () =
+  let a, _, ch = channel () in
+  let r0 = send_exn ch ~from:a "ancient" in
+  (* push the window far past seq 0 *)
+  for _ = 1 to Net.Channel.window + 5 do
+    let r = send_exn ch ~from:a "filler" in
+    ignore (recv_exn ch r)
+  done;
+  match Net.Channel.recv ch r0 with
+  | Error (Net.Channel.Stale 0) -> ()
+  | Error e -> Alcotest.fail ("wrong error: " ^ Net.Channel.error_message e)
+  | Ok _ -> Alcotest.fail "stale record accepted"
 
 let test_channel_ciphertext_differs () =
   let a, _, ch = channel () in
-  let r1 = Net.Channel.send ch ~from:a "same payload" in
-  let r2 = Net.Channel.send ch ~from:a "same payload" in
+  let r1 = send_exn ch ~from:a "same payload" in
+  let r2 = send_exn ch ~from:a "same payload" in
   (* fresh nonce per record: identical plaintexts encrypt differently *)
   match (Net.Channel.recv ch r1, Net.Channel.recv ch r2) with
   | Ok a', Ok b' ->
@@ -111,8 +167,10 @@ let suite =
     ("channel roundtrip", `Quick, test_channel_roundtrip);
     ("channel tamper detected", `Quick, test_channel_tamper_detected);
     ("channel charges time", `Quick, test_channel_charges_time);
-    ("channel close", `Quick, test_channel_close);
+    ("channel close idempotent", `Quick, test_channel_close);
     ("channel fresh nonces", `Quick, test_channel_ciphertext_differs);
     ("channel replay rejected", `Quick, test_channel_replay_rejected);
+    ("channel reorder accepted", `Quick, test_channel_reorder_accepted);
+    ("channel stale rejected", `Quick, test_channel_stale_rejected);
   ]
   @ List.map (QCheck_alcotest.to_alcotest ~long:false) qcheck_tests
