@@ -36,8 +36,10 @@ module Sim = Ironsafe_sim
 module Tpch = Ironsafe_tpch
 module C = Ironsafe_crypto
 module Fault = Ironsafe_fault.Fault
+module Sched = Ironsafe_sched.Sched
 
 let default_scale = 0.01
+let workload_seed = ref 42
 
 (* Fault injection: a single plan (from --fault-seed/--fault-profile)
    shared by every deployment the harness builds. *)
@@ -325,6 +327,106 @@ let figure12 scale =
       Tpch.Queries.by_id 2; Tpch.Queries.by_id 6; Tpch.Queries.by_id 9;
       Tpch.Queries.by_id 13; Tpch.Queries.by_id 14;
     ]
+
+(* ------------------------------------------------------------------ *)
+(* Workload: concurrent multi-tenant execution (lib/sched).            *)
+
+let workload scale =
+  header "Workload: QPS sweep x config x tenants (throughput, tail latency)";
+  let d = deployment ~scale () in
+  (* two tenants registered with the trusted monitor; every query is
+     authorized under its tenant's principal at admission *)
+  let all_tenants = [ "acme"; "globex" ] in
+  let engine = Engine.create d in
+  List.iter
+    (fun t -> ignore (Engine.register_client engine ~label:t ()))
+    all_tenants;
+  Engine.set_access_policy engine
+    "read ::= sessionKeyIs(acme) | sessionKeyIs(globex)";
+  let gate = Sched.monitor_gate d in
+  let p = d.Deployment.params in
+  let control_ns =
+    p.Sim.Params.monitor_policy_ns +. p.Sim.Params.monitor_session_ns
+  in
+  let mix = [ 1; 6; 14 ] in
+  let max_inflight = 4 in
+  Fmt.pr
+    "mix: TPC-H %s; %d-way admission, run queue 8; control path %.2f ms/query@."
+    (String.concat "/" (List.map (fun q -> Printf.sprintf "Q%d" q) mix))
+    max_inflight (ms control_ns);
+  Fmt.pr "%-6s %-8s %10s %5s %5s %5s %9s %9s %9s %9s@." "config" "tenants"
+    "offered" "done" "shed" "deny" "qps" "p50(ms)" "p95(ms)" "p99(ms)";
+  let json_rows = ref [] in
+  List.iter
+    (fun config ->
+      let profiles =
+        List.map
+          (fun qid ->
+            let q = Tpch.Queries.by_id qid in
+            Sched.profile d config
+              ~label:(Printf.sprintf "q%d" qid)
+              ~sql:q.Tpch.Queries.sql)
+          mix
+      in
+      (* offered load relative to the config's own capacity, so every
+         config sweeps the same under/at/over-saturation points *)
+      let capacity =
+        float_of_int max_inflight *. 1e9 /. Sched.mean_sequential_ns profiles
+      in
+      List.iter
+        (fun n_tenants ->
+          let tenants = List.filteri (fun i _ -> i < n_tenants) all_tenants in
+          List.iter
+            (fun mult ->
+              let qps = mult *. capacity in
+              let spec =
+                {
+                  Sched.default_spec with
+                  Sched.seed = !workload_seed;
+                  arrival = Sched.Open_loop { qps };
+                  queries = 64;
+                  tenants;
+                  max_inflight;
+                  queue_depth = 8;
+                  control_ns;
+                }
+              in
+              let r = Sched.run ~gate d spec profiles in
+              Fmt.pr "%-6s %-8d %10.1f %5d %5d %5d %9.1f %9.3f %9.3f %9.3f@."
+                (Config.abbrev config) n_tenants qps r.Sched.rep_completed
+                r.Sched.rep_shed r.Sched.rep_denied r.Sched.rep_throughput_qps
+                (ms r.Sched.rep_latency.Sched.p50_ns)
+                (ms r.Sched.rep_latency.Sched.p95_ns)
+                (ms r.Sched.rep_latency.Sched.p99_ns);
+              json_rows := Sched.json_of_report r :: !json_rows;
+              Sched.add_to_collector r)
+            [ 0.5; 1.0; 2.0 ])
+        [ 1; 2 ];
+      (* one closed-loop point per config: N sessions with think time *)
+      let spec =
+        {
+          Sched.default_spec with
+          Sched.seed = !workload_seed;
+          arrival = Sched.Closed_loop { sessions = 4; think_ns = 2e6 };
+          queries = 32;
+          tenants = all_tenants;
+          max_inflight;
+          queue_depth = 8;
+          control_ns;
+        }
+      in
+      let r = Sched.run ~gate d spec profiles in
+      Fmt.pr "%-6s %-8s %10s %5d %5d %5d %9.1f %9.3f %9.3f %9.3f@."
+        (Config.abbrev config) "closed" "4x2ms" r.Sched.rep_completed
+        r.Sched.rep_shed r.Sched.rep_denied r.Sched.rep_throughput_qps
+        (ms r.Sched.rep_latency.Sched.p50_ns)
+        (ms r.Sched.rep_latency.Sched.p95_ns)
+        (ms r.Sched.rep_latency.Sched.p99_ns);
+      json_rows := Sched.json_of_report r :: !json_rows;
+      Sched.add_to_collector r)
+    Config.all;
+  Fmt.pr "@.workload JSON:@.[%s]@."
+    (String.concat ",\n " (List.rev !json_rows))
 
 (* ------------------------------------------------------------------ *)
 (* Table 3: GDPR anti-patterns.                                        *)
@@ -660,6 +762,7 @@ let experiments =
     ("table3", table3);
     ("table4", table4);
     ("ablations", ablations);
+    ("workload", workload);
   ]
 
 (* The bench's "faults" JSON section: injection/recovery/rejection
@@ -718,6 +821,9 @@ let () =
         parse rest
     | "--fault-seed" :: v :: rest ->
         fault_seed := int_of_string v;
+        parse rest
+    | "--workload-seed" :: v :: rest ->
+        workload_seed := int_of_string v;
         parse rest
     | "--fault-profile" :: v :: rest ->
         (match Fault.profile_of_string v with

@@ -187,6 +187,136 @@ let tpch_cmd =
       const run $ scale_arg $ config_arg $ all $ fault_seed_arg
       $ fault_profile_arg $ id)
 
+let workload_cmd =
+  let module Sched = Ironsafe_sched.Sched in
+  let qps =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "qps" ] ~docv:"QPS"
+          ~doc:"Open-loop mode: Poisson arrivals at this rate.")
+  in
+  let sessions =
+    Arg.(
+      value & opt int 4
+      & info [ "sessions" ] ~docv:"N"
+          ~doc:"Closed-loop mode (default): number of concurrent sessions.")
+  in
+  let think_ms =
+    Arg.(
+      value & opt float 2.0
+      & info [ "think-ms" ] ~docv:"MS"
+          ~doc:"Closed-loop mean think time between a session's queries.")
+  in
+  let queries =
+    Arg.(
+      value & opt int 64
+      & info [ "queries" ] ~docv:"N" ~doc:"Total queries to submit.")
+  in
+  let tenants =
+    Arg.(
+      value & opt int 2
+      & info [ "tenants" ] ~docv:"N"
+          ~doc:"Number of tenants (each registered with the monitor).")
+  in
+  let seed =
+    Arg.(
+      value & opt int 42
+      & info [ "seed" ] ~docv:"N"
+          ~doc:"Workload seed (same seed, same schedule).")
+  in
+  let max_inflight =
+    Arg.(
+      value & opt int 8
+      & info [ "max-inflight" ] ~docv:"N"
+          ~doc:"Admission bound: queries executing concurrently.")
+  in
+  let queue_depth =
+    Arg.(
+      value & opt int 16
+      & info [ "queue-depth" ] ~docv:"N"
+          ~doc:"Run-queue depth; arrivals beyond it are shed.")
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the report as JSON.")
+  in
+  let trace_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-out" ] ~docv:"FILE"
+          ~doc:"Write a Chrome trace (one lane per session) to $(docv).")
+  in
+  let run scale config qps sessions think_ms queries tenants seed max_inflight
+      queue_depth json trace_out =
+    let deploy = build_deployment scale in
+    let tenant_names =
+      List.init (max 1 tenants) (Printf.sprintf "tenant-%d")
+    in
+    let engine = Engine.create deploy in
+    List.iter
+      (fun t -> ignore (Engine.register_client engine ~label:t ()))
+      tenant_names;
+    Engine.set_access_policy engine
+      (Printf.sprintf "read ::= %s"
+         (String.concat " | "
+            (List.map (Printf.sprintf "sessionKeyIs(%s)") tenant_names)));
+    let p = deploy.Deployment.params in
+    let mix = [ 1; 6; 14 ] in
+    let profiles =
+      List.map
+        (fun id ->
+          let q = Tpch.Queries.by_id id in
+          Sched.profile deploy config
+            ~label:(Printf.sprintf "q%d" id)
+            ~sql:q.Tpch.Queries.sql)
+        mix
+    in
+    let spec =
+      {
+        Sched.default_spec with
+        Sched.seed;
+        arrival =
+          (match qps with
+          | Some q -> Sched.Open_loop { qps = q }
+          | None ->
+              Sched.Closed_loop { sessions; think_ns = think_ms *. 1e6 });
+        queries;
+        tenants = tenant_names;
+        max_inflight;
+        queue_depth;
+        control_ns =
+          p.Ironsafe_sim.Params.monitor_policy_ns
+          +. p.Ironsafe_sim.Params.monitor_session_ns;
+      }
+    in
+    let gate = Sched.monitor_gate deploy in
+    let report = Sched.run ~gate deploy spec profiles in
+    if json then print_endline (Sched.json_of_report report)
+    else Fmt.pr "%a" Sched.pp_report report;
+    (match trace_out with
+    | None -> ()
+    | Some file ->
+        let trace = Sched.trace_json report in
+        if not (Ironsafe_obs.Chrome_trace.is_valid_json trace) then begin
+          Fmt.epr "internal error: emitted trace is not valid JSON@.";
+          exit 1
+        end;
+        let oc = open_out file in
+        output_string oc trace;
+        close_out oc;
+        Fmt.pr "-- trace written to %s (open in Perfetto)@." file);
+    if report.Sched.rep_completed > 0 then 0 else 1
+  in
+  Cmd.v
+    (Cmd.info "workload"
+       ~doc:
+         "Simulate a multi-tenant concurrent workload (discrete-event) and \
+          report throughput and tail latency")
+    Term.(
+      const run $ scale_arg $ config_arg $ qps $ sessions $ think_ms $ queries
+      $ tenants $ seed $ max_inflight $ queue_depth $ json $ trace_out)
+
 let shell_cmd =
   let run scale policy =
     let deploy = build_deployment scale in
@@ -226,4 +356,5 @@ let () =
     Cmd.info "ironsafe-cli" ~version:"1.0.0"
       ~doc:"Secure policy-compliant query processing on computational storage"
   in
-  exit (Cmd.eval' (Cmd.group info [ query_cmd; tpch_cmd; shell_cmd ]))
+  exit
+    (Cmd.eval' (Cmd.group info [ query_cmd; tpch_cmd; workload_cmd; shell_cmd ]))

@@ -1,13 +1,15 @@
 (* Deterministic fault-injection plans (see fault.mli).
 
    Determinism contract: all randomness comes from one splitmix64
-   stream seeded from the plan seed, advanced once per consulted rule
-   (plus once per [rand_int]). Replaying the same workload against the
-   same seed therefore reproduces the exact incident timeline — the
-   property the CLI's --fault-seed flag and the CI seed matrix rely
-   on. *)
+   stream ({!Ironsafe_sim.Prng}, the same implementation workload
+   arrivals draw from) seeded from the plan seed, advanced once per
+   consulted rule (plus once per [rand_int]). Replaying the same
+   workload against the same seed therefore reproduces the exact
+   incident timeline — the property the CLI's --fault-seed flag and
+   the CI seed matrix rely on. *)
 
 module Obs = Ironsafe_obs.Obs
+module Prng = Ironsafe_sim.Prng
 
 type site =
   | Channel_corrupt
@@ -67,7 +69,7 @@ type stats = {
 type t = {
   plan_seed : int;
   rules : (site * rule) list;
-  mutable rng : int64;
+  rng : Prng.t;
   fired : (site, int) Hashtbl.t;
   mutable clock : unit -> float;
   mutable incidents : incident list; (* newest first *)
@@ -82,7 +84,7 @@ let make ?(clock = fun () -> 0.0) ~seed rules =
   {
     plan_seed = seed;
     rules;
-    rng = Int64.of_int seed;
+    rng = Prng.create ~seed;
     fired = Hashtbl.create 8;
     clock;
     incidents = [];
@@ -108,23 +110,11 @@ let incidents_since t mark =
 
 let last_unrecovered t = List.find_opt (fun i -> not i.inc_recovered) t.incidents
 
-(* splitmix64: state advances by the golden gamma, output is the mixed
-   state. Small, fast, and plenty for fault scheduling. *)
-let next_u64 t =
-  let open Int64 in
-  let s = add t.rng 0x9E3779B97F4A7C15L in
-  t.rng <- s;
-  let z = mul (logxor s (shift_right_logical s 30)) 0xBF58476D1CE4E5B9L in
-  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
-  logxor z (shift_right_logical z 31)
-
-let uniform t =
-  (* top 53 bits -> [0,1) *)
-  Int64.to_float (Int64.shift_right_logical (next_u64 t) 11) /. 9007199254740992.0
-
-let rand_int t bound =
-  if bound <= 0 then 0
-  else Int64.to_int (Int64.rem (Int64.shift_right_logical (next_u64 t) 1) (Int64.of_int bound))
+(* All randomness delegates to the shared splitmix64 stream; the plan
+   seed feeds it unmixed, preserving the historical incident
+   timelines of the seeded CI matrix. *)
+let uniform t = Prng.uniform t.rng
+let rand_int t bound = Prng.rand_int t.rng bound
 
 let fire t site =
   match List.assoc_opt site t.rules with

@@ -52,6 +52,15 @@ let new_epoch () = epoch := !high_water
 let roots () = List.rev !roots_rev
 let last_root () = match !roots_rev with [] -> None | s :: _ -> Some s
 let open_depth () = List.length !stack
+let current_epoch () = !epoch
+
+(* Install an externally-built span tree as a root of the collected
+   timeline (the workload scheduler synthesizes per-session lanes this
+   way). The high-water mark advances so a later [new_epoch] clears the
+   added spans too. *)
+let add_root s =
+  if s.end_ns > !high_water then high_water := s.end_ns;
+  roots_rev := s :: !roots_rev
 
 let attach s =
   match !stack with

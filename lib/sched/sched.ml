@@ -1,0 +1,730 @@
+(* Multi-tenant workload scheduler: discrete-event concurrent query
+   execution over one deployment.
+
+   The sequential runner executes one query at a time and charges its
+   costs as an atomic sequence of clock operations. This module turns
+   those sequences into *interleavable* traffic:
+
+   1. each query of the mix is profiled once through the real runner
+      under {!Ironsafe_sim.Tape.capture}, yielding its cost tape (the
+      exact per-node charges and blocking syncs the runner performed);
+   2. a client generator (open-loop Poisson arrivals at a target QPS,
+      or N closed-loop sessions with think time) submits queries drawn
+      from the mix, each owned by a tenant whose policy principal is
+      checked through the trusted monitor at admission;
+   3. admitted queries replay their tapes event by event through a
+      central virtual-time event queue; every charge contends for a
+      FIFO multi-slot server (host cores, storage ARM cores, NVMe
+      queue depth, host<->storage channel streams), and EPC-bound
+      charges are inflated by the working sets of concurrently
+      resident queries;
+   4. arrivals beyond the admission bound wait in a FIFO run queue of
+      configured depth; beyond that they are refused with a typed
+      [Shed] outcome (never dropped silently) and counted in the
+      metrics registry.
+
+   Determinism: all randomness (arrival gaps, think times, mix and
+   tenant draws) comes from one {!Ironsafe_sim.Prng} stream seeded
+   from the spec, event ties break by submission order, and server
+   slots tie-break by index — the same seed and spec reproduce a
+   byte-identical event log and percentile table.
+
+   With one closed-loop session the replay degenerates to the
+   sequential model: every server has a free slot, the EPC holds one
+   working set, and the tape arithmetic is exactly {!Node.charge} /
+   {!Clock.sync} — latency reproduces {!Runner.run_stmt} end-to-end
+   within float tolerance (bit-exact for the first query). *)
+
+open Ironsafe
+module Sim = Ironsafe_sim
+module Sql = Ironsafe_sql
+module Tee = Ironsafe_tee
+module Obs = Ironsafe_obs
+
+(* -- query profiles ---------------------------------------------------- *)
+
+type query_profile = {
+  qp_label : string;
+  qp_sql : string;
+  qp_config : Config.t;
+  qp_tape : Sim.Tape.event list;
+  qp_end_to_end_ns : float;
+  qp_working_set : int;
+}
+
+let profile ?project deploy config ~label ~sql =
+  let stmt = Sql.Parser.parse sql in
+  let m, tape =
+    Sim.Tape.capture (fun () -> Runner.run_stmt ?project deploy config stmt)
+  in
+  {
+    qp_label = label;
+    qp_sql = sql;
+    qp_config = config;
+    qp_tape = tape;
+    qp_end_to_end_ns = m.Runner.end_to_end_ns;
+    (* enclave residency of this query (0 when the host enclave is off
+       the query path): the EPC is shared under concurrency *)
+    qp_working_set = Tee.Sgx.heap_used deploy.Deployment.host_enclave;
+  }
+
+let mean_sequential_ns profiles =
+  match profiles with
+  | [] -> 0.0
+  | l ->
+      List.fold_left (fun acc p -> acc +. p.qp_end_to_end_ns) 0.0 l
+      /. float_of_int (List.length l)
+
+(* -- workload specification -------------------------------------------- *)
+
+type arrival =
+  | Open_loop of { qps : float }
+  | Closed_loop of { sessions : int; think_ns : float }
+
+type spec = {
+  seed : int;
+  arrival : arrival;
+  queries : int;  (** total queries submitted across the run *)
+  tenants : string list;
+  max_inflight : int;  (** admission bound: concurrently executing *)
+  queue_depth : int;  (** run-queue bound; beyond it arrivals shed *)
+  device_queue_depth : int;  (** NVMe queue-depth slots *)
+  channel_streams : int;  (** concurrent host<->storage transfers *)
+  control_ns : float;  (** per-query control-path charge (host) *)
+}
+
+let default_spec =
+  {
+    seed = 42;
+    arrival = Open_loop { qps = 100.0 };
+    queries = 32;
+    tenants = [ "tenant-0" ];
+    max_inflight = 8;
+    queue_depth = 16;
+    device_queue_depth = 8;
+    channel_streams = 2;
+    control_ns = 0.0;
+  }
+
+let arrival_name = function
+  | Open_loop { qps } -> Printf.sprintf "open(qps=%.2f)" qps
+  | Closed_loop { sessions; think_ns } ->
+      Printf.sprintf "closed(sessions=%d,think=%.0fns)" sessions think_ns
+
+(* -- outcomes and records ---------------------------------------------- *)
+
+type shed_reason = Queue_full of { depth : int }
+
+type outcome =
+  | Completed of { latency_ns : float }
+  | Shed of shed_reason
+  | Denied of string
+
+let outcome_name = function
+  | Completed _ -> "completed"
+  | Shed _ -> "shed"
+  | Denied _ -> "denied"
+
+type record = {
+  r_qid : int;
+  r_label : string;
+  r_tenant : string;
+  r_lane : int;
+  r_arrive_ns : float;
+  r_start_ns : float;
+  r_done_ns : float;
+  r_outcome : outcome;
+  r_segments : (string * float * float) list;
+}
+
+type latency_stats = {
+  mean_ns : float;
+  p50_ns : float;
+  p95_ns : float;
+  p99_ns : float;
+  max_ns : float;
+}
+
+type tenant_stats = {
+  mutable t_submitted : int;
+  mutable t_completed : int;
+  mutable t_shed : int;
+  mutable t_denied : int;
+}
+
+type report = {
+  rep_config : Config.t;
+  rep_spec : spec;
+  rep_submitted : int;
+  rep_completed : int;
+  rep_shed : int;
+  rep_denied : int;
+  rep_makespan_ns : float;
+  rep_throughput_qps : float;
+  rep_latency : latency_stats;
+  rep_per_tenant : (string * tenant_stats) list;
+  rep_records : record list;  (** qid order *)
+  rep_event_log : string list;  (** chronological *)
+  rep_util : (string * float) list;  (** server -> utilization in [0,1] *)
+}
+
+(* Nearest-rank percentile over a sorted array. *)
+let percentile sorted q =
+  let n = Array.length sorted in
+  if n = 0 then 0.0
+  else
+    let rank = int_of_float (Float.round (ceil (q *. float_of_int n))) in
+    sorted.(min (n - 1) (max 0 (rank - 1)))
+
+let latency_stats_of latencies =
+  match latencies with
+  | [] -> { mean_ns = 0.0; p50_ns = 0.0; p95_ns = 0.0; p99_ns = 0.0; max_ns = 0.0 }
+  | l ->
+      let a = Array.of_list l in
+      Array.sort compare a;
+      let n = Array.length a in
+      {
+        mean_ns = Array.fold_left ( +. ) 0.0 a /. float_of_int n;
+        p50_ns = percentile a 0.50;
+        p95_ns = percentile a 0.95;
+        p99_ns = percentile a 0.99;
+        max_ns = a.(n - 1);
+      }
+
+(* -- deterministic event queue ----------------------------------------- *)
+
+module Key = struct
+  type t = float * int
+
+  let compare (t1, s1) (t2, s2) =
+    match Float.compare t1 t2 with 0 -> Int.compare s1 s2 | c -> c
+end
+
+module Emap = Map.Make (Key)
+
+(* -- the simulation ---------------------------------------------------- *)
+
+type task = {
+  qid : int;
+  session : int;  (** closed-loop session id; -1 for open loop *)
+  tenant : string;
+  tk_profile : query_profile;
+  arrive_ns : float;
+  mutable events : Sim.Tape.event list;
+  mutable h : float;  (** task-local host clock (absolute) *)
+  mutable s : float;  (** task-local storage clock (absolute) *)
+  mutable lane : int;
+  mutable start_ns : float;
+  mutable segments_rev : (string * float * float) list;
+}
+
+type action = Arrive of task | Step of task
+
+let validate spec profiles =
+  if spec.queries < 1 then invalid_arg "Sched.run: queries must be >= 1";
+  if spec.tenants = [] then invalid_arg "Sched.run: no tenants";
+  if spec.max_inflight < 1 then invalid_arg "Sched.run: max_inflight must be >= 1";
+  if spec.queue_depth < 0 then invalid_arg "Sched.run: negative queue_depth";
+  if spec.device_queue_depth < 1 then
+    invalid_arg "Sched.run: device_queue_depth must be >= 1";
+  if spec.channel_streams < 1 then
+    invalid_arg "Sched.run: channel_streams must be >= 1";
+  if spec.control_ns < 0.0 then invalid_arg "Sched.run: negative control_ns";
+  (match spec.arrival with
+  | Open_loop { qps } ->
+      if qps <= 0.0 then invalid_arg "Sched.run: qps must be positive"
+  | Closed_loop { sessions; think_ns } ->
+      if sessions < 1 then invalid_arg "Sched.run: sessions must be >= 1";
+      if think_ns < 0.0 then invalid_arg "Sched.run: negative think time");
+  match profiles with
+  | [] -> invalid_arg "Sched.run: empty query mix"
+  | p :: rest ->
+      if List.exists (fun q -> q.qp_config <> p.qp_config) rest then
+        invalid_arg "Sched.run: mixed configurations in one workload";
+      p.qp_config
+
+let run ?gate deploy spec profiles =
+  let config = validate spec profiles in
+  let params = deploy.Deployment.params in
+  let host_name = Sim.Node.name deploy.Deployment.host in
+  let host_srv =
+    Server.create ~name:"host.cores"
+      ~slots:(Sim.Cpu.cores (Sim.Node.cpu deploy.Deployment.host))
+  in
+  let storage_srv =
+    Server.create ~name:"storage.cores"
+      ~slots:(Sim.Cpu.cores (Sim.Node.cpu deploy.Deployment.storage))
+  in
+  let device_srv =
+    Server.create ~name:"storage.device" ~slots:spec.device_queue_depth
+  in
+  let channel_srv = Server.create ~name:"channel" ~slots:spec.channel_streams in
+  let epc_limit = params.Sim.Params.epc_limit_bytes in
+  let epc_resident = ref 0 in
+  let prng = Sim.Prng.create ~seed:spec.seed in
+  let n_tenants = List.length spec.tenants in
+  let n_profiles = List.length profiles in
+
+  (* event queue *)
+  let queue = ref Emap.empty in
+  let seq = ref 0 in
+  let push t action =
+    queue := Emap.add (t, !seq) action !queue;
+    incr seq
+  in
+
+  (* bookkeeping *)
+  let log_rev = ref [] in
+  let logf fmt = Printf.ksprintf (fun s -> log_rev := s :: !log_rev) fmt in
+  let submitted = ref 0
+  and completed = ref 0
+  and shed = ref 0
+  and denied = ref 0 in
+  let latencies_rev = ref [] in
+  let records_rev = ref [] in
+  let makespan = ref 0.0 in
+  let tenant_stats : (string, tenant_stats) Hashtbl.t =
+    Hashtbl.create (max 4 n_tenants)
+  in
+  List.iter
+    (fun t ->
+      Hashtbl.replace tenant_stats t
+        { t_submitted = 0; t_completed = 0; t_shed = 0; t_denied = 0 })
+    spec.tenants;
+  let tstat tenant = Hashtbl.find tenant_stats tenant in
+  let finish_record task outcome ~start_ns ~done_ns =
+    task.start_ns <- start_ns;
+    if done_ns > !makespan then makespan := done_ns;
+    records_rev :=
+      {
+        r_qid = task.qid;
+        r_label = task.tk_profile.qp_label;
+        r_tenant = task.tenant;
+        r_lane = task.lane;
+        r_arrive_ns = task.arrive_ns;
+        r_start_ns = start_ns;
+        r_done_ns = done_ns;
+        r_outcome = outcome;
+        r_segments = List.rev task.segments_rev;
+      }
+      :: !records_rev
+  in
+
+  (* admission state *)
+  let inflight = ref 0 in
+  let waitq : task Queue.t = Queue.create () in
+  let free_lanes = ref (List.init spec.max_inflight Fun.id) in
+  let take_lane task =
+    if task.session >= 0 then task.session
+    else
+      match !free_lanes with
+      | l :: rest ->
+          free_lanes := rest;
+          l
+      | [] -> 0 (* unreachable: guarded by max_inflight *)
+  in
+  let release_lane task =
+    if task.session < 0 then
+      free_lanes := List.sort compare (task.lane :: !free_lanes)
+  in
+
+  (* closed-loop continuation: sessions resubmit until the global query
+     budget is spent *)
+  let next_qid = ref 0 in
+  let remaining = ref spec.queries in
+  let new_task ~session ~tenant ~arrive_ns prof =
+    let qid = !next_qid in
+    incr next_qid;
+    {
+      qid;
+      session;
+      tenant;
+      tk_profile = prof;
+      arrive_ns;
+      events = [];
+      h = arrive_ns;
+      s = arrive_ns;
+      lane = session;
+      start_ns = arrive_ns;
+      segments_rev = [];
+    }
+  in
+  let draw_profile () = List.nth profiles (Sim.Prng.rand_int prng n_profiles) in
+  let submit_session_query session t =
+    let tenant = List.nth spec.tenants (session mod n_tenants) in
+    let prof = draw_profile () in
+    push t (Arrive (new_task ~session ~tenant ~arrive_ns:t prof))
+  in
+  let session_next session t =
+    match spec.arrival with
+    | Open_loop _ -> ()
+    | Closed_loop { think_ns; _ } ->
+        if !remaining > 0 then begin
+          decr remaining;
+          let think = Sim.Prng.exponential prng ~mean_ns:think_ns in
+          submit_session_query session (t +. think)
+        end
+  in
+
+  (* EPC pressure: concurrent residency beyond this query's own working
+     set inflates its paging cost (alone, the factor is exactly 1). *)
+  let epc_factor task =
+    let others = !epc_resident - task.tk_profile.qp_working_set in
+    if others <= 0 || epc_limit <= 0 then 1.0
+    else 1.0 +. (float_of_int others /. float_of_int epc_limit)
+  in
+  let ready_time task =
+    match task.events with
+    | [] | Sim.Tape.Sync _ :: _ -> Float.max task.h task.s
+    | Sim.Tape.Charge { node; _ } :: _ ->
+        if node = host_name then task.h else task.s
+  in
+
+  let rec admit task t =
+    let verdict =
+      match gate with
+      | None -> Ok ()
+      | Some g -> g ~tenant:task.tenant ~sql:task.tk_profile.qp_sql
+    in
+    match verdict with
+    | Error e ->
+        incr denied;
+        (tstat task.tenant).t_denied <- (tstat task.tenant).t_denied + 1;
+        Obs.Obs.count ~scope:"sched" "denied";
+        logf "%.0f deny q%d tenant=%s (%s)" t task.qid task.tenant e;
+        finish_record task (Denied e) ~start_ns:t ~done_ns:t;
+        session_next task.session t
+    | Ok () ->
+        incr inflight;
+        task.lane <- take_lane task;
+        task.h <- t;
+        task.s <- t;
+        task.events <-
+          (if spec.control_ns > 0.0 then
+             Sim.Tape.Charge
+               { node = host_name; category = "policy"; ns = spec.control_ns }
+             :: task.tk_profile.qp_tape
+           else task.tk_profile.qp_tape);
+        task.start_ns <- t;
+        epc_resident := !epc_resident + task.tk_profile.qp_working_set;
+        logf "%.0f start q%d lane=%d inflight=%d" t task.qid task.lane !inflight;
+        push (ready_time task) (Step task)
+
+  and dispatch t =
+    if !inflight < spec.max_inflight && not (Queue.is_empty waitq) then begin
+      let task = Queue.pop waitq in
+      admit task t;
+      dispatch t
+    end
+  in
+
+  let arrive task t =
+    incr submitted;
+    (tstat task.tenant).t_submitted <- (tstat task.tenant).t_submitted + 1;
+    Obs.Obs.count ~scope:"sched" "submitted";
+    logf "%.0f submit q%d tenant=%s query=%s" t task.qid task.tenant
+      task.tk_profile.qp_label;
+    if !inflight < spec.max_inflight then admit task t
+    else if Queue.length waitq < spec.queue_depth then begin
+      Queue.push task waitq;
+      logf "%.0f enqueue q%d depth=%d" t task.qid (Queue.length waitq)
+    end
+    else begin
+      (* backpressure: the run queue is full — refuse, loudly *)
+      incr shed;
+      (tstat task.tenant).t_shed <- (tstat task.tenant).t_shed + 1;
+      Obs.Obs.count ~scope:"sched" "shed";
+      logf "%.0f shed q%d queue_full depth=%d" t task.qid spec.queue_depth;
+      finish_record task
+        (Shed (Queue_full { depth = spec.queue_depth }))
+        ~start_ns:t ~done_ns:t;
+      session_next task.session t
+    end
+  in
+
+  let complete task =
+    let done_t = Float.max task.h task.s in
+    let latency = done_t -. task.arrive_ns in
+    incr completed;
+    (tstat task.tenant).t_completed <- (tstat task.tenant).t_completed + 1;
+    Obs.Obs.count ~scope:"sched" "completed";
+    latencies_rev := latency :: !latencies_rev;
+    logf "%.0f done q%d latency=%.0f" done_t task.qid latency;
+    finish_record task
+      (Completed { latency_ns = latency })
+      ~start_ns:task.start_ns ~done_ns:done_t;
+    decr inflight;
+    release_lane task;
+    epc_resident := !epc_resident - task.tk_profile.qp_working_set;
+    dispatch done_t;
+    session_next task.session done_t
+  in
+
+  let step task =
+    match task.events with
+    | [] -> complete task
+    | ev :: rest ->
+        task.events <- rest;
+        (match ev with
+        | Sim.Tape.Charge { node; category; ns } ->
+            if ns > 0.0 then begin
+              let on_host = node = host_name in
+              let server =
+                if on_host then host_srv
+                else if category = "io" then device_srv
+                else storage_srv
+              in
+              let dur =
+                if category = "epc" then ns *. epc_factor task else ns
+              in
+              let at = if on_host then task.h else task.s in
+              let start = Server.request server ~at ~duration_ns:dur in
+              let fin = start +. dur in
+              if on_host then task.h <- fin else task.s <- fin;
+              task.segments_rev <-
+                (node ^ "." ^ category, start, fin) :: task.segments_rev
+            end
+        | Sim.Tape.Sync { transfer_ns } ->
+            let at = Float.max task.h task.s in
+            let fin =
+              if transfer_ns > 0.0 then begin
+                let start =
+                  Server.request channel_srv ~at ~duration_ns:transfer_ns
+                in
+                task.segments_rev <-
+                  ("channel.transfer", start, start +. transfer_ns)
+                  :: task.segments_rev;
+                start +. transfer_ns
+              end
+              else at
+            in
+            task.h <- fin;
+            task.s <- fin);
+        push (ready_time task) (Step task)
+  in
+
+  (* seed the arrival process *)
+  (match spec.arrival with
+  | Open_loop { qps } ->
+      let mean_gap = 1e9 /. qps in
+      let t = ref 0.0 in
+      for _ = 1 to spec.queries do
+        t := !t +. Sim.Prng.exponential prng ~mean_ns:mean_gap;
+        let tenant = List.nth spec.tenants (Sim.Prng.rand_int prng n_tenants) in
+        let prof = draw_profile () in
+        push !t (Arrive (new_task ~session:(-1) ~tenant ~arrive_ns:!t prof))
+      done;
+      remaining := 0
+  | Closed_loop { sessions; _ } ->
+      for s = 0 to sessions - 1 do
+        if !remaining > 0 then begin
+          decr remaining;
+          submit_session_query s 0.0
+        end
+      done);
+
+  (* main loop *)
+  let rec drain () =
+    match Emap.min_binding_opt !queue with
+    | None -> ()
+    | Some (((t, _) as key), action) ->
+        queue := Emap.remove key !queue;
+        (match action with Arrive task -> arrive task t | Step task -> step task);
+        drain ()
+  in
+  drain ();
+
+  let makespan_ns = !makespan in
+  {
+    rep_config = config;
+    rep_spec = spec;
+    rep_submitted = !submitted;
+    rep_completed = !completed;
+    rep_shed = !shed;
+    rep_denied = !denied;
+    rep_makespan_ns = makespan_ns;
+    rep_throughput_qps =
+      (if makespan_ns > 0.0 then float_of_int !completed /. (makespan_ns /. 1e9)
+       else 0.0);
+    rep_latency = latency_stats_of !latencies_rev;
+    rep_per_tenant = List.map (fun t -> (t, tstat t)) spec.tenants;
+    rep_records =
+      List.sort (fun a b -> Int.compare a.r_qid b.r_qid) !records_rev;
+    rep_event_log = List.rev !log_rev;
+    rep_util =
+      List.map
+        (fun srv -> (Server.name srv, Server.utilization srv ~makespan_ns))
+        [ host_srv; storage_srv; device_srv; channel_srv ];
+  }
+
+(* -- tenant gate through the trusted monitor --------------------------- *)
+
+(* Each query is authorized under its tenant's principal: the monitor
+   checks the access policy, logs obligations/denials in the audit log
+   and issues (then releases) a session key — the control-path work the
+   [control_ns] charge accounts for on the virtual clocks. *)
+let monitor_gate ?(database = "ironsafe") deploy =
+  let monitor = deploy.Deployment.monitor in
+  let catalog = Sql.Database.catalog deploy.Deployment.secure_db in
+  fun ~tenant ~sql ->
+    match
+      Ironsafe_monitor.Trusted_monitor.authorize monitor ~catalog
+        ~client_label:tenant ~database ~exec_policy:[] ~sql
+    with
+    | Error e -> Error e
+    | Ok auth ->
+        Ironsafe_monitor.Trusted_monitor.session_cleanup monitor
+          auth.Ironsafe_monitor.Trusted_monitor.auth_session_key;
+        Ok ()
+
+(* -- rendering --------------------------------------------------------- *)
+
+let ms ns = ns /. 1e6
+
+let percentile_table r =
+  Printf.sprintf
+    "%s %s completed=%d shed=%d denied=%d qps=%.3f p50=%.3fms p95=%.3fms p99=%.3fms mean=%.3fms max=%.3fms"
+    (Config.abbrev r.rep_config)
+    (arrival_name r.rep_spec.arrival)
+    r.rep_completed r.rep_shed r.rep_denied r.rep_throughput_qps
+    (ms r.rep_latency.p50_ns) (ms r.rep_latency.p95_ns)
+    (ms r.rep_latency.p99_ns) (ms r.rep_latency.mean_ns)
+    (ms r.rep_latency.max_ns)
+
+let pp_report ppf r =
+  Fmt.pf ppf "workload %s under %s:@." (arrival_name r.rep_spec.arrival)
+    (Config.abbrev r.rep_config);
+  Fmt.pf ppf "  submitted %d, completed %d, shed %d, denied %d@."
+    r.rep_submitted r.rep_completed r.rep_shed r.rep_denied;
+  Fmt.pf ppf "  makespan %.3f ms, throughput %.2f q/s@." (ms r.rep_makespan_ns)
+    r.rep_throughput_qps;
+  Fmt.pf ppf "  latency p50 %.3f / p95 %.3f / p99 %.3f / max %.3f ms@."
+    (ms r.rep_latency.p50_ns) (ms r.rep_latency.p95_ns)
+    (ms r.rep_latency.p99_ns) (ms r.rep_latency.max_ns);
+  List.iter
+    (fun (tenant, (st : tenant_stats)) ->
+      Fmt.pf ppf "  tenant %-12s submitted=%d completed=%d shed=%d denied=%d@."
+        tenant st.t_submitted st.t_completed st.t_shed st.t_denied)
+    r.rep_per_tenant;
+  List.iter
+    (fun (name, u) -> Fmt.pf ppf "  util %-16s %5.1f%%@." name (100.0 *. u))
+    r.rep_util
+
+let json_of_report r =
+  let b = Buffer.create 512 in
+  let addf fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  addf "{\"config\":%S," (Config.abbrev r.rep_config);
+  (match r.rep_spec.arrival with
+  | Open_loop { qps } -> addf "\"mode\":\"open\",\"qps\":%.3f," qps
+  | Closed_loop { sessions; think_ns } ->
+      addf "\"mode\":\"closed\",\"sessions\":%d,\"think_ms\":%.3f," sessions
+        (ms think_ns));
+  addf "\"seed\":%d,\"tenants\":%d," r.rep_spec.seed
+    (List.length r.rep_spec.tenants);
+  addf "\"submitted\":%d,\"completed\":%d,\"shed\":%d,\"denied\":%d,"
+    r.rep_submitted r.rep_completed r.rep_shed r.rep_denied;
+  addf "\"makespan_ms\":%.6f,\"throughput_qps\":%.6f," (ms r.rep_makespan_ns)
+    r.rep_throughput_qps;
+  addf
+    "\"latency_ms\":{\"mean\":%.6f,\"p50\":%.6f,\"p95\":%.6f,\"p99\":%.6f,\"max\":%.6f},"
+    (ms r.rep_latency.mean_ns) (ms r.rep_latency.p50_ns)
+    (ms r.rep_latency.p95_ns) (ms r.rep_latency.p99_ns)
+    (ms r.rep_latency.max_ns);
+  addf "\"per_tenant\":[";
+  List.iteri
+    (fun i (tenant, (st : tenant_stats)) ->
+      if i > 0 then addf ",";
+      addf "{\"tenant\":%S,\"submitted\":%d,\"completed\":%d,\"shed\":%d,\"denied\":%d}"
+        tenant st.t_submitted st.t_completed st.t_shed st.t_denied)
+    r.rep_per_tenant;
+  addf "],\"utilization\":{";
+  List.iteri
+    (fun i (name, u) ->
+      if i > 0 then addf ",";
+      addf "%S:%.6f" name u)
+    r.rep_util;
+  addf "}}";
+  Buffer.contents b
+
+(* -- Chrome trace lanes ------------------------------------------------ *)
+
+(* One lane (pid/tid) per concurrent session: closed-loop sessions map
+   to their session id, open-loop queries to the admission lane they
+   occupied. Queue wait renders as an explicit child segment. *)
+let to_spans ?(offset_ns = 0.0) r =
+  let mk ~name ~scope ~kind ~attrs b e =
+    let s = Obs.Span.make ~name ~scope ~kind ~attrs (offset_ns +. b) in
+    s.Obs.Span.end_ns <- offset_ns +. e;
+    s
+  in
+  List.map
+    (fun rc ->
+      match rc.r_outcome with
+      | Completed { latency_ns } ->
+          (* the root span occupies the lane [start, done] — a lane runs
+             one query at a time, so roots on a track never overlap;
+             queue wait is carried as an attribute (the lane was not
+             ours yet). Each resource's segments go on a per-resource
+             sub-track of the lane: host and storage clocks advance
+             concurrently within one query, and B/E events on a single
+             Chrome track must nest. *)
+          let scope = Printf.sprintf "session-%d" rc.r_lane in
+          let queued_ns = rc.r_start_ns -. rc.r_arrive_ns in
+          let root =
+            mk
+              ~name:(Printf.sprintf "%s#%d" rc.r_label rc.r_qid)
+              ~scope ~kind:Obs.Span.Complete
+              ~attrs:
+                ([
+                   ("tenant", rc.r_tenant);
+                   ("config", Config.abbrev r.rep_config);
+                   ("latency_ms", Printf.sprintf "%.3f" (ms latency_ns));
+                 ]
+                @
+                if queued_ns > 0.0 then
+                  [ ("queued_ms", Printf.sprintf "%.3f" (ms queued_ns)) ]
+                else [])
+              rc.r_start_ns rc.r_done_ns
+          in
+          let track name =
+            let res =
+              match String.index_opt name '.' with
+              | Some i -> String.sub name 0 i
+              | None -> name
+            in
+            scope ^ "." ^ res
+          in
+          let children =
+            List.map
+              (fun (name, b, e) ->
+                mk ~name ~scope:(track name) ~kind:Obs.Span.Complete ~attrs:[]
+                  b e)
+              rc.r_segments
+          in
+          root.Obs.Span.children_rev <- List.rev children;
+          root
+      | Shed _ ->
+          mk
+            ~name:(Printf.sprintf "shed#%d" rc.r_qid)
+            ~scope:"sched" ~kind:Obs.Span.Instant
+            ~attrs:[ ("tenant", rc.r_tenant); ("reason", "queue_full") ]
+            rc.r_arrive_ns rc.r_arrive_ns
+      | Denied reason ->
+          mk
+            ~name:(Printf.sprintf "denied#%d" rc.r_qid)
+            ~scope:"sched" ~kind:Obs.Span.Instant
+            ~attrs:[ ("tenant", rc.r_tenant); ("reason", reason) ]
+            rc.r_arrive_ns rc.r_arrive_ns)
+    r.rep_records
+
+let trace_json r = Obs.Chrome_trace.to_json (to_spans r)
+
+(* Splice the lanes into the global observability collector (no-op with
+   tracing off), shifted past everything already recorded so the bench
+   --trace-out file keeps a monotonic timeline. *)
+let add_to_collector r =
+  if Obs.Obs.enabled () then begin
+    Obs.Obs.new_epoch ();
+    let off = Obs.Span.current_epoch () in
+    List.iter Obs.Span.add_root (to_spans ~offset_ns:off r)
+  end

@@ -1,0 +1,165 @@
+(** Multi-tenant workload scheduler: discrete-event concurrent query
+    execution with admission control and tail-latency reporting.
+
+    Queries are profiled once through the sequential {!Ironsafe.Runner}
+    (capturing their cost tape), then replayed concurrently against
+    contended servers — host cores, storage cores, NVMe queue depth,
+    host<->storage channel streams — under a virtual-time event queue,
+    with the SGX EPC modeled as shared capacity that inflates paging
+    cost with concurrent residency. Runs are deterministic: the same
+    seed and spec reproduce a byte-identical event log and percentile
+    table. *)
+
+(** {2 Query profiles} *)
+
+type query_profile = {
+  qp_label : string;
+  qp_sql : string;
+  qp_config : Ironsafe.Config.t;
+  qp_tape : Ironsafe_sim.Tape.event list;
+  qp_end_to_end_ns : float;  (** sequential (uncontended) latency *)
+  qp_working_set : int;  (** host-enclave residency, bytes *)
+}
+
+val profile :
+  ?project:bool ->
+  Ironsafe.Deployment.t ->
+  Ironsafe.Config.t ->
+  label:string ->
+  sql:string ->
+  query_profile
+(** Run [sql] once through the sequential runner under tape capture
+    and package the result for replay. Resets the deployment first
+    (via the runner's own reset). *)
+
+val mean_sequential_ns : query_profile list -> float
+
+(** {2 Workload specification} *)
+
+type arrival =
+  | Open_loop of { qps : float }  (** Poisson arrivals at target rate *)
+  | Closed_loop of { sessions : int; think_ns : float }
+      (** N sessions, each submitting, waiting for completion, thinking
+          (exponential, mean [think_ns]), repeating *)
+
+type spec = {
+  seed : int;
+  arrival : arrival;
+  queries : int;  (** total queries submitted across the run *)
+  tenants : string list;
+  max_inflight : int;  (** admission bound: concurrently executing *)
+  queue_depth : int;  (** run-queue bound; beyond it arrivals shed *)
+  device_queue_depth : int;  (** NVMe queue-depth slots *)
+  channel_streams : int;  (** concurrent host<->storage transfers *)
+  control_ns : float;  (** per-query control-path charge on the host *)
+}
+
+val default_spec : spec
+(** Open loop at 100 q/s, 32 queries, one tenant, 8-way admission with
+    a 16-deep run queue, device QD 8, 2 channel streams, no control
+    charge. *)
+
+val arrival_name : arrival -> string
+
+(** {2 Outcomes} *)
+
+type shed_reason = Queue_full of { depth : int }
+
+type outcome =
+  | Completed of { latency_ns : float }
+  | Shed of shed_reason  (** refused at admission — never silent *)
+  | Denied of string  (** tenant gate (policy) refusal *)
+
+val outcome_name : outcome -> string
+
+type record = {
+  r_qid : int;
+  r_label : string;
+  r_tenant : string;
+  r_lane : int;  (** session lane (trace tid) *)
+  r_arrive_ns : float;
+  r_start_ns : float;  (** admission time; [= r_arrive_ns] if unqueued *)
+  r_done_ns : float;
+  r_outcome : outcome;
+  r_segments : (string * float * float) list;
+      (** (resource.category, begin, end), chronological *)
+}
+
+type latency_stats = {
+  mean_ns : float;
+  p50_ns : float;
+  p95_ns : float;
+  p99_ns : float;
+  max_ns : float;
+}
+
+type tenant_stats = {
+  mutable t_submitted : int;
+  mutable t_completed : int;
+  mutable t_shed : int;
+  mutable t_denied : int;
+}
+
+type report = {
+  rep_config : Ironsafe.Config.t;
+  rep_spec : spec;
+  rep_submitted : int;
+  rep_completed : int;
+  rep_shed : int;
+  rep_denied : int;
+  rep_makespan_ns : float;
+  rep_throughput_qps : float;
+  rep_latency : latency_stats;  (** over completed queries *)
+  rep_per_tenant : (string * tenant_stats) list;
+  rep_records : record list;  (** qid order *)
+  rep_event_log : string list;  (** chronological, deterministic *)
+  rep_util : (string * float) list;  (** server -> utilization, [0,1] *)
+}
+
+(** {2 Running} *)
+
+val run :
+  ?gate:(tenant:string -> sql:string -> (unit, string) result) ->
+  Ironsafe.Deployment.t ->
+  spec ->
+  query_profile list ->
+  report
+(** Simulate [spec]'s arrival process drawing uniformly from the query
+    mix [profiles]; [gate] (default: admit all) authorizes each query
+    under its tenant before it may execute.
+    @raise Invalid_argument on an infeasible spec, an empty mix, or a
+    mix spanning different configurations. *)
+
+val monitor_gate :
+  ?database:string ->
+  Ironsafe.Deployment.t ->
+  tenant:string ->
+  sql:string ->
+  (unit, string) result
+(** Gate backed by the deployment's trusted monitor: authorizes the
+    query under the tenant's registered principal against the access
+    policy (issuing and immediately releasing a session key), so policy
+    denials surface as [Denied]. Tenants must be registered with the
+    monitor and the host attested. *)
+
+(** {2 Rendering} *)
+
+val percentile_table : report -> string
+(** One-line throughput + p50/p95/p99 summary (deterministic; used by
+    the determinism tests). *)
+
+val pp_report : Format.formatter -> report -> unit
+val json_of_report : report -> string
+
+val to_spans : ?offset_ns:float -> report -> Ironsafe_obs.Span.t list
+(** Chrome-trace lanes: one root span per completed query on lane
+    [session-<n>] (queue wait and every resource segment as children),
+    instant markers for sheds and denials. *)
+
+val trace_json : report -> string
+(** Standalone Chrome trace JSON for the report's lanes. *)
+
+val add_to_collector : report -> unit
+(** Splice the lanes into the global {!Ironsafe_obs} collector (after
+    an epoch bump, so timelines never overlap); no-op when tracing is
+    disabled. *)

@@ -1,0 +1,30 @@
+(** A contended resource as a FIFO multi-slot server (host cores,
+    storage cores, device queue depth, channel streams). Requests are
+    granted the earliest-free slot; an uncontended request starts
+    immediately and sees exactly its sequential service time. *)
+
+type t
+
+val create : name:string -> slots:int -> t
+(** @raise Invalid_argument when [slots < 1]. *)
+
+val name : t -> string
+val slots : t -> int
+
+val request : t -> at:float -> duration_ns:float -> float
+(** [request t ~at ~duration_ns] reserves the earliest-free slot from
+    virtual time [at]; returns the actual start time
+    ([>= at]; equal when a slot is free). Deterministic: ties pick the
+    lowest slot index.
+    @raise Invalid_argument on a negative duration. *)
+
+val busy_ns : t -> float
+(** Total service time granted. *)
+
+val wait_ns : t -> float
+(** Total queueing delay imposed on requests. *)
+
+val served : t -> int
+
+val utilization : t -> makespan_ns:float -> float
+(** [busy / (slots * makespan)], in [\[0, 1\]] for a consistent run. *)

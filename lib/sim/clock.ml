@@ -17,6 +17,8 @@ let advance t ns =
 let reset t = t.now_ns <- 0.0
 
 let sync a b transfer_ns =
+  if transfer_ns < 0.0 then invalid_arg "Clock.sync: negative transfer";
+  Tape.on_sync ~transfer_ns;
   let m = Float.max a.now_ns b.now_ns +. transfer_ns in
   a.now_ns <- m;
   b.now_ns <- m

@@ -9,4 +9,6 @@ val reset : t -> unit
 
 val sync : t -> t -> float -> unit
 (** [sync a b transfer_ns] models a blocking message exchange: both
-    clocks move to [max now_a now_b + transfer_ns]. *)
+    clocks move to [max now_a now_b + transfer_ns].
+    @raise Invalid_argument on a negative [transfer_ns] (validation
+    parity with {!advance}). *)

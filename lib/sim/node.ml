@@ -33,6 +33,7 @@ let now t = Clock.now t.clock
 let charge t ~category ns =
   Clock.advance t.clock ns;
   Trace.charge t.trace category ns;
+  Tape.on_charge ~node:t.name ~category ns;
   Ironsafe_obs.Obs.on_charge ~node:t.name ~category ns
 
 (* Observability span scoped to this node, timestamped with its

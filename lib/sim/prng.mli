@@ -1,0 +1,32 @@
+(** Shared seeded splitmix64 stream.
+
+    The single deterministic-randomness implementation of the stack:
+    fault plans ({!Ironsafe_fault.Fault}) and workload generators
+    ({!Ironsafe_sched.Sched}) all draw from instances of this stream,
+    so a seed reproduces the exact same schedule everywhere. *)
+
+type t
+
+val create : seed:int -> t
+(** The initial state is the seed itself (no pre-mixing) — the stream
+    consumed by existing seeded fault plans. *)
+
+val copy : t -> t
+(** Snapshot of the current state (advancing the copy does not advance
+    the original). *)
+
+val next_u64 : t -> int64
+
+val uniform : t -> float
+(** Uniform draw in [\[0, 1)] (top 53 bits of {!next_u64}). *)
+
+val rand_int : t -> int -> int
+(** [rand_int t bound] in [\[0, bound)]; [0] when [bound <= 0]. *)
+
+val exponential : t -> mean_ns:float -> float
+(** Exponential inter-arrival draw with the given mean (inverse CDF).
+    [mean_ns = 0.] returns [0.] but still consumes one draw.
+    @raise Invalid_argument on a negative mean. *)
+
+val fork : t -> t
+(** An independent child stream seeded from the parent's next output. *)

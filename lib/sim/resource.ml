@@ -29,7 +29,15 @@ let allocate t bytes =
       `Spill over
   | _ -> `Fits
 
-let release t bytes = t.used <- max 0 (t.used - bytes)
+(* Releasing more than is currently allocated is a caller bug (a
+   double release), not a clampable condition: under concurrent
+   interleavings a silent clamp-to-zero would mask the second release
+   and corrupt every later spill computation. *)
+let release t bytes =
+  if bytes < 0 then invalid_arg "Resource.release: negative size";
+  if bytes > t.used then
+    invalid_arg "Resource.release: releasing more than allocated";
+  t.used <- t.used - bytes
 
 let reset t =
   t.used <- 0;

@@ -7,9 +7,23 @@ val create : ?limit_bytes:int -> unit -> t
 
 val allocate : t -> int -> [ `Fits | `Spill of int ]
 (** Track an allocation; [`Spill n] reports how many of the new bytes
-    exceed the configured limit (caller charges spill cost). *)
+    exceed the configured limit (caller charges spill cost).
+
+    Spill semantics: only the {e overflow} fraction of the new
+    allocation spills — [n = min bytes (used - limit)] after the
+    allocation is counted. Bytes already over the limit from earlier
+    allocations are not re-reported; each byte of overflow is charged
+    exactly once, when it first crosses the limit. [spilled_bytes]
+    accumulates these overflow bytes until [reset]. Releasing memory
+    back below the limit does {e not} un-spill: the thrash already
+    happened. *)
 
 val release : t -> int -> unit
+(** Return [bytes] to the meter.
+    @raise Invalid_argument if [bytes] is negative or exceeds the
+    currently allocated amount — a double release is a caller bug and
+    must not be silently clamped away. *)
+
 val reset : t -> unit
 val used : t -> int
 val high_water : t -> int

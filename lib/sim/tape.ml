@@ -1,0 +1,49 @@
+(* Cost-segment tape: a recording of every primitive virtual-clock
+   operation a query run performs, in program order.
+
+   The sequential runner charges a query's costs as one atomic sequence
+   of clock advances and blocking syncs. The workload scheduler
+   (lib/sched) needs those same costs as *interleavable* events — so it
+   captures a run under [capture], then replays the tape through
+   contended resource servers. Replaying a tape alone reproduces the
+   sequential clocks bit-for-bit: [Charge] advances one node's clock by
+   [ns], [Sync] moves both clocks to [max + transfer_ns], exactly the
+   arithmetic of {!Node.charge} and {!Clock.sync}.
+
+   The hook is one ref dereference when no capture is active, so the
+   normal (unrecorded) paths pay nothing. *)
+
+type event =
+  | Charge of { node : string; category : string; ns : float }
+  | Sync of { transfer_ns : float }
+
+let recorder : (event -> unit) option ref = ref None
+
+let on_charge ~node ~category ns =
+  match !recorder with
+  | None -> ()
+  | Some f -> f (Charge { node; category; ns })
+
+let on_sync ~transfer_ns =
+  match !recorder with None -> () | Some f -> f (Sync { transfer_ns })
+
+let capturing () = !recorder <> None
+
+let capture f =
+  let buf = ref [] in
+  let prev = !recorder in
+  recorder := Some (fun e -> buf := e :: !buf);
+  let r = Fun.protect ~finally:(fun () -> recorder := prev) f in
+  (r, List.rev !buf)
+
+let total_ns events =
+  List.fold_left
+    (fun acc -> function
+      | Charge { ns; _ } -> acc +. ns
+      | Sync { transfer_ns } -> acc +. transfer_ns)
+    0.0 events
+
+let pp_event ppf = function
+  | Charge { node; category; ns } ->
+      Fmt.pf ppf "charge %s/%s %.1fns" node category ns
+  | Sync { transfer_ns } -> Fmt.pf ppf "sync %.1fns" transfer_ns

@@ -1,0 +1,31 @@
+(** Cost-segment recorder: captures the primitive clock operations of a
+    query run (per-node charges, blocking syncs) in program order, for
+    replay as interleavable events by the workload scheduler. *)
+
+type event =
+  | Charge of { node : string; category : string; ns : float }
+      (** one {!Node.charge}: [ns] of virtual time on [node],
+          attributed to [category] *)
+  | Sync of { transfer_ns : float }
+      (** one {!Clock.sync}: a blocking exchange; both clocks move to
+          [max + transfer_ns] *)
+
+val capture : (unit -> 'a) -> 'a * event list
+(** Run a thunk with recording on; returns its result and the recorded
+    events, oldest first. Nested captures record to the innermost
+    recorder; the previous one is restored on exit (also on raise). *)
+
+val capturing : unit -> bool
+
+val on_charge : node:string -> category:string -> float -> unit
+(** Hook called by {!Node.charge} (no-op unless capturing). *)
+
+val on_sync : transfer_ns:float -> unit
+(** Hook called by {!Clock.sync} (no-op unless capturing). *)
+
+val total_ns : event list -> float
+(** Sum of all charged and transfer time — an upper bound on the
+    single-node serial latency, {e not} the end-to-end latency (which
+    takes the max of two clocks at each sync). *)
+
+val pp_event : Format.formatter -> event -> unit

@@ -17,4 +17,5 @@ let () =
       ("obs", Test_obs.suite);
       ("differential", Test_differential.suite);
       ("faults", Test_fault.suite);
+      ("sched", Test_sched.suite);
     ]

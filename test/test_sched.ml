@@ -1,0 +1,313 @@
+(* Workload scheduler tests: PRNG, deterministic replay, sequential
+   equivalence (closed loop with one session reproduces the sequential
+   runner), admission control / typed sheds, and the tenant gate. *)
+
+open Ironsafe
+module Sim = Ironsafe_sim
+module Tpch = Ironsafe_tpch
+module Sched = Ironsafe_sched.Sched
+module Server = Ironsafe_sched.Server
+module Obs = Ironsafe_obs
+
+(* a tiny shared TPC-H deployment, built once and attested (the tenant
+   gate goes through the trusted monitor, which requires attestation) *)
+let deploy =
+  lazy
+    (let d =
+       Deployment.create ~seed:"sched-test"
+         ~populate:(fun db -> ignore (Tpch.Dbgen.populate db ~scale:0.002))
+         ()
+     in
+     (match Deployment.attest d with
+     | Ok () -> ()
+     | Error e -> Alcotest.failf "attestation failed: %s" e);
+     d)
+
+let mix_profiles d config =
+  List.map
+    (fun id ->
+      let q = Tpch.Queries.by_id id in
+      Sched.profile d config
+        ~label:(Printf.sprintf "q%d" id)
+        ~sql:q.Tpch.Queries.sql)
+    [ 1; 6 ]
+
+(* -- PRNG ---------------------------------------------------------------- *)
+
+let test_prng () =
+  let a = Sim.Prng.create ~seed:7 and b = Sim.Prng.create ~seed:7 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same seed, same stream" (Sim.Prng.next_u64 a)
+      (Sim.Prng.next_u64 b)
+  done;
+  let c = Sim.Prng.create ~seed:8 in
+  Alcotest.(check bool) "different seed diverges" true
+    (Sim.Prng.next_u64 a <> Sim.Prng.next_u64 c);
+  let u = Sim.Prng.create ~seed:1 in
+  for _ = 1 to 1000 do
+    let x = Sim.Prng.uniform u in
+    if x < 0.0 || x >= 1.0 then Alcotest.failf "uniform out of range: %f" x
+  done;
+  for _ = 1 to 1000 do
+    let k = Sim.Prng.rand_int u 10 in
+    if k < 0 || k >= 10 then Alcotest.failf "rand_int out of range: %d" k
+  done;
+  Alcotest.(check int) "rand_int of non-positive bound" 0
+    (Sim.Prng.rand_int u 0);
+  (* exponential: positive, roughly the requested mean over many draws *)
+  let n = 20_000 in
+  let sum = ref 0.0 in
+  for _ = 1 to n do
+    let x = Sim.Prng.exponential u ~mean_ns:100.0 in
+    if x < 0.0 then Alcotest.fail "negative exponential draw";
+    sum := !sum +. x
+  done;
+  let mean = !sum /. float_of_int n in
+  if mean < 90.0 || mean > 110.0 then
+    Alcotest.failf "exponential mean off: %f" mean;
+  Alcotest.check_raises "negative mean rejected"
+    (Invalid_argument "Prng.exponential: negative mean") (fun () ->
+      ignore (Sim.Prng.exponential u ~mean_ns:(-1.0)));
+  (* fork decorrelates without disturbing the parent *)
+  let p = Sim.Prng.create ~seed:3 in
+  let p' = Sim.Prng.copy p in
+  let child = Sim.Prng.fork p in
+  Alcotest.(check bool) "fork advances parent" true
+    (Sim.Prng.next_u64 p' <> Sim.Prng.next_u64 child);
+  ignore (Sim.Prng.next_u64 p)
+
+(* -- FIFO server --------------------------------------------------------- *)
+
+let test_server () =
+  let s = Server.create ~name:"s" ~slots:2 in
+  let feq = Alcotest.float 1e-9 in
+  Alcotest.check feq "slot 0 free" 0.0 (Server.request s ~at:0.0 ~duration_ns:10.0);
+  Alcotest.check feq "slot 1 free" 0.0 (Server.request s ~at:0.0 ~duration_ns:4.0);
+  (* both busy: next request waits for the earliest-free slot (t=4) *)
+  Alcotest.check feq "waits for earliest slot" 4.0
+    (Server.request s ~at:1.0 ~duration_ns:2.0);
+  (* uncontended later request starts on time *)
+  Alcotest.check feq "uncontended starts on time" 50.0
+    (Server.request s ~at:50.0 ~duration_ns:1.0);
+  Alcotest.check feq "wait accounted" 3.0 (Server.wait_ns s);
+  Alcotest.(check int) "served" 4 (Server.served s);
+  Alcotest.check_raises "no slots"
+    (Invalid_argument "Server.create: slots must be >= 1") (fun () ->
+      ignore (Server.create ~name:"x" ~slots:0))
+
+(* -- determinism --------------------------------------------------------- *)
+
+let test_determinism () =
+  let d = Lazy.force deploy in
+  List.iter
+    (fun config ->
+      let spec =
+        {
+          Sched.default_spec with
+          Sched.seed = 11;
+          arrival = Sched.Open_loop { qps = 300.0 };
+          queries = 24;
+          tenants = [ "a"; "b" ];
+          max_inflight = 3;
+          queue_depth = 4;
+        }
+      in
+      let r1 = Sched.run d spec (mix_profiles d config) in
+      let r2 = Sched.run d spec (mix_profiles d config) in
+      Alcotest.(check (list string))
+        (Config.abbrev config ^ ": event logs byte-identical")
+        r1.Sched.rep_event_log r2.Sched.rep_event_log;
+      Alcotest.(check string)
+        (Config.abbrev config ^ ": percentile tables byte-identical")
+        (Sched.percentile_table r1) (Sched.percentile_table r2))
+    Config.all
+
+(* -- sequential equivalence ---------------------------------------------- *)
+
+(* One closed-loop session replaying one query must reproduce the
+   sequential runner's end-to-end latency: alone, every server has a
+   free slot and the EPC inflation factor is exactly 1. *)
+let test_sequential_equivalence () =
+  let d = Lazy.force deploy in
+  List.iter
+    (fun config ->
+      let q = Tpch.Queries.by_id 6 in
+      let p = Sched.profile d config ~label:"q6" ~sql:q.Tpch.Queries.sql in
+      let spec =
+        {
+          Sched.default_spec with
+          Sched.arrival = Sched.Closed_loop { sessions = 1; think_ns = 0.0 };
+          queries = 1;
+          control_ns = 0.0;
+        }
+      in
+      let r = Sched.run d spec [ p ] in
+      Alcotest.(check int) "one completion" 1 r.Sched.rep_completed;
+      match (List.hd r.Sched.rep_records).Sched.r_outcome with
+      | Sched.Completed { latency_ns } ->
+          let seq = p.Sched.qp_end_to_end_ns in
+          if Float.abs (latency_ns -. seq) > 1e-6 *. Float.max 1.0 seq then
+            Alcotest.failf "%s: concurrent %f vs sequential %f"
+              (Config.abbrev config) latency_ns seq
+      | o -> Alcotest.failf "unexpected outcome %s" (Sched.outcome_name o))
+    Config.all
+
+(* contention must only ever add latency, never remove it *)
+let test_contention_monotone () =
+  let d = Lazy.force deploy in
+  let profiles = mix_profiles d Config.Scs in
+  let spec qps =
+    {
+      Sched.default_spec with
+      Sched.seed = 5;
+      arrival = Sched.Open_loop { qps };
+      queries = 24;
+      max_inflight = 2;
+      queue_depth = 24;
+    }
+  in
+  let seq_max =
+    List.fold_left (fun m p -> Float.max m p.Sched.qp_end_to_end_ns) 0.0 profiles
+  in
+  let slow = Sched.run d (spec 20.0) profiles in
+  let fast = Sched.run d (spec 2000.0) profiles in
+  Alcotest.(check bool) "all complete when idle" true
+    (slow.Sched.rep_completed = 24);
+  Alcotest.(check bool) "queueing inflates p99" true
+    (fast.Sched.rep_latency.Sched.p99_ns >= slow.Sched.rep_latency.Sched.p99_ns);
+  Alcotest.(check bool) "no completion beats the sequential minimum" true
+    (List.for_all
+       (fun r ->
+         match r.Sched.r_outcome with
+         | Sched.Completed { latency_ns } ->
+             (* every mix entry takes at least the fastest profile *)
+             latency_ns
+             >= List.fold_left
+                  (fun m p -> Float.min m p.Sched.qp_end_to_end_ns)
+                  seq_max profiles
+                -. 1e-6
+         | _ -> true)
+       fast.Sched.rep_records)
+
+(* -- admission control --------------------------------------------------- *)
+
+let test_admission_shed () =
+  let d = Lazy.force deploy in
+  let profiles = mix_profiles d Config.Vcs in
+  Obs.Obs.enable ();
+  Obs.Obs.reset ();
+  let spec =
+    {
+      Sched.default_spec with
+      Sched.seed = 9;
+      arrival = Sched.Open_loop { qps = 100_000.0 };
+      queries = 40;
+      max_inflight = 1;
+      queue_depth = 2;
+    }
+  in
+  let r = Sched.run d spec profiles in
+  let snap = Obs.Obs.metrics () in
+  Obs.Obs.disable ();
+  Alcotest.(check bool) "overload sheds" true (r.Sched.rep_shed > 0);
+  Alcotest.(check int) "every submission accounted" r.Sched.rep_submitted
+    (r.Sched.rep_completed + r.Sched.rep_shed + r.Sched.rep_denied);
+  Alcotest.(check int) "typed shed records match the count" r.Sched.rep_shed
+    (List.length
+       (List.filter
+          (fun rc ->
+            match rc.Sched.r_outcome with
+            | Sched.Shed (Sched.Queue_full { depth }) ->
+                Alcotest.(check int) "shed carries the queue depth" 2 depth;
+                true
+            | _ -> false)
+          r.Sched.rep_records));
+  Alcotest.(check int) "sheds counted in the metrics registry"
+    r.Sched.rep_shed
+    (Obs.Metrics.counter_value snap ~scope:"sched" "shed");
+  (* per-tenant counters add up too *)
+  List.iter
+    (fun (_, (st : Sched.tenant_stats)) ->
+      Alcotest.(check int) "tenant accounting" st.Sched.t_submitted
+        (st.Sched.t_completed + st.Sched.t_shed + st.Sched.t_denied))
+    r.Sched.rep_per_tenant
+
+(* -- tenant gate --------------------------------------------------------- *)
+
+let test_tenant_gate () =
+  let d = Lazy.force deploy in
+  let engine = Engine.create d in
+  ignore (Engine.register_client engine ~label:"acme" ());
+  Engine.set_access_policy engine "read ::= sessionKeyIs(acme)";
+  let gate = Sched.monitor_gate d in
+  let profiles = mix_profiles d Config.Scs in
+  let spec =
+    {
+      Sched.default_spec with
+      Sched.seed = 2;
+      arrival = Sched.Closed_loop { sessions = 2; think_ns = 0.0 };
+      queries = 8;
+      tenants = [ "acme"; "mallory" ];
+    }
+  in
+  let r = Sched.run ~gate d spec profiles in
+  let acme = List.assoc "acme" r.Sched.rep_per_tenant in
+  let mallory = List.assoc "mallory" r.Sched.rep_per_tenant in
+  Alcotest.(check int) "authorized tenant completes" acme.Sched.t_submitted
+    acme.Sched.t_completed;
+  Alcotest.(check bool) "acme ran" true (acme.Sched.t_submitted > 0);
+  Alcotest.(check int) "unauthorized tenant denied" mallory.Sched.t_submitted
+    mallory.Sched.t_denied;
+  Alcotest.(check bool) "mallory tried" true (mallory.Sched.t_submitted > 0);
+  Alcotest.(check bool) "denials carry the reason" true
+    (List.exists
+       (fun rc ->
+         match rc.Sched.r_outcome with
+         | Sched.Denied _ -> rc.Sched.r_tenant = "mallory"
+         | _ -> false)
+       r.Sched.rep_records)
+
+(* -- rendering ----------------------------------------------------------- *)
+
+let test_rendering () =
+  let d = Lazy.force deploy in
+  let profiles = mix_profiles d Config.Hos in
+  let spec =
+    {
+      Sched.default_spec with
+      Sched.seed = 4;
+      arrival = Sched.Closed_loop { sessions = 3; think_ns = 1e6 };
+      queries = 9;
+      max_inflight = 3;
+    }
+  in
+  let r = Sched.run d spec profiles in
+  Alcotest.(check bool) "report JSON parses" true
+    (Obs.Chrome_trace.is_valid_json (Sched.json_of_report r));
+  Alcotest.(check bool) "chrome trace parses" true
+    (Obs.Chrome_trace.is_valid_json (Sched.trace_json r));
+  (* one lane per concurrent session *)
+  let lanes =
+    List.sort_uniq compare
+      (List.filter_map
+         (fun s ->
+           if s.Obs.Span.kind = Obs.Span.Complete then Some s.Obs.Span.scope
+           else None)
+         (Sched.to_spans r))
+  in
+  Alcotest.(check (list string))
+    "one lane per session"
+    [ "session-0"; "session-1"; "session-2" ]
+    lanes
+
+let suite =
+  [
+    ("prng", `Quick, test_prng);
+    ("fifo server", `Quick, test_server);
+    ("determinism across configs", `Quick, test_determinism);
+    ("sequential equivalence", `Quick, test_sequential_equivalence);
+    ("contention is monotone", `Quick, test_contention_monotone);
+    ("admission control sheds", `Quick, test_admission_shed);
+    ("tenant gate denies", `Quick, test_tenant_gate);
+    ("rendering", `Quick, test_rendering);
+  ]

@@ -22,7 +22,10 @@ let test_clock_sync () =
   Clock.advance b 30.0;
   Clock.sync a b 20.0;
   Alcotest.check feq "a at max+transfer" 120.0 (Clock.now a);
-  Alcotest.check feq "b equals a" 120.0 (Clock.now b)
+  Alcotest.check feq "b equals a" 120.0 (Clock.now b);
+  Alcotest.check_raises "negative transfer"
+    (Invalid_argument "Clock.sync: negative transfer") (fun () ->
+      Clock.sync a b (-5.0))
 
 let test_trace () =
   let t = Trace.create () in
@@ -68,8 +71,13 @@ let test_resource () =
   Alcotest.(check int) "high water" 120 (Resource.high_water r);
   Resource.release r 60;
   Alcotest.(check int) "used after release" 60 (Resource.used r);
-  Resource.release r 1000;
-  Alcotest.(check int) "release clamps at zero" 0 (Resource.used r);
+  Alcotest.check_raises "over-release raises"
+    (Invalid_argument "Resource.release: releasing more than allocated")
+    (fun () -> Resource.release r 1000);
+  Alcotest.check_raises "negative release raises"
+    (Invalid_argument "Resource.release: negative size") (fun () ->
+      Resource.release r (-1));
+  Alcotest.(check int) "used unchanged by rejected release" 60 (Resource.used r);
   let unlimited = Resource.create () in
   (match Resource.allocate unlimited 1_000_000_000 with
   | `Fits -> ()
@@ -101,6 +109,34 @@ let test_node_memory_spill () =
   Node.allocate n ~category:"spill" 20_000;
   Alcotest.(check bool) "overflow charges" true (Trace.get (Node.trace n) "spill" > 0.0)
 
+let test_tape () =
+  let n = Node.create ~cores:1 ~params:Params.default ~name:"t" Cpu.Host_x86 in
+  let other = Clock.create () in
+  Alcotest.(check bool) "idle outside capture" false (Tape.capturing ());
+  let (), tape =
+    Tape.capture (fun () ->
+        Alcotest.(check bool) "capturing inside" true (Tape.capturing ());
+        Node.charge n ~category:"io" 10.0;
+        Node.charge n ~category:"ndp" 5.0;
+        Clock.sync (Node.clock n) other 3.0)
+  in
+  Alcotest.(check bool) "idle after capture" false (Tape.capturing ());
+  (match tape with
+  | [
+   Tape.Charge { node = "t"; category = "io"; ns = 10.0 };
+   Tape.Charge { node = "t"; category = "ndp"; ns = 5.0 };
+   Tape.Sync { transfer_ns = 3.0 };
+  ] ->
+      ()
+  | other ->
+      Alcotest.failf "unexpected tape: %s"
+        (String.concat "; " (List.map (Fmt.str "%a" Tape.pp_event) other)));
+  Alcotest.check feq "tape total covers charges and transfer" 18.0
+    (Tape.total_ns tape);
+  (* charges outside any capture are not recorded *)
+  Node.charge n ~category:"io" 1.0;
+  Alcotest.(check int) "tape unchanged" 3 (List.length tape)
+
 let qcheck_tests =
   let open QCheck in
   [
@@ -129,5 +165,6 @@ let suite =
     ("resource", `Quick, test_resource);
     ("node", `Quick, test_node);
     ("node memory spill", `Quick, test_node_memory_spill);
+    ("tape capture", `Quick, test_tape);
   ]
   @ List.map (QCheck_alcotest.to_alcotest ~long:false) qcheck_tests
