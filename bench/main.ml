@@ -16,8 +16,18 @@
      table4    attestation breakdown
      micro     bechamel microbenchmarks of the real primitives
 
+     microbench wall-clock ns/op of the hot-path kernels (AES, CBC,
+                SHA-256/HMAC, Merkle, secure-store read, buffer-pool
+                hit/miss) → BENCH_hotpath.json
+
    Usage: main.exe [--experiment <id>] [--scale <sf>] [--no-micro]
-          [--trace-out FILE]
+          [--trace-out FILE] [--quick] [--bench-out FILE]
+          [--check-floor FILE]
+
+   --quick shrinks the microbench measurement windows (CI mode);
+   --check-floor compares the microbench results against a floor file
+   (`kernel max-ns` lines) and fails the run if any kernel regresses
+   past 2x its entry.
 
    With --trace-out, observability collection is enabled for the whole
    run and a Chrome trace_event JSON (virtual-time timestamps; open in
@@ -746,6 +756,176 @@ let micro () =
   List.iter benchmark tests
 
 (* ------------------------------------------------------------------ *)
+(* Hot-path microbenchmark: wall-clock ns/op of the kernels on the
+   secure read path (AES, CBC page, SHA-256/HMAC, Merkle, secure-store
+   page read, buffer-pool hit vs miss), emitted as JSON so successive
+   runs have a trajectory to beat and CI can diff against the
+   checked-in floor file (bench/floor_hotpath.txt). Unlike the rest of
+   the harness these are real elapsed nanoseconds, not virtual time. *)
+
+let bench_quick = ref false
+let bench_out = ref "BENCH_hotpath.json"
+let floor_file = ref None
+
+(* ns/op by doubling the iteration count until the measurement window
+   is long enough to trust the wall clock *)
+let time_ns_per_op f =
+  let target_s = if !bench_quick then 0.02 else 0.25 in
+  for _ = 1 to 8 do
+    ignore (Sys.opaque_identity (f ()))
+  done;
+  let rec measure iters =
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to iters do
+      ignore (Sys.opaque_identity (f ()))
+    done;
+    let dt = Unix.gettimeofday () -. t0 in
+    if dt >= target_s then dt /. float_of_int iters *. 1e9
+    else measure (iters * 4)
+  in
+  measure 16
+
+let write_hotpath_json results =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "{\n";
+  Printf.bprintf buf "  \"schema\": \"ironsafe-hotpath-v1\",\n";
+  Printf.bprintf buf "  \"quick\": %b,\n" !bench_quick;
+  Buffer.add_string buf "  \"kernels\": {\n";
+  List.iteri
+    (fun i (name, ns) ->
+      Printf.bprintf buf "    %S: %.1f%s\n" name ns
+        (if i = List.length results - 1 then "" else ","))
+    results;
+  Buffer.add_string buf "  }\n}\n";
+  let oc = open_out !bench_out in
+  Buffer.output_buffer oc buf;
+  close_out oc;
+  Fmt.pr "@.wrote %s@." !bench_out
+
+(* Floor file: `kernel-name max-expected-ns` lines ('#' comments). A
+   kernel regressing past 2x its floor entry fails the run (CI gate). *)
+let load_floor file =
+  let ic = open_in file in
+  let rec go acc =
+    match input_line ic with
+    | exception End_of_file ->
+        close_in ic;
+        List.rev acc
+    | line ->
+        let line = String.trim line in
+        if line = "" || line.[0] = '#' then go acc
+        else Scanf.sscanf line " %s %f" (fun n v -> go ((n, v) :: acc))
+  in
+  go []
+
+let check_floor results file =
+  let floor = load_floor file in
+  let regressions =
+    List.filter_map
+      (fun (name, limit) ->
+        match List.assoc_opt name results with
+        | Some ns when ns > 2.0 *. limit -> Some (name, ns, limit)
+        | _ -> None)
+      floor
+  in
+  match regressions with
+  | [] -> Fmt.pr "floor check: all %d kernels within 2x of %s@."
+            (List.length floor) file
+  | rs ->
+      List.iter
+        (fun (name, ns, limit) ->
+          Fmt.epr "REGRESSION %s: %.1f ns/op > 2x floor %.1f ns/op@." name ns
+            limit)
+        rs;
+      exit 1
+
+let microbench _scale =
+  header "Hot-path microbenchmark (wall-clock ns/op)";
+  let module S = Ironsafe_storage in
+  let module Sec = Ironsafe_securestore in
+  let drbg = C.Drbg.create ~seed:"bench-hotpath" in
+  let page = C.Drbg.generate drbg 4096 in
+  let aes_key = C.Aes.expand_key (C.Drbg.generate drbg 16) in
+  let iv = C.Drbg.generate drbg 16 in
+  let ciphertext = C.Modes.cbc_encrypt ~key:aes_key ~iv page in
+  let hmac_key = C.Drbg.generate drbg 32 in
+  let prekey = C.Hmac.precompute ~key:hmac_key in
+  let block = Bytes.create 16 in
+  Bytes.blit_string page 0 block 0 16;
+  let merkle = C.Merkle.create ~key:hmac_key ~leaves:4096 in
+  C.Merkle.update merkle 17 page;
+  let proof = C.Merkle.prove merkle 17 in
+  let leaf = C.Merkle.leaf merkle 17 in
+  let root = C.Merkle.root merkle in
+  (* a real secure store: its read path is what the pool short-cuts *)
+  let data_pages = 64 in
+  let device =
+    S.Block_device.create ~pages:(Sec.Secure_store.device_pages_for ~data_pages)
+  in
+  let rpmb = S.Rpmb.create () in
+  let store =
+    match
+      Sec.Secure_store.initialize ~device ~rpmb
+        ~hardware_key:(String.make 32 'H') ~data_pages ~drbg ()
+    with
+    | Ok s -> s
+    | Error e -> failwith (Fmt.str "store init: %a" Sec.Secure_store.pp_error e)
+  in
+  let payload = String.sub page 0 Sec.Secure_store.capacity in
+  for i = 0 to data_pages - 1 do
+    match Sec.Secure_store.write_page store i payload with
+    | Ok () -> ()
+    | Error e -> failwith (Fmt.str "store write: %a" Sec.Secure_store.pp_error e)
+  done;
+  (* warm pool: every read of page 0 after the first is a hit *)
+  let hit_pool = Sql.Bufpool.create ~frames:16 (Sql.Pager.secure store) in
+  let hit_pager = Sql.Bufpool.pager hit_pool in
+  ignore (Sql.Pager.read hit_pager 0);
+  (* thrashing pool: one frame, two alternating pages — always a miss *)
+  let miss_pool = Sql.Bufpool.create ~frames:1 (Sql.Pager.secure store) in
+  let miss_pager = Sql.Bufpool.pager miss_pool in
+  let flip = ref false in
+  let kernels =
+    [
+      ("aes128-encrypt-block",
+       fun () -> C.Aes.encrypt_block_into aes_key block 0 block 0);
+      ("aes128-cbc-encrypt-4KiB",
+       fun () -> ignore (C.Modes.cbc_encrypt ~key:aes_key ~iv page));
+      ("aes128-cbc-decrypt-4KiB",
+       fun () -> ignore (C.Modes.cbc_decrypt ~key:aes_key ~iv ciphertext));
+      ("sha256-4KiB", fun () -> ignore (C.Sha256.digest page));
+      ("hmac-sha256-4KiB", fun () -> ignore (C.Hmac.mac ~key:hmac_key page));
+      ("hmac-sha256-4KiB-prekeyed",
+       fun () -> ignore (C.Hmac.mac_pre prekey page));
+      ("merkle-prove", fun () -> ignore (C.Merkle.prove merkle 17));
+      ("merkle-verify-path",
+       fun () ->
+         ignore (C.Merkle.verify ~key:hmac_key ~root ~leaf_tag:leaf proof));
+      ("securestore-read-page",
+       fun () -> ignore (Sec.Secure_store.read_page store 1));
+      ("bufpool-hit-read", fun () -> ignore (Sql.Pager.read hit_pager 0));
+      ("bufpool-miss-read",
+       fun () ->
+         flip := not !flip;
+         ignore (Sql.Pager.read miss_pager (if !flip then 2 else 3)));
+    ]
+  in
+  let results =
+    List.map
+      (fun (name, f) ->
+        let ns = time_ns_per_op f in
+        Fmt.pr "%-32s %14.1f ns/op@." name ns;
+        (name, ns))
+      kernels
+  in
+  let hit = List.assoc "bufpool-hit-read" results in
+  let direct = List.assoc "securestore-read-page" results in
+  if hit > 0.0 then
+    Fmt.pr "%-32s %14.1fx@." "pool-hit speedup vs direct read" (direct /. hit);
+  write_hotpath_json results;
+  Option.iter (check_floor results) !floor_file
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
@@ -763,6 +943,7 @@ let experiments =
     ("table4", table4);
     ("ablations", ablations);
     ("workload", workload);
+    ("microbench", microbench);
   ]
 
 (* The bench's "faults" JSON section: injection/recovery/rejection
@@ -818,6 +999,15 @@ let () =
         parse rest
     | "--trace-out" :: v :: rest ->
         trace_out := Some v;
+        parse rest
+    | "--quick" :: rest ->
+        bench_quick := true;
+        parse rest
+    | "--bench-out" :: v :: rest ->
+        bench_out := v;
+        parse rest
+    | "--check-floor" :: v :: rest ->
+        floor_file := Some v;
         parse rest
     | "--fault-seed" :: v :: rest ->
         fault_seed := int_of_string v;

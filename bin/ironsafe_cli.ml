@@ -16,9 +16,9 @@ module Sql = Ironsafe_sql
 module Tpch = Ironsafe_tpch
 module Fault = Ironsafe_fault.Fault
 
-let build_deployment ?(faults = Fault.none) scale =
+let build_deployment ?(faults = Fault.none) ?(pool_frames = 0) scale =
   let deploy =
-    Deployment.create ~seed:"ironsafe-cli" ~faults
+    Deployment.create ~seed:"ironsafe-cli" ~faults ~pool_frames
       ~populate:(fun db -> ignore (Tpch.Dbgen.populate db ~scale))
       ()
   in
@@ -80,6 +80,14 @@ let fault_seed_arg =
     & info [ "fault-seed" ] ~docv:"N"
         ~doc:"Seed for the deterministic fault schedule (same seed, same incidents).")
 
+let pool_frames_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "pool-frames" ] ~docv:"N"
+        ~doc:
+          "Decrypted-page buffer pool size in frames for both media (0 \
+           disables the pool entirely; reads then always hit the backend).")
+
 let fault_plan seed profile = Fault.of_profile ~seed profile
 
 let print_faults faults =
@@ -96,10 +104,10 @@ let print_metrics (m : Runner.metrics) =
     (m.Runner.end_to_end_ns /. 1e6)
     m.Runner.bytes_shipped m.Runner.pages_scanned
 
-let run_query ?(profile = false) ?(faults = Fault.none) scale config policy sql
-    =
+let run_query ?(profile = false) ?(faults = Fault.none) ?(pool_frames = 0)
+    scale config policy sql =
   if profile then Ironsafe_obs.Obs.enable ();
-  let deploy = build_deployment ~faults scale in
+  let deploy = build_deployment ~faults ~pool_frames scale in
   let engine = setup_engine deploy policy in
   match Engine.submit engine ~client:"cli" ~config ~sql () with
   | Error e ->
@@ -131,7 +139,8 @@ let query_cmd =
       & info [ "profile" ]
           ~doc:"Print the span tree and metrics of the run (virtual time).")
   in
-  let run scale config policy explain profile fault_seed fault_profile sql =
+  let run scale config policy explain profile fault_seed fault_profile
+      pool_frames sql =
     if explain then begin
       let deploy = build_deployment scale in
       let plan =
@@ -145,13 +154,13 @@ let query_cmd =
     else
       run_query ~profile
         ~faults:(fault_plan fault_seed fault_profile)
-        scale config policy sql
+        ~pool_frames scale config policy sql
   in
   Cmd.v
     (Cmd.info "query" ~doc:"Run one policy-checked SQL statement")
     Term.(
       const run $ scale_arg $ config_arg $ policy_arg $ explain $ profile
-      $ fault_seed_arg $ fault_profile_arg $ sql)
+      $ fault_seed_arg $ fault_profile_arg $ pool_frames_arg $ sql)
 
 let tpch_cmd =
   let id =
@@ -160,10 +169,10 @@ let tpch_cmd =
   let all =
     Arg.(value & flag & info [ "all-configs" ] ~doc:"Run under all five configurations.")
   in
-  let run scale config all fault_seed fault_profile id =
+  let run scale config all fault_seed fault_profile pool_frames id =
     let q = Tpch.Queries.by_id_complete id in
     let faults = fault_plan fault_seed fault_profile in
-    let deploy = build_deployment ~faults scale in
+    let deploy = build_deployment ~faults ~pool_frames scale in
     let configs = if all then Config.all else [ config ] in
     let code = ref 0 in
     List.iter
@@ -185,7 +194,7 @@ let tpch_cmd =
     (Cmd.info "tpch" ~doc:"Run a TPC-H query under one or all configurations")
     Term.(
       const run $ scale_arg $ config_arg $ all $ fault_seed_arg
-      $ fault_profile_arg $ id)
+      $ fault_profile_arg $ pool_frames_arg $ id)
 
 let workload_cmd =
   let module Sched = Ironsafe_sched.Sched in
@@ -248,8 +257,8 @@ let workload_cmd =
           ~doc:"Write a Chrome trace (one lane per session) to $(docv).")
   in
   let run scale config qps sessions think_ms queries tenants seed max_inflight
-      queue_depth json trace_out =
-    let deploy = build_deployment scale in
+      queue_depth json trace_out pool_frames =
+    let deploy = build_deployment ~pool_frames scale in
     let tenant_names =
       List.init (max 1 tenants) (Printf.sprintf "tenant-%d")
     in
@@ -315,7 +324,8 @@ let workload_cmd =
           report throughput and tail latency")
     Term.(
       const run $ scale_arg $ config_arg $ qps $ sessions $ think_ms $ queries
-      $ tenants $ seed $ max_inflight $ queue_depth $ json $ trace_out)
+      $ tenants $ seed $ max_inflight $ queue_depth $ json $ trace_out
+      $ pool_frames_arg)
 
 let shell_cmd =
   let run scale policy =

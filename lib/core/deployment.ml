@@ -28,6 +28,12 @@ type t = {
   secure_store : Sec.Secure_store.t;
   plain_db : Sql.Database.t;
   secure_db : Sql.Database.t;
+  (* decrypted-page buffer pools in front of each medium's pager
+     ([None] when [pool_frames] = 0: the pagers are not wrapped at all,
+     so pool-less runs are byte-identical to the pre-pool system) *)
+  pool_frames : int;
+  plain_pool : Sql.Bufpool.t option;
+  secure_pool : Sql.Bufpool.t option;
   (* TEEs *)
   ias : Tee.Sgx.ias;
   sgx : Tee.Sgx.platform;
@@ -76,7 +82,8 @@ let copy_database src dst =
 let create ?(params = Sim.Params.default) ?(host_cores = 10)
     ?(storage_cores = 16) ?storage_mem_limit ?(host_version = 1)
     ?(storage_version = 1) ?(storage_location = "eu-west")
-    ?(host_location = "eu-west") ?(faults = Fault.none) ~seed ~populate () =
+    ?(host_location = "eu-west") ?(faults = Fault.none) ?(pool_frames = 0)
+    ~seed ~populate () =
   let drbg = C.Drbg.create ~seed in
   let host =
     Sim.Node.create ~cores:host_cores ~params ~name:"host" Sim.Cpu.Host_x86
@@ -86,7 +93,14 @@ let create ?(params = Sim.Params.default) ?(host_cores = 10)
       ~name:"storage" Sim.Cpu.Storage_arm
   in
   (* 1. plain database on its own medium *)
-  let plain_pager = Sql.Pager.in_memory () in
+  let pool base =
+    if pool_frames > 0 then begin
+      let p = Sql.Bufpool.create ~frames:pool_frames base in
+      (Some p, Sql.Bufpool.pager p)
+    end
+    else (None, base)
+  in
+  let plain_pool, plain_pager = pool (Sql.Pager.in_memory ()) in
   let plain_db = Sql.Database.create ~pager:plain_pager in
   populate plain_db;
   let plain_pages = Sql.Catalog.total_pages (Sql.Database.catalog plain_db) in
@@ -127,8 +141,15 @@ let create ?(params = Sim.Params.default) ?(host_cores = 10)
           (Fmt.str "Deployment.create: secure store init failed: %a"
              Sec.Secure_store.pp_error e)
   in
-  let secure_db = Sql.Database.create ~pager:(Sql.Pager.secure secure_store) in
+  let secure_pool, secure_pager = pool (Sql.Pager.secure secure_store) in
+  let secure_db = Sql.Database.create ~pager:secure_pager in
   copy_database plain_db secure_db;
+  (* drain the pools before fault wiring so every setup write reaches
+     the media cleanly, and drop the frames so workloads start cold *)
+  Option.iter Sql.Bufpool.clear plain_pool;
+  Option.iter Sql.Bufpool.clear secure_pool;
+  Option.iter Sql.Bufpool.reset_stats plain_pool;
+  Option.iter Sql.Bufpool.reset_stats secure_pool;
   Sec.Secure_store.reset_stats secure_store;
   Storage.Block_device.reset_counters device_secure;
   (* 3. SGX host *)
@@ -170,6 +191,9 @@ let create ?(params = Sim.Params.default) ?(host_cores = 10)
     secure_store;
     plain_db;
     secure_db;
+    pool_frames;
+    plain_pool;
+    secure_pool;
     ias;
     sgx;
     host_enclave;
@@ -258,7 +282,22 @@ let attest_reliable ?host_location ?storage_location ?(max_attempts = 5) t =
   in
   attempt 0
 
+(* Bytes the secure pool occupies when fully populated — charged
+   against EPC residency where the decrypted cache lives inside the
+   host enclave (hos). Zero without a pool. *)
+let pool_bytes t =
+  match t.secure_pool with
+  | Some p -> Sql.Bufpool.capacity_bytes p
+  | None -> 0
+
 let reset_counters t =
+  (* write back and drop pool frames first (the write-backs bump media
+     counters, which the resets below then zero), so each measured run
+     starts from a cold, clean cache *)
+  Option.iter Sql.Bufpool.clear t.plain_pool;
+  Option.iter Sql.Bufpool.clear t.secure_pool;
+  Option.iter Sql.Bufpool.reset_stats t.plain_pool;
+  Option.iter Sql.Bufpool.reset_stats t.secure_pool;
   (* keep the observability timeline monotonic across the clock reset *)
   Ironsafe_obs.Obs.new_epoch ();
   Sim.Node.reset t.host;

@@ -14,6 +14,11 @@ type t = {
   secure_store : Ironsafe_securestore.Secure_store.t;
   plain_db : Ironsafe_sql.Database.t;
   secure_db : Ironsafe_sql.Database.t;
+  pool_frames : int;
+      (** frames per decrypted-page buffer pool (0 = the pagers are not
+          wrapped at all; runs are byte-identical to a pool-less build) *)
+  plain_pool : Ironsafe_sql.Bufpool.t option;
+  secure_pool : Ironsafe_sql.Bufpool.t option;
   ias : Ironsafe_tee.Sgx.ias;
   sgx : Ironsafe_tee.Sgx.platform;
   host_enclave : Ironsafe_tee.Sgx.enclave;
@@ -39,6 +44,7 @@ val create :
   ?storage_location:string ->
   ?host_location:string ->
   ?faults:Ironsafe_fault.Fault.t ->
+  ?pool_frames:int ->
   seed:string ->
   populate:(Ironsafe_sql.Database.t -> unit) ->
   unit ->
@@ -47,6 +53,11 @@ val create :
     its contents are then copied into the freshly initialized secure
     store. Defaults mirror the paper's testbed (§6.1): 10 host cores,
     16 storage cores, 96 MiB usable EPC.
+
+    [pool_frames] (default 0) interposes a {!Ironsafe_sql.Bufpool}
+    decrypted-page cache of that many frames in front of {e both}
+    media; population runs through the pools, which are then drained
+    and dropped so measured workloads start cold.
 
     A [faults] plan is wired into the secure medium (block device,
     RPMB, secure store) only {e after} population, so setup writes are
@@ -74,8 +85,14 @@ val attest_reliable :
     a genuine attestation failure (wrong software) is never retried
     away. *)
 
+val pool_bytes : t -> int
+(** Capacity of the secure medium's buffer pool in bytes (0 without a
+    pool); charged against EPC residency where the decrypted cache
+    lives inside the host enclave. *)
+
 val reset_counters : t -> unit
-(** Zero all clocks, traces, crypto statistics and TEE counters. *)
+(** Zero all clocks, traces, crypto statistics and TEE counters; pool
+    frames are written back and dropped so runs start cold. *)
 
 val with_nodes :
   ?host_cores:int -> ?storage_cores:int -> ?storage_mem_limit:int -> t -> t

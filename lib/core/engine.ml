@@ -210,6 +210,7 @@ let submit ?(exec_policy = "") ?(config = Config.Scs) t ~client ~sql () =
                       storage_breakdown = [];
                       bytes_shipped = 0;
                       pages_scanned = 0;
+                      page_hits = 0;
                       host_rows = rows;
                       storage_rows = 0;
                       result = { Sql.Exec.columns = []; rows = [] };

@@ -29,6 +29,9 @@ type metrics = {
   storage_breakdown : (string * float) list;
   bytes_shipped : int;
   pages_scanned : int;
+  page_hits : int;
+      (** buffer-pool hits: page reads served from the decrypted-page
+          cache, skipping I/O and (on the secure medium) crypto *)
   host_rows : int;
   storage_rows : int;
   result : Sql.Exec.result;
@@ -106,6 +109,18 @@ let charge_io node (params : Sim.Params.t) pages =
       Sim.Node.charge node ~category:"io"
         (float_of_int pages *. params.nvme_page_ns))
 
+(* Buffer-pool hits: the page is already decrypted and resident, so
+   instead of device + crypto cost the engine pays one in-memory cache
+   probe per access. Guarded so a pool-less run (hits = 0) emits no
+   extra span and its event stream stays byte-identical. *)
+let charge_cache_hits node (params : Sim.Params.t) hits =
+  if hits > 0 then
+    Sim.Node.with_span node ~name:"bufpool.hits"
+      ~attrs:[ ("hits", string_of_int hits) ]
+      (fun () ->
+        Sim.Node.charge node ~category:"io"
+          (float_of_int hits *. params.page_cache_ns))
+
 let charge_compute node ~rows =
   Sim.Node.with_span node ~name:"compute"
     ~attrs:[ ("rows", string_of_int rows) ]
@@ -172,7 +187,8 @@ let run_stmt ?(reset = true) ?project deploy config stmt =
   let params = d.Deployment.params in
   if reset then Deployment.reset_counters d;
   let host = d.Deployment.host and storage = d.Deployment.storage in
-  let finish ~result ~bytes_shipped ~pages ~host_rows ~storage_rows =
+  let finish ?(hits = 0) ~result ~bytes_shipped ~pages ~host_rows ~storage_rows
+      () =
     (* result shipping back to the client is charged to the host side *)
     Sim.Clock.sync (Sim.Node.clock host) (Sim.Node.clock storage) 0.0;
     {
@@ -182,6 +198,7 @@ let run_stmt ?(reset = true) ?project deploy config stmt =
       storage_breakdown = Sim.Trace.breakdown (Sim.Node.trace storage);
       bytes_shipped;
       pages_scanned = pages;
+      page_hits = hits;
       host_rows;
       storage_rows;
       result;
@@ -199,13 +216,17 @@ let run_stmt ?(reset = true) ?project deploy config stmt =
             | _ -> { Sql.Exec.columns = []; rows = [] })
       in
       let pages = c.Sql.Observer.page_reads in
+      let hits = c.Sql.Observer.page_hits in
       charge_io storage params pages;
+      (* hits are served from the host-side page cache: no device read,
+         no transfer *)
+      charge_cache_hits host params hits;
       let bytes = pages * params.Sim.Params.page_size in
       charge_transfer params storage host ~secure:false ~bytes
         ~messages:(message_count params bytes);
       charge_compute host ~rows:c.Sql.Observer.rows;
-      finish ~result ~bytes_shipped:bytes ~pages ~host_rows:c.Sql.Observer.rows
-        ~storage_rows:0
+      finish ~result ~bytes_shipped:bytes ~pages ~hits
+        ~host_rows:c.Sql.Observer.rows ~storage_rows:0 ()
   | Config.Hos ->
       (* host-only secure: encrypted pages cross the network; the host
          enclave decrypts and verifies freshness, keeping the Merkle
@@ -220,7 +241,11 @@ let run_stmt ?(reset = true) ?project deploy config stmt =
         snapshot_secure_stats d.Deployment.secure_store
       in
       let pages = c.Sql.Observer.page_reads in
+      let hits = c.Sql.Observer.page_hits in
       charge_io storage params pages;
+      (* a hit is a decrypted page already resident in the enclave:
+         no device read, no transfer, no decrypt/verify *)
+      charge_cache_hits host params hits;
       let bytes = pages * params.Sim.Params.page_size in
       charge_transfer params storage host ~secure:true ~bytes
         ~messages:(message_count params bytes);
@@ -232,16 +257,19 @@ let run_stmt ?(reset = true) ?project deploy config stmt =
       charge_epc host d.Deployment.host_enclave params
         ~working_set:
           (c.Sql.Observer.bytes_allocated
-          + merkle_bytes d.Deployment.secure_store)
+          + merkle_bytes d.Deployment.secure_store
+          + Deployment.pool_bytes d)
         ~accesses:(3 * pages);
-      finish ~result ~bytes_shipped:bytes ~pages ~host_rows:c.Sql.Observer.rows
-        ~storage_rows:0
+      finish ~result ~bytes_shipped:bytes ~pages ~hits
+        ~host_rows:c.Sql.Observer.rows ~storage_rows:0 ()
   | Config.Vcs ->
       let plan, sc, hc, result, bytes =
         run_split ?project d ~src_db:d.Deployment.plain_db ~stmt
       in
       let pages = sc.Sql.Observer.page_reads in
+      let hits = sc.Sql.Observer.page_hits in
       charge_io storage params pages;
+      charge_cache_hits storage params hits;
       Sim.Node.charge storage ~category:"other"
         (float_of_int (List.length plan.Partitioner.offload_sql)
         *. params.Sim.Params.offload_session_ns);
@@ -250,8 +278,8 @@ let run_stmt ?(reset = true) ?project deploy config stmt =
       charge_transfer params storage host ~secure:false ~bytes
         ~messages:(message_count params bytes);
       charge_compute host ~rows:hc.Sql.Observer.rows;
-      finish ~result ~bytes_shipped:bytes ~pages ~host_rows:hc.Sql.Observer.rows
-        ~storage_rows:sc.Sql.Observer.rows
+      finish ~result ~bytes_shipped:bytes ~pages ~hits
+        ~host_rows:hc.Sql.Observer.rows ~storage_rows:sc.Sql.Observer.rows ()
   | Config.Scs ->
       let plan, sc, hc, result, bytes =
         run_split ?project d ~src_db:d.Deployment.secure_db ~stmt
@@ -263,7 +291,9 @@ let run_stmt ?(reset = true) ?project deploy config stmt =
         snapshot_secure_stats d.Deployment.secure_store
       in
       let pages = sc.Sql.Observer.page_reads in
+      let hits = sc.Sql.Observer.page_hits in
       charge_io storage params pages;
+      charge_cache_hits storage params hits;
       (* storage-side decryption + freshness (near the data) *)
       charge_crypto storage params ~decrypts ~macs ~merkle ~rpmb;
       charge_compute storage ~rows:sc.Sql.Observer.rows;
@@ -276,8 +306,8 @@ let run_stmt ?(reset = true) ?project deploy config stmt =
       charge_epc host d.Deployment.host_enclave params
         ~working_set:hc.Sql.Observer.bytes_allocated
         ~accesses:(message_count params bytes);
-      finish ~result ~bytes_shipped:bytes ~pages ~host_rows:hc.Sql.Observer.rows
-        ~storage_rows:sc.Sql.Observer.rows
+      finish ~result ~bytes_shipped:bytes ~pages ~hits
+        ~host_rows:hc.Sql.Observer.rows ~storage_rows:sc.Sql.Observer.rows ()
   | Config.Sos ->
       (* whole query on the storage node *)
       let result, c =
@@ -290,7 +320,9 @@ let run_stmt ?(reset = true) ?project deploy config stmt =
         snapshot_secure_stats d.Deployment.secure_store
       in
       let pages = c.Sql.Observer.page_reads in
+      let hits = c.Sql.Observer.page_hits in
       charge_io storage params pages;
+      charge_cache_hits storage params hits;
       (* one engine instance: inline crypto and compute on one core *)
       charge_crypto ~parallel:false storage params ~decrypts ~macs ~merkle ~rpmb;
       Sim.Node.compute_serial storage ~category:"ndp"
@@ -303,8 +335,8 @@ let run_stmt ?(reset = true) ?project deploy config stmt =
           0 result.Sql.Exec.rows
       in
       charge_transfer params storage host ~secure:true ~bytes ~messages:1;
-      finish ~result ~bytes_shipped:bytes ~pages ~host_rows:0
-        ~storage_rows:c.Sql.Observer.rows
+      finish ~result ~bytes_shipped:bytes ~pages ~hits ~host_rows:0
+        ~storage_rows:c.Sql.Observer.rows ()
   in
   (* the root span's virtual duration is exactly [end_to_end_ns]: it
      opens at (reset) time zero on the host clock and closes after the

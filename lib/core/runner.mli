@@ -10,7 +10,10 @@ type metrics = {
   host_breakdown : (string * float) list;  (** per-category ns *)
   storage_breakdown : (string * float) list;
   bytes_shipped : int;  (** host<->storage data-path bytes *)
-  pages_scanned : int;  (** storage-medium data pages read *)
+  pages_scanned : int;  (** storage-medium data pages read (pool misses) *)
+  page_hits : int;
+      (** buffer-pool hits: reads served from the decrypted-page cache,
+          skipping device I/O and (on the secure medium) crypto *)
   host_rows : int;  (** row-operator steps on the host *)
   storage_rows : int;
   result : Ironsafe_sql.Exec.result;  (** identical across configs *)

@@ -142,25 +142,33 @@ let expand_key key_str =
   done;
   { enc = w; dec; rounds }
 
+(* Word load/store helpers. Offsets come from the block-mode drivers,
+   which iterate in exact 16-byte steps over buffers they sized — the
+   unchecked accessors keep the per-round cost to the table lookups. *)
 let get_word src off =
-  (Char.code (Bytes.get src off) lsl 24)
-  lor (Char.code (Bytes.get src (off + 1)) lsl 16)
-  lor (Char.code (Bytes.get src (off + 2)) lsl 8)
-  lor Char.code (Bytes.get src (off + 3))
+  (Char.code (Bytes.unsafe_get src off) lsl 24)
+  lor (Char.code (Bytes.unsafe_get src (off + 1)) lsl 16)
+  lor (Char.code (Bytes.unsafe_get src (off + 2)) lsl 8)
+  lor Char.code (Bytes.unsafe_get src (off + 3))
+
+let get_word_str src off =
+  (Char.code (String.unsafe_get src off) lsl 24)
+  lor (Char.code (String.unsafe_get src (off + 1)) lsl 16)
+  lor (Char.code (String.unsafe_get src (off + 2)) lsl 8)
+  lor Char.code (String.unsafe_get src (off + 3))
 
 let put_word dst off v =
-  Bytes.set dst off (Char.chr ((v lsr 24) land 0xff));
-  Bytes.set dst (off + 1) (Char.chr ((v lsr 16) land 0xff));
-  Bytes.set dst (off + 2) (Char.chr ((v lsr 8) land 0xff));
-  Bytes.set dst (off + 3) (Char.chr (v land 0xff))
+  Bytes.unsafe_set dst off (Char.unsafe_chr ((v lsr 24) land 0xff));
+  Bytes.unsafe_set dst (off + 1) (Char.unsafe_chr ((v lsr 16) land 0xff));
+  Bytes.unsafe_set dst (off + 2) (Char.unsafe_chr ((v lsr 8) land 0xff));
+  Bytes.unsafe_set dst (off + 3) (Char.unsafe_chr (v land 0xff))
 
-let encrypt_block_into key src soff dst doff =
+(* Core rounds; [s0..s3] are the state words already whitened with
+   round key 0. *)
+let encrypt_core key i0 i1 i2 i3 dst doff =
   let w = key.enc in
   let rounds = key.rounds in
-  let s0 = ref (get_word src soff lxor w.(0))
-  and s1 = ref (get_word src (soff + 4) lxor w.(1))
-  and s2 = ref (get_word src (soff + 8) lxor w.(2))
-  and s3 = ref (get_word src (soff + 12) lxor w.(3)) in
+  let s0 = ref i0 and s1 = ref i1 and s2 = ref i2 and s3 = ref i3 in
   for r = 1 to rounds - 1 do
     let t0 =
       te0.(!s0 lsr 24)
@@ -204,13 +212,28 @@ let encrypt_block_into key src soff dst doff =
   put_word dst (doff + 8) (final s2 s3 s0 s1 w.((4 * rounds) + 2));
   put_word dst (doff + 12) (final s3 s0 s1 s2 w.((4 * rounds) + 3))
 
-let decrypt_block_into key src soff dst doff =
+let encrypt_block_into key src soff dst doff =
+  let w = key.enc in
+  encrypt_core key
+    (get_word src soff lxor w.(0))
+    (get_word src (soff + 4) lxor w.(1))
+    (get_word src (soff + 8) lxor w.(2))
+    (get_word src (soff + 12) lxor w.(3))
+    dst doff
+
+let encrypt_str_into key src soff dst doff =
+  let w = key.enc in
+  encrypt_core key
+    (get_word_str src soff lxor w.(0))
+    (get_word_str src (soff + 4) lxor w.(1))
+    (get_word_str src (soff + 8) lxor w.(2))
+    (get_word_str src (soff + 12) lxor w.(3))
+    dst doff
+
+let decrypt_core key i0 i1 i2 i3 dst doff =
   let w = key.dec in
   let rounds = key.rounds in
-  let s0 = ref (get_word src soff lxor w.(0))
-  and s1 = ref (get_word src (soff + 4) lxor w.(1))
-  and s2 = ref (get_word src (soff + 8) lxor w.(2))
-  and s3 = ref (get_word src (soff + 12) lxor w.(3)) in
+  let s0 = ref i0 and s1 = ref i1 and s2 = ref i2 and s3 = ref i3 in
   for r = 1 to rounds - 1 do
     let t0 =
       td0.(!s0 lsr 24)
@@ -254,14 +277,32 @@ let decrypt_block_into key src soff dst doff =
   put_word dst (doff + 8) (final s2 s1 s0 s3 w.((4 * rounds) + 2));
   put_word dst (doff + 12) (final s3 s2 s1 s0 w.((4 * rounds) + 3))
 
+let decrypt_block_into key src soff dst doff =
+  let w = key.dec in
+  decrypt_core key
+    (get_word src soff lxor w.(0))
+    (get_word src (soff + 4) lxor w.(1))
+    (get_word src (soff + 8) lxor w.(2))
+    (get_word src (soff + 12) lxor w.(3))
+    dst doff
+
+let decrypt_str_into key src soff dst doff =
+  let w = key.dec in
+  decrypt_core key
+    (get_word_str src soff lxor w.(0))
+    (get_word_str src (soff + 4) lxor w.(1))
+    (get_word_str src (soff + 8) lxor w.(2))
+    (get_word_str src (soff + 12) lxor w.(3))
+    dst doff
+
 let encrypt_block key plain =
   if String.length plain <> 16 then invalid_arg "Aes.encrypt_block: need 16 bytes";
   let dst = Bytes.create 16 in
-  encrypt_block_into key (Bytes.of_string plain) 0 dst 0;
-  Bytes.to_string dst
+  encrypt_str_into key plain 0 dst 0;
+  Bytes.unsafe_to_string dst
 
 let decrypt_block key cipher =
   if String.length cipher <> 16 then invalid_arg "Aes.decrypt_block: need 16 bytes";
   let dst = Bytes.create 16 in
-  decrypt_block_into key (Bytes.of_string cipher) 0 dst 0;
-  Bytes.to_string dst
+  decrypt_str_into key cipher 0 dst 0;
+  Bytes.unsafe_to_string dst

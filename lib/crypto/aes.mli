@@ -21,3 +21,11 @@ val decrypt_block : key -> string -> string
 
 val encrypt_block_into : key -> Bytes.t -> int -> Bytes.t -> int -> unit
 val decrypt_block_into : key -> Bytes.t -> int -> Bytes.t -> int -> unit
+
+(* String-source variants: one 16-byte block read straight from an
+   immutable message (the block-mode hot paths decrypt ciphertext
+   strings without first copying them into a [Bytes.t]). In-place use
+   (src and dst aliasing) is safe for the [Bytes.t] variants: the
+   state words are loaded before anything is written. *)
+val encrypt_str_into : key -> string -> int -> Bytes.t -> int -> unit
+val decrypt_str_into : key -> string -> int -> Bytes.t -> int -> unit

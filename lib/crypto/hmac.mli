@@ -12,3 +12,24 @@ val mac : key:string -> string -> string
 
 val verify : key:string -> mac:string -> string -> bool
 (** Constant-time tag check. *)
+
+(** {2 Precomputed keys}
+
+    A {!prekey} holds the SHA-256 midstates after absorbing the
+    ipad/opad key blocks, so each subsequent MAC under the same key
+    skips both 64-byte key pads — roughly 2 of the 5 compressions of a
+    short-message HMAC. Tags are bit-identical to {!mac}. *)
+
+type prekey
+
+val precompute : key:string -> prekey
+(** Absorb [key]'s ipad/opad blocks once. *)
+
+val mac_pre : prekey -> string -> string
+(** [mac_pre pk msg = mac ~key msg] for the prekey's key. *)
+
+val mac_pre_list : prekey -> string list -> string
+(** MAC of the concatenation of the parts, without building it. *)
+
+val verify_pre : prekey -> mac:string -> string -> bool
+(** Constant-time tag check against a precomputed key. *)

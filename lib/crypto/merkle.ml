@@ -8,6 +8,7 @@
 
 type t = {
   key : string;
+  prekey : Hmac.prekey; (* ipad/opad midstates, absorbed once *)
   cap : int; (* power of two >= requested leaf count *)
   leaves : int; (* requested leaf count *)
   nodes : string array; (* 1-indexed heap: nodes.(1) = root *)
@@ -20,18 +21,33 @@ let rec next_pow2 n = if n <= 1 then 1 else 2 * next_pow2 ((n + 1) / 2)
 
 let hash_node t payload =
   t.hash_ops <- t.hash_ops + 1;
-  Hmac.mac ~key:t.key payload
+  Hmac.mac_pre t.prekey payload
+
+(* Internal node: HMAC of the two children, fed as parts so the
+   64-byte concatenation is never materialized. *)
+let hash_children t left right =
+  t.hash_ops <- t.hash_ops + 1;
+  Hmac.mac_pre_list t.prekey [ left; right ]
 
 let create ~key ~leaves =
   if leaves <= 0 then invalid_arg "Merkle.create: leaves must be positive";
   let cap = next_pow2 leaves in
-  let t = { key; cap; leaves; nodes = Array.make (2 * cap) ""; hash_ops = 0 } in
+  let t =
+    {
+      key;
+      prekey = Hmac.precompute ~key;
+      cap;
+      leaves;
+      nodes = Array.make (2 * cap) "";
+      hash_ops = 0;
+    }
+  in
   let empty = hash_node t empty_leaf_tag in
   for i = cap to (2 * cap) - 1 do
     t.nodes.(i) <- empty
   done;
   for i = cap - 1 downto 1 do
-    t.nodes.(i) <- hash_node t (t.nodes.(2 * i) ^ t.nodes.((2 * i) + 1))
+    t.nodes.(i) <- hash_children t t.nodes.(2 * i) t.nodes.((2 * i) + 1)
   done;
   t
 
@@ -52,7 +68,7 @@ let set_leaf t i tag =
   pos := !pos / 2;
   while !pos >= 1 do
     t.nodes.(!pos) <-
-      hash_node t (t.nodes.(2 * !pos) ^ t.nodes.((2 * !pos) + 1));
+      hash_children t t.nodes.(2 * !pos) t.nodes.((2 * !pos) + 1);
     pos := !pos / 2
   done
 
@@ -79,16 +95,18 @@ let prove t i =
    owner: the verifier may be a different party (e.g. the host checking
    a proof shipped by storage), so we take key and root explicitly. *)
 let verify ~key ~root:expected_root ~leaf_tag proof =
+  (* one key absorption serves the whole path *)
+  let pk = Hmac.precompute ~key in
   let counter = ref 0 in
-  let h payload =
+  let h a b =
     incr counter;
-    Hmac.mac ~key payload
+    Hmac.mac_pre_list pk [ a; b ]
   in
   let rec climb index node = function
     | [] -> node
     | sibling :: rest ->
         let parent =
-          if index land 1 = 0 then h (node ^ sibling) else h (sibling ^ node)
+          if index land 1 = 0 then h node sibling else h sibling node
         in
         climb (index / 2) parent rest
   in

@@ -1,13 +1,26 @@
 (* Block cipher modes over AES-128: CBC with PKCS#7 padding (the
    paper's SQLCipher setup uses AES-CBC per database page) and CTR for
-   stream-style channel encryption. *)
+   stream-style channel encryption.
+
+   Both CBC directions run in place over a single output buffer: the
+   only allocations per call are the output itself (and the unpadded
+   copy on decrypt) — no per-block temporaries, no staging copies of
+   the message. This is the secure store's per-page hot path. *)
 
 let xor_into dst doff src soff len =
   for i = 0 to len - 1 do
-    Bytes.set dst (doff + i)
-      (Char.chr
-         (Char.code (Bytes.get dst (doff + i))
-         lxor Char.code (Bytes.get src (soff + i))))
+    Bytes.unsafe_set dst (doff + i)
+      (Char.unsafe_chr
+         (Char.code (Bytes.unsafe_get dst (doff + i))
+         lxor Char.code (Bytes.unsafe_get src (soff + i))))
+  done
+
+let xor_str_into dst doff src soff len =
+  for i = 0 to len - 1 do
+    Bytes.unsafe_set dst (doff + i)
+      (Char.unsafe_chr
+         (Char.code (Bytes.unsafe_get dst (doff + i))
+         lxor Char.code (String.unsafe_get src (soff + i))))
   done
 
 (* -- CBC ----------------------------------------------------------- *)
@@ -33,33 +46,48 @@ let pkcs7_unpad s =
 
 let cbc_encrypt ~key ~iv plain =
   if String.length iv <> 16 then invalid_arg "Modes.cbc_encrypt: iv must be 16 bytes";
-  let padded = Bytes.of_string (pkcs7_pad plain) in
-  let n = Bytes.length padded in
+  let len = String.length plain in
+  let pad = 16 - (len mod 16) in
+  let n = len + pad in
+  (* pad directly into the output; each block is then xored with the
+     previous ciphertext block (already in [out]) and encrypted in
+     place — [Aes] loads the whole block before writing *)
   let out = Bytes.create n in
-  let prev = Bytes.of_string iv in
-  let block = Bytes.create 16 in
-  for i = 0 to (n / 16) - 1 do
-    Bytes.blit padded (i * 16) block 0 16;
-    xor_into block 0 prev 0 16;
-    Aes.encrypt_block_into key block 0 out (i * 16);
-    Bytes.blit out (i * 16) prev 0 16
+  Bytes.blit_string plain 0 out 0 len;
+  Bytes.fill out len pad (Char.chr pad);
+  xor_str_into out 0 iv 0 16;
+  Aes.encrypt_block_into key out 0 out 0;
+  for i = 1 to (n / 16) - 1 do
+    xor_into out (i * 16) out ((i - 1) * 16) 16;
+    Aes.encrypt_block_into key out (i * 16) out (i * 16)
   done;
-  Bytes.to_string out
+  Bytes.unsafe_to_string out
 
 let cbc_decrypt ~key ~iv cipher =
   if String.length iv <> 16 then invalid_arg "Modes.cbc_decrypt: iv must be 16 bytes";
   let n = String.length cipher in
   if n = 0 || n mod 16 <> 0 then Error "cbc: ciphertext not block aligned"
   else begin
-    let src = Bytes.of_string cipher in
+    (* the chaining block is just the previous ciphertext block, read
+       straight from the input string — no rolling [prev] buffer *)
     let out = Bytes.create n in
-    let prev = Bytes.of_string iv in
-    for i = 0 to (n / 16) - 1 do
-      Aes.decrypt_block_into key src (i * 16) out (i * 16);
-      xor_into out (i * 16) prev 0 16;
-      Bytes.blit src (i * 16) prev 0 16
+    Aes.decrypt_str_into key cipher 0 out 0;
+    xor_str_into out 0 iv 0 16;
+    for i = 1 to (n / 16) - 1 do
+      Aes.decrypt_str_into key cipher (i * 16) out (i * 16);
+      xor_str_into out (i * 16) cipher ((i - 1) * 16) 16
     done;
-    pkcs7_unpad (Bytes.to_string out)
+    (* unpad without round-tripping through an intermediate string *)
+    let pad = Char.code (Bytes.get out (n - 1)) in
+    if pad = 0 || pad > 16 || pad > n then Error "cbc: bad padding"
+    else begin
+      let ok = ref true in
+      for i = n - pad to n - 1 do
+        if Char.code (Bytes.get out i) <> pad then ok := false
+      done;
+      if !ok then Ok (Bytes.sub_string out 0 (n - pad))
+      else Error "cbc: bad padding"
+    end
   end
 
 (* -- CTR ----------------------------------------------------------- *)
@@ -90,4 +118,4 @@ let ctr_transform ~key ~nonce data =
     incr_counter ctr;
     off := !off + 16
   done;
-  Bytes.to_string out
+  Bytes.unsafe_to_string out

@@ -1,6 +1,13 @@
 (* SHA-256 (FIPS 180-4), implemented from scratch on 32-bit words.
    OCaml's native int is 63-bit so we mask to 32 bits after every
-   addition; logical ops never overflow the mask. *)
+   addition; logical ops never overflow the mask.
+
+   Hot-path notes: full 64-byte blocks arriving through [update] are
+   compressed straight out of the source string (no staging blit into
+   the context buffer), and the message schedule lives in one shared
+   scratch array — the inner loop allocates nothing. [copy] clones a
+   context mid-stream, which is what lets {!Hmac} precompute the
+   ipad/opad midstates once per key. *)
 
 type ctx = {
   mutable h0 : int;
@@ -49,25 +56,20 @@ let init () =
     total = 0;
   }
 
+let copy ctx = { ctx with buf = Bytes.copy ctx.buf }
+
 let w = Array.make 64 0 (* schedule scratch; module is not thread-safe *)
 
-let compress ctx block off =
-  for t = 0 to 15 do
-    let i = off + (t * 4) in
-    w.(t) <-
-      (Char.code (Bytes.get block i) lsl 24)
-      lor (Char.code (Bytes.get block (i + 1)) lsl 16)
-      lor (Char.code (Bytes.get block (i + 2)) lsl 8)
-      lor Char.code (Bytes.get block (i + 3))
-  done;
+(* Run the 64 rounds over a schedule already loaded into [w.(0..15)]. *)
+let compress_rounds ctx =
   for t = 16 to 63 do
-    let s0 =
-      rotr w.(t - 15) 7 lxor rotr w.(t - 15) 18 lxor (w.(t - 15) lsr 3)
-    in
-    let s1 =
-      rotr w.(t - 2) 17 lxor rotr w.(t - 2) 19 lxor (w.(t - 2) lsr 10)
-    in
-    w.(t) <- (w.(t - 16) + s0 + w.(t - 7) + s1) land mask
+    let wt15 = Array.unsafe_get w (t - 15) in
+    let wt2 = Array.unsafe_get w (t - 2) in
+    let s0 = rotr wt15 7 lxor rotr wt15 18 lxor (wt15 lsr 3) in
+    let s1 = rotr wt2 17 lxor rotr wt2 19 lxor (wt2 lsr 10) in
+    Array.unsafe_set w t
+      ((Array.unsafe_get w (t - 16) + s0 + Array.unsafe_get w (t - 7) + s1)
+      land mask)
   done;
   let a = ref ctx.h0
   and b = ref ctx.h1
@@ -80,7 +82,9 @@ let compress ctx block off =
   for t = 0 to 63 do
     let s1 = rotr !e 6 lxor rotr !e 11 lxor rotr !e 25 in
     let ch = !e land !f lxor (lnot !e land !g) in
-    let t1 = (!h + s1 + ch + k.(t) + w.(t)) land mask in
+    let t1 =
+      (!h + s1 + ch + Array.unsafe_get k t + Array.unsafe_get w t) land mask
+    in
     let s0 = rotr !a 2 lxor rotr !a 13 lxor rotr !a 22 in
     let maj = !a land !b lxor (!a land !c) lxor (!b land !c) in
     let t2 = (s0 + maj) land mask in
@@ -102,6 +106,30 @@ let compress ctx block off =
   ctx.h6 <- (ctx.h6 + !g) land mask;
   ctx.h7 <- (ctx.h7 + !h) land mask
 
+let compress ctx block off =
+  for t = 0 to 15 do
+    let i = off + (t * 4) in
+    w.(t) <-
+      (Char.code (Bytes.unsafe_get block i) lsl 24)
+      lor (Char.code (Bytes.unsafe_get block (i + 1)) lsl 16)
+      lor (Char.code (Bytes.unsafe_get block (i + 2)) lsl 8)
+      lor Char.code (Bytes.unsafe_get block (i + 3))
+  done;
+  compress_rounds ctx
+
+(* Same, reading the block straight from a string (the [feed] fast
+   path: full blocks never touch [ctx.buf]). *)
+let compress_str ctx s off =
+  for t = 0 to 15 do
+    let i = off + (t * 4) in
+    w.(t) <-
+      (Char.code (String.unsafe_get s i) lsl 24)
+      lor (Char.code (String.unsafe_get s (i + 1)) lsl 16)
+      lor (Char.code (String.unsafe_get s (i + 2)) lsl 8)
+      lor Char.code (String.unsafe_get s (i + 3))
+  done;
+  compress_rounds ctx
+
 let feed ctx s off len =
   ctx.total <- ctx.total + len;
   let pos = ref off and remaining = ref len in
@@ -118,8 +146,7 @@ let feed ctx s off len =
     end
   end;
   while !remaining >= 64 do
-    Bytes.blit_string s !pos ctx.buf 0 64;
-    compress ctx ctx.buf 0;
+    compress_str ctx s !pos;
     pos := !pos + 64;
     remaining := !remaining - 64
   done;
@@ -143,7 +170,7 @@ let finalize ctx =
       (pad_len + i)
       (Char.chr ((bit_len lsr (8 * (7 - i))) land 0xff))
   done;
-  feed ctx (Bytes.to_string pad) 0 (Bytes.length pad);
+  feed ctx (Bytes.unsafe_to_string pad) 0 (Bytes.length pad);
   assert (ctx.buf_len = 0);
   let out = Bytes.create 32 in
   let put i v =
@@ -160,7 +187,7 @@ let finalize ctx =
   put 5 ctx.h5;
   put 6 ctx.h6;
   put 7 ctx.h7;
-  Bytes.to_string out
+  Bytes.unsafe_to_string out
 
 let digest s =
   let ctx = init () in

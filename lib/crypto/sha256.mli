@@ -10,6 +10,11 @@ type ctx
 val init : unit -> ctx
 (** Fresh context. *)
 
+val copy : ctx -> ctx
+(** Independent clone of a mid-stream context. Feeding the copy does
+    not disturb the original — this is what lets HMAC precompute and
+    reuse the ipad/opad midstates for a long-lived key. *)
+
 val update : ctx -> string -> unit
 (** Absorb more message bytes. *)
 

@@ -260,7 +260,13 @@ let run ?gate deploy spec profiles =
   in
   let channel_srv = Server.create ~name:"channel" ~slots:spec.channel_streams in
   let epc_limit = params.Sim.Params.epc_limit_bytes in
-  let epc_resident = ref 0 in
+  (* EPC occupancy starts at the decrypted-page pool's footprint when
+     the pool lives inside the host enclave (hos); it is pinned cache
+     capacity every admitted query contends with. Zero without a pool,
+     so pool-less schedules are unchanged. *)
+  let epc_resident =
+    ref (if config = Config.Hos then Deployment.pool_bytes deploy else 0)
+  in
   let prng = Sim.Prng.create ~seed:spec.seed in
   let n_tenants = List.length spec.tenants in
   let n_profiles = List.length profiles in

@@ -80,6 +80,16 @@ type t = {
   data_pages : int;
   stats : stats;
   mutable anchored_root : string; (* last root HMAC written to RPMB *)
+  page_mac_prekey : C.Hmac.prekey; (* page MAC key, ipad/opad absorbed once *)
+  task_prekey : C.Hmac.prekey; (* TASK key, for the anchored-root MAC *)
+  mutable root_mac_memo : (string * string) option;
+      (* (root, HMAC_TASK(root)) of the last root MAC computed: every
+         page read must compare the current root's MAC against the
+         RPMB anchor, but between writes the root does not move, so
+         the HMAC is recomputed only when the root value changes. Keyed
+         on the root bytes themselves, the memo can never serve a MAC
+         for a root other than the current one — a write or an RPMB
+         resync changes the root (or the anchor) and misses the memo. *)
   mutable faults : Fault.t;
       (* fault plan shared with the device/RPMB; gates the recovery
          paths (re-read, counter re-sync) so they stay inert — and
@@ -132,8 +142,20 @@ let reset_stats t =
 
 let root_mac keys root = C.Hmac.mac ~key:(Keyslot.task_key keys) root
 
+(* Memoized [root_mac t.keys (Merkle.root t.merkle)]: hit when the
+   root is unchanged since the last computation, recomputed (and
+   re-memoized) otherwise. *)
+let current_root_mac t =
+  let root = C.Merkle.root t.merkle in
+  match t.root_mac_memo with
+  | Some (r, m) when String.equal r root -> m
+  | _ ->
+      let m = C.Hmac.mac_pre t.task_prekey root in
+      t.root_mac_memo <- Some (root, m);
+      m
+
 let anchor_root t =
-  let mac = root_mac t.keys (C.Merkle.root t.merkle) in
+  let mac = current_root_mac t in
   let mark = Fault.incident_count t.faults in
   let rec attempt n =
     let frame =
@@ -168,8 +190,13 @@ let persist_leaf_tag t index =
   S.Block_device.write_page t.device meta_page (Bytes.to_string page);
   t.stats.device_writes <- t.stats.device_writes + 1
 
-let mac_payload index iv ciphertext =
-  Printf.sprintf "%08d" index ^ iv ^ ciphertext
+(* MAC input: index | IV | ciphertext, fed to the prekeyed HMAC as
+   parts so the concatenation is never materialized. *)
+let mac_payload_parts index iv ciphertext =
+  [ Printf.sprintf "%08d" index; iv; ciphertext ]
+
+let page_mac t index iv ciphertext =
+  C.Hmac.mac_pre_list t.page_mac_prekey (mac_payload_parts index iv ciphertext)
 
 (* Encrypt and store [plain] (<= capacity bytes) at data page [index]. *)
 let write_page t index plain =
@@ -182,9 +209,7 @@ let write_page t index plain =
   let ciphertext = C.Modes.cbc_encrypt ~key:(page_key t index) ~iv plain in
   t.stats.page_encrypts <- t.stats.page_encrypts + 1;
   Obs.count ~scope:obs_scope "page_encrypts";
-  let mac =
-    C.Hmac.mac ~key:(Keyslot.page_mac_key t.keys) (mac_payload index iv ciphertext)
-  in
+  let mac = page_mac t index iv ciphertext in
   t.stats.page_mac_checks <- t.stats.page_mac_checks + 1;
   Obs.count ~scope:obs_scope "hmac_checks";
   let clen = String.length ciphertext in
@@ -217,13 +242,8 @@ let read_page_once t index =
     (* 1. page integrity: MAC over index|IV|ciphertext *)
     t.stats.page_mac_checks <- t.stats.page_mac_checks + 1;
     Obs.count ~scope:obs_scope "hmac_checks";
-    if
-      not
-        (C.Hmac.verify
-           ~key:(Keyslot.page_mac_key t.keys)
-           ~mac
-           (mac_payload index iv ciphertext))
-    then Error (Tampered_page index)
+    if not (C.Constant_time.equal (page_mac t index iv ciphertext) mac) then
+      Error (Tampered_page index)
     else begin
       (* 2. freshness: Merkle path from this leaf must reach the
          anchored root *)
@@ -236,9 +256,7 @@ let read_page_once t index =
       t.stats.merkle_hashes <- t.stats.merkle_hashes + hashes;
       Obs.count ~scope:obs_scope "merkle_verifies";
       if not ok then Error (Tampered_page index)
-      else if
-        not
-          (C.Constant_time.equal (root_mac t.keys (C.Merkle.root t.merkle)) t.anchored_root)
+      else if not (C.Constant_time.equal (current_root_mac t) t.anchored_root)
       then Error Stale_root
       else begin
         (* 3. decrypt *)
@@ -305,6 +323,9 @@ let initialize ?(key_mode = Single_key) ~device ~rpmb ~hardware_key ~data_pages
           key_mode;
           enc_key = C.Aes.expand_key (Keyslot.page_enc_key keys);
           page_keys = Array.make data_pages None;
+          page_mac_prekey = C.Hmac.precompute ~key:(Keyslot.page_mac_key keys);
+          task_prekey = C.Hmac.precompute ~key:(Keyslot.task_key keys);
+          root_mac_memo = None;
           merkle;
           drbg;
           data_pages;
@@ -348,6 +369,9 @@ let open_existing ?(key_mode = Single_key) ~device ~rpmb ~hardware_key
             key_mode;
             enc_key = C.Aes.expand_key (Keyslot.page_enc_key keys);
             page_keys = Array.make data_pages None;
+            page_mac_prekey = C.Hmac.precompute ~key:(Keyslot.page_mac_key keys);
+            task_prekey = C.Hmac.precompute ~key:(Keyslot.task_key keys);
+            root_mac_memo = None;
             merkle;
             drbg;
             data_pages;

@@ -1,0 +1,216 @@
+(* Decrypted-page buffer pool.
+
+   Sits between a backend pager (plain or secure) and the query
+   engines: a bounded set of frames holding plaintext pages, evicted
+   in LRU order with write-back of dirty frames. For the secure
+   backend this is the enclave-resident cache the paper assumes — a
+   hit skips the device read *and* the decrypt/Merkle-verify path
+   entirely, because the backend pager is never invoked.
+
+   Frames can be pinned: a pinned frame is never evicted. If every
+   frame is pinned and the pool is full, reads fall through to the
+   backend without caching (counted as misses) and writes go straight
+   through, so the pool degrades to pass-through rather than failing.
+
+   The LRU list is a circular doubly-linked list threaded through a
+   sentinel ([lru.next] = most recent, [lru.prev] = least recent), so
+   touch/evict are O(1); a hashtable maps page index to frame.
+
+   Counters are mirrored into the {!Ironsafe_obs} metrics registry
+   under scope "bufpool" so traces and metric dumps show hit/miss/
+   eviction behaviour alongside the simulator's charge accounting. *)
+
+type frame = {
+  page : int;
+  mutable data : string;
+  mutable dirty : bool;
+  mutable pins : int;
+  mutable prev : frame;
+  mutable next : frame;
+}
+
+type stats = {
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+  mutable writebacks : int;
+}
+
+type t = {
+  base : Pager.t;
+  frames : int;
+  tbl : (int, frame) Hashtbl.t;
+  lru : frame; (* sentinel *)
+  stats : stats;
+}
+
+let stats t = t.stats
+
+let reset_stats t =
+  t.stats.hits <- 0;
+  t.stats.misses <- 0;
+  t.stats.evictions <- 0;
+  t.stats.writebacks <- 0
+
+let create ~frames base =
+  if frames < 0 then invalid_arg "Bufpool.create: frames must be >= 0";
+  let rec lru =
+    { page = -1; data = ""; dirty = false; pins = 0; prev = lru; next = lru }
+  in
+  {
+    base;
+    frames;
+    tbl = Hashtbl.create (max 16 frames);
+    lru;
+    stats = { hits = 0; misses = 0; evictions = 0; writebacks = 0 };
+  }
+
+let frame_count t = Hashtbl.length t.tbl
+let capacity_bytes t = t.frames * Pager.capacity t.base
+let resident t i = Hashtbl.mem t.tbl i
+
+(* -- LRU list ------------------------------------------------------- *)
+
+let unlink f =
+  f.prev.next <- f.next;
+  f.next.prev <- f.prev
+
+let push_front t f =
+  f.next <- t.lru.next;
+  f.prev <- t.lru;
+  t.lru.next.prev <- f;
+  t.lru.next <- f
+
+let touch t f =
+  unlink f;
+  push_front t f
+
+(* -- eviction ------------------------------------------------------- *)
+
+let write_back t f =
+  if f.dirty then begin
+    Pager.write t.base f.page f.data;
+    f.dirty <- false;
+    t.stats.writebacks <- t.stats.writebacks + 1;
+    Ironsafe_obs.Obs.count ~scope:"bufpool" "writeback"
+  end
+
+(* Evict the least-recently-used unpinned frame. Returns false when
+   every frame is pinned (caller falls back to pass-through). *)
+let evict_one t =
+  let rec scan f =
+    if f == t.lru then false
+    else if f.pins = 0 then begin
+      write_back t f;
+      unlink f;
+      Hashtbl.remove t.tbl f.page;
+      t.stats.evictions <- t.stats.evictions + 1;
+      Ironsafe_obs.Obs.count ~scope:"bufpool" "eviction";
+      true
+    end
+    else scan f.prev
+  in
+  scan t.lru.prev
+
+(* Make room for one more frame; false if the pool is saturated with
+   pinned frames (or has zero frames). *)
+let ensure_room t =
+  if t.frames = 0 then false
+  else if Hashtbl.length t.tbl < t.frames then true
+  else evict_one t
+
+let install t page data ~dirty =
+  let f = { page; data; dirty; pins = 0; prev = t.lru; next = t.lru } in
+  Hashtbl.replace t.tbl page f;
+  push_front t f;
+  f
+
+(* -- page operations ------------------------------------------------ *)
+
+let read t i =
+  match Hashtbl.find_opt t.tbl i with
+  | Some f ->
+      touch t f;
+      t.stats.hits <- t.stats.hits + 1;
+      Ironsafe_obs.Obs.count ~scope:"bufpool" "hit";
+      f.data
+  | None ->
+      (* backend read; integrity failures propagate to the engine *)
+      let data = Pager.read t.base i in
+      t.stats.misses <- t.stats.misses + 1;
+      Ironsafe_obs.Obs.count ~scope:"bufpool" "miss";
+      if ensure_room t then ignore (install t i data ~dirty:false);
+      data
+
+let write t i data =
+  match Hashtbl.find_opt t.tbl i with
+  | Some f ->
+      f.data <- data;
+      f.dirty <- true;
+      touch t f
+  | None ->
+      if ensure_room t then ignore (install t i data ~dirty:true)
+      else Pager.write t.base i data
+
+let flush t =
+  (* write back in LRU-to-MRU order: deterministic, and the frames a
+     scan touched last land on the device last *)
+  let rec go f =
+    if f != t.lru then begin
+      write_back t f;
+      go f.prev
+    end
+  in
+  go t.lru.prev
+
+(* Drop every unpinned frame (after writing it back). Used when the
+   backing store is swapped or reset under the pool. *)
+let clear t =
+  let rec go f =
+    if f != t.lru then begin
+      let prev = f.prev in
+      if f.pins = 0 then begin
+        write_back t f;
+        unlink f;
+        Hashtbl.remove t.tbl f.page
+      end;
+      go prev
+    end
+  in
+  go t.lru.prev
+
+(* -- pinning -------------------------------------------------------- *)
+
+let pin t i =
+  match Hashtbl.find_opt t.tbl i with
+  | Some f ->
+      touch t f;
+      t.stats.hits <- t.stats.hits + 1;
+      Ironsafe_obs.Obs.count ~scope:"bufpool" "hit";
+      f.pins <- f.pins + 1
+  | None ->
+      let data = Pager.read t.base i in
+      t.stats.misses <- t.stats.misses + 1;
+      Ironsafe_obs.Obs.count ~scope:"bufpool" "miss";
+      if not (ensure_room t) then
+        invalid_arg "Bufpool.pin: no evictable frame";
+      let f = install t i data ~dirty:false in
+      f.pins <- f.pins + 1
+
+let unpin t i =
+  match Hashtbl.find_opt t.tbl i with
+  | Some f when f.pins > 0 -> f.pins <- f.pins - 1
+  | _ -> invalid_arg "Bufpool.unpin: page not pinned"
+
+let pinned t i =
+  match Hashtbl.find_opt t.tbl i with Some f -> f.pins > 0 | None -> false
+
+(* -- pager interface ------------------------------------------------ *)
+
+let pager t =
+  Pager.make
+    ~capacity:(Pager.capacity t.base)
+    ~read:(read t) ~write:(write t)
+    ~allocate:(fun () -> Pager.allocate t.base)
+    ~page_count:(fun () -> Pager.page_count t.base)
+    ~cached:(resident t) ~flush:(fun () -> flush t) ()

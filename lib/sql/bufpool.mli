@@ -1,0 +1,58 @@
+(** Decrypted-page buffer pool: a bounded LRU cache of plaintext pages
+    between a backend pager and the query engines. A hit on the secure
+    backend skips device I/O {e and} the decrypt/Merkle-verify path;
+    dirty frames are written back on eviction and on {!flush}. Pinned
+    frames are never evicted. With every frame pinned (or zero
+    frames), the pool degrades to pass-through.
+
+    Hit/miss/eviction/write-back counters are mirrored into the
+    {!Ironsafe_obs} metrics registry under scope ["bufpool"]. *)
+
+type t
+
+type stats = {
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+  mutable writebacks : int;
+}
+
+val create : frames:int -> Pager.t -> t
+(** Pool of at most [frames] pages in front of the given backend
+    pager. The backend keeps its own (usually null) observer; only
+    physical accesses reach it. *)
+
+val pager : t -> Pager.t
+(** The pool viewed as a pager: reads/writes go through the cache,
+    [Pager.cached] reports residency, [Pager.flush] writes back dirty
+    frames. Set the engine observer on {e this} pager, not the
+    backend's, so hits are reported with [~cached:true]. *)
+
+val read : t -> int -> string
+val write : t -> int -> string -> unit
+
+val flush : t -> unit
+(** Write back every dirty frame (frames stay resident). *)
+
+val clear : t -> unit
+(** Write back and drop every unpinned frame. *)
+
+val pin : t -> int -> unit
+(** Fault the page in (if absent) and make it unevictable. Counts as a
+    hit/miss like a read.
+    @raise Invalid_argument if no frame can be evicted to make room. *)
+
+val unpin : t -> int -> unit
+(** @raise Invalid_argument if the page is not pinned. *)
+
+val pinned : t -> int -> bool
+val resident : t -> int -> bool
+val frame_count : t -> int
+
+val capacity_bytes : t -> int
+(** [frames * page capacity] — what the pool occupies if fully
+    populated; the deployment charges this against EPC residency for
+    host-enclave configurations. *)
+
+val stats : t -> stats
+val reset_stats : t -> unit

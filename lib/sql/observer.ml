@@ -20,20 +20,29 @@ let null =
     on_release = ignore;
   }
 
-(* A counting observer, handy in tests. *)
+(* A counting observer, handy in tests. [page_reads] counts physical
+   (uncached) reads so existing I/O-cost consumers keep their meaning
+   when a buffer pool sits in front of the pager; pool hits land in
+   [page_hits]. *)
 type counters = {
   mutable rows : int;
   mutable page_reads : int;
+  mutable page_hits : int;
   mutable page_writes : int;
   mutable bytes_allocated : int;
 }
 
 let counting () =
-  let c = { rows = 0; page_reads = 0; page_writes = 0; bytes_allocated = 0 } in
+  let c =
+    { rows = 0; page_reads = 0; page_hits = 0; page_writes = 0; bytes_allocated = 0 }
+  in
   let obs =
     {
       on_rows = (fun n -> c.rows <- c.rows + n);
-      on_page_read = (fun ~cached:_ -> c.page_reads <- c.page_reads + 1);
+      on_page_read =
+        (fun ~cached ->
+          if cached then c.page_hits <- c.page_hits + 1
+          else c.page_reads <- c.page_reads + 1);
       on_page_write = (fun () -> c.page_writes <- c.page_writes + 1);
       on_alloc = (fun n -> c.bytes_allocated <- c.bytes_allocated + n);
       on_release = ignore;

@@ -14,7 +14,8 @@ val null : t
 
 type counters = {
   mutable rows : int;
-  mutable page_reads : int;
+  mutable page_reads : int;  (** physical (uncached) page reads *)
+  mutable page_hits : int;  (** buffer-pool hits (served without I/O) *)
   mutable page_writes : int;
   mutable bytes_allocated : int;
 }

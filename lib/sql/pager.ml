@@ -6,7 +6,10 @@
    Each pager exposes the payload capacity per page and a page
    allocator; the observer hook fires on every physical page access so
    the runner can charge I/O, decryption and freshness costs where the
-   page was actually processed. *)
+   page was actually processed. A buffering layer (see {!Bufpool}) can
+   interpose via [make]: its [cached] predicate tells the observer
+   whether a read is served from memory, and [flush] pushes buffered
+   dirty pages down to the backend. *)
 
 type t = {
   capacity : int;
@@ -14,90 +17,89 @@ type t = {
   write : int -> string -> unit;
   allocate : unit -> int;
   page_count : unit -> int;
+  cached : int -> bool;
+      (* would a read of this page skip the backend? Always false for
+         unbuffered pagers. *)
+  flush : unit -> unit;
   mutable observer : Observer.t;
 }
 
 let read t i =
-  t.observer.Observer.on_page_read ~cached:false;
+  t.observer.Observer.on_page_read ~cached:(t.cached i);
   t.read i
 
 let write t i data =
   t.observer.Observer.on_page_write ();
   t.write i data
 
+let make ~capacity ~read ~write ~allocate ~page_count
+    ?(cached = fun _ -> false) ?(flush = fun () -> ()) () =
+  { capacity; read; write; allocate; page_count; cached; flush;
+    observer = Observer.null }
+
 let in_memory () =
   let pages : (int, string) Hashtbl.t = Hashtbl.create 64 in
   let next = ref 0 in
-  {
-    capacity = 4096;
-    read =
-      (fun i ->
-        match Hashtbl.find_opt pages i with
-        | Some p -> p
-        | None -> String.make 4096 '\000');
-    write = (fun i data -> Hashtbl.replace pages i data);
-    allocate =
-      (fun () ->
-        let i = !next in
-        incr next;
-        i);
-    page_count = (fun () -> !next);
-    observer = Observer.null;
-  }
+  make ~capacity:4096
+    ~read:(fun i ->
+      match Hashtbl.find_opt pages i with
+      | Some p -> p
+      | None -> String.make 4096 '\000')
+    ~write:(fun i data -> Hashtbl.replace pages i data)
+    ~allocate:(fun () ->
+      let i = !next in
+      incr next;
+      i)
+    ~page_count:(fun () -> !next)
+    ()
 
 let plain device =
   let next = ref 0 in
-  {
-    capacity = Ironsafe_storage.Block_device.page_size;
-    read = (fun i -> Ironsafe_storage.Block_device.read_page device i);
-    write =
-      (fun i data ->
-        let ps = Ironsafe_storage.Block_device.page_size in
-        let padded =
-          if String.length data = ps then data
-          else data ^ String.make (ps - String.length data) '\000'
-        in
-        Ironsafe_storage.Block_device.write_page device i padded);
-    allocate =
-      (fun () ->
-        let i = !next in
-        incr next;
-        i);
-    page_count = (fun () -> !next);
-    observer = Observer.null;
-  }
+  make ~capacity:Ironsafe_storage.Block_device.page_size
+    ~read:(fun i -> Ironsafe_storage.Block_device.read_page device i)
+    ~write:(fun i data ->
+      let ps = Ironsafe_storage.Block_device.page_size in
+      let padded =
+        if String.length data = ps then data
+        else data ^ String.make (ps - String.length data) '\000'
+      in
+      Ironsafe_storage.Block_device.write_page device i padded)
+    ~allocate:(fun () ->
+      let i = !next in
+      incr next;
+      i)
+    ~page_count:(fun () -> !next)
+    ()
 
 exception Integrity_failure of string
 
 let secure store =
   let next = ref 0 in
-  {
-    capacity = Ironsafe_securestore.Secure_store.capacity;
-    read =
-      (fun i ->
-        match Ironsafe_securestore.Secure_store.read_page store i with
-        | Ok data -> data
-        | Error e ->
-            raise
-              (Integrity_failure
-                 (Fmt.str "%a" Ironsafe_securestore.Secure_store.pp_error e)));
-    write =
-      (fun i data ->
-        match Ironsafe_securestore.Secure_store.write_page store i data with
-        | Ok () -> ()
-        | Error e ->
-            raise
-              (Integrity_failure
-                 (Fmt.str "%a" Ironsafe_securestore.Secure_store.pp_error e)));
-    allocate =
-      (fun () ->
-        let i = !next in
-        incr next;
-        i);
-    page_count = (fun () -> !next);
-    observer = Observer.null;
-  }
+  make ~capacity:Ironsafe_securestore.Secure_store.capacity
+    ~read:(fun i ->
+      match Ironsafe_securestore.Secure_store.read_page store i with
+      | Ok data -> data
+      | Error e ->
+          raise
+            (Integrity_failure
+               (Fmt.str "%a" Ironsafe_securestore.Secure_store.pp_error e)))
+    ~write:(fun i data ->
+      match Ironsafe_securestore.Secure_store.write_page store i data with
+      | Ok () -> ()
+      | Error e ->
+          raise
+            (Integrity_failure
+               (Fmt.str "%a" Ironsafe_securestore.Secure_store.pp_error e)))
+    ~allocate:(fun () ->
+      let i = !next in
+      incr next;
+      i)
+    ~page_count:(fun () -> !next)
+    ()
 
 let set_observer t obs = t.observer <- obs
 let capacity t = t.capacity
 let allocate t = t.allocate ()
+let page_count t = t.page_count ()
+let cached t i = t.cached i
+let flush t = t.flush ()

@@ -11,15 +11,42 @@ val in_memory : unit -> t
 val plain : Ironsafe_storage.Block_device.t -> t
 val secure : Ironsafe_securestore.Secure_store.t -> t
 
+val make :
+  capacity:int ->
+  read:(int -> string) ->
+  write:(int -> string -> unit) ->
+  allocate:(unit -> int) ->
+  page_count:(unit -> int) ->
+  ?cached:(int -> bool) ->
+  ?flush:(unit -> unit) ->
+  unit ->
+  t
+(** Build a pager from explicit operations. [cached i] should report
+    whether a read of page [i] would be served without touching the
+    backend (defaults to [fun _ -> false]); [flush] pushes any buffered
+    dirty pages down (defaults to a no-op). Used by {!Bufpool} to
+    interpose a decrypted-page cache. *)
+
 val read : t -> int -> string
-(** Fires the observer, then reads (decrypting/verifying if secure). *)
+(** Fires the observer (with [~cached] reporting whether this read is
+    served from a buffer), then reads (decrypting/verifying if
+    secure). *)
 
 val write : t -> int -> string -> unit
 
 val allocate : t -> int
 (** Next free page index. *)
 
+val page_count : t -> int
+(** Pages allocated so far. *)
+
 val capacity : t -> int
 (** Payload bytes per page for this backend. *)
+
+val cached : t -> int -> bool
+(** Whether a read of this page would be served from a buffer. *)
+
+val flush : t -> unit
+(** Push buffered dirty pages to the backend (no-op if unbuffered). *)
 
 val set_observer : t -> Observer.t -> unit

@@ -1,0 +1,261 @@
+(* Decrypted-page buffer pool tests: LRU eviction order, dirty
+   write-back durability (eviction and flush), pin semantics,
+   integrity failures surfacing through the pool, and the pool-0
+   guarantee that deployments without a pool behave byte-identically
+   (scheduler event logs included). *)
+
+open Ironsafe
+module Sql = Ironsafe_sql
+module S = Ironsafe_storage
+module Sec = Ironsafe_securestore
+module C = Ironsafe_crypto
+module Tpch = Ironsafe_tpch
+module Sched = Ironsafe_sched.Sched
+module Fault = Ironsafe_fault.Fault
+
+let mem_setup ~frames =
+  let base = Sql.Pager.in_memory () in
+  let pool = Sql.Bufpool.create ~frames base in
+  (base, pool, Sql.Bufpool.pager pool)
+
+(* -- LRU ----------------------------------------------------------------- *)
+
+let test_eviction_order () =
+  let base, pool, pager = mem_setup ~frames:2 in
+  List.iter (fun (i, v) -> Sql.Pager.write base i v)
+    [ (0, "p0"); (1, "p1"); (2, "p2") ];
+  Alcotest.(check string) "miss 0" "p0" (Sql.Pager.read pager 0);
+  Alcotest.(check string) "miss 1" "p1" (Sql.Pager.read pager 1);
+  (* touch 0: page 1 becomes LRU and must be the one evicted *)
+  Alcotest.(check string) "hit 0" "p0" (Sql.Pager.read pager 0);
+  Alcotest.(check string) "miss 2 evicts 1" "p2" (Sql.Pager.read pager 2);
+  Alcotest.(check bool) "0 resident" true (Sql.Bufpool.resident pool 0);
+  Alcotest.(check bool) "2 resident" true (Sql.Bufpool.resident pool 2);
+  Alcotest.(check bool) "1 evicted" false (Sql.Bufpool.resident pool 1);
+  let st = Sql.Bufpool.stats pool in
+  Alcotest.(check int) "hits" 1 st.Sql.Bufpool.hits;
+  Alcotest.(check int) "misses" 3 st.Sql.Bufpool.misses;
+  Alcotest.(check int) "evictions" 1 st.Sql.Bufpool.evictions;
+  (* Pager.cached reflects residency *)
+  Alcotest.(check bool) "cached 2" true (Sql.Pager.cached pager 2);
+  Alcotest.(check bool) "not cached 1" false (Sql.Pager.cached pager 1)
+
+(* -- dirty write-back ---------------------------------------------------- *)
+
+let test_writeback_on_flush () =
+  let base, pool, pager = mem_setup ~frames:4 in
+  Sql.Pager.write pager 0 "dirty-data";
+  (* deferred: the backend must not have seen the write yet *)
+  Alcotest.(check bool) "backend clean before flush" true
+    (Sql.Pager.read base 0 <> "dirty-data");
+  Alcotest.(check string) "pool serves the write" "dirty-data"
+    (Sql.Pager.read pager 0);
+  Sql.Pager.flush pager;
+  Alcotest.(check string) "durable after flush" "dirty-data"
+    (Sql.Pager.read base 0);
+  let st = Sql.Bufpool.stats pool in
+  Alcotest.(check int) "one write-back" 1 st.Sql.Bufpool.writebacks;
+  (* the frame is clean now: flushing again writes nothing *)
+  Sql.Pager.flush pager;
+  Alcotest.(check int) "clean frames not rewritten" 1
+    (Sql.Bufpool.stats pool).Sql.Bufpool.writebacks;
+  Alcotest.(check bool) "frame still resident" true
+    (Sql.Bufpool.resident pool 0)
+
+let test_writeback_on_eviction () =
+  let base, pool, pager = mem_setup ~frames:1 in
+  Sql.Pager.write pager 0 "evict-me";
+  Alcotest.(check string) "read 1 evicts 0" ""
+    (String.sub (Sql.Pager.read pager 1) 0 0);
+  Alcotest.(check string) "dirty frame written back on eviction" "evict-me"
+    (Sql.Pager.read base 0);
+  Alcotest.(check int) "write-back counted" 1
+    (Sql.Bufpool.stats pool).Sql.Bufpool.writebacks
+
+(* -- pinning ------------------------------------------------------------- *)
+
+let test_pinned_never_evicted () =
+  let base, pool, pager = mem_setup ~frames:2 in
+  List.iter (fun (i, v) -> Sql.Pager.write base i v)
+    [ (0, "p0"); (1, "p1"); (2, "p2"); (3, "p3") ];
+  Sql.Bufpool.pin pool 0;
+  Alcotest.(check string) "miss 1" "p1" (Sql.Pager.read pager 1);
+  Alcotest.(check string) "miss 2" "p2" (Sql.Pager.read pager 2);
+  Alcotest.(check bool) "pinned 0 survives" true (Sql.Bufpool.resident pool 0);
+  Alcotest.(check bool) "unpinned 1 evicted" false
+    (Sql.Bufpool.resident pool 1);
+  (* saturate with pins: reads and writes degrade to pass-through *)
+  Sql.Bufpool.pin pool 2;
+  Alcotest.(check string) "pass-through read" "p3" (Sql.Pager.read pager 3);
+  Alcotest.(check bool) "pass-through not cached" false
+    (Sql.Bufpool.resident pool 3);
+  Sql.Pager.write pager 3 "direct";
+  Alcotest.(check string) "pass-through write hits backend" "direct"
+    (Sql.Pager.read base 3);
+  Alcotest.check_raises "pin with no evictable frame"
+    (Invalid_argument "Bufpool.pin: no evictable frame") (fun () ->
+      Sql.Bufpool.pin pool 3);
+  (* unpinning re-enables eviction *)
+  Sql.Bufpool.unpin pool 0;
+  Alcotest.(check string) "read 3 evicts 0" "direct" (Sql.Pager.read pager 3);
+  Alcotest.(check bool) "0 evicted after unpin" false
+    (Sql.Bufpool.resident pool 0);
+  Alcotest.check_raises "unpin of unpinned page"
+    (Invalid_argument "Bufpool.unpin: page not pinned") (fun () ->
+      Sql.Bufpool.unpin pool 0)
+
+(* -- integrity through the pool ------------------------------------------ *)
+
+let hardware_key = String.make 32 'H'
+
+let secure_setup ~data_pages =
+  let device =
+    S.Block_device.create ~pages:(Sec.Secure_store.device_pages_for ~data_pages)
+  in
+  let rpmb = S.Rpmb.create () in
+  let drbg = C.Drbg.create ~seed:"bufpool-test" in
+  match
+    Sec.Secure_store.initialize ~device ~rpmb ~hardware_key ~data_pages ~drbg ()
+  with
+  | Ok store -> (device, store)
+  | Error e -> Alcotest.failf "init failed: %a" Sec.Secure_store.pp_error e
+
+let test_integrity_failure_surfaces () =
+  let device, store = secure_setup ~data_pages:8 in
+  (match Sec.Secure_store.write_page store 0 "authentic page" with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "write failed: %a" Sec.Secure_store.pp_error e);
+  let pool = Sql.Bufpool.create ~frames:4 (Sql.Pager.secure store) in
+  let pager = Sql.Bufpool.pager pool in
+  Alcotest.(check string) "clean read through pool" "authentic page"
+    (Sql.Pager.read pager 0);
+  (* tamper the first ciphertext byte on the device (the header is
+     IV|MAC|len = 50 bytes); drop the cached frame so the next read
+     must go back to the (now corrupt) medium *)
+  Sql.Bufpool.clear pool;
+  let raw = Bytes.of_string (S.Block_device.read_page device 0) in
+  Bytes.set raw 50 (Char.chr (Char.code (Bytes.get raw 50) lxor 0x40));
+  S.Block_device.write_page device 0 (Bytes.to_string raw);
+  (match Sql.Pager.read pager 0 with
+  | _ -> Alcotest.fail "tampered read must not return data"
+  | exception Sql.Pager.Integrity_failure _ -> ())
+
+(* Under the bit-rot fault profile the store's re-read recovery is
+   active; through the pool, every read must either return the exact
+   authentic payload or raise — never silently-wrong rows. *)
+let test_bit_rot_through_pool () =
+  let device, store = secure_setup ~data_pages:16 in
+  let payload i = Printf.sprintf "page-%02d|" i ^ String.make 64 'd' in
+  for i = 0 to 15 do
+    match Sec.Secure_store.write_page store i (payload i) with
+    | Ok () -> ()
+    | Error e -> Alcotest.failf "write failed: %a" Sec.Secure_store.pp_error e
+  done;
+  let faults = Fault.of_profile ~seed:7 Fault.Bit_rot in
+  S.Block_device.set_faults device faults;
+  Sec.Secure_store.set_faults store faults;
+  let pool = Sql.Bufpool.create ~frames:4 (Sql.Pager.secure store) in
+  let pager = Sql.Bufpool.pager pool in
+  let rejected = ref 0 in
+  for round = 0 to 49 do
+    let i = round mod 16 in
+    match Sql.Pager.read pager i with
+    | data ->
+        Alcotest.(check string)
+          (Printf.sprintf "round %d page %d authentic" round i)
+          (payload i) data
+    | exception Sql.Pager.Integrity_failure _ -> incr rejected
+  done;
+  ignore !rejected
+
+(* -- pool size 0: byte-identical to a pool-less deployment --------------- *)
+
+let mk_deploy ?pool_frames () =
+  let d =
+    Deployment.create ?pool_frames ~seed:"bufpool-test"
+      ~populate:(fun db -> ignore (Tpch.Dbgen.populate db ~scale:0.002))
+      ()
+  in
+  (match Deployment.attest d with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "attestation failed: %s" e);
+  d
+
+let test_pool_zero_identical () =
+  let d_default = mk_deploy () in
+  let d_zero = mk_deploy ~pool_frames:0 () in
+  Alcotest.(check int) "no pool bytes" 0 (Deployment.pool_bytes d_zero);
+  (* identical runner metrics for a representative query *)
+  let sql = (Tpch.Queries.by_id 6).Tpch.Queries.sql in
+  List.iter
+    (fun config ->
+      let m1 = Runner.run_query d_default config sql in
+      let m2 = Runner.run_query d_zero config sql in
+      let label = Config.abbrev config in
+      Alcotest.(check (float 0.0))
+        (label ^ ": end-to-end identical")
+        m1.Runner.end_to_end_ns m2.Runner.end_to_end_ns;
+      Alcotest.(check int) (label ^ ": no hits") 0 m2.Runner.page_hits;
+      Alcotest.(check bool)
+        (label ^ ": identical rows")
+        true
+        (m1.Runner.result = m2.Runner.result))
+    Config.all;
+  (* identical scheduler event logs *)
+  let spec =
+    {
+      Sched.default_spec with
+      Sched.seed = 11;
+      arrival = Sched.Open_loop { qps = 300.0 };
+      queries = 16;
+      tenants = [ "a"; "b" ];
+      max_inflight = 3;
+      queue_depth = 4;
+    }
+  in
+  let profiles d =
+    List.map
+      (fun id ->
+        let q = Tpch.Queries.by_id id in
+        Sched.profile d Config.Hos
+          ~label:(Printf.sprintf "q%d" id)
+          ~sql:q.Tpch.Queries.sql)
+      [ 1; 6 ]
+  in
+  let r1 = Sched.run d_default spec (profiles d_default) in
+  let r2 = Sched.run d_zero spec (profiles d_zero) in
+  Alcotest.(check (list string)) "event logs byte-identical"
+    r1.Sched.rep_event_log r2.Sched.rep_event_log
+
+(* -- pool wired through the runner --------------------------------------- *)
+
+let test_runner_hits () =
+  let d = mk_deploy ~pool_frames:4096 () in
+  Alcotest.(check bool) "pool bytes charged" true (Deployment.pool_bytes d > 0);
+  let stmt = Sql.Parser.parse (Tpch.Queries.by_id 6).Tpch.Queries.sql in
+  (* first run faults every page in (cold pool after reset) *)
+  let m1 = Runner.run_stmt d Config.Sos stmt in
+  (* second run without a reset re-reads the same pages: all hits *)
+  let m2 = Runner.run_stmt ~reset:false d Config.Sos stmt in
+  Alcotest.(check bool) "warm run has hits" true (m2.Runner.page_hits > 0);
+  Alcotest.(check bool) "warm run misses fewer pages" true
+    (m2.Runner.pages_scanned < m1.Runner.pages_scanned);
+  Alcotest.(check bool) "identical rows" true
+    (m1.Runner.result = m2.Runner.result);
+  (* a reset clears the frames: cold again *)
+  let m3 = Runner.run_stmt d Config.Sos stmt in
+  Alcotest.(check int) "reset drops the pool" m1.Runner.pages_scanned
+    m3.Runner.pages_scanned
+
+let suite =
+  [
+    ("lru eviction order", `Quick, test_eviction_order);
+    ("dirty write-back on flush", `Quick, test_writeback_on_flush);
+    ("dirty write-back on eviction", `Quick, test_writeback_on_eviction);
+    ("pinned frames never evicted", `Quick, test_pinned_never_evicted);
+    ("integrity failure surfaces through pool", `Quick,
+     test_integrity_failure_surfaces);
+    ("bit rot never yields wrong rows", `Quick, test_bit_rot_through_pool);
+    ("pool size 0 is byte-identical", `Slow, test_pool_zero_identical);
+    ("runner counts pool hits", `Slow, test_runner_hits);
+  ]

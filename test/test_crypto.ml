@@ -65,6 +65,64 @@ let test_hmac_verify () =
   let bad = String.mapi (fun i c -> if i = 0 then Char.chr (Char.code c lxor 1) else c) tag in
   Alcotest.(check bool) "flipped tag" false (Hmac.verify ~key ~mac:bad msg)
 
+(* The precomputed-midstate fast path must be indistinguishable from
+   the one-shot HMAC on the same RFC 4231 vectors, reusable across
+   messages, and [mac_pre_list] must behave as concatenation. *)
+let test_hmac_prekey () =
+  let cases =
+    [
+      (String.make 20 '\x0b', "Hi There");
+      ("Jefe", "what do ya want for nothing?");
+      (String.make 20 '\xaa', String.make 50 '\xdd');
+      ( String.make 131 '\xaa',
+        "Test Using Larger Than Block-Size Key - Hash Key First" );
+    ]
+  in
+  List.iter
+    (fun (key, msg) ->
+      let pk = Hmac.precompute ~key in
+      let expected = Hmac.mac ~key msg in
+      Alcotest.(check string) "mac_pre = mac" (Hex.of_string expected)
+        (Hex.of_string (Hmac.mac_pre pk msg));
+      Alcotest.(check bool) "verify_pre accepts" true
+        (Hmac.verify_pre pk ~mac:expected msg);
+      let bad =
+        String.mapi
+          (fun i c -> if i = 0 then Char.chr (Char.code c lxor 1) else c)
+          expected
+      in
+      Alcotest.(check bool) "verify_pre rejects" false
+        (Hmac.verify_pre pk ~mac:bad msg))
+    cases;
+  (* one key schedule, many messages *)
+  let pk = Hmac.precompute ~key:"reused-schedule" in
+  for i = 0 to 9 do
+    let msg = Printf.sprintf "message %d" i in
+    Alcotest.(check string) "prekey reusable"
+      (Hmac.mac ~key:"reused-schedule" msg)
+      (Hmac.mac_pre pk msg)
+  done;
+  Alcotest.(check string) "mac_pre_list concatenates"
+    (Hmac.mac ~key:"k" "abcdef")
+    (Hmac.mac_pre_list (Hmac.precompute ~key:"k") [ "ab"; ""; "cd"; "ef" ])
+
+(* [Sha256.copy] underpins the HMAC prekey: feeding the clone must not
+   disturb the original mid-stream context, even across block
+   boundaries. *)
+let test_sha256_copy_independent () =
+  let prefix = String.make 100 'p' in
+  let ctx = Sha256.init () in
+  Sha256.update ctx prefix;
+  let snap = Sha256.copy ctx in
+  Sha256.update ctx "left fork";
+  Sha256.update snap "right fork";
+  Alcotest.(check string) "original unaffected"
+    (Sha256.digest (prefix ^ "left fork"))
+    (Sha256.finalize ctx);
+  Alcotest.(check string) "copy diverges independently"
+    (Sha256.digest (prefix ^ "right fork"))
+    (Sha256.finalize snap)
+
 (* -- HKDF (RFC 5869) ------------------------------------------------- *)
 
 let test_hkdf_vectors () =
@@ -384,6 +442,8 @@ let suite =
     ("sha256 digest_list", `Quick, test_sha256_digest_list);
     ("hmac vectors", `Quick, test_hmac_vectors);
     ("hmac verify", `Quick, test_hmac_verify);
+    ("hmac prekey fast path", `Quick, test_hmac_prekey);
+    ("sha256 copy independence", `Quick, test_sha256_copy_independent);
     ("hkdf vectors", `Quick, test_hkdf_vectors);
     ("hkdf errors", `Quick, test_hkdf_errors);
     ("aes fips-197", `Quick, test_aes_fips);

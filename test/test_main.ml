@@ -9,6 +9,7 @@ let () =
       ("net", Test_net.suite);
       ("sql", Test_sql.suite);
       ("sql-advanced", Test_sql_advanced.suite);
+      ("bufpool", Test_bufpool.suite);
       ("index", Test_index.suite);
       ("tpch", Test_tpch.suite);
       ("policy", Test_policy.suite);

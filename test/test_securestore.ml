@@ -213,6 +213,68 @@ let test_per_page_keys () =
             (plain <> "page zero secret")
       | Error _ -> ())
 
+(* The root-MAC memo (read_page avoids recomputing HMAC(task_key, root)
+   when the root is unchanged) must never serve a stale value. Interleave
+   writes — each moves the Merkle root — with freshness-checked reads,
+   force RPMB counter resyncs mid-stream, reboot, and finally roll the
+   medium back: every legitimate read must verify, and the rollback must
+   still be rejected with [Stale_root]. *)
+let test_root_mac_memo_freshness () =
+  let device, rpmb, store, _ = setup () in
+  (* write -> read -> write -> read: a memo keyed on anything stale
+     would make the post-write freshness check compare against the
+     previous root's MAC and fail (or, worse, accept a wrong root) *)
+  for i = 0 to 7 do
+    write_ok store i (Printf.sprintf "v1 page %d" i);
+    Alcotest.(check string) "read after write"
+      (Printf.sprintf "v1 page %d" i)
+      (read_ok store i)
+  done;
+  (* repeated reads of an unchanged root hit the memo and still verify *)
+  for _ = 1 to 3 do
+    ignore (read_ok store 0)
+  done;
+  (* an injected RPMB counter desync forces a resync + re-anchor during
+     the next writes; reads after the resync must see the new anchor,
+     not a memoized MAC of the pre-resync root *)
+  let faults =
+    Ironsafe_fault.Fault.(
+      make ~seed:11 [ (Rpmb_desync, rule ~prob:1.0 ~max_fires:2 ()) ])
+  in
+  Ironsafe_fault.Fault.set_clock faults (fun () -> 0.0);
+  S.Rpmb.set_faults rpmb faults;
+  Sec.Secure_store.set_faults store faults;
+  write_ok store 2 "v2 after desync";
+  Alcotest.(check string) "read across resync" "v2 after desync"
+    (read_ok store 2);
+  write_ok store 3 "v2 again";
+  Alcotest.(check string) "read across second resync" "v2 again"
+    (read_ok store 3);
+  Alcotest.(check int) "desyncs were injected" 2
+    (Ironsafe_fault.Fault.stats faults).Ironsafe_fault.Fault.injected;
+  (* reboot: a fresh store starts with a cold memo and must recover *)
+  (match
+     Sec.Secure_store.open_existing ~device ~rpmb ~hardware_key ~data_pages:8
+       ~drbg:(C.Drbg.create ~seed:"memo-reboot") ()
+   with
+  | Ok store2 ->
+      Alcotest.(check string) "recovered after reboot" "v2 after desync"
+        (read_ok store2 2)
+  | Error e -> Alcotest.failf "reopen: %a" Sec.Secure_store.pp_error e);
+  (* and the memo must not have weakened rollback detection *)
+  S.Block_device.snapshot device ~name:"pre";
+  write_ok store 4 "v3";
+  (match S.Block_device.rollback device ~name:"pre" with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  match
+    Sec.Secure_store.open_existing ~device ~rpmb ~hardware_key ~data_pages:8
+      ~drbg:(C.Drbg.create ~seed:"memo-rollback") ()
+  with
+  | Error Sec.Secure_store.Stale_root -> ()
+  | Ok _ -> Alcotest.fail "rollback accepted with memoized root MAC"
+  | Error e -> Alcotest.failf "unexpected error: %a" Sec.Secure_store.pp_error e
+
 (* -- observability instrumentation ------------------------------------- *)
 
 let with_obs f =
@@ -314,6 +376,7 @@ let suite =
     ("stats counting", `Quick, test_stats_counting);
     ("iv uniqueness", `Quick, test_iv_uniqueness);
     ("per-page key mode", `Quick, test_per_page_keys);
+    ("root mac memo never stale", `Quick, test_root_mac_memo_freshness);
     ("obs counters match analytic counts", `Quick, test_obs_counters_match_analytic);
     ("index reduces decrypts", `Quick, test_index_reduces_decrypts);
   ]
