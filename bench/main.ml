@@ -18,7 +18,7 @@
 
      microbench wall-clock ns/op of the hot-path kernels (AES, CBC,
                 SHA-256/HMAC, Merkle, secure-store read, buffer-pool
-                hit/miss) → BENCH_hotpath.json
+                hit/miss, obs hooks on/off) → BENCH_hotpath.json
 
    Usage: main.exe [--experiment <id>] [--scale <sf>] [--no-micro]
           [--trace-out FILE] [--quick] [--bench-out FILE]
@@ -885,6 +885,20 @@ let microbench _scale =
   let miss_pool = Sql.Bufpool.create ~frames:1 (Sql.Pager.secure store) in
   let miss_pager = Sql.Bufpool.pager miss_pool in
   let flip = ref false in
+  (* Observability-overhead kernels: the per-call price of the
+     instrumentation hooks. obs-off is the fast path every charge site
+     pays when tracing is disabled (one boolean load per hook); the
+     obs-on kernels exercise the metrics-registry and span-collector
+     hot paths. The span kernel drains the collector every 64Ki ops so
+     the measurement window doesn't accumulate millions of root spans.
+     Obs state is restored (and the collector wiped) after the run. *)
+  let obs_was_on = Ironsafe_obs.Obs.enabled () in
+  let vclock = ref 0.0 in
+  let bclock () =
+    vclock := !vclock +. 10.0;
+    !vclock
+  in
+  let span_ops = ref 0 in
   let kernels =
     [
       ("aes128-encrypt-block",
@@ -908,6 +922,25 @@ let microbench _scale =
        fun () ->
          flip := not !flip;
          ignore (Sql.Pager.read miss_pager (if !flip then 2 else 3)));
+      ("obs-off-hooks",
+       fun () ->
+         Ironsafe_obs.Obs.disable ();
+         Ironsafe_obs.Obs.count ~scope:"bench" "hook";
+         Ironsafe_obs.Obs.observe ~scope:"bench" "hook_ns" 42.0;
+         Ironsafe_obs.Span.instant ~clock:bclock ~name:"hook" ~scope:"bench"
+           ());
+      ("obs-on-count+observe",
+       fun () ->
+         Ironsafe_obs.Obs.enable ();
+         Ironsafe_obs.Obs.count ~scope:"bench" "hook";
+         Ironsafe_obs.Obs.observe ~scope:"bench" "hook_ns" 42.0);
+      ("obs-on-span",
+       fun () ->
+         Ironsafe_obs.Obs.enable ();
+         incr span_ops;
+         if !span_ops land 0xffff = 0 then Ironsafe_obs.Obs.reset ();
+         Ironsafe_obs.Span.with_ ~clock:bclock ~name:"hook" ~scope:"bench"
+           (fun () -> ()));
     ]
   in
   let results =
@@ -918,6 +951,11 @@ let microbench _scale =
         (name, ns))
       kernels
   in
+  (* leave the observability layer as the run had it; drop the spans
+     and counters the obs kernels accumulated *)
+  Ironsafe_obs.Obs.reset ();
+  if obs_was_on then Ironsafe_obs.Obs.enable ()
+  else Ironsafe_obs.Obs.disable ();
   let hit = List.assoc "bufpool-hit-read" results in
   let direct = List.assoc "securestore-read-page" results in
   if hit > 0.0 then

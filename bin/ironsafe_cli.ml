@@ -104,15 +104,51 @@ let print_metrics (m : Runner.metrics) =
     (m.Runner.end_to_end_ns /. 1e6)
     m.Runner.bytes_shipped m.Runner.pages_scanned
 
-let run_query ?(profile = false) ?(faults = Fault.none) ?(pool_frames = 0)
-    scale config policy sql =
-  if profile then Ironsafe_obs.Obs.enable ();
+let write_artifact ?(validate = false) ~what file contents =
+  if validate && not (Ironsafe_obs.Chrome_trace.is_valid_json contents) then begin
+    Fmt.epr "internal error: emitted %s is not valid JSON@." what;
+    exit 1
+  end;
+  let oc = open_out file in
+  output_string oc contents;
+  close_out oc;
+  Fmt.pr "-- %s written to %s@." what file
+
+let run_query ?(profile = false) ?trace_out ?jsonl_out ?metrics_out
+    ?(sample_every = 1) ?(faults = Fault.none) ?(pool_frames = 0) scale config
+    policy sql =
+  let obs_on =
+    profile || trace_out <> None || jsonl_out <> None || metrics_out <> None
+  in
+  if obs_on then begin
+    Ironsafe_obs.Obs.enable ();
+    Ironsafe_obs.Obs.set_sample_every sample_every
+  end;
+  let write_exports () =
+    (match trace_out with
+    | Some f ->
+        write_artifact ~validate:true ~what:"trace" f
+          (Ironsafe_obs.Obs.to_chrome_json ())
+    | None -> ());
+    (match jsonl_out with
+    | Some f ->
+        write_artifact ~what:"event log (JSONL)" f
+          (Ironsafe_obs.Obs.to_jsonl ())
+    | None -> ());
+    match metrics_out with
+    | Some f ->
+        write_artifact ~what:"metrics (OpenMetrics)" f
+          (Ironsafe_obs.Obs.to_openmetrics ())
+    | None -> ()
+  in
   let deploy = build_deployment ~faults ~pool_frames scale in
   let engine = setup_engine deploy policy in
   match Engine.submit engine ~client:"cli" ~config ~sql () with
   | Error e ->
       Fmt.epr "error: %s@." e;
       print_faults faults;
+      (* the event log of a denial is forensic evidence: still export *)
+      write_exports ();
       1
   | Ok resp ->
       Fmt.pr "%a" Sql.Exec.pp_result resp.Engine.resp_result;
@@ -124,6 +160,7 @@ let run_query ?(profile = false) ?(faults = Fault.none) ?(pool_frames = 0)
       print_faults faults;
       Fmt.pr "-- proof of compliance: %s@."
         (if Engine.verify_response engine resp ~sql then "verified" else "INVALID");
+      write_exports ();
       0
 
 let query_cmd =
@@ -139,8 +176,41 @@ let query_cmd =
       & info [ "profile" ]
           ~doc:"Print the span tree and metrics of the run (virtual time).")
   in
-  let run scale config policy explain profile fault_seed fault_profile
-      pool_frames sql =
+  let trace_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-out" ] ~docv:"FILE"
+          ~doc:
+            "Write a Chrome trace of the query (host and storage lanes \
+             linked by flow arrows) to $(docv).")
+  in
+  let jsonl_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "jsonl-out" ] ~docv:"FILE"
+          ~doc:
+            "Write the structured query-lifecycle event log (plan split, \
+             policy decisions, attestations, faults) as JSONL to $(docv).")
+  in
+  let metrics_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics-out" ] ~docv:"FILE"
+          ~doc:"Write the metrics registry in OpenMetrics text format to $(docv).")
+  in
+  let sample_every =
+    Arg.(
+      value & opt int 1
+      & info [ "sample-every" ] ~docv:"N"
+          ~doc:
+            "Collect spans for every $(docv)-th query only (metrics and \
+             events are always collected while observability is on).")
+  in
+  let run scale config policy explain profile trace_out jsonl_out metrics_out
+      sample_every fault_seed fault_profile pool_frames sql =
     if explain then begin
       let deploy = build_deployment scale in
       let plan =
@@ -152,7 +222,7 @@ let query_cmd =
       0
     end
     else
-      run_query ~profile
+      run_query ~profile ?trace_out ?jsonl_out ?metrics_out ~sample_every
         ~faults:(fault_plan fault_seed fault_profile)
         ~pool_frames scale config policy sql
   in
@@ -160,7 +230,8 @@ let query_cmd =
     (Cmd.info "query" ~doc:"Run one policy-checked SQL statement")
     Term.(
       const run $ scale_arg $ config_arg $ policy_arg $ explain $ profile
-      $ fault_seed_arg $ fault_profile_arg $ pool_frames_arg $ sql)
+      $ trace_out $ jsonl_out $ metrics_out $ sample_every $ fault_seed_arg
+      $ fault_profile_arg $ pool_frames_arg $ sql)
 
 let tpch_cmd =
   let id =

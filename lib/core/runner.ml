@@ -20,6 +20,8 @@ module Sec = Ironsafe_securestore
 module Tee = Ironsafe_tee
 module Sql = Ironsafe_sql
 module Obs = Ironsafe_obs.Obs
+module OSpan = Ironsafe_obs.Span
+module Ev = Ironsafe_obs.Event_log
 module Fault = Ironsafe_fault.Fault
 
 type metrics = {
@@ -163,6 +165,31 @@ let merkle_bytes store = 64 * Sec.Secure_store.data_page_count store
 let message_count (params : Sim.Params.t) bytes =
   max 1 ((bytes + params.net_batch_bytes - 1) / params.net_batch_bytes)
 
+(* Storage-side work of a query, wrapped in a [storage.exec] span on
+   the storage lane and linked to the host's open query span by a flow
+   arrow in each direction (request out, reply back), so the exported
+   Chrome trace shows the host and SCS halves of one split query joined
+   into a single causal tree. Spans and flows never gate or reorder the
+   charges themselves: with tracing off every helper below reduces to
+   [f ()] and cost accounting is bit-identical. *)
+let with_offload host storage f =
+  let hclk () = Sim.Node.now host in
+  let sclk () = Sim.Node.now storage in
+  let hscope = Sim.Node.name host and sscope = Sim.Node.name storage in
+  let req = OSpan.flow_out ~clock:hclk ~name:"offload" ~scope:hscope () in
+  let reply = ref 0 in
+  let result =
+    OSpan.with_ ~name:"storage.exec" ~scope:sscope ~clock:sclk
+      ~attrs:(Obs.trace_attrs ())
+      (fun () ->
+        OSpan.flow_in ~clock:sclk ~name:"offload" ~scope:sscope req;
+        let r = f () in
+        reply := OSpan.flow_out ~clock:sclk ~name:"reply" ~scope:sscope ();
+        r)
+  in
+  OSpan.flow_in ~clock:hclk ~name:"reply" ~scope:hscope !reply;
+  result
+
 (* -- split execution -------------------------------------------------- *)
 
 (* Partition the statement, run the offloaded portion on the storage
@@ -179,6 +206,20 @@ let run_split ?project deploy ~src_db ~stmt =
     host.Host_engine.counters,
     host.Host_engine.result,
     offload.Storage_engine.bytes_shipped )
+
+(* JSONL record of a split decision: which config, how many subqueries
+   went near the data, which tables shipped. *)
+let note_split config (plan : Partitioner.plan) =
+  if Obs.enabled () then
+    Obs.event ~scope:"core" ~kind:"plan.split"
+      [
+        ("config", Ev.S (Config.abbrev config));
+        ("offload_stmts", Ev.I (List.length plan.Partitioner.offload_sql));
+        ( "tables",
+          Ev.S
+            (String.concat ","
+               (List.map fst plan.Partitioner.offload_sql)) );
+      ]
 
 (* -- per-configuration runners ---------------------------------------- *)
 
@@ -217,13 +258,14 @@ let run_stmt ?(reset = true) ?project deploy config stmt =
       in
       let pages = c.Sql.Observer.page_reads in
       let hits = c.Sql.Observer.page_hits in
-      charge_io storage params pages;
-      (* hits are served from the host-side page cache: no device read,
-         no transfer *)
-      charge_cache_hits host params hits;
       let bytes = pages * params.Sim.Params.page_size in
-      charge_transfer params storage host ~secure:false ~bytes
-        ~messages:(message_count params bytes);
+      with_offload host storage (fun () ->
+          charge_io storage params pages;
+          (* hits are served from the host-side page cache: no device
+             read, no transfer *)
+          charge_cache_hits host params hits;
+          charge_transfer params storage host ~secure:false ~bytes
+            ~messages:(message_count params bytes));
       charge_compute host ~rows:c.Sql.Observer.rows;
       finish ~result ~bytes_shipped:bytes ~pages ~hits
         ~host_rows:c.Sql.Observer.rows ~storage_rows:0 ()
@@ -242,13 +284,14 @@ let run_stmt ?(reset = true) ?project deploy config stmt =
       in
       let pages = c.Sql.Observer.page_reads in
       let hits = c.Sql.Observer.page_hits in
-      charge_io storage params pages;
-      (* a hit is a decrypted page already resident in the enclave:
-         no device read, no transfer, no decrypt/verify *)
-      charge_cache_hits host params hits;
       let bytes = pages * params.Sim.Params.page_size in
-      charge_transfer params storage host ~secure:true ~bytes
-        ~messages:(message_count params bytes);
+      with_offload host storage (fun () ->
+          charge_io storage params pages;
+          (* a hit is a decrypted page already resident in the enclave:
+             no device read, no transfer, no decrypt/verify *)
+          charge_cache_hits host params hits;
+          charge_transfer params storage host ~secure:true ~bytes
+            ~messages:(message_count params bytes));
       (* crypto happens inside the host enclave *)
       charge_crypto host params ~decrypts ~macs ~merkle ~rpmb;
       charge_compute host ~rows:c.Sql.Observer.rows;
@@ -266,17 +309,20 @@ let run_stmt ?(reset = true) ?project deploy config stmt =
       let plan, sc, hc, result, bytes =
         run_split ?project d ~src_db:d.Deployment.plain_db ~stmt
       in
+      note_split config plan;
       let pages = sc.Sql.Observer.page_reads in
       let hits = sc.Sql.Observer.page_hits in
-      charge_io storage params pages;
-      charge_cache_hits storage params hits;
-      Sim.Node.charge storage ~category:"other"
-        (float_of_int (List.length plan.Partitioner.offload_sql)
-        *. params.Sim.Params.offload_session_ns);
-      charge_compute storage ~rows:sc.Sql.Observer.rows;
-      charge_memory storage ~category:"spill" sc.Sql.Observer.bytes_allocated;
-      charge_transfer params storage host ~secure:false ~bytes
-        ~messages:(message_count params bytes);
+      with_offload host storage (fun () ->
+          charge_io storage params pages;
+          charge_cache_hits storage params hits;
+          Sim.Node.charge storage ~category:"other"
+            (float_of_int (List.length plan.Partitioner.offload_sql)
+            *. params.Sim.Params.offload_session_ns);
+          charge_compute storage ~rows:sc.Sql.Observer.rows;
+          charge_memory storage ~category:"spill"
+            sc.Sql.Observer.bytes_allocated;
+          charge_transfer params storage host ~secure:false ~bytes
+            ~messages:(message_count params bytes));
       charge_compute host ~rows:hc.Sql.Observer.rows;
       finish ~result ~bytes_shipped:bytes ~pages ~hits
         ~host_rows:hc.Sql.Observer.rows ~storage_rows:sc.Sql.Observer.rows ()
@@ -284,22 +330,25 @@ let run_stmt ?(reset = true) ?project deploy config stmt =
       let plan, sc, hc, result, bytes =
         run_split ?project d ~src_db:d.Deployment.secure_db ~stmt
       in
-      Sim.Node.charge storage ~category:"other"
-        (float_of_int (List.length plan.Partitioner.offload_sql)
-        *. params.Sim.Params.offload_session_ns);
-      let decrypts, macs, merkle, rpmb =
-        snapshot_secure_stats d.Deployment.secure_store
-      in
+      note_split config plan;
       let pages = sc.Sql.Observer.page_reads in
       let hits = sc.Sql.Observer.page_hits in
-      charge_io storage params pages;
-      charge_cache_hits storage params hits;
-      (* storage-side decryption + freshness (near the data) *)
-      charge_crypto storage params ~decrypts ~macs ~merkle ~rpmb;
-      charge_compute storage ~rows:sc.Sql.Observer.rows;
-      charge_memory storage ~category:"spill" sc.Sql.Observer.bytes_allocated;
-      charge_transfer params storage host ~secure:true ~bytes
-        ~messages:(message_count params bytes);
+      with_offload host storage (fun () ->
+          Sim.Node.charge storage ~category:"other"
+            (float_of_int (List.length plan.Partitioner.offload_sql)
+            *. params.Sim.Params.offload_session_ns);
+          let decrypts, macs, merkle, rpmb =
+            snapshot_secure_stats d.Deployment.secure_store
+          in
+          charge_io storage params pages;
+          charge_cache_hits storage params hits;
+          (* storage-side decryption + freshness (near the data) *)
+          charge_crypto storage params ~decrypts ~macs ~merkle ~rpmb;
+          charge_compute storage ~rows:sc.Sql.Observer.rows;
+          charge_memory storage ~category:"spill"
+            sc.Sql.Observer.bytes_allocated;
+          charge_transfer params storage host ~secure:true ~bytes
+            ~messages:(message_count params bytes));
       charge_compute host ~rows:hc.Sql.Observer.rows;
       (* enclave entered once per arriving message batch *)
       charge_enclave_transitions host params (2 * message_count params bytes);
@@ -321,32 +370,54 @@ let run_stmt ?(reset = true) ?project deploy config stmt =
       in
       let pages = c.Sql.Observer.page_reads in
       let hits = c.Sql.Observer.page_hits in
-      charge_io storage params pages;
-      charge_cache_hits storage params hits;
-      (* one engine instance: inline crypto and compute on one core *)
-      charge_crypto ~parallel:false storage params ~decrypts ~macs ~merkle ~rpmb;
-      Sim.Node.compute_serial storage ~category:"ndp"
-        ~row_ops:c.Sql.Observer.rows;
-      charge_memory storage ~category:"spill" c.Sql.Observer.bytes_allocated;
-      (* only the final result crosses the network *)
       let bytes =
-        List.fold_left
-          (fun acc row -> acc + Sql.Row.encoded_size row)
-          0 result.Sql.Exec.rows
+        with_offload host storage (fun () ->
+            charge_io storage params pages;
+            charge_cache_hits storage params hits;
+            (* one engine instance: inline crypto and compute on one
+               core *)
+            charge_crypto ~parallel:false storage params ~decrypts ~macs
+              ~merkle ~rpmb;
+            Sim.Node.compute_serial storage ~category:"ndp"
+              ~row_ops:c.Sql.Observer.rows;
+            charge_memory storage ~category:"spill"
+              c.Sql.Observer.bytes_allocated;
+            (* only the final result crosses the network *)
+            let bytes =
+              List.fold_left
+                (fun acc row -> acc + Sql.Row.encoded_size row)
+                0 result.Sql.Exec.rows
+            in
+            charge_transfer params storage host ~secure:true ~bytes
+              ~messages:1;
+            bytes)
       in
-      charge_transfer params storage host ~secure:true ~bytes ~messages:1;
       finish ~result ~bytes_shipped:bytes ~pages ~hits ~host_rows:0
         ~storage_rows:c.Sql.Observer.rows ()
   in
   (* the root span's virtual duration is exactly [end_to_end_ns]: it
      opens at (reset) time zero on the host clock and closes after the
-     final clock sync in [finish] *)
+     final clock sync in [finish]. [begin_query] runs first: it
+     allocates the trace context the root span (and every wire message
+     sent meanwhile) carries, decides sampling, and snapshots the
+     metrics registry so the captured profile reports this query's
+     interval rather than the cumulative registry. *)
+  let tok = Obs.begin_query () in
   let m =
     Sim.Node.with_span host ~name:"query"
-      ~attrs:[ ("config", Config.abbrev config) ]
+      ~attrs:(("config", Config.abbrev config) :: Obs.trace_attrs ())
       exec
   in
-  match Obs.capture_last () with
+  if Obs.enabled () then
+    Obs.event ~scope:"core" ~kind:"query.done"
+      [
+        ("config", Ev.S (Config.abbrev config));
+        ("end_to_end_ns", Ev.F m.end_to_end_ns);
+        ("bytes_shipped", Ev.I m.bytes_shipped);
+        ("pages", Ev.I m.pages_scanned);
+        ("rows", Ev.I (List.length m.result.Sql.Exec.rows));
+      ];
+  match Obs.finish_query tok with
   | Some p -> { m with profile = Some p }
   | None -> m
 

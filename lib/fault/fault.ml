@@ -134,6 +134,12 @@ let fire t site =
           t.n_incidents <- t.n_incidents + 1;
           Obs.count ~scope:"fault" "injected";
           Obs.count ~scope:"fault" ("injected." ^ site_name site);
+          if Obs.enabled () then
+            Obs.event ~ts_ns:now ~scope:"fault" ~kind:"fault.injected"
+              [
+                ("site", Ironsafe_obs.Event_log.S (site_name site));
+                ("incident", Ironsafe_obs.Event_log.I t.n_incidents);
+              ];
           true
         end
         else false

@@ -22,6 +22,7 @@ module Tee = Ironsafe_tee
 module P = Ironsafe_policy
 module Sql = Ironsafe_sql
 module Obs = Ironsafe_obs.Obs
+module Ev = Ironsafe_obs.Event_log
 
 let obs_scope = "monitor"
 
@@ -163,6 +164,14 @@ let attest_host t ~quote ~location =
           Ironsafe_obs.Span.instant ~name:"attest.host.ok" ~scope:obs_scope
             ~attrs:[ ("location", location) ]
             ();
+          if Obs.enabled () then
+            Obs.event ~scope:obs_scope ~kind:"attest.host"
+              [
+                ("ok", Ev.B true);
+                ("location", Ev.S location);
+                ( "measurement",
+                  Ev.S (C.Hex.of_string quote.Tee.Sgx.quoted_mrenclave) );
+              ];
           Ok info)
 
 let fresh_challenge t = C.Drbg.generate t.drbg 32
@@ -202,6 +211,13 @@ let attest_storage t ~challenge ~response ~location =
               ~scope:obs_scope
               ~attrs:[ ("device", device_id); ("location", location) ]
               ();
+            if Obs.enabled () then
+              Obs.event ~scope:obs_scope ~kind:"attest.storage"
+                [
+                  ("ok", Ev.B true);
+                  ("device", Ev.S device_id);
+                  ("location", Ev.S location);
+                ];
             Ok info
           end)
 
@@ -299,14 +315,37 @@ let verify_proof ~monitor_pk p =
   in
   C.Signature.verify monitor_pk ("compliance-proof" ^ payload) p.proof_signature
 
-let log_denied t ~client ~sql reason =
+(* Forensic identity of a policy rule: rules carry no intrinsic ids,
+   so decisions are reported under perm name + a truncated digest of
+   the selected rule's rendering — stable across runs, and it changes
+   exactly when the rule text does. *)
+let rule_id ~perm rule =
+  let digest = C.Sha256.digest (Fmt.str "%a" P.Policy_ast.pp_rule rule) in
+  P.Policy_ast.perm_name perm ^ "-" ^ String.sub (C.Hex.of_string digest) 0 12
+
+let audit_head_hex t = C.Hex.of_string (Audit_log.head t.audit)
+
+(* JSONL record of a policy decision. Emitted *after* the matching
+   audit-log append, so the recorded chain head covers the decision —
+   the event is checkable against the hash-chained audit log. *)
+let note_decision t ~kind ~client ?rule_id:rid fields =
+  if Obs.enabled () then
+    Obs.event ~scope:obs_scope ~kind
+      (("client", Ev.S client)
+      :: (match rid with Some id -> [ ("rule_id", Ev.S id) ] | None -> [])
+      @ fields
+      @ [ ("audit_head", Ev.S (audit_head_hex t)) ])
+
+let log_denied t ~client ~sql ?rule_id reason =
   Obs.count ~scope:obs_scope "queries_denied";
   Ironsafe_obs.Span.instant ~name:"policy.denied" ~scope:obs_scope
     ~attrs:[ ("client", client); ("reason", reason) ]
     ();
   ignore
     (Audit_log.append t.audit ~date:t.today ~actor:client ~action:"denied"
-       ~detail:(sql ^ " -- " ^ reason))
+       ~detail:(sql ^ " -- " ^ reason));
+  note_decision t ~kind:"policy.deny" ~client ?rule_id
+    [ ("reason", Ev.S reason) ]
 
 let authorize t ~catalog ~client_label ~database ~exec_policy ~sql =
   Obs.count ~scope:obs_scope "policy_checks";
@@ -332,9 +371,14 @@ let authorize t ~catalog ~client_label ~database ~exec_policy ~sql =
             in
             let req = request_of t ~client in
             let perm = perm_of_stmt stmt in
+            let decided_rule =
+              Option.map (rule_id ~perm)
+                (P.Policy_eval.matching_rule access_policy ~perm)
+            in
             match P.Policy_eval.evaluate access_policy ~perm req with
             | P.Policy_eval.Denied reason ->
-                log_denied t ~client:client_label ~sql reason;
+                log_denied t ~client:client_label ~sql ?rule_id:decided_rule
+                  reason;
                 Error reason
             | P.Policy_eval.Allowed { residual; obligations; _ } ->
                 let exec_verdict = P.Policy_eval.evaluate_exec exec_policy req in
@@ -372,6 +416,15 @@ let authorize t ~catalog ~client_label ~database ~exec_policy ~sql =
                            ~detail:sql);
                       ignore o.P.Policy_eval.log_name)
                     obligations;
+                  note_decision t ~kind:"policy.allow" ~client:client_label
+                    ?rule_id:decided_rule
+                    [
+                      ("perm", Ev.S (P.Policy_ast.perm_name perm));
+                      ("residual", Ev.B (residual <> None));
+                      ("obligations", Ev.I (List.length obligations));
+                      ( "compliant_storage",
+                        Ev.I (List.length compliant_storage) );
+                    ];
                   (* session key issuance *)
                   Obs.count ~scope:obs_scope "sessions_issued";
                   let key = C.Drbg.generate t.drbg 32 in

@@ -170,16 +170,31 @@ let tamper_record record =
     { record with body = Bytes.to_string body }
   end
 
-(* Real record protection: AES-CTR + HMAC over seq|nonce|ciphertext. *)
+(* Real record protection: AES-CTR + HMAC over seq|nonce|ciphertext.
+
+   While a traced query is open, the payload is wrapped in a
+   trace-context envelope *before* encryption, so the receiving node
+   can stamp its telemetry with the sender's trace id. The virtual-time
+   and byte accounting are computed from the bare payload: turning
+   tracing on must never change any measured quantity. The envelope
+   overhead is tallied separately as net/trace_ctx_bytes. *)
 let send t ~from payload =
   if t.closed then Error Closed
   else begin
+    let wire_payload =
+      match Obs.current_trace () with
+      | Some ctx ->
+          Obs.count ~scope:"net" ~n:Wire.trace_envelope_length
+            "trace_ctx_bytes";
+          Wire.wrap_trace ctx payload
+      | None -> payload
+    in
     let nonce = C.Drbg.generate t.drbg 16 in
-    let body = C.Modes.ctr_transform ~key:t.key_enc ~nonce payload in
+    let body = C.Modes.ctr_transform ~key:t.key_enc ~nonce wire_payload in
     let seq = t.seq in
     t.seq <- t.seq + 1;
     let tag = C.Hmac.mac ~key:t.key_mac (string_of_int seq ^ nonce ^ body) in
-    charge_transfer t ~src:from ~bytes:(String.length body + 16 + 32 + 4);
+    charge_transfer t ~src:from ~bytes:(String.length payload + 16 + 32 + 4);
     let record = { seq; nonce; body; tag } in
     (* in-flight bit-flip: the record arrives but fails authentication *)
     if Fault.enabled t.faults && Fault.fire t.faults Fault.Channel_corrupt
@@ -218,7 +233,18 @@ let recv t record =
     match check_seq t record.seq with
     | Error _ as e -> e
     | Ok () ->
-        Ok (C.Modes.ctr_transform ~key:t.key_enc ~nonce:record.nonce record.body)
+        let plain =
+          C.Modes.ctr_transform ~key:t.key_enc ~nonce:record.nonce record.body
+        in
+        let ctx, payload = Wire.unwrap_trace plain in
+        (match ctx with
+        | Some ctx ->
+            Obs.count ~scope:"net" "trace_ctx_msgs";
+            Ironsafe_obs.Event_log.emit ~trace:ctx ~scope:"net"
+              ~kind:"net.recv"
+              [ ("seq", I record.seq); ("bytes", I (String.length payload)) ]
+        | None -> ());
+        Ok payload
 
 let roundtrip t ~from payload =
   match send t ~from payload with

@@ -42,3 +42,40 @@ let decode_strings s =
     end
   in
   go [] off count
+
+(* -- trace-context envelope -------------------------------------------- *)
+
+(* While a traced query is open, the host prefixes every protocol
+   message with the active trace context (magic + fixed-width context),
+   so the storage side can stamp its own telemetry with the same trace
+   id. The envelope rides *inside* the encrypted record body; the
+   receiver strips it transparently. A message without the magic (or
+   with an undecodable context) passes through untouched, so mixed
+   traced/untraced traffic is fine. *)
+
+module Trace_context = Ironsafe_obs.Trace_context
+
+let trace_magic = "\xc5\x1d"
+
+let trace_envelope_length = String.length trace_magic + Trace_context.encoded_length
+
+let wrap_trace ctx payload =
+  let buf = Buffer.create (trace_envelope_length + String.length payload) in
+  Buffer.add_string buf trace_magic;
+  Buffer.add_string buf (Trace_context.encode ctx);
+  Buffer.add_string buf payload;
+  Buffer.contents buf
+
+let unwrap_trace s =
+  let mlen = String.length trace_magic in
+  if
+    String.length s >= trace_envelope_length
+    && String.sub s 0 mlen = trace_magic
+  then
+    match Trace_context.decode s mlen with
+    | Some ctx ->
+        ( Some ctx,
+          String.sub s trace_envelope_length
+            (String.length s - trace_envelope_length) )
+    | None -> (None, s)
+  else (None, s)

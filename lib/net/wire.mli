@@ -7,3 +7,18 @@ val get_string : string -> int -> string * int
 
 val encode_strings : string list -> string
 val decode_strings : string -> string list
+
+(** {2 Trace-context envelope}
+
+    Optional prefix carrying the active {!Ironsafe_obs.Trace_context}
+    inside a protocol message, so the receiving node can stamp its
+    telemetry with the sender's trace id. *)
+
+val trace_envelope_length : int
+(** Wire overhead of a wrapped message, in bytes. *)
+
+val wrap_trace : Ironsafe_obs.Trace_context.t -> string -> string
+
+val unwrap_trace : string -> Ironsafe_obs.Trace_context.t option * string
+(** Strip the envelope if present; a message without one (or with an
+    undecodable context) passes through untouched. *)

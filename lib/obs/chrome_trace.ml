@@ -8,11 +8,13 @@
    pid/tid so host and storage render as separate tracks. *)
 
 type event = {
-  ph : char;  (** 'B' begin, 'E' end, 'i' instant, 'C' counter, 'M' meta *)
+  ph : char;
+      (** 'B' begin, 'E' end, 'i' instant, 'C' counter, 's'/'f' flow *)
   ev_name : string;
   ts_us : float;
   pid : string;
   tid : string;
+  flow : int option;  (** flow id binding an 's' event to its 'f' *)
   args : (string * string) list;
 }
 
@@ -30,6 +32,29 @@ let rec events_of_span acc (s : Span.t) =
         ts_us = us_of_ns s.Span.begin_ns;
         pid = s.Span.scope;
         tid = s.Span.scope;
+        flow = None;
+        args = s.Span.attrs;
+      }
+      :: acc
+  | Span.Flow_out fid ->
+      {
+        ph = 's';
+        ev_name = s.Span.name;
+        ts_us = us_of_ns s.Span.begin_ns;
+        pid = s.Span.scope;
+        tid = s.Span.scope;
+        flow = Some fid;
+        args = s.Span.attrs;
+      }
+      :: acc
+  | Span.Flow_in fid ->
+      {
+        ph = 'f';
+        ev_name = s.Span.name;
+        ts_us = us_of_ns s.Span.begin_ns;
+        pid = s.Span.scope;
+        tid = s.Span.scope;
+        flow = Some fid;
         args = s.Span.attrs;
       }
       :: acc
@@ -41,6 +66,7 @@ let rec events_of_span acc (s : Span.t) =
           ts_us = us_of_ns s.Span.begin_ns;
           pid = s.Span.scope;
           tid = s.Span.scope;
+          flow = None;
           args = List.rev s.Span.attrs;
         }
       in
@@ -56,6 +82,7 @@ let rec events_of_span acc (s : Span.t) =
         ts_us = us_of_ns s.Span.end_ns;
         pid = s.Span.scope;
         tid = s.Span.scope;
+        flow = None;
         args = charges;
       }
       :: acc
@@ -78,10 +105,11 @@ let counter_events ~ts_us (snap : Metrics.snapshot) : event list =
               ts_us;
               pid = scope;
               tid = scope;
+              flow = None;
               args = [ (name, string_of_int n) ];
             }
       | Metrics.VGauge _ | Metrics.VHist _ -> None)
-    snap
+    (Metrics.to_list snap)
 
 (* -- JSON serialization ----------------------------------------------- *)
 
@@ -106,6 +134,13 @@ let json_of_event buf e =
     (Printf.sprintf
        "{\"name\":\"%s\",\"ph\":\"%c\",\"ts\":%.3f,\"pid\":\"%s\",\"tid\":\"%s\""
        (escape e.ev_name) e.ph e.ts_us (escape e.pid) (escape e.tid));
+  (match e.flow with
+  | Some fid ->
+      (* flow events bind by category + id; "bp":"e" makes the arrow
+         end attach to the enclosing slice rather than the next one *)
+      Buffer.add_string buf (Printf.sprintf ",\"cat\":\"flow\",\"id\":%d" fid);
+      if e.ph = 'f' then Buffer.add_string buf ",\"bp\":\"e\""
+  | None -> ());
   (match e.args with
   | [] -> ()
   | args ->

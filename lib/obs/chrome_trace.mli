@@ -1,0 +1,30 @@
+(** Chrome trace_event exporter: spans become balanced "B"/"E"
+    duration events, instants "i" events, cross-node flows "s"/"f"
+    arrow pairs (bound by flow id, with ["bp":"e"] so the arrow ends on
+    the enclosing slice), and counters one trailing "C" event per
+    scope. A span's scope doubles as pid/tid, so host and storage
+    render as separate lanes. *)
+
+type event = {
+  ph : char;
+      (** 'B' begin, 'E' end, 'i' instant, 'C' counter, 's'/'f' flow *)
+  ev_name : string;
+  ts_us : float;
+  pid : string;
+  tid : string;
+  flow : int option;  (** flow id binding an 's' event to its 'f' *)
+  args : (string * string) list;
+}
+
+val events_of_spans : Span.t list -> event list
+(** All events, stably sorted by timestamp (per-track DFS order kept). *)
+
+val counter_events : ts_us:float -> Metrics.snapshot -> event list
+
+val json_of_events : event list -> string
+
+val to_json : ?metrics:Metrics.snapshot -> Span.t list -> string
+(** Spans (plus an optional final counter snapshot) to a JSON string. *)
+
+val is_valid_json : string -> bool
+(** Minimal JSON well-formedness check (used by tests and smoke runs). *)

@@ -1,5 +1,18 @@
-(* Global observability switch. Collection is off by default so the
+(* Global observability switches. Collection is off by default so the
    instrumentation hooks sprinkled through the hot layers cost one
-   boolean load when tracing is not requested. *)
+   boolean load when tracing is not requested.
+
+   [sample_every] is the per-query span-sampling period: with tracing
+   enabled, query N is traced iff N mod sample_every = 0 (1 = trace
+   every query, the default). Metrics always accumulate while enabled;
+   sampling only gates the span tree and flow events, which are the
+   expensive part of the telemetry. [suppress_spans] is the transient
+   flag an unsampled query sets for its own duration. *)
 
 let enabled = ref false
+let sample_every = ref 1
+let suppress_spans = ref false
+
+(* Spans (and flow events) are recorded only when tracing is on and the
+   current query was sampled. *)
+let spans_on () = !enabled && not !suppress_spans

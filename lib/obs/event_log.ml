@@ -1,0 +1,102 @@
+(* Structured query-lifecycle event log, exported as JSONL (one JSON
+   object per line). This is the forensic record of *what happened and
+   why*: plan splits, policy allow/deny decisions with the matched rule
+   id and the audit-log chain head, attestation events, fault
+   injections, scheduler shed/deny outcomes.
+
+   Like the span collector, the log is a process-wide buffer gated by
+   [Control.enabled] and rewound by [reset]. Timestamps are virtual
+   nanoseconds (defaulting to the span timeline's high-water mark), and
+   all identifiers are deterministic, so the JSONL of two identical
+   runs is byte-identical. *)
+
+type field = S of string | I of int | F of float | B of bool
+
+type event = {
+  e_ts_ns : float;
+  e_scope : string;
+  e_kind : string;  (** e.g. "policy.deny", "fault.injected" *)
+  e_trace : Trace_context.t option;
+  e_fields : (string * field) list;
+}
+
+let buf_rev : event list ref = ref []
+
+let reset () = buf_rev := []
+let events () = List.rev !buf_rev
+let length () = List.length !buf_rev
+
+let emit ?ts_ns ?trace ~scope ~kind fields =
+  if !Control.enabled then begin
+    let e_ts_ns =
+      match ts_ns with Some t -> t | None -> Span.timeline_now ()
+    in
+    buf_rev :=
+      { e_ts_ns; e_scope = scope; e_kind = kind; e_trace = trace;
+        e_fields = fields }
+      :: !buf_rev
+  end
+
+(* -- JSONL rendering --------------------------------------------------- *)
+
+let escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_float f =
+  if Float.is_integer f && Float.abs f < 1e15 then
+    Printf.sprintf "%.0f" f
+  else Printf.sprintf "%.12g" f
+
+let field_json = function
+  | S s -> "\"" ^ escape s ^ "\""
+  | I n -> string_of_int n
+  | F f -> json_float f
+  | B b -> if b then "true" else "false"
+
+let event_json buf e =
+  Buffer.add_string buf
+    (Printf.sprintf "{\"ts_ns\":%s,\"scope\":\"%s\",\"kind\":\"%s\""
+       (json_float e.e_ts_ns) (escape e.e_scope) (escape e.e_kind));
+  (match e.e_trace with
+  | Some ctx ->
+      Buffer.add_string buf
+        (Printf.sprintf ",\"trace_id\":\"%s\",\"span_id\":\"%s\""
+           (Trace_context.to_hex ctx) (Trace_context.span_hex ctx))
+  | None -> ());
+  List.iter
+    (fun (k, v) ->
+      Buffer.add_string buf
+        (Printf.sprintf ",\"%s\":%s" (escape k) (field_json v)))
+    e.e_fields;
+  Buffer.add_char buf '}'
+
+let to_jsonl () =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun e ->
+      event_json buf e;
+      Buffer.add_char buf '\n')
+    (events ());
+  Buffer.contents buf
+
+let pp_event ppf e =
+  Fmt.pf ppf "%10.3fms %-10s %-18s%a%s" (e.e_ts_ns /. 1e6) e.e_scope e.e_kind
+    (fun ppf -> function
+      | Some ctx -> Fmt.pf ppf " %s " (Trace_context.to_hex ctx)
+      | None -> Fmt.pf ppf " ")
+    e.e_trace
+    (String.concat " "
+       (List.map (fun (k, v) -> k ^ "=" ^ field_json v) e.e_fields))

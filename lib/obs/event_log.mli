@@ -1,0 +1,30 @@
+(** Structured query-lifecycle event log: plan splits, policy
+    decisions (with rule id and audit chain head), attestations, fault
+    injections, scheduler outcomes. Buffered process-wide while
+    observability is enabled; exported as deterministic JSONL. *)
+
+type field = S of string | I of int | F of float | B of bool
+
+type event = {
+  e_ts_ns : float;
+  e_scope : string;
+  e_kind : string;  (** e.g. "policy.deny", "fault.injected" *)
+  e_trace : Trace_context.t option;
+  e_fields : (string * field) list;
+}
+
+val reset : unit -> unit
+val events : unit -> event list
+val length : unit -> int
+
+val emit :
+  ?ts_ns:float ->
+  ?trace:Trace_context.t ->
+  scope:string -> kind:string -> (string * field) list -> unit
+(** Append one event (no-op while observability is off). [ts_ns]
+    defaults to the span timeline's high-water mark. *)
+
+val to_jsonl : unit -> string
+(** One JSON object per line, in emission order. *)
+
+val pp_event : Format.formatter -> event -> unit

@@ -1,0 +1,188 @@
+(* Fixed log-bucketed (HDR-style) histogram over non-negative values
+   (virtual nanoseconds, byte counts, ...).
+
+   Layout: [n_sub] sub-buckets per power of two, so a recorded value is
+   known to within a factor of 2^(1/n_sub) (~9% relative width with
+   n_sub = 8). Values below 1.0 land in a dedicated underflow bucket;
+   values at or beyond 2^max_octave land in the overflow bucket. The
+   bucket layout is fixed at creation time and identical for every
+   histogram, which is what makes interval arithmetic sound: the
+   difference between two snapshots of one histogram is the per-bucket
+   subtraction of their counts — including correct interval min/max (to
+   bucket resolution), which a min/max-cell histogram cannot provide.
+
+   Exact count/sum/min/max are kept alongside the buckets: the mean is
+   exact, the percentiles are bucket-resolution. *)
+
+let n_sub = 8
+let max_octave = 60 (* 2^60 ns ~ 36 years: far past any virtual time *)
+let n_buckets = 2 + (max_octave * n_sub) (* underflow + ranged + overflow *)
+
+type t = {
+  mutable count : int;
+  mutable sum : float;
+  mutable min_v : float;
+  mutable max_v : float;
+  buckets : int array;
+}
+
+(* An immutable copy of a histogram's state (the [Metrics] snapshot
+   payload). Interval views produced by {!sub} have bucket-resolution
+   [min_v]/[max_v]. *)
+type view = {
+  v_count : int;
+  v_sum : float;
+  v_min : float;
+  v_max : float;
+  v_buckets : int array;
+}
+
+let create () =
+  {
+    count = 0;
+    sum = 0.0;
+    min_v = infinity;
+    max_v = neg_infinity;
+    buckets = Array.make n_buckets 0;
+  }
+
+(* Bucket index of [v]: 0 is underflow (v < 1.0), the last index is
+   overflow. [frexp] gives the octave and mantissa exactly, with no
+   log-rounding edge cases. *)
+let bucket_of v =
+  if v < 1.0 then 0
+  else begin
+    let m, e = Float.frexp v in
+    (* v = m * 2^e with m in [0.5, 1): octave e-1, mantissa 2m in [1,2) *)
+    let octave = e - 1 in
+    if octave >= max_octave then n_buckets - 1
+    else begin
+      let sub = int_of_float ((2.0 *. m -. 1.0) *. float_of_int n_sub) in
+      1 + (octave * n_sub) + min (n_sub - 1) sub
+    end
+  end
+
+(* Upper bound of bucket [i] — the value percentile extraction reports,
+   a conservative (at most one-bucket-width high) estimate. *)
+let bucket_bound i =
+  if i <= 0 then 1.0
+  else if i >= n_buckets - 1 then infinity
+  else begin
+    let r = i - 1 in
+    let octave = r / n_sub and sub = r mod n_sub in
+    Float.ldexp (1.0 +. (float_of_int (sub + 1) /. float_of_int n_sub)) octave
+  end
+
+(* Lower bound of bucket [i] (used for interval minima). *)
+let bucket_lower i =
+  if i <= 0 then 0.0
+  else if i >= n_buckets - 1 then Float.ldexp 1.0 max_octave
+  else begin
+    let r = i - 1 in
+    let octave = r / n_sub and sub = r mod n_sub in
+    Float.ldexp (1.0 +. (float_of_int sub /. float_of_int n_sub)) octave
+  end
+
+let observe t v =
+  t.count <- t.count + 1;
+  t.sum <- t.sum +. v;
+  if v < t.min_v then t.min_v <- v;
+  if v > t.max_v then t.max_v <- v;
+  let i = bucket_of v in
+  t.buckets.(i) <- t.buckets.(i) + 1
+
+let count t = t.count
+let sum t = t.sum
+
+let view t =
+  {
+    v_count = t.count;
+    v_sum = t.sum;
+    v_min = t.min_v;
+    v_max = t.max_v;
+    v_buckets = Array.copy t.buckets;
+  }
+
+let empty_view =
+  {
+    v_count = 0;
+    v_sum = 0.0;
+    v_min = infinity;
+    v_max = neg_infinity;
+    v_buckets = Array.make n_buckets 0;
+  }
+
+(* Interval arithmetic by per-bucket subtraction: the activity between
+   two snapshots of the same histogram. Interval min/max are recovered
+   from the lowest/highest non-empty difference bucket — correct to
+   bucket resolution, where the old min/max cells could only report the
+   cumulative extremes. *)
+let sub ~before ~after =
+  let buckets =
+    Array.init n_buckets (fun i ->
+        max 0 (after.v_buckets.(i) - before.v_buckets.(i)))
+  in
+  let lo = ref (-1) and hi = ref (-1) in
+  Array.iteri
+    (fun i n ->
+      if n > 0 then begin
+        if !lo < 0 then lo := i;
+        hi := i
+      end)
+    buckets;
+  {
+    v_count = after.v_count - before.v_count;
+    v_sum = after.v_sum -. before.v_sum;
+    v_min = (if !lo < 0 then infinity else bucket_lower !lo);
+    v_max = (if !hi < 0 then neg_infinity else bucket_bound !hi);
+    v_buckets = buckets;
+  }
+
+(* Nearest-rank percentile over the bucket counts: the upper bound of
+   the bucket holding the ceil(q * count)-th value. The exact maximum
+   caps the answer so p100 (and any percentile landing in the top
+   bucket) never exceeds a recorded value. *)
+let percentile_of_view v q =
+  if v.v_count <= 0 then 0.0
+  else begin
+    let rank =
+      max 1 (int_of_float (ceil (q *. float_of_int v.v_count)))
+    in
+    let rec scan i seen =
+      if i >= n_buckets then v.v_max
+      else begin
+        let seen = seen + v.v_buckets.(i) in
+        if seen >= rank then
+          let b = bucket_bound i in
+          if Float.is_finite v.v_max && b > v.v_max then v.v_max else b
+        else scan (i + 1) seen
+      end
+    in
+    scan 0 0
+  end
+
+let percentile t q = percentile_of_view (view t) q
+
+(* Non-empty buckets of a view as (upper_bound, cumulative_count),
+   lowest first — the OpenMetrics [le] series. *)
+let cumulative_buckets v =
+  let acc = ref [] and seen = ref 0 in
+  Array.iteri
+    (fun i n ->
+      if n > 0 then begin
+        seen := !seen + n;
+        acc := (bucket_bound i, !seen) :: !acc
+      end)
+    v.v_buckets;
+  List.rev !acc
+
+let pp_view ppf v =
+  if v.v_count = 0 then Fmt.pf ppf "count=0"
+  else
+    Fmt.pf ppf
+      "count=%d sum=%.3f avg=%.3f min=%.3f max=%.3f p50=%.3f p99=%.3f"
+      v.v_count v.v_sum
+      (v.v_sum /. float_of_int v.v_count)
+      v.v_min v.v_max
+      (percentile_of_view v 0.50)
+      (percentile_of_view v 0.99)

@@ -1,0 +1,60 @@
+(** Fixed log-bucketed (HDR-style) histogram: [n_sub] sub-buckets per
+    power of two over non-negative values, with exact count/sum/min/max
+    kept alongside. All histograms share one bucket layout, so interval
+    activity between two snapshots is the per-bucket subtraction of
+    their counts ({!sub}), and percentiles are extracted from bucket
+    counts to within one bucket width (~9% relative). *)
+
+val n_sub : int
+(** Sub-buckets per power of two (bucket width ratio [2^(1/n_sub)]). *)
+
+val n_buckets : int
+(** Total buckets, including the underflow (< 1.0) and overflow ends. *)
+
+type t
+(** Mutable accumulator. *)
+
+type view = {
+  v_count : int;
+  v_sum : float;
+  v_min : float;  (** exact for accumulator views; bucket-resolution
+                      (lower bound of the lowest non-empty bucket) for
+                      interval views from {!sub} *)
+  v_max : float;  (** likewise: exact, or the upper bound of the
+                      highest non-empty difference bucket *)
+  v_buckets : int array;
+}
+(** Immutable snapshot of a histogram's state. *)
+
+val create : unit -> t
+val observe : t -> float -> unit
+val count : t -> int
+val sum : t -> float
+val view : t -> view
+val empty_view : view
+
+val sub : before:view -> after:view -> view
+(** Activity between two snapshots of one histogram, by per-bucket
+    subtraction. Interval min/max are bucket-resolution. *)
+
+val bucket_of : float -> int
+(** Bucket index a value lands in (0 = underflow, last = overflow). *)
+
+val bucket_bound : int -> float
+(** Upper bound of a bucket ([infinity] for the overflow bucket). *)
+
+val bucket_lower : int -> float
+(** Lower bound of a bucket (0.0 for the underflow bucket). *)
+
+val percentile : t -> float -> float
+
+val percentile_of_view : view -> float -> float
+(** Nearest-rank percentile from bucket counts: the upper bound of the
+    bucket holding the [ceil (q * count)]-th value, capped by the exact
+    recorded maximum. 0.0 on an empty view. *)
+
+val cumulative_buckets : view -> (float * int) list
+(** Non-empty buckets as [(upper_bound, cumulative_count)], lowest
+    first — the OpenMetrics [le] series. *)
+
+val pp_view : Format.formatter -> view -> unit

@@ -2,23 +2,24 @@
    component ("host", "storage", "securestore", "net", ...) so the same
    metric name can be tracked per node.
 
-   A [snapshot] is an immutable, sorted view of the registry; [diff]
-   subtracts one snapshot from a later one, which is how callers meter
-   a single operation against the process-lifetime registry. *)
+   Histograms are fixed log-bucketed ({!Histogram}): p50/p90/p99/p999
+   extraction to bucket resolution, and sound interval arithmetic —
+   [diff] subtracts two snapshots bucket by bucket, so interval min/max
+   (and percentiles) describe the interval. The previous min/max-cell
+   representation could only ever report the *cumulative* extremes,
+   which [diff] silently passed off as interval values.
 
-type hist = {
-  mutable h_count : int;
-  mutable h_sum : float;
-  mutable h_min : float;
-  mutable h_max : float;
-}
+   A [snapshot] is an immutable view of the registry: a sorted
+   association list plus a hash index, so [value]/[diff] are O(1) per
+   lookup instead of the O(n) [List.assoc_opt] scan that made diffing
+   large registries O(n^2). *)
 
-type cell = Counter of int ref | Gauge of float ref | Hist of hist
+type cell = Counter of int ref | Gauge of float ref | Hist of Histogram.t
 
 type value =
   | VCounter of int
   | VGauge of float
-  | VHist of { count : int; sum : float; min_v : float; max_v : float }
+  | VHist of Histogram.view
 
 type t = { cells : (string * string, cell) Hashtbl.t }
 
@@ -59,22 +60,21 @@ let set t ~scope name v =
   | Counter _ | Hist _ -> assert false
 
 let observe t ~scope name v =
-  match
-    cell t ~scope name
-      (fun () ->
-        Hist { h_count = 0; h_sum = 0.0; h_min = infinity; h_max = neg_infinity })
-      "histogram"
-  with
-  | Hist h ->
-      h.h_count <- h.h_count + 1;
-      h.h_sum <- h.h_sum +. v;
-      if v < h.h_min then h.h_min <- v;
-      if v > h.h_max then h.h_max <- v
+  match cell t ~scope name (fun () -> Hist (Histogram.create ())) "histogram" with
+  | Hist h -> Histogram.observe h v
   | Counter _ | Gauge _ -> assert false
 
 (* -- snapshots -------------------------------------------------------- *)
 
-type snapshot = ((string * string) * value) list
+type snapshot = {
+  items : ((string * string) * value) list;  (** sorted by key *)
+  index : (string * string, value) Hashtbl.t;
+}
+
+let of_items items =
+  let index = Hashtbl.create (max 16 (List.length items)) in
+  List.iter (fun (key, v) -> Hashtbl.replace index key v) items;
+  { items; index }
 
 let snapshot t : snapshot =
   Hashtbl.fold
@@ -83,65 +83,66 @@ let snapshot t : snapshot =
         match c with
         | Counter r -> VCounter !r
         | Gauge r -> VGauge !r
-        | Hist h ->
-            VHist
-              { count = h.h_count; sum = h.h_sum; min_v = h.h_min; max_v = h.h_max }
+        | Hist h -> VHist (Histogram.view h)
       in
       (key, v) :: acc)
     t.cells []
   |> List.sort (fun (a, _) (b, _) -> compare a b)
+  |> of_items
 
-let value (snap : snapshot) ~scope name = List.assoc_opt (scope, name) snap
+let to_list snap = snap.items
+let size snap = List.length snap.items
+
+let value (snap : snapshot) ~scope name =
+  Hashtbl.find_opt snap.index (scope, name)
 
 let counter_value snap ~scope name =
   match value snap ~scope name with Some (VCounter n) -> n | _ -> 0
 
 let hist_count snap ~scope name =
-  match value snap ~scope name with Some (VHist h) -> h.count | _ -> 0
+  match value snap ~scope name with
+  | Some (VHist h) -> h.Histogram.v_count
+  | _ -> 0
 
 let hist_sum snap ~scope name =
-  match value snap ~scope name with Some (VHist h) -> h.sum | _ -> 0.0
+  match value snap ~scope name with
+  | Some (VHist h) -> h.Histogram.v_sum
+  | _ -> 0.0
+
+let hist_percentile snap ~scope name q =
+  match value snap ~scope name with
+  | Some (VHist h) -> Histogram.percentile_of_view h q
+  | _ -> 0.0
 
 (* [diff ~before ~after]: the activity between the two snapshots.
-   Counters and histograms subtract; gauges keep the later reading.
-   Entries absent from [before] are taken as zero. *)
+   Counters subtract; histograms subtract bucket by bucket (interval
+   min/max to bucket resolution); gauges keep the later reading.
+   Entries absent from [before] are taken as zero. The [before] side is
+   probed through the hash index, one O(1) lookup per entry. *)
 let diff ~(before : snapshot) ~(after : snapshot) : snapshot =
   List.filter_map
     (fun (key, v_after) ->
-      match (v_after, List.assoc_opt key before) with
+      match (v_after, Hashtbl.find_opt before.index key) with
       | VCounter a, Some (VCounter b) ->
           if a = b then None else Some (key, VCounter (a - b))
       | VGauge g, _ -> Some (key, VGauge g)
       | VHist a, Some (VHist b) ->
-          if a.count = b.count then None
-          else
-            Some
-              ( key,
-                VHist
-                  {
-                    count = a.count - b.count;
-                    sum = a.sum -. b.sum;
-                    min_v = a.min_v;
-                    max_v = a.max_v;
-                  } )
+          if a.Histogram.v_count = b.Histogram.v_count then None
+          else Some (key, VHist (Histogram.sub ~before:b ~after:a))
       | v, None -> Some (key, v)
       | VCounter _, Some _ | VHist _, Some _ ->
           (* kind changed between snapshots: report the later value *)
           Some (key, v_after))
-    after
+    after.items
+  |> of_items
 
 let pp_value ppf = function
   | VCounter n -> Fmt.pf ppf "%d" n
   | VGauge g -> Fmt.pf ppf "%g" g
-  | VHist h ->
-      if h.count = 0 then Fmt.pf ppf "count=0"
-      else
-        Fmt.pf ppf "count=%d sum=%.3f avg=%.3f min=%.3f max=%.3f" h.count h.sum
-          (h.sum /. float_of_int h.count)
-          h.min_v h.max_v
+  | VHist h -> Histogram.pp_view ppf h
 
 let pp ppf (snap : snapshot) =
   List.iter
     (fun ((scope, name), v) ->
       Fmt.pf ppf "%-12s %-28s %a@." scope name pp_value v)
-    snap
+    snap.items

@@ -1,0 +1,52 @@
+(** Metrics registry: counters, gauges and log-bucketed histograms
+    ({!Histogram}), each keyed by [(scope, name)].
+
+    Snapshots are immutable and indexed: [value]/[diff] cost O(1) per
+    entry. [diff] is sound for histograms — per-bucket subtraction —
+    so interval min/max/percentiles describe the interval, not the
+    cumulative run. *)
+
+type value =
+  | VCounter of int
+  | VGauge of float
+  | VHist of Histogram.view
+
+type t
+(** A registry of live cells. *)
+
+val create : unit -> t
+
+val default : t
+(** The process-wide registry every instrumentation hook reports to. *)
+
+val reset : t -> unit
+
+val incr : ?by:int -> t -> scope:string -> string -> unit
+val set : t -> scope:string -> string -> float -> unit
+val observe : t -> scope:string -> string -> float -> unit
+
+type snapshot
+(** Immutable view of a registry: sorted items plus a hash index. *)
+
+val snapshot : t -> snapshot
+
+val to_list : snapshot -> ((string * string) * value) list
+(** Entries sorted by [(scope, name)]. *)
+
+val size : snapshot -> int
+val value : snapshot -> scope:string -> string -> value option
+val counter_value : snapshot -> scope:string -> string -> int
+val hist_count : snapshot -> scope:string -> string -> int
+val hist_sum : snapshot -> scope:string -> string -> float
+
+val hist_percentile : snapshot -> scope:string -> string -> float -> float
+(** [hist_percentile s ~scope name q] with [q] in [0,1]; 0.0 when the
+    entry is absent or not a histogram. *)
+
+val diff : before:snapshot -> after:snapshot -> snapshot
+(** Activity between two snapshots: counters subtract, histograms
+    subtract bucket by bucket, gauges keep the later reading.
+    Unchanged entries are dropped. *)
+
+val pp_value : Format.formatter -> value -> unit
+val pp : Format.formatter -> snapshot -> unit

@@ -1,12 +1,14 @@
 (* Facade over the observability substrate: the on/off switch, the
    cheap hooks the instrumented layers call (no-ops while disabled),
-   and profile capture for the runner/CLI.
+   per-query sampling and trace-context management, and profile
+   capture for the runner/CLI.
 
    Usage pattern:
 
      Obs.enable ();
-     ... run queries (spans + metrics accumulate) ...
-     let json = Chrome_trace.to_json ~metrics:(Obs.metrics ()) (Obs.spans ()) in
+     ... run queries (spans + metrics + events accumulate) ...
+     let json = Obs.to_chrome_json () in
+     let jsonl = Obs.to_jsonl () in
 
    Every instrumentation hook checks one ref before doing work, so the
    hot paths pay nothing when tracing is off. *)
@@ -15,9 +17,28 @@ let enable () = Control.enabled := true
 let disable () = Control.enabled := false
 let enabled () = !Control.enabled
 
+(* -- per-query sampling ------------------------------------------------ *)
+
+(* [set_sample_every n] keeps spans/flows for every n-th query (the
+   deterministic query counter decides, so sampling is reproducible).
+   Metrics and lifecycle events always accumulate while enabled —
+   sampling only sheds the per-span work. *)
+let set_sample_every n = Control.sample_every := max 1 n
+let sample_every () = !Control.sample_every
+
+let query_seq = ref 0
+let current : Trace_context.t option ref = ref None
+let last_before : Metrics.snapshot option ref = ref None
+
 let reset () =
   Metrics.reset Metrics.default;
-  Span.reset_collector ()
+  Span.reset_collector ();
+  Event_log.reset ();
+  Trace_context.reset ();
+  query_seq := 0;
+  current := None;
+  last_before := None;
+  Control.suppress_spans := false
 
 (* Called when a deployment resets its virtual clocks: later spans are
    shifted past everything already recorded so the collected timeline
@@ -44,23 +65,100 @@ let on_charge ~node ~category ns =
     Span.add_charge ~category ns
   end
 
-(* -- capture ---------------------------------------------------------- *)
+(* Structured lifecycle event, stamped with the active trace context. *)
+let event ?ts_ns ~scope ~kind fields =
+  if !Control.enabled then
+    Event_log.emit ?ts_ns ?trace:!current ~scope ~kind fields
+
+(* -- query lifecycle --------------------------------------------------- *)
+
+let current_trace () = !current
+
+(* Root-span attributes carrying the active trace identity. *)
+let trace_attrs () =
+  match !current with
+  | None -> []
+  | Some ctx ->
+      [ ("trace_id", Trace_context.to_hex ctx);
+        ("span_id", Trace_context.span_hex ctx) ]
+
+type query_token = {
+  qt_active : bool;
+  qt_prev_suppress : bool;
+  qt_before : Metrics.snapshot option;
+}
+
+let inactive_token =
+  { qt_active = false; qt_prev_suppress = false; qt_before = None }
+
+(* [begin_query ()] opens a query scope: allocates the deterministic
+   trace context, decides sampling (suppressing span collection for
+   unsampled queries — metrics and events still flow), and snapshots
+   the metrics registry so [capture_last]/[finish_query] can report the
+   *interval* activity of this query rather than the cumulative
+   registry. Pair with [finish_query]. *)
+let begin_query () =
+  if not !Control.enabled then inactive_token
+  else begin
+    incr query_seq;
+    let sampled = (!query_seq - 1) mod !Control.sample_every = 0 in
+    let prev = !Control.suppress_spans in
+    if not sampled then Control.suppress_spans := true;
+    current := Some (Trace_context.fresh ~span_id:!query_seq ~sampled);
+    let before = Metrics.snapshot Metrics.default in
+    last_before := Some before;
+    { qt_active = true; qt_prev_suppress = prev; qt_before = Some before }
+  end
 
 let spans () = Span.roots ()
 let metrics () = Metrics.snapshot Metrics.default
 
 type profile = { p_span : Span.t; p_metrics : Metrics.snapshot }
 
-(* The most recently finished root span plus the current metrics
-   snapshot (cumulative since [enable]/[reset]). *)
+(* Close the query scope; returns the query's profile (root span plus
+   interval metrics) when it was sampled, [None] otherwise. *)
+let finish_query tok =
+  if not tok.qt_active then None
+  else begin
+    let sampled = not !Control.suppress_spans || tok.qt_prev_suppress in
+    Control.suppress_spans := tok.qt_prev_suppress;
+    current := None;
+    if not sampled then None
+    else
+      Option.map
+        (fun s ->
+          let after = metrics () in
+          let m =
+            match tok.qt_before with
+            | Some before -> Metrics.diff ~before ~after
+            | None -> after
+          in
+          { p_span = s; p_metrics = m })
+        (Span.last_root ())
+  end
+
+(* The most recently finished root span plus the metrics *interval*
+   since the last [begin_query] (falling back to the cumulative
+   snapshot when no query scope was ever opened). *)
 let capture_last () =
   if not !Control.enabled then None
   else
     Option.map
-      (fun s -> { p_span = s; p_metrics = metrics () })
+      (fun s ->
+        let after = metrics () in
+        let m =
+          match !last_before with
+          | Some before -> Metrics.diff ~before ~after
+          | None -> after
+        in
+        { p_span = s; p_metrics = m })
       (Span.last_root ())
 
 let pp_profile ppf p =
   Fmt.pf ppf "%a@.metrics:@.%a" Span.pp_tree p.p_span Metrics.pp p.p_metrics
 
+(* -- exporters --------------------------------------------------------- *)
+
 let to_chrome_json () = Chrome_trace.to_json ~metrics:(metrics ()) (spans ())
+let to_jsonl () = Event_log.to_jsonl ()
+let to_openmetrics () = Openmetrics.render (metrics ())

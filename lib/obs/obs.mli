@@ -1,0 +1,72 @@
+(** Facade over the observability substrate. All hooks are no-ops
+    while disabled (one boolean load), so instrumented hot paths pay
+    nothing when tracing is off. *)
+
+val enable : unit -> unit
+val disable : unit -> unit
+val enabled : unit -> bool
+
+val set_sample_every : int -> unit
+(** Keep spans/flows for every n-th query (deterministic counter, so
+    sampling is reproducible). Metrics and lifecycle events always
+    accumulate while enabled. *)
+
+val sample_every : unit -> int
+
+val reset : unit -> unit
+(** Drop all collected metrics, spans, events; rewind trace ids and
+    the query counter. *)
+
+val new_epoch : unit -> unit
+(** Shift later spans past everything recorded (virtual clocks reset). *)
+
+(** {2 Hooks for instrumented layers} *)
+
+val count : ?n:int -> scope:string -> string -> unit
+val gauge : scope:string -> string -> float -> unit
+val observe : scope:string -> string -> float -> unit
+
+val on_charge : node:string -> category:string -> float -> unit
+(** Record a virtual-time charge: per-node histogram + innermost span. *)
+
+val event :
+  ?ts_ns:float ->
+  scope:string -> kind:string -> (string * Event_log.field) list -> unit
+(** Structured lifecycle event, stamped with the active trace context. *)
+
+(** {2 Query lifecycle} *)
+
+type query_token
+
+val begin_query : unit -> query_token
+(** Open a query scope: allocate the trace context, decide sampling,
+    snapshot metrics for interval capture. Pair with {!finish_query}. *)
+
+val current_trace : unit -> Trace_context.t option
+(** The context wire messages should propagate, when a query is open. *)
+
+val trace_attrs : unit -> (string * string) list
+(** Root-span attributes carrying the active trace identity. *)
+
+(** {2 Capture} *)
+
+val spans : unit -> Span.t list
+val metrics : unit -> Metrics.snapshot
+
+type profile = { p_span : Span.t; p_metrics : Metrics.snapshot }
+
+val finish_query : query_token -> profile option
+(** Close the query scope; the query's root span plus its interval
+    metrics when sampled, [None] otherwise. *)
+
+val capture_last : unit -> profile option
+(** Most recently finished root span plus the metrics interval since
+    the last {!begin_query} (cumulative when none was opened). *)
+
+val pp_profile : Format.formatter -> profile -> unit
+
+(** {2 Exporters} *)
+
+val to_chrome_json : unit -> string
+val to_jsonl : unit -> string
+val to_openmetrics : unit -> string

@@ -1,0 +1,97 @@
+(* OpenMetrics text renderer for a [Metrics.snapshot].
+
+   Each distinct metric name becomes one metric family with the node /
+   component as a ["scope"] label, so the same metric measured on host
+   and storage lands in one family:
+
+     # TYPE ironsafe_charge_ns_io histogram
+     ironsafe_charge_ns_io_bucket{scope="storage",le="1.5"} 3
+     ...
+     ironsafe_charge_ns_io_sum{scope="storage"} 123.0
+     ironsafe_charge_ns_io_count{scope="storage"} 7
+
+   Histograms emit their non-empty log buckets as a cumulative [le]
+   series plus the mandatory [+Inf] bucket. Output order is
+   deterministic: families sorted by name, samples by scope. *)
+
+let sanitize name =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> c
+      | _ -> '_')
+    name
+
+let fmt_float f =
+  if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.1f" f
+  else Printf.sprintf "%g" f
+
+let fmt_le bound =
+  if Float.is_finite bound then fmt_float bound else "+Inf"
+
+let type_name = function
+  | Metrics.VCounter _ -> "counter"
+  | Metrics.VGauge _ -> "gauge"
+  | Metrics.VHist _ -> "histogram"
+
+let add_sample buf ~family ~suffix ~scope ?le value =
+  Buffer.add_string buf family;
+  Buffer.add_string buf suffix;
+  Buffer.add_string buf "{scope=\"";
+  Buffer.add_string buf scope;
+  Buffer.add_char buf '"';
+  (match le with
+  | Some bound ->
+      Buffer.add_string buf ",le=\"";
+      Buffer.add_string buf (fmt_le bound);
+      Buffer.add_char buf '"'
+  | None -> ());
+  Buffer.add_string buf "} ";
+  Buffer.add_string buf value;
+  Buffer.add_char buf '\n'
+
+let render ?(prefix = "ironsafe_") (snap : Metrics.snapshot) : string =
+  let buf = Buffer.create 4096 in
+  (* regroup by metric name (then scope): one family per name+kind *)
+  let by_family =
+    List.sort
+      (fun ((s1, n1), v1) ((s2, n2), v2) ->
+        compare (n1, type_name v1, s1) (n2, type_name v2, s2))
+      (Metrics.to_list snap)
+  in
+  let last_family = ref "" in
+  List.iter
+    (fun ((scope, name), v) ->
+      let family = prefix ^ sanitize name in
+      let kind = type_name v in
+      let header = family ^ "/" ^ kind in
+      if header <> !last_family then begin
+        last_family := header;
+        Buffer.add_string buf
+          (Printf.sprintf "# TYPE %s %s\n" family kind)
+      end;
+      match v with
+      | Metrics.VCounter n ->
+          add_sample buf ~family ~suffix:"_total" ~scope (string_of_int n)
+      | Metrics.VGauge g ->
+          add_sample buf ~family ~suffix:"" ~scope (fmt_float g)
+      | Metrics.VHist h ->
+          let cumulative = Histogram.cumulative_buckets h in
+          List.iter
+            (fun (bound, seen) ->
+              add_sample buf ~family ~suffix:"_bucket" ~scope ~le:bound
+                (string_of_int seen))
+            cumulative;
+          (* the mandatory +Inf bucket, unless overflow already emitted it *)
+          (match List.rev cumulative with
+          | (bound, _) :: _ when not (Float.is_finite bound) -> ()
+          | _ ->
+              add_sample buf ~family ~suffix:"_bucket" ~scope ~le:infinity
+                (string_of_int h.Histogram.v_count));
+          add_sample buf ~family ~suffix:"_sum" ~scope
+            (fmt_float h.Histogram.v_sum);
+          add_sample buf ~family ~suffix:"_count" ~scope
+            (string_of_int h.Histogram.v_count))
+    by_family;
+  Buffer.add_string buf "# EOF\n";
+  Buffer.contents buf

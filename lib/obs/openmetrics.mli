@@ -1,0 +1,10 @@
+(** OpenMetrics text renderer for a metrics snapshot: one family per
+    metric name with the node/component as a ["scope"] label; counters
+    as [_total], histograms as a cumulative [le] bucket series plus
+    [_sum]/[_count]; terminated by [# EOF]. Deterministic order. *)
+
+val sanitize : string -> string
+(** Metric-name charset: anything outside [[a-zA-Z0-9_:]] becomes [_]. *)
+
+val render : ?prefix:string -> Metrics.snapshot -> string
+(** [prefix] defaults to ["ironsafe_"]. *)

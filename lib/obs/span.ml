@@ -10,7 +10,11 @@
    timestamp recorded so far, keeping the collected timeline monotonic
    across consecutive queries — exactly what a Chrome trace needs. *)
 
-type kind = Complete | Instant
+type kind =
+  | Complete
+  | Instant
+  | Flow_out of int  (** start of a cross-node causal arrow (flow id) *)
+  | Flow_in of int  (** matching end of the arrow on the other node *)
 
 type t = {
   id : int;
@@ -30,6 +34,7 @@ let duration_ns s = s.end_ns -. s.begin_ns
 (* -- collector -------------------------------------------------------- *)
 
 let next_id = ref 0
+let next_flow_id = ref 0
 let stack : t list ref = ref []
 let roots_rev : t list ref = ref []
 let epoch = ref 0.0
@@ -37,6 +42,7 @@ let high_water = ref 0.0
 
 let reset_collector () =
   next_id := 0;
+  next_flow_id := 0;
   stack := [];
   roots_rev := [];
   epoch := 0.0;
@@ -84,7 +90,7 @@ let make ~name ~scope ~kind ~attrs ts =
 (* Run [f] inside a span named [name]; begin/end timestamps are read
    from [clock] (virtual nanoseconds). No-op when collection is off. *)
 let with_ ?(attrs = []) ~name ~scope ~clock f =
-  if not !Control.enabled then f ()
+  if not (Control.spans_on ()) then f ()
   else begin
     let s = make ~name ~scope ~kind:Complete ~attrs (stamp clock) in
     stack := s :: !stack;
@@ -109,12 +115,37 @@ let with_ ?(attrs = []) ~name ~scope ~clock f =
 (* A zero-duration marker at the current point of the timeline (or of
    [clock], when given). *)
 let instant ?(attrs = []) ?clock ~name ~scope () =
-  if !Control.enabled then begin
+  if Control.spans_on () then begin
     let ts =
       match clock with Some c -> stamp c | None -> !high_water
     in
     attach (make ~name ~scope ~kind:Instant ~attrs ts)
   end
+
+let timeline_now () = !high_water
+
+(* -- cross-node flows -------------------------------------------------- *)
+
+(* A flow is a causal arrow between two nodes' timelines: [flow_out]
+   marks the departure (inside the sender's innermost open span) and
+   returns a fresh flow id; [flow_in ... id] marks the arrival on the
+   receiver. Chrome trace renders the pair as an arrow between the two
+   lanes, which is what links host- and storage-side spans of one split
+   query into a single causal tree. The two marks must share [name]
+   (trace viewers bind flows by name + id). Returns 0 when spans are
+   off; [flow_in] ignores id 0. *)
+let flow_out ?(attrs = []) ~clock ~name ~scope () =
+  if not (Control.spans_on ()) then 0
+  else begin
+    incr next_flow_id;
+    let fid = !next_flow_id in
+    attach (make ~name ~scope ~kind:(Flow_out fid) ~attrs (stamp clock));
+    fid
+  end
+
+let flow_in ?(attrs = []) ~clock ~name ~scope fid =
+  if Control.spans_on () && fid <> 0 then
+    attach (make ~name ~scope ~kind:(Flow_in fid) ~attrs (stamp clock))
 
 let set_attr s key v = s.attrs <- (key, v) :: List.remove_assoc key s.attrs
 
@@ -160,7 +191,17 @@ let rec pp_node ppf ~indent s =
   | Instant ->
       Fmt.pf ppf "%s%-24s %-10s   @ %.3f ms%a@." indent ("*" ^ s.name)
         ("[" ^ s.scope ^ "]")
-        (s.begin_ns /. 1e6) pp_attrs s.attrs);
+        (s.begin_ns /. 1e6) pp_attrs s.attrs
+  | Flow_out fid ->
+      Fmt.pf ppf "%s%-24s %-10s   @ %.3f ms  flow #%d ->%a@." indent
+        (">" ^ s.name)
+        ("[" ^ s.scope ^ "]")
+        (s.begin_ns /. 1e6) fid pp_attrs s.attrs
+  | Flow_in fid ->
+      Fmt.pf ppf "%s%-24s %-10s   @ %.3f ms  -> flow #%d%a@." indent
+        ("<" ^ s.name)
+        ("[" ^ s.scope ^ "]")
+        (s.begin_ns /. 1e6) fid pp_attrs s.attrs);
   List.iter (pp_node ppf ~indent:(indent ^ "  ")) (children s)
 
 let pp_tree ppf s = pp_node ppf ~indent:"" s

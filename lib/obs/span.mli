@@ -1,0 +1,87 @@
+(** Hierarchical spans over the virtual clock, plus a process-wide
+    collector. Timestamps come from caller-supplied clocks (simulated
+    nodes' nanosecond counters), shifted by an epoch offset so the
+    collected timeline stays monotonic across queries.
+
+    The record is transparent (and partially mutable): the workload
+    scheduler synthesizes span trees directly and installs them with
+    {!add_root}. *)
+
+type kind =
+  | Complete
+  | Instant
+  | Flow_out of int  (** start of a cross-node causal arrow (flow id) *)
+  | Flow_in of int  (** matching end of the arrow on the other node *)
+
+type t = {
+  id : int;
+  name : string;
+  scope : string;  (** the node/component this span belongs to *)
+  kind : kind;
+  begin_ns : float;
+  mutable end_ns : float;
+  mutable attrs : (string * string) list;
+  mutable charges : (string * float) list;  (** category -> virtual ns *)
+  mutable children_rev : t list;
+}
+
+val children : t -> t list
+val duration_ns : t -> float
+
+(** {2 Collector} *)
+
+val reset_collector : unit -> unit
+
+val stamp : (unit -> float) -> float
+(** Epoch-shifted timestamp from a clock; advances the high-water mark. *)
+
+val new_epoch : unit -> unit
+(** Shift later timestamps past everything recorded so far (called when
+    a deployment resets its virtual clocks). *)
+
+val roots : unit -> t list
+val last_root : unit -> t option
+val open_depth : unit -> int
+val current_epoch : unit -> float
+
+val timeline_now : unit -> float
+(** Highest timestamp recorded so far (default event timestamp). *)
+
+val add_root : t -> unit
+(** Install an externally-built span tree as a root of the timeline. *)
+
+val make :
+  name:string -> scope:string -> kind:kind -> attrs:(string * string) list ->
+  float -> t
+(** Bare span at a timestamp, not attached to the collector. *)
+
+val with_ :
+  ?attrs:(string * string) list ->
+  name:string -> scope:string -> clock:(unit -> float) -> (unit -> 'a) -> 'a
+(** Run inside a span; no-op while span collection is off. *)
+
+val instant :
+  ?attrs:(string * string) list ->
+  ?clock:(unit -> float) -> name:string -> scope:string -> unit -> unit
+
+val flow_out :
+  ?attrs:(string * string) list ->
+  clock:(unit -> float) -> name:string -> scope:string -> unit -> int
+(** Departure mark of a cross-node causal arrow, inside the sender's
+    innermost open span; returns the flow id to hand to {!flow_in}
+    (0 when spans are off). *)
+
+val flow_in :
+  ?attrs:(string * string) list ->
+  clock:(unit -> float) -> name:string -> scope:string -> int -> unit
+(** Arrival mark of the arrow on the receiver; must share [name] with
+    the matching {!flow_out}. Ignores flow id 0. *)
+
+val set_attr : t -> string -> string -> unit
+
+val add_charge : category:string -> float -> unit
+(** Attribute charged virtual time to the innermost open span. *)
+
+val total_charged : t -> float
+
+val pp_tree : Format.formatter -> t -> unit

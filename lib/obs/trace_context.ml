@@ -1,0 +1,65 @@
+(* Propagated trace context (Dapper-style): the identity a query's
+   telemetry travels under. The host attaches it to every wire message
+   it sends while the query runs, so storage-side spans and events can
+   be joined to the host-side root into one causal tree.
+
+   Identifiers are deterministic: they come from a process-local
+   counter (mixed through the splitmix64 finalizer so ids are spread
+   across the 64-bit space, not 1,2,3...) that [reset] rewinds — never
+   from wall clocks or ambient randomness. Two runs of the same
+   workload after a reset produce byte-identical contexts, which is
+   what makes linked traces diffable across runs. *)
+
+type t = { trace_id : int64; span_id : int; sampled : bool }
+
+let next = ref 0L
+
+let reset () = next := 0L
+
+(* splitmix64 finalizer: bijective, so distinct counters give distinct,
+   well-spread trace ids. *)
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30))
+      0xbf58476d1ce4e5b9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
+      0x94d049bb133111ebL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let fresh ~span_id ~sampled =
+  next := Int64.add !next 1L;
+  { trace_id = mix !next; span_id; sampled }
+
+let to_hex t = Printf.sprintf "%016Lx" t.trace_id
+let span_hex t = Printf.sprintf "%08x" t.span_id
+
+(* -- wire form --------------------------------------------------------- *)
+
+(* Fixed-width binary form: 8-byte trace id, 4-byte span id, 1 flag
+   byte (big-endian), 13 bytes total. *)
+let encoded_length = 13
+
+let encode t =
+  let b = Bytes.create encoded_length in
+  Bytes.set_int64_be b 0 t.trace_id;
+  Bytes.set_int32_be b 8 (Int32.of_int t.span_id);
+  Bytes.set b 12 (if t.sampled then '\x01' else '\x00');
+  Bytes.to_string b
+
+let decode s off =
+  if off + encoded_length > String.length s then None
+  else begin
+    let b = Bytes.of_string (String.sub s off encoded_length) in
+    let flags = Char.code (Bytes.get b 12) in
+    if flags land lnot 1 <> 0 then None
+    else
+      Some
+        {
+          trace_id = Bytes.get_int64_be b 0;
+          span_id = Int32.to_int (Bytes.get_int32_be b 8) land 0x7fffffff;
+          sampled = flags land 1 = 1;
+        }
+  end
+
+let pp ppf t =
+  Fmt.pf ppf "%s/%s%s" (to_hex t) (span_hex t)
+    (if t.sampled then "" else " (unsampled)")

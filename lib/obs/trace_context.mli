@@ -1,0 +1,33 @@
+(** Propagated trace context: the [trace_id]/[span_id]/sampling-bit
+    triple a query's telemetry travels under. Carried inside
+    [lib/net/wire] messages so host- and storage-side spans of one
+    split query join into a single causal tree.
+
+    Identifiers are deterministic (a counter mixed through the
+    splitmix64 finalizer, rewound by {!reset}) — never wall-clock or
+    ambient randomness — so identical runs produce identical traces. *)
+
+type t = { trace_id : int64; span_id : int; sampled : bool }
+
+val reset : unit -> unit
+(** Rewind the id counter (called by [Obs.reset]). *)
+
+val fresh : span_id:int -> sampled:bool -> t
+(** Next deterministic context. *)
+
+val to_hex : t -> string
+(** 16-hex-digit trace id. *)
+
+val span_hex : t -> string
+(** 8-hex-digit span id. *)
+
+val encoded_length : int
+(** Fixed wire width: 13 bytes. *)
+
+val encode : t -> string
+
+val decode : string -> int -> t option
+(** [decode s off] reads a context at [off]; [None] when truncated or
+    the flag byte has unknown bits. *)
+
+val pp : Format.formatter -> t -> unit

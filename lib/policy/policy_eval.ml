@@ -142,10 +142,15 @@ let evaluate_rule req rule =
           storage_required = !storage_touched;
         }
 
+(* The rule the policy selects for a permission (first match), exposed
+   so callers can report *which* rule decided — rules have no intrinsic
+   ids, so forensic ids are derived from the selected rule's rendering. *)
+let matching_rule policy ~perm = List.find_opt (fun r -> r.perm = perm) policy
+
 (* Evaluate the policy for a permission; a policy with no rule for the
    permission denies by default. *)
 let evaluate policy ~perm req =
-  match List.find_opt (fun r -> r.perm = perm) policy with
+  match matching_rule policy ~perm with
   | None ->
       Denied (Fmt.str "no %s rule in policy (default deny)" (perm_name perm))
   | Some rule -> evaluate_rule req rule

@@ -168,27 +168,26 @@ type report = {
   rep_util : (string * float) list;  (** server -> utilization in [0,1] *)
 }
 
-(* Nearest-rank percentile over a sorted array. *)
-let percentile sorted q =
-  let n = Array.length sorted in
-  if n = 0 then 0.0
-  else
-    let rank = int_of_float (Float.round (ceil (q *. float_of_int n))) in
-    sorted.(min (n - 1) (max 0 (rank - 1)))
-
+(* Latency digest from the fixed log-bucketed histogram
+   ({!Obs.Histogram}): mean and max are exact (count/sum/max are
+   tracked alongside the buckets), percentiles are bucket-resolution
+   nearest-rank — the same extraction the metrics registry uses for
+   its sched/latency_ns histogram, so the report's p99 and the
+   registry's agree exactly on the same completions. *)
 let latency_stats_of latencies =
   match latencies with
   | [] -> { mean_ns = 0.0; p50_ns = 0.0; p95_ns = 0.0; p99_ns = 0.0; max_ns = 0.0 }
   | l ->
-      let a = Array.of_list l in
-      Array.sort compare a;
-      let n = Array.length a in
+      let h = Obs.Histogram.create () in
+      List.iter (Obs.Histogram.observe h) l;
+      let v = Obs.Histogram.view h in
       {
-        mean_ns = Array.fold_left ( +. ) 0.0 a /. float_of_int n;
-        p50_ns = percentile a 0.50;
-        p95_ns = percentile a 0.95;
-        p99_ns = percentile a 0.99;
-        max_ns = a.(n - 1);
+        mean_ns =
+          v.Obs.Histogram.v_sum /. float_of_int v.Obs.Histogram.v_count;
+        p50_ns = Obs.Histogram.percentile_of_view v 0.50;
+        p95_ns = Obs.Histogram.percentile_of_view v 0.95;
+        p99_ns = Obs.Histogram.percentile_of_view v 0.99;
+        max_ns = v.Obs.Histogram.v_max;
       }
 
 (* -- deterministic event queue ----------------------------------------- *)
@@ -397,6 +396,13 @@ let run ?gate deploy spec profiles =
         incr denied;
         (tstat task.tenant).t_denied <- (tstat task.tenant).t_denied + 1;
         Obs.Obs.count ~scope:"sched" "denied";
+        if Obs.Obs.enabled () then
+          Obs.Obs.event ~ts_ns:t ~scope:"sched" ~kind:"sched.denied"
+            [
+              ("qid", Obs.Event_log.I task.qid);
+              ("tenant", Obs.Event_log.S task.tenant);
+              ("reason", Obs.Event_log.S e);
+            ];
         logf "%.0f deny q%d tenant=%s (%s)" t task.qid task.tenant e;
         finish_record task (Denied e) ~start_ns:t ~done_ns:t;
         session_next task.session t
@@ -440,6 +446,13 @@ let run ?gate deploy spec profiles =
       incr shed;
       (tstat task.tenant).t_shed <- (tstat task.tenant).t_shed + 1;
       Obs.Obs.count ~scope:"sched" "shed";
+      if Obs.Obs.enabled () then
+        Obs.Obs.event ~ts_ns:t ~scope:"sched" ~kind:"sched.shed"
+          [
+            ("qid", Obs.Event_log.I task.qid);
+            ("tenant", Obs.Event_log.S task.tenant);
+            ("queue_depth", Obs.Event_log.I spec.queue_depth);
+          ];
       logf "%.0f shed q%d queue_full depth=%d" t task.qid spec.queue_depth;
       finish_record task
         (Shed (Queue_full { depth = spec.queue_depth }))
@@ -454,6 +467,9 @@ let run ?gate deploy spec profiles =
     incr completed;
     (tstat task.tenant).t_completed <- (tstat task.tenant).t_completed + 1;
     Obs.Obs.count ~scope:"sched" "completed";
+    (* same data, same bucket extraction: the registry's p99 for
+       sched/latency_ns matches the report's percentile table *)
+    Obs.Obs.observe ~scope:"sched" "latency_ns" latency;
     latencies_rev := latency :: !latencies_rev;
     logf "%.0f done q%d latency=%.0f" done_t task.qid latency;
     finish_record task

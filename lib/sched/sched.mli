@@ -93,6 +93,13 @@ type latency_stats = {
   max_ns : float;
 }
 
+val latency_stats_of : float list -> latency_stats
+(** Digest of a latency sample via the shared log-bucketed histogram
+    ({!Ironsafe_obs.Histogram}): mean and max exact, percentiles
+    bucket-resolution nearest-rank — the same extraction the metrics
+    registry applies to its [sched/latency_ns] series, so the two p99s
+    agree exactly on the same completions. *)
+
 type tenant_stats = {
   mutable t_submitted : int;
   mutable t_completed : int;

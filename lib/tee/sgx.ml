@@ -69,7 +69,8 @@ let image e = e.image
    state, so the monitor must re-attest it. *)
 let inject_abort e =
   e.aborted <- true;
-  Obs.count ~scope:"sgx" "aborts"
+  Obs.count ~scope:"sgx" "aborts";
+  Obs.event ~scope:"sgx" ~kind:"enclave.abort" []
 
 let aborted e = e.aborted
 
@@ -77,7 +78,9 @@ let restart e =
   e.aborted <- false;
   e.restarts <- e.restarts + 1;
   e.heap_used <- 0;
-  Obs.count ~scope:"sgx" "restarts"
+  Obs.count ~scope:"sgx" "restarts";
+  Obs.event ~scope:"sgx" ~kind:"enclave.restart"
+    [ ("restarts", Ironsafe_obs.Event_log.I e.restarts) ]
 
 let restarts e = e.restarts
 let check_alive e = if e.aborted then raise Enclave_aborted

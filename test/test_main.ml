@@ -1,4 +1,8 @@
 let () =
+  (* CI's differential job reruns the whole suite with telemetry
+     collection enabled; every assertion must hold identically
+     (observability is contractually zero-perturbation). *)
+  if Sys.getenv_opt "IRONSAFE_OBS" = Some "1" then Ironsafe_obs.Obs.enable ();
   Alcotest.run "ironsafe"
     [
       ("crypto", Test_crypto.suite);
@@ -16,6 +20,7 @@ let () =
       ("monitor", Test_monitor.suite);
       ("core", Test_core.suite);
       ("obs", Test_obs.suite);
+      ("forensics", Test_forensics.suite);
       ("differential", Test_differential.suite);
       ("faults", Test_fault.suite);
       ("sched", Test_sched.suite);

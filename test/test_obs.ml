@@ -143,7 +143,8 @@ let test_disabled_is_noop () =
   Span.with_ ~name:"ghost" ~scope:"host" ~clock (fun () -> tick 1.0);
   Obs.count ~scope:"host" "ghost_counter";
   Alcotest.(check int) "no spans collected" 0 (List.length (Obs.spans ()));
-  Alcotest.(check int) "no metrics collected" 0 (List.length (Obs.metrics ()))
+  Alcotest.(check int) "no metrics collected" 0
+    (List.length (Metrics.to_list (Obs.metrics ())))
 
 (* -- metrics ----------------------------------------------------------- *)
 
@@ -168,9 +169,9 @@ let test_histogram_arithmetic () =
   Alcotest.(check (float 1e-9)) "sum" 10.0
     (Metrics.hist_sum snap ~scope:"host" "charge_ns.io");
   match Metrics.value snap ~scope:"host" "charge_ns.io" with
-  | Some (Metrics.VHist { min_v; max_v; _ }) ->
-      Alcotest.(check (float 1e-9)) "min" 2.0 min_v;
-      Alcotest.(check (float 1e-9)) "max" 5.0 max_v
+  | Some (Metrics.VHist { Ironsafe_obs.Histogram.v_min; v_max; _ }) ->
+      Alcotest.(check (float 1e-9)) "min" 2.0 v_min;
+      Alcotest.(check (float 1e-9)) "max" 5.0 v_max
   | _ -> Alcotest.fail "expected histogram"
 
 let test_kind_mismatch_rejected () =
@@ -208,7 +209,167 @@ let test_snapshot_diff () =
   Alcotest.(check bool) "self diff has no counters/hists" true
     (List.for_all
        (fun (_, v) -> match v with Metrics.VGauge _ -> true | _ -> false)
-       self)
+       (Metrics.to_list self))
+
+(* -- bucketed histograms ------------------------------------------------ *)
+
+module Hist = Ironsafe_obs.Histogram
+
+let test_histogram_percentiles_within_bucket () =
+  let h = Hist.create () in
+  for i = 1 to 1000 do
+    Hist.observe h (float_of_int i)
+  done;
+  let v = Hist.view h in
+  Alcotest.(check int) "count" 1000 v.Hist.v_count;
+  Alcotest.(check (float 1e-6)) "sum exact" 500500.0 v.Hist.v_sum;
+  Alcotest.(check (float 1e-9)) "min exact" 1.0 v.Hist.v_min;
+  Alcotest.(check (float 1e-9)) "max exact" 1000.0 v.Hist.v_max;
+  (* a percentile is the upper bound of the rank's bucket, so it sits
+     within one bucket width (ratio 2^(1/n_sub)) above the exact rank
+     value, and never above the recorded max *)
+  let width = 2.0 ** (1.0 /. float_of_int Hist.n_sub) in
+  List.iter
+    (fun q ->
+      let exact = Float.ceil (q *. 1000.0) in
+      let est = Hist.percentile_of_view v q in
+      Alcotest.(check bool)
+        (Printf.sprintf "p%g within one bucket" (q *. 100.0))
+        true
+        (est >= exact && est <= exact *. width && est <= v.Hist.v_max))
+    [ 0.5; 0.9; 0.99; 0.999 ]
+
+let test_histogram_bucket_math () =
+  (* every value lands in a bucket whose bounds bracket it *)
+  List.iter
+    (fun x ->
+      let b = Hist.bucket_of x in
+      Alcotest.(check bool)
+        (Printf.sprintf "bounds bracket %g" x)
+        true
+        (Hist.bucket_lower b <= x && x <= Hist.bucket_bound b))
+    [ 0.0; 0.5; 1.0; 1.5; 2.0; 3.14; 1e3; 1e9; 1e12; 4.2e18 ];
+  Alcotest.(check int) "underflow bucket" 0 (Hist.bucket_of 0.25);
+  Alcotest.(check int) "overflow bucket" (Hist.n_buckets - 1)
+    (Hist.bucket_of 1e300)
+
+let test_histogram_interval_sub () =
+  let h = Hist.create () in
+  List.iter (Hist.observe h) [ 10.0; 20.0 ];
+  let before = Hist.view h in
+  List.iter (Hist.observe h) [ 40.0; 80.0; 160.0 ];
+  let after = Hist.view h in
+  let d = Hist.sub ~before ~after in
+  Alcotest.(check int) "interval count" 3 d.Hist.v_count;
+  Alcotest.(check (float 1e-6)) "interval sum" 280.0 d.Hist.v_sum;
+  (* interval min/max are bucket-resolution: bracket the true values *)
+  Alcotest.(check bool) "interval min near 40" true
+    (d.Hist.v_min <= 40.0 && d.Hist.v_min >= 40.0 /. 2.0);
+  Alcotest.(check bool) "interval max near 160" true
+    (d.Hist.v_max >= 160.0 && d.Hist.v_max <= 160.0 *. 2.0);
+  (* cumulative le-series is monotone and ends at the interval count *)
+  let cum = Hist.cumulative_buckets d in
+  let counts = List.map snd cum in
+  Alcotest.(check bool) "le-series monotone" true
+    (List.sort compare counts = counts);
+  Alcotest.(check int) "le-series total" 3
+    (match List.rev counts with c :: _ -> c | [] -> 0)
+
+(* -- trace context ------------------------------------------------------ *)
+
+module Tc = Ironsafe_obs.Trace_context
+
+let test_trace_context_roundtrip () =
+  Tc.reset ();
+  let a = Tc.fresh ~span_id:1 ~sampled:true in
+  let b = Tc.fresh ~span_id:2 ~sampled:false in
+  Alcotest.(check bool) "distinct trace ids" true
+    (a.Tc.trace_id <> b.Tc.trace_id);
+  List.iter
+    (fun c ->
+      let s = Tc.encode c in
+      Alcotest.(check int) "wire width" Tc.encoded_length (String.length s);
+      match Tc.decode s 0 with
+      | Some c' -> Alcotest.(check bool) "roundtrip" true (c = c')
+      | None -> Alcotest.fail "decode failed")
+    [ a; b ];
+  (* unknown flag bits and truncation are rejected *)
+  let bad = Bytes.of_string (Tc.encode a) in
+  Bytes.set bad 12 '\x83';
+  Alcotest.(check bool) "unknown flag bits rejected" true
+    (Tc.decode (Bytes.to_string bad) 0 = None);
+  Alcotest.(check bool) "truncated rejected" true (Tc.decode "short" 0 = None);
+  (* reset rewinds the deterministic id stream *)
+  Tc.reset ();
+  let a' = Tc.fresh ~span_id:1 ~sampled:true in
+  Alcotest.(check bool) "ids deterministic after reset" true (a = a')
+
+(* -- flows, sampling, interval capture ---------------------------------- *)
+
+let test_flow_events_link_lanes () =
+  with_obs (fun () ->
+      let clock, tick = fake_clock () in
+      let fid = ref 0 in
+      Span.with_ ~name:"query" ~scope:"host" ~clock (fun () ->
+          tick 5.0;
+          fid := Span.flow_out ~clock ~name:"offload" ~scope:"host" ();
+          Span.with_ ~name:"exec" ~scope:"storage" ~clock (fun () ->
+              Span.flow_in ~clock ~name:"offload" ~scope:"storage" !fid;
+              tick 7.0));
+      Alcotest.(check bool) "flow id allocated" true (!fid > 0);
+      let events = Chrome.events_of_spans (Obs.spans ()) in
+      let starts = List.filter (fun e -> e.Chrome.ph = 's') events in
+      let finishes = List.filter (fun e -> e.Chrome.ph = 'f') events in
+      Alcotest.(check int) "one flow start" 1 (List.length starts);
+      Alcotest.(check int) "one flow finish" 1 (List.length finishes);
+      let s = List.hd starts and f = List.hd finishes in
+      Alcotest.(check bool) "flow ids match" true
+        (s.Chrome.flow = f.Chrome.flow && s.Chrome.flow = Some !fid);
+      Alcotest.(check string) "start on host lane" "host" s.Chrome.pid;
+      Alcotest.(check string) "finish on storage lane" "storage" f.Chrome.pid;
+      Alcotest.(check bool) "trace json valid" true
+        (Chrome.is_valid_json (Obs.to_chrome_json ())))
+
+let test_sampling_gates_spans_not_metrics () =
+  Fun.protect
+    ~finally:(fun () -> Obs.set_sample_every 1)
+    (fun () ->
+      with_obs (fun () ->
+          Obs.set_sample_every 2;
+          let clock, tick = fake_clock () in
+          let run () =
+            let tok = Obs.begin_query () in
+            Span.with_ ~name:"query" ~scope:"host" ~clock (fun () ->
+                tick 5.0;
+                Obs.count ~scope:"host" "queries");
+            Obs.finish_query tok
+          in
+          let p1 = run () in
+          let p2 = run () in
+          let p3 = run () in
+          Alcotest.(check bool) "1st query sampled" true (Option.is_some p1);
+          Alcotest.(check bool) "2nd query suppressed" true (p2 = None);
+          Alcotest.(check bool) "3rd query sampled" true (Option.is_some p3);
+          Alcotest.(check int) "only sampled roots kept" 2
+            (List.length (Obs.spans ()));
+          Alcotest.(check int) "metrics always accumulate" 3
+            (Metrics.counter_value (Obs.metrics ()) ~scope:"host" "queries")))
+
+let test_capture_last_is_interval () =
+  with_obs (fun () ->
+      let clock, tick = fake_clock () in
+      (* pre-existing cumulative state from an earlier query *)
+      Obs.count ~scope:"host" ~n:100 "pages";
+      let tok = Obs.begin_query () in
+      Span.with_ ~name:"query" ~scope:"host" ~clock (fun () ->
+          tick 1.0;
+          Obs.count ~scope:"host" ~n:7 "pages");
+      ignore (Obs.finish_query tok);
+      match Obs.capture_last () with
+      | Some p ->
+          Alcotest.(check int) "interval, not cumulative" 7
+            (Metrics.counter_value p.Obs.p_metrics ~scope:"host" "pages")
+      | None -> Alcotest.fail "no profile captured")
 
 (* -- Chrome trace export ----------------------------------------------- *)
 
@@ -337,6 +498,13 @@ let suite =
     ("histogram arithmetic", `Quick, test_histogram_arithmetic);
     ("metric kind mismatch rejected", `Quick, test_kind_mismatch_rejected);
     ("snapshot diff", `Quick, test_snapshot_diff);
+    ("histogram percentiles within bucket", `Quick, test_histogram_percentiles_within_bucket);
+    ("histogram bucket math", `Quick, test_histogram_bucket_math);
+    ("histogram interval sub", `Quick, test_histogram_interval_sub);
+    ("trace context roundtrip", `Quick, test_trace_context_roundtrip);
+    ("flow events link lanes", `Quick, test_flow_events_link_lanes);
+    ("sampling gates spans not metrics", `Quick, test_sampling_gates_spans_not_metrics);
+    ("capture_last is an interval", `Quick, test_capture_last_is_interval);
     ("chrome export deterministic", `Quick, test_chrome_export_deterministic);
     ("json validator", `Quick, test_json_validator_rejects_garbage);
   ]
