@@ -16,9 +16,13 @@ module Sql = Ironsafe_sql
 module Tpch = Ironsafe_tpch
 module Fault = Ironsafe_fault.Fault
 
-let build_deployment ?(faults = Fault.none) ?(pool_frames = 0) scale =
+let build_deployment ?(faults = Fault.none) ?(pool_frames = 0)
+    ?(crypto_mode = Ironsafe_securestore.Secure_store.Cbc) ?(batch_size = 0)
+    ?(crypto_lanes = 1) scale =
+  let params = { Ironsafe_sim.Params.default with crypto_lanes } in
   let deploy =
-    Deployment.create ~seed:"ironsafe-cli" ~faults ~pool_frames
+    Deployment.create ~seed:"ironsafe-cli" ~params ~faults ~pool_frames
+      ~crypto_mode ~batch_size
       ~populate:(fun db -> ignore (Tpch.Dbgen.populate db ~scale))
       ()
   in
@@ -88,6 +92,46 @@ let pool_frames_arg =
           "Decrypted-page buffer pool size in frames for both media (0 \
            disables the pool entirely; reads then always hit the backend).")
 
+let crypto_mode_conv =
+  let parse s =
+    match String.lowercase_ascii s with
+    | "cbc" -> Ok Ironsafe_securestore.Secure_store.Cbc
+    | "ctr" -> Ok Ironsafe_securestore.Secure_store.Ctr
+    | _ -> Error (`Msg (Printf.sprintf "unknown crypto mode %s (cbc/ctr)" s))
+  in
+  let print ppf m =
+    Fmt.string ppf
+      (match m with
+      | Ironsafe_securestore.Secure_store.Cbc -> "cbc"
+      | Ironsafe_securestore.Secure_store.Ctr -> "ctr")
+  in
+  Arg.conv (parse, print)
+
+let crypto_mode_arg =
+  Arg.(
+    value
+    & opt crypto_mode_conv Ironsafe_securestore.Secure_store.Cbc
+    & info [ "crypto-mode" ] ~docv:"MODE"
+        ~doc:
+          "Secure-store page cipher: $(b,cbc) (chained, single lane) or \
+           $(b,ctr) (independently decryptable blocks).")
+
+let crypto_lanes_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "crypto-lanes" ] ~docv:"N"
+        ~doc:
+          "Decrypt lanes per CTR page charged on the virtual clock (CBC \
+           always runs single-lane).")
+
+let batch_size_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "batch-size" ] ~docv:"N"
+        ~doc:
+          "Vectorized executor batch capacity in rows (0 = row-at-a-time \
+           execution).")
+
 let fault_plan seed profile = Fault.of_profile ~seed profile
 
 let print_faults faults =
@@ -115,8 +159,8 @@ let write_artifact ?(validate = false) ~what file contents =
   Fmt.pr "-- %s written to %s@." what file
 
 let run_query ?(profile = false) ?trace_out ?jsonl_out ?metrics_out
-    ?(sample_every = 1) ?(faults = Fault.none) ?(pool_frames = 0) scale config
-    policy sql =
+    ?(sample_every = 1) ?(faults = Fault.none) ?(pool_frames = 0) ?crypto_mode
+    ?batch_size ?crypto_lanes scale config policy sql =
   let obs_on =
     profile || trace_out <> None || jsonl_out <> None || metrics_out <> None
   in
@@ -141,7 +185,10 @@ let run_query ?(profile = false) ?trace_out ?jsonl_out ?metrics_out
           (Ironsafe_obs.Obs.to_openmetrics ())
     | None -> ()
   in
-  let deploy = build_deployment ~faults ~pool_frames scale in
+  let deploy =
+    build_deployment ~faults ~pool_frames ?crypto_mode ?batch_size
+      ?crypto_lanes scale
+  in
   let engine = setup_engine deploy policy in
   match Engine.submit engine ~client:"cli" ~config ~sql () with
   | Error e ->
@@ -210,7 +257,8 @@ let query_cmd =
              events are always collected while observability is on).")
   in
   let run scale config policy explain profile trace_out jsonl_out metrics_out
-      sample_every fault_seed fault_profile pool_frames sql =
+      sample_every fault_seed fault_profile pool_frames crypto_mode batch_size
+      crypto_lanes sql =
     if explain then begin
       let deploy = build_deployment scale in
       let plan =
@@ -224,14 +272,16 @@ let query_cmd =
     else
       run_query ~profile ?trace_out ?jsonl_out ?metrics_out ~sample_every
         ~faults:(fault_plan fault_seed fault_profile)
-        ~pool_frames scale config policy sql
+        ~pool_frames ~crypto_mode ~batch_size ~crypto_lanes scale config
+        policy sql
   in
   Cmd.v
     (Cmd.info "query" ~doc:"Run one policy-checked SQL statement")
     Term.(
       const run $ scale_arg $ config_arg $ policy_arg $ explain $ profile
       $ trace_out $ jsonl_out $ metrics_out $ sample_every $ fault_seed_arg
-      $ fault_profile_arg $ pool_frames_arg $ sql)
+      $ fault_profile_arg $ pool_frames_arg $ crypto_mode_arg $ batch_size_arg
+      $ crypto_lanes_arg $ sql)
 
 let tpch_cmd =
   let id =
@@ -240,10 +290,14 @@ let tpch_cmd =
   let all =
     Arg.(value & flag & info [ "all-configs" ] ~doc:"Run under all five configurations.")
   in
-  let run scale config all fault_seed fault_profile pool_frames id =
+  let run scale config all fault_seed fault_profile pool_frames crypto_mode
+      batch_size crypto_lanes id =
     let q = Tpch.Queries.by_id_complete id in
     let faults = fault_plan fault_seed fault_profile in
-    let deploy = build_deployment ~faults ~pool_frames scale in
+    let deploy =
+      build_deployment ~faults ~pool_frames ~crypto_mode ~batch_size
+        ~crypto_lanes scale
+    in
     let configs = if all then Config.all else [ config ] in
     let code = ref 0 in
     List.iter
@@ -265,7 +319,8 @@ let tpch_cmd =
     (Cmd.info "tpch" ~doc:"Run a TPC-H query under one or all configurations")
     Term.(
       const run $ scale_arg $ config_arg $ all $ fault_seed_arg
-      $ fault_profile_arg $ pool_frames_arg $ id)
+      $ fault_profile_arg $ pool_frames_arg $ crypto_mode_arg $ batch_size_arg
+      $ crypto_lanes_arg $ id)
 
 let workload_cmd =
   let module Sched = Ironsafe_sched.Sched in

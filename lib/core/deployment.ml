@@ -34,6 +34,9 @@ type t = {
   pool_frames : int;
   plain_pool : Sql.Bufpool.t option;
   secure_pool : Sql.Bufpool.t option;
+  (* vectorized batch capacity for both engines (0 = row-at-a-time);
+     mutable so one loaded deployment can be diffed across modes *)
+  mutable batch_size : int;
   (* TEEs *)
   ias : Tee.Sgx.ias;
   sgx : Tee.Sgx.platform;
@@ -66,6 +69,9 @@ let optee_image =
   Tee.Image.create ~name:"optee-3.4+ironsafe-tas" ~version:1
     ~code:"optee secure world with attestation + secure storage TAs"
 
+let exec_mode_of_batch n =
+  if n > 0 then Sql.Exec.Batched n else Sql.Exec.Row_at_a_time
+
 (* Copy every table of [src] into [dst] (identical rows, possibly
    different page packing). *)
 let copy_database src dst =
@@ -83,7 +89,7 @@ let create ?(params = Sim.Params.default) ?(host_cores = 10)
     ?(storage_cores = 16) ?storage_mem_limit ?(host_version = 1)
     ?(storage_version = 1) ?(storage_location = "eu-west")
     ?(host_location = "eu-west") ?(faults = Fault.none) ?(pool_frames = 0)
-    ~seed ~populate () =
+    ?(crypto_mode = Sec.Secure_store.Cbc) ?(batch_size = 0) ~seed ~populate () =
   let drbg = C.Drbg.create ~seed in
   let host =
     Sim.Node.create ~cores:host_cores ~params ~name:"host" Sim.Cpu.Host_x86
@@ -133,7 +139,7 @@ let create ?(params = Sim.Params.default) ?(host_cores = 10)
     match
       Sec.Secure_store.initialize ~device:device_secure ~rpmb
         ~hardware_key:(Tee.Trustzone.hardware_key tz_device)
-        ~data_pages ~drbg ()
+        ~page_mode:crypto_mode ~data_pages ~drbg ()
     with
     | Ok s -> s
     | Error e ->
@@ -180,6 +186,10 @@ let create ?(params = Sim.Params.default) ?(host_cores = 10)
     Storage.Rpmb.set_faults rpmb faults;
     Sec.Secure_store.set_faults secure_store faults
   end;
+  (* batch mode is applied only after population, so data loading runs
+     identically whatever executor the workload will use *)
+  Sql.Database.set_exec_mode plain_db (exec_mode_of_batch batch_size);
+  Sql.Database.set_exec_mode secure_db (exec_mode_of_batch batch_size);
   {
     params;
     host;
@@ -194,6 +204,7 @@ let create ?(params = Sim.Params.default) ?(host_cores = 10)
     pool_frames;
     plain_pool;
     secure_pool;
+    batch_size;
     ias;
     sgx;
     host_enclave;
@@ -208,6 +219,16 @@ let create ?(params = Sim.Params.default) ?(host_cores = 10)
   }
 
 let faults t = t.faults
+let exec_mode t = exec_mode_of_batch t.batch_size
+
+(* Switch both engines between row-at-a-time and batched execution on
+   the already-loaded data: the differential harness toggles this on
+   one deployment so both modes see byte-identical pages. *)
+let set_batch_size t n =
+  if n < 0 then invalid_arg "Deployment.set_batch_size: negative batch size";
+  t.batch_size <- n;
+  Sql.Database.set_exec_mode t.plain_db (exec_mode_of_batch n);
+  Sql.Database.set_exec_mode t.secure_db (exec_mode_of_batch n)
 
 (* Fault injection on the host quote: a fired [Sgx_quote_reject] flips
    a bit of the quote signature so IAS verification fails once. *)

@@ -19,6 +19,9 @@ type t = {
           wrapped at all; runs are byte-identical to a pool-less build) *)
   plain_pool : Ironsafe_sql.Bufpool.t option;
   secure_pool : Ironsafe_sql.Bufpool.t option;
+  mutable batch_size : int;
+      (** vectorized batch capacity for both engines (0 = row-at-a-time);
+          change it through {!set_batch_size} so the engines stay in sync *)
   ias : Ironsafe_tee.Sgx.ias;
   sgx : Ironsafe_tee.Sgx.platform;
   host_enclave : Ironsafe_tee.Sgx.enclave;
@@ -45,6 +48,8 @@ val create :
   ?host_location:string ->
   ?faults:Ironsafe_fault.Fault.t ->
   ?pool_frames:int ->
+  ?crypto_mode:Ironsafe_securestore.Secure_store.page_mode ->
+  ?batch_size:int ->
   seed:string ->
   populate:(Ironsafe_sql.Database.t -> unit) ->
   unit ->
@@ -62,9 +67,23 @@ val create :
     A [faults] plan is wired into the secure medium (block device,
     RPMB, secure store) only {e after} population, so setup writes are
     always clean; the plain replica is never faulted and doubles as a
-    fault-free oracle over the same deployment. *)
+    fault-free oracle over the same deployment.
+
+    [crypto_mode] (default [Cbc]) selects the secure store's page
+    cipher mode; [batch_size] (default 0 = row-at-a-time) the engines'
+    vectorized batch capacity. Population always runs row-at-a-time so
+    loading is identical whatever mode the workload uses. *)
 
 val faults : t -> Ironsafe_fault.Fault.t
+
+val exec_mode : t -> Ironsafe_sql.Exec.exec_mode
+(** The executor mode implied by the current batch size. *)
+
+val set_batch_size : t -> int -> unit
+(** Switch both engines between row-at-a-time (0) and batched
+    execution ([n > 0]) over the already-loaded data; the differential
+    harness toggles this on one deployment so both modes read
+    byte-identical pages. *)
 
 val attest :
   ?host_location:string -> ?storage_location:string -> t -> (unit, string) result

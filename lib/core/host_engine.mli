@@ -7,7 +7,10 @@ type phase = {
 }
 
 val run_host :
+  ?exec_mode:Ironsafe_sql.Exec.exec_mode ->
   storage_catalog:Ironsafe_sql.Catalog.t ->
   Partitioner.plan ->
   Storage_engine.phase ->
   phase
+(** [exec_mode] selects row-at-a-time (the default) or vectorized
+    batch execution for the host half of the split query. *)

@@ -64,13 +64,23 @@ let snapshot_secure_stats store =
 (* Charge decryption/freshness for secure-store operations to [node].
    [parallel] models the secure-storage layer verifying pages on a
    thread pool (split configs); a single engine instance (sos) does
-   its page crypto inline on one core. *)
-let charge_crypto ?(parallel = true) node (params : Sim.Params.t) ~decrypts
-    ~macs ~merkle ~rpmb =
+   its page crypto inline on one core. [lanes] divides the AES cost:
+   a CTR page is a set of independent keystream chunks decrypted on
+   [lanes] cores, while MAC/Merkle/RPMB freshness work stays serial
+   per page (the MAC covers the whole ciphertext). CBC callers pass 1
+   (block chaining admits no intra-page parallelism), which keeps the
+   span attributes and charges bit-identical to the pre-lane model. *)
+let charge_crypto ?(parallel = true) ?(lanes = 1) node (params : Sim.Params.t)
+    ~decrypts ~macs ~merkle ~rpmb =
+  let lanes = max 1 lanes in
   Sim.Node.with_span node ~name:"crypto"
-    ~attrs:[ ("decrypts", string_of_int decrypts) ]
+    ~attrs:
+      (("decrypts", string_of_int decrypts)
+      :: (if lanes > 1 then [ ("lanes", string_of_int lanes) ] else []))
     (fun () ->
-      let dec = float_of_int decrypts *. params.decrypt_page_ns in
+      let dec =
+        float_of_int decrypts *. params.decrypt_page_ns /. float_of_int lanes
+      in
       let fresh =
         (float_of_int macs *. params.hmac_page_ns)
         +. (float_of_int merkle *. params.merkle_node_ns)
@@ -123,9 +133,16 @@ let charge_cache_hits node (params : Sim.Params.t) hits =
         Sim.Node.charge node ~category:"io"
           (float_of_int hits *. params.page_cache_ns))
 
-let charge_compute node ~rows =
+(* [batches] is the number of vectorized batch flushes behind [rows];
+   batch boundaries are the cost-segment granularity of batch-mode
+   execution, so the span records them. Row-at-a-time runs report 0
+   and the attribute is omitted entirely, keeping their span streams
+   byte-identical to pre-batch builds. *)
+let charge_compute ?(batches = 0) node ~rows =
   Sim.Node.with_span node ~name:"compute"
-    ~attrs:[ ("rows", string_of_int rows) ]
+    ~attrs:
+      (("rows", string_of_int rows)
+      :: (if batches > 0 then [ ("batches", string_of_int batches) ] else []))
     (fun () -> Sim.Node.compute node ~category:"ndp" ~row_ops:rows)
 
 let charge_memory node ~category bytes =
@@ -196,11 +213,16 @@ let with_offload host storage f =
    engine over [src_db], ship the results, and run the host portion.
    Returns everything needed for charging. *)
 let run_split ?project deploy ~src_db ~stmt =
-  ignore deploy;
   let catalog = Sql.Database.catalog src_db in
   let plan = Partitioner.split ?project catalog stmt in
   let offload = Storage_engine.run_offload src_db plan in
-  let host = Host_engine.run_host ~storage_catalog:catalog plan offload in
+  (* the host half of a split query runs in the same executor mode as
+     the storage-resident databases (row-at-a-time or batched) *)
+  let host =
+    Host_engine.run_host
+      ~exec_mode:(Deployment.exec_mode deploy)
+      ~storage_catalog:catalog plan offload
+  in
   ( plan,
     offload.Storage_engine.counters,
     host.Host_engine.counters,
@@ -228,6 +250,13 @@ let run_stmt ?(reset = true) ?project deploy config stmt =
   let params = d.Deployment.params in
   if reset then Deployment.reset_counters d;
   let host = d.Deployment.host and storage = d.Deployment.storage in
+  (* CTR pages decrypt on [crypto_lanes] cores; CBC chains blocks and
+     stays single-lane, so its charges are untouched by the knob *)
+  let lanes =
+    match Sec.Secure_store.page_mode d.Deployment.secure_store with
+    | Sec.Secure_store.Ctr -> params.Sim.Params.crypto_lanes
+    | Sec.Secure_store.Cbc -> 1
+  in
   let finish ?(hits = 0) ~result ~bytes_shipped ~pages ~host_rows ~storage_rows
       () =
     (* result shipping back to the client is charged to the host side *)
@@ -266,7 +295,8 @@ let run_stmt ?(reset = true) ?project deploy config stmt =
           charge_cache_hits host params hits;
           charge_transfer params storage host ~secure:false ~bytes
             ~messages:(message_count params bytes));
-      charge_compute host ~rows:c.Sql.Observer.rows;
+      charge_compute host ~rows:c.Sql.Observer.rows
+        ~batches:c.Sql.Observer.batches;
       finish ~result ~bytes_shipped:bytes ~pages ~hits
         ~host_rows:c.Sql.Observer.rows ~storage_rows:0 ()
   | Config.Hos ->
@@ -293,8 +323,9 @@ let run_stmt ?(reset = true) ?project deploy config stmt =
           charge_transfer params storage host ~secure:true ~bytes
             ~messages:(message_count params bytes));
       (* crypto happens inside the host enclave *)
-      charge_crypto host params ~decrypts ~macs ~merkle ~rpmb;
-      charge_compute host ~rows:c.Sql.Observer.rows;
+      charge_crypto ~lanes host params ~decrypts ~macs ~merkle ~rpmb;
+      charge_compute host ~rows:c.Sql.Observer.rows
+        ~batches:c.Sql.Observer.batches;
       (* one ocall/ecall pair per page fetch *)
       charge_enclave_transitions host params (2 * pages);
       charge_epc host d.Deployment.host_enclave params
@@ -318,12 +349,14 @@ let run_stmt ?(reset = true) ?project deploy config stmt =
           Sim.Node.charge storage ~category:"other"
             (float_of_int (List.length plan.Partitioner.offload_sql)
             *. params.Sim.Params.offload_session_ns);
-          charge_compute storage ~rows:sc.Sql.Observer.rows;
+          charge_compute storage ~rows:sc.Sql.Observer.rows
+            ~batches:sc.Sql.Observer.batches;
           charge_memory storage ~category:"spill"
             sc.Sql.Observer.bytes_allocated;
           charge_transfer params storage host ~secure:false ~bytes
             ~messages:(message_count params bytes));
-      charge_compute host ~rows:hc.Sql.Observer.rows;
+      charge_compute host ~rows:hc.Sql.Observer.rows
+        ~batches:hc.Sql.Observer.batches;
       finish ~result ~bytes_shipped:bytes ~pages ~hits
         ~host_rows:hc.Sql.Observer.rows ~storage_rows:sc.Sql.Observer.rows ()
   | Config.Scs ->
@@ -343,13 +376,15 @@ let run_stmt ?(reset = true) ?project deploy config stmt =
           charge_io storage params pages;
           charge_cache_hits storage params hits;
           (* storage-side decryption + freshness (near the data) *)
-          charge_crypto storage params ~decrypts ~macs ~merkle ~rpmb;
-          charge_compute storage ~rows:sc.Sql.Observer.rows;
+          charge_crypto ~lanes storage params ~decrypts ~macs ~merkle ~rpmb;
+          charge_compute storage ~rows:sc.Sql.Observer.rows
+            ~batches:sc.Sql.Observer.batches;
           charge_memory storage ~category:"spill"
             sc.Sql.Observer.bytes_allocated;
           charge_transfer params storage host ~secure:true ~bytes
             ~messages:(message_count params bytes));
-      charge_compute host ~rows:hc.Sql.Observer.rows;
+      charge_compute host ~rows:hc.Sql.Observer.rows
+        ~batches:hc.Sql.Observer.batches;
       (* enclave entered once per arriving message batch *)
       charge_enclave_transitions host params (2 * message_count params bytes);
       charge_epc host d.Deployment.host_enclave params
@@ -375,8 +410,9 @@ let run_stmt ?(reset = true) ?project deploy config stmt =
             charge_io storage params pages;
             charge_cache_hits storage params hits;
             (* one engine instance: inline crypto and compute on one
-               core *)
-            charge_crypto ~parallel:false storage params ~decrypts ~macs
+               core (CTR lane fan-out still applies inside the decrypt
+               kernel itself) *)
+            charge_crypto ~parallel:false ~lanes storage params ~decrypts ~macs
               ~merkle ~rpmb;
             Sim.Node.compute_serial storage ~category:"ndp"
               ~row_ops:c.Sql.Observer.rows;

@@ -1,0 +1,36 @@
+(* Lane fan-out for data-parallel crypto kernels (multi-lane CTR page
+   decrypt, batched MAC checks). A "lane" is one strand of a fixed-width
+   SPMD step: [run ~lanes f] executes [f 0 .. f (lanes-1)], lane 0 on
+   the calling domain and the rest on freshly spawned domains, and
+   returns only when every lane has finished.
+
+   Domains cost tens of microseconds to spawn, so callers amortize a
+   fan-out over a batch of pages, never a single block. With [lanes <= 1]
+   (or on a single-core host, where spawning buys nothing) the caller
+   runs everything inline and no domain is created. *)
+
+let available () = Domain.recommended_domain_count ()
+
+let run ~lanes f =
+  if lanes <= 1 then f 0
+  else begin
+    let spawned =
+      Array.init (lanes - 1) (fun i -> Domain.spawn (fun () -> f (i + 1)))
+    in
+    (* run lane 0 here even if it raises, but only re-raise after every
+       spawned domain has been joined — leaking domains on failure would
+       poison later fan-outs *)
+    let lane0 = try Ok (f 0) with e -> Error e in
+    let first_err =
+      Array.fold_left
+        (fun err d ->
+          match Domain.join d with
+          | () -> err
+          | exception e -> if err = None then Some e else err)
+        None spawned
+    in
+    match (lane0, first_err) with
+    | Error e, _ -> raise e
+    | Ok (), Some e -> raise e
+    | Ok (), None -> ()
+  end

@@ -1,0 +1,12 @@
+(** Lane fan-out for data-parallel crypto kernels. *)
+
+val available : unit -> int
+(** Number of hardware lanes worth spawning
+    ({!Domain.recommended_domain_count}); 1 on a single-core host. *)
+
+val run : lanes:int -> (int -> unit) -> unit
+(** [run ~lanes f] executes [f 0 .. f (lanes - 1)] — lane 0 on the
+    calling domain, the others on spawned domains — and returns when all
+    lanes complete. Lanes must only touch disjoint or immutable state.
+    [lanes <= 1] runs inline without spawning. If any lane raises, the
+    first exception is re-raised after all lanes are joined. *)

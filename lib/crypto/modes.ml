@@ -103,19 +103,48 @@ let incr_counter ctr =
   in
   bump 15
 
-let ctr_transform ~key ~nonce data =
+(* Big-endian addition of a small integer into the 16-byte counter,
+   wrapping mod 2^128 (the carry off byte 0 is dropped, matching what
+   repeated [incr_counter] does). Lets a lane start mid-message. *)
+let add_counter ctr k =
+  if k < 0 then invalid_arg "Modes: negative counter offset";
+  let rec add i k =
+    if k = 0 || i < 0 then ()
+    else begin
+      let v = Char.code (Bytes.get ctr i) + (k land 0xff) in
+      Bytes.set ctr i (Char.chr (v land 0xff));
+      add (i - 1) ((k lsr 8) + (v lsr 8))
+    end
+  in
+  add 15 k
+
+let ctr_transform_into ~key ~nonce ?(block_offset = 0) src soff dst doff len =
   if String.length nonce <> 16 then
-    invalid_arg "Modes.ctr_transform: nonce must be 16 bytes";
-  let n = String.length data in
-  let out = Bytes.of_string data in
+    invalid_arg "Modes.ctr_transform_into: nonce must be 16 bytes";
+  if soff < 0 || len < 0 || soff + len > String.length src then
+    invalid_arg "Modes.ctr_transform_into: source range out of bounds";
+  if doff < 0 || doff + len > Bytes.length dst then
+    invalid_arg "Modes.ctr_transform_into: destination range out of bounds";
   let ctr = Bytes.of_string nonce in
+  add_counter ctr block_offset;
   let keystream = Bytes.create 16 in
   let off = ref 0 in
-  while !off < n do
+  while !off < len do
     Aes.encrypt_block_into key ctr 0 keystream 0;
-    let len = min 16 (n - !off) in
-    xor_into out !off keystream 0 len;
+    let chunk = min 16 (len - !off) in
+    for i = 0 to chunk - 1 do
+      Bytes.unsafe_set dst
+        (doff + !off + i)
+        (Char.unsafe_chr
+           (Char.code (String.unsafe_get src (soff + !off + i))
+           lxor Char.code (Bytes.unsafe_get keystream i)))
+    done;
     incr_counter ctr;
     off := !off + 16
-  done;
+  done
+
+let ctr_transform ~key ~nonce data =
+  let n = String.length data in
+  let out = Bytes.create n in
+  ctr_transform_into ~key ~nonce data 0 out 0 n;
   Bytes.unsafe_to_string out

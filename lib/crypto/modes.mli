@@ -11,6 +11,25 @@ val ctr_transform : key:Aes.key -> nonce:string -> string -> string
 (** CTR keystream XOR; encryption and decryption are the same
     operation. Nonce must be 16 bytes and never reused per key. *)
 
+val ctr_transform_into :
+  key:Aes.key ->
+  nonce:string ->
+  ?block_offset:int ->
+  string ->
+  int ->
+  Bytes.t ->
+  int ->
+  int ->
+  unit
+(** [ctr_transform_into ~key ~nonce ~block_offset src soff dst doff len]
+    is the allocation-free form of {!ctr_transform}: it XORs the CTR
+    keystream over [src.[soff .. soff+len-1]] into a caller-owned [dst]
+    at [doff]. [block_offset] (default 0) starts the counter
+    [block_offset] blocks past the nonce, so independent lanes can each
+    transform a block-aligned slice of one message and produce exactly
+    the bytes the single-lane transform would. Unlike CBC, any 16-byte
+    block is decryptable on its own. *)
+
 (**/**)
 
 val pkcs7_pad : string -> string

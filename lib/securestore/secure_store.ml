@@ -68,11 +68,25 @@ let pp_error ppf = function
    bounding the blast radius of a single page-key compromise. *)
 type key_mode = Single_key | Per_page_keys
 
+(* Page cipher mode. CBC is the paper's SQLCipher-style default; CTR
+   keeps the MAC-then-anchor layout bit-for-bit identical (the nonce
+   simply lives in the IV slot and is MACed the same way) but makes
+   each 16-byte block of a page independently decryptable, which is
+   what allows a multi-lane decrypt to split one page — or a batch of
+   pages — across cores. *)
+type page_mode = Cbc | Ctr
+
 type t = {
   device : S.Block_device.t;
   rpmb : S.Rpmb.t;
   keys : Keyslot.t;
   key_mode : key_mode;
+  page_mode : page_mode;
+  mutable write_epoch : int;
+      (* monotone per-store write counter; CTR nonces derive from it *)
+  nonce_salt : string;
+      (* 16 DRBG bytes drawn per boot (CTR mode only): nonces stay
+         unique across reboots without persisting the epoch counter *)
   enc_key : C.Aes.key; (* Single_key mode *)
   mutable page_keys : C.Aes.key option array; (* Per_page_keys cache *)
   merkle : C.Merkle.t;
@@ -198,6 +212,41 @@ let mac_payload_parts index iv ciphertext =
 let page_mac t index iv ciphertext =
   C.Hmac.mac_pre_list t.page_mac_prekey (mac_payload_parts index iv ciphertext)
 
+let page_mode t = t.page_mode
+
+(* CTR nonce for one page write: hash of (boot salt, page id, epoch).
+   The epoch bumps on every write and the salt is fresh per boot, so no
+   (key, nonce) pair ever recurs — the CTR keystream is never reused
+   even when the same page is rewritten, or written again after a
+   reboot that restarts the epoch counter. The nonce travels in the
+   page's IV slot and is bound by the page MAC exactly like a CBC IV. *)
+let ctr_nonce t index =
+  t.write_epoch <- t.write_epoch + 1;
+  String.sub
+    (C.Sha256.digest_list
+       [
+         "ironsafe-ctr-nonce";
+         t.nonce_salt;
+         Printf.sprintf "%08d|%016x" index t.write_epoch;
+       ])
+    0 16
+
+(* Mode-dispatched page cipher. CTR ciphertext is plaintext-length
+   (no padding); both fit the shared len field and leave [capacity]
+   unchanged, so page packing is identical across modes. *)
+let encrypt_payload t index ~iv plain =
+  match t.page_mode with
+  | Cbc -> C.Modes.cbc_encrypt ~key:(page_key t index) ~iv plain
+  | Ctr -> C.Modes.ctr_transform ~key:(page_key t index) ~nonce:iv plain
+
+let decrypt_payload t index ~iv ciphertext =
+  match t.page_mode with
+  | Cbc -> (
+      match C.Modes.cbc_decrypt ~key:(page_key t index) ~iv ciphertext with
+      | Ok plain -> Ok plain
+      | Error msg -> Error (Corrupt_page (index, msg)))
+  | Ctr -> Ok (C.Modes.ctr_transform ~key:(page_key t index) ~nonce:iv ciphertext)
+
 (* Encrypt and store [plain] (<= capacity bytes) at data page [index]. *)
 let write_page t index plain =
   if index < 0 || index >= t.data_pages then
@@ -205,8 +254,12 @@ let write_page t index plain =
   if String.length plain > capacity then
     invalid_arg "Secure_store.write_page: payload exceeds page capacity";
   Obs.count ~scope:obs_scope "pages_written";
-  let iv = C.Drbg.generate t.drbg 16 in
-  let ciphertext = C.Modes.cbc_encrypt ~key:(page_key t index) ~iv plain in
+  let iv =
+    match t.page_mode with
+    | Cbc -> C.Drbg.generate t.drbg 16
+    | Ctr -> ctr_nonce t index
+  in
+  let ciphertext = encrypt_payload t index ~iv plain in
   t.stats.page_encrypts <- t.stats.page_encrypts + 1;
   Obs.count ~scope:obs_scope "page_encrypts";
   let mac = page_mac t index iv ciphertext in
@@ -262,9 +315,7 @@ let read_page_once t index =
         (* 3. decrypt *)
         t.stats.page_decrypts <- t.stats.page_decrypts + 1;
         Obs.count ~scope:obs_scope "page_decrypts";
-        match C.Modes.cbc_decrypt ~key:(page_key t index) ~iv ciphertext with
-        | Ok plain -> Ok plain
-        | Error msg -> Error (Corrupt_page (index, msg))
+        decrypt_payload t index ~iv ciphertext
       end
     end
   end
@@ -292,10 +343,114 @@ let read_page t index =
   in
   attempt 0
 
+(* Batched verified read: the amortized, lane-parallel form of
+   [read_page]. Three phases keep every mutable structure out of the
+   fan-out:
+
+     1. serial   — raw device reads, one root-vs-anchor freshness check
+                   for the whole batch, per-page key prefetch;
+     2. parallel — per-page MAC check, Merkle path verification (one
+                   batch verifier per lane, sharing ancestor work
+                   across the lane's pages) and decrypt, striped
+                   round-robin so each result slot has one writer;
+     3. serial   — stats/telemetry fold, and any page that failed in
+                   the batch is retried through [read_page], which owns
+                   the fault-recovery budget.
+
+   Checks per page are exactly the [read_page_once] checks; only the
+   Merkle path work is shared, which is sound because every shared
+   segment was chained to the (anchor-checked) root when first
+   verified. CBC batches parallelize across pages; CTR batches can
+   also split inside a page, which is what the bench's multi-lane
+   decrypt kernels exercise. *)
+let read_pages t ?(lanes = 1) indices =
+  let idx = Array.of_list indices in
+  let n = Array.length idx in
+  Array.iter
+    (fun i ->
+      if i < 0 || i >= t.data_pages then
+        invalid_arg "Secure_store.read_pages: index out of range")
+    idx;
+  if n = 0 then Ok []
+  else begin
+    (* phase 1: serial device reads + one freshness check per batch *)
+    let raw =
+      Array.map
+        (fun i ->
+          t.stats.device_reads <- t.stats.device_reads + 1;
+          S.Block_device.read_page t.device i)
+        idx
+    in
+    Obs.count ~n ~scope:obs_scope "pages_read";
+    if not (C.Constant_time.equal (current_root_mac t) t.anchored_root) then
+      Error Stale_root
+    else begin
+      (* per-page keys are a lazily filled cache: prefetch serially so
+         the fan-out never mutates it *)
+      Array.iter (fun i -> ignore (page_key t i)) idx;
+      let lanes = max 1 lanes in
+      let out = Array.make n (Error Stale_root) in
+      let lane_hashes = Array.make lanes 0 in
+      (* phase 2: each lane owns slots lane, lane+lanes, ... *)
+      let work lane =
+        let bv =
+          C.Merkle.batch_verifier ~key:(Keyslot.page_mac_key t.keys) t.merkle
+        in
+        let p = ref lane in
+        while !p < n do
+          let slot = !p in
+          let index = idx.(slot) and page = raw.(slot) in
+          let iv = String.sub page 0 16 in
+          let mac = String.sub page 16 32 in
+          let clen = (Char.code page.[48] lsl 8) lor Char.code page.[49] in
+          out.(slot) <-
+            (if clen > S.Block_device.page_size - header_len then
+               Error (Corrupt_page (index, "ciphertext length field out of range"))
+             else begin
+               let ciphertext = String.sub page header_len clen in
+               if not (C.Constant_time.equal (page_mac t index iv ciphertext) mac)
+               then Error (Tampered_page index)
+               else if not (C.Merkle.verify_leaf bv index ~leaf_tag:mac) then
+                 Error (Tampered_page index)
+               else decrypt_payload t index ~iv ciphertext
+             end);
+          p := !p + lanes
+        done;
+        lane_hashes.(lane) <- C.Merkle.batch_hash_ops bv
+      in
+      C.Lanes.run ~lanes work;
+      (* phase 3: serial stats fold + per-page fault recovery *)
+      t.stats.page_mac_checks <- t.stats.page_mac_checks + n;
+      Obs.count ~n ~scope:obs_scope "hmac_checks";
+      Array.iter
+        (fun h -> t.stats.merkle_hashes <- t.stats.merkle_hashes + h)
+        lane_hashes;
+      Obs.count ~n ~scope:obs_scope "merkle_verifies";
+      let decrypts =
+        Array.fold_left
+          (fun acc r -> match r with Ok _ -> acc + 1 | Error _ -> acc)
+          0 out
+      in
+      t.stats.page_decrypts <- t.stats.page_decrypts + decrypts;
+      Obs.count ~n:decrypts ~scope:obs_scope "page_decrypts";
+      let rec collect k acc =
+        if k < 0 then Ok acc
+        else
+          match out.(k) with
+          | Ok plain -> collect (k - 1) (plain :: acc)
+          | Error _ -> (
+              match read_page t idx.(k) with
+              | Ok plain -> collect (k - 1) (plain :: acc)
+              | Error e -> Error e)
+      in
+      collect (n - 1) []
+    end
+  end
+
 (* First-time initialization: generate data key, persist it to RPMB,
    build an empty Merkle tree over zeroed leaf tags. *)
-let initialize ?(key_mode = Single_key) ~device ~rpmb ~hardware_key ~data_pages
-    ~drbg () =
+let initialize ?(key_mode = Single_key) ?(page_mode = Cbc) ~device ~rpmb
+    ~hardware_key ~data_pages ~drbg () =
   if device_pages_for ~data_pages > S.Block_device.page_count device then
     invalid_arg "Secure_store.initialize: device too small for data + metadata";
   let keys = Keyslot.generate ~hardware_key drbg in
@@ -321,6 +476,14 @@ let initialize ?(key_mode = Single_key) ~device ~rpmb ~hardware_key ~data_pages
           rpmb;
           keys;
           key_mode;
+          page_mode;
+          write_epoch = 0;
+          (* drawn only in CTR mode so the CBC DRBG stream — and with
+             it every CBC ciphertext — is unchanged by mode selection *)
+          nonce_salt =
+            (match page_mode with
+            | Cbc -> ""
+            | Ctr -> C.Drbg.generate drbg 16);
           enc_key = C.Aes.expand_key (Keyslot.page_enc_key keys);
           page_keys = Array.make data_pages None;
           page_mac_prekey = C.Hmac.precompute ~key:(Keyslot.page_mac_key keys);
@@ -346,8 +509,8 @@ let initialize ?(key_mode = Single_key) ~device ~rpmb ~hardware_key ~data_pages
    Merkle tree from the on-device leaf tags, and require the resulting
    root to match the RPMB anchor. A rolled-back or forked medium fails
    here with [Stale_root]. *)
-let open_existing ?(key_mode = Single_key) ~device ~rpmb ~hardware_key
-    ~data_pages ~drbg () =
+let open_existing ?(key_mode = Single_key) ?(page_mode = Cbc) ~device ~rpmb
+    ~hardware_key ~data_pages ~drbg () =
   let rpmb_key = Keyslot.derive_rpmb_auth_key ~hardware_key in
   let nonce = C.Drbg.generate drbg 16 in
   match S.Rpmb.read rpmb ~nonce data_key_slot with
@@ -367,6 +530,12 @@ let open_existing ?(key_mode = Single_key) ~device ~rpmb ~hardware_key
             rpmb;
             keys;
             key_mode;
+            page_mode;
+            write_epoch = 0;
+            nonce_salt =
+              (match page_mode with
+              | Cbc -> ""
+              | Ctr -> C.Drbg.generate drbg 16);
             enc_key = C.Aes.expand_key (Keyslot.page_enc_key keys);
             page_keys = Array.make data_pages None;
             page_mac_prekey = C.Hmac.precompute ~key:(Keyslot.page_mac_key keys);

@@ -37,8 +37,18 @@ type key_mode =
   | Single_key  (** one AES key for every page (the paper's default) *)
   | Per_page_keys  (** per-page keys derived from the data key (§4.1) *)
 
+type page_mode =
+  | Cbc  (** AES-CBC + PKCS#7, serial per block (the paper's default) *)
+  | Ctr
+      (** AES-CTR: identical page layout and MAC coverage (the nonce
+          lives in the IV slot), but every 16-byte block is
+          independently decryptable, enabling multi-lane decrypt.
+          Nonces are derived from (per-boot salt, page id, write
+          epoch), never reused per key. *)
+
 val initialize :
   ?key_mode:key_mode ->
+  ?page_mode:page_mode ->
   device:Ironsafe_storage.Block_device.t ->
   rpmb:Ironsafe_storage.Rpmb.t ->
   hardware_key:string ->
@@ -51,6 +61,7 @@ val initialize :
 
 val open_existing :
   ?key_mode:key_mode ->
+  ?page_mode:page_mode ->
   device:Ironsafe_storage.Block_device.t ->
   rpmb:Ironsafe_storage.Rpmb.t ->
   hardware_key:string ->
@@ -60,7 +71,8 @@ val open_existing :
   (t, error) result
 (** Reboot path: recovers keys from RPMB, rebuilds the tree from
     on-device tags, and detects rollback/fork via the anchored root.
-    [key_mode] must match the mode used at initialization. *)
+    [key_mode] and [page_mode] must match the modes used at
+    initialization. *)
 
 val set_faults : t -> Ironsafe_fault.Fault.t -> unit
 (** Attach the deployment's fault plan. Under a plan, the recovery
@@ -72,6 +84,17 @@ val set_faults : t -> Ironsafe_fault.Fault.t -> unit
 
 val write_page : t -> int -> string -> (unit, error) result
 val read_page : t -> int -> (string, error) result
+
+val read_pages : t -> ?lanes:int -> int list -> (string list, error) result
+(** Batched verified read with the same per-page checks as
+    {!read_page}, but amortized across the batch: one root-freshness
+    check, Merkle paths verified with shared ancestor work, and the
+    MAC/decrypt work of the batch fanned out over [lanes] domains
+    (default 1 = inline). Results are in request order; a page that
+    fails in the batch is retried through {!read_page}'s recovery
+    budget before the error is surfaced. *)
+
+val page_mode : t -> page_mode
 
 val data_page_count : t -> int
 val stats : t -> stats

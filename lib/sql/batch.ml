@@ -1,0 +1,69 @@
+(* Fixed-capacity row batches with a selection vector — the unit of
+   work of the vectorized executor. The scan fills [rows] up to
+   [capacity]; filters don't materialize surviving rows into a fresh
+   list, they narrow [sel], the array of live slot indices; downstream
+   operators iterate the selection. Both arrays are allocated once and
+   reused across refills, so a scan→filter→project pipeline allocates
+   nothing per batch beyond its actual output. *)
+
+type t = {
+  capacity : int;
+  rows : Row.t array;
+  sel : int array; (* first [selected] entries = live slots, ascending *)
+  mutable length : int; (* filled prefix of [rows] *)
+  mutable selected : int;
+}
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Batch.create: capacity must be >= 1";
+  {
+    capacity;
+    rows = Array.make capacity [||];
+    sel = Array.make capacity 0;
+    length = 0;
+    selected = 0;
+  }
+
+let capacity b = b.capacity
+let length b = b.length
+let selected b = b.selected
+let is_full b = b.length >= b.capacity
+
+let clear b =
+  b.length <- 0;
+  b.selected <- 0
+
+let push b row =
+  if is_full b then invalid_arg "Batch.push: batch is full";
+  b.rows.(b.length) <- row;
+  b.length <- b.length + 1
+
+(* Reset the selection to every filled slot passing [pred], in slot
+   order. *)
+let select_where b pred =
+  let n = ref 0 in
+  for i = 0 to b.length - 1 do
+    if pred b.rows.(i) then begin
+      b.sel.(!n) <- i;
+      incr n
+    end
+  done;
+  b.selected <- !n
+
+(* Narrow the current selection in place to entries passing [pred];
+   relative order is preserved. *)
+let refine b pred =
+  let k = ref 0 in
+  for j = 0 to b.selected - 1 do
+    let i = b.sel.(j) in
+    if pred b.rows.(i) then begin
+      b.sel.(!k) <- i;
+      incr k
+    end
+  done;
+  b.selected <- !k
+
+let iter_selected b f =
+  for j = 0 to b.selected - 1 do
+    f b.rows.(b.sel.(j))
+  done

@@ -1,0 +1,32 @@
+(** Fixed-capacity row batches with a selection vector: the unit of
+    work of the vectorized executor. Arrays are reused across refills;
+    filters narrow the selection instead of materializing filtered
+    copies. *)
+
+type t
+
+val create : capacity:int -> t
+(** Fresh batch; [capacity] must be at least 1. *)
+
+val capacity : t -> int
+val length : t -> int
+(** Rows currently filled. *)
+
+val selected : t -> int
+(** Rows in the current selection. *)
+
+val is_full : t -> bool
+val clear : t -> unit
+
+val push : t -> Row.t -> unit
+(** Append a row; the batch must not be full. Pushing does not touch
+    the selection — run {!select_where} once the batch is filled. *)
+
+val select_where : t -> (Row.t -> bool) -> unit
+(** Reset the selection to the filled rows passing the predicate, in
+    slot order. *)
+
+val refine : t -> (Row.t -> bool) -> unit
+(** Narrow the current selection in place, preserving order. *)
+
+val iter_selected : t -> (Row.t -> unit) -> unit

@@ -2,7 +2,11 @@
    catalog. This is what both the host engine and the storage engine
    instantiate (over different pagers). *)
 
-type t = { catalog : Catalog.t; mutable observer : Observer.t }
+type t = {
+  catalog : Catalog.t;
+  mutable observer : Observer.t;
+  mutable exec_mode : Exec.exec_mode;
+}
 
 type outcome =
   | Result of Exec.result
@@ -10,7 +14,12 @@ type outcome =
   | Created of string
   | Dropped of string
 
-let create ~pager = { catalog = Catalog.create ~pager; observer = Observer.null }
+let create ~pager =
+  {
+    catalog = Catalog.create ~pager;
+    observer = Observer.null;
+    exec_mode = Exec.Row_at_a_time;
+  }
 
 let catalog t = t.catalog
 
@@ -18,7 +27,16 @@ let set_observer t obs =
   t.observer <- obs;
   Pager.set_observer (Catalog.pager t.catalog) obs
 
-let state t = { Exec.catalog = t.catalog; obs = t.observer }
+let set_exec_mode t mode =
+  (match mode with
+  | Exec.Batched n when n < 1 ->
+      invalid_arg "Database.set_exec_mode: batch size must be >= 1"
+  | _ -> ());
+  t.exec_mode <- mode
+
+let exec_mode t = t.exec_mode
+
+let state t = { Exec.catalog = t.catalog; obs = t.observer; mode = t.exec_mode }
 
 let create_table t schema = ignore (Catalog.create_table t.catalog schema)
 

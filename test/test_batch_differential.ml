@@ -1,0 +1,245 @@
+(* Differential gate for the vectorized batch executor and the CTR
+   page-crypto mode: the same generated query corpus the five-config
+   differential uses (Test_differential.query_gen) is pushed through
+   the row-at-a-time and batched executors under every Table-2
+   configuration, and the answers must be *exactly* equal — same
+   columns, same rows, same row order, bit-identical values — not
+   merely the same multiset. The observer-derived metrics (pages,
+   pool hits, shipped bytes, row-operator counts) must agree too: the
+   batch executor charges the same totals at batch granularity.
+
+   A second deployment built in the other cipher mode (CBC when the
+   suite runs under CTR and vice versa; select with
+   IRONSAFE_CRYPTO_MODE=cbc|ctr) cross-checks that the page cipher
+   never changes answers either. Batch capacity is swept over
+   {1, 7, 64, 1024} — degenerate single-row batches, a capacity that
+   straddles page boundaries awkwardly, and two that cover whole scans. *)
+
+open Ironsafe
+module Sql = Ironsafe_sql
+module Sec = Ironsafe_securestore
+module Tpch = Ironsafe_tpch
+module Obs = Ironsafe_obs.Obs
+
+let crypto_mode =
+  match Sys.getenv_opt "IRONSAFE_CRYPTO_MODE" with
+  | Some "ctr" -> Sec.Secure_store.Ctr
+  | Some "cbc" | None -> Sec.Secure_store.Cbc
+  | Some other ->
+      invalid_arg
+        (Printf.sprintf "IRONSAFE_CRYPTO_MODE=%s (want cbc or ctr)" other)
+
+let other_mode =
+  match crypto_mode with
+  | Sec.Secure_store.Cbc -> Sec.Secure_store.Ctr
+  | Sec.Secure_store.Ctr -> Sec.Secure_store.Cbc
+
+let mk_deploy mode =
+  Deployment.create ~seed:"batch-differential" ~crypto_mode:mode
+    ~populate:(fun db -> ignore (Tpch.Dbgen.populate db ~scale:0.01))
+    ()
+
+let deploy = lazy (mk_deploy crypto_mode)
+
+(* same seed, same data, the other page cipher *)
+let cross_deploy = lazy (mk_deploy other_mode)
+
+let batch_sizes = [| 1; 7; 64; 1024 |]
+
+let all_configs =
+  [ Config.Hons; Config.Hos; Config.Vcs; Config.Scs; Config.Sos ]
+
+let run_at d cfg ~batch sql =
+  Deployment.set_batch_size d batch;
+  Fun.protect
+    ~finally:(fun () -> Deployment.set_batch_size d 0)
+    (fun () -> Runner.run_query d cfg sql)
+
+(* exact equality, not canonicalized: both executors walk the heap in
+   the same order, so even the row order must survive vectorization *)
+let same_result (a : Sql.Exec.result) (b : Sql.Exec.result) =
+  a.Sql.Exec.columns = b.Sql.Exec.columns && a.Sql.Exec.rows = b.Sql.Exec.rows
+
+let same_observed (a : Runner.metrics) (b : Runner.metrics) =
+  a.Runner.pages_scanned = b.Runner.pages_scanned
+  && a.Runner.page_hits = b.Runner.page_hits
+  && a.Runner.bytes_shipped = b.Runner.bytes_shipped
+  && a.Runner.host_rows = b.Runner.host_rows
+  && a.Runner.storage_rows = b.Runner.storage_rows
+
+let pp_observed (m : Runner.metrics) =
+  Printf.sprintf "pages=%d hits=%d bytes=%d host_rows=%d storage_rows=%d"
+    m.Runner.pages_scanned m.Runner.page_hits m.Runner.bytes_shipped
+    m.Runner.host_rows m.Runner.storage_rows
+
+(* -- the differential property ------------------------------------------ *)
+
+let counter = ref 0
+
+let qcheck_row_batch_equivalent =
+  QCheck.Test.make
+    ~name:"batch executor = row executor on all five configs"
+    ~count:Test_differential.differential_count
+    (QCheck.make ~print:Fun.id Test_differential.query_gen)
+    (fun sql ->
+      let d = Lazy.force deploy in
+      let cap = batch_sizes.(!counter mod Array.length batch_sizes) in
+      incr counter;
+      List.for_all
+        (fun cfg ->
+          let row = run_at d cfg ~batch:0 sql in
+          let batch = run_at d cfg ~batch:cap sql in
+          if not (same_result row.Runner.result batch.Runner.result) then
+            QCheck.Test.fail_reportf
+              "batch %d result diverges from row under %s on:@.%s@." cap
+              (Config.abbrev cfg) sql
+          else if not (same_observed row batch) then
+            QCheck.Test.fail_reportf
+              "batch %d metrics diverge under %s on:@.%s@.row:   %s@.batch: %s@."
+              cap (Config.abbrev cfg) sql (pp_observed row) (pp_observed batch)
+          else begin
+            (* the secure full-query configs re-run over the other page
+               cipher: CBC and CTR stores hold the same plaintext pages,
+               so answers must be bit-identical across ciphers too *)
+            (match cfg with
+            | Config.Hos | Config.Sos ->
+                let x = Lazy.force cross_deploy in
+                let cross = run_at x cfg ~batch:cap sql in
+                if not (same_result row.Runner.result cross.Runner.result)
+                then
+                  QCheck.Test.fail_reportf
+                    "%s/%s cipher cross-check diverges on:@.%s@."
+                    (Config.abbrev cfg)
+                    (match other_mode with
+                    | Sec.Secure_store.Cbc -> "cbc"
+                    | Sec.Secure_store.Ctr -> "ctr")
+                    sql
+            | Config.Hons | Config.Vcs | Config.Scs -> ());
+            true
+          end)
+        all_configs)
+
+(* -- fixed corpus: every batch size on every config --------------------- *)
+
+let fixed_queries =
+  [
+    "select n_nationkey, n_name from nation where n_regionkey = 1";
+    "select count(*) as n, sum(s_acctbal) as s from supplier where s_acctbal \
+     > 0";
+    "select c_mktsegment, count(*) as n from customer group by c_mktsegment \
+     order by c_mktsegment";
+    "select n_name, count(*) as n from supplier, nation where s_nationkey = \
+     n_nationkey group by n_name order by n_name";
+    "select p_partkey, p_size from part where p_size < 15 order by p_partkey \
+     limit 25";
+  ]
+
+let test_fixed_queries_all_batch_sizes () =
+  let d = Lazy.force deploy in
+  List.iter
+    (fun sql ->
+      List.iter
+        (fun cfg ->
+          let row = run_at d cfg ~batch:0 sql in
+          Array.iter
+            (fun cap ->
+              let batch = run_at d cfg ~batch:cap sql in
+              Alcotest.(check bool)
+                (Printf.sprintf "%s batch=%d result for %s" (Config.abbrev cfg)
+                   cap sql)
+                true
+                (same_result row.Runner.result batch.Runner.result);
+              Alcotest.(check string)
+                (Printf.sprintf "%s batch=%d metrics for %s"
+                   (Config.abbrev cfg) cap sql)
+                (pp_observed row) (pp_observed batch))
+            batch_sizes)
+        all_configs)
+    fixed_queries
+
+(* -- per-mode determinism ----------------------------------------------- *)
+
+(* Timings are never asserted equal across executors (batching changes
+   the virtual cost profile by design); each mode must be exactly
+   repeatable against itself, including on the virtual clock. *)
+let test_per_mode_determinism () =
+  let d = Lazy.force deploy in
+  let sql = List.nth fixed_queries 3 in
+  List.iter
+    (fun batch ->
+      let a = run_at d Config.Scs ~batch sql in
+      let b = run_at d Config.Scs ~batch sql in
+      Alcotest.(check bool)
+        (Printf.sprintf "batch=%d result repeatable" batch)
+        true
+        (same_result a.Runner.result b.Runner.result);
+      Alcotest.(check (float 0.0))
+        (Printf.sprintf "batch=%d virtual clock repeatable" batch)
+        a.Runner.end_to_end_ns b.Runner.end_to_end_ns)
+    [ 0; 1; 64 ]
+
+(* -- policy decisions and the JSONL event log --------------------------- *)
+
+(* The full monitor path (policy interpretation, proof of compliance,
+   event-log forensics) must be executor-blind: a batched engine gets
+   the same policy.allow, the same verified response, and a
+   byte-repeatable JSONL log. *)
+let capture_engine_run ~batch_size =
+  Obs.reset ();
+  Obs.enable ();
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.disable ();
+      Obs.reset ())
+    (fun () ->
+      let d =
+        Deployment.create ~seed:"batch-forensics" ~crypto_mode ~batch_size
+          ~populate:(fun db -> ignore (Tpch.Dbgen.populate db ~scale:0.002))
+          ()
+      in
+      let e = Engine.create d in
+      ignore (Engine.register_client e ~label:"K" ());
+      Engine.set_access_policy e "read ::= sessionKeyIs(K)";
+      let sql = "select n_name, n_regionkey from nation where n_regionkey < 3" in
+      match Engine.submit e ~client:"K" ~sql ~config:Config.Scs () with
+      | Error err -> Alcotest.fail err
+      | Ok resp ->
+          Alcotest.(check bool) "proof of compliance verifies" true
+            (Engine.verify_response e resp ~sql);
+          (resp.Engine.resp_result, Obs.to_jsonl ()))
+
+let contains hay needle =
+  let n = String.length needle in
+  let rec go i =
+    i + n <= String.length hay && (String.sub hay i n = needle || go (i + 1))
+  in
+  go 0
+
+let test_policy_and_jsonl_executor_blind () =
+  let row_result, row_jsonl = capture_engine_run ~batch_size:0 in
+  let batch_result, batch_jsonl = capture_engine_run ~batch_size:64 in
+  Alcotest.(check bool) "row and batch answers equal" true
+    (same_result row_result batch_result);
+  List.iter
+    (fun (label, jsonl) ->
+      Alcotest.(check bool) (label ^ ": policy.allow recorded") true
+        (contains jsonl "\"kind\":\"policy.allow\"");
+      Alcotest.(check bool) (label ^ ": query completion recorded") true
+        (contains jsonl "\"kind\":\"query.done\""))
+    [ ("row", row_jsonl); ("batch", batch_jsonl) ];
+  (* each mode's event log is byte-repeatable *)
+  let _, row_jsonl2 = capture_engine_run ~batch_size:0 in
+  let _, batch_jsonl2 = capture_engine_run ~batch_size:64 in
+  Alcotest.(check string) "row jsonl byte-identical" row_jsonl row_jsonl2;
+  Alcotest.(check string) "batch jsonl byte-identical" batch_jsonl batch_jsonl2
+
+let suite =
+  [
+    ("fixed queries, every batch size", `Quick, test_fixed_queries_all_batch_sizes);
+    ("per-mode determinism", `Quick, test_per_mode_determinism);
+    ( "policy + jsonl executor-blind",
+      `Quick,
+      test_policy_and_jsonl_executor_blind );
+  ]
+  @ List.map (QCheck_alcotest.to_alcotest ~long:false)
+      [ qcheck_row_batch_equivalent ]

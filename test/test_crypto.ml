@@ -257,6 +257,88 @@ let test_ctr () =
     (Hex.of_string
        (Modes.ctr_transform ~key ~nonce (Hex.to_string "6bc1bee22e409f96e93d7e117393172a")))
 
+(* SP 800-38A F.5.1 CTR-AES128.Encrypt: the complete four-block known
+   answer, one shot and then block by block through [block_offset] (the
+   lane-chunk entry point must land every block on the same counter the
+   one-shot walk reaches). *)
+let test_ctr_sp800_38a_full () =
+  let key = Aes.expand_key (Hex.to_string "2b7e151628aed2a6abf7158809cf4f3c") in
+  let nonce = Hex.to_string "f0f1f2f3f4f5f6f7f8f9fafbfcfdfeff" in
+  let plain_blocks =
+    [
+      "6bc1bee22e409f96e93d7e117393172a";
+      "ae2d8a571e03ac9c9eb76fac45af8e51";
+      "30c81c46a35ce411e5fbc1191a0a52ef";
+      "f69f2445df4f9b17ad2b417be66c3710";
+    ]
+  in
+  let cipher_blocks =
+    [
+      "874d6191b620e3261bef6864990db6ce";
+      "9806f66b7970fdff8617187bb9fffdff";
+      "5ae4df3edbd5d35e5b4f09020db03eab";
+      "1e031dda2fbe03d1792170a0f3009cee";
+    ]
+  in
+  let plain = String.concat "" (List.map Hex.to_string plain_blocks) in
+  check_hex "four blocks one shot"
+    (String.concat "" cipher_blocks)
+    (Modes.ctr_transform ~key ~nonce plain);
+  List.iteri
+    (fun i (p, c) ->
+      let dst = Bytes.create 16 in
+      Modes.ctr_transform_into ~key ~nonce ~block_offset:i (Hex.to_string p) 0
+        dst 0 16;
+      check_hex (Printf.sprintf "block %d via offset" i) c (Bytes.to_string dst))
+    (List.combine plain_blocks cipher_blocks)
+
+let test_ctr_counter_overflow () =
+  (* an all-FF counter must wrap to all-00 on the next block; feeding a
+     zero plaintext exposes the raw keystream for comparison *)
+  let key = Aes.expand_key (String.make 16 'k') in
+  let nonce = String.make 16 '\xff' in
+  let ks = Modes.ctr_transform ~key ~nonce (String.make 32 '\x00') in
+  Alcotest.(check string) "block 1 = E(FF..FF)"
+    (Hex.of_string (Aes.encrypt_block key nonce))
+    (Hex.of_string (String.sub ks 0 16));
+  Alcotest.(check string) "block 2 wraps to E(00..00)"
+    (Hex.of_string (Aes.encrypt_block key (String.make 16 '\x00')))
+    (Hex.of_string (String.sub ks 16 16));
+  (* [block_offset] over the wrap lands on the same counters *)
+  let dst = Bytes.create 16 in
+  Modes.ctr_transform_into ~key ~nonce ~block_offset:1 (String.make 16 '\x00')
+    0 dst 0 16;
+  Alcotest.(check string) "offset crosses the wrap"
+    (Hex.of_string (String.sub ks 16 16))
+    (Hex.of_string (Bytes.to_string dst))
+
+let test_ctr_into_validates () =
+  let key = Aes.expand_key (String.make 16 'k') in
+  let nonce = String.make 16 'n' in
+  Alcotest.check_raises "short nonce"
+    (Invalid_argument "Modes.ctr_transform_into: nonce must be 16 bytes")
+    (fun () ->
+      ignore (Modes.ctr_transform_into ~key ~nonce:"short" "x" 0 (Bytes.create 1) 0 1));
+  Alcotest.check_raises "source range"
+    (Invalid_argument "Modes.ctr_transform_into: source range out of bounds")
+    (fun () ->
+      ignore (Modes.ctr_transform_into ~key ~nonce "x" 0 (Bytes.create 4) 0 2));
+  Alcotest.check_raises "destination range"
+    (Invalid_argument "Modes.ctr_transform_into: destination range out of bounds")
+    (fun () ->
+      ignore (Modes.ctr_transform_into ~key ~nonce "xy" 0 (Bytes.create 1) 0 2))
+
+(* -- Lanes -------------------------------------------------------------- *)
+
+let test_lanes () =
+  Alcotest.(check bool) "at least one lane" true (Lanes.available () >= 1);
+  let hits = Array.make 4 0 in
+  Lanes.run ~lanes:4 (fun i -> hits.(i) <- hits.(i) + 1);
+  Alcotest.(check (array int)) "each lane ran once" [| 1; 1; 1; 1 |] hits;
+  Lanes.run ~lanes:1 (fun i -> Alcotest.(check int) "inline lane id" 0 i);
+  Alcotest.check_raises "worker exception propagates" Exit (fun () ->
+      Lanes.run ~lanes:3 (fun i -> if i = 2 then raise Exit))
+
 (* -- DRBG ------------------------------------------------------------- *)
 
 let test_drbg_deterministic () =
@@ -361,6 +443,33 @@ let test_merkle_hash_ops () =
   (* leaf tag + 3 internal + root-path... update recomputes depth+1 nodes *)
   Alcotest.(check bool) "ops counted" true (Merkle.hash_ops t > 0)
 
+(* Batched verification: every leaf must verify against the snapshot
+   root, later leaves must stop at memoized ancestors (amortizing the
+   per-leaf path cost), and tampering must still be rejected. *)
+let test_merkle_batch_verifier () =
+  let t = Merkle.create ~key:"merkle-key" ~leaves:16 in
+  for i = 0 to 15 do
+    Merkle.update t i (Printf.sprintf "page-%d" i)
+  done;
+  let bv = Merkle.batch_verifier ~key:"merkle-key" t in
+  for i = 0 to 15 do
+    Alcotest.(check bool)
+      (Printf.sprintf "leaf %d verifies" i)
+      true
+      (Merkle.verify_leaf bv i ~leaf_tag:(Merkle.leaf t i))
+  done;
+  (* a cold path costs [depth] hashes per leaf; memoization must beat
+     that over the full batch *)
+  Alcotest.(check bool) "amortized below depth per leaf" true
+    (Merkle.batch_hash_ops bv < 16 * Merkle.depth t);
+  Alcotest.(check bool) "tampered tag rejected" false
+    (Merkle.verify_leaf bv 3 ~leaf_tag:(Merkle.leaf_tag_of_data t "tampered"));
+  Alcotest.(check bool) "displaced leaf rejected" false
+    (Merkle.verify_leaf bv 3 ~leaf_tag:(Merkle.leaf t 4));
+  let bad = Merkle.batch_verifier ~key:"other-key" t in
+  Alcotest.(check bool) "wrong key rejected" false
+    (Merkle.verify_leaf bad 0 ~leaf_tag:(Merkle.leaf t 0))
+
 (* -- Lamport ------------------------------------------------------------ *)
 
 let test_lamport () =
@@ -412,6 +521,19 @@ let qcheck_tests =
         let key = Aes.expand_key (String.make 16 'q') in
         let nonce = String.make 16 'n' in
         Modes.ctr_transform ~key ~nonce (Modes.ctr_transform ~key ~nonce s) = s);
+    Test.make ~name:"ctr_transform_into split at any block = one-shot"
+      ~count:100
+      (pair (string_of_size Gen.(0 -- 300)) small_nat)
+      (fun (s, cut_blocks) ->
+        let key = Aes.expand_key (String.make 16 'q') in
+        let nonce = String.make 16 'n' in
+        let n = String.length s in
+        let cut = min n (cut_blocks * 16) in
+        let dst = Bytes.create n in
+        Modes.ctr_transform_into ~key ~nonce s 0 dst 0 cut;
+        Modes.ctr_transform_into ~key ~nonce ~block_offset:(cut / 16) s cut dst
+          cut (n - cut);
+        Bytes.to_string dst = Modes.ctr_transform ~key ~nonce s);
     Test.make ~name:"aes block roundtrip" ~count:100
       (string_of_size (Gen.return 16)) (fun s ->
         let key = Aes.expand_key (String.make 16 'z') in
@@ -455,6 +577,10 @@ let suite =
     ("cbc rejects garbage", `Quick, test_cbc_rejects_garbage);
     ("pkcs7", `Quick, test_pkcs7);
     ("ctr", `Quick, test_ctr);
+    ("ctr sp800-38a full", `Quick, test_ctr_sp800_38a_full);
+    ("ctr counter overflow", `Quick, test_ctr_counter_overflow);
+    ("ctr_transform_into validation", `Quick, test_ctr_into_validates);
+    ("lanes", `Quick, test_lanes);
     ("drbg deterministic", `Quick, test_drbg_deterministic);
     ("drbg reseed", `Quick, test_drbg_reseed);
     ("drbg uniform", `Quick, test_drbg_uniform);
@@ -465,6 +591,7 @@ let suite =
     ("merkle proofs", `Quick, test_merkle_proofs);
     ("merkle wrong key", `Quick, test_merkle_wrong_key);
     ("merkle hash ops", `Quick, test_merkle_hash_ops);
+    ("merkle batch verifier", `Quick, test_merkle_batch_verifier);
     ("lamport", `Quick, test_lamport);
     ("signature", `Quick, test_signature);
   ]

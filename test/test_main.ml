@@ -22,6 +22,7 @@ let () =
       ("obs", Test_obs.suite);
       ("forensics", Test_forensics.suite);
       ("differential", Test_differential.suite);
+      ("batch-differential", Test_batch_differential.suite);
       ("faults", Test_fault.suite);
       ("sched", Test_sched.suite);
     ]
