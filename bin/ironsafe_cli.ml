@@ -307,7 +307,7 @@ let tpch_cmd =
             if List.length configs = 1 then
               Fmt.pr "%a" Sql.Exec.pp_result m.Runner.result;
             print_metrics m
-        | Runner.Rejected v ->
+        | Runner.Rejected v | Runner.Crashed v ->
             Fmt.pr "-- %s: rejected (%a)@." (Config.abbrev cfg)
               Runner.pp_violation v;
             code := 1)

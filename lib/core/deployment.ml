@@ -15,6 +15,7 @@ module Tee = Ironsafe_tee
 module Sql = Ironsafe_sql
 module Monitor = Ironsafe_monitor
 module Fault = Ironsafe_fault.Fault
+module Wal = Ironsafe_wal
 
 type t = {
   params : Sim.Params.t;
@@ -25,7 +26,8 @@ type t = {
   device_plain : Storage.Block_device.t;
   device_secure : Storage.Block_device.t;
   rpmb : Storage.Rpmb.t;
-  secure_store : Sec.Secure_store.t;
+  mutable secure_store : Sec.Secure_store.t;
+      (* mutable: {!reboot_secure} swaps in the freshly reopened store *)
   plain_db : Sql.Database.t;
   secure_db : Sql.Database.t;
   (* decrypted-page buffer pools in front of each medium's pager
@@ -37,6 +39,11 @@ type t = {
   (* vectorized batch capacity for both engines (0 = row-at-a-time);
      mutable so one loaded deployment can be diffed across modes *)
   mutable batch_size : int;
+  (* crash-safe write path ([None] when [wal] is off: the secure pager
+     is built exactly as before, so read-only runs stay byte-identical
+     to WAL-less builds) *)
+  device_wal : Storage.Block_device.t option;
+  txn_store : Wal.Txn_store.t option;
   (* TEEs *)
   ias : Tee.Sgx.ias;
   sgx : Tee.Sgx.platform;
@@ -89,7 +96,8 @@ let create ?(params = Sim.Params.default) ?(host_cores = 10)
     ?(storage_cores = 16) ?storage_mem_limit ?(host_version = 1)
     ?(storage_version = 1) ?(storage_location = "eu-west")
     ?(host_location = "eu-west") ?(faults = Fault.none) ?(pool_frames = 0)
-    ?(crypto_mode = Sec.Secure_store.Cbc) ?(batch_size = 0) ~seed ~populate () =
+    ?(crypto_mode = Sec.Secure_store.Cbc) ?(batch_size = 0) ?(wal = false)
+    ?(wal_window_ns = 0.0) ?(wal_log_pages = 512) ~seed ~populate () =
   let drbg = C.Drbg.create ~seed in
   let host =
     Sim.Node.create ~cores:host_cores ~params ~name:"host" Sim.Cpu.Host_x86
@@ -147,7 +155,80 @@ let create ?(params = Sim.Params.default) ?(host_cores = 10)
           (Fmt.str "Deployment.create: secure store init failed: %a"
              Sec.Secure_store.pp_error e)
   in
-  let secure_pool, secure_pager = pool (Sql.Pager.secure secure_store) in
+  (* Crash-safe write path: a WAL on its own device plus the
+     transactional overlay; the secure pager then routes through the
+     overlay so DML is logged and SELECTs can pin snapshots. Off (the
+     default) the pager is built exactly as before, so read-only runs
+     stay byte-identical to WAL-less builds. *)
+  let device_wal, txn_store, secure_pool, secure_pager =
+    if not wal then begin
+      let secure_pool, secure_pager = pool (Sql.Pager.secure secure_store) in
+      (None, None, secure_pool, secure_pager)
+    end
+    else begin
+      let dw = Storage.Block_device.create ~pages:wal_log_pages in
+      let w =
+        match
+          Wal.Wal.create ~device:dw ~rpmb
+            ~hardware_key:(Tee.Trustzone.hardware_key tz_device)
+            ~drbg ()
+        with
+        | Ok w -> w
+        | Error e ->
+            invalid_arg
+              (Fmt.str "Deployment.create: wal init failed: %a" Wal.Wal.pp_error
+                 e)
+      in
+      let ts =
+        Wal.Txn_store.attach ~store:secure_store ~wal:w ~device:device_secure
+          ~window_ns:wal_window_ns ()
+      in
+      (* the base pager dereferences the overlay's current store, so a
+         post-crash reopen is transparent to the SQL layer above *)
+      let next = ref 0 in
+      let store_err e =
+        raise
+          (Sql.Pager.Integrity_failure
+             (Fmt.str "%a" Sec.Secure_store.pp_error e))
+      in
+      let base_pager =
+        Sql.Pager.make ~capacity:Sec.Secure_store.capacity
+          ~read:(fun i ->
+            match Sec.Secure_store.read_page (Wal.Txn_store.store ts) i with
+            | Ok d -> d
+            | Error e -> store_err e)
+          ~write:(fun i data ->
+            match Sec.Secure_store.write_page (Wal.Txn_store.store ts) i data
+            with
+            | Ok () -> ()
+            | Error e -> store_err e)
+          ~allocate:(fun () ->
+            let i = !next in
+            incr next;
+            i)
+          ~page_count:(fun () -> !next)
+          ()
+      in
+      (* pool (when present) caches decrypted base pages below the
+         overlay; versioned reads never pollute the cache *)
+      let secure_pool, base_access = pool base_pager in
+      Wal.Txn_store.route_base ts
+        ~read:(Sql.Pager.read base_access)
+        ~write:(Sql.Pager.write base_access)
+        ~flush:(fun () -> Sql.Pager.flush base_access)
+        ~cached:(Sql.Pager.cached base_access);
+      let overlay_pager =
+        Sql.Pager.make ~capacity:Sec.Secure_store.capacity
+          ~read:(Wal.Txn_store.pager_read ts)
+          ~write:(Wal.Txn_store.pager_write ts)
+          ~allocate:(fun () -> Sql.Pager.allocate base_access)
+          ~page_count:(fun () -> Sql.Pager.page_count base_access)
+          ~cached:(Wal.Txn_store.pager_cached ts)
+          ()
+      in
+      (Some dw, Some ts, secure_pool, overlay_pager)
+    end
+  in
   let secure_db = Sql.Database.create ~pager:secure_pager in
   copy_database plain_db secure_db;
   (* drain the pools before fault wiring so every setup write reaches
@@ -158,6 +239,14 @@ let create ?(params = Sim.Params.default) ?(host_cores = 10)
   Option.iter Sql.Bufpool.reset_stats secure_pool;
   Sec.Secure_store.reset_stats secure_store;
   Storage.Block_device.reset_counters device_secure;
+  (* population ran in pass-through mode; from here on, writes to the
+     secure medium are logged and versioned *)
+  Option.iter
+    (fun ts ->
+      Wal.Txn_store.set_clock ts (fun () ->
+          Float.max (Sim.Node.now host) (Sim.Node.now storage));
+      Wal.Txn_store.engage ts)
+    txn_store;
   (* 3. SGX host *)
   let ias = Tee.Sgx.create_ias () in
   let sgx =
@@ -184,7 +273,8 @@ let create ?(params = Sim.Params.default) ?(host_cores = 10)
         Float.max (Sim.Node.now host) (Sim.Node.now storage));
     Storage.Block_device.set_faults device_secure faults;
     Storage.Rpmb.set_faults rpmb faults;
-    Sec.Secure_store.set_faults secure_store faults
+    Sec.Secure_store.set_faults secure_store faults;
+    Option.iter (fun ts -> Wal.Txn_store.set_faults ts faults) txn_store
   end;
   (* batch mode is applied only after population, so data loading runs
      identically whatever executor the workload will use *)
@@ -205,6 +295,8 @@ let create ?(params = Sim.Params.default) ?(host_cores = 10)
     plain_pool;
     secure_pool;
     batch_size;
+    device_wal;
+    txn_store;
     ias;
     sgx;
     host_enclave;
@@ -220,6 +312,54 @@ let create ?(params = Sim.Params.default) ?(host_cores = 10)
 
 let faults t = t.faults
 let exec_mode t = exec_mode_of_batch t.batch_size
+let wal_enabled t = t.txn_store <> None
+let txn_store t = t.txn_store
+
+(* Crash-and-reboot of the secure medium: drop every volatile layer
+   (pool frames vanish with power — no write-back), reopen the store
+   and the WAL from the persistent media, and redo the committed log
+   into the base store.
+
+   The two per-boot freshness secrets are reset together here: the
+   reopened secure store draws a fresh CTR nonce salt and the reopened
+   WAL draws a fresh boot salt while [Txn_store.adopt] bumps the log
+   epoch — so no post-recovery page or record encryption ever reuses a
+   pre-crash nonce, even at the same (page, version) or (epoch, LSN)
+   coordinates. *)
+let reboot_secure t =
+  match (t.txn_store, t.device_wal) with
+  | Some ts, Some dw -> (
+      Option.iter Sql.Bufpool.invalidate t.secure_pool;
+      let hardware_key = Tee.Trustzone.hardware_key t.tz_device in
+      match
+        Sec.Secure_store.open_existing
+          ~page_mode:(Sec.Secure_store.page_mode t.secure_store)
+          ~device:t.device_secure ~rpmb:t.rpmb ~hardware_key
+          ~data_pages:(Sec.Secure_store.data_page_count t.secure_store)
+          ~drbg:t.drbg ()
+      with
+      | Error e ->
+          Error (Fmt.str "secure store: %a" Sec.Secure_store.pp_error e)
+      | Ok store -> (
+          if Fault.enabled t.faults then
+            Sec.Secure_store.set_faults store t.faults;
+          match
+            Wal.Wal.recover ~device:dw ~rpmb:t.rpmb ~hardware_key ~drbg:t.drbg
+              ()
+          with
+          | Error e -> Error (Fmt.str "wal: %a" Wal.Wal.pp_error e)
+          | Ok (w, records) -> (
+              t.secure_store <- store;
+              match Wal.Txn_store.adopt ts ~store ~wal:w ~records with
+              | Ok () ->
+                  (* the SQL layer survives the swap, but its volatile
+                     heap cursors and indexes may still carry rows
+                     whose commit was lost — re-anchor on the
+                     recovered pages *)
+                  Sql.Database.reload_storage t.secure_db;
+                  Ok ()
+              | Error e -> Error (Fmt.str "%a" Wal.Txn_store.pp_error e))))
+  | _ -> Error "Deployment.reboot_secure: deployment has no WAL"
 
 (* Switch both engines between row-at-a-time and batched execution on
    the already-loaded data: the differential harness toggles this on

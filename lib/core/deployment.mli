@@ -11,7 +11,8 @@ type t = {
   device_plain : Ironsafe_storage.Block_device.t;
   device_secure : Ironsafe_storage.Block_device.t;
   rpmb : Ironsafe_storage.Rpmb.t;
-  secure_store : Ironsafe_securestore.Secure_store.t;
+  mutable secure_store : Ironsafe_securestore.Secure_store.t;
+      (** mutable: {!reboot_secure} swaps in the reopened store *)
   plain_db : Ironsafe_sql.Database.t;
   secure_db : Ironsafe_sql.Database.t;
   pool_frames : int;
@@ -22,6 +23,12 @@ type t = {
   mutable batch_size : int;
       (** vectorized batch capacity for both engines (0 = row-at-a-time);
           change it through {!set_batch_size} so the engines stay in sync *)
+  device_wal : Ironsafe_storage.Block_device.t option;
+      (** dedicated log device ([None] when the WAL is off) *)
+  txn_store : Ironsafe_wal.Txn_store.t option;
+      (** transactional overlay the secure pager routes through when
+          the WAL is on; [None] leaves the pager byte-identical to a
+          WAL-less build *)
   ias : Ironsafe_tee.Sgx.ias;
   sgx : Ironsafe_tee.Sgx.platform;
   host_enclave : Ironsafe_tee.Sgx.enclave;
@@ -50,6 +57,9 @@ val create :
   ?pool_frames:int ->
   ?crypto_mode:Ironsafe_securestore.Secure_store.page_mode ->
   ?batch_size:int ->
+  ?wal:bool ->
+  ?wal_window_ns:float ->
+  ?wal_log_pages:int ->
   seed:string ->
   populate:(Ironsafe_sql.Database.t -> unit) ->
   unit ->
@@ -72,9 +82,33 @@ val create :
     [crypto_mode] (default [Cbc]) selects the secure store's page
     cipher mode; [batch_size] (default 0 = row-at-a-time) the engines'
     vectorized batch capacity. Population always runs row-at-a-time so
-    loading is identical whatever mode the workload uses. *)
+    loading is identical whatever mode the workload uses.
+
+    [wal] (default false) enables the crash-safe write path: an
+    encrypted HMAC-chained log on its own [wal_log_pages]-page device
+    (default 512) with its commit horizon anchored in RPMB, and the
+    secure pager routed through a {!Ironsafe_wal.Txn_store} overlay.
+    [wal_window_ns] (default 0 = synchronous commit) is the
+    group-commit window on the virtual clock. Population runs before
+    the overlay engages, so loaded bytes are identical either way. *)
 
 val faults : t -> Ironsafe_fault.Fault.t
+
+val wal_enabled : t -> bool
+val txn_store : t -> Ironsafe_wal.Txn_store.t option
+
+val reboot_secure : t -> (unit, string) result
+(** Crash-and-reboot of the secure medium: drop every volatile layer
+    (pool frames are {e not} written back — with power they never
+    existed), reopen the secure store and the WAL from the persistent
+    media, verify the chained log against the RPMB anchor, and
+    redo-apply the committed records. The reopened store draws a fresh
+    CTR nonce salt and the WAL a fresh boot salt + epoch in the same
+    step, so post-recovery encryption never reuses a pre-crash nonce.
+    Existing pager closures (and therefore the SQL layer) survive the
+    swap; the SQL layer's volatile heap cursors and indexes are
+    re-anchored on the recovered pages
+    ({!Ironsafe_sql.Database.reload_storage}). *)
 
 val exec_mode : t -> Ironsafe_sql.Exec.exec_mode
 (** The executor mode implied by the current batch size. *)

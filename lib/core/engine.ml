@@ -157,7 +157,7 @@ let submit ?(exec_policy = "") ?(config = Config.Scs) t ~client ~sql () =
               Error e
           | Ok (), Sql.Ast.Select _ -> (
               match Runner.run_stmt_outcome ~reset:false t.deploy config stmt with
-              | Runner.Rejected v ->
+              | Runner.Rejected v | Runner.Crashed v ->
                   Monitor.Trusted_monitor.session_cleanup (monitor t)
                     auth.Monitor.Trusted_monitor.auth_session_key;
                   Error (Fmt.str "query rejected: %a" Runner.pp_violation v)

@@ -179,6 +179,51 @@ let charge_epc node enclave (params : Sim.Params.t) ~working_set ~accesses =
    verifies freshness itself (hos): two 32-byte tags per leaf. *)
 let merkle_bytes store = 64 * Sec.Secure_store.data_page_count store
 
+(* Crash-safe write path glue for the secure configurations: tick the
+   group-commit daemon on the virtual clock, pin a snapshot around
+   SELECTs (readers see a consistent commit LSN while writers proceed),
+   commit the implicit transaction after DML, and charge the WAL work
+   this statement accrued to the storage node (the log device and RPMB
+   live there). *)
+let exec_wal d ts ~stmt f =
+  let module W = Ironsafe_wal in
+  let params = d.Deployment.params in
+  let storage = d.Deployment.storage in
+  let wal_err e =
+    raise (Sql.Pager.Integrity_failure (Fmt.str "%a" W.Txn_store.pp_error e))
+  in
+  let wal_counts () =
+    let s = W.Wal.stats (W.Txn_store.wal ts) in
+    (s.W.Wal.appends, s.W.Wal.flushes, s.W.Wal.anchors)
+  in
+  let a0, f0, n0 = wal_counts () in
+  (match W.Txn_store.tick ts with Ok () -> () | Error e -> wal_err e);
+  let result =
+    match stmt with
+    | Sql.Ast.Select _ -> W.Txn_store.with_snapshot ts (fun _ -> f ())
+    | _ ->
+        let r = f () in
+        (match W.Txn_store.commit_current ts with
+        | Ok _ -> ()
+        | Error e -> wal_err e);
+        r
+  in
+  let a1, f1, n1 = wal_counts () in
+  let appends = a1 - a0 and flushes = f1 - f0 and anchors = n1 - n0 in
+  if appends + flushes + anchors > 0 then
+    Sim.Node.with_span storage ~name:"wal"
+      ~attrs:
+        [
+          ("appends", string_of_int appends);
+          ("flushes", string_of_int flushes);
+        ]
+      (fun () ->
+        Sim.Node.charge storage ~category:"wal"
+          ((float_of_int appends *. params.Sim.Params.wal_append_ns)
+          +. (float_of_int flushes *. params.Sim.Params.wal_flush_ns)
+          +. (float_of_int anchors *. params.Sim.Params.rpmb_access_ns)));
+  result
+
 let message_count (params : Sim.Params.t) bytes =
   max 1 ((bytes + params.net_batch_bytes - 1) / params.net_batch_bytes)
 
@@ -431,6 +476,17 @@ let run_stmt ?(reset = true) ?project deploy config stmt =
       finish ~result ~bytes_shipped:bytes ~pages ~hits ~host_rows:0
         ~storage_rows:c.Sql.Observer.rows ()
   in
+  (* route secure-config statements through the transactional overlay
+     when the deployment carries a WAL (no-op wrapper otherwise) *)
+  let exec =
+    match d.Deployment.txn_store with
+    | Some ts
+      when match config with
+           | Config.Hos | Config.Scs | Config.Sos -> true
+           | Config.Hons | Config.Vcs -> false ->
+        fun () -> exec_wal d ts ~stmt exec
+    | _ -> exec
+  in
   (* the root span's virtual duration is exactly [end_to_end_ns]: it
      opens at (reset) time zero on the host clock and closes after the
      final clock sync in [finish]. [begin_query] runs first: it
@@ -470,6 +526,9 @@ type outcome =
   | Ok of metrics
   | Degraded of metrics * Fault.incident list
   | Rejected of violation
+  | Crashed of violation
+      (* a WAL crash fault fired mid-statement: the statement did not
+         complete and the deployment needs [Deployment.reboot_secure] *)
 
 (* Which configs involve which TEEs: SGX faults only matter where the
    host enclave is on the query path, TrustZone ones where the secure
@@ -562,6 +621,13 @@ let run_stmt_outcome ?reset ?project deploy config stmt =
                  with no repair work (e.g. rot in an unused region) *)
               Fault.note_recovered_since faults mark;
               Degraded (m, incidents))
+      | exception Ironsafe_wal.Wal.Crashed site ->
+          Obs.count ~scope:"fault" "crashes";
+          Crashed
+            {
+              v_site = Fault.site_name site;
+              v_detail = "power loss injected; reboot required";
+            }
       | exception Sql.Pager.Integrity_failure detail ->
           Fault.note_rejected faults;
           Obs.count ~scope:"fault" "rejected";

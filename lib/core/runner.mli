@@ -58,6 +58,11 @@ type outcome =
           during this query *)
   | Rejected of violation
       (** the query was refused rather than answered wrongly *)
+  | Crashed of violation
+      (** a WAL crash fault fired mid-statement (power loss): the
+          statement did not complete — not even partially, the log
+          protocol guarantees — and the deployment must go through
+          {!Deployment.reboot_secure} before serving again *)
 
 val run_stmt_outcome :
   ?reset:bool ->

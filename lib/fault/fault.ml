@@ -24,6 +24,12 @@ type site =
   | Sgx_epc_storm
   | Tz_world_switch
   | Tz_ta_crash
+  | Wal_crash_before_append
+  | Wal_crash_mid_append
+  | Wal_crash_after_append
+  | Wal_crash_mid_flush
+  | Wal_crash_before_anchor
+  | Wal_torn_checkpoint
 
 let site_name = function
   | Channel_corrupt -> "channel.corrupt"
@@ -38,12 +44,28 @@ let site_name = function
   | Sgx_epc_storm -> "sgx.epc_storm"
   | Tz_world_switch -> "trustzone.world_switch"
   | Tz_ta_crash -> "trustzone.ta_crash"
+  | Wal_crash_before_append -> "wal.crash_before_append"
+  | Wal_crash_mid_append -> "wal.crash_mid_append"
+  | Wal_crash_after_append -> "wal.crash_after_append"
+  | Wal_crash_mid_flush -> "wal.crash_mid_flush"
+  | Wal_crash_before_anchor -> "wal.crash_before_anchor"
+  | Wal_torn_checkpoint -> "wal.torn_checkpoint"
 
 let all_sites =
   [
     Channel_corrupt; Channel_drop; Channel_handshake; Device_bit_rot;
     Device_torn_write; Device_read_transient; Rpmb_desync; Sgx_abort;
     Sgx_quote_reject; Sgx_epc_storm; Tz_world_switch; Tz_ta_crash;
+    Wal_crash_before_append; Wal_crash_mid_append; Wal_crash_after_append;
+    Wal_crash_mid_flush; Wal_crash_before_anchor; Wal_torn_checkpoint;
+  ]
+
+(* WAL crash points, in log order: the crash-at-every-point property
+   iterates this list and proves recovery for each. *)
+let wal_sites =
+  [
+    Wal_crash_before_append; Wal_crash_mid_append; Wal_crash_after_append;
+    Wal_crash_mid_flush; Wal_crash_before_anchor; Wal_torn_checkpoint;
   ]
 
 type rule = { prob : float; max_fires : int; after_ns : float }

@@ -27,12 +27,30 @@ type site =
   | Sgx_epc_storm  (** burst of EPC paging faults *)
   | Tz_world_switch  (** secure-world switch fails *)
   | Tz_ta_crash  (** trusted application crashes mid-request *)
+  | Wal_crash_before_append
+      (** crash before a record's bytes reach the log device *)
+  | Wal_crash_mid_append
+      (** crash with only a prefix of the record frame persisted (torn
+          append) *)
+  | Wal_crash_after_append
+      (** crash right after a record frame is fully persisted *)
+  | Wal_crash_mid_flush
+      (** crash between the group's device writes and the chain-MAC
+          anchor computation (mid-group-commit) *)
+  | Wal_crash_before_anchor
+      (** crash between the chain-MAC update and the RPMB counter bump *)
+  | Wal_torn_checkpoint
+      (** checkpoint write-back persists a torn base page, then crashes *)
 
 val site_name : site -> string
 (** Stable dotted name, e.g. ["device.bit_rot"] (used in counters,
     incident reports and violations). *)
 
 val all_sites : site list
+
+val wal_sites : site list
+(** The WAL crash points in log order; the crash-at-every-point
+    recovery property iterates exactly this list. *)
 
 type rule = { prob : float; max_fires : int; after_ns : float }
 

@@ -59,7 +59,14 @@ let allocate t ~category bytes =
       let pages = float_of_int over /. float_of_int t.params.Params.page_size in
       charge t ~category (pages *. 2.0 *. t.params.Params.nvme_page_ns)
 
-let release t bytes = Resource.release t.memory bytes
+(* Over-releases (double releases from crash-interrupted cleanup under
+   fault injection) are absorbed by the meter and surfaced as a
+   counter rather than an exception, so a sweep degrades instead of
+   aborting; [Resource.over_releases] keeps the tally. *)
+let release t bytes =
+  match Resource.release t.memory bytes with
+  | `Ok -> ()
+  | `Over_release _ -> Ironsafe_obs.Obs.count ~scope:"sim" "over_releases"
 
 let reset t =
   Clock.reset t.clock;

@@ -39,6 +39,11 @@ val allocate : t -> category:string -> int -> unit
 (** Track memory; beyond the node's limit, charges spill/thrash time. *)
 
 val release : t -> int -> unit
+(** Return bytes to the meter. A double release is absorbed (meter
+    clamps at zero) and counted — see {!Resource.release} — never
+    raised, so recovery paths that release twice degrade the
+    accounting instead of aborting the sweep. *)
+
 val reset : t -> unit
 
 val fixed_parallel : t -> category:string -> float -> unit

@@ -41,6 +41,11 @@ type t = {
   merkle_node_ns : float;  (** one internal HMAC (64-byte input) *)
   offload_session_ns : float;
       (** per offloaded sub-query: storage-side CS service instantiation *)
+  wal_append_ns : float;
+      (** one WAL record: encode + AES-CTR encrypt + chain HMAC *)
+  wal_flush_ns : float;
+      (** one group-commit flush: log-device write path (the RPMB
+          anchor bump is charged separately at [rpmb_access_ns]) *)
   (* Control path (trusted monitor) *)
   monitor_policy_ns : float;  (** policy parse + interpretation per query *)
   monitor_session_ns : float;  (** key issuance, proof signing, cleanup *)
@@ -75,6 +80,8 @@ let default =
     hmac_page_ns = 6_100.0;
     merkle_node_ns = 2_000.0;
     offload_session_ns = 600_000.0;
+    wal_append_ns = 1_800.0;
+    wal_flush_ns = 12_000.0;
     monitor_policy_ns = 2_500_000.0; (* the paper's interpreter is Python *)
     monitor_session_ns = 600_000.0;
     ias_roundtrip_ns = 140_000_000.0; (* paper Table 4: CAS response *)

@@ -10,13 +10,14 @@ type t = {
   mutable used : int;
   mutable high_water : int;
   mutable spilled : int;
+  mutable over_releases : int;
 }
 
 let create ?limit_bytes () =
   (match limit_bytes with
   | Some l when l <= 0 -> invalid_arg "Resource.create: non-positive limit"
   | _ -> ());
-  { limit_bytes; used = 0; high_water = 0; spilled = 0 }
+  { limit_bytes; used = 0; high_water = 0; spilled = 0; over_releases = 0 }
 
 let allocate t bytes =
   if bytes < 0 then invalid_arg "Resource.allocate: negative size";
@@ -30,21 +31,34 @@ let allocate t bytes =
   | _ -> `Fits
 
 (* Releasing more than is currently allocated is a caller bug (a
-   double release), not a clampable condition: under concurrent
-   interleavings a silent clamp-to-zero would mask the second release
-   and corrupt every later spill computation. *)
+   double release) — but one that recovery paths can hit when a crash
+   interrupts an allocate/release pair and the cleanup runs twice.
+   Raising here used to abort a whole fault-injection sweep on the
+   first double release; instead the meter clamps to zero, counts the
+   incident, and reports it as a typed result the caller can surface
+   without unwinding the simulation. Negative sizes remain a plain
+   programming error. *)
 let release t bytes =
   if bytes < 0 then invalid_arg "Resource.release: negative size";
-  if bytes > t.used then
-    invalid_arg "Resource.release: releasing more than allocated";
-  t.used <- t.used - bytes
+  if bytes > t.used then begin
+    let over = bytes - t.used in
+    t.used <- 0;
+    t.over_releases <- t.over_releases + 1;
+    `Over_release over
+  end
+  else begin
+    t.used <- t.used - bytes;
+    `Ok
+  end
 
 let reset t =
   t.used <- 0;
   t.high_water <- 0;
-  t.spilled <- 0
+  t.spilled <- 0;
+  t.over_releases <- 0
 
 let used t = t.used
 let high_water t = t.high_water
 let spilled_bytes t = t.spilled
+let over_releases t = t.over_releases
 let limit t = t.limit_bytes

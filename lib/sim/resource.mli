@@ -18,14 +18,21 @@ val allocate : t -> int -> [ `Fits | `Spill of int ]
     back below the limit does {e not} un-spill: the thrash already
     happened. *)
 
-val release : t -> int -> unit
-(** Return [bytes] to the meter.
-    @raise Invalid_argument if [bytes] is negative or exceeds the
-    currently allocated amount — a double release is a caller bug and
-    must not be silently clamped away. *)
+val release : t -> int -> [ `Ok | `Over_release of int ]
+(** Return [bytes] to the meter. Releasing more than is currently
+    allocated (a double release — recovery paths can hit this when a
+    crash interrupts an allocate/release pair and cleanup runs twice)
+    clamps the meter to zero, counts the incident ({!over_releases})
+    and reports the excess as [`Over_release excess] instead of
+    raising, so a fault-injection sweep degrades rather than aborts.
+    @raise Invalid_argument if [bytes] is negative. *)
 
 val reset : t -> unit
 val used : t -> int
 val high_water : t -> int
 val spilled_bytes : t -> int
+
+val over_releases : t -> int
+(** Double releases absorbed since the last {!reset}. *)
+
 val limit : t -> int option

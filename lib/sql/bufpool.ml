@@ -179,6 +179,21 @@ let clear t =
   in
   go t.lru.prev
 
+(* Drop every frame — dirty ones included — without touching the
+   backend. This is the power-loss path: after a crash the frames'
+   contents never existed, so writing them back would leak post-crash
+   state into the recovered medium. Pins are void after a crash. *)
+let invalidate t =
+  let rec go f =
+    if f != t.lru then begin
+      let prev = f.prev in
+      unlink f;
+      Hashtbl.remove t.tbl f.page;
+      go prev
+    end
+  in
+  go t.lru.prev
+
 (* -- pinning -------------------------------------------------------- *)
 
 let pin t i =

@@ -37,6 +37,12 @@ val flush : t -> unit
 val clear : t -> unit
 (** Write back and drop every unpinned frame. *)
 
+val invalidate : t -> unit
+(** Drop {e every} frame, dirty or pinned, with no write-back — the
+    power-loss path: after a crash the cached contents never existed,
+    so flushing them would leak post-crash state into the recovered
+    medium. *)
+
 val pin : t -> int -> unit
 (** Fault the page in (if absent) and make it unevictable. Counts as a
     hit/miss like a read.

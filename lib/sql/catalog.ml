@@ -81,6 +81,12 @@ let rebuild_index t idx =
 let rebuild_indexes t table =
   List.iter (rebuild_index t) (indexes_for t table)
 
+(* After the pager's backing store has been crash-recovered: re-anchor
+   every heap file on its storage image and repopulate the indexes. *)
+let reload_tables t =
+  Hashtbl.iter (fun _ hf -> Heap_file.reload hf) t.tables;
+  Hashtbl.iter (fun table _ -> rebuild_indexes t table) t.indexes
+
 let create_index t ~index_name ~table ~column =
   let index_name = String.lowercase_ascii index_name in
   if Hashtbl.mem t.index_names index_name then raise (Duplicate_index index_name);

@@ -28,5 +28,11 @@ val index_on : t -> table:string -> column:string -> Index.t option
 val rebuild_indexes : t -> string -> unit
 (** Repopulate every index of [table] (after UPDATE/DELETE rewrites). *)
 
+val reload_tables : t -> unit
+(** Rebuild every heap file's volatile state from the on-storage image
+    and repopulate all indexes — the SQL layer's part of crash
+    recovery, after the backing store has been recovered underneath
+    the shared pager (see {!Heap_file.reload}). *)
+
 val note_insert : t -> table:string -> page:int -> Row.t -> unit
 (** Index-maintenance hook for freshly appended rows. *)

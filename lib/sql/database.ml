@@ -22,6 +22,7 @@ let create ~pager =
   }
 
 let catalog t = t.catalog
+let reload_storage t = Catalog.reload_tables t.catalog
 
 let set_observer t obs =
   t.observer <- obs;

@@ -12,6 +12,11 @@ type outcome =
 val create : pager:Pager.t -> t
 val catalog : t -> Catalog.t
 
+val reload_storage : t -> unit
+(** Re-anchor every table on the pager's current storage image and
+    rebuild all indexes ({!Catalog.reload_tables}). Call after the
+    backing store has been crash-recovered underneath the pager. *)
+
 val set_observer : t -> Observer.t -> unit
 (** Install the execution observer (also wired into the pager). *)
 

@@ -85,6 +85,49 @@ let flush t = flush_current t
 
 let stored_pages t = List.rev t.pages
 
+(* Rebuild the volatile write cursor and row count from the on-storage
+   image. After a crash-and-recover of the backing store, the pages
+   hold only durably committed rows while the in-memory cursor may
+   still carry rows whose commit was lost — without this, the next
+   append would resurrect them. A page the recovered store can no
+   longer serve (allocated by a rolled-back transaction, so never
+   durably written) is dropped from the file; allocations are monotone,
+   so such pages can only form a tail. *)
+let reload t =
+  let arity = Schema.arity t.schema in
+  let kept = ref [] in
+  let count = ref 0 in
+  let last = ref None in
+  (try
+     List.iter
+       (fun page ->
+         let payload = Pager.read t.pager page in
+         let nrows =
+           (Char.code payload.[0] lsl 8) lor Char.code payload.[1]
+         in
+         let off = ref 2 in
+         for _ = 1 to nrows do
+           let _, next = Row.decode ~arity payload !off in
+           off := next
+         done;
+         kept := page :: !kept;
+         count := !count + nrows;
+         last := Some (page, nrows, String.sub payload 2 (!off - 2)))
+       (stored_pages t)
+   with _ -> () (* unreadable tail: rolled-back allocation *));
+  t.pages <- !kept;
+  t.row_count <- !count;
+  Buffer.clear t.cur_buf;
+  (match !last with
+  | None ->
+      t.cur_page <- None;
+      t.cur_rows <- 0
+  | Some (page, nrows, rows_bytes) ->
+      t.cur_page <- Some page;
+      t.cur_rows <- nrows;
+      Buffer.add_string t.cur_buf rows_bytes);
+  t.dirty <- false
+
 let iter_pages t pages ~f =
   flush t;
   let arity = Schema.arity t.schema in

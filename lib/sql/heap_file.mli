@@ -30,3 +30,10 @@ val rewrite : t -> f:(Row.t -> [ `Keep | `Replace of Row.t | `Delete ]) -> int
 
 val stored_pages : t -> int list
 (** Page ids backing this file, in scan order. *)
+
+val reload : t -> unit
+(** Rebuild the volatile write cursor and row count from the
+    on-storage image, discarding buffered rows and any trailing page
+    the pager can no longer serve. Used after the backing store has
+    been crash-recovered underneath the file: the storage image (only
+    durably committed rows) becomes the truth again. *)

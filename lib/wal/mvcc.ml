@@ -1,0 +1,120 @@
+(* Multi-version page overlay (see mvcc.mli).
+
+   Versions per page are kept newest-first; visibility is "newest
+   version with lsn <= snapshot". The base store is a version too: its
+   per-page stamp lives in [base_lsns] (0 = populated before any
+   logged commit) and checkpoints advance it after preserving the old
+   content for older pinned snapshots. *)
+
+type t = {
+  versions : (int, (int * string) list) Hashtbl.t;  (* page -> newest first *)
+  base_lsns : (int, int) Hashtbl.t;  (* page -> lsn stamped on base *)
+  pins : (int, int) Hashtbl.t;  (* snapshot lsn -> pin count *)
+  mutable latest : int;
+}
+
+let create () =
+  {
+    versions = Hashtbl.create 64;
+    base_lsns = Hashtbl.create 64;
+    pins = Hashtbl.create 8;
+    latest = 0;
+  }
+
+let latest t = t.latest
+
+let base_lsn t page = Option.value ~default:0 (Hashtbl.find_opt t.base_lsns page)
+let set_base_lsn t page lsn = Hashtbl.replace t.base_lsns page lsn
+
+let push t page (lsn, data) =
+  let vs = Option.value ~default:[] (Hashtbl.find_opt t.versions page) in
+  (* keep the list strictly newest-first; equal-lsn replaces *)
+  let vs = List.filter (fun (l, _) -> l <> lsn) vs in
+  let rec insert = function
+    | (l, _) :: _ as rest when l < lsn -> (lsn, data) :: rest
+    | v :: rest -> v :: insert rest
+    | [] -> [ (lsn, data) ]
+  in
+  Hashtbl.replace t.versions page (insert vs)
+
+let install t ~lsn pages =
+  if lsn < t.latest then invalid_arg "Mvcc.install: non-monotonic commit lsn";
+  List.iter (fun (page, data) -> push t page (lsn, data)) pages;
+  t.latest <- max t.latest lsn
+
+let read t ~at page =
+  match Hashtbl.find_opt t.versions page with
+  | None -> None
+  | Some vs -> (
+      match List.find_opt (fun (l, _) -> l <= at) vs with
+      | Some (_, data) -> Some data
+      | None ->
+          (* every overlay version is newer than the snapshot; the base
+             must still carry old-enough content (preserve_base keeps
+             this invariant across checkpoints) *)
+          None)
+
+let preserve_base t ~page ~lsn ~data =
+  let vs = Option.value ~default:[] (Hashtbl.find_opt t.versions page) in
+  if not (List.exists (fun (l, _) -> l = lsn) vs) then push t page (lsn, data)
+
+let snapshot t =
+  let s = t.latest in
+  Hashtbl.replace t.pins s
+    (1 + Option.value ~default:0 (Hashtbl.find_opt t.pins s));
+  s
+
+let active_snapshots t =
+  Hashtbl.fold (fun s n acc -> if n > 0 then s :: acc else acc) t.pins []
+  |> List.sort compare
+
+let min_active t = match active_snapshots t with [] -> None | s :: _ -> Some s
+
+(* A version (page, lsn) is observable if some viewpoint v (an active
+   snapshot or the latest horizon) satisfies: lsn <= v, no newer
+   overlay version of the page is in (lsn, v], and the base copy does
+   not already serve v at least as freshly (base_lsn in [lsn, v] —
+   checkpoints stamp base with the version they wrote back, making the
+   overlay copy redundant). Everything else is garbage. *)
+let gc t =
+  let views = t.latest :: active_snapshots t in
+  Hashtbl.iter
+    (fun page vs ->
+      let b = base_lsn t page in
+      let keep =
+        List.filter
+          (fun (l, _) ->
+            List.exists
+              (fun v ->
+                l <= v
+                && (not (List.exists (fun (l', _) -> l' > l && l' <= v) vs))
+                && not (b >= l && b <= v))
+              views)
+          vs
+      in
+      if keep = [] then Hashtbl.remove t.versions page
+      else Hashtbl.replace t.versions page keep)
+    (Hashtbl.copy t.versions)
+
+let release t s =
+  (match Hashtbl.find_opt t.pins s with
+  | Some n when n > 1 -> Hashtbl.replace t.pins s (n - 1)
+  | Some _ -> Hashtbl.remove t.pins s
+  | None -> invalid_arg "Mvcc.release: snapshot not pinned");
+  gc t
+
+let newest_versions t =
+  Hashtbl.fold
+    (fun page vs acc ->
+      match vs with (l, d) :: _ -> (page, (l, d)) :: acc | [] -> acc)
+    t.versions []
+  |> List.sort compare
+
+let version_count t =
+  Hashtbl.fold (fun _ vs acc -> acc + List.length vs) t.versions 0
+
+let clear t =
+  Hashtbl.reset t.versions;
+  Hashtbl.reset t.base_lsns;
+  Hashtbl.reset t.pins;
+  t.latest <- 0

@@ -1,0 +1,56 @@
+(** Multi-version overlay for snapshot reads.
+
+    Committed page versions are kept in an in-memory overlay map keyed
+    by page, newest first, each stamped with its commit LSN. A snapshot
+    pins a commit LSN; a read at LSN [s] resolves to the newest overlay
+    version with [lsn <= s], falling back to the base store when the
+    base itself is old enough ([base_lsn page <= s]). Checkpoints that
+    overwrite base pages first {!preserve_base} the old content for any
+    older active snapshot, then advance [base_lsn]. *)
+
+type t
+
+val create : unit -> t
+
+val install : t -> lsn:int -> (int * string) list -> unit
+(** Publish the page images of one committed transaction at its commit
+    LSN. LSNs must be installed in increasing order. *)
+
+val latest : t -> int
+(** Highest installed commit LSN (0 before any commit). *)
+
+val read : t -> at:int -> int -> string option
+(** Newest overlay version of the page visible at snapshot [at], or
+    [None] when the base store is authoritative. *)
+
+val base_lsn : t -> int -> int
+val set_base_lsn : t -> int -> int -> unit
+
+val preserve_base : t -> page:int -> lsn:int -> data:string -> unit
+(** Keep the current base content of [page] (stamped with its base
+    LSN) in the overlay before a checkpoint overwrites it, so older
+    pinned snapshots keep resolving. *)
+
+val snapshot : t -> int
+(** Pin the current {!latest} LSN; the returned LSN stays readable
+    until {!release}. *)
+
+val release : t -> int -> unit
+(** Drop one pin on the snapshot LSN and garbage-collect overlay
+    versions no longer visible to any active snapshot. *)
+
+val active_snapshots : t -> int list
+(** Distinct pinned LSNs, ascending. *)
+
+val min_active : t -> int option
+
+val newest_versions : t -> (int * (int * string)) list
+(** [(page, (lsn, data))] of the newest committed version per page —
+    what a checkpoint writes back to base. Ascending page order. *)
+
+val gc : t -> unit
+(** Drop overlay versions that no active snapshot (nor latest-read)
+    can still observe. *)
+
+val version_count : t -> int
+val clear : t -> unit

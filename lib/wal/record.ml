@@ -1,0 +1,91 @@
+(* WAL record payloads: tag byte, big-endian fixed-width integers,
+   length-prefixed page data. The LSN is intentionally not encoded
+   here — it travels in the clear frame header so the HMAC chain can
+   be verified before decryption (see wal.ml). *)
+
+type payload =
+  | Begin of { txn : int }
+  | Page_write of { txn : int; page : int; data : string }
+  | Commit of { txn : int }
+
+type t = { lsn : int; payload : payload }
+
+let kind_name = function
+  | Begin _ -> "begin"
+  | Page_write _ -> "page_write"
+  | Commit _ -> "commit"
+
+let txn_of = function
+  | Begin { txn } | Commit { txn } -> txn
+  | Page_write { txn; _ } -> txn
+
+let max_data_bytes = Ironsafe_storage.Block_device.page_size
+
+let put_u64 buf v =
+  for i = 7 downto 0 do
+    Buffer.add_char buf (Char.chr ((v lsr (i * 8)) land 0xff))
+  done
+
+let put_u32 buf v =
+  for i = 3 downto 0 do
+    Buffer.add_char buf (Char.chr ((v lsr (i * 8)) land 0xff))
+  done
+
+let get_u64 s off =
+  let v = ref 0 in
+  for i = 0 to 7 do
+    v := (!v lsl 8) lor Char.code s.[off + i]
+  done;
+  !v
+
+let get_u32 s off =
+  let v = ref 0 in
+  for i = 0 to 3 do
+    v := (!v lsl 8) lor Char.code s.[off + i]
+  done;
+  !v
+
+let tag_begin = '\001'
+let tag_page_write = '\002'
+let tag_commit = '\003'
+
+let encode p =
+  let buf = Buffer.create 32 in
+  (match p with
+  | Begin { txn } ->
+      Buffer.add_char buf tag_begin;
+      put_u64 buf txn
+  | Commit { txn } ->
+      Buffer.add_char buf tag_commit;
+      put_u64 buf txn
+  | Page_write { txn; page; data } ->
+      if String.length data > max_data_bytes then
+        invalid_arg "Record.encode: page data exceeds one device page";
+      Buffer.add_char buf tag_page_write;
+      put_u64 buf txn;
+      put_u32 buf page;
+      put_u32 buf (String.length data);
+      Buffer.add_string buf data);
+  Buffer.contents buf
+
+let decode s =
+  let n = String.length s in
+  if n < 9 then Error "record too short"
+  else
+    match s.[0] with
+    | c when c = tag_begin ->
+        if n <> 9 then Error "begin: trailing bytes"
+        else Ok (Begin { txn = get_u64 s 1 })
+    | c when c = tag_commit ->
+        if n <> 9 then Error "commit: trailing bytes"
+        else Ok (Commit { txn = get_u64 s 1 })
+    | c when c = tag_page_write ->
+        if n < 17 then Error "page_write: header truncated"
+        else begin
+          let txn = get_u64 s 1 in
+          let page = get_u32 s 9 in
+          let len = get_u32 s 13 in
+          if n <> 17 + len then Error "page_write: data length mismatch"
+          else Ok (Page_write { txn; page; data = String.sub s 17 len })
+        end
+    | _ -> Error "unknown record tag"

@@ -1,0 +1,28 @@
+(** WAL record payloads and their binary encoding.
+
+    A record's log sequence number (LSN) is not part of the payload
+    encoding: it lives in the clear frame header (see {!Wal}) where the
+    HMAC chain binds it, so recovery can walk the chain before any
+    decryption happens. *)
+
+type payload =
+  | Begin of { txn : int }  (** transaction start *)
+  | Page_write of { txn : int; page : int; data : string }
+      (** redo image: the full post-write plaintext of one page *)
+  | Commit of { txn : int }  (** transaction commit point *)
+
+type t = { lsn : int; payload : payload }
+
+val kind_name : payload -> string
+(** ["begin"], ["page_write"] or ["commit"] (used in JSONL events). *)
+
+val txn_of : payload -> int
+
+val encode : payload -> string
+(** Binary encoding (tag byte + big-endian fixed-width fields). *)
+
+val decode : string -> (payload, string) result
+(** Inverse of {!encode}; [Error] on truncated or unknown encodings. *)
+
+val max_data_bytes : int
+(** Largest page image a [Page_write] may carry (one device page). *)

@@ -1,0 +1,427 @@
+(* Transactional store façade (see txn_store.mli).
+
+   Write path: pager_write logs a Page_write record and buffers the
+   image in the open transaction; commit logs the Commit record and
+   installs the images in the MVCC overlay at the commit LSN. The base
+   store only changes at checkpoints (newest committed version per
+   page written back, then the log truncated) and at recovery redo.
+   Reads resolve txn buffer -> overlay (at the pinned snapshot or the
+   latest commit) -> base. *)
+
+module Sec = Ironsafe_securestore.Secure_store
+module Block_device = Ironsafe_storage.Block_device
+module Fault = Ironsafe_fault.Fault
+module Obs = Ironsafe_obs.Obs
+module Ev = Ironsafe_obs.Event_log
+
+exception Base_failure of string
+
+type error = Wal_error of Wal.error | Store_error of string
+
+let pp_error ppf = function
+  | Wal_error e -> Format.fprintf ppf "wal: %a" Wal.pp_error e
+  | Store_error m -> Format.fprintf ppf "store: %s" m
+
+type stats = {
+  mutable commits : int;
+  mutable durable_commits : int;
+  mutable group_flushes : int;
+  mutable max_group : int;
+  mutable checkpoints : int;
+  mutable snapshot_reads : int;
+  mutable redo_pages : int;
+}
+
+type base = {
+  b_read : int -> string;
+  b_write : int -> string -> unit;
+  b_flush : unit -> unit;
+  b_cached : int -> bool;
+}
+
+type txn = {
+  txn_id : int;
+  mutable writes : (int * string) list;  (* newest first *)
+  mutable live : bool;
+}
+
+type t = {
+  mutable store : Sec.t;
+  mutable wal : Wal.t;
+  mvcc : Mvcc.t;
+  mutable base : base;
+  mutable device : Block_device.t;
+  mutable logging : bool;
+  mutable next_txn : int;
+  mutable current : txn option;
+  mutable read_pin : int option;
+  window_ns : float;
+  max_group : int;
+  mutable clock : unit -> float;
+  mutable faults : Fault.t;
+  mutable deadline : float option;
+  mutable unacked : (int * int) list;  (* (commit lsn, txn id), oldest first *)
+  st : stats;
+}
+
+let obs_scope = "wal"
+
+let store_error e = Fmt.str "%a" Sec.pp_error e
+
+let direct_base store_of =
+  {
+    b_read =
+      (fun page ->
+        match Sec.read_page (store_of ()) page with
+        | Ok data -> data
+        | Error e -> raise (Base_failure (store_error e)));
+    b_write =
+      (fun page data ->
+        match Sec.write_page (store_of ()) page data with
+        | Ok () -> ()
+        | Error e -> raise (Base_failure (store_error e)));
+    b_flush = (fun () -> ());
+    b_cached = (fun _ -> false);
+  }
+
+let attach ~store ~wal ~device ?(window_ns = 0.0) ?(max_group = 64) () =
+  let t =
+    {
+      store;
+      wal;
+      mvcc = Mvcc.create ();
+      base =
+        { b_read = (fun _ -> assert false);
+          b_write = (fun _ _ -> assert false);
+          b_flush = (fun () -> ());
+          b_cached = (fun _ -> false);
+        };
+      device;
+      logging = false;
+      next_txn = 1;
+      current = None;
+      read_pin = None;
+      window_ns;
+      max_group;
+      clock = (fun () -> 0.0);
+      faults = Fault.none;
+      deadline = None;
+      unacked = [];
+      st =
+        {
+          commits = 0;
+          durable_commits = 0;
+          group_flushes = 0;
+          max_group = 0;
+          checkpoints = 0;
+          snapshot_reads = 0;
+          redo_pages = 0;
+        };
+    }
+  in
+  (* the default base dereferences [t.store] at call time, so [adopt]
+     can swap the store under existing closures *)
+  t.base <- direct_base (fun () -> t.store);
+  t
+
+let engage t = t.logging <- true
+let engaged t = t.logging
+
+let set_clock t clock =
+  t.clock <- clock;
+  Wal.set_clock t.wal clock
+
+let set_faults t plan =
+  t.faults <- plan;
+  Wal.set_faults t.wal plan
+
+let store t = t.store
+let wal t = t.wal
+let mvcc_latest t = Mvcc.latest t.mvcc
+let stats t = t.st
+
+let route_base t ~read ~write ~flush ~cached =
+  t.base <- { b_read = read; b_write = write; b_flush = flush; b_cached = cached }
+
+(* --- transactions --------------------------------------------------- *)
+
+let begin_txn t =
+  let txn = { txn_id = t.next_txn; writes = []; live = true } in
+  t.next_txn <- t.next_txn + 1;
+  ignore (Wal.append t.wal (Record.Begin { txn = txn.txn_id }));
+  txn
+
+let txn_write t txn ~page data =
+  if not txn.live then invalid_arg "Txn_store.txn_write: transaction closed";
+  if String.length data > Record.max_data_bytes then
+    invalid_arg "Txn_store.txn_write: page image too large";
+  ignore (Wal.append t.wal (Record.Page_write { txn = txn.txn_id; page; data }));
+  txn.writes <- (page, data) :: List.remove_assoc page txn.writes
+
+let overlay_read t page =
+  let at = match t.read_pin with Some s -> s | None -> Mvcc.latest t.mvcc in
+  match Mvcc.read t.mvcc ~at page with
+  | Some data -> Some data
+  | None ->
+      (* the base must be old enough for this viewpoint; checkpoints
+         preserve_base before overwriting pages older snapshots need *)
+      None
+
+let txn_read t txn page =
+  match List.assoc_opt page txn.writes with
+  | Some data -> data
+  | None -> (
+      match overlay_read t page with
+      | Some data -> data
+      | None -> t.base.b_read page)
+
+(* Acknowledge every commit the WAL's durable horizon now covers. *)
+let ack_flushed t =
+  let durable = Wal.durable_lsn t.wal in
+  let acked, still = List.partition (fun (lsn, _) -> lsn <= durable) t.unacked in
+  t.unacked <- still;
+  (match acked with
+  | [] -> ()
+  | _ ->
+      let n = List.length acked in
+      t.st.durable_commits <- t.st.durable_commits + n;
+      t.st.group_flushes <- t.st.group_flushes + 1;
+      if n > t.st.max_group then t.st.max_group <- n;
+      if Obs.enabled () then
+        List.iter
+          (fun (lsn, txn) ->
+            Obs.event ~ts_ns:(t.clock ()) ~scope:obs_scope ~kind:"wal.commit"
+              [ ("lsn", Ev.I lsn); ("txn", Ev.I txn); ("group", Ev.I n) ])
+          acked);
+  if t.unacked = [] then t.deadline <- None
+
+let flush t =
+  match Wal.flush t.wal with
+  | Ok () ->
+      ack_flushed t;
+      Ok ()
+  | Error e -> Error (Wal_error e)
+
+let tick t =
+  match t.deadline with
+  | Some d when t.clock () >= d -> flush t
+  | _ -> Ok ()
+
+let commit_txn ?(sync = false) t txn =
+  if not txn.live then invalid_arg "Txn_store.commit_txn: transaction closed";
+  txn.live <- false;
+  let lsn = Wal.append t.wal (Record.Commit { txn = txn.txn_id }) in
+  (* visible to new snapshots immediately; durability is the flush's
+     job (a crash before the ack rolls the whole group back) *)
+  Mvcc.install t.mvcc ~lsn (List.rev txn.writes);
+  t.unacked <- t.unacked @ [ (lsn, txn.txn_id) ];
+  t.st.commits <- t.st.commits + 1;
+  let force = sync || t.window_ns <= 0.0 || List.length t.unacked >= t.max_group in
+  if force then
+    match flush t with
+    | Ok () -> Ok (`Durable lsn)
+    | Error e -> Error e
+  else begin
+    if t.deadline = None then t.deadline <- Some (t.clock () +. t.window_ns);
+    Ok (`Queued lsn)
+  end
+
+(* --- pager-shaped access (implicit statement transactions) ---------- *)
+
+let pager_read t page =
+  if not t.logging then t.base.b_read page
+  else
+    match t.current with
+    | Some txn when txn.live -> txn_read t txn page
+    | _ -> (
+        match overlay_read t page with
+        | Some data -> data
+        | None -> t.base.b_read page)
+
+let pager_write t page data =
+  if not t.logging then t.base.b_write page data
+  else begin
+    let txn =
+      match t.current with
+      | Some txn when txn.live -> txn
+      | _ ->
+          let txn = begin_txn t in
+          t.current <- Some txn;
+          txn
+    in
+    txn_write t txn ~page data
+  end
+
+let pager_cached t page =
+  if not t.logging then t.base.b_cached page
+  else
+    match t.current with
+    | Some txn when txn.live && List.mem_assoc page txn.writes -> true
+    | _ -> (
+        match overlay_read t page with
+        | Some _ -> true
+        | None -> t.base.b_cached page)
+
+let commit_current ?sync t =
+  match t.current with
+  | None -> Ok `Empty
+  | Some txn ->
+      t.current <- None;
+      if txn.writes = [] then begin
+        (* Begin with no writes: close it with an empty commit so the
+           log stays well-formed, but don't force a flush for it. *)
+        txn.live <- false;
+        ignore (Wal.append t.wal (Record.Commit { txn = txn.txn_id }));
+        Ok `Empty
+      end
+      else (
+        match commit_txn ?sync t txn with
+        | Ok (`Durable l) -> Ok (`Durable l)
+        | Ok (`Queued l) -> Ok (`Queued l)
+        | Error e -> Error e)
+
+let abort_current t =
+  match t.current with
+  | None -> ()
+  | Some txn ->
+      txn.live <- false;
+      t.current <- None
+
+let unacked_commits t = List.length t.unacked
+
+(* --- snapshots ------------------------------------------------------ *)
+
+let snapshot t =
+  t.st.snapshot_reads <- t.st.snapshot_reads + 1;
+  Mvcc.snapshot t.mvcc
+
+let release_snapshot t s = Mvcc.release t.mvcc s
+
+let with_snapshot t f =
+  let s = snapshot t in
+  let prev = t.read_pin in
+  t.read_pin <- Some s;
+  Fun.protect
+    ~finally:(fun () ->
+      t.read_pin <- prev;
+      release_snapshot t s)
+    (fun () -> f s)
+
+(* --- checkpoint ----------------------------------------------------- *)
+
+let checkpoint t =
+  match flush t with
+  | Error e -> Error e
+  | Ok () -> (
+      t.st.checkpoints <- t.st.checkpoints + 1;
+      let newest = Mvcc.newest_versions t.mvcc in
+      let oldest_pin = Mvcc.min_active t.mvcc in
+      let wrote = ref 0 in
+      List.iter
+        (fun (page, (lsn, data)) ->
+          let b = Mvcc.base_lsn t.mvcc page in
+          if lsn > b then begin
+            (* an older pinned snapshot may still need the current
+               base image once we overwrite it *)
+            (match oldest_pin with
+            | Some s when s < lsn && b <= s ->
+                Mvcc.preserve_base t.mvcc ~page ~lsn:b
+                  ~data:(t.base.b_read page)
+            | _ -> ());
+            t.base.b_write page data;
+            incr wrote;
+            if Fault.fire t.faults Fault.Wal_torn_checkpoint then begin
+              (* power loss mid write-back: the page reached the
+                 device but loses a byte — redo must heal it (data
+                 page [p] lives at device page [p]) *)
+              t.base.b_flush ();
+              Block_device.tamper t.device ~page
+                ~offset:(Fault.rand_int t.faults Block_device.page_size);
+              raise (Wal.Crashed Fault.Wal_torn_checkpoint)
+            end;
+            Mvcc.set_base_lsn t.mvcc page lsn
+          end)
+        newest;
+      t.base.b_flush ();
+      match Wal.truncate t.wal with
+      | Error e -> Error (Wal_error e)
+      | Ok () ->
+          Mvcc.gc t.mvcc;
+          if Obs.enabled () then
+            Obs.event ~ts_ns:(t.clock ()) ~scope:obs_scope ~kind:"wal.checkpoint"
+              [
+                ("pages", Ev.I !wrote);
+                ("epoch", Ev.I (Wal.epoch t.wal));
+                ("durable_lsn", Ev.I (Wal.durable_lsn t.wal));
+              ];
+          Ok ())
+
+(* --- recovery ------------------------------------------------------- *)
+
+(* Redo: walk the recovered records in LSN order, buffer page images
+   per transaction, and apply each transaction's writes at its Commit
+   record — commit order equals LSN order, so later commits win. *)
+let redo_records t records =
+  let open_txns : (int, (int * string) list ref) Hashtbl.t = Hashtbl.create 8 in
+  let applied = ref 0 in
+  List.iter
+    (fun { Record.payload; _ } ->
+      match payload with
+      | Record.Begin { txn } -> Hashtbl.replace open_txns txn (ref [])
+      | Record.Page_write { txn; page; data } -> (
+          match Hashtbl.find_opt open_txns txn with
+          | Some ws -> ws := (page, data) :: List.remove_assoc page !ws
+          | None -> ())
+      | Record.Commit { txn } -> (
+          match Hashtbl.find_opt open_txns txn with
+          | Some ws ->
+              List.iter
+                (fun (page, data) ->
+                  t.base.b_write page data;
+                  incr applied)
+                (List.rev !ws);
+              Hashtbl.remove open_txns txn
+          | None -> ()))
+    records;
+  !applied
+
+let adopt t ~store ~wal ~records =
+  (* volatile state died with the crash *)
+  t.store <- store;
+  t.wal <- wal;
+  t.current <- None;
+  t.read_pin <- None;
+  t.deadline <- None;
+  t.unacked <- [];
+  Mvcc.clear t.mvcc;
+  Wal.set_clock wal t.clock;
+  Wal.set_faults wal t.faults;
+  match
+    let applied = redo_records t records in
+    t.base.b_flush ();
+    t.st.redo_pages <- t.st.redo_pages + applied;
+    Wal.truncate t.wal
+  with
+  | Ok () ->
+      if Obs.enabled () then
+        Obs.event ~ts_ns:(t.clock ()) ~scope:obs_scope ~kind:"wal.redo"
+          [
+            ("records", Ev.I (List.length records));
+            ("pages", Ev.I t.st.redo_pages);
+            ("epoch", Ev.I (Wal.epoch t.wal));
+          ];
+      Ok ()
+  | Error e -> Error (Wal_error e)
+  | exception Base_failure m -> Error (Store_error m)
+
+let state_hash t ~pages =
+  let parts =
+    List.concat_map
+      (fun page -> [ Printf.sprintf "%08x" page; pager_read t page ])
+      (List.sort_uniq compare pages)
+  in
+  (* the epoch is deliberately excluded: every truncation bumps it, so
+     two recoveries of the same durable state legitimately differ in
+     epoch while their logical state is identical *)
+  let horizon = Printf.sprintf "durable=%d" (Wal.durable_lsn t.wal) in
+  Ironsafe_crypto.Sha256.digest_list (parts @ [ horizon ])

@@ -1,0 +1,506 @@
+(* Encrypted, HMAC-chained write-ahead log (see wal.mli for the frame
+   and anchor layout).
+
+   Keys: both WAL keys derive from the hardware unique key via HKDF
+   with WAL-specific info strings, so they are stable across reboots
+   (recovery needs them with no state but the media) and disjoint from
+   every page-store key. Record nonces are
+   SHA256("ironsafe-wal-nonce" | boot_salt | epoch | lsn)[0..16) with a
+   fresh 16-byte DRBG salt per boot: the (key, nonce) pair can never
+   recur, even when a crash makes the same (epoch, lsn) slot be written
+   twice across a reboot. The nonce travels in the frame and is bound
+   by the chain MAC, so decryption at recovery needs no salt. *)
+
+module C = Ironsafe_crypto
+module S = Ironsafe_storage
+module Obs = Ironsafe_obs.Obs
+module Ev = Ironsafe_obs.Event_log
+module Fault = Ironsafe_fault.Fault
+
+let obs_scope = "wal"
+let anchor_slot = 2
+let frame_header = 4 + 8 + 16 + 32
+
+(* largest well-formed ciphertext: a Page_write of one device page *)
+let max_ciphertext = 17 + S.Block_device.page_size + 64
+
+type error =
+  | Truncated of { durable_lsn : int; last_valid_lsn : int }
+  | Tampered_record of int
+  | Anchor_mismatch
+  | Anchor_missing
+  | Corrupt_record of int * string
+  | Log_full
+  | Rpmb_error of S.Rpmb.error
+
+let pp_error ppf = function
+  | Truncated { durable_lsn; last_valid_lsn } ->
+      Fmt.pf ppf
+        "log truncated: anchored horizon %d but chain ends at %d (rollback?)"
+        durable_lsn last_valid_lsn
+  | Tampered_record lsn -> Fmt.pf ppf "record %d failed chain-MAC check" lsn
+  | Anchor_mismatch ->
+      Fmt.string ppf "chain MAC does not reproduce the RPMB anchor (replay/fork?)"
+  | Anchor_missing -> Fmt.string ppf "WAL anchor not initialized"
+  | Corrupt_record (lsn, msg) -> Fmt.pf ppf "record %d corrupt: %s" lsn msg
+  | Log_full -> Fmt.string ppf "log device full"
+  | Rpmb_error e -> Fmt.pf ppf "RPMB: %a" S.Rpmb.pp_error e
+
+exception Crashed of Fault.site
+
+type stats = {
+  mutable appends : int;
+  mutable flushes : int;
+  mutable records_flushed : int;
+  mutable anchors : int;
+  mutable bytes_logged : int;
+  mutable recovered_records : int;
+  mutable discarded_records : int;
+}
+
+let fresh_stats () =
+  {
+    appends = 0;
+    flushes = 0;
+    records_flushed = 0;
+    anchors = 0;
+    bytes_logged = 0;
+    recovered_records = 0;
+    discarded_records = 0;
+  }
+
+type t = {
+  device : S.Block_device.t;
+  rpmb : S.Rpmb.t;
+  rpmb_key : string;
+  enc_key : C.Aes.key;
+  mac_prekey : C.Hmac.prekey;
+  boot_salt : string;
+  mutable epoch : int;
+  mutable trunc_lsn : int;  (* horizon of the last truncation *)
+  mutable durable_lsn : int;  (* highest anchored lsn *)
+  mutable next_lsn : int;
+  mutable chain_mac : string;  (* MAC of the last appended record *)
+  mutable persisted : int;  (* log bytes on device *)
+  pending : (int * string) Queue.t;  (* (lsn, frame) not yet on device *)
+  st : stats;
+  mutable faults : Fault.t;
+  mutable clock : unit -> float;
+}
+
+let durable_lsn t = t.durable_lsn
+let next_lsn t = t.next_lsn
+let epoch t = t.epoch
+let pending_records t = Queue.length t.pending
+let persisted_bytes t = t.persisted
+let stats t = t.st
+let set_faults t plan = t.faults <- plan
+let set_clock t clock = t.clock <- clock
+
+(* -- integer (de)serialization over the clear frame header ------------ *)
+
+let put_u64 b off v =
+  for i = 0 to 7 do
+    Bytes.set b (off + i) (Char.chr ((v lsr ((7 - i) * 8)) land 0xff))
+  done
+
+let put_u32 b off v =
+  for i = 0 to 3 do
+    Bytes.set b (off + i) (Char.chr ((v lsr ((3 - i) * 8)) land 0xff))
+  done
+
+let get_u64 s off =
+  let v = ref 0 in
+  for i = 0 to 7 do
+    v := (!v lsl 8) lor Char.code s.[off + i]
+  done;
+  !v
+
+let get_u32 s off =
+  let v = ref 0 in
+  for i = 0 to 3 do
+    v := (!v lsl 8) lor Char.code s.[off + i]
+  done;
+  !v
+
+(* -- keys, nonces, chain ---------------------------------------------- *)
+
+let derive_keys ~hardware_key =
+  let enc =
+    C.Aes.expand_key
+      (C.Hkdf.derive ~ikm:hardware_key ~info:"ironsafe-wal-enc" 16)
+  in
+  let mac = C.Hkdf.derive ~ikm:hardware_key ~info:"ironsafe-wal-mac" 32 in
+  (enc, C.Hmac.precompute ~key:mac)
+
+let nonce_for t lsn =
+  String.sub
+    (C.Sha256.digest_list
+       [
+         "ironsafe-wal-nonce";
+         t.boot_salt;
+         Printf.sprintf "%016x|%016x" t.epoch lsn;
+       ])
+    0 16
+
+(* genesis MAC of the chain after a truncation at [trunc_lsn] during
+   [epoch]: both are anchored, so recovery reseeds identically *)
+let genesis_mac mac_prekey ~trunc_lsn ~epoch =
+  C.Hmac.mac_pre_list mac_prekey
+    [ "wal-genesis"; Printf.sprintf "%016x|%016x" trunc_lsn epoch ]
+
+let chain_next t ~lsn ~nonce ~ciphertext =
+  let lsn8 = Bytes.create 8 in
+  put_u64 lsn8 0 lsn;
+  C.Hmac.mac_pre_list t.mac_prekey
+    [ t.chain_mac; Bytes.to_string lsn8; nonce; ciphertext ]
+
+(* -- anchor (RPMB slot 2) --------------------------------------------- *)
+
+(* payload: epoch(8) | durable_lsn(8) | trunc_lsn(8) | chain_mac(32) *)
+let anchor_payload ~epoch ~durable_lsn ~trunc_lsn ~chain_mac =
+  let b = Bytes.create 56 in
+  put_u64 b 0 epoch;
+  put_u64 b 8 durable_lsn;
+  put_u64 b 16 trunc_lsn;
+  Bytes.blit_string chain_mac 0 b 24 32;
+  Bytes.to_string b
+
+let write_anchor t =
+  let payload =
+    anchor_payload ~epoch:t.epoch ~durable_lsn:t.durable_lsn
+      ~trunc_lsn:t.trunc_lsn ~chain_mac:t.chain_mac
+  in
+  let mark = Fault.incident_count t.faults in
+  let rec attempt n =
+    let frame =
+      S.Rpmb.make_write_frame ~key:t.rpmb_key ~slot:anchor_slot ~payload
+        ~write_counter:(S.Rpmb.read_counter t.rpmb)
+    in
+    t.st.anchors <- t.st.anchors + 1;
+    Obs.count ~scope:obs_scope "anchors";
+    match S.Rpmb.write t.rpmb frame with
+    | Ok _ ->
+        if n > 0 then Fault.note_recovered_since t.faults mark;
+        Ok ()
+    | Error (S.Rpmb.Counter_mismatch _) when Fault.enabled t.faults && n < 3 ->
+        Fault.note_retry t.faults ~action:"wal.rpmb.resync";
+        attempt (n + 1)
+    | Error e -> Error (Rpmb_error e)
+  in
+  attempt 0
+
+let read_anchor ~rpmb ~rpmb_key ~drbg =
+  let nonce = C.Drbg.generate drbg 16 in
+  match S.Rpmb.read rpmb ~nonce anchor_slot with
+  | Error e -> Error (Rpmb_error e)
+  | Ok frame ->
+      if not (S.Rpmb.verify_read_response ~key:rpmb_key ~nonce frame) then
+        Error (Rpmb_error S.Rpmb.Bad_mac)
+      else begin
+        let p = frame.S.Rpmb.payload in
+        let epoch = get_u64 p 0 in
+        if epoch = 0 then Error Anchor_missing
+        else
+          Ok
+            ( epoch,
+              get_u64 p 8 (* durable *),
+              get_u64 p 16 (* trunc *),
+              String.sub p 24 32 (* chain mac *) )
+      end
+
+(* -- byte-stream persistence over 4 KiB device pages ------------------ *)
+
+let device_bytes device =
+  S.Block_device.page_count device * S.Block_device.page_size
+
+(* Persist s[0, upto) at byte offset [off] of the log device
+   (read-modify-write of the boundary pages). [upto < length s] is the
+   torn-append crash shape: only a prefix of the frame reaches the
+   medium. *)
+let persist_bytes device ~off s upto =
+  if upto > 0 then begin
+    let ps = S.Block_device.page_size in
+    let first = off / ps and last = (off + upto - 1) / ps in
+    for p = first to last do
+      let page = Bytes.of_string (S.Block_device.read_page device p) in
+      let pstart = p * ps in
+      let s_from = max 0 (pstart - off) in
+      let d_from = max 0 (off - pstart) in
+      let n = min (upto - s_from) (ps - d_from) in
+      Bytes.blit_string s s_from page d_from n;
+      S.Block_device.write_page device p (Bytes.to_string page)
+    done
+  end
+
+(* Read [len] log bytes at [off]; None when the range leaves the
+   device. *)
+let read_bytes device ~off len =
+  if off + len > device_bytes device then None
+  else begin
+    let ps = S.Block_device.page_size in
+    let buf = Buffer.create len in
+    let first = off / ps and last = (off + len - 1) / ps in
+    for p = first to last do
+      let page = S.Block_device.read_page device p in
+      let pstart = p * ps in
+      let from = max 0 (off - pstart) in
+      let n = min (off + len - (pstart + from)) (ps - from) in
+      Buffer.add_substring buf page from n
+    done;
+    Some (Buffer.contents buf)
+  end
+
+(* -- frame construction ----------------------------------------------- *)
+
+let make_frame ~lsn ~nonce ~mac ~ciphertext =
+  let clen = String.length ciphertext in
+  let b = Bytes.create (frame_header + clen) in
+  put_u32 b 0 clen;
+  put_u64 b 4 lsn;
+  Bytes.blit_string nonce 0 b 12 16;
+  Bytes.blit_string mac 0 b 28 32;
+  Bytes.blit_string ciphertext 0 b frame_header clen;
+  Bytes.to_string b
+
+(* -- lifecycle --------------------------------------------------------- *)
+
+let make ~device ~rpmb ~hardware_key ~drbg ~epoch ~trunc_lsn ~durable_lsn
+    ~next_lsn ~chain_mac ~persisted =
+  let enc_key, mac_prekey = derive_keys ~hardware_key in
+  {
+    device;
+    rpmb;
+    rpmb_key = Ironsafe_securestore.Keyslot.derive_rpmb_auth_key ~hardware_key;
+    enc_key;
+    mac_prekey;
+    boot_salt = C.Drbg.generate drbg 16;
+    epoch;
+    trunc_lsn;
+    durable_lsn;
+    next_lsn;
+    chain_mac;
+    persisted;
+    pending = Queue.create ();
+    st = fresh_stats ();
+    faults = Fault.none;
+    clock = (fun () -> 0.0);
+  }
+
+let create ~device ~rpmb ~hardware_key ~drbg () =
+  let t =
+    make ~device ~rpmb ~hardware_key ~drbg ~epoch:1 ~trunc_lsn:0 ~durable_lsn:0
+      ~next_lsn:1 ~chain_mac:"" ~persisted:0
+  in
+  t.chain_mac <- genesis_mac t.mac_prekey ~trunc_lsn:0 ~epoch:1;
+  match write_anchor t with Ok () -> Ok t | Error e -> Error e
+
+(* -- append / flush ---------------------------------------------------- *)
+
+let append t payload =
+  let lsn = t.next_lsn in
+  t.next_lsn <- lsn + 1;
+  let nonce = nonce_for t lsn in
+  let ciphertext =
+    C.Modes.ctr_transform ~key:t.enc_key ~nonce (Record.encode payload)
+  in
+  let mac = chain_next t ~lsn ~nonce ~ciphertext in
+  t.chain_mac <- mac;
+  Queue.add (lsn, make_frame ~lsn ~nonce ~mac ~ciphertext) t.pending;
+  t.st.appends <- t.st.appends + 1;
+  Obs.count ~scope:obs_scope "appends";
+  if Obs.enabled () then
+    Obs.event ~ts_ns:(t.clock ()) ~scope:obs_scope ~kind:"wal.append"
+      [
+        ("lsn", Ev.I lsn);
+        ("record", Ev.S (Record.kind_name payload));
+        ("txn", Ev.I (Record.txn_of payload));
+      ];
+  lsn
+
+let crash site = raise (Crashed site)
+
+let flush t =
+  if Queue.is_empty t.pending then Ok ()
+  else begin
+    let wanted =
+      Queue.fold (fun acc (_, f) -> acc + String.length f) 0 t.pending
+    in
+    if t.persisted + wanted > device_bytes t.device then Error Log_full
+    else begin
+      t.st.flushes <- t.st.flushes + 1;
+      Obs.count ~scope:obs_scope "flushes";
+      let consult = Fault.enabled t.faults in
+      let last = ref t.durable_lsn in
+      (* 1. persist every pending frame, oldest first; the crash sites
+         bracket each record's device append *)
+      while not (Queue.is_empty t.pending) do
+        let lsn, frame = Queue.peek t.pending in
+        if consult && Fault.fire t.faults Fault.Wal_crash_before_append then
+          crash Fault.Wal_crash_before_append;
+        if consult && Fault.fire t.faults Fault.Wal_crash_mid_append then begin
+          (* torn append: only the first half of the frame persists *)
+          persist_bytes t.device ~off:t.persisted frame
+            (String.length frame / 2);
+          crash Fault.Wal_crash_mid_append
+        end;
+        persist_bytes t.device ~off:t.persisted frame (String.length frame);
+        t.persisted <- t.persisted + String.length frame;
+        t.st.records_flushed <- t.st.records_flushed + 1;
+        t.st.bytes_logged <- t.st.bytes_logged + String.length frame;
+        last := lsn;
+        ignore (Queue.pop t.pending);
+        if consult && Fault.fire t.faults Fault.Wal_crash_after_append then
+          crash Fault.Wal_crash_after_append
+      done;
+      (* 2. mid-group-commit: all frames down, anchor not yet touched *)
+      if consult && Fault.fire t.faults Fault.Wal_crash_mid_flush then
+        crash Fault.Wal_crash_mid_flush;
+      (* 3. chain head is updated in memory; the anchored horizon only
+         moves when the RPMB frame lands *)
+      let prev_durable = t.durable_lsn in
+      t.durable_lsn <- !last;
+      if consult && Fault.fire t.faults Fault.Wal_crash_before_anchor then begin
+        t.durable_lsn <- prev_durable;
+        crash Fault.Wal_crash_before_anchor
+      end;
+      match write_anchor t with
+      | Ok () -> Ok ()
+      | Error e ->
+          t.durable_lsn <- prev_durable;
+          Error e
+    end
+  end
+
+let truncate t =
+  if not (Queue.is_empty t.pending) then
+    invalid_arg "Wal.truncate: records still pending";
+  let horizon = t.next_lsn - 1 in
+  t.epoch <- t.epoch + 1;
+  t.trunc_lsn <- horizon;
+  t.durable_lsn <- horizon;
+  t.chain_mac <- genesis_mac t.mac_prekey ~trunc_lsn:horizon ~epoch:t.epoch;
+  t.persisted <- 0;
+  (* erase the first frame header so a later scan of the emptied log
+     stops immediately instead of walking stale frames *)
+  S.Block_device.write_page t.device 0
+    (String.make S.Block_device.page_size '\000');
+  write_anchor t
+
+(* -- recovery ----------------------------------------------------------- *)
+
+let recover ~device ~rpmb ~hardware_key ~drbg () =
+  let rpmb_key = Ironsafe_securestore.Keyslot.derive_rpmb_auth_key ~hardware_key in
+  match read_anchor ~rpmb ~rpmb_key ~drbg with
+  | Error e -> Error e
+  | Ok (epoch, durable, trunc, anchored_chain) ->
+      let enc_key, mac_prekey = derive_keys ~hardware_key in
+      let genesis = genesis_mac mac_prekey ~trunc_lsn:trunc ~epoch in
+      (* walk the frame stream, verifying the chain as we go *)
+      let rec scan off prev last_lsn chain_at_durable acc =
+        match read_bytes device ~off 4 with
+        | None -> Ok (off, last_lsn, chain_at_durable, acc)
+        | Some len4 -> (
+            let clen = get_u32 len4 0 in
+            if clen = 0 || clen > max_ciphertext then
+              Ok (off, last_lsn, chain_at_durable, acc)
+            else
+              match read_bytes device ~off (frame_header + clen) with
+              | None -> Ok (off, last_lsn, chain_at_durable, acc)
+              | Some frame ->
+                  let lsn = get_u64 frame 4 in
+                  let nonce = String.sub frame 12 16 in
+                  let mac = String.sub frame 28 32 in
+                  let ciphertext = String.sub frame frame_header clen in
+                  let lsn8 = Bytes.create 8 in
+                  put_u64 lsn8 0 lsn;
+                  let expected =
+                    C.Hmac.mac_pre_list mac_prekey
+                      [ prev; Bytes.to_string lsn8; nonce; ciphertext ]
+                  in
+                  if
+                    (not (C.Constant_time.equal expected mac))
+                    || lsn <> last_lsn + 1
+                  then
+                    (* a broken link beyond the horizon is the torn tail
+                       of an unacknowledged flush: clean end of log. At
+                       or below the horizon it is tampering. *)
+                    if last_lsn >= durable then
+                      Ok (off, last_lsn, chain_at_durable, acc)
+                    else Error (Tampered_record lsn)
+                  else begin
+                    let chain_at_durable =
+                      if lsn = durable then Some expected else chain_at_durable
+                    in
+                    match
+                      Record.decode
+                        (C.Modes.ctr_transform ~key:enc_key ~nonce ciphertext)
+                    with
+                    | Error msg -> Error (Corrupt_record (lsn, msg))
+                    | Ok payload ->
+                        scan
+                          (off + frame_header + clen)
+                          expected lsn chain_at_durable
+                          ({ Record.lsn; payload } :: acc)
+                  end)
+      in
+      (match scan 0 genesis trunc None [] with
+      | Error e -> Error e
+      | Ok (end_off, last_lsn, chain_at_durable, acc_rev) ->
+          if last_lsn < durable then
+            Error (Truncated { durable_lsn = durable; last_valid_lsn = last_lsn })
+          else begin
+            (* the chain state at the horizon must reproduce the anchor:
+               catches a consistently re-written (forked) log *)
+            let at_durable =
+              if durable = trunc then genesis
+              else match chain_at_durable with Some m -> m | None -> genesis
+            in
+            if not (C.Constant_time.equal at_durable anchored_chain) then
+              Error Anchor_mismatch
+            else begin
+              let all = List.rev acc_rev in
+              let kept, dropped =
+                List.partition (fun r -> r.Record.lsn <= durable) all
+              in
+              let t =
+                make ~device ~rpmb ~hardware_key ~drbg ~epoch ~trunc_lsn:trunc
+                  ~durable_lsn:durable ~next_lsn:(durable + 1)
+                  ~chain_mac:at_durable ~persisted:end_off
+              in
+              (* the discarded tail still occupies device bytes; the
+                 caller's post-redo truncate resets the offset, and
+                 until then appends are forbidden anyway *)
+              t.st.recovered_records <- List.length kept;
+              t.st.discarded_records <- List.length dropped;
+              Obs.count ~scope:obs_scope "recoveries";
+              if Obs.enabled () then
+                Obs.event ~scope:obs_scope ~kind:"wal.recover"
+                  [
+                    ("epoch", Ev.I epoch);
+                    ("durable_lsn", Ev.I durable);
+                    ("records", Ev.I (List.length kept));
+                    ("discarded", Ev.I (List.length dropped));
+                  ];
+              Ok (t, kept)
+            end
+          end)
+
+(* -- raw probes --------------------------------------------------------- *)
+
+let scan_nonces device =
+  let rec go off acc =
+    match read_bytes device ~off 4 with
+    | None -> List.rev acc
+    | Some len4 -> (
+        let clen = get_u32 len4 0 in
+        if clen = 0 || clen > max_ciphertext then List.rev acc
+        else
+          match read_bytes device ~off (frame_header + clen) with
+          | None -> List.rev acc
+          | Some frame ->
+              let lsn = get_u64 frame 4 in
+              let nonce = String.sub frame 12 16 in
+              go (off + frame_header + clen) ((lsn, nonce) :: acc))
+  in
+  go 0 []

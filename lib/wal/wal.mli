@@ -1,0 +1,126 @@
+(** Encrypted, HMAC-chained write-ahead log over a dedicated block
+    device, with its commit horizon anchored in RPMB.
+
+    On-device layout: a byte stream of frames packed into 4 KiB pages,
+
+    {v len(4) | lsn(8) | nonce(16) | mac(32) | ciphertext(len) v}
+
+    where [ciphertext] is the AES-CTR encryption of the record payload
+    ({!Record.encode}) under a WAL key derived from the hardware unique
+    key, and
+
+    {v mac_i = HMAC(wal_mac_key, mac_(i-1) | lsn_i | nonce_i | ct_i) v}
+
+    chains every record over its predecessor's MAC, starting from a
+    genesis MAC bound to the last truncation point. The RPMB anchor
+    slot holds [(epoch, durable_lsn, trunc_lsn, chain_mac)] behind the
+    replay-protected monotonic counter, so at recovery:
+
+    - a log {e truncated} below the anchored horizon is detected (the
+      chain ends before [durable_lsn]);
+    - a {e replayed or forked} log is detected (the chain MAC at
+      [durable_lsn] does not reproduce the anchored [chain_mac]);
+    - a {e torn tail} beyond the horizon (the crash window of an
+      unacknowledged group commit) is cleanly discarded.
+
+    [append] only buffers; [flush] persists the pending frames and
+    bumps the anchor — a commit may be acknowledged only after the
+    [flush] covering it returns. Group commit is the caller's policy
+    (see {!Txn_store}); the WAL just makes one flush cover many
+    commits with a single RPMB update. *)
+
+type t
+
+type error =
+  | Truncated of { durable_lsn : int; last_valid_lsn : int }
+      (** log ends before the anchored commit horizon: rollback or
+          truncation of acknowledged records *)
+  | Tampered_record of int
+      (** chain-MAC failure at or below the anchored horizon *)
+  | Anchor_mismatch
+      (** the chain is internally valid but does not reproduce the
+          RPMB-anchored chain MAC (replayed / forked log) *)
+  | Anchor_missing  (** recovery on a never-initialized WAL *)
+  | Corrupt_record of int * string  (** record decode failure *)
+  | Log_full
+  | Rpmb_error of Ironsafe_storage.Rpmb.error
+
+val pp_error : Format.formatter -> error -> unit
+
+exception Crashed of Ironsafe_fault.Fault.site
+(** Raised by a fired WAL crash fault site {e after} the partial state
+    of that crash point has been persisted. The in-memory WAL must be
+    discarded; reopen the media with {!recover}. *)
+
+type stats = {
+  mutable appends : int;
+  mutable flushes : int;
+  mutable records_flushed : int;
+  mutable anchors : int;  (** RPMB anchor updates *)
+  mutable bytes_logged : int;
+  mutable recovered_records : int;
+  mutable discarded_records : int;
+      (** valid-chain records beyond the anchored horizon dropped at
+          recovery (never acknowledged) *)
+}
+
+val anchor_slot : int
+(** RPMB slot holding the WAL anchor (2; the secure store owns 0/1). *)
+
+val create :
+  device:Ironsafe_storage.Block_device.t ->
+  rpmb:Ironsafe_storage.Rpmb.t ->
+  hardware_key:string ->
+  drbg:Ironsafe_crypto.Drbg.t ->
+  unit ->
+  (t, error) result
+(** First boot: derives the WAL keys, writes the initial anchor
+    (epoch 1, empty log). The RPMB authentication key must already be
+    programmed (the secure store does this at initialization). *)
+
+val recover :
+  device:Ironsafe_storage.Block_device.t ->
+  rpmb:Ironsafe_storage.Rpmb.t ->
+  hardware_key:string ->
+  drbg:Ironsafe_crypto.Drbg.t ->
+  unit ->
+  (t * Record.t list, error) result
+(** Reboot path: reads the anchor, walks the chained log verifying
+    every record MAC, and returns the records at or below the anchored
+    [durable_lsn] in LSN order for redo. Valid records beyond the
+    horizon (an unacknowledged tail) are discarded and counted; a torn
+    trailing frame is treated as end-of-log. The returned WAL draws a
+    fresh per-boot nonce salt, so post-recovery appends never reuse a
+    pre-crash record nonce even at the same (epoch, LSN). The caller
+    must redo the records into the base store and then {!truncate}. *)
+
+val append : t -> Record.payload -> int
+(** Assign the next LSN, extend the MAC chain, and buffer the frame.
+    Nothing is persisted until {!flush}. *)
+
+val flush : t -> (unit, error) result
+(** Persist every pending frame to the log device and advance the RPMB
+    anchor to cover them. On [Ok ()] all records appended so far are
+    durable. WAL crash fault sites fire inside this path (see
+    {!Ironsafe_fault.Fault.wal_sites}); {!Crashed} may escape. *)
+
+val truncate : t -> (unit, error) result
+(** Checkpoint epilogue: everything durable has been applied to the
+    base store, so restart the log — bump the epoch, rebase the chain
+    genesis at the current horizon, reset the write offset, re-anchor.
+    @raise Invalid_argument if records are still pending. *)
+
+val set_faults : t -> Ironsafe_fault.Fault.t -> unit
+val set_clock : t -> (unit -> float) -> unit
+
+val durable_lsn : t -> int
+val next_lsn : t -> int
+val epoch : t -> int
+val pending_records : t -> int
+val persisted_bytes : t -> int
+val stats : t -> stats
+
+val scan_nonces : Ironsafe_storage.Block_device.t -> (int * string) list
+(** Walk the raw frame stream of a log device (no verification) and
+    return [(lsn, nonce)] pairs — the black-box probe the nonce-reuse
+    regression test uses. *)

@@ -237,7 +237,7 @@ let test_sgx_abort_degraded () =
       Alcotest.(check bool) "enclave was restarted" true
         (Ironsafe_tee.Sgx.restarts d.Deployment.host_enclave >= 1)
   | Runner.Ok _ -> Alcotest.fail "abort did not fire"
-  | Runner.Rejected v ->
+  | Runner.Rejected v | Runner.Crashed v ->
       Alcotest.fail (Fmt.str "unexpected rejection: %a" Runner.pp_violation v)
 
 let test_attest_recovers_quote_and_ta_faults () =
@@ -281,7 +281,7 @@ let test_zero_cost_when_off () =
           Alcotest.(check (float 0.0))
             (Config.abbrev cfg ^ " end-to-end time unchanged")
             m1.Runner.end_to_end_ns m2.Runner.end_to_end_ns
-      | Runner.Degraded _ | Runner.Rejected _ ->
+      | Runner.Degraded _ | Runner.Rejected _ | Runner.Crashed _ ->
           Alcotest.fail "outcome not Ok with faults disabled")
     Config.all
 
@@ -349,7 +349,7 @@ let qcheck_no_silent_wrong_rows =
             QCheck.Test.fail_reportf
               "Degraded run reported no recovery counter"
           else true
-      | Runner.Rejected v ->
+      | Runner.Rejected v | Runner.Crashed v ->
           if
             List.mem v.Runner.v_site site_names
             || v.Runner.v_site = "securestore"

@@ -24,5 +24,6 @@ let () =
       ("differential", Test_differential.suite);
       ("batch-differential", Test_batch_differential.suite);
       ("faults", Test_fault.suite);
+      ("wal", Test_wal.suite);
       ("sched", Test_sched.suite);
     ]

@@ -69,15 +69,23 @@ let test_resource () =
   | `Spill n -> Alcotest.(check int) "spill amount" 20 n
   | `Fits -> Alcotest.fail "should spill");
   Alcotest.(check int) "high water" 120 (Resource.high_water r);
-  Resource.release r 60;
+  (match Resource.release r 60 with
+  | `Ok -> ()
+  | `Over_release _ -> Alcotest.fail "release within allocation is `Ok");
   Alcotest.(check int) "used after release" 60 (Resource.used r);
-  Alcotest.check_raises "over-release raises"
-    (Invalid_argument "Resource.release: releasing more than allocated")
-    (fun () -> Resource.release r 1000);
+  (* a double release degrades (typed result + clamp + counter), it
+     must not raise: recovery paths under fault injection hit this *)
+  (match Resource.release r 1000 with
+  | `Over_release over -> Alcotest.(check int) "over-release excess" 940 over
+  | `Ok -> Alcotest.fail "over-release must be reported");
+  Alcotest.(check int) "meter clamped to zero" 0 (Resource.used r);
+  Alcotest.(check int) "over-release counted" 1 (Resource.over_releases r);
   Alcotest.check_raises "negative release raises"
     (Invalid_argument "Resource.release: negative size") (fun () ->
-      Resource.release r (-1));
-  Alcotest.(check int) "used unchanged by rejected release" 60 (Resource.used r);
+      ignore (Resource.release r (-1)));
+  Resource.reset r;
+  Alcotest.(check int) "reset clears over-release count" 0
+    (Resource.over_releases r);
   let unlimited = Resource.create () in
   (match Resource.allocate unlimited 1_000_000_000 with
   | `Fits -> ()
