@@ -92,7 +92,13 @@ let stored_pages t = List.rev t.pages
    append would resurrect them. A page the recovered store can no
    longer serve (allocated by a rolled-back transaction, so never
    durably written) is dropped from the file; allocations are monotone,
-   so such pages can only form a tail. *)
+   so such pages can only form a tail. Only the exceptions that shape
+   produces — a read past the recovered store's extent
+   ([Invalid_argument]) or a row decode failure on never-written
+   content ([Invalid_argument]/[Failure]/[Value.Type_error]) — are
+   treated as the tail; an integrity violation
+   ({!Pager.Integrity_failure}) is tamper detection and must
+   propagate, never masquerade as truncation. *)
 let reload t =
   let arity = Schema.arity t.schema in
   let kept = ref [] in
@@ -114,7 +120,8 @@ let reload t =
          count := !count + nrows;
          last := Some (page, nrows, String.sub payload 2 (!off - 2)))
        (stored_pages t)
-   with _ -> () (* unreadable tail: rolled-back allocation *));
+   with Invalid_argument _ | Failure _ | Value.Type_error _ ->
+     () (* unreadable tail: rolled-back allocation *));
   t.pages <- !kept;
   t.row_count <- !count;
   Buffer.clear t.cur_buf;

@@ -36,4 +36,6 @@ val reload : t -> unit
     on-storage image, discarding buffered rows and any trailing page
     the pager can no longer serve. Used after the backing store has
     been crash-recovered underneath the file: the storage image (only
-    durably committed rows) becomes the truth again. *)
+    durably committed rows) becomes the truth again. Only decode /
+    out-of-range failures are treated as the rolled-back tail; a
+    {!Pager.Integrity_failure} (tampered page) propagates. *)

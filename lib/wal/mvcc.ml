@@ -47,7 +47,12 @@ let read t ~at page =
   | None -> None
   | Some vs -> (
       match List.find_opt (fun (l, _) -> l <= at) vs with
-      | Some (_, data) -> Some data
+      | Some (l, data) ->
+          (* the base is a version too: a checkpoint may have written
+             back (and stamped) a version newer than any overlay copy
+             an older pin still keeps alive — then the base wins *)
+          let b = base_lsn t page in
+          if b > l && b <= at then None else Some data
       | None ->
           (* every overlay version is newer than the snapshot; the base
              must still carry old-enough content (preserve_base keeps
@@ -102,6 +107,15 @@ let release t s =
   | Some _ -> Hashtbl.remove t.pins s
   | None -> invalid_arg "Mvcc.release: snapshot not pinned");
   gc t
+
+let rollback_above t ~lsn =
+  Hashtbl.iter
+    (fun page vs ->
+      let keep = List.filter (fun (l, _) -> l <= lsn) vs in
+      if keep = [] then Hashtbl.remove t.versions page
+      else Hashtbl.replace t.versions page keep)
+    (Hashtbl.copy t.versions);
+  if t.latest > lsn then t.latest <- lsn
 
 let newest_versions t =
   Hashtbl.fold

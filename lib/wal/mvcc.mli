@@ -52,5 +52,12 @@ val gc : t -> unit
 (** Drop overlay versions that no active snapshot (nor latest-read)
     can still observe. *)
 
+val rollback_above : t -> lsn:int -> unit
+(** Drop every overlay version newer than [lsn] and clamp {!latest} to
+    it — the in-memory equivalent of a crash before the ack, used when
+    a WAL flush failure means those commits can never become durable.
+    Base stamps and pins are untouched (a pin above [lsn] simply
+    resolves to the rolled-back-to state). *)
+
 val version_count : t -> int
 val clear : t -> unit

@@ -43,6 +43,10 @@ type txn = {
   txn_id : int;
   mutable writes : (int * string) list;  (* newest first *)
   mutable live : bool;
+  mutable logged : bool;
+      (* Begin/Page_write records are in the WAL. Cleared when a
+         Log_full recovery discards them while the txn is still open;
+         commit then re-logs the whole transaction. *)
 }
 
 type t = {
@@ -146,7 +150,7 @@ let route_base t ~read ~write ~flush ~cached =
 (* --- transactions --------------------------------------------------- *)
 
 let begin_txn t =
-  let txn = { txn_id = t.next_txn; writes = []; live = true } in
+  let txn = { txn_id = t.next_txn; writes = []; live = true; logged = true } in
   t.next_txn <- t.next_txn + 1;
   ignore (Wal.append t.wal (Record.Begin { txn = txn.txn_id }));
   txn
@@ -155,7 +159,8 @@ let txn_write t txn ~page data =
   if not txn.live then invalid_arg "Txn_store.txn_write: transaction closed";
   if String.length data > Record.max_data_bytes then
     invalid_arg "Txn_store.txn_write: page image too large";
-  ignore (Wal.append t.wal (Record.Page_write { txn = txn.txn_id; page; data }));
+  if txn.logged then
+    ignore (Wal.append t.wal (Record.Page_write { txn = txn.txn_id; page; data }));
   txn.writes <- (page, data) :: List.remove_assoc page txn.writes
 
 let overlay_read t page =
@@ -195,11 +200,44 @@ let ack_flushed t =
           acked);
   if t.unacked = [] then t.deadline <- None
 
+(* Roll every commit above [above] back out of the overlay: the WAL
+   cannot make them durable, so readers must stop seeing them — the
+   same outcome a crash before the ack would have had. None of them
+   was ever acknowledged [`Durable]. *)
+let rollback_unacked t ~above =
+  let dropped, kept = List.partition (fun (lsn, _) -> lsn > above) t.unacked in
+  if dropped <> [] then begin
+    Mvcc.rollback_above t.mvcc ~lsn:above;
+    t.unacked <- kept;
+    if Obs.enabled () then
+      List.iter
+        (fun (lsn, txn) ->
+          Obs.event ~ts_ns:(t.clock ()) ~scope:obs_scope ~kind:"wal.rollback"
+            [ ("lsn", Ev.I lsn); ("txn", Ev.I txn) ])
+        dropped
+  end;
+  if t.unacked = [] then t.deadline <- None
+
 let flush t =
   match Wal.flush t.wal with
   | Ok () ->
       ack_flushed t;
       Ok ()
+  | Error Wal.Log_full ->
+      (* The pending frames can never reach the full device. Drop them
+         and roll their commits back (crash-before-ack semantics); an
+         open transaction loses its logged records but stays re-loggable
+         at commit. A following checkpoint can then truncate the log and
+         unwedge the store. *)
+      ignore (Wal.discard_pending t.wal);
+      (match t.current with
+      | Some txn when txn.live -> txn.logged <- false
+      | _ -> ());
+      rollback_unacked t ~above:(Wal.persisted_lsn t.wal);
+      (* frames persisted by an earlier flush may still lack their
+         anchor; retry so those commits can be acknowledged *)
+      (match Wal.flush t.wal with Ok () -> ack_flushed t | Error _ -> ());
+      Error (Wal_error Wal.Log_full)
   | Error e -> Error (Wal_error e)
 
 let tick t =
@@ -210,6 +248,17 @@ let tick t =
 let commit_txn ?(sync = false) t txn =
   if not txn.live then invalid_arg "Txn_store.commit_txn: transaction closed";
   txn.live <- false;
+  if not txn.logged then begin
+    (* this txn's records were discarded by a Log_full recovery while
+       it was open: re-log the whole transaction before its Commit *)
+    ignore (Wal.append t.wal (Record.Begin { txn = txn.txn_id }));
+    List.iter
+      (fun (page, data) ->
+        ignore
+          (Wal.append t.wal (Record.Page_write { txn = txn.txn_id; page; data })))
+      (List.rev txn.writes);
+    txn.logged <- true
+  end;
   let lsn = Wal.append t.wal (Record.Commit { txn = txn.txn_id }) in
   (* visible to new snapshots immediately; durability is the flush's
      job (a crash before the ack rolls the whole group back) *)
@@ -309,10 +358,7 @@ let with_snapshot t f =
 
 (* --- checkpoint ----------------------------------------------------- *)
 
-let checkpoint t =
-  match flush t with
-  | Error e -> Error e
-  | Ok () -> (
+let checkpoint_writeback t =
       t.st.checkpoints <- t.st.checkpoints + 1;
       let newest = Mvcc.newest_versions t.mvcc in
       let oldest_pin = Mvcc.min_active t.mvcc in
@@ -346,6 +392,9 @@ let checkpoint t =
       match Wal.truncate t.wal with
       | Error e -> Error (Wal_error e)
       | Ok () ->
+          (* truncation anchors the horizon at the head of the log, so
+             any persisted-but-unanchored commits are now durable *)
+          ack_flushed t;
           Mvcc.gc t.mvcc;
           if Obs.enabled () then
             Obs.event ~ts_ns:(t.clock ()) ~scope:obs_scope ~kind:"wal.checkpoint"
@@ -354,7 +403,17 @@ let checkpoint t =
                 ("epoch", Ev.I (Wal.epoch t.wal));
                 ("durable_lsn", Ev.I (Wal.durable_lsn t.wal));
               ];
-          Ok ())
+          Ok ()
+
+let checkpoint t =
+  match flush t with
+  | Ok () -> checkpoint_writeback t
+  | Error (Wal_error Wal.Log_full) ->
+      (* [flush] already discarded the never-persisted tail and rolled
+         its commits back; the durable prefix can still be checkpointed,
+         which truncates the log and unwedges the store *)
+      checkpoint_writeback t
+  | Error e -> Error e
 
 (* --- recovery ------------------------------------------------------- *)
 

@@ -114,7 +114,15 @@ val tick : t -> (unit, error) result
     daemon's beat — the runner calls this with the virtual clock). *)
 
 val flush : t -> (unit, error) result
-(** Force the pending group durable now. *)
+(** Force the pending group durable now. On [Log_full] the queued
+    records can never reach the device: they are discarded and their
+    commits rolled back out of the overlay (the same outcome a crash
+    before the ack would have — none was acknowledged [`Durable]), an
+    open transaction is kept re-loggable at commit, and the error is
+    returned; a following {!checkpoint} truncates and unwedges the
+    log. A failed RPMB anchor write leaves the affected commits
+    pending: the frames are on the device and a later flush retries
+    the anchor over them. *)
 
 val unacked_commits : t -> int
 
@@ -133,6 +141,9 @@ val checkpoint : t -> (unit, error) result
 (** Flush the WAL, write the newest committed versions back to the
     base store (preserving old base images for older pinned
     snapshots), then truncate the log and collect overlay garbage.
+    If the flush fails with [Log_full], the never-persisted tail has
+    already been rolled back (see {!flush}) and the checkpoint
+    proceeds over the durable prefix — truncation then frees the log.
     The [Wal_torn_checkpoint] fault site fires here: it persists a
     torn base page and crashes. *)
 

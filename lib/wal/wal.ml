@@ -82,6 +82,8 @@ type t = {
   mutable next_lsn : int;
   mutable chain_mac : string;  (* MAC of the last appended record *)
   mutable persisted : int;  (* log bytes on device *)
+  mutable persisted_lsn : int;  (* highest lsn whose frame is on device *)
+  mutable persisted_chain : string;  (* chain MAC as of [persisted_lsn] *)
   pending : (int * string) Queue.t;  (* (lsn, frame) not yet on device *)
   st : stats;
   mutable faults : Fault.t;
@@ -89,6 +91,7 @@ type t = {
 }
 
 let durable_lsn t = t.durable_lsn
+let persisted_lsn t = t.persisted_lsn
 let next_lsn t = t.next_lsn
 let epoch t = t.epoch
 let pending_records t = Queue.length t.pending
@@ -281,6 +284,8 @@ let make ~device ~rpmb ~hardware_key ~drbg ~epoch ~trunc_lsn ~durable_lsn
     next_lsn;
     chain_mac;
     persisted;
+    persisted_lsn = durable_lsn;
+    persisted_chain = chain_mac;
     pending = Queue.create ();
     st = fresh_stats ();
     faults = Fault.none;
@@ -293,6 +298,7 @@ let create ~device ~rpmb ~hardware_key ~drbg () =
       ~next_lsn:1 ~chain_mac:"" ~persisted:0
   in
   t.chain_mac <- genesis_mac t.mac_prekey ~trunc_lsn:0 ~epoch:1;
+  t.persisted_chain <- t.chain_mac;
   match write_anchor t with Ok () -> Ok t | Error e -> Error e
 
 (* -- append / flush ---------------------------------------------------- *)
@@ -321,7 +327,10 @@ let append t payload =
 let crash site = raise (Crashed site)
 
 let flush t =
-  if Queue.is_empty t.pending then Ok ()
+  (* [persisted_lsn > durable_lsn] is the retry shape: frames reached
+     the device on an earlier flush whose anchor write failed — nothing
+     to persist, but the anchor must still advance over them. *)
+  if Queue.is_empty t.pending && t.persisted_lsn <= t.durable_lsn then Ok ()
   else begin
     let wanted =
       Queue.fold (fun acc (_, f) -> acc + String.length f) 0 t.pending
@@ -331,7 +340,6 @@ let flush t =
       t.st.flushes <- t.st.flushes + 1;
       Obs.count ~scope:obs_scope "flushes";
       let consult = Fault.enabled t.faults in
-      let last = ref t.durable_lsn in
       (* 1. persist every pending frame, oldest first; the crash sites
          bracket each record's device append *)
       while not (Queue.is_empty t.pending) do
@@ -348,7 +356,8 @@ let flush t =
         t.persisted <- t.persisted + String.length frame;
         t.st.records_flushed <- t.st.records_flushed + 1;
         t.st.bytes_logged <- t.st.bytes_logged + String.length frame;
-        last := lsn;
+        t.persisted_lsn <- lsn;
+        t.persisted_chain <- String.sub frame 28 32;
         ignore (Queue.pop t.pending);
         if consult && Fault.fire t.faults Fault.Wal_crash_after_append then
           crash Fault.Wal_crash_after_append
@@ -359,7 +368,7 @@ let flush t =
       (* 3. chain head is updated in memory; the anchored horizon only
          moves when the RPMB frame lands *)
       let prev_durable = t.durable_lsn in
-      t.durable_lsn <- !last;
+      t.durable_lsn <- t.persisted_lsn;
       if consult && Fault.fire t.faults Fault.Wal_crash_before_anchor then begin
         t.durable_lsn <- prev_durable;
         crash Fault.Wal_crash_before_anchor
@@ -372,6 +381,25 @@ let flush t =
     end
   end
 
+(* Drop the buffered frames that a full log device can never absorb,
+   rewinding the in-memory chain head to the last frame actually on the
+   device so later appends keep chaining over on-device reality. The
+   caller owns the matching semantic rollback (the dropped records'
+   commits were never acknowledged). *)
+let discard_pending t =
+  let n = Queue.length t.pending in
+  Queue.clear t.pending;
+  t.chain_mac <- t.persisted_chain;
+  t.next_lsn <- t.persisted_lsn + 1;
+  if n > 0 then begin
+    t.st.discarded_records <- t.st.discarded_records + n;
+    Obs.count ~scope:obs_scope "discarded_pending";
+    if Obs.enabled () then
+      Obs.event ~ts_ns:(t.clock ()) ~scope:obs_scope ~kind:"wal.discard"
+        [ ("records", Ev.I n); ("persisted_lsn", Ev.I t.persisted_lsn) ]
+  end;
+  n
+
 let truncate t =
   if not (Queue.is_empty t.pending) then
     invalid_arg "Wal.truncate: records still pending";
@@ -381,6 +409,8 @@ let truncate t =
   t.durable_lsn <- horizon;
   t.chain_mac <- genesis_mac t.mac_prekey ~trunc_lsn:horizon ~epoch:t.epoch;
   t.persisted <- 0;
+  t.persisted_lsn <- horizon;
+  t.persisted_chain <- t.chain_mac;
   (* erase the first frame header so a later scan of the emptied log
      stops immediately instead of walking stale frames *)
   S.Block_device.write_page t.device 0

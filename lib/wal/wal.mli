@@ -101,8 +101,19 @@ val append : t -> Record.payload -> int
 val flush : t -> (unit, error) result
 (** Persist every pending frame to the log device and advance the RPMB
     anchor to cover them. On [Ok ()] all records appended so far are
-    durable. WAL crash fault sites fire inside this path (see
+    durable. If a previous flush persisted frames but failed at the
+    anchor write ([Rpmb_error]), a later flush retries the anchor over
+    the already-persisted tail, so such commits stay acknowledgeable.
+    WAL crash fault sites fire inside this path (see
     {!Ironsafe_fault.Fault.wal_sites}); {!Crashed} may escape. *)
+
+val discard_pending : t -> int
+(** Drop every buffered (never-persisted) frame and rewind the
+    in-memory chain head and next LSN to the last frame on the device,
+    so later appends chain over on-device reality. Used when the log
+    device is full ([Log_full]): the pending tail can never persist.
+    The caller must roll back the semantic effects of the dropped
+    records (none were ever acknowledged). Returns the count dropped. *)
 
 val truncate : t -> (unit, error) result
 (** Checkpoint epilogue: everything durable has been applied to the
@@ -114,6 +125,12 @@ val set_faults : t -> Ironsafe_fault.Fault.t -> unit
 val set_clock : t -> (unit -> float) -> unit
 
 val durable_lsn : t -> int
+
+val persisted_lsn : t -> int
+(** Highest LSN whose frame is on the log device (>= {!durable_lsn};
+    strictly greater exactly when an anchor write failed and is
+    awaiting retry). *)
+
 val next_lsn : t -> int
 val epoch : t -> int
 val pending_records : t -> int

@@ -206,6 +206,54 @@ let test_heap_rewrite () =
   Heap_file.iter hf ~f:(fun r -> max_val := max !max_val (Value.as_int r.(0)));
   Alcotest.(check int) "replacement applied" 900 !max_val
 
+let test_heap_reload_tamper_vs_tail () =
+  (* a pager whose reads can be made to fail like a tampered secure
+     page, or to look like a never-durably-written tail allocation *)
+  let pages : (int, string) Hashtbl.t = Hashtbl.create 8 in
+  let poisoned = ref None in
+  let next = ref 0 in
+  let pager =
+    Pager.make ~capacity:4096
+      ~read:(fun i ->
+        if !poisoned = Some i then
+          raise (Pager.Integrity_failure "page failed integrity check")
+        else
+          Option.value
+            ~default:(String.make 4096 '\000')
+            (Hashtbl.find_opt pages i))
+      ~write:(fun i data -> Hashtbl.replace pages i data)
+      ~allocate:(fun () ->
+        let i = !next in
+        incr next;
+        i)
+      ~page_count:(fun () -> !next)
+      ()
+  in
+  let hf = Heap_file.create ~pager ~schema:fixture_schema in
+  for i = 1 to 500 do
+    Heap_file.append hf [| Value.Int i; Value.Str (String.make (i mod 50) 'x') |]
+  done;
+  Heap_file.flush hf;
+  let all_pages = Heap_file.stored_pages hf in
+  Alcotest.(check bool) "multiple pages" true (List.length all_pages >= 3);
+  (* a clean reload keeps every row *)
+  Heap_file.reload hf;
+  Alcotest.(check int) "clean reload keeps rows" 500 (Heap_file.row_count hf);
+  (* a tail page the store can no longer serve (rolled-back allocation
+     decodes as garbage) is dropped... *)
+  let last_page = List.nth all_pages (List.length all_pages - 1) in
+  Hashtbl.replace pages last_page (String.make 4096 '\xff');
+  Heap_file.reload hf;
+  Alcotest.(check bool) "garbage tail dropped" true
+    (Heap_file.row_count hf < 500);
+  (* ...but a tampered page in the middle is an integrity violation:
+     reload must propagate it, not mask it as truncation *)
+  Hashtbl.remove pages last_page;
+  poisoned := Some (List.nth all_pages 1);
+  (match Heap_file.reload hf with
+  | () -> Alcotest.fail "tampered middle page masked as a truncated tail"
+  | exception Pager.Integrity_failure _ -> ())
+
 (* -- Query semantics on a fixture --------------------------------------------- *)
 
 let fixture () =
@@ -510,6 +558,7 @@ let suite =
     ("parser rejects", `Quick, test_parser_rejects);
     ("heap file", `Quick, test_heap_file);
     ("heap rewrite", `Quick, test_heap_rewrite);
+    ("heap reload tamper vs tail", `Quick, test_heap_reload_tamper_vs_tail);
     ("q: filter/order/limit", `Quick, test_q_filter_order_limit);
     ("q: projection expr", `Quick, test_q_projection_expr);
     ("q: implicit join", `Quick, test_q_join_implicit);

@@ -308,6 +308,51 @@ let test_snapshot_survives_checkpoint () =
   Alcotest.(check string) "pinned read across checkpoint" "old" seen;
   Alcotest.(check string) "latest" "new" (read env 4)
 
+let test_latest_read_with_pin_across_checkpoints () =
+  let env = fresh ~seed:"pinbase" () in
+  ignore (commit_pages env [ (2, "old") ]);
+  ok_exn W.Txn_store.pp_error (W.Txn_store.checkpoint env.ts);
+  (* pin the pre-update world, then update + checkpoint: gc keeps only
+     the preserved old image for the pin (the new overlay copy is
+     base-redundant) — a latest read must then resolve to the base, not
+     to the pinned old version *)
+  let s = W.Txn_store.snapshot env.ts in
+  ignore (commit_pages env [ (2, "new") ]);
+  ok_exn W.Txn_store.pp_error (W.Txn_store.checkpoint env.ts);
+  Alcotest.(check string) "latest read while pin held" "new" (read env 2);
+  W.Txn_store.release_snapshot env.ts s;
+  Alcotest.(check string) "latest read after release" "new" (read env 2)
+
+(* -- log-full degradation ---------------------------------------------- *)
+
+let test_log_full_rolls_back_and_checkpoint_unwedges () =
+  (* a 2-page log device fills after two full-ish commits *)
+  let env = fresh ~seed:"logfull" ~log_pages:2 () in
+  let big c = String.make 3000 c in
+  ignore (commit_pages env [ (1, big 'a') ]);
+  ignore (commit_pages env [ (1, big 'b') ]);
+  (* third commit cannot fit: it must fail, and its data must not stay
+     visible (it can never become durable) *)
+  let txn = W.Txn_store.begin_txn env.ts in
+  W.Txn_store.txn_write env.ts txn ~page:1 (big 'c');
+  (match W.Txn_store.commit_txn ~sync:true env.ts txn with
+  | Error (W.Txn_store.Wal_error W.Wal.Log_full) -> ()
+  | Error e -> Alcotest.failf "wrong error: %a" W.Txn_store.pp_error e
+  | Ok _ -> Alcotest.fail "over-capacity commit acknowledged");
+  Alcotest.(check string) "failed commit rolled back" (big 'b') (read env 1);
+  Alcotest.(check int) "no commit left pending ack" 0
+    (W.Txn_store.unacked_commits env.ts);
+  (* checkpoint still goes through: writes back the durable prefix and
+     truncates, unwedging the log *)
+  ok_exn W.Txn_store.pp_error (W.Txn_store.checkpoint env.ts);
+  (match commit_pages env [ (1, big 'd') ] with
+  | `Durable _ -> ()
+  | `Queued _ -> Alcotest.fail "sync commit not acknowledged");
+  Alcotest.(check string) "store accepts work again" (big 'd') (read env 1);
+  (* acked state survives a power cycle; the failed commit is absent *)
+  ignore (reboot env);
+  Alcotest.(check string) "acked state after reboot" (big 'd') (read env 1)
+
 (* -- crash-at-every-point property -------------------------------------- *)
 
 let seeds =
@@ -641,6 +686,10 @@ let suite =
     Alcotest.test_case "snapshot isolation" `Quick test_snapshot_isolation;
     Alcotest.test_case "snapshot survives checkpoint" `Quick
       test_snapshot_survives_checkpoint;
+    Alcotest.test_case "latest read with pin across checkpoints" `Quick
+      test_latest_read_with_pin_across_checkpoints;
+    Alcotest.test_case "log full rolls back and checkpoint unwedges" `Quick
+      test_log_full_rolls_back_and_checkpoint_unwedges;
     Alcotest.test_case "crash at every point" `Slow test_crash_at_every_point;
     Alcotest.test_case "recovery idempotent" `Slow test_recovery_idempotent;
     Alcotest.test_case "no nonce reuse after recovery" `Quick
