@@ -14,6 +14,7 @@
      figure12  storage-side multi-instance scalability
      table3    GDPR anti-pattern latencies (non-secure vs IronSafe)
      table4    attestation breakdown
+     cluster   shard-count sweep (scatter-gather QPS) → BENCH_cluster.json
      micro     bechamel microbenchmarks of the real primitives
 
      microbench wall-clock ns/op of the hot-path kernels (AES, CBC,
@@ -862,6 +863,124 @@ let oltp scale =
   Fmt.pr "@.wrote %s@." !oltp_out
 
 (* ------------------------------------------------------------------ *)
+(* Cluster: scatter-gather shard sweep. Each point builds an N-shard
+   cluster over the cached deployment (each shard attested under its
+   own TrustZone identity into the monitor's audit chain), checks the
+   scatter-gather results against the single-node runner, profiles a
+   small TPC-H mix through the cluster runner, and replays the tapes
+   through the scheduler with one contended server set per shard —
+   yielding the capacity-normalized QPS curve vs shard count. Emits
+   BENCH_cluster.json. *)
+
+let cluster_out = ref "BENCH_cluster.json"
+
+let cluster scale =
+  header "Cluster: scatter-gather shard sweep (per-shard TrustZone identities)";
+  let module Cluster = Ironsafe_cluster.Cluster in
+  let d = deployment ~scale () in
+  let config = Config.Scs in
+  let shard_counts = [ 1; 2; 4; 8 ] in
+  let queries =
+    List.map
+      (fun qid -> (qid, (Tpch.Queries.by_id qid).Tpch.Queries.sql))
+      [ 1; 6 ]
+  in
+  let max_inflight = 8 in
+  Fmt.pr "mix: %s under %s; open loop at 2x single-node capacity@."
+    (String.concat "/"
+       (List.map (fun (q, _) -> Printf.sprintf "Q%d" q) queries))
+    (Config.abbrev config);
+  Fmt.pr "%-7s %-22s %10s %11s %10s %8s@." "shards" "gather" "seq(ms)"
+    "offered" "qps" "speedup";
+  let base_capacity = ref 0.0 in
+  let base_qps = ref 0.0 in
+  let points =
+    List.map
+      (fun n ->
+        let cl = Cluster.create ~shards:n ~scheme:Partitioner.Hash d in
+        (match Cluster.attest_reliable cl with
+        | Ok () -> ()
+        | Error e -> failwith ("cluster attestation failed: " ^ e));
+        (* every shard count must return exactly the single-node rows *)
+        List.iter
+          (fun (qid, sql) ->
+            let mc = Cluster.run_query cl config sql in
+            let m1 = Runner.run_query d config sql in
+            if mc.Runner.result <> m1.Runner.result then
+              failwith
+                (Printf.sprintf "cluster Q%d diverged at %d shards" qid n))
+          queries;
+        let gathers =
+          List.map (fun (_, sql) -> Cluster.gather_operator cl sql) queries
+        in
+        let profiles =
+          List.map
+            (fun (qid, sql) ->
+              let stmt = Sql.Parser.parse sql in
+              Sched.profile_run
+                ~label:(Printf.sprintf "q%d" qid)
+                ~sql config
+                (fun () -> Cluster.run_stmt cl config stmt))
+            queries
+        in
+        let seq_ns = Sched.mean_sequential_ns profiles in
+        if !base_capacity = 0.0 then
+          base_capacity := float_of_int max_inflight *. 1e9 /. seq_ns;
+        (* every point faces the same offered load, normalized to the
+           single-node capacity, so the curve isolates scatter-gather
+           scaling from load generation *)
+        let offered = 2.0 *. !base_capacity in
+        let spec =
+          {
+            Sched.default_spec with
+            Sched.seed = !workload_seed;
+            arrival = Sched.Open_loop { qps = offered };
+            queries = 64;
+            max_inflight;
+            queue_depth = 16;
+          }
+        in
+        let storage_nodes =
+          match Cluster.shard_nodes cl with [] -> None | l -> Some l
+        in
+        let r = Sched.run ?storage_nodes d spec profiles in
+        let qps = r.Sched.rep_throughput_qps in
+        if !base_qps = 0.0 then base_qps := qps;
+        let speedup = if !base_qps > 0.0 then qps /. !base_qps else 0.0 in
+        Fmt.pr "%-7d %-22s %10.3f %11.1f %10.1f %8.2f@." n
+          (String.concat "," gathers) (ms seq_ns) offered qps speedup;
+        Sched.add_to_collector r;
+        (n, gathers, seq_ns, offered, r, speedup))
+      shard_counts
+  in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n  \"schema\": \"ironsafe-cluster-v1\",\n";
+  Printf.bprintf buf "  \"scale\": %g,\n  \"config\": %S,\n  \"scheme\": %S,\n"
+    scale (Config.abbrev config)
+    (Partitioner.scheme_name Partitioner.Hash);
+  Printf.bprintf buf "  \"mix\": [%s],\n"
+    (String.concat ", "
+       (List.map (fun (q, _) -> string_of_int q) queries));
+  Buffer.add_string buf "  \"points\": [\n";
+  List.iteri
+    (fun i (n, gathers, seq_ns, offered, r, speedup) ->
+      Printf.bprintf buf
+        "    {\"shards\": %d, \"gather\": [%s], \"seq_mean_ms\": %.6f, \
+         \"offered_qps\": %.3f, \"qps\": %.3f, \"normalized_qps\": %.4f, \
+         \"completed\": %d, \"shed\": %d}%s\n"
+        n
+        (String.concat ", " (List.map (Printf.sprintf "%S") gathers))
+        (ms seq_ns) offered r.Sched.rep_throughput_qps speedup
+        r.Sched.rep_completed r.Sched.rep_shed
+        (if i = List.length points - 1 then "" else ","))
+    points;
+  Buffer.add_string buf "  ]\n}\n";
+  let oc = open_out !cluster_out in
+  Buffer.output_buffer oc buf;
+  close_out oc;
+  Fmt.pr "@.wrote %s@." !cluster_out
+
+(* ------------------------------------------------------------------ *)
 (* Hot-path microbenchmark: wall-clock ns/op of the kernels on the
    secure read path (AES, CBC page, SHA-256/HMAC, Merkle, secure-store
    page read, buffer-pool hit vs miss), emitted as JSON so successive
@@ -1264,6 +1383,7 @@ let experiments =
     ("ablations", ablations);
     ("workload", workload);
     ("oltp", oltp);
+    ("cluster", cluster);
     ("microbench", microbench);
   ]
 
@@ -1329,6 +1449,9 @@ let () =
         parse rest
     | "--check-floor" :: v :: rest ->
         floor_file := Some v;
+        parse rest
+    | "--cluster-out" :: v :: rest ->
+        cluster_out := v;
         parse rest
     | "--fault-seed" :: v :: rest ->
         fault_seed := int_of_string v;

@@ -2,9 +2,14 @@
    deployment from the command line.
 
      ironsafe-cli query --sql "select ..." [--config scs] [--scale 0.005]
-                        [--profile]
-     ironsafe-cli tpch --id 6 [--config all]
+                        [--profile] [--shards N] [--partition-scheme hash]
+     ironsafe-cli tpch --id 6 [--config all] [--shards N]
      ironsafe-cli shell            (interactive; \policy and \config)
+
+   With --shards N (N > 1) the tables are partitioned across N storage
+   nodes, each attested under its own TrustZone identity, and SELECTs
+   scatter-gather across them; results are exactly the single-node
+   results. --shards 1 (the default) leaves every code path unchanged.
 
    The deployment is built fresh per invocation (TPC-H data at the
    requested scale factor), attested, and queries flow through the
@@ -15,6 +20,8 @@ open Ironsafe
 module Sql = Ironsafe_sql
 module Tpch = Ironsafe_tpch
 module Fault = Ironsafe_fault.Fault
+module Cluster = Ironsafe_cluster.Cluster
+module Monitor = Ironsafe_monitor.Trusted_monitor
 
 let build_deployment ?(faults = Fault.none) ?(pool_frames = 0)
     ?(crypto_mode = Ironsafe_securestore.Secure_store.Cbc) ?(batch_size = 0)
@@ -132,6 +139,50 @@ let batch_size_arg =
           "Vectorized executor batch capacity in rows (0 = row-at-a-time \
            execution).")
 
+let shards_conv =
+  let parse s =
+    match int_of_string_opt s with
+    | Some n when n >= 1 -> Ok n
+    | Some n -> Error (`Msg (Printf.sprintf "--shards must be >= 1 (got %d)" n))
+    | None -> Error (`Msg (Printf.sprintf "invalid shard count %S" s))
+  in
+  Arg.conv (parse, Fmt.int)
+
+let shards_arg =
+  Arg.(
+    value & opt shards_conv 1
+    & info [ "shards" ] ~docv:"N"
+        ~doc:
+          "Number of storage shards. $(b,1) (the default) runs the \
+           single-node deployment unchanged; $(b,N > 1) partitions every \
+           table across N storage nodes, each attested under its own \
+           TrustZone identity, and scatters SELECTs across them.")
+
+let scheme_conv =
+  let parse s =
+    match Partitioner.scheme_of_string s with
+    | Some sch -> Ok sch
+    | None ->
+        Error (`Msg (Printf.sprintf "unknown partition scheme %s (hash/range)" s))
+  in
+  Arg.conv (parse, fun ppf sch -> Fmt.string ppf (Partitioner.scheme_name sch))
+
+let scheme_arg =
+  Arg.(
+    value
+    & opt scheme_conv Partitioner.Hash
+    & info [ "partition-scheme" ] ~docv:"SCHEME"
+        ~doc:
+          "Row-to-shard assignment over the table's first integer column: \
+           $(b,hash) or $(b,range).")
+
+let build_cluster ~shards ~scheme deploy =
+  let cl = Cluster.create ~shards ~scheme deploy in
+  (match Cluster.attest_reliable cl with
+  | Ok () -> ()
+  | Error e -> failwith ("cluster attestation failed: " ^ e));
+  cl
+
 let fault_plan seed profile = Fault.of_profile ~seed profile
 
 let print_faults faults =
@@ -210,6 +261,79 @@ let run_query ?(profile = false) ?trace_out ?jsonl_out ?metrics_out
       write_exports ();
       0
 
+(* Sharded SELECT path: same monitor authorization as Engine.submit,
+   then scatter-gather through the cluster runner. The per-shard
+   compliance gate runs before execution: one non-compliant or
+   unattested shard rejects the whole query. *)
+let run_cluster_query ?trace_out ?jsonl_out ?metrics_out ?(sample_every = 1)
+    ?(faults = Fault.none) ?(pool_frames = 0) ?crypto_mode ?batch_size
+    ?crypto_lanes ~shards ~scheme scale config policy sql =
+  let obs_on = trace_out <> None || jsonl_out <> None || metrics_out <> None in
+  if obs_on then begin
+    Ironsafe_obs.Obs.enable ();
+    Ironsafe_obs.Obs.set_sample_every sample_every
+  end;
+  let write_exports () =
+    (match trace_out with
+    | Some f ->
+        write_artifact ~validate:true ~what:"trace" f
+          (Ironsafe_obs.Obs.to_chrome_json ())
+    | None -> ());
+    (match jsonl_out with
+    | Some f ->
+        write_artifact ~what:"event log (JSONL)" f (Ironsafe_obs.Obs.to_jsonl ())
+    | None -> ());
+    match metrics_out with
+    | Some f ->
+        write_artifact ~what:"metrics (OpenMetrics)" f
+          (Ironsafe_obs.Obs.to_openmetrics ())
+    | None -> ()
+  in
+  let deploy =
+    build_deployment ~faults ~pool_frames ?crypto_mode ?batch_size ?crypto_lanes
+      scale
+  in
+  let engine = setup_engine deploy policy in
+  let cl = build_cluster ~shards ~scheme deploy in
+  let monitor = Engine.monitor engine in
+  let catalog = Sql.Database.catalog deploy.Deployment.secure_db in
+  match
+    Monitor.authorize monitor ~catalog ~client_label:"cli" ~database:"ironsafe"
+      ~exec_policy:[] ~sql
+  with
+  | Error e ->
+      Fmt.epr "error: %s@." e;
+      print_faults faults;
+      write_exports ();
+      1
+  | Ok auth ->
+      let finish code =
+        Monitor.session_cleanup monitor auth.Monitor.auth_session_key;
+        print_faults faults;
+        write_exports ();
+        code
+      in
+      if not (Cluster.policy_compliant cl auth) then begin
+        Fmt.epr "error: execution policy excludes a shard's storage device@.";
+        finish 1
+      end
+      else begin
+        match
+          Cluster.run_stmt_outcome cl config auth.Monitor.auth_stmt
+        with
+        | Runner.Ok m | Runner.Degraded (m, _) ->
+            Fmt.pr "%a" Sql.Exec.pp_result m.Runner.result;
+            print_metrics m;
+            Fmt.pr "-- gather: %s over %d shards (%s partitioning)@."
+              (Cluster.gather_operator cl sql)
+              shards
+              (Partitioner.scheme_name scheme);
+            finish 0
+        | Runner.Rejected v | Runner.Crashed v ->
+            Fmt.epr "error: %a@." Runner.pp_violation v;
+            finish 1
+      end
+
 let query_cmd =
   let sql =
     Arg.(required & opt (some string) None & info [ "sql" ] ~docv:"SQL" ~doc:"Statement to run.")
@@ -258,7 +382,7 @@ let query_cmd =
   in
   let run scale config policy explain profile trace_out jsonl_out metrics_out
       sample_every fault_seed fault_profile pool_frames crypto_mode batch_size
-      crypto_lanes sql =
+      crypto_lanes shards scheme sql =
     if explain then begin
       let deploy = build_deployment scale in
       let plan =
@@ -269,6 +393,11 @@ let query_cmd =
       print_string (Partitioner.describe plan);
       0
     end
+    else if shards > 1 then
+      run_cluster_query ?trace_out ?jsonl_out ?metrics_out ~sample_every
+        ~faults:(fault_plan fault_seed fault_profile)
+        ~pool_frames ~crypto_mode ~batch_size ~crypto_lanes ~shards ~scheme
+        scale config policy sql
     else
       run_query ~profile ?trace_out ?jsonl_out ?metrics_out ~sample_every
         ~faults:(fault_plan fault_seed fault_profile)
@@ -281,7 +410,7 @@ let query_cmd =
       const run $ scale_arg $ config_arg $ policy_arg $ explain $ profile
       $ trace_out $ jsonl_out $ metrics_out $ sample_every $ fault_seed_arg
       $ fault_profile_arg $ pool_frames_arg $ crypto_mode_arg $ batch_size_arg
-      $ crypto_lanes_arg $ sql)
+      $ crypto_lanes_arg $ shards_arg $ scheme_arg $ sql)
 
 let tpch_cmd =
   let id =
@@ -291,18 +420,25 @@ let tpch_cmd =
     Arg.(value & flag & info [ "all-configs" ] ~doc:"Run under all five configurations.")
   in
   let run scale config all fault_seed fault_profile pool_frames crypto_mode
-      batch_size crypto_lanes id =
+      batch_size crypto_lanes shards scheme id =
     let q = Tpch.Queries.by_id_complete id in
     let faults = fault_plan fault_seed fault_profile in
     let deploy =
       build_deployment ~faults ~pool_frames ~crypto_mode ~batch_size
         ~crypto_lanes scale
     in
+    let run_outcome =
+      if shards > 1 then begin
+        let cl = build_cluster ~shards ~scheme deploy in
+        fun cfg -> Cluster.run_query_outcome cl cfg q.Tpch.Queries.sql
+      end
+      else fun cfg -> Runner.run_query_outcome deploy cfg q.Tpch.Queries.sql
+    in
     let configs = if all then Config.all else [ config ] in
     let code = ref 0 in
     List.iter
       (fun cfg ->
-        match Runner.run_query_outcome deploy cfg q.Tpch.Queries.sql with
+        match run_outcome cfg with
         | Runner.Ok m | Runner.Degraded (m, _) ->
             if List.length configs = 1 then
               Fmt.pr "%a" Sql.Exec.pp_result m.Runner.result;
@@ -320,7 +456,7 @@ let tpch_cmd =
     Term.(
       const run $ scale_arg $ config_arg $ all $ fault_seed_arg
       $ fault_profile_arg $ pool_frames_arg $ crypto_mode_arg $ batch_size_arg
-      $ crypto_lanes_arg $ id)
+      $ crypto_lanes_arg $ shards_arg $ scheme_arg $ id)
 
 let workload_cmd =
   let module Sched = Ironsafe_sched.Sched in
@@ -383,8 +519,11 @@ let workload_cmd =
           ~doc:"Write a Chrome trace (one lane per session) to $(docv).")
   in
   let run scale config qps sessions think_ms queries tenants seed max_inflight
-      queue_depth json trace_out pool_frames =
+      queue_depth json trace_out pool_frames shards scheme =
     let deploy = build_deployment ~pool_frames scale in
+    let cl =
+      if shards > 1 then Some (build_cluster ~shards ~scheme deploy) else None
+    in
     let tenant_names =
       List.init (max 1 tenants) (Printf.sprintf "tenant-%d")
     in
@@ -402,9 +541,14 @@ let workload_cmd =
       List.map
         (fun id ->
           let q = Tpch.Queries.by_id id in
-          Sched.profile deploy config
-            ~label:(Printf.sprintf "q%d" id)
-            ~sql:q.Tpch.Queries.sql)
+          let label = Printf.sprintf "q%d" id in
+          match cl with
+          | None ->
+              Sched.profile deploy config ~label ~sql:q.Tpch.Queries.sql
+          | Some cl ->
+              let stmt = Sql.Parser.parse q.Tpch.Queries.sql in
+              Sched.profile_run ~label ~sql:q.Tpch.Queries.sql config
+                (fun () -> Cluster.run_stmt cl config stmt))
         mix
     in
     let spec =
@@ -426,7 +570,13 @@ let workload_cmd =
       }
     in
     let gate = Sched.monitor_gate deploy in
-    let report = Sched.run ~gate deploy spec profiles in
+    let storage_nodes =
+      match cl with
+      | Some cl when Cluster.shard_nodes cl <> [] ->
+          Some (Cluster.shard_nodes cl)
+      | _ -> None
+    in
+    let report = Sched.run ~gate ?storage_nodes deploy spec profiles in
     if json then print_endline (Sched.json_of_report report)
     else Fmt.pr "%a" Sched.pp_report report;
     (match trace_out with
@@ -451,7 +601,7 @@ let workload_cmd =
     Term.(
       const run $ scale_arg $ config_arg $ qps $ sessions $ think_ms $ queries
       $ tenants $ seed $ max_inflight $ queue_depth $ json $ trace_out
-      $ pool_frames_arg)
+      $ pool_frames_arg $ shards_arg $ scheme_arg)
 
 let shell_cmd =
   let run scale policy =

@@ -1,0 +1,114 @@
+(** Sharded multi-node CSA cluster (scatter–gather execution).
+
+    One host coordinates [N] storage shards holding hash- or
+    range-partitions of the deployment's tables, each attested under
+    its own TrustZone identity into a single monitor session. Queries
+    scatter into per-shard sub-plans and gather through one of three
+    merge operators: partial-aggregation recombination, k-way
+    merge-sort, or ord-ordered concatenation (the generic path, which
+    reconstructs the exact single-node scan order from a hidden
+    per-row insertion index and is therefore exact for every SELECT).
+
+    [shards = 1] delegates everything to {!Ironsafe.Runner}: a
+    one-shard cluster is byte-identical — results, charges, spans,
+    events — to no cluster at all. *)
+
+type t
+
+val create :
+  ?storage_cores:int ->
+  ?storage_version:int ->
+  ?storage_location:string ->
+  shards:int ->
+  scheme:Ironsafe.Partitioner.scheme ->
+  Ironsafe.Deployment.t ->
+  t
+(** Build [shards] storage nodes over [base]'s loaded tables. Each
+    shard gets its own simulated ARM node, TrustZone device (secure
+    boot from the same images), block device, RPMB, secure store, and
+    plain + secure replicas of its partition. Rows route to shards via
+    {!Ironsafe.Partitioner.shard_of_key} over the table's first
+    integer column (insertion index otherwise). The deployment's
+    fault plan, when enabled, is wired into shard 0's secure medium
+    only (the "flaky shard").
+
+    @raise Invalid_argument when [shards < 1]. *)
+
+val nshards : t -> int
+val base : t -> Ironsafe.Deployment.t
+val scheme : t -> Ironsafe.Partitioner.scheme
+
+val ord_column : t -> string
+(** Name of the hidden leading insertion-index column on shard tables. *)
+
+val shard_nodes : t -> Ironsafe_sim.Node.t list
+(** Simulated nodes of the shards (empty when [nshards = 1]). *)
+
+val shard_device_ids : t -> string list
+
+val reset_counters : t -> unit
+(** {!Ironsafe.Deployment.reset_counters} plus every shard's node,
+    store, device and TEE counters. *)
+
+(** {2 Attestation and policy} *)
+
+val attest :
+  ?host_location:string -> ?storage_location:string -> t ->
+  (unit, string) result
+(** Attest the base deployment, then every shard under its own
+    TrustZone identity. The monitor records one evidence entry per
+    shard in the audit chain — on success {e and} on failure — so a
+    rejected shard is observable as its own distinct entry. Stops at
+    the first failing shard. *)
+
+val attest_reliable :
+  ?host_location:string ->
+  ?storage_location:string ->
+  ?max_attempts:int ->
+  t ->
+  (unit, string) result
+(** {!attest} with bounded exponential-backoff re-attestation (only
+    under an enabled fault plan), charging the backoff to the host and
+    every shard lane. *)
+
+val policy_compliant : t -> Ironsafe_monitor.Trusted_monitor.authorization -> bool
+(** Every shard's device id is in the authorization's compliant set;
+    one non-compliant shard fails the whole cluster query. *)
+
+val gather_operator : t -> string -> string
+(** Which gather operator the query would use: ["partial-agg"],
+    ["merge-sort"], or ["concat"] (["none"] for non-SELECT). *)
+
+(** {2 Execution} *)
+
+val run_stmt :
+  ?reset:bool ->
+  ?project:bool ->
+  t ->
+  Ironsafe.Config.t ->
+  Ironsafe_sql.Ast.stmt ->
+  Ironsafe.Runner.metrics
+(** Scatter–gather execution under a Table-2 configuration. Results
+    are exactly the single-node {!Ironsafe.Runner.run_stmt} results;
+    shard charges land on each shard's own lane (parallel contended
+    storage servers) with the same cost categories and constants as
+    the single-node arms, plus the host's gather work.
+
+    @raise Invalid_argument for non-SELECT statements when
+    [nshards > 1] (shard replicas are read-only). *)
+
+val run_query : t -> Ironsafe.Config.t -> string -> Ironsafe.Runner.metrics
+
+val run_stmt_outcome :
+  ?reset:bool ->
+  ?project:bool ->
+  t ->
+  Ironsafe.Config.t ->
+  Ironsafe_sql.Ast.stmt ->
+  Ironsafe.Runner.outcome
+(** Fault-aware execution reusing the single-node outcome type. A
+    flaky shard degrades the query (faults recovered mid-query) or
+    rejects it (unattested shard, integrity failure surviving the
+    re-read budget) — typed outcomes, never silently-wrong rows. *)
+
+val run_query_outcome : t -> Ironsafe.Config.t -> string -> Ironsafe.Runner.outcome

@@ -399,6 +399,67 @@ let split ?(project = true) catalog stmt : plan =
     "pushed_down_filters";
   { shipped; host_stmt = stmt; offload_sql }
 
+(* -- Partition schemes (cluster sharding) ---------------------------- *)
+
+(* Deterministic row -> shard assignment for the multi-node cluster
+   (lib/cluster). A table's partition key is its first integer column
+   (TPC-H tables all lead with an integer primary key); tables without
+   one fall back to the row's insertion index, which is equally
+   deterministic. [Hash] spreads keys with the shared splitmix64 mixer
+   (same function family as the seeded fault/workload streams), so
+   co-keyed rows land together while consecutive keys spread. [Range]
+   cuts the observed key span into [shards] contiguous buckets. *)
+
+type scheme = Hash | Range
+
+let scheme_name = function Hash -> "hash" | Range -> "range"
+
+let scheme_of_string s =
+  match String.lowercase_ascii s with
+  | "hash" -> Some Hash
+  | "range" -> Some Range
+  | _ -> None
+
+let partition_key_index schema =
+  let cols = Sql.Schema.columns schema in
+  let rec go i =
+    if i >= Array.length cols then None
+    else if cols.(i).Sql.Schema.col_ty = Sql.Value.TInt then Some i
+    else go (i + 1)
+  in
+  go 0
+
+let row_key ~key_index ~ord (row : Sql.Row.t) =
+  match key_index with
+  | Some i when i < Array.length row -> (
+      match row.(i) with Sql.Value.Int k -> k | _ -> ord)
+  | _ -> ord
+
+let shard_of_key scheme ~shards ~lo ~hi key =
+  if shards <= 1 then 0
+  else
+    match scheme with
+    | Hash ->
+        (* one splitmix64 step seeded by the key: a pure, stateless
+           finalizer — the same key always lands on the same shard *)
+        (* drop the top two bits so the value fits OCaml's 63-bit
+           native int and the bucket index is always non-negative *)
+        let h =
+          Int64.to_int
+            (Int64.shift_right_logical
+               (Ironsafe_sim.Prng.next_u64
+                  (Ironsafe_sim.Prng.create ~seed:key))
+               2)
+        in
+        h mod shards
+    | Range ->
+        if hi <= lo then 0
+        else begin
+          let span = hi - lo + 1 in
+          let k = max lo (min hi key) in
+          min (shards - 1) ((k - lo) * shards / span)
+        end
+
 (* Human-readable description of a split plan (EXPLAIN). *)
 let describe plan =
   let buf = Buffer.create 256 in

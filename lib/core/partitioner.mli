@@ -30,3 +30,25 @@ val sql_of_expr : Ironsafe_sql.Ast.expr -> string
 
 val describe : plan -> string
 (** Human-readable EXPLAIN rendering of the split. *)
+
+(** {2 Partition schemes (cluster sharding)} *)
+
+type scheme = Hash | Range
+
+val scheme_name : scheme -> string
+val scheme_of_string : string -> scheme option
+
+val partition_key_index : Ironsafe_sql.Schema.t -> int option
+(** Index of the table's partition key: its first integer column, or
+    [None] when the schema has no integer column (rows then partition
+    by insertion index). *)
+
+val row_key : key_index:int option -> ord:int -> Ironsafe_sql.Row.t -> int
+(** The row's partition key value ([ord], its insertion index, when the
+    table has no integer key). *)
+
+val shard_of_key : scheme -> shards:int -> lo:int -> hi:int -> int -> int
+(** Deterministic key -> shard assignment. [Hash] mixes the key through
+    one splitmix64 step; [Range] cuts the [\[lo, hi\]] key span into
+    [shards] contiguous buckets (keys outside the span clamp to the
+    edge buckets). [shards <= 1] always yields shard 0. *)

@@ -76,3 +76,75 @@ val run_query_outcome : Deployment.t -> Config.t -> string -> outcome
 
 val total : (string * float) list -> float
 (** Sum of a breakdown. *)
+
+(** {2 Cost-charging primitives}
+
+    The per-configuration charging recipes above are built from these
+    helpers; the cluster runner ({!Ironsafe_cluster.Cluster}) reuses
+    them so an N-shard execution charges the same cost categories with
+    the same constants as the single-node arms. *)
+
+val with_counters :
+  Ironsafe_sql.Database.t ->
+  (unit -> 'a) ->
+  'a * Ironsafe_sql.Observer.counters
+(** Run a thunk with a fresh counting observer installed on [db]
+    (restored to {!Ironsafe_sql.Observer.null} afterwards). *)
+
+val snapshot_secure_stats :
+  Ironsafe_securestore.Secure_store.t -> int * int * int * int
+(** (decrypts, MAC checks, Merkle hashes, RPMB accesses) since the last
+    reset. *)
+
+val charge_crypto :
+  ?parallel:bool ->
+  ?lanes:int ->
+  Ironsafe_sim.Node.t ->
+  Ironsafe_sim.Params.t ->
+  decrypts:int ->
+  macs:int ->
+  merkle:int ->
+  rpmb:int ->
+  unit
+
+val charge_transfer :
+  Ironsafe_sim.Params.t ->
+  Ironsafe_sim.Node.t ->
+  Ironsafe_sim.Node.t ->
+  secure:bool ->
+  bytes:int ->
+  messages:int ->
+  unit
+(** Charge a bulk transfer to both ends and synchronize their clocks. *)
+
+val charge_io : Ironsafe_sim.Node.t -> Ironsafe_sim.Params.t -> int -> unit
+val charge_cache_hits : Ironsafe_sim.Node.t -> Ironsafe_sim.Params.t -> int -> unit
+val charge_compute : ?batches:int -> Ironsafe_sim.Node.t -> rows:int -> unit
+val charge_memory : Ironsafe_sim.Node.t -> category:string -> int -> unit
+
+val charge_enclave_transitions :
+  Ironsafe_sim.Node.t -> Ironsafe_sim.Params.t -> int -> unit
+
+val charge_epc :
+  Ironsafe_sim.Node.t ->
+  Ironsafe_tee.Sgx.enclave ->
+  Ironsafe_sim.Params.t ->
+  working_set:int ->
+  accesses:int ->
+  unit
+
+val merkle_bytes : Ironsafe_securestore.Secure_store.t -> int
+(** Host-resident Merkle footprint when the host verifies freshness. *)
+
+val message_count : Ironsafe_sim.Params.t -> int -> int
+(** Number of network messages a byte count batches into. *)
+
+val with_offload :
+  Ironsafe_sim.Node.t -> Ironsafe_sim.Node.t -> (unit -> 'a) -> 'a
+(** Wrap storage-side work in a [storage.exec] span on the second
+    node's lane, flow-linked to the first node's open query span. *)
+
+val violation_of_faults :
+  Ironsafe_fault.Fault.t -> default:string -> detail:string -> violation
+(** Name the violation after the last unrecovered incident (or
+    [default] when the plan recorded none). *)

@@ -176,50 +176,92 @@ let attest_host t ~quote ~location =
 
 let fresh_challenge t = C.Drbg.generate t.drbg 32
 
-let attest_storage t ~challenge ~response ~location =
+let attest_storage ?shard t ~challenge ~response ~location =
   Obs.count ~scope:obs_scope "attest_storage";
   let device_id = response.Tee.Trustzone.resp_device_id in
-  match List.assoc_opt device_id t.trusted_storage with
-  | None -> Error (Printf.sprintf "unknown storage device %s" device_id)
-  | Some (rotpk, expected_nw, version) -> (
-      match Tee.Trustzone.verify_attestation ~rotpk ~challenge response with
-      | Error e -> Error (Printf.sprintf "storage attestation failed: %s" e)
-      | Ok () ->
-          if
-            not
-              (C.Constant_time.equal response.Tee.Trustzone.resp_normal_world_hash
-                 expected_nw)
-          then
-            Error
-              "storage normal-world measurement does not match the trusted \
-               registry"
-          else begin
-            let info =
-              {
-                storage_device_id = device_id;
-                storage_version = version;
-                storage_location = location;
-                storage_nw_hash = response.Tee.Trustzone.resp_normal_world_hash;
-              }
-            in
-            t.attested_storage <-
-              info
-              :: List.filter
-                   (fun s -> s.storage_device_id <> device_id)
-                   t.attested_storage;
-            Ironsafe_obs.Span.instant ~name:"attest.storage.ok"
-              ~scope:obs_scope
-              ~attrs:[ ("device", device_id); ("location", location) ]
-              ();
-            if Obs.enabled () then
-              Obs.event ~scope:obs_scope ~kind:"attest.storage"
-                [
-                  ("ok", Ev.B true);
-                  ("device", Ev.S device_id);
-                  ("location", Ev.S location);
-                ];
-            Ok info
-          end)
+  let result =
+    match List.assoc_opt device_id t.trusted_storage with
+    | None -> Error (Printf.sprintf "unknown storage device %s" device_id)
+    | Some (rotpk, expected_nw, version) -> (
+        match Tee.Trustzone.verify_attestation ~rotpk ~challenge response with
+        | Error e -> Error (Printf.sprintf "storage attestation failed: %s" e)
+        | Ok () ->
+            if
+              not
+                (C.Constant_time.equal
+                   response.Tee.Trustzone.resp_normal_world_hash expected_nw)
+            then
+              Error
+                "storage normal-world measurement does not match the trusted \
+                 registry"
+            else begin
+              let info =
+                {
+                  storage_device_id = device_id;
+                  storage_version = version;
+                  storage_location = location;
+                  storage_nw_hash =
+                    response.Tee.Trustzone.resp_normal_world_hash;
+                }
+              in
+              t.attested_storage <-
+                info
+                :: List.filter
+                     (fun s -> s.storage_device_id <> device_id)
+                     t.attested_storage;
+              Ok info
+            end)
+  in
+  (* Cluster sessions pass [shard]: the monitor then records one
+     evidence entry per shard in the hash-chained audit log — success
+     or failure — so a rejected shard is observable as its own
+     audit-chain entry. Single-node callers pass nothing and their
+     audit/event streams stay byte-identical to the pre-cluster
+     monitor. *)
+  (match shard with
+  | None -> ()
+  | Some i ->
+      let outcome =
+        match result with
+        | Ok _ -> "attested"
+        | Error e -> "rejected: " ^ e
+      in
+      ignore
+        (Audit_log.append t.audit ~date:t.today ~actor:"monitor"
+           ~action:"attest-shard"
+           ~detail:(Printf.sprintf "shard %d device %s %s" i device_id outcome)));
+  (match result with
+  | Ok _ ->
+      Ironsafe_obs.Span.instant ~name:"attest.storage.ok" ~scope:obs_scope
+        ~attrs:
+          (("device", device_id) :: ("location", location)
+          ::
+          (match shard with
+          | Some i -> [ ("shard", string_of_int i) ]
+          | None -> []))
+        ();
+      if Obs.enabled () then
+        Obs.event ~scope:obs_scope ~kind:"attest.storage"
+          ([
+             ("ok", Ev.B true);
+             ("device", Ev.S device_id);
+             ("location", Ev.S location);
+           ]
+          @ match shard with Some i -> [ ("shard", Ev.I i) ] | None -> [])
+  | Error e -> (
+      match shard with
+      | None -> ()
+      | Some i ->
+          if Obs.enabled () then
+            Obs.event ~scope:obs_scope ~kind:"attest.storage"
+              [
+                ("ok", Ev.B false);
+                ("device", Ev.S device_id);
+                ("location", Ev.S location);
+                ("shard", Ev.I i);
+                ("error", Ev.S e);
+              ]));
+  result
 
 (* -- Authorization ---------------------------------------------------- *)
 

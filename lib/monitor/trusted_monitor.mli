@@ -79,11 +79,18 @@ val attest_host :
 val fresh_challenge : t -> string
 
 val attest_storage :
+  ?shard:int ->
   t ->
   challenge:string ->
   response:Ironsafe_tee.Trustzone.attestation_response ->
   location:string ->
   (storage_info, string) result
+(** [shard] marks a cluster-session attestation: the monitor then
+    appends one evidence entry per shard to the audit chain — on
+    success {e and} on failure, so a rejected shard leaves its own
+    distinct audit-chain entry — and the [attest.storage] forensics
+    event carries the shard id. Without [shard] the audit and event
+    streams are byte-identical to the single-node monitor. *)
 
 (** {2 Authorization} *)
 

@@ -52,21 +52,26 @@ type query_profile = {
   qp_working_set : int;
 }
 
-let profile ?project deploy config ~label ~sql =
-  let stmt = Sql.Parser.parse sql in
-  let m, tape =
-    Sim.Tape.capture (fun () -> Runner.run_stmt ?project deploy config stmt)
-  in
+let profile_run ?(working_set = fun () -> 0) ~label ~sql config run =
+  let m, tape = Sim.Tape.capture run in
   {
     qp_label = label;
     qp_sql = sql;
     qp_config = config;
     qp_tape = tape;
     qp_end_to_end_ns = m.Runner.end_to_end_ns;
+    (* sampled after the run: enclave residency the query leaves behind *)
+    qp_working_set = working_set ();
+  }
+
+let profile ?project deploy config ~label ~sql =
+  let stmt = Sql.Parser.parse sql in
+  profile_run
     (* enclave residency of this query (0 when the host enclave is off
        the query path): the EPC is shared under concurrency *)
-    qp_working_set = Tee.Sgx.heap_used deploy.Deployment.host_enclave;
-  }
+    ~working_set:(fun () -> Tee.Sgx.heap_used deploy.Deployment.host_enclave)
+    ~label ~sql config
+    (fun () -> Runner.run_stmt ?project deploy config stmt)
 
 let mean_sequential_ns profiles =
   match profiles with
@@ -211,7 +216,8 @@ type task = {
   arrive_ns : float;
   mutable events : Sim.Tape.event list;
   mutable h : float;  (** task-local host clock (absolute) *)
-  mutable s : float;  (** task-local storage clock (absolute) *)
+  s : float array;  (** task-local storage clocks, one per storage node *)
+  mutable last_s : int;  (** index of the last-charged storage node *)
   mutable lane : int;
   mutable start_ns : float;
   mutable segments_rev : (string * float * float) list;
@@ -242,7 +248,7 @@ let validate spec profiles =
         invalid_arg "Sched.run: mixed configurations in one workload";
       p.qp_config
 
-let run ?gate deploy spec profiles =
+let run ?gate ?storage_nodes deploy spec profiles =
   let config = validate spec profiles in
   let params = deploy.Deployment.params in
   let host_name = Sim.Node.name deploy.Deployment.host in
@@ -250,14 +256,46 @@ let run ?gate deploy spec profiles =
     Server.create ~name:"host.cores"
       ~slots:(Sim.Cpu.cores (Sim.Node.cpu deploy.Deployment.host))
   in
-  let storage_srv =
-    Server.create ~name:"storage.cores"
-      ~slots:(Sim.Cpu.cores (Sim.Node.cpu deploy.Deployment.storage))
+  (* One (cores, device, channel) server triple per storage node: a
+     sharded cluster contends each shard's ARM cores, NVMe queue depth
+     and host<->shard channel streams independently, sharing only the
+     host. With the default single storage node the servers keep their
+     legacy names, so existing runs are byte-identical. *)
+  let storage_nodes =
+    match storage_nodes with
+    | None | Some [] -> [| deploy.Deployment.storage |]
+    | Some l -> Array.of_list l
   in
-  let device_srv =
-    Server.create ~name:"storage.device" ~slots:spec.device_queue_depth
+  let n_storage = Array.length storage_nodes in
+  let storage_index : (string, int) Hashtbl.t = Hashtbl.create 8 in
+  Array.iteri
+    (fun i n -> Hashtbl.replace storage_index (Sim.Node.name n) i)
+    storage_nodes;
+  if Hashtbl.length storage_index <> n_storage then
+    invalid_arg "Sched.run: duplicate storage node names";
+  if Hashtbl.mem storage_index host_name then
+    invalid_arg "Sched.run: host listed among storage nodes";
+  let storage_srvs =
+    Array.map
+      (fun node ->
+        let prefix =
+          if n_storage = 1 then "storage" else Sim.Node.name node
+        in
+        ( Server.create ~name:(prefix ^ ".cores")
+            ~slots:(Sim.Cpu.cores (Sim.Node.cpu node)),
+          Server.create ~name:(prefix ^ ".device")
+            ~slots:spec.device_queue_depth,
+          Server.create
+            ~name:(if n_storage = 1 then "channel" else prefix ^ ".channel")
+            ~slots:spec.channel_streams ))
+      storage_nodes
   in
-  let channel_srv = Server.create ~name:"channel" ~slots:spec.channel_streams in
+  (* tapes recorded against a node outside the set (never the case for
+     runner/cluster tapes) fall back to the first storage node, which is
+     exactly the legacy routing when there is one *)
+  let storage_idx node =
+    match Hashtbl.find_opt storage_index node with Some i -> i | None -> 0
+  in
   let epc_limit = params.Sim.Params.epc_limit_bytes in
   (* EPC occupancy starts at the decrypted-page pool's footprint when
      the pool lives inside the host enclave (hos); it is pinned cache
@@ -348,7 +386,8 @@ let run ?gate deploy spec profiles =
       arrive_ns;
       events = [];
       h = arrive_ns;
-      s = arrive_ns;
+      s = Array.make n_storage arrive_ns;
+      last_s = 0;
       lane = session;
       start_ns = arrive_ns;
       segments_rev = [];
@@ -378,11 +417,13 @@ let run ?gate deploy spec profiles =
     if others <= 0 || epc_limit <= 0 then 1.0
     else 1.0 +. (float_of_int others /. float_of_int epc_limit)
   in
+  let done_time task = Array.fold_left Float.max task.h task.s in
   let ready_time task =
     match task.events with
-    | [] | Sim.Tape.Sync _ :: _ -> Float.max task.h task.s
+    | [] -> done_time task
+    | Sim.Tape.Sync _ :: _ -> Float.max task.h task.s.(task.last_s)
     | Sim.Tape.Charge { node; _ } :: _ ->
-        if node = host_name then task.h else task.s
+        if node = host_name then task.h else task.s.(storage_idx node)
   in
 
   let rec admit task t =
@@ -410,7 +451,7 @@ let run ?gate deploy spec profiles =
         incr inflight;
         task.lane <- take_lane task;
         task.h <- t;
-        task.s <- t;
+        Array.fill task.s 0 (Array.length task.s) t;
         task.events <-
           (if spec.control_ns > 0.0 then
              Sim.Tape.Charge
@@ -462,7 +503,7 @@ let run ?gate deploy spec profiles =
   in
 
   let complete task =
-    let done_t = Float.max task.h task.s in
+    let done_t = done_time task in
     let latency = done_t -. task.arrive_ns in
     incr completed;
     (tstat task.tenant).t_completed <- (tstat task.tenant).t_completed + 1;
@@ -491,37 +532,49 @@ let run ?gate deploy spec profiles =
         | Sim.Tape.Charge { node; category; ns } ->
             if ns > 0.0 then begin
               let on_host = node = host_name in
+              let idx = if on_host then -1 else storage_idx node in
               let server =
                 if on_host then host_srv
-                else if category = "io" then device_srv
-                else storage_srv
+                else
+                  let cores, device, _ = storage_srvs.(idx) in
+                  if category = "io" then device else cores
               in
               let dur =
                 if category = "epc" then ns *. epc_factor task else ns
               in
-              let at = if on_host then task.h else task.s in
+              let at = if on_host then task.h else task.s.(idx) in
               let start = Server.request server ~at ~duration_ns:dur in
               let fin = start +. dur in
-              if on_host then task.h <- fin else task.s <- fin;
+              if on_host then task.h <- fin
+              else begin
+                task.s.(idx) <- fin;
+                task.last_s <- idx
+              end;
               task.segments_rev <-
                 (node ^ "." ^ category, start, fin) :: task.segments_rev
             end
         | Sim.Tape.Sync { transfer_ns } ->
-            let at = Float.max task.h task.s in
+            (* the tape's sync carries no node name: a sync always
+               follows charges to the node it pairs with, so it rides
+               that node's channel *)
+            let idx = task.last_s in
+            let _, _, channel_srv = storage_srvs.(idx) in
+            let at = Float.max task.h task.s.(idx) in
             let fin =
               if transfer_ns > 0.0 then begin
                 let start =
                   Server.request channel_srv ~at ~duration_ns:transfer_ns
                 in
                 task.segments_rev <-
-                  ("channel.transfer", start, start +. transfer_ns)
+                  (Server.name channel_srv ^ ".transfer", start,
+                   start +. transfer_ns)
                   :: task.segments_rev;
                 start +. transfer_ns
               end
               else at
             in
             task.h <- fin;
-            task.s <- fin);
+            task.s.(idx) <- fin);
         push (ready_time task) (Step task)
   in
 
@@ -576,7 +629,11 @@ let run ?gate deploy spec profiles =
     rep_util =
       List.map
         (fun srv -> (Server.name srv, Server.utilization srv ~makespan_ns))
-        [ host_srv; storage_srv; device_srv; channel_srv ];
+        (host_srv
+         :: (Array.to_list storage_srvs
+            |> List.concat_map (fun (cores, device, _) -> [ cores; device ]))
+        @ (Array.to_list storage_srvs
+          |> List.map (fun (_, _, channel) -> channel)));
   }
 
 (* -- tenant gate through the trusted monitor --------------------------- *)

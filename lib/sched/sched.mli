@@ -32,6 +32,18 @@ val profile :
     and package the result for replay. Resets the deployment first
     (via the runner's own reset). *)
 
+val profile_run :
+  ?working_set:(unit -> int) ->
+  label:string ->
+  sql:string ->
+  Ironsafe.Config.t ->
+  (unit -> Ironsafe.Runner.metrics) ->
+  query_profile
+(** Tape-capture an arbitrary runner invocation — e.g. a sharded
+    {!Ironsafe_cluster.Cluster.run_stmt}, whose tape charges several
+    storage nodes. [working_set] (default 0) is sampled after the run
+    to report the enclave residency the query leaves behind. *)
+
 val mean_sequential_ns : query_profile list -> float
 
 (** {2 Workload specification} *)
@@ -127,6 +139,7 @@ type report = {
 
 val run :
   ?gate:(tenant:string -> sql:string -> (unit, string) result) ->
+  ?storage_nodes:Ironsafe_sim.Node.t list ->
   Ironsafe.Deployment.t ->
   spec ->
   query_profile list ->
@@ -134,8 +147,21 @@ val run :
 (** Simulate [spec]'s arrival process drawing uniformly from the query
     mix [profiles]; [gate] (default: admit all) authorizes each query
     under its tenant before it may execute.
-    @raise Invalid_argument on an infeasible spec, an empty mix, or a
-    mix spanning different configurations. *)
+
+    [storage_nodes] (default: the deployment's single storage node)
+    lists the parallel contended storage servers: each node gets its
+    own ARM-cores, NVMe-queue-depth and channel-stream servers (named
+    [<node>.cores] / [<node>.device] / [<node>.channel]), and tape
+    charges route to the server set of the node they were recorded
+    against, so a sharded cluster's scatter phases contend per shard
+    while sharing the host's gather capacity. With one storage node
+    the servers keep the legacy names ([storage.cores],
+    [storage.device], [channel]) and the replay is byte-identical to
+    before the parameter existed.
+
+    @raise Invalid_argument on an infeasible spec, an empty mix, a
+    mix spanning different configurations, duplicate storage node
+    names, or the host listed among the storage nodes. *)
 
 val monitor_gate :
   ?database:string ->

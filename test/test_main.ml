@@ -26,4 +26,5 @@ let () =
       ("faults", Test_fault.suite);
       ("wal", Test_wal.suite);
       ("sched", Test_sched.suite);
+      ("cluster", Test_cluster.suite);
     ]
