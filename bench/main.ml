@@ -19,16 +19,26 @@
 
      microbench wall-clock ns/op of the hot-path kernels (AES, CBC,
                 SHA-256/HMAC, Merkle, secure-store read, buffer-pool
-                hit/miss, obs hooks on/off) → BENCH_hotpath.json
+                hit/miss, obs hooks on/off, scheduler event queue and
+                tape cursor) → BENCH_hotpath.json
+
+     saturation open-loop knee sweep at 10^5+ concurrent sessions
+                (not part of "all"; --sat-sessions/--sat-queries/
+                --sample-sessions/--saturation-out/--sat-floor)
+                → BENCH_saturation.json
 
    Usage: main.exe [--experiment <id>] [--scale <sf>] [--no-micro]
           [--trace-out FILE] [--quick] [--bench-out FILE]
-          [--check-floor FILE]
+          [--check-floor FILE] [--sat-sessions N] [--sat-queries N]
+          [--sample-sessions N] [--saturation-out FILE]
+          [--sat-floor FILE]
 
    --quick shrinks the microbench measurement windows (CI mode);
    --check-floor compares the microbench results against a floor file
    (`kernel max-ns` lines) and fails the run if any kernel regresses
-   past 2x its entry.
+   past 2x its entry. --sat-floor fails the saturation sweep if its
+   overall simulator throughput drops below the floor file's
+   events-per-sec entry.
 
    With --trace-out, observability collection is enabled for the whole
    run and a Chrome trace_event JSON (virtual-time timestamps; open in
@@ -940,9 +950,7 @@ let cluster scale =
             queue_depth = 16;
           }
         in
-        let storage_nodes =
-          match Cluster.shard_nodes cl with [] -> None | l -> Some l
-        in
+        let storage_nodes = Cluster.sched_storage_nodes cl in
         let r = Sched.run ?storage_nodes d spec profiles in
         let qps = r.Sched.rep_throughput_qps in
         if !base_qps = 0.0 then base_qps := qps;
@@ -1212,6 +1220,42 @@ let microbench _scale =
   let scan_sql =
     "select l_orderkey, l_quantity from lineitem where l_quantity < 25"
   in
+  (* Scheduler kernels: the two inner primitives of the 10^5-session
+     replay loop. event_queue_push_pop works the pairing heap at a
+     realistic standing depth (64Ki pending events, pseudo-random
+     times), one push+pop per op. tape_cursor_replay walks a shared
+     interned tape the way a session's cursor does — per-event class /
+     node / duration / label reads — reported per event. *)
+  let module Eq = Ironsafe_sched.Event_queue in
+  let eq = Eq.create ~dummy:0 in
+  let eq_depth = 65536 in
+  let eq_state = ref 0x2545F4914F6CDD1D in
+  let eq_next () =
+    (* xorshift64: deterministic event times in [0, 2^20) *)
+    let x = !eq_state in
+    let x = x lxor (x lsl 13) in
+    let x = x lxor (x lsr 7) in
+    let x = x lxor (x lsl 17) in
+    eq_state := x;
+    float_of_int (x land 0xFFFFF)
+  in
+  for i = 1 to eq_depth do
+    Eq.push eq (eq_next ()) i
+  done;
+  let replay_tape =
+    Sim.Tape.intern
+      (List.concat_map
+         (fun i ->
+           [
+             Sim.Tape.Charge
+               { node = "host"; category = "scan"; ns = float_of_int (100 + i) };
+             Sim.Tape.Charge { node = "storage"; category = "io"; ns = 250.0 };
+             Sim.Tape.Sync { transfer_ns = 40.0 };
+           ])
+         (List.init 24 Fun.id))
+  in
+  let replay_len = Sim.Tape.interned_length replay_tape in
+  let replay_sink = ref 0.0 in
   (* Observability-overhead kernels: the per-call price of the
      instrumentation hooks. obs-off is the fast path every charge site
      pays when tracing is disabled (one boolean load per hook); the
@@ -1317,6 +1361,20 @@ let microbench _scale =
          if !span_ops land 0xffff = 0 then Ironsafe_obs.Obs.reset ();
          Ironsafe_obs.Span.with_ ~clock:bclock ~name:"hook" ~scope:"bench"
            (fun () -> ()));
+      ("event_queue_push_pop", 1,
+       fun () ->
+         Eq.push eq (eq_next ()) 0;
+         ignore (Eq.pop eq));
+      ("tape_cursor_replay", replay_len,
+       fun () ->
+         let acc = ref 0.0 in
+         for i = 0 to replay_len - 1 do
+           let cls = Sim.Tape.cls replay_tape i in
+           if cls <> Sim.Tape.cls_sync then
+             ignore (Sys.opaque_identity (Sim.Tape.label replay_tape i));
+           acc := !acc +. Sim.Tape.ns replay_tape i
+         done;
+         replay_sink := !acc);
     ]
   in
   let results =
@@ -1363,6 +1421,238 @@ let microbench _scale =
     derived;
   write_hotpath_json ~derived results;
   Option.iter (check_floor results) !floor_file
+
+(* ------------------------------------------------------------------ *)
+(* Saturation: open-loop knee-finding sweep at 10^5-10^6 concurrent
+   sessions. Every config gets --sat-sessions lanes (admission =
+   run-queue = session count, so nothing sheds before the knee) and an
+   offered-load sweep at fixed multiples of its analytic capacity: the
+   per-query demand each contended server class sees, read off the
+   interned tapes, divided by that server's slots — the bottleneck
+   bounds the deliverable rate. The knee is the first point delivering
+   < 95% of the offered rate. Forensics are bounded to
+   --sample-sessions lanes (counts, percentiles, utilization and
+   makespan stay exact), which is what holds the heap to O(sessions)
+   instead of O(queries x tape length). BENCH_saturation.json records
+   per-point delivered qps, tail latencies, simulator throughput
+   (events/sec wall-clock: rep_events / rep_wall_ns) and the peak live
+   heap as a memory guard; --sat-floor gates the overall events/sec
+   against bench/floor_saturation.txt. *)
+
+let saturation_out = ref "BENCH_saturation.json"
+let sat_sessions = ref 100_000
+let sat_queries = ref 0 (* 0: 2x sessions *)
+let sat_sample = ref 64
+let sat_floor : string option ref = ref None
+
+(* pre-refactor reference on the dev container: the ordered-map event
+   queue with per-session event lists sustained ~5.0e4 events/sec
+   open-loop at 10^4 lanes, and did not finish a 10^5-lane sweep
+   inside 10 minutes (the sorted free-lane list alone is O(n log n)
+   per completion). Ratios in the JSON are against this figure. *)
+let sat_baseline_events_per_sec = 5.0e4
+
+let saturation scale =
+  header "Saturation: open-loop knee sweep at 10^5+ concurrent sessions";
+  let d = deployment ~scale () in
+  let sessions = !sat_sessions in
+  let queries = if !sat_queries > 0 then !sat_queries else 2 * sessions in
+  let mix = [ 1; 6 ] in
+  let multipliers = [ 0.25; 0.5; 1.0; 2.0; 4.0 ] in
+  let host_name = Sim.Node.name d.Deployment.host in
+  let host_slots =
+    float_of_int (Sim.Cpu.cores (Sim.Node.cpu d.Deployment.host))
+  in
+  let store_slots =
+    float_of_int (Sim.Cpu.cores (Sim.Node.cpu d.Deployment.storage))
+  in
+  let spec0 = Sched.default_spec in
+  Fmt.pr
+    "mix: TPC-H %s; %d session lanes, %d queries/point; forensics bounded \
+     to ~%d lanes@."
+    (String.concat "/" (List.map (fun q -> Printf.sprintf "Q%d" q) mix))
+    sessions queries !sat_sample;
+  Fmt.pr "%-6s %6s %12s %12s %8s %6s %9s %9s %11s %9s@." "config" "mult"
+    "offered" "qps" "done" "shed" "p50(ms)" "p99(ms)" "events/s" "heap(MB)";
+  let per_config =
+    List.map
+      (fun config ->
+        let profiles =
+          List.map
+            (fun qid ->
+              let q = Tpch.Queries.by_id qid in
+              Sched.profile d config
+                ~label:(Printf.sprintf "q%d" qid)
+                ~sql:q.Tpch.Queries.sql)
+            mix
+        in
+        (* analytic capacity from the interned tapes: mean per-query
+           occupancy of each server class over the mix, divided by the
+           class's parallel slots *)
+        let h = ref 0.0 and c = ref 0.0 and io = ref 0.0 and ch = ref 0.0 in
+        List.iter
+          (fun p ->
+            let it = p.Sched.qp_itape in
+            let names = Sim.Tape.interned_nodes it in
+            let is_host = Array.map (fun nm -> nm = host_name) names in
+            for i = 0 to Sim.Tape.interned_length it - 1 do
+              let cls = Sim.Tape.cls it i in
+              let ns = Sim.Tape.ns it i in
+              if cls = Sim.Tape.cls_sync then ch := !ch +. ns
+              else if is_host.(Sim.Tape.node_id it i) then h := !h +. ns
+              else if cls = Sim.Tape.cls_io then io := !io +. ns
+              else c := !c +. ns
+            done)
+          profiles;
+        let n = float_of_int (List.length profiles) in
+        let bottleneck_ns =
+          List.fold_left Float.max 0.0
+            [
+              !h /. n /. host_slots;
+              !c /. n /. store_slots;
+              !io /. n /. float_of_int spec0.Sched.device_queue_depth;
+              !ch /. n /. float_of_int spec0.Sched.channel_streams;
+            ]
+        in
+        let capacity = 1e9 /. bottleneck_ns in
+        let points =
+          List.map
+            (fun mult ->
+              let qps = mult *. capacity in
+              let spec =
+                {
+                  spec0 with
+                  Sched.seed = !workload_seed;
+                  arrival = Sched.Open_loop { qps };
+                  queries;
+                  max_inflight = sessions;
+                  queue_depth = sessions;
+                  sample_sessions = !sat_sample;
+                }
+              in
+              let r = Sched.run d spec profiles in
+              let evs =
+                float_of_int r.Sched.rep_events /. (r.Sched.rep_wall_ns /. 1e9)
+              in
+              let heap_mb = float_of_int (r.Sched.rep_peak_words * 8) /. 1e6 in
+              Fmt.pr
+                "%-6s %6.2f %12.1f %12.1f %8d %6d %9.3f %9.3f %11.0f %9.1f@."
+                (Config.abbrev config) mult qps r.Sched.rep_throughput_qps
+                r.Sched.rep_completed r.Sched.rep_shed
+                (ms r.Sched.rep_latency.Sched.p50_ns)
+                (ms r.Sched.rep_latency.Sched.p99_ns)
+                evs heap_mb;
+              (mult, qps, r, evs, heap_mb))
+            multipliers
+        in
+        let knee =
+          List.find_opt
+            (fun (_, qps, r, _, _) ->
+              r.Sched.rep_throughput_qps < 0.95 *. qps)
+            points
+        in
+        (match knee with
+        | Some (mult, qps, _, _, _) ->
+            Fmt.pr "%-6s knee at %.2fx capacity (offered %.1f qps)@."
+              (Config.abbrev config) mult qps
+        | None ->
+            Fmt.pr "%-6s no knee inside the sweep (delivered >= 95%% of \
+                    offered everywhere)@."
+              (Config.abbrev config));
+        (config, capacity, knee, points))
+      Config.all
+  in
+  let tot_events, tot_wall, peak_mb =
+    List.fold_left
+      (fun acc (_, _, _, points) ->
+        List.fold_left
+          (fun (e, w, pk) (_, _, r, _, mb) ->
+            (e + r.Sched.rep_events, w +. (r.Sched.rep_wall_ns /. 1e9),
+             Float.max pk mb))
+          acc points)
+      (0, 0.0, 0.0) per_config
+  in
+  let overall = float_of_int tot_events /. tot_wall in
+  Fmt.pr
+    "@.overall: %d events in %.2fs wall = %.0f events/sec (%.1fx the \
+     pre-refactor queue); peak live heap %.1f MB@."
+    tot_events tot_wall overall
+    (overall /. sat_baseline_events_per_sec)
+    peak_mb;
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\n  \"schema\": \"ironsafe-saturation-v1\",\n";
+  Printf.bprintf buf
+    "  \"scale\": %g,\n  \"sessions\": %d,\n  \"queries_per_point\": %d,\n"
+    scale sessions queries;
+  Printf.bprintf buf "  \"sample_sessions\": %d,\n  \"seed\": %d,\n"
+    !sat_sample !workload_seed;
+  Printf.bprintf buf "  \"mix\": [%s],\n"
+    (String.concat ", " (List.map string_of_int mix));
+  Printf.bprintf buf "  \"baseline_events_per_sec\": %.0f,\n"
+    sat_baseline_events_per_sec;
+  Buffer.add_string buf "  \"configs\": [\n";
+  List.iteri
+    (fun ci (config, capacity, knee, points) ->
+      Printf.bprintf buf
+        "    {\"config\": %S, \"capacity_qps\": %.3f, \"knee_multiplier\": %s,\n"
+        (Config.abbrev config) capacity
+        (match knee with
+        | Some (mult, _, _, _, _) -> Printf.sprintf "%.2f" mult
+        | None -> "null");
+      Buffer.add_string buf "     \"points\": [\n";
+      List.iteri
+        (fun i (mult, qps, r, evs, heap_mb) ->
+          Printf.bprintf buf
+            "       {\"multiplier\": %.2f, \"offered_qps\": %.3f, \"qps\": \
+             %.3f, \"completed\": %d, \"shed\": %d, \"p50_ms\": %.6f, \
+             \"p95_ms\": %.6f, \"p99_ms\": %.6f, \"events\": %d, \"wall_s\": \
+             %.4f, \"events_per_sec\": %.0f, \"peak_heap_mb\": %.1f}%s\n"
+            mult qps r.Sched.rep_throughput_qps r.Sched.rep_completed
+            r.Sched.rep_shed
+            (ms r.Sched.rep_latency.Sched.p50_ns)
+            (ms r.Sched.rep_latency.Sched.p95_ns)
+            (ms r.Sched.rep_latency.Sched.p99_ns)
+            r.Sched.rep_events
+            (r.Sched.rep_wall_ns /. 1e9)
+            evs heap_mb
+            (if i = List.length points - 1 then "" else ","))
+        points;
+      Printf.bprintf buf "     ]}%s\n"
+        (if ci = List.length per_config - 1 then "" else ","))
+    per_config;
+  Buffer.add_string buf "  ],\n";
+  Printf.bprintf buf
+    "  \"overall\": {\"events\": %d, \"wall_s\": %.4f, \"events_per_sec\": \
+     %.0f, \"speedup_vs_baseline\": %.2f, \"peak_heap_mb\": %.1f}\n"
+    tot_events tot_wall overall
+    (overall /. sat_baseline_events_per_sec)
+    peak_mb;
+  Buffer.add_string buf "}\n";
+  let json = Buffer.contents buf in
+  if not (Ironsafe_obs.Chrome_trace.is_valid_json json) then begin
+    Fmt.epr "internal error: emitted saturation JSON is not valid@.";
+    exit 1
+  end;
+  let oc = open_out !saturation_out in
+  output_string oc json;
+  close_out oc;
+  Fmt.pr "@.wrote %s@." !saturation_out;
+  (* floor gate: minimum acceptable overall simulator throughput
+     (direction reversed from the ns/op kernel floors) *)
+  match !sat_floor with
+  | None -> ()
+  | Some file -> (
+      match List.assoc_opt "events-per-sec" (load_floor file) with
+      | None ->
+          Fmt.epr "floor file %s has no events-per-sec entry@." file;
+          exit 1
+      | Some min_evs when overall < min_evs ->
+          Fmt.epr "REGRESSION saturation: %.0f events/sec < floor %.0f@."
+            overall min_evs;
+          exit 1
+      | Some min_evs ->
+          Fmt.pr "floor check: %.0f events/sec >= %.0f (%s)@." overall
+            min_evs file)
 
 (* ------------------------------------------------------------------ *)
 
@@ -1450,6 +1740,21 @@ let () =
     | "--check-floor" :: v :: rest ->
         floor_file := Some v;
         parse rest
+    | "--sat-sessions" :: v :: rest ->
+        sat_sessions := int_of_string v;
+        parse rest
+    | "--sat-queries" :: v :: rest ->
+        sat_queries := int_of_string v;
+        parse rest
+    | "--sample-sessions" :: v :: rest ->
+        sat_sample := int_of_string v;
+        parse rest
+    | "--saturation-out" :: v :: rest ->
+        saturation_out := v;
+        parse rest
+    | "--sat-floor" :: v :: rest ->
+        sat_floor := Some v;
+        parse rest
     | "--cluster-out" :: v :: rest ->
         cluster_out := v;
         parse rest
@@ -1488,14 +1793,18 @@ let () =
   in
   (match !experiment with
   | "all" ->
+      (* the 10^5-session saturation sweep is a targeted run, not part
+         of "all" — invoke it with --experiment saturation *)
       List.iter (fun (name, f) -> guarded name f !scale) experiments;
       if !run_micro then micro ()
   | "micro" -> micro ()
+  | "saturation" -> guarded "saturation" saturation !scale
   | name -> (
       match List.assoc_opt name experiments with
       | Some f -> guarded name f !scale
       | None ->
-          Fmt.epr "unknown experiment %s (available: %s, micro)@." name
+          Fmt.epr "unknown experiment %s (available: %s, micro, saturation)@."
+            name
             (String.concat ", " (List.map fst experiments));
           exit 2));
   if Fault.enabled !fault_plan then Fmt.pr "@.faults: %s@." (faults_json ());

@@ -508,6 +508,18 @@ let workload_cmd =
       & info [ "queue-depth" ] ~docv:"N"
           ~doc:"Run-queue depth; arrivals beyond it are shed.")
   in
+  let sample_sessions =
+    Arg.(
+      value & opt int (-1)
+      & info [ "sample-sessions" ] ~docv:"N"
+          ~doc:
+            "Bound forensics to about $(docv) session lanes (deterministic \
+             selection). Counts, per-tenant stats, utilization and latency \
+             percentiles stay exact over every session; only the event log, \
+             per-query records and trace segments are limited to the \
+             sampled lanes. -1 (the default) keeps everything — required \
+             below ~10^5 sessions only if you want the full log.")
+  in
   let json =
     Arg.(value & flag & info [ "json" ] ~doc:"Emit the report as JSON.")
   in
@@ -519,7 +531,7 @@ let workload_cmd =
           ~doc:"Write a Chrome trace (one lane per session) to $(docv).")
   in
   let run scale config qps sessions think_ms queries tenants seed max_inflight
-      queue_depth json trace_out pool_frames shards scheme =
+      queue_depth sample_sessions json trace_out pool_frames shards scheme =
     let deploy = build_deployment ~pool_frames scale in
     let cl =
       if shards > 1 then Some (build_cluster ~shards ~scheme deploy) else None
@@ -564,6 +576,7 @@ let workload_cmd =
         tenants = tenant_names;
         max_inflight;
         queue_depth;
+        sample_sessions;
         control_ns =
           p.Ironsafe_sim.Params.monitor_policy_ns
           +. p.Ironsafe_sim.Params.monitor_session_ns;
@@ -571,10 +584,7 @@ let workload_cmd =
     in
     let gate = Sched.monitor_gate deploy in
     let storage_nodes =
-      match cl with
-      | Some cl when Cluster.shard_nodes cl <> [] ->
-          Some (Cluster.shard_nodes cl)
-      | _ -> None
+      Option.bind cl Cluster.sched_storage_nodes
     in
     let report = Sched.run ~gate ?storage_nodes deploy spec profiles in
     if json then print_endline (Sched.json_of_report report)
@@ -600,8 +610,8 @@ let workload_cmd =
           report throughput and tail latency")
     Term.(
       const run $ scale_arg $ config_arg $ qps $ sessions $ think_ms $ queries
-      $ tenants $ seed $ max_inflight $ queue_depth $ json $ trace_out
-      $ pool_frames_arg $ shards_arg $ scheme_arg)
+      $ tenants $ seed $ max_inflight $ queue_depth $ sample_sessions $ json
+      $ trace_out $ pool_frames_arg $ shards_arg $ scheme_arg)
 
 let shell_cmd =
   let run scale policy =

@@ -63,6 +63,13 @@ let scheme t = t.scheme
 let ord_column t = t.ord_col
 let shard_nodes t = Array.to_list (Array.map (fun sh -> sh.sh_node) t.shards)
 
+(* The exact value the workload scheduler's [?storage_nodes] expects:
+   [None] for a single node (legacy server names, byte-identical
+   replay), the shard node list otherwise. One definition so bench
+   sweeps and tests cannot disagree on the mapping. *)
+let sched_storage_nodes t =
+  match shard_nodes t with [] -> None | l -> Some l
+
 let shard_device_ids t =
   Array.to_list (Array.map (fun sh -> Tee.Trustzone.device_id sh.sh_tz) t.shards)
 

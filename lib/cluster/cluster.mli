@@ -44,6 +44,13 @@ val ord_column : t -> string
 val shard_nodes : t -> Ironsafe_sim.Node.t list
 (** Simulated nodes of the shards (empty when [nshards = 1]). *)
 
+val sched_storage_nodes : t -> Ironsafe_sim.Node.t list option
+(** The [?storage_nodes] argument for the workload scheduler's
+    [Sched.run] when replaying tapes captured through this cluster:
+    [None] with a single node (so the replay keeps the legacy server
+    names and is byte-identical to a plain deployment), the shard
+    nodes otherwise (per-shard contended servers). *)
+
 val shard_device_ids : t -> string list
 
 val reset_counters : t -> unit

@@ -64,6 +64,64 @@ let observe t ~scope name v =
   | Hist h -> Histogram.observe h v
   | Counter _ | Gauge _ -> assert false
 
+(* -- pre-resolved handles ---------------------------------------------- *)
+
+(* [incr]/[observe] pay a hashtable probe on a [(scope, name)] key per
+   call; hot reporters (the workload scheduler touches its counters
+   once per query across 10^5-10^6 queries) pre-resolve a handle
+   instead. The cell is looked up lazily on the first hit — a handle
+   that is never hit never creates its cell, so the registry contents
+   match the direct calls exactly. Handles cache the resolved cell and
+   must not be reused across [reset]. *)
+
+type counter = {
+  c_reg : t;
+  c_scope : string;
+  c_name : string;
+  mutable c_cell : int ref option;
+}
+
+let counter t ~scope name =
+  { c_reg = t; c_scope = scope; c_name = name; c_cell = None }
+
+let counter_add c by =
+  match c.c_cell with
+  | Some r -> r := !r + by
+  | None -> (
+      match
+        cell c.c_reg ~scope:c.c_scope c.c_name
+          (fun () -> Counter (ref 0))
+          "counter"
+      with
+      | Counter r ->
+          c.c_cell <- Some r;
+          r := !r + by
+      | Gauge _ | Hist _ -> assert false)
+
+type series = {
+  s_reg : t;
+  s_scope : string;
+  s_name : string;
+  mutable s_cell : Histogram.t option;
+}
+
+let series t ~scope name =
+  { s_reg = t; s_scope = scope; s_name = name; s_cell = None }
+
+let series_observe s v =
+  match s.s_cell with
+  | Some h -> Histogram.observe h v
+  | None -> (
+      match
+        cell s.s_reg ~scope:s.s_scope s.s_name
+          (fun () -> Hist (Histogram.create ()))
+          "histogram"
+      with
+      | Hist h ->
+          s.s_cell <- Some h;
+          Histogram.observe h v
+      | Counter _ | Gauge _ -> assert false)
+
 (* -- snapshots -------------------------------------------------------- *)
 
 type snapshot = {

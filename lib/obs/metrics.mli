@@ -25,6 +25,24 @@ val incr : ?by:int -> t -> scope:string -> string -> unit
 val set : t -> scope:string -> string -> float -> unit
 val observe : t -> scope:string -> string -> float -> unit
 
+(** {2 Pre-resolved handles}
+
+    [incr]/[observe] probe the registry hashtable on every call; hot
+    reporters pre-resolve a handle once and update through it. The
+    cell is created lazily on the first hit, so a handle that is never
+    hit leaves the registry exactly as the direct calls would. Handles
+    cache the resolved cell: do not reuse one across {!reset}. *)
+
+type counter
+
+val counter : t -> scope:string -> string -> counter
+val counter_add : counter -> int -> unit
+
+type series
+
+val series : t -> scope:string -> string -> series
+val series_observe : series -> float -> unit
+
 type snapshot
 (** Immutable view of a registry: sorted items plus a hash index. *)
 

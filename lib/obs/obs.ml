@@ -56,6 +56,17 @@ let gauge ~scope name v =
 let observe ~scope name v =
   if !Control.enabled then Metrics.observe Metrics.default ~scope name v
 
+(* Handle variants for per-query hot paths: the (scope, name) lookup
+   happens once at handle creation (lazily, on first hit), not per
+   call. Same enabled gate, same registry contents. *)
+let counter ~scope name = Metrics.counter Metrics.default ~scope name
+
+let count_via ?(n = 1) c =
+  if !Control.enabled then Metrics.counter_add c n
+
+let series ~scope name = Metrics.series Metrics.default ~scope name
+let observe_via s v = if !Control.enabled then Metrics.series_observe s v
+
 (* Every virtual-time charge of a simulated node flows through here:
    recorded as a per-node histogram and attributed to the innermost
    open span. *)

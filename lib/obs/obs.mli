@@ -26,6 +26,17 @@ val count : ?n:int -> scope:string -> string -> unit
 val gauge : scope:string -> string -> float -> unit
 val observe : scope:string -> string -> float -> unit
 
+val counter : scope:string -> string -> Metrics.counter
+(** Pre-resolved counter handle into the default registry — for hot
+    paths that report per query; see {!Metrics.counter}. *)
+
+val count_via : ?n:int -> Metrics.counter -> unit
+(** Like {!count} through a handle (no per-call registry probe). *)
+
+val series : scope:string -> string -> Metrics.series
+val observe_via : Metrics.series -> float -> unit
+(** Like {!observe} through a handle. *)
+
 val on_charge : node:string -> category:string -> float -> unit
 (** Record a virtual-time charge: per-node histogram + innermost span. *)
 

@@ -1,0 +1,139 @@
+(* Intrusive pairing heap specialized to (time : float, seq : int)
+   keys — the scheduler's virtual-time event queue.
+
+   The previous queue was a polymorphic [Map] over [(float * int)]
+   tuples: every insert boxed a key tuple and rebuilt an O(log n) path
+   of 5-word branch nodes, and every pop paid the same again. At 10^5
+   to 10^6 pending events that allocation dominates the replay loop.
+
+   Here each pending event is one mutable node holding its key fields
+   inline (no tuple) and two intrusive links (leftmost child, next
+   sibling) threaded through the nodes themselves. [push] is O(1): one
+   comparison-and-link against the root. [pop] removes the root and
+   melds its children with the classic two-pass pairing, O(log n)
+   amortized. Popped nodes go on a free list and are recycled by later
+   pushes, so the steady-state loop allocates nothing.
+
+   Determinism: keys are totally ordered — [seq] is assigned by the
+   queue itself, monotonically per push, and breaks every time tie —
+   so the pop sequence is a pure function of the push sequence,
+   whatever shape the heap takes internally. This is what lets the
+   pairing heap replace the ordered map with a provably unchanged
+   replay order (asserted byte-for-byte by the golden tests).
+
+   Absent links are represented by a sentinel node (cyclic on itself)
+   rather than [option], so linking never allocates a [Some] box. *)
+
+type 'a node = {
+  mutable time : float;
+  mutable seq : int;
+  mutable value : 'a;
+  mutable child : 'a node;  (* leftmost child; [nil] when none *)
+  mutable sibling : 'a node;  (* next younger sibling; [nil] when none *)
+}
+
+type 'a t = {
+  nil : 'a node;  (* sentinel: links point to itself, value is [dummy] *)
+  mutable root : 'a node;  (* == nil when empty *)
+  mutable free : 'a node;  (* recycled nodes, linked via [sibling] *)
+  mutable size : int;
+  mutable seq : int;  (* next tie-break sequence number *)
+}
+
+let create ~dummy =
+  let rec nil =
+    { time = nan; seq = -1; value = dummy; child = nil; sibling = nil }
+  in
+  { nil; root = nil; free = nil; size = 0; seq = 0 }
+
+let is_empty t = t.root == t.nil
+let size t = t.size
+
+let min_time t =
+  if t.root == t.nil then invalid_arg "Event_queue.min_time: empty queue";
+  t.root.time
+
+(* strict (time, seq) order; seq is unique so this is total *)
+let less a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+(* meld two heap roots (both with detached siblings): the loser becomes
+   the winner's leftmost child *)
+let meld a b =
+  if less a b then begin
+    b.sibling <- a.child;
+    a.child <- b;
+    a
+  end
+  else begin
+    a.sibling <- b.child;
+    b.child <- a;
+    b
+  end
+
+let push t time value =
+  let nil = t.nil in
+  let n =
+    if t.free != nil then begin
+      let n = t.free in
+      t.free <- n.sibling;
+      n.time <- time;
+      n.seq <- t.seq;
+      n.value <- value;
+      n.child <- nil;
+      n.sibling <- nil;
+      n
+    end
+    else { time; seq = t.seq; value; child = nil; sibling = nil }
+  in
+  t.seq <- t.seq + 1;
+  t.root <- (if t.root == nil then n else meld n t.root);
+  t.size <- t.size + 1
+
+(* two-pass pairwise combine of a sibling list, iterative so a root
+   with 10^5 children cannot overflow the stack: first meld adjacent
+   pairs left to right (stacking the melds via their sibling links),
+   then meld the stack back right to left *)
+let combine t first =
+  let nil = t.nil in
+  let acc = ref nil in
+  let cur = ref first in
+  while !cur != nil do
+    let a = !cur in
+    let b = a.sibling in
+    if b == nil then begin
+      a.sibling <- !acc;
+      acc := a;
+      cur := nil
+    end
+    else begin
+      let next = b.sibling in
+      a.sibling <- nil;
+      b.sibling <- nil;
+      let m = meld a b in
+      m.sibling <- !acc;
+      acc := m;
+      cur := next
+    end
+  done;
+  let res = ref nil in
+  let cur = ref !acc in
+  while !cur != nil do
+    let next = (!cur).sibling in
+    (!cur).sibling <- nil;
+    res := (if !res == nil then !cur else meld !cur !res);
+    cur := next
+  done;
+  !res
+
+let pop t =
+  let r = t.root in
+  if r == t.nil then invalid_arg "Event_queue.pop: empty queue";
+  t.root <- combine t r.child;
+  t.size <- t.size - 1;
+  (* recycle the node; clear the payload so it does not pin the task *)
+  let v = r.value in
+  r.value <- t.nil.value;
+  r.child <- t.nil;
+  r.sibling <- t.free;
+  t.free <- r;
+  v

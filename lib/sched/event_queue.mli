@@ -1,0 +1,35 @@
+(** Intrusive pairing heap on [(time : float, seq : int)] keys — the
+    scheduler's virtual-time event queue.
+
+    Replaces the ordered-map queue: O(1) non-allocating push (nodes are
+    recycled from a free list), O(log n) amortized pop with an
+    iterative two-pass combine (safe at 10^6 pending events).
+
+    [seq] is assigned internally, monotonically per push, and breaks
+    every time tie — so the pop order is a pure function of the push
+    order and exactly matches the old map's [(time, seq)] iteration
+    order. *)
+
+type 'a t
+
+val create : dummy:'a -> 'a t
+(** Empty queue. [dummy] is a throwaway value of the element type used
+    to fill the sentinel and cleared recycled nodes (so popped payloads
+    are not pinned against the GC). *)
+
+val is_empty : 'a t -> bool
+
+val size : 'a t -> int
+(** Number of pending events. *)
+
+val push : 'a t -> float -> 'a -> unit
+(** [push t time v] schedules [v] at virtual time [time], tie-broken
+    after everything already pushed at the same time. *)
+
+val pop : 'a t -> 'a
+(** Remove and return the event with the least [(time, seq)] key.
+    @raise Invalid_argument when empty. *)
+
+val min_time : 'a t -> float
+(** Time key of the next event to pop.
+    @raise Invalid_argument when empty. *)

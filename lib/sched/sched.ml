@@ -48,6 +48,7 @@ type query_profile = {
   qp_sql : string;
   qp_config : Config.t;
   qp_tape : Sim.Tape.event list;
+  qp_itape : Sim.Tape.interned;
   qp_end_to_end_ns : float;
   qp_working_set : int;
 }
@@ -59,6 +60,9 @@ let profile_run ?(working_set = fun () -> 0) ~label ~sql config run =
     qp_sql = sql;
     qp_config = config;
     qp_tape = tape;
+    (* structural memo: re-profiling the same query shape (another
+       sweep point, another session count) shares one interned copy *)
+    qp_itape = Sim.Tape.intern tape;
     qp_end_to_end_ns = m.Runner.end_to_end_ns;
     (* sampled after the run: enclave residency the query leaves behind *)
     qp_working_set = working_set ();
@@ -96,6 +100,13 @@ type spec = {
   device_queue_depth : int;  (** NVMe queue-depth slots *)
   channel_streams : int;  (** concurrent host<->storage transfers *)
   control_ns : float;  (** per-query control-path charge (host) *)
+  sample_sessions : int;
+      (** forensics bound: [-1] records every lane (legacy exact mode);
+          [>= 0] records event-log lines, per-query records and trace
+          segments only for ~this many deterministically sampled lanes,
+          keeping obs memory O(sample) at 10^5-10^6 sessions. Counters,
+          registry metrics and the latency histogram stay exact over
+          all sessions in both modes. *)
 }
 
 let default_spec =
@@ -109,6 +120,7 @@ let default_spec =
     device_queue_depth = 8;
     channel_streams = 2;
     control_ns = 0.0;
+    sample_sessions = -1;
   }
 
 let arrival_name = function
@@ -171,6 +183,9 @@ type report = {
   rep_records : record list;  (** qid order *)
   rep_event_log : string list;  (** chronological *)
   rep_util : (string * float) list;  (** server -> utilization in [0,1] *)
+  rep_events : int;  (** simulator events processed (queue pops) *)
+  rep_wall_ns : float;  (** wall-clock time spent inside [run] *)
+  rep_peak_words : int;  (** [Gc.stat].top_heap_words after the run *)
 }
 
 (* Latency digest from the fixed log-bucketed histogram
@@ -195,35 +210,63 @@ let latency_stats_of latencies =
         max_ns = v.Obs.Histogram.v_max;
       }
 
-(* -- deterministic event queue ----------------------------------------- *)
-
-module Key = struct
-  type t = float * int
-
-  let compare (t1, s1) (t2, s2) =
-    match Float.compare t1 t2 with 0 -> Int.compare s1 s2 | c -> c
-end
-
-module Emap = Map.Make (Key)
-
 (* -- the simulation ---------------------------------------------------- *)
+
+(* The event queue is {!Event_queue}: an intrusive pairing heap on
+   (time, seq) keys with internal monotone seq assignment — the pop
+   order is exactly the old ordered map's (time, seq) iteration order,
+   without the per-event key tuple and O(log n) path rebuilding. *)
+
+(* Per-session state is flat: ints (indices into the run's shared
+   arrays), one float-only record for the mutable clocks (all-float
+   records are unboxed, so clock writes do not allocate — in the old
+   mixed record every [task.h <- _] boxed a fresh float), and an int
+   cursor into the profile's compiled tape instead of a private
+   [event list]. *)
+
+type clocks = {
+  mutable c_arrive : float;
+  mutable c_h : float;  (** task-local host clock (absolute) *)
+  mutable c_start : float;
+}
 
 type task = {
   qid : int;
   session : int;  (** closed-loop session id; -1 for open loop *)
-  tenant : string;
-  tk_profile : query_profile;
-  arrive_ns : float;
-  mutable events : Sim.Tape.event list;
-  mutable h : float;  (** task-local host clock (absolute) *)
-  s : float array;  (** task-local storage clocks, one per storage node *)
-  mutable last_s : int;  (** index of the last-charged storage node *)
+  tenant : int;  (** index into the run's tenant array *)
+  prof : int;  (** index into the run's profile array *)
+  mutable cursor : int;  (** next compiled-tape event; -1 = control charge *)
   mutable lane : int;
-  mutable start_ns : float;
+  mutable last_s : int;  (** index of the last-charged storage node *)
+  mutable sampled : bool;  (** record forensics for this task? *)
+  mutable step_act : action;
+      (** this task's [Step] action, allocated once: a task has at most
+          one pending event, so every step pushes the same box *)
+  ck : clocks;
+  s : float array;  (** task-local storage clocks, one per storage node *)
   mutable segments_rev : (string * float * float) list;
 }
 
-type action = Arrive of task | Step of task
+and action = Arrive of task | Step of task
+
+(* A profile's tape compiled against the run's server set: per event
+   one routing kind, one storage index, the (possibly EPC-inflated)
+   duration and the precomputed replay label. Shared by every session
+   replaying the profile — a session carries only its cursor. *)
+
+let k_host = 0 (* host-cores charge *)
+let k_cores = 1 (* storage ARM-cores charge *)
+let k_device = 2 (* NVMe queue-depth charge *)
+let k_sync = 3 (* blocking host<->storage sync *)
+
+type ctape = {
+  ct_len : int;
+  ct_kind : int array;
+  ct_idx : int array;  (** storage index for [k_cores]/[k_device] *)
+  ct_epc : bool array;  (** duration inflates with EPC residency *)
+  ct_ns : float array;
+  ct_label : string array;
+}
 
 let validate spec profiles =
   if spec.queries < 1 then invalid_arg "Sched.run: queries must be >= 1";
@@ -235,6 +278,8 @@ let validate spec profiles =
   if spec.channel_streams < 1 then
     invalid_arg "Sched.run: channel_streams must be >= 1";
   if spec.control_ns < 0.0 then invalid_arg "Sched.run: negative control_ns";
+  if spec.sample_sessions < -1 then
+    invalid_arg "Sched.run: sample_sessions must be >= -1";
   (match spec.arrival with
   | Open_loop { qps } ->
       if qps <= 0.0 then invalid_arg "Sched.run: qps must be positive"
@@ -249,6 +294,7 @@ let validate spec profiles =
       p.qp_config
 
 let run ?gate ?storage_nodes deploy spec profiles =
+  let wall0 = Unix.gettimeofday () in
   let config = validate spec profiles in
   let params = deploy.Deployment.params in
   let host_name = Sim.Node.name deploy.Deployment.host in
@@ -275,20 +321,33 @@ let run ?gate ?storage_nodes deploy spec profiles =
     invalid_arg "Sched.run: duplicate storage node names";
   if Hashtbl.mem storage_index host_name then
     invalid_arg "Sched.run: host listed among storage nodes";
-  let storage_srvs =
+  let srv_cores =
     Array.map
       (fun node ->
-        let prefix =
-          if n_storage = 1 then "storage" else Sim.Node.name node
-        in
-        ( Server.create ~name:(prefix ^ ".cores")
-            ~slots:(Sim.Cpu.cores (Sim.Node.cpu node)),
-          Server.create ~name:(prefix ^ ".device")
-            ~slots:spec.device_queue_depth,
-          Server.create
-            ~name:(if n_storage = 1 then "channel" else prefix ^ ".channel")
-            ~slots:spec.channel_streams ))
+        let prefix = if n_storage = 1 then "storage" else Sim.Node.name node in
+        Server.create ~name:(prefix ^ ".cores")
+          ~slots:(Sim.Cpu.cores (Sim.Node.cpu node)))
       storage_nodes
+  in
+  let srv_device =
+    Array.map
+      (fun node ->
+        let prefix = if n_storage = 1 then "storage" else Sim.Node.name node in
+        Server.create ~name:(prefix ^ ".device") ~slots:spec.device_queue_depth)
+      storage_nodes
+  in
+  let srv_channel =
+    Array.map
+      (fun node ->
+        Server.create
+          ~name:
+            (if n_storage = 1 then "channel" else Sim.Node.name node ^ ".channel")
+          ~slots:spec.channel_streams)
+      storage_nodes
+  in
+  (* sync segments label after the channel they ride *)
+  let sync_label =
+    Array.map (fun srv -> Server.name srv ^ ".transfer") srv_channel
   in
   (* tapes recorded against a node outside the set (never the case for
      runner/cluster tapes) fall back to the first storage node, which is
@@ -305,16 +364,90 @@ let run ?gate ?storage_nodes deploy spec profiles =
     ref (if config = Config.Hos then Deployment.pool_bytes deploy else 0)
   in
   let prng = Sim.Prng.create ~seed:spec.seed in
-  let n_tenants = List.length spec.tenants in
-  let n_profiles = List.length profiles in
+  let tenants = Array.of_list spec.tenants in
+  let n_tenants = Array.length tenants in
+  let profs = Array.of_list profiles in
+  let n_profiles = Array.length profs in
+  let prof_ws = Array.map (fun p -> p.qp_working_set) profs in
+  let prof_label = Array.map (fun p -> p.qp_label) profs in
+
+  (* compile each profile's interned tape against this run's server
+     set: resolve node names to routing kinds and storage indices once,
+     so the per-event replay is pure array reads *)
+  let compile p =
+    let it = p.qp_itape in
+    let names = Sim.Tape.interned_nodes it in
+    let node_to_idx = Array.map storage_idx names in
+    let node_is_host = Array.map (fun n -> n = host_name) names in
+    let len = Sim.Tape.interned_length it in
+    let ct_kind = Array.make len k_sync in
+    let ct_idx = Array.make len 0 in
+    let ct_epc = Array.make len false in
+    let ct_ns = Array.make len 0.0 in
+    let ct_label = Array.make len "" in
+    for i = 0 to len - 1 do
+      let cls = Sim.Tape.cls it i in
+      ct_ns.(i) <- Sim.Tape.ns it i;
+      if cls <> Sim.Tape.cls_sync then begin
+        let nid = Sim.Tape.node_id it i in
+        ct_label.(i) <- Sim.Tape.label it i;
+        ct_epc.(i) <- cls = Sim.Tape.cls_epc;
+        if node_is_host.(nid) then ct_kind.(i) <- k_host
+        else begin
+          ct_idx.(i) <- node_to_idx.(nid);
+          ct_kind.(i) <- (if cls = Sim.Tape.cls_io then k_device else k_cores)
+        end
+      end
+    done;
+    { ct_len = len; ct_kind; ct_idx; ct_epc; ct_ns; ct_label }
+  in
+  let progs = Array.map compile profs in
+  let control_label = host_name ^ ".policy" in
+  let has_control = spec.control_ns > 0.0 in
+
+  (* forensics sampling: with [sample_sessions >= 0] only lanes picked
+     by a deterministic splitmix64 side stream (split off the seed, so
+     the arrival schedule is untouched) record logs/records/segments *)
+  let bounded = spec.sample_sessions >= 0 in
+  let n_lanes =
+    match spec.arrival with
+    | Closed_loop { sessions; _ } -> sessions
+    | Open_loop _ -> spec.max_inflight
+  in
+  let lane_sampled =
+    if not bounded then fun _ -> true
+    else if spec.sample_sessions >= n_lanes then fun _ -> true
+    else begin
+      let ratio = float_of_int spec.sample_sessions /. float_of_int n_lanes in
+      let base = Sim.Prng.create ~seed:spec.seed in
+      let flags =
+        Array.init n_lanes (fun l ->
+            Sim.Prng.uniform (Sim.Prng.split base ~index:l) < ratio)
+      in
+      fun l -> l >= 0 && l < n_lanes && flags.(l)
+    end
+  in
 
   (* event queue *)
-  let queue = ref Emap.empty in
-  let seq = ref 0 in
-  let push t action =
-    queue := Emap.add (t, !seq) action !queue;
-    incr seq
+  let dummy_clocks = { c_arrive = 0.0; c_h = 0.0; c_start = 0.0 } in
+  let rec dummy_task =
+    {
+      qid = -1;
+      session = -1;
+      tenant = 0;
+      prof = 0;
+      cursor = 0;
+      lane = -1;
+      last_s = 0;
+      sampled = false;
+      step_act = Arrive dummy_task;
+      ck = dummy_clocks;
+      s = [||];
+      segments_rev = [];
+    }
   in
+  let queue = Event_queue.create ~dummy:(Arrive dummy_task) in
+  let push t action = Event_queue.push queue t action in
 
   (* bookkeeping *)
   let log_rev = ref [] in
@@ -323,28 +456,40 @@ let run ?gate ?storage_nodes deploy spec profiles =
   and completed = ref 0
   and shed = ref 0
   and denied = ref 0 in
+  (* legacy mode digests latencies at the end (newest-first, exactly
+     the old float-summation order); bounded mode folds them into one
+     histogram as they complete, O(1) memory at 10^6 sessions *)
   let latencies_rev = ref [] in
+  let lat_hist = Obs.Histogram.create () in
   let records_rev = ref [] in
   let makespan = ref 0.0 in
+  let n_events = ref 0 in
+  let c_submitted = Obs.Obs.counter ~scope:"sched" "submitted" in
+  let c_completed = Obs.Obs.counter ~scope:"sched" "completed" in
+  let c_shed = Obs.Obs.counter ~scope:"sched" "shed" in
+  let c_denied = Obs.Obs.counter ~scope:"sched" "denied" in
+  let s_latency = Obs.Obs.series ~scope:"sched" "latency_ns" in
   let tenant_stats : (string, tenant_stats) Hashtbl.t =
     Hashtbl.create (max 4 n_tenants)
   in
-  List.iter
+  Array.iter
     (fun t ->
       Hashtbl.replace tenant_stats t
         { t_submitted = 0; t_completed = 0; t_shed = 0; t_denied = 0 })
-    spec.tenants;
-  let tstat tenant = Hashtbl.find tenant_stats tenant in
+    tenants;
+  (* duplicate tenant names share one stats record (replace semantics) *)
+  let tstats = Array.map (fun t -> Hashtbl.find tenant_stats t) tenants in
+  let tstat task = tstats.(task.tenant) in
+  let note_done done_ns = if done_ns > !makespan then makespan := done_ns in
   let finish_record task outcome ~start_ns ~done_ns =
-    task.start_ns <- start_ns;
-    if done_ns > !makespan then makespan := done_ns;
+    task.ck.c_start <- start_ns;
     records_rev :=
       {
         r_qid = task.qid;
-        r_label = task.tk_profile.qp_label;
-        r_tenant = task.tenant;
+        r_label = prof_label.(task.prof);
+        r_tenant = tenants.(task.tenant);
         r_lane = task.lane;
-        r_arrive_ns = task.arrive_ns;
+        r_arrive_ns = task.ck.c_arrive;
         r_start_ns = start_ns;
         r_done_ns = done_ns;
         r_outcome = outcome;
@@ -355,20 +500,64 @@ let run ?gate ?storage_nodes deploy spec profiles =
 
   (* admission state *)
   let inflight = ref 0 in
-  let waitq : task Queue.t = Queue.create () in
-  let free_lanes = ref (List.init spec.max_inflight Fun.id) in
+  (* run queue: a pre-sized ring buffer of queue_depth slots (freed
+     slots are reset to the dummy so waiting tasks are not pinned) *)
+  let wq_cap = max 1 spec.queue_depth in
+  let wq = Array.make wq_cap dummy_task in
+  let wq_head = ref 0 in
+  let wq_len = ref 0 in
+  let wq_push task =
+    wq.((!wq_head + !wq_len) mod wq_cap) <- task;
+    incr wq_len
+  in
+  let wq_pop () =
+    let task = wq.(!wq_head) in
+    wq.(!wq_head) <- dummy_task;
+    wq_head := (!wq_head + 1) mod wq_cap;
+    decr wq_len;
+    task
+  in
+  (* free-lane pool for open-loop tasks: a bitset over lane indices
+     with a lowest-live-word hint. [take] returns the minimum free lane
+     — identical to the old sorted list's head — in O(words scanned);
+     [release] is O(1) (the old code re-sorted the whole list with
+     polymorphic compare on every release: O(n log n) per event at
+     10^5+ lanes). Closed-loop lanes are the session ids. *)
+  let lane_words = (spec.max_inflight + 62) / 63 in
+  let lane_bits = Array.make lane_words 0 in
+  for l = 0 to spec.max_inflight - 1 do
+    lane_bits.(l / 63) <- lane_bits.(l / 63) lor (1 lsl (l mod 63))
+  done;
+  let lane_hint = ref 0 (* no free lanes below this word *) in
   let take_lane task =
     if task.session >= 0 then task.session
-    else
-      match !free_lanes with
-      | l :: rest ->
-          free_lanes := rest;
-          l
-      | [] -> 0 (* unreachable: guarded by max_inflight *)
+    else begin
+      let w = ref !lane_hint in
+      while !w < lane_words && lane_bits.(!w) = 0 do
+        incr w
+      done;
+      if !w >= lane_words then 0 (* unreachable: guarded by max_inflight *)
+      else begin
+        let bits = lane_bits.(!w) in
+        let b = bits land -bits in
+        lane_bits.(!w) <- bits lxor b;
+        lane_hint := !w;
+        let i = ref 0 in
+        let b = ref b in
+        while !b land 1 = 0 do
+          b := !b lsr 1;
+          incr i
+        done;
+        (!w * 63) + !i
+      end
+    end
   in
   let release_lane task =
-    if task.session < 0 then
-      free_lanes := List.sort compare (task.lane :: !free_lanes)
+    if task.session < 0 then begin
+      let w = task.lane / 63 in
+      lane_bits.(w) <- lane_bits.(w) lor (1 lsl (task.lane mod 63));
+      if w < !lane_hint then lane_hint := w
+    end
   in
 
   (* closed-loop continuation: sessions resubmit until the global query
@@ -378,24 +567,29 @@ let run ?gate ?storage_nodes deploy spec profiles =
   let new_task ~session ~tenant ~arrive_ns prof =
     let qid = !next_qid in
     incr next_qid;
-    {
-      qid;
-      session;
-      tenant;
-      tk_profile = prof;
-      arrive_ns;
-      events = [];
-      h = arrive_ns;
-      s = Array.make n_storage arrive_ns;
-      last_s = 0;
-      lane = session;
-      start_ns = arrive_ns;
-      segments_rev = [];
-    }
+    let task =
+      {
+        qid;
+        session;
+        tenant;
+        prof;
+        cursor = 0;
+        lane = session;
+        last_s = 0;
+        sampled =
+          (if bounded then session >= 0 && lane_sampled session else true);
+        step_act = Arrive dummy_task;
+        ck = { c_arrive = arrive_ns; c_h = arrive_ns; c_start = arrive_ns };
+        s = Array.make n_storage arrive_ns;
+        segments_rev = [];
+      }
+    in
+    task.step_act <- Step task;
+    task
   in
-  let draw_profile () = List.nth profiles (Sim.Prng.rand_int prng n_profiles) in
+  let draw_profile () = Sim.Prng.rand_int prng n_profiles in
   let submit_session_query session t =
-    let tenant = List.nth spec.tenants (session mod n_tenants) in
+    let tenant = session mod n_tenants in
     let prof = draw_profile () in
     push t (Arrive (new_task ~session ~tenant ~arrive_ns:t prof))
   in
@@ -413,59 +607,68 @@ let run ?gate ?storage_nodes deploy spec profiles =
   (* EPC pressure: concurrent residency beyond this query's own working
      set inflates its paging cost (alone, the factor is exactly 1). *)
   let epc_factor task =
-    let others = !epc_resident - task.tk_profile.qp_working_set in
+    let others = !epc_resident - prof_ws.(task.prof) in
     if others <= 0 || epc_limit <= 0 then 1.0
     else 1.0 +. (float_of_int others /. float_of_int epc_limit)
   in
-  let done_time task = Array.fold_left Float.max task.h task.s in
+  let done_time task = Array.fold_left Float.max task.ck.c_h task.s in
   let ready_time task =
-    match task.events with
-    | [] -> done_time task
-    | Sim.Tape.Sync _ :: _ -> Float.max task.h task.s.(task.last_s)
-    | Sim.Tape.Charge { node; _ } :: _ ->
-        if node = host_name then task.h else task.s.(storage_idx node)
+    let c = task.cursor in
+    if c < 0 then task.ck.c_h (* pending control charge rides the host *)
+    else begin
+      let p = progs.(task.prof) in
+      if c >= p.ct_len then done_time task
+      else
+        let k = p.ct_kind.(c) in
+        if k = k_host then task.ck.c_h
+        else if k = k_sync then Float.max task.ck.c_h task.s.(task.last_s)
+        else task.s.(p.ct_idx.(c))
+    end
   in
 
   let rec admit task t =
     let verdict =
       match gate with
       | None -> Ok ()
-      | Some g -> g ~tenant:task.tenant ~sql:task.tk_profile.qp_sql
+      | Some g -> g ~tenant:tenants.(task.tenant) ~sql:profs.(task.prof).qp_sql
     in
     match verdict with
     | Error e ->
         incr denied;
-        (tstat task.tenant).t_denied <- (tstat task.tenant).t_denied + 1;
-        Obs.Obs.count ~scope:"sched" "denied";
-        if Obs.Obs.enabled () then
-          Obs.Obs.event ~ts_ns:t ~scope:"sched" ~kind:"sched.denied"
-            [
-              ("qid", Obs.Event_log.I task.qid);
-              ("tenant", Obs.Event_log.S task.tenant);
-              ("reason", Obs.Event_log.S e);
-            ];
-        logf "%.0f deny q%d tenant=%s (%s)" t task.qid task.tenant e;
-        finish_record task (Denied e) ~start_ns:t ~done_ns:t;
+        (tstat task).t_denied <- (tstat task).t_denied + 1;
+        Obs.Obs.count_via c_denied;
+        note_done t;
+        if task.sampled then begin
+          if Obs.Obs.enabled () then
+            Obs.Obs.event ~ts_ns:t ~scope:"sched" ~kind:"sched.denied"
+              [
+                ("qid", Obs.Event_log.I task.qid);
+                ("tenant", Obs.Event_log.S tenants.(task.tenant));
+                ("reason", Obs.Event_log.S e);
+              ];
+          logf "%.0f deny q%d tenant=%s (%s)" t task.qid tenants.(task.tenant)
+            e;
+          finish_record task (Denied e) ~start_ns:t ~done_ns:t
+        end;
         session_next task.session t
     | Ok () ->
         incr inflight;
         task.lane <- take_lane task;
-        task.h <- t;
+        if bounded && task.session < 0 then
+          task.sampled <- lane_sampled task.lane;
+        task.ck.c_h <- t;
         Array.fill task.s 0 (Array.length task.s) t;
-        task.events <-
-          (if spec.control_ns > 0.0 then
-             Sim.Tape.Charge
-               { node = host_name; category = "policy"; ns = spec.control_ns }
-             :: task.tk_profile.qp_tape
-           else task.tk_profile.qp_tape);
-        task.start_ns <- t;
-        epc_resident := !epc_resident + task.tk_profile.qp_working_set;
-        logf "%.0f start q%d lane=%d inflight=%d" t task.qid task.lane !inflight;
-        push (ready_time task) (Step task)
+        task.cursor <- (if has_control then -1 else 0);
+        task.ck.c_start <- t;
+        epc_resident := !epc_resident + prof_ws.(task.prof);
+        if task.sampled then
+          logf "%.0f start q%d lane=%d inflight=%d" t task.qid task.lane
+            !inflight;
+        push (ready_time task) task.step_act
 
   and dispatch t =
-    if !inflight < spec.max_inflight && not (Queue.is_empty waitq) then begin
-      let task = Queue.pop waitq in
+    if !inflight < spec.max_inflight && !wq_len > 0 then begin
+      let task = wq_pop () in
       admit task t;
       dispatch t
     end
@@ -473,109 +676,133 @@ let run ?gate ?storage_nodes deploy spec profiles =
 
   let arrive task t =
     incr submitted;
-    (tstat task.tenant).t_submitted <- (tstat task.tenant).t_submitted + 1;
-    Obs.Obs.count ~scope:"sched" "submitted";
-    logf "%.0f submit q%d tenant=%s query=%s" t task.qid task.tenant
-      task.tk_profile.qp_label;
+    (tstat task).t_submitted <- (tstat task).t_submitted + 1;
+    Obs.Obs.count_via c_submitted;
+    if task.sampled then
+      logf "%.0f submit q%d tenant=%s query=%s" t task.qid
+        tenants.(task.tenant) prof_label.(task.prof);
     if !inflight < spec.max_inflight then admit task t
-    else if Queue.length waitq < spec.queue_depth then begin
-      Queue.push task waitq;
-      logf "%.0f enqueue q%d depth=%d" t task.qid (Queue.length waitq)
+    else if !wq_len < spec.queue_depth then begin
+      wq_push task;
+      if task.sampled then logf "%.0f enqueue q%d depth=%d" t task.qid !wq_len
     end
     else begin
       (* backpressure: the run queue is full — refuse, loudly *)
       incr shed;
-      (tstat task.tenant).t_shed <- (tstat task.tenant).t_shed + 1;
-      Obs.Obs.count ~scope:"sched" "shed";
-      if Obs.Obs.enabled () then
-        Obs.Obs.event ~ts_ns:t ~scope:"sched" ~kind:"sched.shed"
-          [
-            ("qid", Obs.Event_log.I task.qid);
-            ("tenant", Obs.Event_log.S task.tenant);
-            ("queue_depth", Obs.Event_log.I spec.queue_depth);
-          ];
-      logf "%.0f shed q%d queue_full depth=%d" t task.qid spec.queue_depth;
-      finish_record task
-        (Shed (Queue_full { depth = spec.queue_depth }))
-        ~start_ns:t ~done_ns:t;
+      (tstat task).t_shed <- (tstat task).t_shed + 1;
+      Obs.Obs.count_via c_shed;
+      note_done t;
+      if task.sampled then begin
+        if Obs.Obs.enabled () then
+          Obs.Obs.event ~ts_ns:t ~scope:"sched" ~kind:"sched.shed"
+            [
+              ("qid", Obs.Event_log.I task.qid);
+              ("tenant", Obs.Event_log.S tenants.(task.tenant));
+              ("queue_depth", Obs.Event_log.I spec.queue_depth);
+            ];
+        logf "%.0f shed q%d queue_full depth=%d" t task.qid spec.queue_depth;
+        finish_record task
+          (Shed (Queue_full { depth = spec.queue_depth }))
+          ~start_ns:t ~done_ns:t
+      end;
       session_next task.session t
     end
   in
 
   let complete task =
     let done_t = done_time task in
-    let latency = done_t -. task.arrive_ns in
+    let latency = done_t -. task.ck.c_arrive in
     incr completed;
-    (tstat task.tenant).t_completed <- (tstat task.tenant).t_completed + 1;
-    Obs.Obs.count ~scope:"sched" "completed";
+    (tstat task).t_completed <- (tstat task).t_completed + 1;
+    Obs.Obs.count_via c_completed;
     (* same data, same bucket extraction: the registry's p99 for
        sched/latency_ns matches the report's percentile table *)
-    Obs.Obs.observe ~scope:"sched" "latency_ns" latency;
-    latencies_rev := latency :: !latencies_rev;
-    logf "%.0f done q%d latency=%.0f" done_t task.qid latency;
-    finish_record task
-      (Completed { latency_ns = latency })
-      ~start_ns:task.start_ns ~done_ns:done_t;
+    Obs.Obs.observe_via s_latency latency;
+    if bounded then Obs.Histogram.observe lat_hist latency
+    else latencies_rev := latency :: !latencies_rev;
+    note_done done_t;
+    if task.sampled then begin
+      logf "%.0f done q%d latency=%.0f" done_t task.qid latency;
+      finish_record task
+        (Completed { latency_ns = latency })
+        ~start_ns:task.ck.c_start ~done_ns:done_t
+    end;
     decr inflight;
     release_lane task;
-    epc_resident := !epc_resident - task.tk_profile.qp_working_set;
+    epc_resident := !epc_resident - prof_ws.(task.prof);
     dispatch done_t;
     session_next task.session done_t
   in
 
+  (* one compiled-tape charge: route to the server, advance the task's
+     clock, record the segment for sampled lanes. Zero-ns charges are
+     skipped entirely (as before — no clock movement, no segment). *)
+  let exec_charge task ~kind ~idx ~epc ~ns ~label =
+    if ns > 0.0 then begin
+      let dur = if epc then ns *. epc_factor task else ns in
+      if kind = k_host then begin
+        let start = Server.request host_srv ~at:task.ck.c_h ~duration_ns:dur in
+        let fin = start +. dur in
+        task.ck.c_h <- fin;
+        if task.sampled then
+          task.segments_rev <- (label, start, fin) :: task.segments_rev
+      end
+      else begin
+        let srv =
+          if kind = k_device then srv_device.(idx) else srv_cores.(idx)
+        in
+        let start = Server.request srv ~at:task.s.(idx) ~duration_ns:dur in
+        let fin = start +. dur in
+        task.s.(idx) <- fin;
+        task.last_s <- idx;
+        if task.sampled then
+          task.segments_rev <- (label, start, fin) :: task.segments_rev
+      end
+    end
+  in
   let step task =
-    match task.events with
-    | [] -> complete task
-    | ev :: rest ->
-        task.events <- rest;
-        (match ev with
-        | Sim.Tape.Charge { node; category; ns } ->
-            if ns > 0.0 then begin
-              let on_host = node = host_name in
-              let idx = if on_host then -1 else storage_idx node in
-              let server =
-                if on_host then host_srv
-                else
-                  let cores, device, _ = storage_srvs.(idx) in
-                  if category = "io" then device else cores
+    let c = task.cursor in
+    if c < 0 then begin
+      (* per-query control-path charge (policy check) on the host *)
+      task.cursor <- 0;
+      exec_charge task ~kind:k_host ~idx:0 ~epc:false ~ns:spec.control_ns
+        ~label:control_label;
+      push (ready_time task) task.step_act
+    end
+    else
+      let p = progs.(task.prof) in
+      if c >= p.ct_len then complete task
+      else begin
+        task.cursor <- c + 1;
+        let kind = p.ct_kind.(c) in
+        if kind = k_sync then begin
+          (* the tape's sync carries no node name: a sync always
+             follows charges to the node it pairs with, so it rides
+             that node's channel *)
+          let idx = task.last_s in
+          let transfer_ns = p.ct_ns.(c) in
+          let at = Float.max task.ck.c_h task.s.(idx) in
+          let fin =
+            if transfer_ns > 0.0 then begin
+              let start =
+                Server.request srv_channel.(idx) ~at ~duration_ns:transfer_ns
               in
-              let dur =
-                if category = "epc" then ns *. epc_factor task else ns
-              in
-              let at = if on_host then task.h else task.s.(idx) in
-              let start = Server.request server ~at ~duration_ns:dur in
-              let fin = start +. dur in
-              if on_host then task.h <- fin
-              else begin
-                task.s.(idx) <- fin;
-                task.last_s <- idx
-              end;
-              task.segments_rev <-
-                (node ^ "." ^ category, start, fin) :: task.segments_rev
-            end
-        | Sim.Tape.Sync { transfer_ns } ->
-            (* the tape's sync carries no node name: a sync always
-               follows charges to the node it pairs with, so it rides
-               that node's channel *)
-            let idx = task.last_s in
-            let _, _, channel_srv = storage_srvs.(idx) in
-            let at = Float.max task.h task.s.(idx) in
-            let fin =
-              if transfer_ns > 0.0 then begin
-                let start =
-                  Server.request channel_srv ~at ~duration_ns:transfer_ns
-                in
+              if task.sampled then
                 task.segments_rev <-
-                  (Server.name channel_srv ^ ".transfer", start,
-                   start +. transfer_ns)
+                  (sync_label.(idx), start, start +. transfer_ns)
                   :: task.segments_rev;
-                start +. transfer_ns
-              end
-              else at
-            in
-            task.h <- fin;
-            task.s.(idx) <- fin);
-        push (ready_time task) (Step task)
+              start +. transfer_ns
+            end
+            else at
+          in
+          task.ck.c_h <- fin;
+          task.s.(idx) <- fin
+        end
+        else
+          exec_charge task ~kind ~idx:p.ct_idx.(c) ~epc:p.ct_epc.(c)
+            ~ns:p.ct_ns.(c) ~label:p.ct_label.(c);
+        push (ready_time task) task.step_act
+      end
   in
 
   (* seed the arrival process *)
@@ -585,7 +812,7 @@ let run ?gate ?storage_nodes deploy spec profiles =
       let t = ref 0.0 in
       for _ = 1 to spec.queries do
         t := !t +. Sim.Prng.exponential prng ~mean_ns:mean_gap;
-        let tenant = List.nth spec.tenants (Sim.Prng.rand_int prng n_tenants) in
+        let tenant = Sim.Prng.rand_int prng n_tenants in
         let prof = draw_profile () in
         push !t (Arrive (new_task ~session:(-1) ~tenant ~arrive_ns:!t prof))
       done;
@@ -599,17 +826,30 @@ let run ?gate ?storage_nodes deploy spec profiles =
       done);
 
   (* main loop *)
-  let rec drain () =
-    match Emap.min_binding_opt !queue with
-    | None -> ()
-    | Some (((t, _) as key), action) ->
-        queue := Emap.remove key !queue;
-        (match action with Arrive task -> arrive task t | Step task -> step task);
-        drain ()
-  in
-  drain ();
+  while not (Event_queue.is_empty queue) do
+    let t = Event_queue.min_time queue in
+    let action = Event_queue.pop queue in
+    incr n_events;
+    match action with Arrive task -> arrive task t | Step task -> step task
+  done;
 
   let makespan_ns = !makespan in
+  let latency =
+    if bounded then
+      let v = Obs.Histogram.view lat_hist in
+      if v.Obs.Histogram.v_count = 0 then
+        { mean_ns = 0.0; p50_ns = 0.0; p95_ns = 0.0; p99_ns = 0.0; max_ns = 0.0 }
+      else
+        {
+          mean_ns =
+            v.Obs.Histogram.v_sum /. float_of_int v.Obs.Histogram.v_count;
+          p50_ns = Obs.Histogram.percentile_of_view v 0.50;
+          p95_ns = Obs.Histogram.percentile_of_view v 0.95;
+          p99_ns = Obs.Histogram.percentile_of_view v 0.99;
+          max_ns = v.Obs.Histogram.v_max;
+        }
+    else latency_stats_of !latencies_rev
+  in
   {
     rep_config = config;
     rep_spec = spec;
@@ -621,19 +861,23 @@ let run ?gate ?storage_nodes deploy spec profiles =
     rep_throughput_qps =
       (if makespan_ns > 0.0 then float_of_int !completed /. (makespan_ns /. 1e9)
        else 0.0);
-    rep_latency = latency_stats_of !latencies_rev;
-    rep_per_tenant = List.map (fun t -> (t, tstat t)) spec.tenants;
+    rep_latency = latency;
+    rep_per_tenant =
+      List.map (fun t -> (t, Hashtbl.find tenant_stats t)) spec.tenants;
     rep_records =
       List.sort (fun a b -> Int.compare a.r_qid b.r_qid) !records_rev;
     rep_event_log = List.rev !log_rev;
     rep_util =
       List.map
         (fun srv -> (Server.name srv, Server.utilization srv ~makespan_ns))
-        (host_srv
-         :: (Array.to_list storage_srvs
-            |> List.concat_map (fun (cores, device, _) -> [ cores; device ]))
-        @ (Array.to_list storage_srvs
-          |> List.map (fun (_, _, channel) -> channel)));
+        ((host_srv
+         :: List.concat_map
+              (fun i -> [ srv_cores.(i); srv_device.(i) ])
+              (List.init n_storage Fun.id))
+        @ Array.to_list srv_channel);
+    rep_events = !n_events;
+    rep_wall_ns = (Unix.gettimeofday () -. wall0) *. 1e9;
+    rep_peak_words = (Gc.quick_stat ()).Gc.top_heap_words;
   }
 
 (* -- tenant gate through the trusted monitor --------------------------- *)

@@ -17,6 +17,10 @@ type query_profile = {
   qp_sql : string;
   qp_config : Ironsafe.Config.t;
   qp_tape : Ironsafe_sim.Tape.event list;
+  qp_itape : Ironsafe_sim.Tape.interned;
+      (** shared interned form of [qp_tape] (structural memo): all
+          profiles of the same query shape point at one copy, and
+          replaying sessions walk it with an int cursor *)
   qp_end_to_end_ns : float;  (** sequential (uncontended) latency *)
   qp_working_set : int;  (** host-enclave residency, bytes *)
 }
@@ -64,12 +68,26 @@ type spec = {
   device_queue_depth : int;  (** NVMe queue-depth slots *)
   channel_streams : int;  (** concurrent host<->storage transfers *)
   control_ns : float;  (** per-query control-path charge on the host *)
+  sample_sessions : int;
+      (** forensics bound. [-1] (the default) records the event log,
+          per-query records and trace segments for every lane — the
+          legacy exact mode, byte-identical to pre-interning output.
+          [>= 0] bounds forensics memory at 10^5-10^6 sessions:
+          approximately this many lanes are selected by a deterministic
+          splitmix64 side stream (split off [seed]; the arrival
+          schedule is untouched) and only their lines/records/segments
+          are kept. Counts, per-tenant stats, utilization, makespan and
+          the latency distribution remain exact over {e all} sessions
+          (percentile mean may differ in the last bits: latencies fold
+          into the histogram chronologically instead of newest-first).
+          Open-loop queries that shed or are denied before taking a
+          lane are never sampled. *)
 }
 
 val default_spec : spec
 (** Open loop at 100 q/s, 32 queries, one tenant, 8-way admission with
     a 16-deep run queue, device QD 8, 2 channel streams, no control
-    charge. *)
+    charge, unbounded forensics ([sample_sessions = -1]). *)
 
 val arrival_name : arrival -> string
 
@@ -130,9 +148,18 @@ type report = {
   rep_throughput_qps : float;
   rep_latency : latency_stats;  (** over completed queries *)
   rep_per_tenant : (string * tenant_stats) list;
-  rep_records : record list;  (** qid order *)
+  rep_records : record list;
+      (** qid order; only sampled lanes when [sample_sessions >= 0] *)
   rep_event_log : string list;  (** chronological, deterministic *)
   rep_util : (string * float) list;  (** server -> utilization, [0,1] *)
+  rep_events : int;
+      (** simulator events processed (event-queue pops) — the
+          numerator of the events/sec wall-clock throughput the
+          saturation bench gates on *)
+  rep_wall_ns : float;  (** wall-clock time spent inside {!run} *)
+  rep_peak_words : int;
+      (** [Gc.top_heap_words] sampled after the run: process peak live
+          heap, the memory-guard datum of the saturation sweep *)
 }
 
 (** {2 Running} *)

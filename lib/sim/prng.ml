@@ -52,3 +52,35 @@ let exponential t ~mean_ns =
    so forks are reproducible but decorrelated from the parent's
    subsequent draws. *)
 let fork t = { state = next_u64 t }
+
+(* The splitmix64 output finalizer on its own: a bijective avalanche
+   mix, used to derive decorrelated child states from (state, index)
+   pairs without consuming any parent draws. *)
+let mix64 z =
+  let open Int64 in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+(* [split] derives the [index]-th child stream of the parent's
+   *current* state without advancing the parent: the pair
+   (state, index) is folded through the finalizer, so adjacent indices
+   land on unrelated trajectories. Unlike [fork], splitting is a pure
+   read — per-session streams can be derived on demand (session id as
+   index) while the parent keeps generating, and the same
+   (seed, index) always yields the same stream. *)
+let split t ~index =
+  if index < 0 then invalid_arg "Prng.split: negative index";
+  let open Int64 in
+  {
+    state =
+      mix64
+        (add (mix64 t.state)
+           (mul 0x9E3779B97F4A7C15L (of_int (index + 1))));
+  }
+
+(* O(1) jump: the state advances by the golden gamma once per
+   [next_u64], so skipping [n] draws is one multiply-add. *)
+let jump t n =
+  if n < 0 then invalid_arg "Prng.jump: negative count";
+  t.state <- Int64.add t.state (Int64.mul 0x9E3779B97F4A7C15L (Int64.of_int n))

@@ -30,3 +30,17 @@ val exponential : t -> mean_ns:float -> float
 
 val fork : t -> t
 (** An independent child stream seeded from the parent's next output. *)
+
+val split : t -> index:int -> t
+(** [split t ~index] derives the [index]-th child stream of [t]'s
+    current state {e without} advancing [t]: the (state, index) pair is
+    avalanche-mixed, so children of adjacent indices are decorrelated
+    from each other and from the parent's own continuation. Use for
+    per-session streams (session id as index) and sampled-lane
+    selection, where consuming parent draws would perturb the schedule.
+    @raise Invalid_argument on a negative index. *)
+
+val jump : t -> int -> unit
+(** [jump t n] advances [t] by exactly [n] {!next_u64} draws in O(1)
+    (the state moves by the golden gamma per draw).
+    @raise Invalid_argument on a negative count. *)

@@ -43,6 +43,118 @@ let total_ns events =
       | Sync { transfer_ns } -> acc +. transfer_ns)
     0.0 events
 
+(* -- interned tapes ---------------------------------------------------- *)
+
+(* A workload replays the same ~16 query shapes across up to 10^6
+   sessions; keeping one [event list] per session (or even walking a
+   shared list) pays a pointer chase and a variant match per event.
+   The interned form is a struct-of-arrays: per event one class int,
+   one node index, one float, plus the replay label precomputed once —
+   a session then needs only an int cursor. Interning is structural
+   and global: capturing the same tape twice (e.g. re-profiling a
+   query shape for another sweep point) returns the same shared
+   instance, so 10^6 sessions replaying 16 shapes share 16 arrays. *)
+
+(* event classes in [cls] *)
+let cls_charge = 0
+let cls_io = 1
+let cls_epc = 2
+let cls_sync = 3
+
+type interned = {
+  i_nodes : string array;  (** distinct node names, first-appearance order *)
+  i_node : int array;  (** per event: index into [i_nodes]; -1 for syncs *)
+  i_cls : int array;  (** per event: [cls_charge|cls_io|cls_epc|cls_sync] *)
+  i_ns : float array;  (** charge ns, or sync transfer ns *)
+  i_cat : string array;  (** category; "" for syncs *)
+  i_label : string array;  (** precomputed ["node.category"]; "" for syncs *)
+}
+
+let interned_length it = Array.length it.i_cls
+let interned_nodes it = it.i_nodes
+let cls it i = it.i_cls.(i)
+let node_id it i = it.i_node.(i)
+let ns it i = it.i_ns.(i)
+let label it i = it.i_label.(i)
+
+let build_interned events =
+  let n = List.length events in
+  let nodes = ref [] and n_nodes = ref 0 in
+  let node_ids : (string, int) Hashtbl.t = Hashtbl.create 4 in
+  let node_id name =
+    match Hashtbl.find_opt node_ids name with
+    | Some i -> i
+    | None ->
+        let i = !n_nodes in
+        Hashtbl.add node_ids name i;
+        nodes := name :: !nodes;
+        incr n_nodes;
+        i
+  in
+  (* category and label strings are interned too, so every event of a
+     shape shares one physical string *)
+  let strings : (string, string) Hashtbl.t = Hashtbl.create 8 in
+  let share s =
+    match Hashtbl.find_opt strings s with
+    | Some s -> s
+    | None ->
+        Hashtbl.add strings s s;
+        s
+  in
+  let i_node = Array.make n (-1) in
+  let i_cls = Array.make n cls_sync in
+  let i_ns = Array.make n 0.0 in
+  let i_cat = Array.make n "" in
+  let i_label = Array.make n "" in
+  List.iteri
+    (fun i -> function
+      | Charge { node; category; ns } ->
+          i_node.(i) <- node_id node;
+          i_cls.(i) <-
+            (if category = "io" then cls_io
+             else if category = "epc" then cls_epc
+             else cls_charge);
+          i_ns.(i) <- ns;
+          i_cat.(i) <- share category;
+          i_label.(i) <- share (node ^ "." ^ category)
+      | Sync { transfer_ns } ->
+          i_cls.(i) <- cls_sync;
+          i_ns.(i) <- transfer_ns)
+    events;
+  {
+    i_nodes = Array.of_list (List.rev !nodes);
+    i_node;
+    i_cls;
+    i_ns;
+    i_cat;
+    i_label;
+  }
+
+let intern_table : (event list, interned) Hashtbl.t = Hashtbl.create 64
+
+let intern events =
+  match Hashtbl.find_opt intern_table events with
+  | Some it -> it
+  | None ->
+      let it = build_interned events in
+      Hashtbl.add intern_table events it;
+      it
+
+let intern_count () = Hashtbl.length intern_table
+
+let interned_events it =
+  List.init (interned_length it) (fun i ->
+      if it.i_cls.(i) = cls_sync then Sync { transfer_ns = it.i_ns.(i) }
+      else
+        Charge
+          {
+            node = it.i_nodes.(it.i_node.(i));
+            category = it.i_cat.(i);
+            ns = it.i_ns.(i);
+          })
+
+let interned_total_ns it = Array.fold_left ( +. ) 0.0 it.i_ns
+
 let pp_event ppf = function
   | Charge { node; category; ns } ->
       Fmt.pf ppf "charge %s/%s %.1fns" node category ns

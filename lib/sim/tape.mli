@@ -28,4 +28,51 @@ val total_ns : event list -> float
     single-node serial latency, {e not} the end-to-end latency (which
     takes the max of two clocks at each sync). *)
 
+(** {2 Interned tapes}
+
+    Struct-of-arrays form of a tape for mass replay: per event one
+    class int, one node index, one float, and the precomputed
+    ["node.category"] label — a replaying session then carries only an
+    int cursor into the shared arrays. Interning is structural and
+    global: the same event sequence always returns the same physical
+    instance, so any number of sessions (and repeated profilings of
+    the same query shape) share one copy. *)
+
+type interned
+
+(** Event classes in {!cls}: ordinary charge, IO charge (routes to the
+    device server), EPC charge (inflated by concurrent residency), or
+    a blocking sync. *)
+
+val cls_charge : int
+val cls_io : int
+val cls_epc : int
+val cls_sync : int
+
+val intern : event list -> interned
+(** Canonical shared interned form of [events] (structural memo). *)
+
+val intern_count : unit -> int
+(** Number of distinct tapes interned so far (process-wide). *)
+
+val interned_length : interned -> int
+val interned_nodes : interned -> string array
+(** Distinct node names charged by the tape, first-appearance order. *)
+
+val cls : interned -> int -> int
+val node_id : interned -> int -> int
+(** Index into {!interned_nodes}; [-1] for syncs. *)
+
+val ns : interned -> int -> float
+(** Charge duration, or sync transfer time. *)
+
+val label : interned -> int -> string
+(** Precomputed ["node.category"] replay label; [""] for syncs. *)
+
+val interned_events : interned -> event list
+(** Reconstruct the event-list form (for diffing and tests). *)
+
+val interned_total_ns : interned -> float
+(** = {!total_ns} of {!interned_events}. *)
+
 val pp_event : Format.formatter -> event -> unit

@@ -267,6 +267,393 @@ let test_tenant_gate () =
          | _ -> false)
        r.Sched.rep_records)
 
+(* -- pre-refactor byte identity ------------------------------------------ *)
+
+(* The replay transcript (event logs + percentile tables) of a fixed
+   scenario corpus: five Table-2 configs under open- and closed-loop
+   specs, plus a 2-shard cluster replay. The golden file was generated
+   by the Emap-based event queue and per-session tape lists that
+   predate the pairing-heap/interning rework — the refactor must
+   reproduce it byte for byte. Regenerate (only when intentionally
+   changing replay semantics) with
+   IRONSAFE_WRITE_GOLDEN=$PWD/test/golden/sched_replay.golden. *)
+let replay_transcript () =
+  let d =
+    Deployment.create ~seed:"golden-replay"
+      ~populate:(fun db -> ignore (Tpch.Dbgen.populate db ~scale:0.002))
+      ()
+  in
+  (match Deployment.attest d with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "attestation failed: %s" e);
+  let buf = Buffer.create 65536 in
+  let add_report tag r =
+    Buffer.add_string buf (Printf.sprintf "== %s\n" tag);
+    List.iter
+      (fun l ->
+        Buffer.add_string buf l;
+        Buffer.add_char buf '\n')
+      r.Sched.rep_event_log;
+    Buffer.add_string buf (Sched.percentile_table r);
+    Buffer.add_char buf '\n'
+  in
+  List.iter
+    (fun config ->
+      let profiles = mix_profiles d config in
+      let open_spec =
+        {
+          Sched.default_spec with
+          Sched.seed = 11;
+          arrival = Sched.Open_loop { qps = 300.0 };
+          queries = 24;
+          tenants = [ "a"; "b" ];
+          max_inflight = 3;
+          queue_depth = 4;
+        }
+      in
+      add_report
+        (Config.abbrev config ^ " open")
+        (Sched.run d open_spec profiles);
+      let closed_spec =
+        {
+          Sched.default_spec with
+          Sched.seed = 7;
+          arrival = Sched.Closed_loop { sessions = 3; think_ns = 1e6 };
+          queries = 9;
+          max_inflight = 3;
+          control_ns = 1000.0;
+        }
+      in
+      add_report
+        (Config.abbrev config ^ " closed")
+        (Sched.run d closed_spec profiles))
+    Config.all;
+  (* 2-shard cluster: tapes charge two storage nodes; the replay
+     contends a server triple per shard *)
+  let module Cluster = Ironsafe_cluster.Cluster in
+  let cl = Cluster.create ~shards:2 ~scheme:Partitioner.Hash d in
+  (match Cluster.attest_reliable cl with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "cluster attestation failed: %s" e);
+  let profiles =
+    List.map
+      (fun id ->
+        let q = Tpch.Queries.by_id id in
+        let stmt = Ironsafe_sql.Parser.parse q.Tpch.Queries.sql in
+        Sched.profile_run
+          ~label:(Printf.sprintf "q%d" id)
+          ~sql:q.Tpch.Queries.sql Config.Scs
+          (fun () -> Cluster.run_stmt cl Config.Scs stmt))
+      [ 1; 6 ]
+  in
+  let spec =
+    {
+      Sched.default_spec with
+      Sched.seed = 13;
+      arrival = Sched.Open_loop { qps = 400.0 };
+      queries = 16;
+      tenants = [ "a"; "b" ];
+      max_inflight = 4;
+      queue_depth = 4;
+    }
+  in
+  add_report "cluster-2shard open"
+    (Sched.run ?storage_nodes:(Cluster.sched_storage_nodes cl) d spec profiles);
+  Buffer.contents buf
+
+let test_byte_identity_golden () =
+  let got = replay_transcript () in
+  match Sys.getenv_opt "IRONSAFE_WRITE_GOLDEN" with
+  | Some path ->
+      let oc = open_out path in
+      output_string oc got;
+      close_out oc;
+      Printf.printf "wrote %s (%d bytes)\n%!" path (String.length got)
+  | None ->
+      (* dune runtest runs in _build/default/test; dune exec runs in
+         the project root — accept either working directory *)
+      let path =
+        List.find Sys.file_exists
+          [ "golden/sched_replay.golden"; "test/golden/sched_replay.golden" ]
+      in
+      let ic = open_in_bin path in
+      let want = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      Alcotest.(check string) "replay transcript matches pre-refactor golden"
+        want got
+
+(* -- event queue --------------------------------------------------------- *)
+
+module Eq = Ironsafe_sched.Event_queue
+
+(* The pairing heap must pop in exactly (time, then insertion order) —
+   the contract the replay's determinism rests on. Reference: a stable
+   sort of the push sequence. *)
+let test_event_queue_order () =
+  let q = Eq.create ~dummy:(-1) in
+  let rng = Sim.Prng.create ~seed:99 in
+  let pushed = ref [] in
+  let n = 2000 in
+  for i = 0 to n - 1 do
+    (* coarse times force plenty of ties *)
+    let t = float_of_int (Sim.Prng.rand_int rng 50) in
+    Eq.push q t i;
+    pushed := (t, i) :: !pushed
+  done;
+  Alcotest.(check int) "size" n (Eq.size q);
+  let want =
+    List.stable_sort
+      (fun (t1, _) (t2, _) -> Float.compare t1 t2)
+      (List.rev !pushed)
+  in
+  List.iter
+    (fun (t, i) ->
+      Alcotest.(check (float 0.0)) "min_time" t (Eq.min_time q);
+      Alcotest.(check int) "pop order" i (Eq.pop q))
+    want;
+  Alcotest.(check bool) "drained" true (Eq.is_empty q);
+  (* interleaved push/pop with node recycling: monotone pop times *)
+  let last = ref neg_infinity in
+  for round = 0 to 200 do
+    Eq.push q (float_of_int round) round;
+    Eq.push q (float_of_int round +. 0.5) (round + 1000);
+    let v = Eq.pop q in
+    let t = if v < 1000 then float_of_int v else float_of_int (v - 1000) +. 0.5 in
+    if t < !last then Alcotest.failf "pop went backwards: %f after %f" t !last;
+    last := t
+  done;
+  Alcotest.check_raises "pop on empty"
+    (Invalid_argument "Event_queue.pop: empty queue") (fun () ->
+      let q = Eq.create ~dummy:0 in
+      ignore (Eq.pop q))
+
+(* -- prng split / jump --------------------------------------------------- *)
+
+let test_prng_split_jump () =
+  (* jump n == discarding n draws *)
+  List.iter
+    (fun n ->
+      let a = Sim.Prng.create ~seed:11 and b = Sim.Prng.create ~seed:11 in
+      for _ = 1 to n do
+        ignore (Sim.Prng.next_u64 a)
+      done;
+      Sim.Prng.jump b n;
+      for _ = 1 to 5 do
+        Alcotest.(check int64)
+          (Printf.sprintf "jump %d = %d discards" n n)
+          (Sim.Prng.next_u64 a) (Sim.Prng.next_u64 b)
+      done)
+    [ 0; 1; 7; 1000; 123_456 ];
+  (* split is a pure read: the parent stream is untouched *)
+  let p = Sim.Prng.create ~seed:5 in
+  let p_ref = Sim.Prng.copy p in
+  let _c0 = Sim.Prng.split p ~index:0 in
+  let _c9 = Sim.Prng.split p ~index:999_999 in
+  for _ = 1 to 20 do
+    Alcotest.(check int64) "split leaves parent stream intact"
+      (Sim.Prng.next_u64 p_ref) (Sim.Prng.next_u64 p)
+  done;
+  (* deterministic: same (state, index) -> same child stream *)
+  let p1 = Sim.Prng.create ~seed:5 and p2 = Sim.Prng.create ~seed:5 in
+  let c1 = Sim.Prng.split p1 ~index:42 and c2 = Sim.Prng.split p2 ~index:42 in
+  for _ = 1 to 20 do
+    Alcotest.(check int64) "split deterministic" (Sim.Prng.next_u64 c1)
+      (Sim.Prng.next_u64 c2)
+  done;
+  (* children of distinct indices, and the parent's own continuation,
+     are pairwise decorrelated (no shared prefix) *)
+  let p = Sim.Prng.create ~seed:5 in
+  let streams =
+    Sim.Prng.copy p
+    :: List.map (fun i -> Sim.Prng.split p ~index:i) [ 0; 1; 2; 100 ]
+  in
+  let firsts = List.map Sim.Prng.next_u64 streams in
+  let distinct = List.sort_uniq Int64.compare firsts in
+  Alcotest.(check int) "split children pairwise distinct"
+    (List.length firsts) (List.length distinct);
+  (* sampled-lane selection is unbiased enough to be useful: the
+     per-index uniforms hit a [0, 1/8) target about 1/8 of the time *)
+  let base = Sim.Prng.create ~seed:1234 in
+  let hits = ref 0 in
+  let n = 100_000 in
+  for l = 0 to n - 1 do
+    if Sim.Prng.uniform (Sim.Prng.split base ~index:l) < 0.125 then incr hits
+  done;
+  let frac = float_of_int !hits /. float_of_int n in
+  if frac < 0.115 || frac > 0.135 then
+    Alcotest.failf "split selection biased: %.4f (want ~0.125)" frac;
+  Alcotest.check_raises "negative index rejected"
+    (Invalid_argument "Prng.split: negative index") (fun () ->
+      ignore (Sim.Prng.split base ~index:(-1)));
+  Alcotest.check_raises "negative jump rejected"
+    (Invalid_argument "Prng.jump: negative count") (fun () ->
+      Sim.Prng.jump base (-1))
+
+(* -- lane assignment order ----------------------------------------------- *)
+
+(* Regression for the free-lane pool rewrite (sorted list -> bitset):
+   an open-loop run must always hand a starting query the MINIMUM free
+   lane — the old sorted list's head. Replays the event log against a
+   reference free-set. *)
+let test_lane_order () =
+  let d = Lazy.force deploy in
+  let profiles = mix_profiles d Config.Scs in
+  let max_inflight = 4 in
+  let spec =
+    {
+      Sched.default_spec with
+      Sched.seed = 21;
+      arrival = Sched.Open_loop { qps = 900.0 };
+      queries = 80;
+      tenants = [ "a"; "b" ];
+      max_inflight;
+      queue_depth = 6;
+    }
+  in
+  let r = Sched.run d spec profiles in
+  let free = Array.make max_inflight true in
+  let lane_of : (int, int) Hashtbl.t = Hashtbl.create 16 in
+  let starts = ref 0 in
+  List.iter
+    (fun line ->
+      match String.split_on_char ' ' line with
+      | _ :: "start" :: qid :: lane :: _ ->
+          let q = Scanf.sscanf qid "q%d" Fun.id in
+          let l = Scanf.sscanf lane "lane=%d" Fun.id in
+          let min_free = ref (-1) in
+          for i = max_inflight - 1 downto 0 do
+            if free.(i) then min_free := i
+          done;
+          Alcotest.(check int)
+            (Printf.sprintf "q%d takes the minimum free lane" q)
+            !min_free l;
+          free.(l) <- false;
+          Hashtbl.replace lane_of q l;
+          incr starts
+      | _ :: "done" :: qid :: _ ->
+          let q = Scanf.sscanf qid "q%d" Fun.id in
+          free.(Hashtbl.find lane_of q) <- true
+      | _ -> ())
+    r.Sched.rep_event_log;
+  Alcotest.(check int) "every admitted query checked" r.Sched.rep_completed
+    !starts;
+  (* lanes must actually have churned for the check to mean anything *)
+  if r.Sched.rep_completed < 2 * max_inflight then
+    Alcotest.fail "workload too small to exercise lane reuse"
+
+(* -- bounded forensics --------------------------------------------------- *)
+
+(* sample_sessions >= 0 bounds the forensic channels (records, event
+   log, segments) to the sampled lanes while every aggregate — counts,
+   per-tenant stats, latency percentiles, makespan, utilization — stays
+   exact: the percentile table renders identically to the legacy exact
+   mode on the same spec. *)
+let test_bounded_forensics () =
+  let d = Lazy.force deploy in
+  let profiles = mix_profiles d Config.Scs in
+  let base_spec =
+    {
+      Sched.default_spec with
+      Sched.seed = 17;
+      arrival = Sched.Closed_loop { sessions = 32; think_ns = 5e5 };
+      queries = 160;
+      tenants = [ "a"; "b"; "c" ];
+      max_inflight = 32;
+      queue_depth = 32;
+      control_ns = 500.0;
+    }
+  in
+  let exact = Sched.run d base_spec profiles in
+  let bounded =
+    Sched.run d { base_spec with Sched.sample_sessions = 4 } profiles
+  in
+  Alcotest.(check string) "percentile table identical"
+    (Sched.percentile_table exact)
+    (Sched.percentile_table bounded);
+  Alcotest.(check int) "submitted exact" exact.Sched.rep_submitted
+    bounded.Sched.rep_submitted;
+  Alcotest.(check int) "completed exact" exact.Sched.rep_completed
+    bounded.Sched.rep_completed;
+  Alcotest.(check (float 0.0)) "makespan exact" exact.Sched.rep_makespan_ns
+    bounded.Sched.rep_makespan_ns;
+  List.iter2
+    (fun (t1, (s1 : Sched.tenant_stats)) (t2, (s2 : Sched.tenant_stats)) ->
+      Alcotest.(check string) "tenant" t1 t2;
+      Alcotest.(check int) "tenant submitted" s1.Sched.t_submitted
+        s2.Sched.t_submitted;
+      Alcotest.(check int) "tenant completed" s1.Sched.t_completed
+        s2.Sched.t_completed)
+    exact.Sched.rep_per_tenant bounded.Sched.rep_per_tenant;
+  List.iter2
+    (fun (n1, u1) (n2, u2) ->
+      Alcotest.(check string) "server" n1 n2;
+      Alcotest.(check (float 0.0)) ("util " ^ n1) u1 u2)
+    exact.Sched.rep_util bounded.Sched.rep_util;
+  (* forensics are a strict filter of the exact run's *)
+  Alcotest.(check bool) "fewer records" true
+    (List.length bounded.Sched.rep_records
+    < List.length exact.Sched.rep_records);
+  Alcotest.(check bool) "some records sampled" true
+    (bounded.Sched.rep_records <> []);
+  (* the bounded log is a subsequence of the exact log *)
+  let rec subseq small big =
+    match (small, big) with
+    | [], _ -> true
+    | _, [] -> false
+    | s :: st, b :: bt -> if s = b then subseq st bt else subseq small bt
+  in
+  Alcotest.(check bool) "event log is a filtered view" true
+    (subseq bounded.Sched.rep_event_log exact.Sched.rep_event_log);
+  (* sampled records carry full segment forensics *)
+  List.iter
+    (fun rc ->
+      match rc.Sched.r_outcome with
+      | Sched.Completed _ ->
+          Alcotest.(check bool) "segments recorded" true
+            (rc.Sched.r_segments <> [])
+      | _ -> ())
+    bounded.Sched.rep_records
+
+(* -- per-session memory budget ------------------------------------------- *)
+
+(* Session-state compaction guard: a bounded-forensics closed-loop run
+   at 10^5 sessions must stay within a 1 KiB/session live-heap budget
+   (task + clocks + queue node + arrival state). The legacy list-based
+   forensics blew past this by an order of magnitude, so a regression
+   that reintroduces per-session retention trips the check. *)
+let test_memory_budget () =
+  let d = Lazy.force deploy in
+  let profiles = mix_profiles d Config.Scs in
+  let sessions = 100_000 in
+  let spec =
+    {
+      Sched.default_spec with
+      Sched.seed = 3;
+      arrival = Sched.Closed_loop { sessions; think_ns = 1e6 };
+      queries = sessions;
+      max_inflight = sessions;
+      queue_depth = sessions;
+      sample_sessions = 32;
+    }
+  in
+  let before = (Gc.quick_stat ()).Gc.top_heap_words in
+  let r = Sched.run d spec profiles in
+  Alcotest.(check int) "all sessions completed" sessions
+    r.Sched.rep_completed;
+  let grew_bytes = (r.Sched.rep_peak_words - before) * 8 in
+  let budget = sessions * 1024 in
+  if grew_bytes > budget then
+    Alcotest.failf "peak heap grew %d bytes (> %d B budget = 1 KiB/session)"
+      grew_bytes budget;
+  (* forensic channels bounded by the sample, not the session count *)
+  Alcotest.(check bool) "records bounded" true
+    (List.length r.Sched.rep_records <= 4 * 32);
+  Alcotest.(check bool) "event log bounded" true
+    (List.length r.Sched.rep_event_log <= 16 * 32);
+  Alcotest.(check bool) "events counted" true
+    (r.Sched.rep_events > sessions);
+  Alcotest.(check bool) "wall time measured" true (r.Sched.rep_wall_ns > 0.0)
+
 (* -- rendering ----------------------------------------------------------- *)
 
 let test_rendering () =
@@ -308,6 +695,12 @@ let suite =
     ("sequential equivalence", `Quick, test_sequential_equivalence);
     ("contention is monotone", `Quick, test_contention_monotone);
     ("admission control sheds", `Quick, test_admission_shed);
+    ("byte identity vs pre-refactor golden", `Quick, test_byte_identity_golden);
+    ("event queue pop order", `Quick, test_event_queue_order);
+    ("prng split and jump", `Quick, test_prng_split_jump);
+    ("lane assignment order", `Quick, test_lane_order);
+    ("bounded forensics stay exact", `Quick, test_bounded_forensics);
+    ("per-session memory budget", `Quick, test_memory_budget);
     ("tenant gate denies", `Quick, test_tenant_gate);
     ("rendering", `Quick, test_rendering);
   ]
