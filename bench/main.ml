@@ -24,21 +24,25 @@
 
      saturation open-loop knee sweep at 10^5+ concurrent sessions
                 (not part of "all"; --sat-sessions/--sat-queries/
-                --sample-sessions/--saturation-out/--sat-floor)
+                --sample-sessions/--saturation-out/--sat-floor/
+                --sat-slo-p99-ms/--sat-dump-dir)
                 → BENCH_saturation.json
 
    Usage: main.exe [--experiment <id>] [--scale <sf>] [--no-micro]
           [--trace-out FILE] [--quick] [--bench-out FILE]
           [--check-floor FILE] [--sat-sessions N] [--sat-queries N]
           [--sample-sessions N] [--saturation-out FILE]
-          [--sat-floor FILE]
+          [--sat-floor FILE] [--sat-slo-p99-ms MS] [--sat-dump-dir DIR]
 
    --quick shrinks the microbench measurement windows (CI mode);
    --check-floor compares the microbench results against a floor file
    (`kernel max-ns` lines) and fails the run if any kernel regresses
    past 2x its entry. --sat-floor fails the saturation sweep if its
    overall simulator throughput drops below the floor file's
-   events-per-sec entry.
+   events-per-sec entry. --sat-slo-p99-ms arms the scheduler's
+   tail-latency SLO (breach column + slo events); --sat-dump-dir arms
+   the flight recorder for the sweep (anomaly dumps land there, and the
+   --sat-floor bar relaxes to 0.9x, the recorder-overhead acceptance).
 
    With --trace-out, observability collection is enabled for the whole
    run and a Chrome trace_event JSON (virtual-time timestamps; open in
@@ -1270,6 +1274,12 @@ let microbench _scale =
     !vclock
   in
   let span_ops = ref 0 in
+  let emit_ops = ref 0 in
+  let emit_fields =
+    [ ("category", Ironsafe_obs.Event_log.S "io");
+      ("ns", Ironsafe_obs.Event_log.F 42.0) ]
+  in
+  Ironsafe_obs.Flight_recorder.configure ~frames:256 ();
   (* each kernel is (name, per, f): f's measured wall time is divided
      by [per], so batch kernels report per-page (per-item) ns *)
   let kernels =
@@ -1361,6 +1371,33 @@ let microbench _scale =
          if !span_ops land 0xffff = 0 then Ironsafe_obs.Obs.reset ();
          Ironsafe_obs.Span.with_ ~clock:bclock ~name:"hook" ~scope:"bench"
            (fun () -> ()));
+      (* event-emission hot path with the flight recorder off vs on:
+         the off kernel is the plain event-log buffer push; the on
+         kernels add the tap (trigger check + frame render + ring
+         write) and the direct frame append the charge hooks use. The
+         off/on pair feeds the gated overhead ratio below. *)
+      ("event_emit", 1,
+       fun () ->
+         Ironsafe_obs.Obs.enable ();
+         Ironsafe_obs.Flight_recorder.disable ();
+         incr emit_ops;
+         if !emit_ops land 0x3fff = 0 then Ironsafe_obs.Event_log.reset ();
+         Ironsafe_obs.Obs.event ~ts_ns:(bclock ()) ~scope:"bench"
+           ~kind:"bench.tick" emit_fields);
+      ("recorder_on_event_emit", 1,
+       fun () ->
+         Ironsafe_obs.Obs.enable ();
+         Ironsafe_obs.Flight_recorder.enable ();
+         incr emit_ops;
+         if !emit_ops land 0x3fff = 0 then Ironsafe_obs.Event_log.reset ();
+         Ironsafe_obs.Obs.event ~ts_ns:(bclock ()) ~scope:"bench"
+           ~kind:"bench.tick" emit_fields);
+      ("flight_recorder_append", 1,
+       fun () ->
+         Ironsafe_obs.Obs.enable ();
+         Ironsafe_obs.Flight_recorder.enable ();
+         Ironsafe_obs.Flight_recorder.append ~ts_ns:(bclock ()) ~scope:"bench"
+           ~kind:"charge" emit_fields);
       ("event_queue_push_pop", 1,
        fun () ->
          Eq.push eq (eq_next ()) 0;
@@ -1387,9 +1424,20 @@ let microbench _scale =
   in
   (* leave the observability layer as the run had it; drop the spans
      and counters the obs kernels accumulated *)
+  Ironsafe_obs.Flight_recorder.disable ();
   Ironsafe_obs.Obs.reset ();
   if obs_was_on then Ironsafe_obs.Obs.enable ()
   else Ironsafe_obs.Obs.disable ();
+  (* recorder overhead on the event hot path, gated like a kernel: the
+     floor entry bounds how much the tap (render + ring write) may
+     multiply a bare emit *)
+  let results =
+    let emit = List.assoc "event_emit" results in
+    let rec_emit = List.assoc "recorder_on_event_emit" results in
+    let ratio = if emit > 0.0 then rec_emit /. emit else 1.0 in
+    Fmt.pr "%-34s %14.2fx@." "recorder_event_overhead" ratio;
+    results @ [ ("recorder_event_overhead", ratio) ]
+  in
   let hit = List.assoc "bufpool-hit-read" results in
   let direct = List.assoc "securestore-read-page" results in
   if hit > 0.0 then
@@ -1444,6 +1492,8 @@ let sat_sessions = ref 100_000
 let sat_queries = ref 0 (* 0: 2x sessions *)
 let sat_sample = ref 64
 let sat_floor : string option ref = ref None
+let sat_slo_p99_ms = ref 0.0 (* 0: SLO watchdog off *)
+let sat_dump_dir : string option ref = ref None (* arms the recorder *)
 
 (* pre-refactor reference on the dev container: the ordered-map event
    queue with per-session event lists sustained ~5.0e4 events/sec
@@ -1454,6 +1504,17 @@ let sat_baseline_events_per_sec = 5.0e4
 
 let saturation scale =
   header "Saturation: open-loop knee sweep at 10^5+ concurrent sessions";
+  let recorder_on =
+    match !sat_dump_dir with
+    | None -> false
+    | Some dir ->
+        if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+        Ironsafe_obs.Obs.enable ();
+        Ironsafe_obs.Obs.set_sample_every max_int;
+        Ironsafe_obs.Flight_recorder.configure ~dir ();
+        Ironsafe_obs.Flight_recorder.enable ();
+        true
+  in
   let d = deployment ~scale () in
   let sessions = !sat_sessions in
   let queries = if !sat_queries > 0 then !sat_queries else 2 * sessions in
@@ -1472,8 +1533,15 @@ let saturation scale =
      to ~%d lanes@."
     (String.concat "/" (List.map (fun q -> Printf.sprintf "Q%d" q) mix))
     sessions queries !sat_sample;
-  Fmt.pr "%-6s %6s %12s %12s %8s %6s %9s %9s %11s %9s@." "config" "mult"
-    "offered" "qps" "done" "shed" "p50(ms)" "p99(ms)" "events/s" "heap(MB)";
+  if recorder_on then
+    Fmt.pr "flight recorder armed (dump dir %s)%s@."
+      (Option.value ~default:"" !sat_dump_dir)
+      (if !sat_slo_p99_ms > 0.0 then
+         Printf.sprintf "; SLO p99 <= %.3f ms" !sat_slo_p99_ms
+       else "");
+  Fmt.pr "%-6s %6s %12s %12s %8s %6s %9s %9s %7s %11s %9s@." "config" "mult"
+    "offered" "qps" "done" "shed" "p50(ms)" "p99(ms)" "breach" "events/s"
+    "heap(MB)";
   let per_config =
     List.map
       (fun config ->
@@ -1528,6 +1596,7 @@ let saturation scale =
                   max_inflight = sessions;
                   queue_depth = sessions;
                   sample_sessions = !sat_sample;
+                  tail_slo_ns = !sat_slo_p99_ms *. 1e6;
                 }
               in
               let r = Sched.run d spec profiles in
@@ -1536,12 +1605,13 @@ let saturation scale =
               in
               let heap_mb = float_of_int (r.Sched.rep_peak_words * 8) /. 1e6 in
               Fmt.pr
-                "%-6s %6.2f %12.1f %12.1f %8d %6d %9.3f %9.3f %11.0f %9.1f@."
+                "%-6s %6.2f %12.1f %12.1f %8d %6d %9.3f %9.3f %7d %11.0f \
+                 %9.1f@."
                 (Config.abbrev config) mult qps r.Sched.rep_throughput_qps
                 r.Sched.rep_completed r.Sched.rep_shed
                 (ms r.Sched.rep_latency.Sched.p50_ns)
                 (ms r.Sched.rep_latency.Sched.p99_ns)
-                evs heap_mb;
+                r.Sched.rep_tail_breaches evs heap_mb;
               (mult, qps, r, evs, heap_mb))
             multipliers
         in
@@ -1586,6 +1656,8 @@ let saturation scale =
     scale sessions queries;
   Printf.bprintf buf "  \"sample_sessions\": %d,\n  \"seed\": %d,\n"
     !sat_sample !workload_seed;
+  Printf.bprintf buf "  \"slo_p99_ms\": %g,\n  \"recorder\": %b,\n"
+    !sat_slo_p99_ms recorder_on;
   Printf.bprintf buf "  \"mix\": [%s],\n"
     (String.concat ", " (List.map string_of_int mix));
   Printf.bprintf buf "  \"baseline_events_per_sec\": %.0f,\n"
@@ -1605,13 +1677,15 @@ let saturation scale =
           Printf.bprintf buf
             "       {\"multiplier\": %.2f, \"offered_qps\": %.3f, \"qps\": \
              %.3f, \"completed\": %d, \"shed\": %d, \"p50_ms\": %.6f, \
-             \"p95_ms\": %.6f, \"p99_ms\": %.6f, \"events\": %d, \"wall_s\": \
-             %.4f, \"events_per_sec\": %.0f, \"peak_heap_mb\": %.1f}%s\n"
+             \"p95_ms\": %.6f, \"p99_ms\": %.6f, \"tail_breaches\": %d, \
+             \"anomalous\": %d, \"events\": %d, \"wall_s\": %.4f, \
+             \"events_per_sec\": %.0f, \"peak_heap_mb\": %.1f}%s\n"
             mult qps r.Sched.rep_throughput_qps r.Sched.rep_completed
             r.Sched.rep_shed
             (ms r.Sched.rep_latency.Sched.p50_ns)
             (ms r.Sched.rep_latency.Sched.p95_ns)
             (ms r.Sched.rep_latency.Sched.p99_ns)
+            r.Sched.rep_tail_breaches r.Sched.rep_anomalous
             r.Sched.rep_events
             (r.Sched.rep_wall_ns /. 1e9)
             evs heap_mb
@@ -1637,8 +1711,19 @@ let saturation scale =
   output_string oc json;
   close_out oc;
   Fmt.pr "@.wrote %s@." !saturation_out;
+  if recorder_on then begin
+    Fmt.pr "flight recorder: %d dumps written%s@."
+      (Ironsafe_obs.Flight_recorder.dump_count ())
+      (match Ironsafe_obs.Flight_recorder.dropped () with
+      | 0 -> ""
+      | n -> Printf.sprintf " (%d past the cap dropped)" n);
+    Ironsafe_obs.Flight_recorder.disable ();
+    Ironsafe_obs.Obs.disable ()
+  end;
   (* floor gate: minimum acceptable overall simulator throughput
-     (direction reversed from the ns/op kernel floors) *)
+     (direction reversed from the ns/op kernel floors). With the
+     recorder armed the bar relaxes by 10% — the acceptance criterion
+     for recorder overhead on the replay loop. *)
   match !sat_floor with
   | None -> ()
   | Some file -> (
@@ -1646,13 +1731,18 @@ let saturation scale =
       | None ->
           Fmt.epr "floor file %s has no events-per-sec entry@." file;
           exit 1
-      | Some min_evs when overall < min_evs ->
-          Fmt.epr "REGRESSION saturation: %.0f events/sec < floor %.0f@."
-            overall min_evs;
-          exit 1
-      | Some min_evs ->
-          Fmt.pr "floor check: %.0f events/sec >= %.0f (%s)@." overall
-            min_evs file)
+      | Some entry ->
+          let min_evs = if recorder_on then 0.9 *. entry else entry in
+          if overall < min_evs then begin
+            Fmt.epr "REGRESSION saturation%s: %.0f events/sec < floor %.0f@."
+              (if recorder_on then " (recorder on)" else "")
+              overall min_evs;
+            exit 1
+          end
+          else
+            Fmt.pr "floor check%s: %.0f events/sec >= %.0f (%s)@."
+              (if recorder_on then " (recorder on, 0.9x bar)" else "")
+              overall min_evs file)
 
 (* ------------------------------------------------------------------ *)
 
@@ -1754,6 +1844,12 @@ let () =
         parse rest
     | "--sat-floor" :: v :: rest ->
         sat_floor := Some v;
+        parse rest
+    | "--sat-slo-p99-ms" :: v :: rest ->
+        sat_slo_p99_ms := float_of_string v;
+        parse rest
+    | "--sat-dump-dir" :: v :: rest ->
+        sat_dump_dir := Some v;
         parse rest
     | "--cluster-out" :: v :: rest ->
         cluster_out := v;

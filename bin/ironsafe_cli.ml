@@ -199,6 +199,103 @@ let print_metrics (m : Runner.metrics) =
     (m.Runner.end_to_end_ns /. 1e6)
     m.Runner.bytes_shipped m.Runner.pages_scanned
 
+(* -- flight recorder / SLO flags (shared by query and workload) -------- *)
+
+(* Parse-time validated converters: a bad value fails argument parsing
+   (exit 124) instead of surfacing mid-run. *)
+let nonneg_float_conv what =
+  let parse s =
+    match float_of_string_opt s with
+    | Some v when v >= 0.0 && Float.is_finite v -> Ok v
+    | _ ->
+        Error
+          (`Msg (Printf.sprintf "%s must be a finite number >= 0, got %S" what s))
+  in
+  Arg.conv (parse, fun ppf v -> Format.fprintf ppf "%g" v)
+
+let pos_int_conv what =
+  let parse s =
+    match int_of_string_opt s with
+    | Some v when v > 0 -> Ok v
+    | _ -> Error (`Msg (Printf.sprintf "%s must be a positive integer, got %S" what s))
+  in
+  Arg.conv (parse, fun ppf v -> Format.fprintf ppf "%d" v)
+
+let slo_p99_ms_arg =
+  Arg.(
+    value
+    & opt (nonneg_float_conv "--slo-p99-ms") 0.0
+    & info [ "slo-p99-ms" ] ~docv:"MS"
+        ~doc:
+          "Arm the tail-latency SLO: completions slower than $(docv) \
+           milliseconds count as breaches, the burn-rate watchdog streams \
+           over the run, and breaches trigger flight recorder dumps. 0 \
+           (the default) leaves the watchdog off.")
+
+let recorder_frames_arg =
+  Arg.(
+    value
+    & opt (pos_int_conv "--recorder-frames") 256
+    & info [ "recorder-frames" ] ~docv:"N"
+        ~doc:
+          "Flight recorder ring capacity per scope (default 256 frames). \
+           Takes effect when the recorder is armed with $(b,--dump-dir).")
+
+let dump_dir_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "dump-dir" ] ~docv:"DIR"
+        ~doc:
+          "Arm the flight recorder: keep per-scope rings of recent events, \
+           charges and spans, and dump them (JSONL + Chrome trace) into \
+           $(docv) whenever an anomaly fires — fault injection, policy \
+           denial, crash/reject/degrade outcomes, WAL crashes, attestation \
+           failures, SLO or tail-latency breaches. Created if missing. \
+           Defaults to off.")
+
+(* Single-query tail check: a run slower than the armed threshold emits
+   a [query.tail_breach] event (a recorder trigger) and a warning. *)
+let check_query_slo ~slo_p99_ms latency_ns =
+  if slo_p99_ms > 0.0 && latency_ns > slo_p99_ms *. 1e6 then begin
+    Ironsafe_obs.Obs.event ~ts_ns:latency_ns ~scope:"core"
+      ~kind:"query.tail_breach"
+      [
+        ("latency_ns", Ironsafe_obs.Event_log.F latency_ns);
+        ("threshold_ns", Ironsafe_obs.Event_log.F (slo_p99_ms *. 1e6));
+      ];
+    Fmt.pr "-- tail SLO breached: %.3f ms > %.3f ms threshold@."
+      (latency_ns /. 1e6) slo_p99_ms
+  end
+
+let arm_recorder ~frames = function
+  | None -> false
+  | Some dir ->
+      if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+      Ironsafe_obs.Obs.enable ();
+      Ironsafe_obs.Flight_recorder.configure ~frames ~dir ();
+      Ironsafe_obs.Flight_recorder.enable ();
+      true
+
+let report_recorder () =
+  if Ironsafe_obs.Flight_recorder.is_enabled () then begin
+    let n = Ironsafe_obs.Flight_recorder.dump_count () in
+    let dropped = Ironsafe_obs.Flight_recorder.dropped () in
+    List.iter
+      (fun (d : Ironsafe_obs.Flight_recorder.dump) ->
+        match d.Ironsafe_obs.Flight_recorder.d_path with
+        | Some p ->
+            Fmt.pr "-- flight recorder dump (%s) written to %s@."
+              d.Ironsafe_obs.Flight_recorder.d_reason p
+        | None -> ())
+      (Ironsafe_obs.Flight_recorder.dumps ());
+    if n = 0 then Fmt.pr "-- flight recorder: no anomalies, no dumps@."
+    else if dropped > 0 then
+      Fmt.pr "-- flight recorder: %d dumps (%d past the cap dropped)@." n
+        dropped;
+    Ironsafe_obs.Flight_recorder.disable ()
+  end
+
 let write_artifact ?(validate = false) ~what file contents =
   if validate && not (Ironsafe_obs.Chrome_trace.is_valid_json contents) then begin
     Fmt.epr "internal error: emitted %s is not valid JSON@." what;
@@ -211,13 +308,22 @@ let write_artifact ?(validate = false) ~what file contents =
 
 let run_query ?(profile = false) ?trace_out ?jsonl_out ?metrics_out
     ?(sample_every = 1) ?(faults = Fault.none) ?(pool_frames = 0) ?crypto_mode
-    ?batch_size ?crypto_lanes scale config policy sql =
+    ?batch_size ?crypto_lanes ?(recorder_frames = 256) ?dump_dir
+    ?(slo_p99_ms = 0.0) scale config policy sql =
+  let recorder = arm_recorder ~frames:recorder_frames dump_dir in
   let obs_on =
     profile || trace_out <> None || jsonl_out <> None || metrics_out <> None
+    || recorder
   in
   if obs_on then begin
     Ironsafe_obs.Obs.enable ();
-    Ironsafe_obs.Obs.set_sample_every sample_every
+    Ironsafe_obs.Obs.set_sample_every sample_every;
+    (* stream the event log: events reach the file as they happen, and
+       terminal outcomes (crash/reject) force a flush — the log survives
+       even if the process dies mid-query *)
+    match jsonl_out with
+    | Some f -> Ironsafe_obs.Event_log.open_sink f
+    | None -> ()
   end;
   let write_exports () =
     (match trace_out with
@@ -227,14 +333,15 @@ let run_query ?(profile = false) ?trace_out ?jsonl_out ?metrics_out
     | None -> ());
     (match jsonl_out with
     | Some f ->
-        write_artifact ~what:"event log (JSONL)" f
-          (Ironsafe_obs.Obs.to_jsonl ())
+        Ironsafe_obs.Event_log.close_sink ();
+        Fmt.pr "-- event log (JSONL) streamed to %s@." f
     | None -> ());
-    match metrics_out with
+    (match metrics_out with
     | Some f ->
         write_artifact ~what:"metrics (OpenMetrics)" f
           (Ironsafe_obs.Obs.to_openmetrics ())
-    | None -> ()
+    | None -> ());
+    report_recorder ()
   in
   let deploy =
     build_deployment ~faults ~pool_frames ?crypto_mode ?batch_size
@@ -258,6 +365,8 @@ let run_query ?(profile = false) ?trace_out ?jsonl_out ?metrics_out
       print_faults faults;
       Fmt.pr "-- proof of compliance: %s@."
         (if Engine.verify_response engine resp ~sql then "verified" else "INVALID");
+      check_query_slo ~slo_p99_ms
+        resp.Engine.resp_metrics.Runner.end_to_end_ns;
       write_exports ();
       0
 
@@ -267,11 +376,18 @@ let run_query ?(profile = false) ?trace_out ?jsonl_out ?metrics_out
    unattested shard rejects the whole query. *)
 let run_cluster_query ?trace_out ?jsonl_out ?metrics_out ?(sample_every = 1)
     ?(faults = Fault.none) ?(pool_frames = 0) ?crypto_mode ?batch_size
-    ?crypto_lanes ~shards ~scheme scale config policy sql =
-  let obs_on = trace_out <> None || jsonl_out <> None || metrics_out <> None in
+    ?crypto_lanes ?(recorder_frames = 256) ?dump_dir ?(slo_p99_ms = 0.0)
+    ~shards ~scheme scale config policy sql =
+  let recorder = arm_recorder ~frames:recorder_frames dump_dir in
+  let obs_on =
+    trace_out <> None || jsonl_out <> None || metrics_out <> None || recorder
+  in
   if obs_on then begin
     Ironsafe_obs.Obs.enable ();
-    Ironsafe_obs.Obs.set_sample_every sample_every
+    Ironsafe_obs.Obs.set_sample_every sample_every;
+    match jsonl_out with
+    | Some f -> Ironsafe_obs.Event_log.open_sink f
+    | None -> ()
   end;
   let write_exports () =
     (match trace_out with
@@ -281,13 +397,15 @@ let run_cluster_query ?trace_out ?jsonl_out ?metrics_out ?(sample_every = 1)
     | None -> ());
     (match jsonl_out with
     | Some f ->
-        write_artifact ~what:"event log (JSONL)" f (Ironsafe_obs.Obs.to_jsonl ())
+        Ironsafe_obs.Event_log.close_sink ();
+        Fmt.pr "-- event log (JSONL) streamed to %s@." f
     | None -> ());
-    match metrics_out with
+    (match metrics_out with
     | Some f ->
         write_artifact ~what:"metrics (OpenMetrics)" f
           (Ironsafe_obs.Obs.to_openmetrics ())
-    | None -> ()
+    | None -> ());
+    report_recorder ()
   in
   let deploy =
     build_deployment ~faults ~pool_frames ?crypto_mode ?batch_size ?crypto_lanes
@@ -328,6 +446,10 @@ let run_cluster_query ?trace_out ?jsonl_out ?metrics_out ?(sample_every = 1)
               (Cluster.gather_operator cl sql)
               shards
               (Partitioner.scheme_name scheme);
+            if obs_on then
+              Fmt.pr "-- scatter latency (per shard, bucket-merged):@.%s"
+                (Cluster.scatter_latency_table cl);
+            check_query_slo ~slo_p99_ms m.Runner.end_to_end_ns;
             finish 0
         | Runner.Rejected v | Runner.Crashed v ->
             Fmt.epr "error: %a@." Runner.pp_violation v;
@@ -382,7 +504,7 @@ let query_cmd =
   in
   let run scale config policy explain profile trace_out jsonl_out metrics_out
       sample_every fault_seed fault_profile pool_frames crypto_mode batch_size
-      crypto_lanes shards scheme sql =
+      crypto_lanes shards scheme recorder_frames dump_dir slo_p99_ms sql =
     if explain then begin
       let deploy = build_deployment scale in
       let plan =
@@ -396,13 +518,13 @@ let query_cmd =
     else if shards > 1 then
       run_cluster_query ?trace_out ?jsonl_out ?metrics_out ~sample_every
         ~faults:(fault_plan fault_seed fault_profile)
-        ~pool_frames ~crypto_mode ~batch_size ~crypto_lanes ~shards ~scheme
-        scale config policy sql
+        ~pool_frames ~crypto_mode ~batch_size ~crypto_lanes ~recorder_frames
+        ?dump_dir ~slo_p99_ms ~shards ~scheme scale config policy sql
     else
       run_query ~profile ?trace_out ?jsonl_out ?metrics_out ~sample_every
         ~faults:(fault_plan fault_seed fault_profile)
-        ~pool_frames ~crypto_mode ~batch_size ~crypto_lanes scale config
-        policy sql
+        ~pool_frames ~crypto_mode ~batch_size ~crypto_lanes ~recorder_frames
+        ?dump_dir ~slo_p99_ms scale config policy sql
   in
   Cmd.v
     (Cmd.info "query" ~doc:"Run one policy-checked SQL statement")
@@ -410,7 +532,8 @@ let query_cmd =
       const run $ scale_arg $ config_arg $ policy_arg $ explain $ profile
       $ trace_out $ jsonl_out $ metrics_out $ sample_every $ fault_seed_arg
       $ fault_profile_arg $ pool_frames_arg $ crypto_mode_arg $ batch_size_arg
-      $ crypto_lanes_arg $ shards_arg $ scheme_arg $ sql)
+      $ crypto_lanes_arg $ shards_arg $ scheme_arg $ recorder_frames_arg
+      $ dump_dir_arg $ slo_p99_ms_arg $ sql)
 
 let tpch_cmd =
   let id =
@@ -530,8 +653,21 @@ let workload_cmd =
       & info [ "trace-out" ] ~docv:"FILE"
           ~doc:"Write a Chrome trace (one lane per session) to $(docv).")
   in
+  let lane_frames =
+    Arg.(
+      value
+      & opt (pos_int_conv "--lane-frames") 32
+      & info [ "lane-frames" ] ~docv:"N"
+          ~doc:
+            "Bounded-forensics mode: per-session ring of recent trace \
+             segments held while the lane's verdict is undecided (default \
+             32).")
+  in
   let run scale config qps sessions think_ms queries tenants seed max_inflight
-      queue_depth sample_sessions json trace_out pool_frames shards scheme =
+      queue_depth sample_sessions json trace_out pool_frames shards scheme
+      slo_p99_ms recorder_frames dump_dir lane_frames =
+    let recorder = arm_recorder ~frames:recorder_frames dump_dir in
+    if recorder then Ironsafe_obs.Obs.enable ();
     let deploy = build_deployment ~pool_frames scale in
     let cl =
       if shards > 1 then Some (build_cluster ~shards ~scheme deploy) else None
@@ -577,6 +713,8 @@ let workload_cmd =
         max_inflight;
         queue_depth;
         sample_sessions;
+        lane_frames;
+        tail_slo_ns = slo_p99_ms *. 1e6;
         control_ns =
           p.Ironsafe_sim.Params.monitor_policy_ns
           +. p.Ironsafe_sim.Params.monitor_session_ns;
@@ -601,6 +739,7 @@ let workload_cmd =
         output_string oc trace;
         close_out oc;
         Fmt.pr "-- trace written to %s (open in Perfetto)@." file);
+    report_recorder ();
     if report.Sched.rep_completed > 0 then 0 else 1
   in
   Cmd.v
@@ -611,7 +750,8 @@ let workload_cmd =
     Term.(
       const run $ scale_arg $ config_arg $ qps $ sessions $ think_ms $ queries
       $ tenants $ seed $ max_inflight $ queue_depth $ sample_sessions $ json
-      $ trace_out $ pool_frames_arg $ shards_arg $ scheme_arg)
+      $ trace_out $ pool_frames_arg $ shards_arg $ scheme_arg $ slo_p99_ms_arg
+      $ recorder_frames_arg $ dump_dir_arg $ lane_frames)
 
 let shell_cmd =
   let run scale policy =
@@ -647,10 +787,41 @@ let shell_cmd =
     (Cmd.info "shell" ~doc:"Interactive policy-checked SQL shell")
     Term.(const run $ scale_arg $ policy_arg)
 
+let forensics_cmd =
+  let dir =
+    Arg.(
+      required
+      & pos 0 (some dir) None
+      & info [] ~docv:"DIR"
+          ~doc:
+            "Flight recorder dump directory (or any directory of JSONL \
+             event logs).")
+  in
+  let trace =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"ID"
+          ~doc:"Restrict the timeline to one trace id (hex).")
+  in
+  let run dir trace =
+    print_string (Ironsafe_obs.Forensics.report_dir ?trace dir);
+    0
+  in
+  Cmd.v
+    (Cmd.info "forensics"
+       ~doc:
+         "Reconstruct per-query causal timelines (host/shard hops, WAL \
+          records, fault sites, policy decisions, SLO breaches) from flight \
+          recorder dumps and event logs")
+    Term.(const run $ dir $ trace)
+
 let () =
   let info =
     Cmd.info "ironsafe-cli" ~version:"1.0.0"
       ~doc:"Secure policy-compliant query processing on computational storage"
   in
   exit
-    (Cmd.eval' (Cmd.group info [ query_cmd; tpch_cmd; workload_cmd; shell_cmd ]))
+    (Cmd.eval'
+       (Cmd.group info
+          [ query_cmd; tpch_cmd; workload_cmd; shell_cmd; forensics_cmd ]))

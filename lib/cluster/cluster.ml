@@ -967,6 +967,7 @@ let run_scatter ?(reset = true) ?project t config (q : Sql.Ast.select) stmt =
         let pages = c.Sql.Observer.page_reads in
         let hits = c.Sql.Observer.page_hits in
         let decrypts, macs, merkle, rpmb = r.sr_crypto in
+        let shard_t0 = Sim.Node.now sh.sh_node in
         Runner.with_offload host sh.sh_node (fun () ->
             match config with
             | Config.Hons ->
@@ -1027,7 +1028,15 @@ let run_scatter ?(reset = true) ?project t config (q : Sql.Ast.select) stmt =
                 Runner.charge_memory sh.sh_node ~category:"spill"
                   c.Sql.Observer.bytes_allocated;
                 Runner.charge_transfer params sh.sh_node host ~secure:true
-                  ~bytes:r.sr_bytes ~messages:1))
+                  ~bytes:r.sr_bytes ~messages:1);
+        (* per-shard scatter latency: virtual time this shard spent on
+           its slice, observed under the shard node's own scope so the
+           gather side can merge the distributions exactly *)
+        if Obs.enabled () then
+          Obs.observe
+            ~scope:(Sim.Node.name sh.sh_node)
+            "scatter_latency_ns"
+            (Sim.Node.now sh.sh_node -. shard_t0))
       t.shards;
     let shard_rows =
       Array.fold_left
@@ -1203,3 +1212,48 @@ let run_stmt_outcome ?reset ?project t config stmt =
 
 let run_query_outcome t config sql =
   run_stmt_outcome t config (Sql.Parser.parse sql)
+
+(* -- merged scatter-latency distribution ------------------------------- *)
+
+(* Every shard's scatter phase observes its virtual-time slice into a
+   per-shard-scope histogram ([<node>/scatter_latency_ns]); the gather
+   side folds those views with the exact bucket-wise merge, so the
+   combined percentile table equals one histogram that watched every
+   shard's stream. *)
+let scatter_latency_view t =
+  let snap = Ironsafe_obs.Metrics.snapshot Ironsafe_obs.Metrics.default in
+  Array.fold_left
+    (fun acc sh ->
+      match
+        Ironsafe_obs.Metrics.value snap
+          ~scope:(Sim.Node.name sh.sh_node)
+          "scatter_latency_ns"
+      with
+      | Some (Ironsafe_obs.Metrics.VHist v) ->
+          Ironsafe_obs.Histogram.merge acc v
+      | _ -> acc)
+    Ironsafe_obs.Histogram.empty_view t.shards
+
+let scatter_latency_table t =
+  let module H = Ironsafe_obs.Histogram in
+  let buf = Buffer.create 256 in
+  let line scope (v : H.view) =
+    Buffer.add_string buf
+      (Printf.sprintf "%-12s n=%-6d p50=%.3fms p95=%.3fms p99=%.3fms\n"
+         scope v.H.v_count
+         (H.percentile_of_view v 50.0 /. 1e6)
+         (H.percentile_of_view v 95.0 /. 1e6)
+         (H.percentile_of_view v 99.0 /. 1e6))
+  in
+  let snap = Ironsafe_obs.Metrics.snapshot Ironsafe_obs.Metrics.default in
+  Array.iter
+    (fun sh ->
+      let scope = Sim.Node.name sh.sh_node in
+      match
+        Ironsafe_obs.Metrics.value snap ~scope "scatter_latency_ns"
+      with
+      | Some (Ironsafe_obs.Metrics.VHist v) -> line scope v
+      | _ -> ())
+    t.shards;
+  line "merged" (scatter_latency_view t);
+  Buffer.contents buf

@@ -119,3 +119,14 @@ val run_stmt_outcome :
     re-read budget) — typed outcomes, never silently-wrong rows. *)
 
 val run_query_outcome : t -> Ironsafe.Config.t -> string -> Ironsafe.Runner.outcome
+
+(** {2 Gathered latency} *)
+
+val scatter_latency_view : t -> Ironsafe_obs.Histogram.view
+(** Bucket-wise merge ({!Ironsafe_obs.Histogram.merge}) of every
+    shard's [scatter_latency_ns] histogram from the live metrics
+    registry — identical to one histogram observing all shard streams.
+    Empty view when observability is off or nothing ran. *)
+
+val scatter_latency_table : t -> string
+(** Per-shard p50/p95/p99 lines plus the merged row. *)

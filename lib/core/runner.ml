@@ -605,11 +605,23 @@ let preflight d config =
         None
   end
 
+(* Abnormal outcomes are first-class events: [query.crashed] /
+   [query.rejected] are terminal kinds (the event-log sink flushes on
+   them, so the lines explaining the failure are durable even if the
+   process dies before its orderly export) and every abnormal kind
+   triggers a flight recorder dump. *)
+let outcome_event ~kind v =
+  if Obs.enabled () then
+    Obs.event ~scope:"core" ~kind
+      [ ("site", Ev.S v.v_site); ("detail", Ev.S v.v_detail) ]
+
 let run_stmt_outcome ?reset ?project deploy config stmt =
   let faults = Deployment.faults deploy in
   let mark = Fault.incident_count faults in
   match preflight deploy config with
-  | Some v -> Rejected v
+  | Some v ->
+      outcome_event ~kind:"query.rejected" v;
+      Rejected v
   | None -> (
       match run_stmt ?reset ?project deploy config stmt with
       | m -> (
@@ -620,24 +632,35 @@ let run_stmt_outcome ?reset ?project deploy config stmt =
                  whatever fired was survived, including faults absorbed
                  with no repair work (e.g. rot in an unused region) *)
               Fault.note_recovered_since faults mark;
+              if Obs.enabled () then
+                Obs.event ~scope:"core" ~kind:"query.degraded"
+                  [ ("incidents", Ev.I (List.length incidents)) ];
               Degraded (m, incidents))
       | exception Ironsafe_wal.Wal.Crashed site ->
           Obs.count ~scope:"fault" "crashes";
-          Crashed
+          let v =
             {
               v_site = Fault.site_name site;
               v_detail = "power loss injected; reboot required";
             }
+          in
+          outcome_event ~kind:"query.crashed" v;
+          Crashed v
       | exception Sql.Pager.Integrity_failure detail ->
           Fault.note_rejected faults;
           Obs.count ~scope:"fault" "rejected";
-          Rejected (violation_of_faults faults ~default:"securestore" ~detail)
+          let v = violation_of_faults faults ~default:"securestore" ~detail in
+          outcome_event ~kind:"query.rejected" v;
+          Rejected v
       | exception Tee.Sgx.Enclave_aborted ->
           Fault.note_rejected faults;
           Obs.count ~scope:"fault" "rejected";
-          Rejected
-            (violation_of_faults faults ~default:"sgx.abort"
-               ~detail:"enclave died mid-query"))
+          let v =
+            violation_of_faults faults ~default:"sgx.abort"
+              ~detail:"enclave died mid-query"
+          in
+          outcome_event ~kind:"query.rejected" v;
+          Rejected v)
 
 let run_query_outcome deploy config sql =
   run_stmt_outcome deploy config (Sql.Parser.parse sql)

@@ -22,20 +22,26 @@ type event = {
 
 let buf_rev : event list ref = ref []
 
+(* Emission tap: every buffered event is also offered to [tap]. The
+   flight recorder installs itself here (a ref cell rather than a
+   direct call, because [Flight_recorder] depends on this module). *)
+let tap : (event -> unit) ref = ref (fun _ -> ())
+
+(* Optional streaming sink: when open, every event is rendered and
+   written as it is emitted, and *terminal* kinds (a query ending in
+   Crashed/Rejected, a WAL crash site firing) force a flush so the
+   lines that explain an abnormal exit are on disk even if the process
+   never reaches its orderly export path. *)
+type sink = { sk_oc : out_channel; sk_path : string; mutable sk_events : int }
+
+let sink : sink option ref = ref None
+
+let terminal_kinds =
+  [ "query.crashed"; "query.rejected"; "wal.crash"; "enclave.abort" ]
+
 let reset () = buf_rev := []
 let events () = List.rev !buf_rev
 let length () = List.length !buf_rev
-
-let emit ?ts_ns ?trace ~scope ~kind fields =
-  if !Control.enabled then begin
-    let e_ts_ns =
-      match ts_ns with Some t -> t | None -> Span.timeline_now ()
-    in
-    buf_rev :=
-      { e_ts_ns; e_scope = scope; e_kind = kind; e_trace = trace;
-        e_fields = fields }
-      :: !buf_rev
-  end
 
 (* -- JSONL rendering --------------------------------------------------- *)
 
@@ -82,6 +88,52 @@ let event_json buf e =
         (Printf.sprintf ",\"%s\":%s" (escape k) (field_json v)))
     e.e_fields;
   Buffer.add_char buf '}'
+
+let event_line e =
+  let buf = Buffer.create 128 in
+  event_json buf e;
+  Buffer.contents buf
+
+let flush_sink () =
+  match !sink with None -> () | Some s -> flush s.sk_oc
+
+let close_sink () =
+  match !sink with
+  | None -> ()
+  | Some s ->
+      sink := None;
+      flush s.sk_oc;
+      close_out_noerr s.sk_oc
+
+let open_sink path =
+  close_sink ();
+  let oc = open_out path in
+  sink := Some { sk_oc = oc; sk_path = path; sk_events = 0 }
+
+let sink_path () =
+  match !sink with None -> None | Some s -> Some s.sk_path
+
+let () = at_exit close_sink
+
+let emit ?ts_ns ?trace ~scope ~kind fields =
+  if !Control.enabled then begin
+    let e_ts_ns =
+      match ts_ns with Some t -> t | None -> Span.timeline_now ()
+    in
+    let e =
+      { e_ts_ns; e_scope = scope; e_kind = kind; e_trace = trace;
+        e_fields = fields }
+    in
+    buf_rev := e :: !buf_rev;
+    (match !sink with
+    | None -> ()
+    | Some s ->
+        output_string s.sk_oc (event_line e);
+        output_char s.sk_oc '\n';
+        s.sk_events <- s.sk_events + 1;
+        if List.mem kind terminal_kinds then flush s.sk_oc);
+    !tap e
+  end
 
 let to_jsonl () =
   let buf = Buffer.create 4096 in

@@ -24,7 +24,45 @@ val emit :
 (** Append one event (no-op while observability is off). [ts_ns]
     defaults to the span timeline's high-water mark. *)
 
+val tap : (event -> unit) ref
+(** Called for every event buffered by {!emit} (after buffering, before
+    returning). The flight recorder installs itself here; defaults to
+    a no-op. *)
+
+val open_sink : string -> unit
+(** Open a streaming JSONL sink at [path] (truncating it): every
+    subsequent event is written as one line when emitted. Terminal
+    kinds ([query.crashed], [query.rejected], [wal.crash],
+    [enclave.abort]) force a flush so the events explaining an abnormal
+    exit are durable even if the orderly export path is never reached.
+    Closes any previously open sink; a sink is also closed at process
+    exit. *)
+
+val close_sink : unit -> unit
+(** Flush and close the sink, if open. *)
+
+val flush_sink : unit -> unit
+(** Flush the sink, if open. *)
+
+val sink_path : unit -> string option
+(** Path of the open sink, if any. *)
+
+val terminal_kinds : string list
+(** Event kinds that force a sink flush. *)
+
 val to_jsonl : unit -> string
 (** One JSON object per line, in emission order. *)
+
+val event_line : event -> string
+(** One event rendered as a single JSON object (no newline). *)
+
+val field_json : field -> string
+(** JSON rendering of one field value. *)
+
+val escape : string -> string
+(** JSON string escaping (no surrounding quotes). *)
+
+val json_float : float -> string
+(** Compact JSON number rendering used across exporters. *)
 
 val pp_event : Format.formatter -> event -> unit

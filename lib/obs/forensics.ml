@@ -1,0 +1,329 @@
+(* Post-hoc forensics: reconstruct per-query causal timelines from
+   flight recorder dumps (or any event-log JSONL export).
+
+   The dump/event schema is deliberately flat — one JSON object per
+   line, values limited to strings, numbers, and booleans — so a
+   dependency-free parser here can round-trip everything the exporters
+   write. Lines that fail to parse are counted, not fatal: a truncated
+   final line is exactly the abnormal-exit case forensics runs on. *)
+
+type entry = {
+  en_ts_ns : float;
+  en_scope : string;
+  en_kind : string;
+  en_trace : string option;
+  en_span : string option;
+  en_seq : int option;  (* flight recorder frame order *)
+  en_fields : (string * Event_log.field) list;  (* everything else *)
+}
+
+(* -- Flat JSON object parser ------------------------------------------- *)
+
+exception Bad of int
+
+let parse_fields line =
+  let n = String.length line in
+  let pos = ref 0 in
+  let peek () = if !pos >= n then raise (Bad !pos) else line.[!pos] in
+  let advance () = incr pos in
+  let skip_ws () =
+    while !pos < n && (match line.[!pos] with
+                       | ' ' | '\t' | '\n' | '\r' -> true
+                       | _ -> false) do
+      advance ()
+    done
+  in
+  let expect c =
+    skip_ws ();
+    if peek () <> c then raise (Bad !pos);
+    advance ()
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      let c = peek () in
+      advance ();
+      match c with
+      | '"' -> Buffer.contents buf
+      | '\\' -> (
+          let e = peek () in
+          advance ();
+          match e with
+          | '"' -> Buffer.add_char buf '"'; go ()
+          | '\\' -> Buffer.add_char buf '\\'; go ()
+          | '/' -> Buffer.add_char buf '/'; go ()
+          | 'n' -> Buffer.add_char buf '\n'; go ()
+          | 'r' -> Buffer.add_char buf '\r'; go ()
+          | 't' -> Buffer.add_char buf '\t'; go ()
+          | 'b' -> Buffer.add_char buf '\b'; go ()
+          | 'f' -> Buffer.add_char buf '\012'; go ()
+          | 'u' ->
+              if !pos + 4 > n then raise (Bad !pos);
+              let hex = String.sub line !pos 4 in
+              pos := !pos + 4;
+              let code =
+                try int_of_string ("0x" ^ hex) with _ -> raise (Bad !pos)
+              in
+              (* The exporters only \u-escape control characters, so a
+                 single byte suffices here. *)
+              Buffer.add_char buf (Char.chr (code land 0xff));
+              go ()
+          | _ -> raise (Bad !pos))
+      | c -> Buffer.add_char buf c; go ()
+    in
+    go ()
+  in
+  let parse_scalar () =
+    skip_ws ();
+    match peek () with
+    | '"' -> Event_log.S (parse_string ())
+    | 't' ->
+        if !pos + 4 <= n && String.sub line !pos 4 = "true" then begin
+          pos := !pos + 4;
+          Event_log.B true
+        end
+        else raise (Bad !pos)
+    | 'f' ->
+        if !pos + 5 <= n && String.sub line !pos 5 = "false" then begin
+          pos := !pos + 5;
+          Event_log.B false
+        end
+        else raise (Bad !pos)
+    | _ ->
+        let start = !pos in
+        while
+          !pos < n
+          && (match line.[!pos] with
+             | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+             | _ -> false)
+        do
+          advance ()
+        done;
+        if !pos = start then raise (Bad !pos);
+        let s = String.sub line start (!pos - start) in
+        let f = try float_of_string s with _ -> raise (Bad start) in
+        if Float.is_integer f && Float.abs f < 1e15
+           && not (String.contains s '.')
+           && not (String.contains s 'e')
+           && not (String.contains s 'E')
+        then Event_log.I (int_of_float f)
+        else Event_log.F f
+  in
+  try
+    expect '{';
+    skip_ws ();
+    if peek () = '}' then Some []
+    else begin
+      let fields = ref [] in
+      let rec members () =
+        let k = (skip_ws (); parse_string ()) in
+        expect ':';
+        let v = parse_scalar () in
+        fields := (k, v) :: !fields;
+        skip_ws ();
+        match peek () with
+        | ',' -> advance (); members ()
+        | '}' -> advance ()
+        | _ -> raise (Bad !pos)
+      in
+      members ();
+      Some (List.rev !fields)
+    end
+  with Bad _ -> None
+
+let parse_line line =
+  match parse_fields line with
+  | None -> None
+  | Some fields ->
+      let str k =
+        match List.assoc_opt k fields with
+        | Some (Event_log.S s) -> Some s
+        | _ -> None
+      in
+      let num k =
+        match List.assoc_opt k fields with
+        | Some (Event_log.F f) -> Some f
+        | Some (Event_log.I i) -> Some (float_of_int i)
+        | _ -> None
+      in
+      let int k =
+        match List.assoc_opt k fields with
+        | Some (Event_log.I i) -> Some i
+        | Some (Event_log.F f) -> Some (int_of_float f)
+        | _ -> None
+      in
+      (* Dump headers ({"dump":..}) and frame/event lines both carry
+         ts_ns; anything without one is not a timeline entry. *)
+      match num "ts_ns" with
+      | None -> None
+      | Some ts ->
+          let consumed =
+            [ "ts_ns"; "scope"; "kind"; "trace_id"; "span_id"; "seq" ]
+          in
+          Some
+            {
+              en_ts_ns = ts;
+              en_scope = Option.value ~default:"-" (str "scope");
+              en_kind = Option.value ~default:"-" (str "kind");
+              en_trace = str "trace_id";
+              en_span = str "span_id";
+              en_seq = int "seq";
+              en_fields =
+                List.filter (fun (k, _) -> not (List.mem k consumed)) fields;
+            }
+
+(* -- Loading ----------------------------------------------------------- *)
+
+let load_lines lines =
+  let entries = ref [] and skipped = ref 0 in
+  List.iter
+    (fun line ->
+      if String.trim line <> "" then
+        match parse_line line with
+        | Some e -> entries := e :: !entries
+        | None -> incr skipped)
+    lines;
+  (List.rev !entries, !skipped)
+
+let load_file path =
+  let ic = open_in path in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> close_in ic);
+  load_lines (List.rev !lines)
+
+let load_dir dir =
+  let names =
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".jsonl")
+    |> List.sort compare
+  in
+  List.map (fun f -> (f, load_file (Filename.concat dir f))) names
+
+(* -- Timeline rendering ------------------------------------------------ *)
+
+let anomaly_kinds =
+  [
+    "fault.injected"; "policy.deny"; "sched.shed"; "sched.denied";
+    "sched.tail_breach"; "query.tail_breach"; "wal.crash"; "wal.recover";
+    "slo.breach";
+    "query.crashed"; "query.rejected"; "query.degraded"; "enclave.abort";
+  ]
+
+let is_anomaly e =
+  List.mem e.en_kind anomaly_kinds
+  || List.exists
+       (fun (k, v) -> k = "ok" && v = Event_log.B false)
+       e.en_fields
+
+let entry_order a b =
+  match compare a.en_ts_ns b.en_ts_ns with
+  | 0 -> compare a.en_seq b.en_seq
+  | c -> c
+
+let fields_str e =
+  String.concat " "
+    (List.map
+       (fun (k, v) -> k ^ "=" ^ Event_log.field_json v)
+       e.en_fields)
+
+(* One timeline line: virtual timestamp, a hop marker when the scope
+   changed since the previous entry (the host <-> shard causal flow),
+   an anomaly marker, then kind and fields. *)
+let render_entries buf entries =
+  let prev_scope = ref "" in
+  List.iter
+    (fun e ->
+      let hop =
+        if !prev_scope <> "" && e.en_scope <> !prev_scope then "->" else "  "
+      in
+      prev_scope := e.en_scope;
+      Buffer.add_string buf
+        (Printf.sprintf "  %12.3fms %s %-12s %c %-20s %s\n"
+           (e.en_ts_ns /. 1e6) hop e.en_scope
+           (if is_anomaly e then '!' else ' ')
+           e.en_kind (fields_str e)))
+    entries
+
+let timeline ?trace entries =
+  let entries = List.stable_sort entry_order entries in
+  let entries =
+    match trace with
+    | None -> entries
+    | Some t -> List.filter (fun e -> e.en_trace = Some t) entries
+  in
+  let buf = Buffer.create 1024 in
+  (* Group by trace id; untraced entries (scheduler-level, dump
+     headers) form a shared "run" group printed first. *)
+  let traces =
+    List.fold_left
+      (fun acc e ->
+        match e.en_trace with
+        | Some t when not (List.mem t acc) -> acc @ [ t ]
+        | _ -> acc)
+      [] entries
+  in
+  let untraced = List.filter (fun e -> e.en_trace = None) entries in
+  if untraced <> [] && trace = None then begin
+    Buffer.add_string buf
+      (Printf.sprintf "run-level events (%d):\n" (List.length untraced));
+    render_entries buf untraced
+  end;
+  List.iter
+    (fun t ->
+      let es = List.filter (fun e -> e.en_trace = Some t) entries in
+      let anomalies = List.length (List.filter is_anomaly es) in
+      Buffer.add_string buf
+        (Printf.sprintf "query trace=%s events=%d anomalies=%d:\n" t
+           (List.length es) anomalies);
+      render_entries buf es)
+    traces;
+  Buffer.contents buf
+
+let report_dir ?trace dir =
+  let files = load_dir dir in
+  let buf = Buffer.create 4096 in
+  let total_entries = ref 0 and total_skipped = ref 0 in
+  let all = ref [] in
+  List.iter
+    (fun (name, (entries, skipped)) ->
+      total_entries := !total_entries + List.length entries;
+      total_skipped := !total_skipped + skipped;
+      all := !all @ entries;
+      Buffer.add_string buf
+        (Printf.sprintf "%s: %d events%s\n" name (List.length entries)
+           (if skipped > 0 then Printf.sprintf " (%d unparseable)" skipped
+            else "")))
+    files;
+  if files = [] then Buffer.add_string buf "no .jsonl dumps found\n"
+  else begin
+    (* successive dumps overlap (each carries the full ring): frames
+       share the recorder's global sequence, so entries with a [seq]
+       dedupe exactly across files *)
+    let seen = Hashtbl.create 256 in
+    let deduped =
+      List.filter
+        (fun e ->
+          match e.en_seq with
+          | None -> true
+          | Some s ->
+              if Hashtbl.mem seen s then false
+              else begin
+                Hashtbl.add seen s ();
+                true
+              end)
+        !all
+    in
+    (match List.length !all - List.length deduped with
+    | 0 -> ()
+    | n ->
+        Buffer.add_string buf
+          (Printf.sprintf "(%d duplicate frames across overlapping dumps)\n" n));
+    Buffer.add_char buf '\n';
+    Buffer.add_string buf (timeline ?trace deduped)
+  end;
+  Buffer.contents buf

@@ -1,0 +1,42 @@
+(** Post-hoc forensics over flight recorder dumps and event-log JSONL:
+    a dependency-free parser for the flat one-object-per-line schema,
+    and per-query causal timeline reconstruction (host <-> shard hops,
+    WAL records, fault sites, policy decisions, SLO breaches). *)
+
+type entry = {
+  en_ts_ns : float;
+  en_scope : string;
+  en_kind : string;
+  en_trace : string option;
+  en_span : string option;
+  en_seq : int option;  (** flight recorder frame order *)
+  en_fields : (string * Event_log.field) list;  (** everything else *)
+}
+
+val parse_fields : string -> (string * Event_log.field) list option
+(** Parse one flat JSON object (string/number/boolean values only).
+    [None] on malformed input — never raises. *)
+
+val parse_line : string -> entry option
+(** Parse one dump/event line into a timeline entry. Lines without a
+    [ts_ns] field (and unparseable lines) yield [None]. *)
+
+val load_lines : string list -> entry list * int
+(** Entries plus the count of non-empty lines that failed to parse. *)
+
+val load_file : string -> entry list * int
+
+val load_dir : string -> (string * (entry list * int)) list
+(** All [*.jsonl] files in a directory, sorted by name. *)
+
+val is_anomaly : entry -> bool
+(** Anomalous kinds (faults, denials, sheds, crashes, breaches) or an
+    [ok=false] field. *)
+
+val timeline : ?trace:string -> entry list -> string
+(** Render entries as causal timelines grouped by trace id (scope-hop
+    arrows, anomaly markers), optionally restricted to one trace. *)
+
+val report_dir : ?trace:string -> string -> string
+(** Full forensics report over a dump directory: per-file event
+    counts, then the merged timeline. *)

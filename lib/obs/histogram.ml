@@ -138,6 +138,21 @@ let sub ~before ~after =
     v_buckets = buckets;
   }
 
+(* Exact bucket-wise union of two views: counts and sums add, min/max
+   combine, and because every histogram shares one bucket layout the
+   per-bucket sum is exactly the histogram of the merged stream. This is
+   what lets cluster gather fold per-shard latency histograms into one
+   percentile table without re-observing any value. *)
+let merge a b =
+  {
+    v_count = a.v_count + b.v_count;
+    v_sum = a.v_sum +. b.v_sum;
+    v_min = Float.min a.v_min b.v_min;
+    v_max = Float.max a.v_max b.v_max;
+    v_buckets =
+      Array.init n_buckets (fun i -> a.v_buckets.(i) + b.v_buckets.(i));
+  }
+
 (* Nearest-rank percentile over the bucket counts: the upper bound of
    the bucket holding the ceil(q * count)-th value. The exact maximum
    caps the answer so p100 (and any percentile landing in the top

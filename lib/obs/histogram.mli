@@ -37,6 +37,12 @@ val sub : before:view -> after:view -> view
 (** Activity between two snapshots of one histogram, by per-bucket
     subtraction. Interval min/max are bucket-resolution. *)
 
+val merge : view -> view -> view
+(** Exact bucket-wise union: counts/sums add, min/max combine. Because
+    all histograms share one layout, the result equals the view of a
+    histogram that observed both input streams. Empty views are the
+    identity. *)
+
 val bucket_of : float -> int
 (** Bucket index a value lands in (0 = underflow, last = overflow). *)
 

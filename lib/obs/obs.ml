@@ -35,6 +35,7 @@ let reset () =
   Span.reset_collector ();
   Event_log.reset ();
   Trace_context.reset ();
+  Flight_recorder.reset ();
   query_seq := 0;
   current := None;
   last_before := None;
@@ -73,7 +74,13 @@ let observe_via s v = if !Control.enabled then Metrics.series_observe s v
 let on_charge ~node ~category ns =
   if !Control.enabled then begin
     Metrics.observe Metrics.default ~scope:node ("charge_ns." ^ category) ns;
-    Span.add_charge ~category ns
+    Span.add_charge ~category ns;
+    (* Metric deltas are flight recorder frames too: the rings then
+       hold the charge activity immediately preceding an anomaly. *)
+    if Flight_recorder.is_enabled () then
+      Flight_recorder.append ~ts_ns:(Span.timeline_now ()) ~scope:node
+        ~kind:"charge"
+        [ ("category", Event_log.S category); ("ns", Event_log.F ns) ]
   end
 
 (* Structured lifecycle event, stamped with the active trace context. *)
@@ -144,6 +151,13 @@ let finish_query tok =
             | Some before -> Metrics.diff ~before ~after
             | None -> after
           in
+          if Flight_recorder.is_enabled () then
+            Flight_recorder.append ~ts_ns:s.Span.end_ns ~scope:s.Span.scope
+              ~kind:"span"
+              [
+                ("name", Event_log.S s.Span.name);
+                ("dur_ns", Event_log.F (Span.duration_ns s));
+              ];
           { p_span = s; p_metrics = m })
         (Span.last_root ())
   end

@@ -1,0 +1,232 @@
+(* Streaming multi-window SLO burn-rate watchdog on the virtual clock.
+
+   An objective has an error budget (the allowed bad fraction, e.g.
+   0.01 for "p99 of latencies under the target") and a set of trailing
+   windows, each with a burn-rate threshold. The burn rate of a window
+   is (bad/total)/budget — 1.0 means the budget is being consumed
+   exactly as fast as it accrues. Following the multi-window pattern
+   (a long window for significance, a short window for currency), the
+   objective is *breached* only while every window's burn rate is at
+   or above its threshold; this rejects both stale old burns (short
+   window has recovered) and momentary blips (long window unmoved).
+
+   Samples are (virtual ts, good, bad) aggregates fed by the caller —
+   typically one per scheduler tick, derived from Histogram interval
+   diffs ({!feed_view}) or counter deltas. Samples older than the
+   longest window are folded into run totals, so memory is bounded by
+   max_window / tick. Breach/recovery transitions emit deterministic
+   [slo.breach] / [slo.recovered] events, which in turn trigger flight
+   recorder dumps. *)
+
+type window = { w_ns : float; w_burn : float }
+
+type spec = {
+  s_name : string;
+  s_scope : string;  (* event scope for breach/recovery events *)
+  s_budget : float;  (* allowed bad fraction, in (0, 1] *)
+  s_windows : window list;
+}
+
+(* The conventional two-window shape: the full window at burn 1.0
+   (budget actually being consumed) plus a 12x-shorter window at burn
+   6.0 (and still burning hard right now). *)
+let default_windows ~window_ns =
+  [
+    { w_ns = window_ns; w_burn = 1.0 };
+    { w_ns = window_ns /. 12.0; w_burn = 6.0 };
+  ]
+
+type sample = { ts : float; good : int; bad : int }
+
+type t = {
+  spec : spec;
+  max_window : float;
+  samples : sample Queue.t;
+  mutable expired_good : int;  (* aged out of every window *)
+  mutable expired_bad : int;
+  mutable breached_now : bool;
+  mutable breach_start : float;
+  mutable breaches : int;
+  mutable breached_ns : float;
+  mutable worst_burn : float;
+  mutable last_now : float;
+}
+
+let create spec =
+  let max_window =
+    List.fold_left (fun acc w -> Float.max acc w.w_ns) 0.0 spec.s_windows
+  in
+  {
+    spec;
+    max_window;
+    samples = Queue.create ();
+    expired_good = 0;
+    expired_bad = 0;
+    breached_now = false;
+    breach_start = 0.0;
+    breaches = 0;
+    breached_ns = 0.0;
+    worst_burn = 0.0;
+    last_now = 0.0;
+  }
+
+let name t = t.spec.s_name
+let breached t = t.breached_now
+
+(* Bad observations in a view, to bucket resolution: every bucket
+   strictly above the bucket holding [threshold_ns] counts as bad (a
+   value sharing the threshold's bucket is indistinguishable from the
+   threshold itself, so it counts as good — a conservative undercount
+   of at most one bucket width). *)
+let bad_above view ~threshold_ns =
+  let ti = Histogram.bucket_of threshold_ns in
+  let bad = ref 0 in
+  Array.iteri
+    (fun i n -> if i > ti then bad := !bad + n)
+    view.Histogram.v_buckets;
+  !bad
+
+let window_totals t ~now_ns w =
+  let lo = now_ns -. w.w_ns in
+  let good = ref 0 and bad = ref 0 in
+  Queue.iter
+    (fun s ->
+      if s.ts > lo then begin
+        good := !good + s.good;
+        bad := !bad + s.bad
+      end)
+    t.samples;
+  (!good, !bad)
+
+let burn_rate t ~good ~bad =
+  let total = good + bad in
+  if total = 0 then 0.0
+  else float_of_int bad /. float_of_int total /. t.spec.s_budget
+
+let evaluate t ~now_ns =
+  let burns =
+    List.map
+      (fun w ->
+        let good, bad = window_totals t ~now_ns w in
+        let burn = burn_rate t ~good ~bad in
+        (w, burn, good + bad, bad))
+      t.spec.s_windows
+  in
+  (* Track the long-window burn as the reported severity. *)
+  (match burns with
+  | (_, burn, _, _) :: _ ->
+      if burn > t.worst_burn then t.worst_burn <- burn
+  | [] -> ());
+  let breaching =
+    burns <> []
+    && List.for_all
+         (fun (w, burn, total, _) -> total > 0 && burn >= w.w_burn)
+         burns
+  in
+  if breaching && not t.breached_now then begin
+    t.breached_now <- true;
+    t.breach_start <- now_ns;
+    t.breaches <- t.breaches + 1;
+    let _, burn, total, bad =
+      match burns with b :: _ -> b | [] -> assert false
+    in
+    Event_log.emit ~ts_ns:now_ns ~scope:t.spec.s_scope ~kind:"slo.breach"
+      [
+        ("slo", Event_log.S t.spec.s_name);
+        ("burn", Event_log.F burn);
+        ("bad", Event_log.I bad);
+        ("total", Event_log.I total);
+        ("budget", Event_log.F t.spec.s_budget);
+      ]
+  end
+  else if (not breaching) && t.breached_now then begin
+    t.breached_now <- false;
+    t.breached_ns <- t.breached_ns +. (now_ns -. t.breach_start);
+    let _, burn, _, _ =
+      match burns with b :: _ -> b | [] -> assert false
+    in
+    Event_log.emit ~ts_ns:now_ns ~scope:t.spec.s_scope ~kind:"slo.recovered"
+      [
+        ("slo", Event_log.S t.spec.s_name);
+        ("burn", Event_log.F burn);
+        ("breached_ns", Event_log.F (now_ns -. t.breach_start));
+      ]
+  end
+
+let feed t ~now_ns ~good ~bad =
+  t.last_now <- Float.max t.last_now now_ns;
+  if good > 0 || bad > 0 then
+    Queue.push { ts = now_ns; good; bad } t.samples;
+  (* Age out samples past every window. *)
+  let lo = now_ns -. t.max_window in
+  let rec evict () =
+    match Queue.peek_opt t.samples with
+    | Some s when s.ts <= lo ->
+        ignore (Queue.pop t.samples);
+        t.expired_good <- t.expired_good + s.good;
+        t.expired_bad <- t.expired_bad + s.bad;
+        evict ()
+    | _ -> ()
+  in
+  evict ();
+  evaluate t ~now_ns
+
+let feed_view t ~now_ns ~threshold_ns ~before ~after =
+  let diff = Histogram.sub ~before ~after in
+  let bad = bad_above diff ~threshold_ns in
+  let good = max 0 (diff.Histogram.v_count - bad) in
+  feed t ~now_ns ~good ~bad
+
+(* -- Summary ----------------------------------------------------------- *)
+
+type summary = {
+  sum_name : string;
+  sum_budget : float;
+  sum_total : int;
+  sum_bad : int;
+  sum_breaches : int;
+  sum_breached_ns : float;  (* virtual time spent breached *)
+  sum_worst_burn : float;  (* peak long-window burn rate *)
+  sum_breached_now : bool;
+}
+
+let summary t =
+  let live_good = ref 0 and live_bad = ref 0 in
+  Queue.iter
+    (fun s ->
+      live_good := !live_good + s.good;
+      live_bad := !live_bad + s.bad)
+    t.samples;
+  let breached_ns =
+    t.breached_ns
+    +. (if t.breached_now then t.last_now -. t.breach_start else 0.0)
+  in
+  {
+    sum_name = t.spec.s_name;
+    sum_budget = t.spec.s_budget;
+    sum_total = t.expired_good + t.expired_bad + !live_good + !live_bad;
+    sum_bad = t.expired_bad + !live_bad;
+    sum_breaches = t.breaches;
+    sum_breached_ns = breached_ns;
+    sum_worst_burn = t.worst_burn;
+    sum_breached_now = t.breached_now;
+  }
+
+let summary_line s =
+  Printf.sprintf
+    "%-12s budget=%.3f bad=%d/%d breaches=%d breached_ms=%.3f worst_burn=%.2f%s"
+    s.sum_name s.sum_budget s.sum_bad s.sum_total s.sum_breaches
+    (s.sum_breached_ns /. 1e6)
+    s.sum_worst_burn
+    (if s.sum_breached_now then " [breached]" else "")
+
+let summary_json s =
+  Printf.sprintf
+    "{\"slo\":\"%s\",\"budget\":%s,\"bad\":%d,\"total\":%d,\"breaches\":%d,\
+     \"breached_ns\":%s,\"worst_burn\":%s,\"breached_now\":%b}"
+    (Event_log.escape s.sum_name)
+    (Event_log.json_float s.sum_budget)
+    s.sum_bad s.sum_total s.sum_breaches
+    (Event_log.json_float s.sum_breached_ns)
+    (Event_log.json_float s.sum_worst_burn)
+    s.sum_breached_now

@@ -1,0 +1,60 @@
+(** Streaming multi-window SLO burn-rate watchdog on the virtual
+    clock. An objective has an error budget (allowed bad fraction) and
+    trailing windows, each with a burn-rate threshold; the objective is
+    breached only while *every* window's burn rate
+    [(bad/total)/budget] is at or above its threshold — the classic
+    long-window-for-significance, short-window-for-currency pattern.
+    Breach/recovery transitions emit deterministic [slo.breach] /
+    [slo.recovered] events (which trigger flight recorder dumps). *)
+
+type window = { w_ns : float; w_burn : float }
+
+type spec = {
+  s_name : string;
+  s_scope : string;  (** event scope for breach/recovery events *)
+  s_budget : float;  (** allowed bad fraction, in (0, 1] *)
+  s_windows : window list;
+}
+
+val default_windows : window_ns:float -> window list
+(** Two-window shape: [window_ns] at burn 1.0 plus [window_ns/12] at
+    burn 6.0. *)
+
+type t
+
+val create : spec -> t
+val name : t -> string
+val breached : t -> bool
+
+val feed : t -> now_ns:float -> good:int -> bad:int -> unit
+(** Add one aggregate sample at virtual time [now_ns] and re-evaluate.
+    Samples older than the longest window fold into run totals, so
+    memory stays bounded by [max_window / feed interval]. *)
+
+val feed_view :
+  t ->
+  now_ns:float ->
+  threshold_ns:float ->
+  before:Histogram.view -> after:Histogram.view -> unit
+(** Feed a histogram interval diff: observations above [threshold_ns]
+    (bucket resolution, see {!bad_above}) are bad, the rest good. *)
+
+val bad_above : Histogram.view -> threshold_ns:float -> int
+(** Observations in buckets strictly above the bucket holding
+    [threshold_ns] — a conservative (at most one bucket width)
+    undercount of values exceeding the threshold. *)
+
+type summary = {
+  sum_name : string;
+  sum_budget : float;
+  sum_total : int;
+  sum_bad : int;
+  sum_breaches : int;
+  sum_breached_ns : float;  (** virtual time spent breached *)
+  sum_worst_burn : float;  (** peak long-window burn rate *)
+  sum_breached_now : bool;
+}
+
+val summary : t -> summary
+val summary_line : summary -> string
+val summary_json : summary -> string

@@ -102,11 +102,28 @@ type spec = {
   control_ns : float;  (** per-query control-path charge (host) *)
   sample_sessions : int;
       (** forensics bound: [-1] records every lane (legacy exact mode);
-          [>= 0] records event-log lines, per-query records and trace
-          segments only for ~this many deterministically sampled lanes,
-          keeping obs memory O(sample) at 10^5-10^6 sessions. Counters,
-          registry metrics and the latency histogram stay exact over
-          all sessions in both modes. *)
+          [>= 0] switches to *tail-based* retention — every task buffers
+          its log lines and a bounded ring of recent trace segments
+          undecided, and at its verdict an anomalous task (shed, denied,
+          tail-latency breach) is kept in full while normal tasks pass
+          through a deterministic splitmix64 reservoir holding this many
+          exemplars. A saturation sweep thus retains 100% of anomalous
+          lanes plus a bounded normal sample; counters, registry metrics
+          and the latency histogram stay exact over all sessions in both
+          modes. *)
+  lane_frames : int;
+      (** bounded mode: per-task ring capacity for undecided trace
+          segments ([<= 0] keeps every segment). Kept tasks carry their
+          most recent [lane_frames] segments, bounding per-lane memory
+          flight-recorder-style. *)
+  tail_slo_ns : float;
+      (** [> 0.0] arms the tail-latency objective: completions slower
+          than this are anomalous (retained, counted, and emitted as
+          [sched.tail_breach] events) and feed the p99 burn-rate SLO.
+          [0.0] disables tail classification and the SLO watchdog. *)
+  slo_window_ns : float;
+      (** long burn-rate window (virtual ns) for the SLO watchdog; the
+          short window is 1/12 of it (see {!Ironsafe_obs.Slo}). *)
 }
 
 let default_spec =
@@ -121,6 +138,9 @@ let default_spec =
     channel_streams = 2;
     control_ns = 0.0;
     sample_sessions = -1;
+    lane_frames = 32;
+    tail_slo_ns = 0.0;
+    slo_window_ns = 1e8;
   }
 
 let arrival_name = function
@@ -186,6 +206,11 @@ type report = {
   rep_events : int;  (** simulator events processed (queue pops) *)
   rep_wall_ns : float;  (** wall-clock time spent inside [run] *)
   rep_peak_words : int;  (** [Gc.stat].top_heap_words after the run *)
+  rep_anomalous : int;
+      (** bounded mode: anomalous tasks (shed/denied/tail-breach)
+          retained in full — every one of them, by construction *)
+  rep_tail_breaches : int;  (** completions slower than [tail_slo_ns] *)
+  rep_slo : Obs.Slo.summary list;  (** SLO watchdog summaries; [] when off *)
 }
 
 (* Latency digest from the fixed log-bucketed histogram
@@ -245,6 +270,18 @@ type task = {
   ck : clocks;
   s : float array;  (** task-local storage clocks, one per storage node *)
   mutable segments_rev : (string * float * float) list;
+  (* bounded-mode undecided forensics: log lines tagged with a global
+     sequence (so kept lanes merge back into chronological order) and a
+     ring of the most recent [lane_frames] segments. The ring is two
+     parallel arrays — labels (shared tape strings) and an unboxed
+     begin/end float pair per slot — grown geometrically to capacity,
+     so 10^5 undecided lanes cost tens of words each, not a boxed
+     tuple array apiece *)
+  mutable lines_rev : (int * string) list;
+  mutable seg_labels : string array;
+  mutable seg_times : float array;  (* 2 per slot: begin, end *)
+  mutable seg_start : int;
+  mutable seg_len : int;
 }
 
 and action = Arrive of task | Step of task
@@ -280,6 +317,10 @@ let validate spec profiles =
   if spec.control_ns < 0.0 then invalid_arg "Sched.run: negative control_ns";
   if spec.sample_sessions < -1 then
     invalid_arg "Sched.run: sample_sessions must be >= -1";
+  if spec.tail_slo_ns < 0.0 then
+    invalid_arg "Sched.run: negative tail_slo_ns";
+  if spec.slo_window_ns <= 0.0 then
+    invalid_arg "Sched.run: slo_window_ns must be positive";
   (match spec.arrival with
   | Open_loop { qps } ->
       if qps <= 0.0 then invalid_arg "Sched.run: qps must be positive"
@@ -405,28 +446,31 @@ let run ?gate ?storage_nodes deploy spec profiles =
   let control_label = host_name ^ ".policy" in
   let has_control = spec.control_ns > 0.0 in
 
-  (* forensics sampling: with [sample_sessions >= 0] only lanes picked
-     by a deterministic splitmix64 side stream (split off the seed, so
-     the arrival schedule is untouched) record logs/records/segments *)
+  (* tail-based forensics: with [sample_sessions >= 0] every task
+     buffers its forensics undecided (log lines + a bounded segment
+     ring) and the verdict at completion decides retention — anomalous
+     tasks (shed/denied/tail-breach) are always kept, normal tasks pass
+     through a K-exemplar reservoir driven by a splitmix64 side stream
+     (split off the seed, so the arrival schedule is untouched) *)
   let bounded = spec.sample_sessions >= 0 in
-  let n_lanes =
-    match spec.arrival with
-    | Closed_loop { sessions; _ } -> sessions
-    | Open_loop _ -> spec.max_inflight
+  let seg_cap =
+    if not bounded then 0
+    else if spec.lane_frames <= 0 then max_int
+    else spec.lane_frames
   in
-  let lane_sampled =
-    if not bounded then fun _ -> true
-    else if spec.sample_sessions >= n_lanes then fun _ -> true
-    else begin
-      let ratio = float_of_int spec.sample_sessions /. float_of_int n_lanes in
-      let base = Sim.Prng.create ~seed:spec.seed in
-      let flags =
-        Array.init n_lanes (fun l ->
-            Sim.Prng.uniform (Sim.Prng.split base ~index:l) < ratio)
-      in
-      fun l -> l >= 0 && l < n_lanes && flags.(l)
-    end
+  let k_exemplars = max 0 spec.sample_sessions in
+  let reservoir :
+      (record * (int * string) list) option array =
+    Array.make (max 1 k_exemplars) None
   in
+  let reservoir_rng =
+    Sim.Prng.split (Sim.Prng.create ~seed:spec.seed) ~index:0
+  in
+  let n_normal = ref 0 in
+  let kept_rev : (record * (int * string) list) list ref = ref [] in
+  let anomalous = ref 0 in
+  let tail_breaches = ref 0 in
+  let log_seq = ref 0 in
 
   (* event queue *)
   let dummy_clocks = { c_arrive = 0.0; c_h = 0.0; c_start = 0.0 } in
@@ -444,6 +488,11 @@ let run ?gate ?storage_nodes deploy spec profiles =
       ck = dummy_clocks;
       s = [||];
       segments_rev = [];
+      lines_rev = [];
+      seg_labels = [||];
+      seg_times = [||];
+      seg_start = 0;
+      seg_len = 0;
     }
   in
   let queue = Event_queue.create ~dummy:(Arrive dummy_task) in
@@ -451,7 +500,20 @@ let run ?gate ?storage_nodes deploy spec profiles =
 
   (* bookkeeping *)
   let log_rev = ref [] in
-  let logf fmt = Printf.ksprintf (fun s -> log_rev := s :: !log_rev) fmt in
+  (* exact mode appends straight to the global log; bounded mode
+     buffers (seq, line) on the task so the verdict can keep or drop
+     the whole lane, and kept lanes merge back chronologically *)
+  let tlogf task fmt =
+    Printf.ksprintf
+      (fun s ->
+        if bounded then begin
+          let n = !log_seq in
+          incr log_seq;
+          task.lines_rev <- (n, s) :: task.lines_rev
+        end
+        else log_rev := s :: !log_rev)
+      fmt
+  in
   let submitted = ref 0
   and completed = ref 0
   and shed = ref 0
@@ -481,21 +543,105 @@ let run ?gate ?storage_nodes deploy spec profiles =
   let tstats = Array.map (fun t -> Hashtbl.find tenant_stats t) tenants in
   let tstat task = tstats.(task.tenant) in
   let note_done done_ns = if done_ns > !makespan then makespan := done_ns in
-  let finish_record task outcome ~start_ns ~done_ns =
+  let ring_segments task =
+    let cap = Array.length task.seg_labels in
+    List.init task.seg_len (fun i ->
+        let j = (task.seg_start + i) mod cap in
+        ( task.seg_labels.(j),
+          task.seg_times.(2 * j),
+          task.seg_times.((2 * j) + 1) ))
+  in
+  let make_record task outcome ~start_ns ~done_ns =
     task.ck.c_start <- start_ns;
-    records_rev :=
+    {
+      r_qid = task.qid;
+      r_label = prof_label.(task.prof);
+      r_tenant = tenants.(task.tenant);
+      r_lane = task.lane;
+      r_arrive_ns = task.ck.c_arrive;
+      r_start_ns = start_ns;
+      r_done_ns = done_ns;
+      r_outcome = outcome;
+      r_segments =
+        (if bounded && seg_cap <> max_int then ring_segments task
+         else List.rev task.segments_rev);
+    }
+  in
+  let finish_record task outcome ~start_ns ~done_ns =
+    records_rev := make_record task outcome ~start_ns ~done_ns :: !records_rev
+  in
+  (* bounded-mode verdict: anomalous lanes are kept unconditionally;
+     normal lanes offer themselves to the K-exemplar reservoir
+     (Algorithm R on the dedicated splitmix64 stream — deterministic in
+     verdict order) *)
+  let settle task outcome ~start_ns ~done_ns ~anom =
+    let rc = make_record task outcome ~start_ns ~done_ns in
+    let lane = (rc, List.rev task.lines_rev) in
+    if anom then begin
+      incr anomalous;
+      kept_rev := lane :: !kept_rev
+    end
+    else begin
+      let n = !n_normal in
+      incr n_normal;
+      if n < k_exemplars then reservoir.(n) <- Some lane
+      else if k_exemplars > 0 then begin
+        let j = Sim.Prng.rand_int reservoir_rng (n + 1) in
+        if j < k_exemplars then reservoir.(j) <- Some lane
+      end
+    end;
+    (* the lane's buffers are spent either way *)
+    task.lines_rev <- [];
+    task.seg_labels <- [||];
+    task.seg_times <- [||];
+    task.seg_len <- 0;
+    task.seg_start <- 0
+  in
+  (* SLO watchdog: armed by a positive tail threshold. Latency feeds as
+     histogram interval diffs against the p99 budget; sheds+denials
+     feed the error-rate objective. Samples flush on a virtual-clock
+     tick of window/48 (four per short window). *)
+  let slo_on = spec.tail_slo_ns > 0.0 in
+  let slo_hist = Obs.Histogram.create () in
+  let lat_slo =
+    Obs.Slo.create
       {
-        r_qid = task.qid;
-        r_label = prof_label.(task.prof);
-        r_tenant = tenants.(task.tenant);
-        r_lane = task.lane;
-        r_arrive_ns = task.ck.c_arrive;
-        r_start_ns = start_ns;
-        r_done_ns = done_ns;
-        r_outcome = outcome;
-        r_segments = List.rev task.segments_rev;
+        Obs.Slo.s_name = "latency-p99";
+        s_scope = "sched";
+        s_budget = 0.01;
+        s_windows = Obs.Slo.default_windows ~window_ns:spec.slo_window_ns;
       }
-      :: !records_rev
+  in
+  let err_slo =
+    Obs.Slo.create
+      {
+        Obs.Slo.s_name = "error-rate";
+        s_scope = "sched";
+        s_budget = 0.05;
+        s_windows = Obs.Slo.default_windows ~window_ns:spec.slo_window_ns;
+      }
+  in
+  let slo_tick_ns = spec.slo_window_ns /. 48.0 in
+  let slo_last_tick = ref 0.0 in
+  let slo_last_view = ref Obs.Histogram.empty_view in
+  let slo_last_good = ref 0 in
+  let slo_last_bad = ref 0 in
+  let slo_flush t =
+    let after = Obs.Histogram.view slo_hist in
+    Obs.Slo.feed_view lat_slo ~now_ns:t ~threshold_ns:spec.tail_slo_ns
+      ~before:!slo_last_view ~after;
+    slo_last_view := after;
+    let bad = !shed + !denied - !slo_last_bad in
+    let good = !completed - !slo_last_good in
+    Obs.Slo.feed err_slo ~now_ns:t ~good:(max 0 good) ~bad:(max 0 bad);
+    slo_last_good := !completed;
+    slo_last_bad := !shed + !denied
+  in
+  let slo_tick t =
+    if slo_on && t -. !slo_last_tick >= slo_tick_ns then begin
+      slo_last_tick := t;
+      slo_flush t
+    end
   in
 
   (* admission state *)
@@ -576,12 +722,18 @@ let run ?gate ?storage_nodes deploy spec profiles =
         cursor = 0;
         lane = session;
         last_s = 0;
-        sampled =
-          (if bounded then session >= 0 && lane_sampled session else true);
+        (* exact mode records directly ([sampled]); bounded mode buffers
+           undecided on the task until its verdict *)
+        sampled = not bounded;
         step_act = Arrive dummy_task;
         ck = { c_arrive = arrive_ns; c_h = arrive_ns; c_start = arrive_ns };
         s = Array.make n_storage arrive_ns;
         segments_rev = [];
+        lines_rev = [];
+        seg_labels = [||];
+        seg_times = [||];
+        seg_start = 0;
+        seg_len = 0;
       }
     in
     task.step_act <- Step task;
@@ -638,32 +790,30 @@ let run ?gate ?storage_nodes deploy spec profiles =
         (tstat task).t_denied <- (tstat task).t_denied + 1;
         Obs.Obs.count_via c_denied;
         note_done t;
-        if task.sampled then begin
-          if Obs.Obs.enabled () then
-            Obs.Obs.event ~ts_ns:t ~scope:"sched" ~kind:"sched.denied"
-              [
-                ("qid", Obs.Event_log.I task.qid);
-                ("tenant", Obs.Event_log.S tenants.(task.tenant));
-                ("reason", Obs.Event_log.S e);
-              ];
-          logf "%.0f deny q%d tenant=%s (%s)" t task.qid tenants.(task.tenant)
-            e;
-          finish_record task (Denied e) ~start_ns:t ~done_ns:t
-        end;
+        if Obs.Obs.enabled () then
+          Obs.Obs.event ~ts_ns:t ~scope:"sched" ~kind:"sched.denied"
+            [
+              ("qid", Obs.Event_log.I task.qid);
+              ("tenant", Obs.Event_log.S tenants.(task.tenant));
+              ("reason", Obs.Event_log.S e);
+            ];
+        tlogf task "%.0f deny q%d tenant=%s (%s)" t task.qid
+          tenants.(task.tenant) e;
+        if task.sampled then finish_record task (Denied e) ~start_ns:t ~done_ns:t
+        else if bounded then
+          settle task (Denied e) ~start_ns:t ~done_ns:t ~anom:true;
+        slo_tick t;
         session_next task.session t
     | Ok () ->
         incr inflight;
         task.lane <- take_lane task;
-        if bounded && task.session < 0 then
-          task.sampled <- lane_sampled task.lane;
         task.ck.c_h <- t;
         Array.fill task.s 0 (Array.length task.s) t;
         task.cursor <- (if has_control then -1 else 0);
         task.ck.c_start <- t;
         epc_resident := !epc_resident + prof_ws.(task.prof);
-        if task.sampled then
-          logf "%.0f start q%d lane=%d inflight=%d" t task.qid task.lane
-            !inflight;
+        tlogf task "%.0f start q%d lane=%d inflight=%d" t task.qid task.lane
+          !inflight;
         push (ready_time task) task.step_act
 
   and dispatch t =
@@ -678,13 +828,12 @@ let run ?gate ?storage_nodes deploy spec profiles =
     incr submitted;
     (tstat task).t_submitted <- (tstat task).t_submitted + 1;
     Obs.Obs.count_via c_submitted;
-    if task.sampled then
-      logf "%.0f submit q%d tenant=%s query=%s" t task.qid
-        tenants.(task.tenant) prof_label.(task.prof);
+    tlogf task "%.0f submit q%d tenant=%s query=%s" t task.qid
+      tenants.(task.tenant) prof_label.(task.prof);
     if !inflight < spec.max_inflight then admit task t
     else if !wq_len < spec.queue_depth then begin
       wq_push task;
-      if task.sampled then logf "%.0f enqueue q%d depth=%d" t task.qid !wq_len
+      tlogf task "%.0f enqueue q%d depth=%d" t task.qid !wq_len
     end
     else begin
       (* backpressure: the run queue is full — refuse, loudly *)
@@ -692,19 +841,24 @@ let run ?gate ?storage_nodes deploy spec profiles =
       (tstat task).t_shed <- (tstat task).t_shed + 1;
       Obs.Obs.count_via c_shed;
       note_done t;
-      if task.sampled then begin
-        if Obs.Obs.enabled () then
-          Obs.Obs.event ~ts_ns:t ~scope:"sched" ~kind:"sched.shed"
-            [
-              ("qid", Obs.Event_log.I task.qid);
-              ("tenant", Obs.Event_log.S tenants.(task.tenant));
-              ("queue_depth", Obs.Event_log.I spec.queue_depth);
-            ];
-        logf "%.0f shed q%d queue_full depth=%d" t task.qid spec.queue_depth;
+      if Obs.Obs.enabled () then
+        Obs.Obs.event ~ts_ns:t ~scope:"sched" ~kind:"sched.shed"
+          [
+            ("qid", Obs.Event_log.I task.qid);
+            ("tenant", Obs.Event_log.S tenants.(task.tenant));
+            ("queue_depth", Obs.Event_log.I spec.queue_depth);
+          ];
+      tlogf task "%.0f shed q%d queue_full depth=%d" t task.qid
+        spec.queue_depth;
+      if task.sampled then
         finish_record task
           (Shed (Queue_full { depth = spec.queue_depth }))
           ~start_ns:t ~done_ns:t
-      end;
+      else if bounded then
+        settle task
+          (Shed (Queue_full { depth = spec.queue_depth }))
+          ~start_ns:t ~done_ns:t ~anom:true;
+      slo_tick t;
       session_next task.session t
     end
   in
@@ -720,13 +874,29 @@ let run ?gate ?storage_nodes deploy spec profiles =
     Obs.Obs.observe_via s_latency latency;
     if bounded then Obs.Histogram.observe lat_hist latency
     else latencies_rev := latency :: !latencies_rev;
+    if slo_on then Obs.Histogram.observe slo_hist latency;
     note_done done_t;
-    if task.sampled then begin
-      logf "%.0f done q%d latency=%.0f" done_t task.qid latency;
+    let tail_anom = spec.tail_slo_ns > 0.0 && latency > spec.tail_slo_ns in
+    if tail_anom then begin
+      incr tail_breaches;
+      if Obs.Obs.enabled () then
+        Obs.Obs.event ~ts_ns:done_t ~scope:"sched" ~kind:"sched.tail_breach"
+          [
+            ("qid", Obs.Event_log.I task.qid);
+            ("latency_ns", Obs.Event_log.F latency);
+            ("threshold_ns", Obs.Event_log.F spec.tail_slo_ns);
+          ]
+    end;
+    tlogf task "%.0f done q%d latency=%.0f" done_t task.qid latency;
+    if task.sampled then
       finish_record task
         (Completed { latency_ns = latency })
         ~start_ns:task.ck.c_start ~done_ns:done_t
-    end;
+    else if bounded then
+      settle task
+        (Completed { latency_ns = latency })
+        ~start_ns:task.ck.c_start ~done_ns:done_t ~anom:tail_anom;
+    slo_tick done_t;
     decr inflight;
     release_lane task;
     epc_resident := !epc_resident - prof_ws.(task.prof);
@@ -735,8 +905,48 @@ let run ?gate ?storage_nodes deploy spec profiles =
   in
 
   (* one compiled-tape charge: route to the server, advance the task's
-     clock, record the segment for sampled lanes. Zero-ns charges are
-     skipped entirely (as before — no clock movement, no segment). *)
+     clock, record the segment. Exact mode appends to the task's list;
+     bounded mode pushes into the per-lane ring (keeping the most
+     recent [lane_frames] undecided, flight-recorder-style). Zero-ns
+     charges are skipped entirely (as before — no clock movement, no
+     segment). *)
+  let seg_push task label start fin =
+    if task.sampled then
+      task.segments_rev <- (label, start, fin) :: task.segments_rev
+    else if bounded then begin
+      if seg_cap = max_int then
+        task.segments_rev <- (label, start, fin) :: task.segments_rev
+      else begin
+        let cur = Array.length task.seg_labels in
+        (* grow geometrically toward [seg_cap]; the ring stays linear
+           (start = 0) until it reaches full capacity, so growth is a
+           plain blit *)
+        if task.seg_len = cur && cur < seg_cap then begin
+          let cap' = min seg_cap (max 4 (2 * cur)) in
+          let labels' = Array.make cap' "" in
+          let times' = Array.make (2 * cap') 0.0 in
+          Array.blit task.seg_labels 0 labels' 0 cur;
+          Array.blit task.seg_times 0 times' 0 (2 * cur);
+          task.seg_labels <- labels';
+          task.seg_times <- times'
+        end;
+        let cap = Array.length task.seg_labels in
+        if task.seg_len < cap then begin
+          let j = (task.seg_start + task.seg_len) mod cap in
+          task.seg_labels.(j) <- label;
+          task.seg_times.(2 * j) <- start;
+          task.seg_times.((2 * j) + 1) <- fin;
+          task.seg_len <- task.seg_len + 1
+        end
+        else begin
+          task.seg_labels.(task.seg_start) <- label;
+          task.seg_times.(2 * task.seg_start) <- start;
+          task.seg_times.((2 * task.seg_start) + 1) <- fin;
+          task.seg_start <- (task.seg_start + 1) mod seg_cap
+        end
+      end
+    end
+  in
   let exec_charge task ~kind ~idx ~epc ~ns ~label =
     if ns > 0.0 then begin
       let dur = if epc then ns *. epc_factor task else ns in
@@ -744,8 +954,7 @@ let run ?gate ?storage_nodes deploy spec profiles =
         let start = Server.request host_srv ~at:task.ck.c_h ~duration_ns:dur in
         let fin = start +. dur in
         task.ck.c_h <- fin;
-        if task.sampled then
-          task.segments_rev <- (label, start, fin) :: task.segments_rev
+        seg_push task label start fin
       end
       else begin
         let srv =
@@ -755,8 +964,7 @@ let run ?gate ?storage_nodes deploy spec profiles =
         let fin = start +. dur in
         task.s.(idx) <- fin;
         task.last_s <- idx;
-        if task.sampled then
-          task.segments_rev <- (label, start, fin) :: task.segments_rev
+        seg_push task label start fin
       end
     end
   in
@@ -787,10 +995,7 @@ let run ?gate ?storage_nodes deploy spec profiles =
               let start =
                 Server.request srv_channel.(idx) ~at ~duration_ns:transfer_ns
               in
-              if task.sampled then
-                task.segments_rev <-
-                  (sync_label.(idx), start, start +. transfer_ns)
-                  :: task.segments_rev;
+              seg_push task sync_label.(idx) start (start +. transfer_ns);
               start +. transfer_ns
             end
             else at
@@ -834,6 +1039,46 @@ let run ?gate ?storage_nodes deploy spec profiles =
   done;
 
   let makespan_ns = !makespan in
+  if slo_on then begin
+    (* close the last partial tick so the summaries cover the run *)
+    slo_flush makespan_ns;
+    if Obs.Obs.enabled () then
+      Obs.Obs.event ~ts_ns:makespan_ns ~scope:"sched" ~kind:"slo.summary"
+        (List.concat_map
+           (fun slo ->
+             let s = Obs.Slo.summary slo in
+             [
+               ( s.Obs.Slo.sum_name ^ ".breaches",
+                 Obs.Event_log.I s.Obs.Slo.sum_breaches );
+               ( s.Obs.Slo.sum_name ^ ".worst_burn",
+                 Obs.Event_log.F s.Obs.Slo.sum_worst_burn );
+             ])
+           [ lat_slo; err_slo ])
+  end;
+  (* bounded mode: reassemble retained forensics — anomalous lanes plus
+     reservoir exemplars, records back in qid order and log lines merged
+     by their global sequence (a chronological subsequence of the exact
+     log) *)
+  let retained =
+    if not bounded then []
+    else
+      List.rev !kept_rev
+      @ (Array.to_list reservoir |> List.filter_map Fun.id)
+  in
+  let rep_records =
+    if bounded then
+      List.sort
+        (fun (a : record) b -> Int.compare a.r_qid b.r_qid)
+        (List.map fst retained)
+    else List.sort (fun a b -> Int.compare a.r_qid b.r_qid) !records_rev
+  in
+  let rep_event_log =
+    if bounded then
+      List.concat_map snd retained
+      |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+      |> List.map snd
+    else List.rev !log_rev
+  in
   let latency =
     if bounded then
       let v = Obs.Histogram.view lat_hist in
@@ -864,9 +1109,8 @@ let run ?gate ?storage_nodes deploy spec profiles =
     rep_latency = latency;
     rep_per_tenant =
       List.map (fun t -> (t, Hashtbl.find tenant_stats t)) spec.tenants;
-    rep_records =
-      List.sort (fun a b -> Int.compare a.r_qid b.r_qid) !records_rev;
-    rep_event_log = List.rev !log_rev;
+    rep_records;
+    rep_event_log;
     rep_util =
       List.map
         (fun srv -> (Server.name srv, Server.utilization srv ~makespan_ns))
@@ -878,6 +1122,11 @@ let run ?gate ?storage_nodes deploy spec profiles =
     rep_events = !n_events;
     rep_wall_ns = (Unix.gettimeofday () -. wall0) *. 1e9;
     rep_peak_words = (Gc.quick_stat ()).Gc.top_heap_words;
+    rep_anomalous = !anomalous;
+    rep_tail_breaches = !tail_breaches;
+    rep_slo =
+      (if slo_on then [ Obs.Slo.summary lat_slo; Obs.Slo.summary err_slo ]
+       else []);
   }
 
 (* -- tenant gate through the trusted monitor --------------------------- *)
@@ -931,7 +1180,14 @@ let pp_report ppf r =
     r.rep_per_tenant;
   List.iter
     (fun (name, u) -> Fmt.pf ppf "  util %-16s %5.1f%%@." name (100.0 *. u))
-    r.rep_util
+    r.rep_util;
+  if r.rep_spec.tail_slo_ns > 0.0 then begin
+    Fmt.pf ppf "  tail threshold %.3f ms: %d breaches, %d anomalous retained@."
+      (ms r.rep_spec.tail_slo_ns) r.rep_tail_breaches r.rep_anomalous;
+    List.iter
+      (fun s -> Fmt.pf ppf "  slo %s@." (Obs.Slo.summary_line s))
+      r.rep_slo
+  end
 
 let json_of_report r =
   let b = Buffer.create 512 in
@@ -966,7 +1222,21 @@ let json_of_report r =
       if i > 0 then addf ",";
       addf "%S:%.6f" name u)
     r.rep_util;
-  addf "}}";
+  addf "}";
+  (* SLO block only when the watchdog was armed, so default runs keep
+     byte-identical JSON *)
+  if r.rep_spec.tail_slo_ns > 0.0 then begin
+    addf ",\"tail_breaches\":%d,\"anomalous\":%d," r.rep_tail_breaches
+      r.rep_anomalous;
+    addf "\"slo\":[";
+    List.iteri
+      (fun i s ->
+        if i > 0 then addf ",";
+        addf "%s" (Obs.Slo.summary_json s))
+      r.rep_slo;
+    addf "]"
+  end;
+  addf "}";
   Buffer.contents b
 
 (* -- Chrome trace lanes ------------------------------------------------ *)

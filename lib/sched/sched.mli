@@ -72,22 +72,40 @@ type spec = {
       (** forensics bound. [-1] (the default) records the event log,
           per-query records and trace segments for every lane — the
           legacy exact mode, byte-identical to pre-interning output.
-          [>= 0] bounds forensics memory at 10^5-10^6 sessions:
-          approximately this many lanes are selected by a deterministic
-          splitmix64 side stream (split off [seed]; the arrival
-          schedule is untouched) and only their lines/records/segments
-          are kept. Counts, per-tenant stats, utilization, makespan and
-          the latency distribution remain exact over {e all} sessions
+          [>= 0] switches to {e tail-based} retention: every task
+          buffers its log lines plus a bounded ring of recent segments
+          undecided, and the verdict at completion keeps anomalous
+          lanes (shed, denied, tail-latency breach — all of them) while
+          normal lanes pass through a deterministic splitmix64
+          K-exemplar reservoir (K = this field; the side stream is
+          split off [seed], so the arrival schedule is untouched).
+          Counts, per-tenant stats, utilization, makespan and the
+          latency distribution remain exact over {e all} sessions
           (percentile mean may differ in the last bits: latencies fold
           into the histogram chronologically instead of newest-first).
-          Open-loop queries that shed or are denied before taking a
-          lane are never sampled. *)
+          Retained log lines merge back in chronological order — a
+          subsequence of the exact log. *)
+  lane_frames : int;
+      (** bounded mode: per-task ring capacity for undecided trace
+          segments ([<= 0] = unlimited); kept lanes carry their most
+          recent [lane_frames] segments. Default 32. *)
+  tail_slo_ns : float;
+      (** [> 0.0] arms tail classification and the SLO burn-rate
+          watchdog: completions slower than this are anomalous
+          (retained, counted in [rep_tail_breaches], emitted as
+          [sched.tail_breach] events) and the p99-latency plus
+          error-rate objectives stream over the run, emitting
+          [slo.breach]/[slo.recovered] events. [0.0] (default) off. *)
+  slo_window_ns : float;
+      (** long burn-rate window on the virtual clock (default 100 ms);
+          the short window is 1/12 of it. *)
 }
 
 val default_spec : spec
 (** Open loop at 100 q/s, 32 queries, one tenant, 8-way admission with
     a 16-deep run queue, device QD 8, 2 channel streams, no control
-    charge, unbounded forensics ([sample_sessions = -1]). *)
+    charge, unbounded forensics ([sample_sessions = -1]), 32-segment
+    lane rings, SLO watchdog off. *)
 
 val arrival_name : arrival -> string
 
@@ -149,7 +167,8 @@ type report = {
   rep_latency : latency_stats;  (** over completed queries *)
   rep_per_tenant : (string * tenant_stats) list;
   rep_records : record list;
-      (** qid order; only sampled lanes when [sample_sessions >= 0] *)
+      (** qid order; with [sample_sessions >= 0], every anomalous lane
+          plus the reservoir exemplars *)
   rep_event_log : string list;  (** chronological, deterministic *)
   rep_util : (string * float) list;  (** server -> utilization, [0,1] *)
   rep_events : int;
@@ -160,6 +179,14 @@ type report = {
   rep_peak_words : int;
       (** [Gc.top_heap_words] sampled after the run: process peak live
           heap, the memory-guard datum of the saturation sweep *)
+  rep_anomalous : int;
+      (** bounded mode: anomalous lanes (shed/denied/tail-breach)
+          retained in full — 100% of them, by construction *)
+  rep_tail_breaches : int;
+      (** completions slower than [tail_slo_ns] (0 when unarmed) *)
+  rep_slo : Ironsafe_obs.Slo.summary list;
+      (** SLO watchdog summaries (latency-p99, error-rate); [] when
+          the watchdog is off *)
 }
 
 (** {2 Running} *)

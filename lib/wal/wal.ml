@@ -324,7 +324,14 @@ let append t payload =
       ];
   lsn
 
-let crash site = raise (Crashed site)
+(* The crash site is itself a forensics event ([wal.crash] is a
+   terminal kind: the event-log sink flushes on it, and it triggers a
+   flight recorder dump) emitted before the exception unwinds. *)
+let crash t site =
+  if Obs.enabled () then
+    Obs.event ~ts_ns:(t.clock ()) ~scope:obs_scope ~kind:"wal.crash"
+      [ ("site", Ev.S (Fault.site_name site)) ];
+  raise (Crashed site)
 
 let flush t =
   (* [persisted_lsn > durable_lsn] is the retry shape: frames reached
@@ -345,12 +352,12 @@ let flush t =
       while not (Queue.is_empty t.pending) do
         let lsn, frame = Queue.peek t.pending in
         if consult && Fault.fire t.faults Fault.Wal_crash_before_append then
-          crash Fault.Wal_crash_before_append;
+          crash t Fault.Wal_crash_before_append;
         if consult && Fault.fire t.faults Fault.Wal_crash_mid_append then begin
           (* torn append: only the first half of the frame persists *)
           persist_bytes t.device ~off:t.persisted frame
             (String.length frame / 2);
-          crash Fault.Wal_crash_mid_append
+          crash t Fault.Wal_crash_mid_append
         end;
         persist_bytes t.device ~off:t.persisted frame (String.length frame);
         t.persisted <- t.persisted + String.length frame;
@@ -360,18 +367,18 @@ let flush t =
         t.persisted_chain <- String.sub frame 28 32;
         ignore (Queue.pop t.pending);
         if consult && Fault.fire t.faults Fault.Wal_crash_after_append then
-          crash Fault.Wal_crash_after_append
+          crash t Fault.Wal_crash_after_append
       done;
       (* 2. mid-group-commit: all frames down, anchor not yet touched *)
       if consult && Fault.fire t.faults Fault.Wal_crash_mid_flush then
-        crash Fault.Wal_crash_mid_flush;
+        crash t Fault.Wal_crash_mid_flush;
       (* 3. chain head is updated in memory; the anchored horizon only
          moves when the RPMB frame lands *)
       let prev_durable = t.durable_lsn in
       t.durable_lsn <- t.persisted_lsn;
       if consult && Fault.fire t.faults Fault.Wal_crash_before_anchor then begin
         t.durable_lsn <- prev_durable;
-        crash Fault.Wal_crash_before_anchor
+        crash t Fault.Wal_crash_before_anchor
       end;
       match write_anchor t with
       | Ok () -> Ok ()

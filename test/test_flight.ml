@@ -1,0 +1,361 @@
+(* Flight recorder and SLO watchdog tests: multi-window burn-rate
+   breach/recovery semantics (all windows must burn; transitions emit
+   events; summaries account the breached time), recorder ring bounds
+   and dump-cap accounting, byte-determinism of dump files across
+   identical runs, dump schema (every line parses with the forensics
+   parser), and the forensics parser's handling of malformed input. *)
+
+module Obs = Ironsafe_obs.Obs
+module Event_log = Ironsafe_obs.Event_log
+module Slo = Ironsafe_obs.Slo
+module Hist = Ironsafe_obs.Histogram
+module Fr = Ironsafe_obs.Flight_recorder
+module Forensics = Ironsafe_obs.Forensics
+
+let contains hay needle =
+  let n = String.length needle in
+  let rec go i =
+    i + n <= String.length hay && (String.sub hay i n = needle || go (i + 1))
+  in
+  go 0
+
+let with_obs f =
+  Obs.reset ();
+  Obs.enable ();
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.disable ();
+      Obs.reset ())
+    f
+
+(* Recorder state is global like the collector's: configure clears it,
+   and the finally leg restores the disabled default. *)
+let with_recorder ?frames ?dir ?cap f =
+  with_obs (fun () ->
+      Fr.configure ?frames ?dir ?cap ();
+      Fr.enable ();
+      Fun.protect
+        ~finally:(fun () ->
+          Fr.disable ();
+          Fr.configure ())
+        f)
+
+let rm_rf dir =
+  if Sys.file_exists dir then begin
+    Array.iter
+      (fun f -> Sys.remove (Filename.concat dir f))
+      (Sys.readdir dir);
+    Sys.rmdir dir
+  end
+
+let with_temp_dir f =
+  let dir = Filename.temp_file "ironsafe-flight" ".d" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  Fun.protect ~finally:(fun () -> rm_rf dir) (fun () -> f dir)
+
+(* -- SLO watchdog ------------------------------------------------------- *)
+
+let two_window_spec =
+  {
+    Slo.s_name = "p99-latency";
+    s_scope = "sched";
+    s_budget = 0.1;
+    s_windows = Slo.default_windows ~window_ns:1.2e9;
+  }
+
+(* Sustained burn above every window's threshold breaches; going clean
+   recovers. Both transitions land on the event log. *)
+let test_slo_breach_and_recover () =
+  with_obs (fun () ->
+      let t = Slo.create two_window_spec in
+      Alcotest.(check bool) "starts healthy" false (Slo.breached t);
+      (* 100% bad traffic at 10x the budget: both windows burn hot *)
+      for i = 1 to 20 do
+        Slo.feed t ~now_ns:(float_of_int i *. 1e8) ~good:0 ~bad:10
+      done;
+      Alcotest.(check bool) "sustained burn breaches" true (Slo.breached t);
+      (* clean traffic drains the short window first, then the long *)
+      for i = 21 to 60 do
+        Slo.feed t ~now_ns:(float_of_int i *. 1e8) ~good:100 ~bad:0
+      done;
+      Alcotest.(check bool) "clean traffic recovers" false (Slo.breached t);
+      let jsonl = Obs.to_jsonl () in
+      Alcotest.(check bool) "breach event emitted" true
+        (contains jsonl "\"kind\":\"slo.breach\"");
+      Alcotest.(check bool) "recovery event emitted" true
+        (contains jsonl "\"kind\":\"slo.recovered\"");
+      let s = Slo.summary t in
+      Alcotest.(check int) "one breach episode" 1 s.Slo.sum_breaches;
+      Alcotest.(check bool) "breached time accounted" true
+        (s.Slo.sum_breached_ns > 0.0);
+      Alcotest.(check bool) "not breached at end" false s.Slo.sum_breached_now;
+      Alcotest.(check int) "bad total" 200 s.Slo.sum_bad;
+      Alcotest.(check int) "grand total" (200 + 4000) s.Slo.sum_total;
+      Alcotest.(check bool) "worst burn recorded" true
+        (s.Slo.sum_worst_burn >= 1.0);
+      (* the renderings carry the name and verdict *)
+      Alcotest.(check bool) "summary line names the slo" true
+        (contains (Slo.summary_line s) "p99-latency");
+      Alcotest.(check bool) "summary json parses flat" true
+        (Forensics.parse_fields (Slo.summary_json s) <> None))
+
+(* A short spike trips the fast window but not the slow one: the
+   objective must hold — that is the whole point of multi-window. *)
+let test_slo_requires_every_window () =
+  with_obs (fun () ->
+      let t = Slo.create two_window_spec in
+      (* long stretch of clean traffic fills the 1.2s window *)
+      for i = 1 to 11 do
+        Slo.feed t ~now_ns:(float_of_int i *. 1e8) ~good:1000 ~bad:0
+      done;
+      (* one bad burst: the 0.1s window burns >6x, the 1.2s one stays
+         well under 1x (100 bad / ~11100 total / 0.1 budget ~ 0.09) *)
+      Slo.feed t ~now_ns:1.2e9 ~good:0 ~bad:100;
+      Alcotest.(check bool) "short spike alone does not breach" false
+        (Slo.breached t);
+      Alcotest.(check int) "no breach episodes" 0
+        (Slo.summary t).Slo.sum_breaches)
+
+(* feed_view classifies a histogram interval diff by threshold; the
+   bucketed bad count comes from [bad_above]. *)
+let test_slo_feed_view () =
+  with_obs (fun () ->
+      let h = Hist.create () in
+      let before = Hist.view h in
+      for _ = 1 to 90 do
+        Hist.observe h 1.0e6 (* 1ms: good *)
+      done;
+      for _ = 1 to 10 do
+        Hist.observe h 1.0e9 (* 1s: bad *)
+      done;
+      let after = Hist.view h in
+      let threshold_ns = 1.0e7 in
+      let bad = Slo.bad_above (Hist.sub ~before ~after) ~threshold_ns in
+      Alcotest.(check int) "bad_above counts the slow tail" 10 bad;
+      let t =
+        Slo.create
+          {
+            two_window_spec with
+            Slo.s_budget = 0.01;
+            s_windows = [ { Slo.w_ns = 1e9; w_burn = 1.0 } ];
+          }
+      in
+      Slo.feed_view t ~now_ns:1e9 ~threshold_ns ~before ~after;
+      Alcotest.(check bool) "10% bad on a 1% budget breaches" true
+        (Slo.breached t);
+      let s = Slo.summary t in
+      Alcotest.(check int) "viewed total" 100 s.Slo.sum_total;
+      Alcotest.(check int) "viewed bad" 10 s.Slo.sum_bad)
+
+(* -- flight recorder ---------------------------------------------------- *)
+
+let burst ~scope ~n ~t0 =
+  for i = 1 to n do
+    Obs.event
+      ~ts_ns:(t0 +. float_of_int i)
+      ~scope ~kind:"bench.tick"
+      [ ("i", Event_log.I i) ]
+  done
+
+(* Rings hold the last [frames] per scope, no matter how many events
+   flow; the dump cap counts suppressed dumps instead of growing. *)
+let test_recorder_bounds () =
+  with_recorder ~frames:8 ~cap:2 (fun () ->
+      burst ~scope:"host" ~n:100 ~t0:0.0;
+      burst ~scope:"storage" ~n:3 ~t0:200.0;
+      Alcotest.(check int) "rings bounded per scope" (8 + 3)
+        (Fr.total_frames ());
+      (* trigger three dumps; the cap admits two *)
+      List.iter
+        (fun ts ->
+          Obs.event ~ts_ns:ts ~scope:"host" ~kind:"fault.injected" [])
+        [ 300.0; 301.0; 302.0 ];
+      Alcotest.(check int) "dump cap honored" 2 (Fr.dump_count ());
+      Alcotest.(check int) "suppressed dumps counted" 1 (Fr.dropped ());
+      match Fr.dumps () with
+      | [ d1; d2 ] ->
+          Alcotest.(check string) "dump reason is the trigger kind"
+            "fault.injected" d1.Fr.d_reason;
+          Alcotest.(check int) "dump order" 0 d1.Fr.d_seq;
+          Alcotest.(check int) "dump order" 1 d2.Fr.d_seq;
+          (* the full host ring evicts a tick for each trigger frame,
+             so the frame total stays pinned at the ring bound *)
+          Alcotest.(check int) "frames at second trigger" (8 + 3)
+            d2.Fr.d_frames
+      | ds ->
+          Alcotest.fail
+            (Printf.sprintf "expected 2 dumps, got %d" (List.length ds)))
+
+let run_dump_sequence dir =
+  with_recorder ~frames:16 ~dir (fun () ->
+      burst ~scope:"host" ~n:40 ~t0:0.0;
+      burst ~scope:"wal" ~n:5 ~t0:100.0;
+      Obs.event ~ts_ns:200.0 ~scope:"monitor" ~kind:"policy.deny"
+        [ ("rule_id", Event_log.S "read-x"); ("ok", Event_log.B false) ];
+      burst ~scope:"host" ~n:4 ~t0:300.0;
+      Obs.event ~ts_ns:400.0 ~scope:"core" ~kind:"query.crashed"
+        [ ("site", Event_log.S "wal.before_append") ];
+      List.map
+        (fun d -> (Option.get d.Fr.d_path, d.Fr.d_lines))
+        (Fr.dumps ()))
+
+let read_file path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+(* Two identical runs write byte-identical dump files — the recorder
+   sees only virtual time, so there is nothing wall-clock to leak. *)
+let test_dump_determinism () =
+  let capture () =
+    with_temp_dir (fun dir ->
+        List.map
+          (fun (path, lines) -> (Filename.basename path, read_file path, lines))
+          (run_dump_sequence dir))
+  in
+  let a = capture () and b = capture () in
+  Alcotest.(check int) "same dump count" (List.length a) (List.length b);
+  Alcotest.(check bool) "dumps were produced" true (List.length a = 2);
+  List.iter2
+    (fun (name_a, bytes_a, lines_a) (name_b, bytes_b, _) ->
+      Alcotest.(check string) "same file name" name_a name_b;
+      Alcotest.(check string) "byte-identical dump" bytes_a bytes_b;
+      Alcotest.(check string) "file equals in-memory lines"
+        (String.concat "\n" lines_a ^ "\n")
+        bytes_a)
+    a b
+
+(* Every dump line is flat JSONL the forensics parser accepts: a header
+   with dump/reason/frames, then frames each carrying seq/ts_ns/scope/
+   kind, in strictly increasing seq order. *)
+let test_dump_schema () =
+  with_temp_dir (fun dir ->
+      let dumps = run_dump_sequence dir in
+      List.iter
+        (fun (path, _) ->
+          let entries, skipped = Forensics.load_file path in
+          Alcotest.(check int) "no unparseable lines" 0 skipped;
+          let contents = read_file path in
+          let lines =
+            List.filter
+              (fun l -> String.trim l <> "")
+              (String.split_on_char '\n' contents)
+          in
+          (match lines with
+          | header :: _ -> (
+              match Forensics.parse_fields header with
+              | None -> Alcotest.fail "header not flat JSON"
+              | Some fields ->
+                  List.iter
+                    (fun k ->
+                      Alcotest.(check bool) ("header has " ^ k) true
+                        (List.mem_assoc k fields))
+                    [ "dump"; "reason"; "scope"; "ts_ns"; "frames" ])
+          | [] -> Alcotest.fail "empty dump file");
+          (* frame entries parse and order strictly by seq *)
+          let seqs = List.filter_map (fun e -> e.Forensics.en_seq) entries in
+          Alcotest.(check int) "every frame line has a seq"
+            (List.length lines - 1)
+            (List.length seqs);
+          ignore
+            (List.fold_left
+               (fun prev s ->
+                 Alcotest.(check bool) "seq strictly increasing" true (s > prev);
+                 s)
+               (-1) seqs);
+          List.iter
+            (fun e ->
+              Alcotest.(check bool) "scope nonempty" true
+                (e.Forensics.en_scope <> "");
+              Alcotest.(check bool) "kind nonempty" true
+                (e.Forensics.en_kind <> ""))
+            entries)
+        dumps)
+
+(* -- forensics parser --------------------------------------------------- *)
+
+let test_parser_rejects_malformed () =
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) ("rejects " ^ s) true
+        (Forensics.parse_fields s = None))
+    [
+      "";
+      "not json";
+      "{\"unterminated\":\"";
+      "{\"nested\":{\"x\":1}}";
+      "{\"array\":[1,2]}";
+      "{\"ts_ns\":}";
+      "{\"dup\" \"colonless\"}";
+      "[1,2,3]";
+    ];
+  (* parse_line additionally requires a numeric ts_ns *)
+  Alcotest.(check bool) "no ts_ns -> no entry" true
+    (Forensics.parse_line "{\"scope\":\"host\",\"kind\":\"x\"}" = None);
+  match
+    Forensics.parse_line
+      "{\"seq\":7,\"ts_ns\":12.5,\"scope\":\"wal\",\"kind\":\"wal.append\",\"lsn\":3}"
+  with
+  | None -> Alcotest.fail "valid frame line rejected"
+  | Some e ->
+      Alcotest.(check (float 0.0)) "ts parsed" 12.5 e.Forensics.en_ts_ns;
+      Alcotest.(check string) "scope parsed" "wal" e.Forensics.en_scope;
+      Alcotest.(check string) "kind parsed" "wal.append" e.Forensics.en_kind;
+      Alcotest.(check bool) "seq parsed" true (e.Forensics.en_seq = Some 7);
+      Alcotest.(check bool) "extra fields kept" true
+        (List.mem_assoc "lsn" e.Forensics.en_fields)
+
+let test_load_lines_counts_skipped () =
+  let entries, skipped =
+    Forensics.load_lines
+      [
+        "{\"ts_ns\":1,\"scope\":\"host\",\"kind\":\"a\"}";
+        "garbage";
+        "";
+        "{\"ts_ns\":2,\"scope\":\"host\",\"kind\":\"b\"}";
+        "{\"broken\":";
+      ]
+  in
+  Alcotest.(check int) "two entries" 2 (List.length entries);
+  Alcotest.(check int) "two skipped (blank ignored)" 2 skipped
+
+let test_timeline_renders_hops_and_anomalies () =
+  let entries, skipped =
+    Forensics.load_lines
+      [
+        "{\"ts_ns\":1,\"scope\":\"host\",\"kind\":\"query.start\",\"trace_id\":\"00000000000000aa\"}";
+        "{\"ts_ns\":2,\"scope\":\"shard0\",\"kind\":\"offload.request\",\"trace_id\":\"00000000000000aa\"}";
+        "{\"ts_ns\":3,\"scope\":\"shard0\",\"kind\":\"fault.injected\",\"trace_id\":\"00000000000000aa\",\"site\":\"scan\"}";
+        "{\"ts_ns\":4,\"scope\":\"host\",\"kind\":\"query.done\",\"trace_id\":\"00000000000000aa\"}";
+        "{\"ts_ns\":5,\"scope\":\"host\",\"kind\":\"query.start\",\"trace_id\":\"00000000000000bb\"}";
+      ]
+  in
+  Alcotest.(check int) "fixture parses clean" 0 skipped;
+  let all = Forensics.timeline entries in
+  Alcotest.(check bool) "both traces rendered" true
+    (contains all "00000000000000aa" && contains all "00000000000000bb");
+  Alcotest.(check bool) "scope hop arrow rendered" true
+    (contains all "-> shard0");
+  let one = Forensics.timeline ~trace:"00000000000000aa" entries in
+  Alcotest.(check bool) "trace filter keeps the match" true
+    (contains one "fault.injected");
+  Alcotest.(check bool) "trace filter drops the rest" false
+    (contains one "00000000000000bb");
+  Alcotest.(check bool) "anomaly marked" true (contains one "!")
+
+let suite =
+  [
+    ("slo breach and recover", `Quick, test_slo_breach_and_recover);
+    ("slo requires every window", `Quick, test_slo_requires_every_window);
+    ("slo feed_view classifies by threshold", `Quick, test_slo_feed_view);
+    ("recorder ring and dump-cap bounds", `Quick, test_recorder_bounds);
+    ("recorder dumps byte-deterministic", `Quick, test_dump_determinism);
+    ("recorder dump schema parses", `Quick, test_dump_schema);
+    ("parser rejects malformed lines", `Quick, test_parser_rejects_malformed);
+    ("load_lines counts skipped", `Quick, test_load_lines_counts_skipped);
+    ("timeline renders hops and anomalies", `Quick,
+     test_timeline_renders_hops_and_anomalies);
+  ]

@@ -125,6 +125,111 @@ let test_wire_trace_envelope_roundtrip () =
   | None, p -> Alcotest.(check string) "plain passthrough" payload p
   | Some _, _ -> Alcotest.fail "phantom envelope on a bare payload"
 
+(* The envelope parser must never guess: a truncated context, an
+   unknown flag bit, or a bare payload all pass through byte-for-byte
+   with [None], and stripping a real envelope is idempotent — the
+   second unwrap of the recovered payload is the identity. *)
+let test_envelope_edge_cases () =
+  Tc.reset ();
+  let ctx = Tc.fresh ~span_id:1 ~sampled:true in
+  let wrapped = Wire.wrap_trace ctx "payload" in
+  (* magic present, context cut short (13 < 15 envelope bytes) *)
+  let truncated = String.sub wrapped 0 13 in
+  (match Wire.unwrap_trace truncated with
+  | None, p -> Alcotest.(check string) "truncated passthrough" truncated p
+  | Some _, _ -> Alcotest.fail "decoded a truncated envelope");
+  (* empty payload, sampled=false: the flag must survive the roundtrip *)
+  let ctx0 = Tc.fresh ~span_id:2 ~sampled:false in
+  let w0 = Wire.wrap_trace ctx0 "" in
+  Alcotest.(check int) "empty payload width" Wire.trace_envelope_length
+    (String.length w0);
+  (match Wire.unwrap_trace w0 with
+  | Some ctx', p ->
+      Alcotest.(check string) "empty payload intact" "" p;
+      Alcotest.(check bool) "unsampled flag preserved" false ctx'.Tc.sampled
+  | None, _ -> Alcotest.fail "empty-payload envelope lost");
+  (* unknown flag bits invalidate the whole envelope: passthrough *)
+  let corrupt = Bytes.of_string w0 in
+  Bytes.set corrupt (Wire.trace_envelope_length - 1) '\xff';
+  let corrupt = Bytes.to_string corrupt in
+  (match Wire.unwrap_trace corrupt with
+  | None, p -> Alcotest.(check string) "unknown flags passthrough" corrupt p
+  | Some _, _ -> Alcotest.fail "decoded an envelope with unknown flag bits");
+  (* stripping is idempotent *)
+  match Wire.unwrap_trace wrapped with
+  | Some _, p1 -> (
+      match Wire.unwrap_trace p1 with
+      | None, p2 -> Alcotest.(check string) "second unwrap is identity" p1 p2
+      | Some _, _ -> Alcotest.fail "phantom envelope after stripping")
+  | None, _ -> Alcotest.fail "envelope lost on first unwrap"
+
+(* Tail sampling starts at the head: with [sample_every 2] the second
+   query of a 2-shard scatter-gather runs unsampled — its trace context
+   (sampled=false) still crosses the wire to both shards, no spans are
+   collected anywhere, but the event log keeps the full lifecycle under
+   a fresh trace id. *)
+let test_unsampled_flag_through_scatter () =
+  let module Cluster = Ironsafe_cluster.Cluster in
+  let sql =
+    "select l_orderkey, l_quantity from lineitem where l_quantity >= 45"
+  in
+  Obs.reset ();
+  Obs.enable ();
+  Obs.set_sample_every 2;
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.set_sample_every 1;
+      Obs.disable ();
+      Obs.reset ())
+    (fun () ->
+      let d =
+        Deployment.create ~seed:"forensics-scatter"
+          ~populate:(fun db -> ignore (Tpch.Dbgen.populate db ~scale:0.002))
+          ()
+      in
+      let cl = Cluster.create ~shards:2 ~scheme:Partitioner.Hash d in
+      (match Cluster.attest cl with
+      | Ok () -> ()
+      | Error e -> Alcotest.fail ("cluster attestation failed: " ^ e));
+      ignore (Cluster.run_query cl Config.Scs sql);
+      let spans_q1 = List.length (Obs.spans ()) in
+      let jsonl1 = Obs.to_jsonl () in
+      ignore (Cluster.run_query cl Config.Scs sql);
+      let spans_q2 = List.length (Obs.spans ()) in
+      let jsonl2 = Obs.to_jsonl () in
+      Alcotest.(check bool) "sampled query collected spans" true
+        (spans_q1 > 0);
+      Alcotest.(check int) "unsampled query added no spans" spans_q1 spans_q2;
+      Alcotest.(check int) "both queries completed on the record" 2
+        (count_occurrences jsonl2 "\"kind\":\"query.done\"");
+      Alcotest.(check bool) "unsampled lifecycle still logged" true
+        (String.length jsonl2 > String.length jsonl1);
+      (* the two completions ride distinct trace ids *)
+      let trace_id_of line =
+        let key = "\"trace_id\":\"" in
+        let rec find i =
+          if i + String.length key > String.length line then None
+          else if String.sub line i (String.length key) = key then
+            Some (String.sub line (i + String.length key) 16)
+          else find (i + 1)
+        in
+        find 0
+      in
+      let done_ids =
+        List.filter_map
+          (fun l ->
+            if contains l "\"kind\":\"query.done\"" then trace_id_of l
+            else None)
+          (String.split_on_char '\n' jsonl2)
+      in
+      match done_ids with
+      | [ a; b ] ->
+          Alcotest.(check bool) "distinct trace ids" true (a <> b)
+      | ids ->
+          Alcotest.fail
+            (Printf.sprintf "expected 2 traced completions, got %d"
+               (List.length ids)))
+
 (* -- end-to-end forensics over a split (scs) query ---------------------- *)
 
 let forensic_sql =
@@ -276,6 +381,8 @@ let suite =
     ("jsonl stamps trace context", `Quick, test_jsonl_stamps_trace_context);
     ("openmetrics golden rendering", `Quick, test_openmetrics_golden);
     ("wire trace envelope roundtrip", `Quick, test_wire_trace_envelope_roundtrip);
+    ("envelope edge cases", `Quick, test_envelope_edge_cases);
+    ("unsampled flag through scatter", `Quick, test_unsampled_flag_through_scatter);
     ("split query forensics", `Quick, test_split_query_forensics);
     ("telemetry deterministic across runs", `Quick, test_telemetry_deterministic_across_runs);
     ("obs does not perturb accounting", `Quick, test_obs_does_not_perturb_accounting);

@@ -21,6 +21,7 @@ let () =
       ("core", Test_core.suite);
       ("obs", Test_obs.suite);
       ("forensics", Test_forensics.suite);
+      ("flight", Test_flight.suite);
       ("differential", Test_differential.suite);
       ("batch-differential", Test_batch_differential.suite);
       ("faults", Test_fault.suite);

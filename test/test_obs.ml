@@ -275,6 +275,110 @@ let test_histogram_interval_sub () =
   Alcotest.(check int) "le-series total" 3
     (match List.rev counts with c :: _ -> c | [] -> 0)
 
+(* Exact bucket-wise merge: folding two histograms' views must equal
+   the view of one histogram that observed both streams — counts, sum,
+   extremes, every percentile, the whole cumulative le-series. *)
+let test_histogram_merge () =
+  let a = Hist.create () and b = Hist.create () and both = Hist.create () in
+  for i = 1 to 500 do
+    let v = float_of_int ((i * 7919 mod 100_000) + 1) in
+    Hist.observe a v;
+    Hist.observe both v
+  done;
+  for i = 1 to 300 do
+    let v = float_of_int ((i * 104729 mod 1_000_000) + 1) /. 3.0 in
+    Hist.observe b v;
+    Hist.observe both v
+  done;
+  let m = Hist.merge (Hist.view a) (Hist.view b) in
+  let r = Hist.view both in
+  Alcotest.(check int) "merged count" r.Hist.v_count m.Hist.v_count;
+  Alcotest.(check (float 1e-6)) "merged sum" r.Hist.v_sum m.Hist.v_sum;
+  Alcotest.(check (float 0.0)) "merged min" r.Hist.v_min m.Hist.v_min;
+  Alcotest.(check (float 0.0)) "merged max" r.Hist.v_max m.Hist.v_max;
+  List.iter
+    (fun p ->
+      Alcotest.(check (float 0.0))
+        (Printf.sprintf "merged p%g" p)
+        (Hist.percentile_of_view r p)
+        (Hist.percentile_of_view m p))
+    [ 1.0; 25.0; 50.0; 90.0; 95.0; 99.0; 99.9 ];
+  List.iter2
+    (fun (le_r, c_r) (le_m, c_m) ->
+      Alcotest.(check (float 0.0)) "merged bucket bound" le_r le_m;
+      Alcotest.(check int) "merged bucket count" c_r c_m)
+    (Hist.cumulative_buckets r)
+    (Hist.cumulative_buckets m);
+  (* the empty view is the identity on both sides *)
+  let va = Hist.view a in
+  List.iter
+    (fun m ->
+      Alcotest.(check int) "identity count" va.Hist.v_count m.Hist.v_count;
+      Alcotest.(check (float 0.0)) "identity sum" va.Hist.v_sum m.Hist.v_sum;
+      Alcotest.(check (float 0.0)) "identity p99"
+        (Hist.percentile_of_view va 99.0)
+        (Hist.percentile_of_view m 99.0))
+    [ Hist.merge va Hist.empty_view; Hist.merge Hist.empty_view va ];
+  (* merging commutes *)
+  let m' = Hist.merge (Hist.view b) (Hist.view a) in
+  Alcotest.(check int) "commutes: count" m.Hist.v_count m'.Hist.v_count;
+  Alcotest.(check (float 0.0)) "commutes: p99"
+    (Hist.percentile_of_view m 99.0)
+    (Hist.percentile_of_view m' 99.0)
+
+(* -- event sink durability ---------------------------------------------- *)
+
+module Ev = Ironsafe_obs.Event_log
+
+(* The streaming sink must make the event log durable the moment a
+   query ends abnormally: terminal kinds (query.crashed/rejected, WAL
+   crash, enclave abort) force a flush, so the JSONL on disk already
+   holds every event even if the process dies before the exporter
+   runs. *)
+let test_event_sink_flushes_on_terminal () =
+  let path = Filename.temp_file "ironsafe-sink" ".jsonl" in
+  with_obs (fun () ->
+      Fun.protect
+        ~finally:(fun () ->
+          Ev.close_sink ();
+          Sys.remove path)
+        (fun () ->
+          Ev.open_sink path;
+          Obs.event ~ts_ns:1.0 ~scope:"core" ~kind:"query.start" [];
+          Obs.event ~ts_ns:2.0 ~scope:"wal" ~kind:"wal.append" [];
+          (* a terminal outcome: both buffered events and the terminal
+             line itself must be on disk *now*, before any close *)
+          Obs.event ~ts_ns:3.0 ~scope:"core" ~kind:"query.crashed"
+            [ ("site", Ev.S "wal.before_append") ];
+          let ic = open_in path in
+          let n = in_channel_length ic in
+          let contents = really_input_string ic n in
+          close_in ic;
+          let lines =
+            List.filter
+              (fun l -> String.trim l <> "")
+              (String.split_on_char '\n' contents)
+          in
+          Alcotest.(check int) "all three events durable" 3
+            (List.length lines);
+          Alcotest.(check bool) "terminal line present" true
+            (List.exists
+               (fun l ->
+                 let rec has i =
+                   i + 13 <= String.length l
+                   && (String.sub l i 13 = "query.crashed" || has (i + 1))
+                 in
+                 has 0)
+               lines);
+          (* the sink stream matches the in-memory exporter *)
+          Ev.close_sink ();
+          let ic = open_in path in
+          let n = in_channel_length ic in
+          let disk = really_input_string ic n in
+          close_in ic;
+          Alcotest.(check string) "sink equals to_jsonl" (Obs.to_jsonl ())
+            disk))
+
 (* -- trace context ------------------------------------------------------ *)
 
 module Tc = Ironsafe_obs.Trace_context
@@ -501,6 +605,8 @@ let suite =
     ("histogram percentiles within bucket", `Quick, test_histogram_percentiles_within_bucket);
     ("histogram bucket math", `Quick, test_histogram_bucket_math);
     ("histogram interval sub", `Quick, test_histogram_interval_sub);
+    ("histogram merge", `Quick, test_histogram_merge);
+    ("event sink flushes on terminal", `Quick, test_event_sink_flushes_on_terminal);
     ("trace context roundtrip", `Quick, test_trace_context_roundtrip);
     ("flow events link lanes", `Quick, test_flow_events_link_lanes);
     ("sampling gates spans not metrics", `Quick, test_sampling_gates_spans_not_metrics);

@@ -654,6 +654,73 @@ let test_memory_budget () =
     (r.Sched.rep_events > sessions);
   Alcotest.(check bool) "wall time measured" true (r.Sched.rep_wall_ns > 0.0)
 
+(* -- tail-based retention ------------------------------------------------ *)
+
+(* Retention acceptance at scale: a hostile 10^5-session bounded run —
+   a tenant gate denying every 4th query, admission pressure shedding
+   at the queue bound, and an armed tail SLO — must keep 100% of the
+   anomalous lanes in [rep_records] (every shed, denial, and tail
+   breach accounted, not sampled) while live heap stays within 2x the
+   1 KiB/session budget the bounded-forensics guard above enforces for
+   recorder-off runs. *)
+let test_tail_retention_acceptance () =
+  let d = Lazy.force deploy in
+  let profiles = mix_profiles d Config.Scs in
+  let sessions = 100_000 in
+  let spec =
+    {
+      Sched.default_spec with
+      Sched.seed = 11;
+      arrival = Sched.Closed_loop { sessions; think_ns = 1e6 };
+      queries = sessions;
+      max_inflight = 256;
+      queue_depth = 4096;
+      sample_sessions = 32;
+      tail_slo_ns = 50e6;
+    }
+  in
+  let calls = ref 0 in
+  let gate ~tenant:_ ~sql:_ =
+    incr calls;
+    if !calls mod 4 = 0 then Error "quota: synthetic hostile denial"
+    else Ok ()
+  in
+  let before = (Gc.quick_stat ()).Gc.top_heap_words in
+  let r = Sched.run ~gate d spec profiles in
+  (* the hostile mix exercised every anomaly class *)
+  Alcotest.(check bool) "denials occurred" true (r.Sched.rep_denied > 0);
+  Alcotest.(check bool) "sheds occurred" true (r.Sched.rep_shed > 0);
+  Alcotest.(check bool) "tail breaches occurred" true
+    (r.Sched.rep_tail_breaches > 0);
+  (* 100% retention: the retained records account for every anomaly
+     exactly — reservoir exemplars are normal lanes and add none *)
+  let shed, denied, breached =
+    List.fold_left
+      (fun (s, dn, b) rc ->
+        match rc.Sched.r_outcome with
+        | Sched.Shed _ -> (s + 1, dn, b)
+        | Sched.Denied _ -> (s, dn + 1, b)
+        | Sched.Completed { latency_ns } ->
+            if latency_ns > spec.Sched.tail_slo_ns then (s, dn, b + 1)
+            else (s, dn, b))
+      (0, 0, 0) r.Sched.rep_records
+  in
+  Alcotest.(check int) "every shed retained" r.Sched.rep_shed shed;
+  Alcotest.(check int) "every denial retained" r.Sched.rep_denied denied;
+  Alcotest.(check int) "every tail breach retained" r.Sched.rep_tail_breaches
+    breached;
+  Alcotest.(check int) "anomalous lane count consistent"
+    (shed + denied + breached) r.Sched.rep_anomalous;
+  (* armed tail SLO also ran the burn-rate watchdog *)
+  Alcotest.(check bool) "slo summaries present" true (r.Sched.rep_slo <> []);
+  let grew_bytes = (r.Sched.rep_peak_words - before) * 8 in
+  let budget = 2 * sessions * 1024 in
+  if grew_bytes > budget then
+    Alcotest.failf
+      "peak heap grew %d bytes (> %d B budget = 2 KiB/session): retention \
+       must stay within 2x the recorder-off footprint"
+      grew_bytes budget
+
 (* -- rendering ----------------------------------------------------------- *)
 
 let test_rendering () =
@@ -701,6 +768,7 @@ let suite =
     ("lane assignment order", `Quick, test_lane_order);
     ("bounded forensics stay exact", `Quick, test_bounded_forensics);
     ("per-session memory budget", `Quick, test_memory_budget);
+    ("tail retention acceptance", `Quick, test_tail_retention_acceptance);
     ("tenant gate denies", `Quick, test_tenant_gate);
     ("rendering", `Quick, test_rendering);
   ]
